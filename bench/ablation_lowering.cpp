@@ -1,0 +1,84 @@
+//===- bench/ablation_lowering.cpp - Lowering ablation -----------------------===//
+//
+// Ablation for the design choices of §4: disables one lowering stage at
+// a time and reports whether the module still reaches Structural LLHD,
+// demonstrating that ECM, TCM and TCFE are each load-bearing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace llhd;
+
+static const char *ACC_COMB = R"(
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 0s
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+)";
+
+int main() {
+  printf("Ablation: which lowering stages are required to lower the\n");
+  printf("combinational accumulator process to an entity (Figure 5)?\n\n");
+  printf("%-28s %-10s %s\n", "Configuration", "Lowered?", "Level");
+
+  struct Config {
+    const char *Name;
+    bool Ecm, Tcm, Tcfe;
+  } Configs[] = {
+      {"full pipeline", true, true, true},
+      {"without ECM", false, true, true},
+      {"without TCM", true, false, true},
+      {"without TCFE", true, true, false},
+      {"without ECM+TCM+TCFE", false, false, false},
+  };
+
+  for (const Config &C : Configs) {
+    Context Ctx;
+    Module M(Ctx, "t");
+    if (!parseModule(ACC_COMB, M).Ok)
+      return 1;
+    Unit *P = M.unitByName("acc_comb");
+    runStandardOptimizations(*P);
+    if (C.Ecm)
+      earlyCodeMotion(*P);
+    runStandardOptimizations(*P);
+    if (C.Tcm)
+      temporalCodeMotion(*P);
+    if (C.Tcfe)
+      totalControlFlowElim(*P);
+    runStandardOptimizations(*P);
+    std::vector<std::string> Notes;
+    // P may be replaced inside M; look it up again afterwards.
+    bool Lowered = desequentialize(M, *P, Notes);
+    if (!Lowered) {
+      Unit *Cur = M.unitByName("acc_comb");
+      if (Cur && Cur->isProcess())
+        Lowered = processLowering(M, *Cur, Notes);
+    }
+    Unit *Result = M.unitByName("acc_comb");
+    printf("%-28s %-10s %s\n", C.Name, Lowered ? "yes" : "no",
+           Result && Result->isEntity() ? "structural" : "behavioural");
+  }
+  printf("\nExpected: only the full pipeline (and configurations where a\n"
+         "missing stage is subsumed for this simple input) reach "
+         "structural form;\nTCM is the critical stage for multi-drive "
+         "processes.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- bench/micro_ops.cpp - google-benchmark microbenchmarks ----------------===//
+//
+// Microbenchmarks of the hot primitives underneath the Table 2 numbers:
+// IntValue arithmetic, assembly parsing, bitcode round trips, and one
+// full simulation step of the accumulator on each engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "bitcode/Bitcode.h"
+#include "blaze/Blaze.h"
+#include "designs/Designs.h"
+#include "moore/Compiler.h"
+#include "sim/Interp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace llhd;
+
+static void BM_IntValueAdd64(benchmark::State &State) {
+  IntValue A(64, 0x123456789abcdef0ull), B(64, 42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.add(B));
+}
+BENCHMARK(BM_IntValueAdd64);
+
+static void BM_IntValueMul128(benchmark::State &State) {
+  IntValue A(128, {0x123456789abcdef0ull, 0x0fedcba987654321ull});
+  IntValue B(128, 12345);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.mul(B));
+}
+BENCHMARK(BM_IntValueMul128);
+
+static void BM_IntValueUdiv128(benchmark::State &State) {
+  IntValue A(128, {0x123456789abcdef0ull, 0x0fedcba987654321ull});
+  IntValue B(128, 1000000007);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.udiv(B));
+}
+BENCHMARK(BM_IntValueUdiv128);
+
+static void BM_MooreCompileGray(benchmark::State &State) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  for (auto _ : State) {
+    Context Ctx;
+    Module M(Ctx, "t");
+    auto R = moore::compileSystemVerilog(D.Source, D.TopModule, M);
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_MooreCompileGray);
+
+static void BM_AsmRoundTripGray(benchmark::State &State) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  Context Ctx;
+  Module M(Ctx, "t");
+  (void)moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  std::string Text = printModule(M);
+  for (auto _ : State) {
+    Context C2;
+    Module M2(C2, "u");
+    benchmark::DoNotOptimize(parseModule(Text, M2).Ok);
+  }
+}
+BENCHMARK(BM_AsmRoundTripGray);
+
+static void BM_BitcodeWriteGray(benchmark::State &State) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  Context Ctx;
+  Module M(Ctx, "t");
+  (void)moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(writeBitcode(M));
+}
+BENCHMARK(BM_BitcodeWriteGray);
+
+static void BM_InterpLfsr(benchmark::State &State) {
+  designs::DesignInfo D = designs::designByKey("lfsr", 0.0);
+  for (auto _ : State) {
+    Context Ctx;
+    Module M(Ctx, "t");
+    auto R = moore::compileSystemVerilog(D.Source, D.TopModule, M);
+    SimOptions O;
+    O.TraceMode = Trace::Mode::Off;
+    InterpSim Sim(elaborate(M, R.TopUnit), O);
+    benchmark::DoNotOptimize(Sim.run().Steps);
+  }
+}
+BENCHMARK(BM_InterpLfsr)->Unit(benchmark::kMillisecond);
+
+static void BM_BlazeLfsr(benchmark::State &State) {
+  designs::DesignInfo D = designs::designByKey("lfsr", 0.0);
+  for (auto _ : State) {
+    Context Ctx;
+    Module M(Ctx, "t");
+    auto R = moore::compileSystemVerilog(D.Source, D.TopModule, M);
+    BlazeSim::BlazeOptions O;
+    O.TraceMode = Trace::Mode::Off;
+    BlazeSim Sim(M, R.TopUnit, O);
+    benchmark::DoNotOptimize(Sim.run().Steps);
+  }
+}
+BENCHMARK(BM_BlazeLfsr)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===- examples/acc_testbench.cpp - Figure 2/3 end to end --------------------===//
+//
+// The paper's running example: the SystemVerilog accumulator + testbench
+// of Figure 3 is compiled with the Moore frontend into the Behavioural
+// LLHD of Figure 2, printed, and simulated — the testbench asserts
+// q == i*(i+1)/2 on every cycle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Printer.h"
+#include "moore/Compiler.h"
+#include "sim/Interp.h"
+
+#include <cstdio>
+
+using namespace llhd;
+
+static const char *SRC = R"(
+module acc (input clk, input [31:0] x, input en, output [31:0] q);
+  bit [31:0] d;
+  always_ff @(posedge clk) q <= #1ns d;
+  always_comb begin
+    d = q;
+    if (en) d = q + x;
+  end
+endmodule
+
+module acc_tb;
+  bit clk, en;
+  bit [31:0] x, q;
+  acc i_dut (.*);
+  initial begin
+    bit [31:0] i;
+    i = 0;
+    en = 1;
+    do begin
+      x = i;
+      clk = #1ns 1;
+      clk = #2ns 0;
+      #2ns;
+      check(i, q);
+      i = i + 1;
+    end while (i < 1337);
+    $finish;
+  end
+  function check(bit [31:0] i, bit [31:0] q);
+    assert(q == i*(i+1)/2);
+  endfunction
+endmodule
+)";
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "acc");
+  moore::CompileResult R = moore::compileSystemVerilog(SRC, "acc_tb", M);
+  if (!R.Ok) {
+    printf("moore: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  printf("==== Behavioural LLHD emitted by Moore (Figure 2) ====\n%s\n",
+         printModule(M).c_str());
+
+  InterpSim Sim(elaborate(M, R.TopUnit));
+  SimStats St = Sim.run();
+  printf("simulated to %s: %llu assertion failures over 1337 cycles\n",
+         St.EndTime.toString().c_str(),
+         static_cast<unsigned long long>(St.AssertFailures));
+  printf("%s\n", St.AssertFailures == 0 ? "accumulator matches q=i*(i+1)/2"
+                                        : "MISMATCH");
+  return St.AssertFailures == 0 ? 0 : 1;
+}

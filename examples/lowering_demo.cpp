@@ -1,0 +1,86 @@
+//===- examples/lowering_demo.cpp - Figure 5 lowering demo -------------------===//
+//
+// Reproduces Figure 5: the behavioural accumulator (left column) is run
+// through the §4 pipeline and comes out as a single structural entity
+// with an inferred rising-edge register (right column, bottom).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <cstdio>
+
+using namespace llhd;
+
+static const char *ACC_BEHAVIOURAL = R"(
+entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+  %zero = const i32 0
+  %d = sig i32 %zero
+  inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d)
+}
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 2ns
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+)";
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "acc");
+  ParseResult R = parseModule(ACC_BEHAVIOURAL, M);
+  if (!R.Ok) {
+    printf("parse: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  printf("==== Behavioural LLHD (Figure 5, left) ====\n%s\n",
+         printModule(M).c_str());
+  printf("level before lowering: %s\n\n",
+         irLevelName(classifyModule(M)));
+
+  LoweringResult LR = lowerToStructural(M);
+  for (const std::string &N : LR.Notes)
+    printf("note: %s\n", N.c_str());
+  for (const std::string &Rej : LR.Rejected)
+    printf("rejected: %s\n", Rej.c_str());
+
+  printf("\n==== Structural LLHD (Figure 5, right) ====\n%s\n",
+         printModule(M).c_str());
+  printf("level after lowering: %s\n", irLevelName(classifyModule(M)));
+
+  std::vector<std::string> Errors;
+  bool Ok = verifyModule(M, Errors);
+  for (const std::string &E : Errors)
+    printf("verifier: %s\n", E.c_str());
+  return Ok && classifyModule(M) == IRLevel::Structural ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+//===- analysis/Cfg.cpp - CFG traversal utilities --------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace llhd;
+
+static void postOrderVisit(BasicBlock *BB, std::set<BasicBlock *> &Seen,
+                           std::vector<BasicBlock *> &Out) {
+  if (!Seen.insert(BB).second)
+    return;
+  for (BasicBlock *S : BB->successors())
+    postOrderVisit(S, Seen, Out);
+  Out.push_back(BB);
+}
+
+std::vector<BasicBlock *> llhd::reversePostOrder(Unit &U) {
+  std::vector<BasicBlock *> PO;
+  if (!U.hasBody())
+    return PO;
+  std::set<BasicBlock *> Seen;
+  postOrderVisit(U.entry(), Seen, PO);
+  std::reverse(PO.begin(), PO.end());
+  return PO;
+}
+
+std::vector<BasicBlock *> llhd::unreachableBlocks(Unit &U) {
+  std::vector<BasicBlock *> Result;
+  if (!U.hasBody())
+    return Result;
+  std::set<BasicBlock *> Seen;
+  std::vector<BasicBlock *> PO;
+  postOrderVisit(U.entry(), Seen, PO);
+  for (BasicBlock *BB : U.blocks())
+    if (!Seen.count(BB))
+      Result.push_back(BB);
+  return Result;
+}
+
+void llhd::redirectEdges(BasicBlock *Pred, BasicBlock *From, BasicBlock *To) {
+  Instruction *T = Pred->terminator();
+  assert(T && "predecessor has no terminator");
+  for (unsigned I = 0, E = T->numOperands(); I != E; ++I)
+    if (T->operand(I) == From)
+      T->setOperand(I, To);
+}

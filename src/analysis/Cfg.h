@@ -1,0 +1,28 @@
+//===- analysis/Cfg.h - CFG traversal utilities -----------------*- C++ -*-===//
+//
+// Order computations and small CFG helpers shared by analyses and passes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_CFG_H
+#define LLHD_ANALYSIS_CFG_H
+
+#include "ir/Unit.h"
+
+#include <vector>
+
+namespace llhd {
+
+/// Blocks of \p U in reverse post-order (entry first).
+std::vector<BasicBlock *> reversePostOrder(Unit &U);
+
+/// Blocks not reachable from the entry block.
+std::vector<BasicBlock *> unreachableBlocks(Unit &U);
+
+/// Rewrites the terminator of \p Pred so that edges to \p From point to
+/// \p To, and updates phis in \p From/\p To accordingly is left to callers.
+void redirectEdges(BasicBlock *Pred, BasicBlock *From, BasicBlock *To);
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_CFG_H

@@ -1,0 +1,150 @@
+//===- analysis/Dnf.cpp - Disjunctive normal form of i1 values -------------===//
+
+#include "analysis/Dnf.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace llhd;
+
+static const unsigned MaxDepth = 32;
+
+Dnf Dnf::of(Value *V, unsigned MaxTerms) {
+  assert(V->type()->isBool() && "DNF over non-boolean value");
+  return build(V, /*Negated=*/false, MaxTerms, 0);
+}
+
+Dnf Dnf::ofNegated(Value *V, unsigned MaxTerms) {
+  assert(V->type()->isBool() && "DNF over non-boolean value");
+  return build(V, /*Negated=*/true, MaxTerms, 0);
+}
+
+Dnf Dnf::build(Value *V, bool Negated, unsigned MaxTerms, unsigned Depth) {
+  auto opaque = [&]() {
+    Dnf D;
+    D.Terms.push_back({DnfLiteral{V, Negated}});
+    return D;
+  };
+
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || Depth >= MaxDepth)
+    return opaque();
+
+  switch (I->opcode()) {
+  case Opcode::Const:
+    // const i1 1 is "true", const i1 0 is "false"; negation flips.
+    return I->intValue().isZero() == Negated ? alwaysTrue() : alwaysFalse();
+  case Opcode::Not:
+    return build(I->operand(0), !Negated, MaxTerms, Depth + 1);
+  case Opcode::And: {
+    Dnf A = build(I->operand(0), Negated, MaxTerms, Depth + 1);
+    Dnf B = build(I->operand(1), Negated, MaxTerms, Depth + 1);
+    // ¬(a∧b) = ¬a ∨ ¬b.
+    Dnf R = Negated ? orOf(std::move(A), B, MaxTerms)
+                    : andOf(A, B, MaxTerms);
+    if (R.Terms.size() > MaxTerms)
+      return opaque();
+    return R;
+  }
+  case Opcode::Or: {
+    Dnf A = build(I->operand(0), Negated, MaxTerms, Depth + 1);
+    Dnf B = build(I->operand(1), Negated, MaxTerms, Depth + 1);
+    Dnf R = Negated ? andOf(A, B, MaxTerms)
+                    : orOf(std::move(A), B, MaxTerms);
+    if (R.Terms.size() > MaxTerms)
+      return opaque();
+    return R;
+  }
+  case Opcode::Xor:
+  case Opcode::Neq:
+  case Opcode::Eq: {
+    if (!I->operand(0)->type()->isBool())
+      return opaque();
+    // a≠b (xor) = (a∧¬b)∨(¬a∧b); a=b is its negation. The instruction's
+    // own Negated flag folds into which of the two we emit.
+    bool WantXor = (I->opcode() != Opcode::Eq) != Negated;
+    Dnf A = build(I->operand(0), false, MaxTerms, Depth + 1);
+    Dnf NA = build(I->operand(0), true, MaxTerms, Depth + 1);
+    Dnf B = build(I->operand(1), false, MaxTerms, Depth + 1);
+    Dnf NB = build(I->operand(1), true, MaxTerms, Depth + 1);
+    Dnf R = WantXor ? orOf(andOf(A, NB, MaxTerms), andOf(NA, B, MaxTerms),
+                           MaxTerms)
+                    : orOf(andOf(A, B, MaxTerms), andOf(NA, NB, MaxTerms),
+                           MaxTerms);
+    if (R.Terms.size() > MaxTerms)
+      return opaque();
+    return R;
+  }
+  default:
+    return opaque();
+  }
+}
+
+Dnf Dnf::orOf(Dnf A, const Dnf &B, unsigned MaxTerms) {
+  for (const DnfTerm &T : B.Terms)
+    A.Terms.push_back(T);
+  A.normalise();
+  return A;
+}
+
+Dnf Dnf::andOf(const Dnf &A, const Dnf &B, unsigned MaxTerms) {
+  Dnf R;
+  for (const DnfTerm &TA : A.Terms) {
+    for (const DnfTerm &TB : B.Terms) {
+      DnfTerm T = TA;
+      T.insert(T.end(), TB.begin(), TB.end());
+      R.Terms.push_back(std::move(T));
+      if (R.Terms.size() > MaxTerms * 4)
+        break; // Normalisation may shrink it; hard cap against blowup.
+    }
+  }
+  R.normalise();
+  return R;
+}
+
+void Dnf::normalise() {
+  std::vector<DnfTerm> Out;
+  for (DnfTerm &T : Terms) {
+    std::sort(T.begin(), T.end());
+    T.erase(std::unique(T.begin(), T.end()), T.end());
+    // Drop terms containing x ∧ ¬x.
+    bool Contradiction = false;
+    for (unsigned I = 0; I + 1 < T.size(); ++I)
+      if (T[I].Val == T[I + 1].Val && T[I].Negated != T[I + 1].Negated)
+        Contradiction = true;
+    if (!Contradiction)
+      Out.push_back(std::move(T));
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  // If any term is empty, the whole DNF is true.
+  for (const DnfTerm &T : Out)
+    if (T.empty()) {
+      Terms.assign(1, {});
+      return;
+    }
+  Terms = std::move(Out);
+}
+
+std::string Dnf::toString() const {
+  if (isTrue())
+    return "true";
+  if (isFalse())
+    return "false";
+  std::string S;
+  for (unsigned I = 0; I != Terms.size(); ++I) {
+    if (I != 0)
+      S += " | ";
+    S += "(";
+    for (unsigned J = 0; J != Terms[I].size(); ++J) {
+      if (J != 0)
+        S += " & ";
+      const DnfLiteral &L = Terms[I][J];
+      if (L.Negated)
+        S += "!";
+      S += L.Val->hasName() ? L.Val->name() : "<anon>";
+    }
+    S += ")";
+  }
+  return S;
+}

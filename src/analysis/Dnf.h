@@ -1,0 +1,73 @@
+//===- analysis/Dnf.h - Disjunctive normal form of i1 values ----*- C++ -*-===//
+//
+// Canonicalises boolean (i1) SSA expressions into disjunctive normal form
+// (§4.6). Non-canonicalisable sub-expressions are retained as opaque
+// literals. Used by desequentialisation to identify edge and level
+// triggers in drive conditions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_DNF_H
+#define LLHD_ANALYSIS_DNF_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// One literal of a DNF term: a boolean value or its negation.
+struct DnfLiteral {
+  Value *Val;
+  bool Negated;
+
+  bool operator==(const DnfLiteral &RHS) const {
+    return Val == RHS.Val && Negated == RHS.Negated;
+  }
+  bool operator<(const DnfLiteral &RHS) const {
+    return Val != RHS.Val ? Val < RHS.Val : Negated < RHS.Negated;
+  }
+};
+
+/// A conjunction of literals (sorted, duplicate-free).
+using DnfTerm = std::vector<DnfLiteral>;
+
+/// A disjunction of conjunctive terms.
+class Dnf {
+public:
+  /// Canonicalises \p V (must be i1-typed). Expands and/or/not/xor and
+  /// i1 eq/neq; anything else becomes an opaque literal. If the expansion
+  /// exceeds \p MaxTerms the result is the single opaque literal \p V.
+  static Dnf of(Value *V, unsigned MaxTerms = 64);
+  /// DNF of the negation of \p V.
+  static Dnf ofNegated(Value *V, unsigned MaxTerms = 64);
+
+  static Dnf alwaysTrue() {
+    Dnf D;
+    D.Terms.push_back({});
+    return D;
+  }
+  static Dnf alwaysFalse() { return Dnf(); }
+
+  bool isFalse() const { return Terms.empty(); }
+  bool isTrue() const { return Terms.size() == 1 && Terms[0].empty(); }
+
+  const std::vector<DnfTerm> &terms() const { return Terms; }
+
+  /// Renders e.g. "(a & !b) | (c)" using value names.
+  std::string toString() const;
+
+private:
+  static Dnf build(Value *V, bool Negated, unsigned MaxTerms,
+                   unsigned Depth);
+  static Dnf orOf(Dnf A, const Dnf &B, unsigned MaxTerms);
+  static Dnf andOf(const Dnf &A, const Dnf &B, unsigned MaxTerms);
+  void normalise();
+
+  std::vector<DnfTerm> Terms;
+};
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_DNF_H

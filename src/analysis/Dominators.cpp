@@ -1,0 +1,94 @@
+//===- analysis/Dominators.cpp - Dominator tree ----------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/Cfg.h"
+
+using namespace llhd;
+
+DominatorTree::DominatorTree(Unit &U) {
+  if (!U.hasBody())
+    return;
+  Entry = U.entry();
+  std::vector<BasicBlock *> RPO = reversePostOrder(U);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RpoIndex[RPO[I]] = I;
+
+  // Cooper/Harvey/Kennedy: iterate to fixpoint, intersecting along the
+  // current idom chains.
+  IDom[Entry] = Entry;
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = IDom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : BB->predecessors()) {
+        if (!IDom.count(P) || !IDom[P])
+          continue; // Unprocessed or unreachable predecessor.
+        NewIDom = NewIDom ? intersect(NewIDom, P) : P;
+      }
+      if (NewIDom && IDom[BB] != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  if (BB == Entry)
+    return nullptr;
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  const BasicBlock *Cur = B;
+  while (const BasicBlock *D = idom(Cur)) {
+    if (D == A)
+      return true;
+    Cur = D;
+  }
+  return false;
+}
+
+bool DominatorTree::dominates(const Instruction *Def,
+                              const Instruction *UseSite) const {
+  const BasicBlock *DefBB = Def->parent();
+  const BasicBlock *UseBB = UseSite->parent();
+  if (DefBB == UseBB)
+    return DefBB->indexOf(Def) < UseBB->indexOf(UseSite);
+  return dominates(DefBB, UseBB);
+}
+
+BasicBlock *DominatorTree::nearestCommonDominator(BasicBlock *A,
+                                                  BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return nullptr;
+  while (A != B) {
+    auto AIt = RpoIndex.find(A);
+    auto BIt = RpoIndex.find(B);
+    if (AIt == RpoIndex.end() || BIt == RpoIndex.end())
+      return nullptr;
+    if (AIt->second < BIt->second)
+      B = idom(B);
+    else
+      A = idom(A);
+    if (!A || !B)
+      return nullptr;
+  }
+  return A;
+}

@@ -1,0 +1,49 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Immediate-dominator computation (Cooper/Harvey/Kennedy iterative scheme)
+// with dominance queries and nearest-common-dominator, used by TCM (§4.3.3)
+// and TCFE (§4.4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_DOMINATORS_H
+#define LLHD_ANALYSIS_DOMINATORS_H
+
+#include "ir/Unit.h"
+
+#include <map>
+#include <vector>
+
+namespace llhd {
+
+/// Dominator tree over the blocks of one unit. Invalidated by CFG edits.
+class DominatorTree {
+public:
+  explicit DominatorTree(Unit &U);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True if instruction \p Def dominates the program point of \p UseSite.
+  bool dominates(const Instruction *Def, const Instruction *UseSite) const;
+
+  /// Nearest common dominator; null if either block is unreachable.
+  BasicBlock *nearestCommonDominator(BasicBlock *A, BasicBlock *B) const;
+
+  /// True if \p BB is reachable from the entry.
+  bool isReachable(const BasicBlock *BB) const {
+    return BB == Entry || idom(BB) != nullptr;
+  }
+
+private:
+  BasicBlock *Entry = nullptr;
+  std::map<const BasicBlock *, BasicBlock *> IDom;
+  std::map<const BasicBlock *, unsigned> RpoIndex;
+};
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_DOMINATORS_H

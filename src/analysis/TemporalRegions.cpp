@@ -1,0 +1,69 @@
+//===- analysis/TemporalRegions.cpp - Temporal region analysis -------------===//
+
+#include "analysis/TemporalRegions.h"
+#include "analysis/Cfg.h"
+
+using namespace llhd;
+
+TemporalRegions::TemporalRegions(Unit &U) {
+  std::vector<BasicBlock *> RPO = reversePostOrder(U);
+  for (BasicBlock *BB : RPO) {
+    auto Preds = BB->predecessors();
+    bool NewRegion = BB == U.entry();
+    for (BasicBlock *P : Preds) {
+      Instruction *T = P->terminator();
+      if (T && T->opcode() == Opcode::Wait)
+        NewRegion = true;
+    }
+    unsigned Id;
+    if (NewRegion) {
+      Id = Blocks.size();
+      Blocks.emplace_back();
+      Entries.push_back(BB);
+    } else {
+      // Rule 2/3: inherit if all (assigned) predecessors agree, else new.
+      int Inherit = -1;
+      bool Mixed = false;
+      for (BasicBlock *P : Preds) {
+        auto It = Region.find(P);
+        if (It == Region.end())
+          continue; // Back edge within a loop: resolved by the RPO pass
+                    // below (a back edge from the same TR is consistent).
+        if (Inherit == -1)
+          Inherit = It->second;
+        else if (Inherit != static_cast<int>(It->second))
+          Mixed = true;
+      }
+      if (Inherit == -1 || Mixed) {
+        Id = Blocks.size();
+        Blocks.emplace_back();
+        Entries.push_back(BB);
+      } else {
+        Id = Inherit;
+      }
+    }
+    Region[BB] = Id;
+    Blocks[Id].push_back(BB);
+  }
+}
+
+std::vector<BasicBlock *>
+TemporalRegions::exitingBlocksOf(unsigned Id) const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Blocks[Id]) {
+    Instruction *T = BB->terminator();
+    if (!T)
+      continue;
+    if (T->opcode() == Opcode::Wait || T->opcode() == Opcode::Halt) {
+      Result.push_back(BB);
+      continue;
+    }
+    for (BasicBlock *S : BB->successors()) {
+      if (hasRegion(S) && regionOf(S) != Id) {
+        Result.push_back(BB);
+        break;
+      }
+    }
+  }
+  return Result;
+}

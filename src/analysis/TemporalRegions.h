@@ -1,0 +1,63 @@
+//===- analysis/TemporalRegions.h - Temporal region analysis ----*- C++ -*-===//
+//
+// Temporal Regions (§4.3.1): partitions the blocks of a process into
+// sections of code that execute during one fixed point in physical time.
+// TRs are delimited by `wait` terminators:
+//   1. A block after a wait (or the entry block) starts a new TR.
+//   2. If all predecessors share one TR, the block inherits it.
+//   3. If predecessors have distinct TRs, a new TR starts.
+// As a result every TR has a unique entry block.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_TEMPORALREGIONS_H
+#define LLHD_ANALYSIS_TEMPORALREGIONS_H
+
+#include "ir/Unit.h"
+
+#include <map>
+#include <vector>
+
+namespace llhd {
+
+/// Temporal region assignment for one process.
+class TemporalRegions {
+public:
+  explicit TemporalRegions(Unit &U);
+
+  /// TR id of a block (0-based).
+  unsigned regionOf(const BasicBlock *BB) const {
+    auto It = Region.find(BB);
+    assert(It != Region.end() && "block has no TR (unreachable?)");
+    return It->second;
+  }
+  bool hasRegion(const BasicBlock *BB) const { return Region.count(BB); }
+
+  unsigned numRegions() const { return Blocks.size(); }
+
+  /// Blocks belonging to TR \p Id, in reverse post-order.
+  const std::vector<BasicBlock *> &blocksOf(unsigned Id) const {
+    return Blocks[Id];
+  }
+
+  /// The unique block through which control enters TR \p Id.
+  BasicBlock *entryOf(unsigned Id) const { return Entries[Id]; }
+
+  /// Blocks of TR \p Id whose terminator leaves the TR (wait terminators
+  /// and branches into other TRs).
+  std::vector<BasicBlock *> exitingBlocksOf(unsigned Id) const;
+
+  /// True if \p I executes in TR \p Id.
+  bool instInRegion(const Instruction *I, unsigned Id) const {
+    return hasRegion(I->parent()) && regionOf(I->parent()) == Id;
+  }
+
+private:
+  std::map<const BasicBlock *, unsigned> Region;
+  std::vector<std::vector<BasicBlock *>> Blocks;
+  std::vector<BasicBlock *> Entries;
+};
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_TEMPORALREGIONS_H

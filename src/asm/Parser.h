@@ -1,0 +1,34 @@
+//===- asm/Parser.h - Assembly parsing --------------------------*- C++ -*-===//
+//
+// Parses the human-readable LLHD assembly format into IR. Inverse of
+// asm/Printer.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ASM_PARSER_H
+#define LLHD_ASM_PARSER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace llhd {
+
+/// Outcome of a parse; on failure, Error holds "line N: message".
+struct ParseResult {
+  bool Ok = true;
+  std::string Error;
+
+  explicit operator bool() const { return Ok; }
+  static ParseResult success() { return {}; }
+  static ParseResult failure(unsigned Line, const std::string &Msg) {
+    return {false, "line " + std::to_string(Line) + ": " + Msg};
+  }
+};
+
+/// Parses \p Text, appending all parsed units to \p M.
+ParseResult parseModule(const std::string &Text, Module &M);
+
+} // namespace llhd
+
+#endif // LLHD_ASM_PARSER_H

@@ -1,0 +1,346 @@
+//===- asm/Printer.cpp - Assembly printing ---------------------------------===//
+
+#include "asm/Printer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace llhd;
+
+namespace {
+
+/// Assigns unique printable names to the values of one unit.
+class ValueNamer {
+public:
+  std::string nameOf(const Value *V) {
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string N = V->hasName() ? uniquify(V->name())
+                                 : std::to_string(NextAnon++);
+    Names[V] = N;
+    Taken.insert({N, true});
+    return N;
+  }
+
+private:
+  std::string uniquify(const std::string &Base) {
+    if (!Taken.count(Base))
+      return Base;
+    unsigned I = 1;
+    std::string N;
+    do {
+      N = Base + "." + std::to_string(I++);
+    } while (Taken.count(N));
+    return N;
+  }
+
+  std::map<const Value *, std::string> Names;
+  std::map<std::string, bool> Taken;
+  unsigned NextAnon = 0;
+};
+
+/// Streams one unit in assembly syntax.
+class UnitPrinter {
+public:
+  UnitPrinter(std::ostringstream &OS) : OS(OS) {}
+
+  void print(const Unit &U) {
+    if (U.isDeclaration())
+      OS << "declare ";
+    switch (U.kind()) {
+    case Unit::Kind::Function:
+      OS << "func";
+      break;
+    case Unit::Kind::Process:
+      OS << "proc";
+      break;
+    case Unit::Kind::Entity:
+      OS << "entity";
+      break;
+    }
+    OS << " @" << U.name() << " (";
+    printArgs(U.inputs(), U.isDeclaration());
+    OS << ")";
+    if (U.isFunction())
+      OS << " " << U.returnType()->toString();
+    else {
+      OS << " -> (";
+      printArgs(U.outputs(), U.isDeclaration());
+      OS << ")";
+    }
+    if (U.isDeclaration()) {
+      OS << "\n";
+      return;
+    }
+    OS << " {\n";
+    bool PrintLabels = U.isControlFlow();
+    for (const BasicBlock *BB : U.blocks()) {
+      if (PrintLabels)
+        OS << nameOfBlock(BB) << ":\n";
+      for (const Instruction *I : BB->insts()) {
+        OS << "  ";
+        printInst(*I);
+        OS << "\n";
+      }
+    }
+    OS << "}\n";
+  }
+
+  void printInst(const Instruction &I) {
+    if (!I.type()->isVoid())
+      OS << "%" << Namer.nameOf(&I) << " = ";
+    switch (I.opcode()) {
+    case Opcode::Const:
+      OS << "const " << I.type()->toString() << " ";
+      printConstLiteral(I);
+      return;
+    case Opcode::ArrayCreate: {
+      OS << "[" << cast<ArrayType>(I.type())->element()->toString();
+      for (unsigned J = 0, E = I.numOperands(); J != E; ++J)
+        OS << (J == 0 ? " " : ", ") << ref(I.operand(J));
+      OS << "]";
+      return;
+    }
+    case Opcode::StructCreate: {
+      OS << "{";
+      for (unsigned J = 0, E = I.numOperands(); J != E; ++J) {
+        if (J != 0)
+          OS << ", ";
+        OS << I.operand(J)->type()->toString() << " " << ref(I.operand(J));
+      }
+      OS << "}";
+      return;
+    }
+    case Opcode::Neg:
+    case Opcode::Not:
+      OS << opcodeName(I.opcode()) << " " << I.operand(0)->type()->toString()
+         << " " << ref(I.operand(0));
+      return;
+    case Opcode::Zext:
+    case Opcode::Sext:
+    case Opcode::Trunc:
+      OS << opcodeName(I.opcode()) << " " << I.type()->toString() << " "
+         << ref(I.operand(0));
+      return;
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Ashr:
+      OS << opcodeName(I.opcode()) << " " << I.operand(0)->type()->toString()
+         << " " << ref(I.operand(0)) << ", "
+         << I.operand(1)->type()->toString() << " " << ref(I.operand(1));
+      return;
+    case Opcode::Mux:
+      OS << "mux " << I.type()->toString() << " " << ref(I.operand(0)) << ", "
+         << ref(I.operand(1));
+      return;
+    case Opcode::Insf:
+      OS << "insf " << I.type()->toString() << " " << ref(I.operand(0))
+         << ", " << ref(I.operand(1)) << ", " << I.immediate();
+      return;
+    case Opcode::Extf:
+      OS << "extf " << I.type()->toString() << " " << ref(I.operand(0))
+         << ", " << I.immediate();
+      return;
+    case Opcode::Inss:
+      OS << "inss " << I.type()->toString() << " " << ref(I.operand(0))
+         << ", " << ref(I.operand(1)) << ", " << I.immediate();
+      return;
+    case Opcode::Exts:
+      OS << "exts " << I.type()->toString() << " " << ref(I.operand(0))
+         << ", " << I.immediate();
+      return;
+    case Opcode::Var:
+    case Opcode::Alloc:
+      OS << opcodeName(I.opcode()) << " "
+         << I.operand(0)->type()->toString() << " " << ref(I.operand(0));
+      return;
+    case Opcode::Ld:
+    case Opcode::Free:
+    case Opcode::Prb:
+      OS << opcodeName(I.opcode()) << " "
+         << I.operand(0)->type()->toString() << " " << ref(I.operand(0));
+      return;
+    case Opcode::St:
+      OS << "st " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0)) << ", " << ref(I.operand(1));
+      return;
+    case Opcode::Sig:
+      OS << "sig " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0));
+      return;
+    case Opcode::Drv:
+      OS << "drv " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0)) << ", " << ref(I.operand(1)) << " after "
+         << ref(I.operand(2));
+      if (I.numOperands() == 4)
+        OS << " if " << ref(I.operand(3));
+      return;
+    case Opcode::Con:
+      OS << "con " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0)) << ", " << ref(I.operand(1));
+      return;
+    case Opcode::Del:
+      OS << "del " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0)) << ", " << ref(I.operand(1)) << " after "
+         << ref(I.operand(2));
+      return;
+    case Opcode::Reg: {
+      OS << "reg " << I.operand(0)->type()->toString() << " "
+         << ref(I.operand(0));
+      for (const RegTrigger &T : I.regTriggers()) {
+        OS << ", " << ref(I.operand(T.ValueIdx)) << " "
+           << regModeName(T.Mode) << " " << ref(I.operand(T.TriggerIdx));
+        if (T.DelayIdx >= 0)
+          OS << " after " << ref(I.operand(T.DelayIdx));
+        if (T.CondIdx >= 0)
+          OS << " if " << ref(I.operand(T.CondIdx));
+      }
+      return;
+    }
+    case Opcode::InstOp: {
+      OS << "inst @" << I.callee()->name() << " (";
+      for (unsigned J = 0; J != I.numInputs(); ++J) {
+        if (J != 0)
+          OS << ", ";
+        OS << I.operand(J)->type()->toString() << " " << ref(I.operand(J));
+      }
+      OS << ") -> (";
+      for (unsigned J = I.numInputs(), E = I.numOperands(); J != E; ++J) {
+        if (J != I.numInputs())
+          OS << ", ";
+        OS << I.operand(J)->type()->toString() << " " << ref(I.operand(J));
+      }
+      OS << ")";
+      return;
+    }
+    case Opcode::Call: {
+      OS << "call " << I.type()->toString() << " @" << I.callee()->name()
+         << " (";
+      for (unsigned J = 0, E = I.numOperands(); J != E; ++J) {
+        if (J != 0)
+          OS << ", ";
+        OS << I.operand(J)->type()->toString() << " " << ref(I.operand(J));
+      }
+      OS << ")";
+      return;
+    }
+    case Opcode::Ret:
+      OS << "ret";
+      if (I.numOperands() == 1)
+        OS << " " << I.operand(0)->type()->toString() << " "
+           << ref(I.operand(0));
+      return;
+    case Opcode::Br:
+      OS << "br " << ref(I.operand(0));
+      if (I.numOperands() == 3)
+        OS << ", " << ref(I.operand(1)) << ", " << ref(I.operand(2));
+      return;
+    case Opcode::Halt:
+      OS << "halt";
+      return;
+    case Opcode::Wait: {
+      OS << "wait " << ref(I.operand(0));
+      if (I.numOperands() > 1) {
+        OS << " for ";
+        for (unsigned J = 1, E = I.numOperands(); J != E; ++J) {
+          if (J != 1)
+            OS << ", ";
+          OS << ref(I.operand(J));
+        }
+      }
+      return;
+    }
+    case Opcode::Phi: {
+      OS << "phi " << I.type()->toString();
+      for (unsigned J = 0, E = I.numIncoming(); J != E; ++J) {
+        OS << (J == 0 ? " " : ", ") << "[" << ref(I.incomingValue(J)) << ", "
+           << ref(I.incomingBlock(J)) << "]";
+      }
+      return;
+    }
+    default:
+      // Binary arithmetic, bitwise and comparisons share one shape.
+      OS << opcodeName(I.opcode()) << " "
+         << I.operand(0)->type()->toString() << " " << ref(I.operand(0))
+         << ", " << ref(I.operand(1));
+      return;
+    }
+  }
+
+private:
+  void printArgs(const std::vector<Argument *> &Args, bool TypesOnly) {
+    for (unsigned I = 0, E = Args.size(); I != E; ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << Args[I]->type()->toString();
+      if (!TypesOnly)
+        OS << " %" << Namer.nameOf(Args[I]);
+    }
+  }
+
+  void printConstLiteral(const Instruction &I) {
+    switch (I.type()->kind()) {
+    case Type::Kind::Int:
+      OS << I.intValue().toString();
+      return;
+    case Type::Kind::Time:
+      OS << I.timeValue().toString();
+      return;
+    case Type::Kind::Logic:
+      OS << "\"" << I.logicValue().toString() << "\"";
+      return;
+    case Type::Kind::Enum:
+      OS << I.enumValue();
+      return;
+    default:
+      assert(false && "unprintable constant type");
+    }
+  }
+
+  std::string nameOfBlock(const BasicBlock *BB) { return Namer.nameOf(BB); }
+
+  std::string ref(const Value *V) {
+    assert(V && "null operand");
+    return "%" + Namer.nameOf(V);
+  }
+
+  std::ostringstream &OS;
+  ValueNamer Namer;
+};
+
+} // namespace
+
+std::string llhd::printUnit(const Unit &U) {
+  std::ostringstream OS;
+  UnitPrinter(OS).print(U);
+  return OS.str();
+}
+
+std::string llhd::printModule(const Module &M) {
+  // Canonical order: declarations first, then definitions, each in module
+  // order. Together with the parser's definition-order normalisation this
+  // makes print(parse(T)) a fixpoint.
+  std::ostringstream OS;
+  bool First = true;
+  auto emit = [&](const Unit &U) {
+    if (!First)
+      OS << "\n";
+    First = false;
+    OS << printUnit(U);
+  };
+  for (const auto &U : M.units())
+    if (U->isDeclaration())
+      emit(*U);
+  for (const auto &U : M.units())
+    if (!U->isDeclaration())
+      emit(*U);
+  return OS.str();
+}
+
+std::string llhd::printInst(const Instruction &I) {
+  std::ostringstream OS;
+  UnitPrinter P(OS);
+  P.printInst(I);
+  return OS.str();
+}

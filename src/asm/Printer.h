@@ -1,0 +1,30 @@
+//===- asm/Printer.h - Assembly printing ------------------------*- C++ -*-===//
+//
+// Renders modules and units in the human-readable LLHD assembly format
+// used throughout the paper (Figures 2 and 5). Round-trips with the
+// parser in asm/Parser.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ASM_PRINTER_H
+#define LLHD_ASM_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace llhd {
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+/// Renders a single unit.
+std::string printUnit(const Unit &U);
+
+/// Renders a single instruction (with a fresh value namer; mainly for
+/// diagnostics and tests).
+std::string printInst(const Instruction &I);
+
+} // namespace llhd
+
+#endif // LLHD_ASM_PRINTER_H

@@ -1,0 +1,397 @@
+//===- bitcode/Bitcode.cpp - Binary on-disk representation ----------------------===//
+
+#include "bitcode/Bitcode.h"
+
+#include <map>
+
+using namespace llhd;
+
+namespace {
+
+constexpr uint32_t Magic = 0x4448'4c4c; // "LLHD".
+constexpr uint32_t Version = 1;
+
+//===----------------------------------------------------------------------===//
+// Primitive encoding
+//===----------------------------------------------------------------------===//
+
+void putVar(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+void putStr(std::vector<uint8_t> &Out, const std::string &S) {
+  putVar(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+struct Reader {
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  uint64_t var() {
+    uint64_t V = 0;
+    unsigned Shift = 0;
+    while (Pos < In.size()) {
+      uint8_t B = In[Pos++];
+      V |= uint64_t(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+      Shift += 7;
+      if (Shift > 63)
+        break;
+    }
+    Failed = true;
+    return 0;
+  }
+
+  std::string str() {
+    uint64_t N = var();
+    if (Pos + N > In.size()) {
+      Failed = true;
+      return "";
+    }
+    std::string S(In.begin() + Pos, In.begin() + Pos + N);
+    Pos += N;
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+void putType(std::vector<uint8_t> &Out, Type *T) {
+  putVar(Out, static_cast<uint64_t>(T->kind()));
+  switch (T->kind()) {
+  case Type::Kind::Int:
+    putVar(Out, cast<IntType>(T)->width());
+    break;
+  case Type::Kind::Enum:
+    putVar(Out, cast<EnumType>(T)->numValues());
+    break;
+  case Type::Kind::Logic:
+    putVar(Out, cast<LogicType>(T)->width());
+    break;
+  case Type::Kind::Pointer:
+    putType(Out, cast<PointerType>(T)->pointee());
+    break;
+  case Type::Kind::Signal:
+    putType(Out, cast<SignalType>(T)->inner());
+    break;
+  case Type::Kind::Array: {
+    auto *AT = cast<ArrayType>(T);
+    putVar(Out, AT->length());
+    putType(Out, AT->element());
+    break;
+  }
+  case Type::Kind::Struct: {
+    auto *ST = cast<StructType>(T);
+    putVar(Out, ST->numFields());
+    for (Type *F : ST->fields())
+      putType(Out, F);
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+Type *getType(Reader &R, Context &Ctx) {
+  auto K = static_cast<Type::Kind>(R.var());
+  switch (K) {
+  case Type::Kind::Void:    return Ctx.voidType();
+  case Type::Kind::Time:    return Ctx.timeType();
+  case Type::Kind::Int:     return Ctx.intType(R.var());
+  case Type::Kind::Enum:    return Ctx.enumType(R.var());
+  case Type::Kind::Logic:   return Ctx.logicType(R.var());
+  case Type::Kind::Pointer: return Ctx.pointerType(getType(R, Ctx));
+  case Type::Kind::Signal:  return Ctx.signalType(getType(R, Ctx));
+  case Type::Kind::Array: {
+    unsigned N = R.var();
+    return Ctx.arrayType(N, getType(R, Ctx));
+  }
+  case Type::Kind::Struct: {
+    unsigned N = R.var();
+    std::vector<Type *> Fs;
+    for (unsigned I = 0; I != N && !R.Failed; ++I)
+      Fs.push_back(getType(R, Ctx));
+    return Ctx.structType(std::move(Fs));
+  }
+  }
+  R.Failed = true;
+  return Ctx.voidType();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> llhd::writeBitcode(const Module &M) {
+  std::vector<uint8_t> Out;
+  putVar(Out, Magic);
+  putVar(Out, Version);
+
+  // Unit name table (for callee references).
+  std::map<const Unit *, uint32_t> UnitIdx;
+  putVar(Out, M.units().size());
+  for (const auto &U : M.units()) {
+    UnitIdx[U.get()] = UnitIdx.size();
+    putStr(Out, U->name());
+  }
+
+  // Header section: kinds and signatures of every unit, so that callee
+  // references in the body section resolve in one pass.
+  for (const auto &UP : M.units()) {
+    const Unit &U = *UP;
+    putVar(Out, static_cast<uint64_t>(U.kind()));
+    putVar(Out, U.isDeclaration());
+    putVar(Out, U.inputs().size());
+    for (const Argument *A : U.inputs()) {
+      putType(Out, A->type());
+      putStr(Out, A->name());
+    }
+    putVar(Out, U.outputs().size());
+    for (const Argument *A : U.outputs()) {
+      putType(Out, A->type());
+      putStr(Out, A->name());
+    }
+    putType(Out, U.returnType());
+  }
+
+  // Body section.
+  for (const auto &UP : M.units()) {
+    const Unit &U = *UP;
+    if (U.isDeclaration())
+      continue;
+
+    // Value numbering: arguments, then instruction results in order.
+    std::map<const Value *, uint32_t> ValIdx;
+    for (const Argument *A : U.inputs())
+      ValIdx[A] = ValIdx.size();
+    for (const Argument *A : U.outputs())
+      ValIdx[A] = ValIdx.size();
+    std::map<const BasicBlock *, uint32_t> BlockIdx;
+    for (const BasicBlock *BB : U.blocks()) {
+      BlockIdx[BB] = BlockIdx.size();
+      for (const Instruction *I : BB->insts())
+        ValIdx[I] = ValIdx.size();
+    }
+
+    putVar(Out, U.blocks().size());
+    for (const BasicBlock *BB : U.blocks()) {
+      putStr(Out, BB->name());
+      putVar(Out, BB->size());
+      for (const Instruction *I : BB->insts()) {
+        putVar(Out, static_cast<uint64_t>(I->opcode()));
+        putType(Out, I->type());
+        putStr(Out, I->name());
+        putVar(Out, I->immediate());
+        putVar(Out, I->numInputs());
+        putVar(Out, I->callee() ? UnitIdx[I->callee()] + 1 : 0);
+        putVar(Out, I->numOperands());
+        for (unsigned J = 0; J != I->numOperands(); ++J) {
+          const Value *Op = I->operand(J);
+          if (const auto *BB2 = dyn_cast<BasicBlock>(Op)) {
+            Out.push_back(1);
+            putVar(Out, BlockIdx[BB2]);
+          } else {
+            Out.push_back(0);
+            putVar(Out, ValIdx[Op]);
+          }
+        }
+        // Constant payload.
+        if (I->opcode() == Opcode::Const) {
+          if (I->type()->isInt()) {
+            putVar(Out, I->intValue().numWords());
+            for (unsigned W = 0; W != I->intValue().numWords(); ++W)
+              putVar(Out, I->intValue().word(W));
+          } else if (I->type()->isTime()) {
+            putVar(Out, I->timeValue().Fs);
+            putVar(Out, I->timeValue().Delta);
+            putVar(Out, I->timeValue().Eps);
+          } else if (I->type()->isLogic()) {
+            putStr(Out, I->logicValue().toString());
+          } else if (I->type()->isEnum()) {
+            putVar(Out, I->enumValue());
+          }
+        }
+        // Reg triggers.
+        if (I->opcode() == Opcode::Reg) {
+          putVar(Out, I->regTriggers().size());
+          for (const RegTrigger &T : I->regTriggers()) {
+            putVar(Out, static_cast<uint64_t>(T.Mode));
+            putVar(Out, T.ValueIdx);
+            putVar(Out, T.TriggerIdx);
+            putVar(Out, T.DelayIdx + 1);
+            putVar(Out, T.CondIdx + 1);
+          }
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+bool llhd::readBitcode(const std::vector<uint8_t> &Bytes, Module &M,
+                       std::string &Error) {
+  Reader R{Bytes};
+  Context &Ctx = M.context();
+  if (R.var() != Magic || R.var() != Version) {
+    Error = "bad magic or version";
+    return false;
+  }
+  uint64_t NumUnits = R.var();
+  std::vector<std::string> Names;
+  for (uint64_t I = 0; I != NumUnits && !R.Failed; ++I)
+    Names.push_back(R.str());
+  if (R.Failed) {
+    Error = "truncated unit table";
+    return false;
+  }
+
+  // Header pass: create every unit with its signature.
+  std::vector<Unit *> Units;
+  for (uint64_t UI = 0; UI != NumUnits && !R.Failed; ++UI) {
+    auto K = static_cast<Unit::Kind>(R.var());
+    bool Declaration = R.var();
+    Unit *U = Declaration
+                  ? M.declareUnit(K, Names[UI])
+                  : (K == Unit::Kind::Function ? M.createFunction(Names[UI])
+                     : K == Unit::Kind::Process
+                         ? M.createProcess(Names[UI])
+                         : M.createEntity(Names[UI]));
+    Units.push_back(U);
+    uint64_t NIn = R.var();
+    for (uint64_t I = 0; I != NIn && !R.Failed; ++I) {
+      Type *T = getType(R, Ctx);
+      U->addInput(T, R.str());
+    }
+    uint64_t NOut = R.var();
+    for (uint64_t I = 0; I != NOut && !R.Failed; ++I) {
+      Type *T = getType(R, Ctx);
+      U->addOutput(T, R.str());
+    }
+    U->setReturnType(getType(R, Ctx));
+  }
+  if (R.Failed) {
+    Error = "truncated unit headers";
+    return false;
+  }
+
+  // Body pass.
+  for (uint64_t UI = 0; UI != NumUnits && !R.Failed; ++UI) {
+    Unit *U = Units[UI];
+    if (U->isDeclaration())
+      continue;
+
+    std::vector<Value *> ValTab;
+    for (Argument *A : U->inputs())
+      ValTab.push_back(A);
+    for (Argument *A : U->outputs())
+      ValTab.push_back(A);
+
+    uint64_t NumBlocks = R.var();
+    std::vector<BasicBlock *> Blocks;
+    struct PendingOp {
+      Instruction *I;
+      unsigned OpIdx;
+      bool IsBlock;
+      uint64_t Idx;
+    };
+    std::vector<PendingOp> Pending;
+    for (uint64_t BI = 0; BI != NumBlocks && !R.Failed; ++BI) {
+      BasicBlock *BB = U->createBlock(R.str());
+      Blocks.push_back(BB);
+      uint64_t NumInsts = R.var();
+      for (uint64_t II = 0; II != NumInsts && !R.Failed; ++II) {
+        auto Op = static_cast<Opcode>(R.var());
+        Type *Ty = getType(R, Ctx);
+        std::string Name = R.str();
+        auto *I = new Instruction(Op, Ty, Name);
+        I->setImmediate(R.var());
+        I->setNumInputs(R.var());
+        uint64_t CalleeIdx = R.var();
+        if (CalleeIdx)
+          I->setCallee(Units.size() >= CalleeIdx ? Units[CalleeIdx - 1]
+                                                 : nullptr);
+        uint64_t NumOps = R.var();
+        for (uint64_t OI = 0; OI != NumOps && !R.Failed; ++OI) {
+          if (R.Pos >= Bytes.size()) {
+            R.Failed = true;
+            break;
+          }
+          bool IsBlock = Bytes[R.Pos++] == 1;
+          uint64_t Idx = R.var();
+          // Operands may reference later instructions (phis) or blocks:
+          // append a placeholder and patch afterwards.
+          I->appendOperand(nullptr);
+          Pending.push_back({I, static_cast<unsigned>(OI), IsBlock, Idx});
+        }
+        if (Op == Opcode::Const) {
+          if (Ty->isInt()) {
+            uint64_t NW = R.var();
+            std::vector<uint64_t> Ws;
+            for (uint64_t W = 0; W != NW && !R.Failed; ++W)
+              Ws.push_back(R.var());
+            I->setIntValue(IntValue(cast<IntType>(Ty)->width(), Ws));
+          } else if (Ty->isTime()) {
+            Time T;
+            T.Fs = R.var();
+            T.Delta = R.var();
+            T.Eps = R.var();
+            I->setTimeValue(T);
+          } else if (Ty->isLogic()) {
+            I->setLogicValue(LogicVec::fromString(R.str()));
+          } else if (Ty->isEnum()) {
+            I->setEnumValue(R.var());
+          }
+        }
+        if (Op == Opcode::Reg) {
+          uint64_t NT = R.var();
+          for (uint64_t T = 0; T != NT && !R.Failed; ++T) {
+            RegTrigger Trig;
+            Trig.Mode = static_cast<RegMode>(R.var());
+            Trig.ValueIdx = R.var();
+            Trig.TriggerIdx = R.var();
+            Trig.DelayIdx = static_cast<int>(R.var()) - 1;
+            Trig.CondIdx = static_cast<int>(R.var()) - 1;
+            I->regTriggers().push_back(Trig);
+          }
+        }
+        BB->append(I);
+        ValTab.push_back(I);
+      }
+    }
+    for (const PendingOp &P : Pending) {
+      if (P.IsBlock) {
+        if (P.Idx >= Blocks.size()) {
+          Error = "bad block reference";
+          return false;
+        }
+        P.I->setOperand(P.OpIdx, Blocks[P.Idx]);
+      } else {
+        if (P.Idx >= ValTab.size()) {
+          Error = "bad value reference";
+          return false;
+        }
+        P.I->setOperand(P.OpIdx, ValTab[P.Idx]);
+      }
+    }
+  }
+  if (R.Failed) {
+    Error = "truncated bitcode";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,614 @@
+//===- designs/Designs.cpp - Table 2 evaluation designs ------------------------===//
+
+#include "designs/Designs.h"
+
+#include <algorithm>
+
+using namespace llhd;
+using namespace llhd::designs;
+
+namespace {
+
+// Shared testbench idiom: drive inputs, pulse the clock, check. Each
+// design asserts its own correctness every cycle, which is how trace
+// equivalence failures and semantic bugs surface as assertion counts.
+
+const char *GRAY = R"(
+module gray_enc (input [31:0] b, output [31:0] g);
+  assign g = b ^ (b >> 1);
+endmodule
+
+module gray_dec (input [31:0] g, output bit [31:0] b);
+  always_comb begin
+    bit [31:0] acc;
+    acc = g;
+    acc = acc ^ (acc >> 16);
+    acc = acc ^ (acc >> 8);
+    acc = acc ^ (acc >> 4);
+    acc = acc ^ (acc >> 2);
+    acc = acc ^ (acc >> 1);
+    b = acc;
+  end
+endmodule
+
+module gray_tb;
+  bit [31:0] b_in, g, b_out;
+  gray_enc enc (.b(b_in), .g(g));
+  gray_dec dec (.g(g), .b(b_out));
+  initial begin
+    bit [31:0] i;
+    bit [31:0] prev_g;
+    i = 0;
+    prev_g = 0;
+    repeat (%ITERS%) begin
+      b_in = i;
+      #1ns;
+      assert(b_out == i);
+      if (i != 0) begin
+        assert((g ^ prev_g) != 0);
+      end
+      prev_g = g;
+      i = i + 1;
+      #1ns;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *FIR = R"(
+module fir (input clk, input [15:0] x, output [31:0] y);
+  bit [15:0] d0, d1, d2, d3;
+  always_ff @(posedge clk) begin
+    d3 <= d2;
+    d2 <= d1;
+    d1 <= d0;
+    d0 <= x;
+  end
+  assign y = d0 * 1 + d1 * 2 + d2 * 3 + d3 * 4;
+endmodule
+
+module fir_tb;
+  bit clk;
+  bit [15:0] x;
+  bit [31:0] y;
+  fir dut (.clk(clk), .x(x), .y(y));
+  initial begin
+    bit [15:0] h0, h1, h2, h3;
+    bit [31:0] i, exp;
+    i = 0;
+    h0 = 0; h1 = 0; h2 = 0; h3 = 0;
+    repeat (%ITERS%) begin
+      x = i[15:0] ^ 16'h3c5a;
+      #1ns; clk = 1;
+      #1ns; clk = 0;
+      h3 = h2; h2 = h1; h1 = h0; h0 = i[15:0] ^ 16'h3c5a;
+      exp = h0 * 1 + h1 * 2 + h2 * 3 + h3 * 4;
+      #1ns;
+      assert(y == exp);
+      i = i + 1;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *LFSR = R"(
+module lfsr (input clk, input rst, output [15:0] s);
+  always_ff @(posedge clk) begin
+    if (rst) s <= 16'hace1;
+    else     s <= {s[14:0], s[15] ^ s[14] ^ s[12] ^ s[3]};
+  end
+endmodule
+
+module lfsr_tb;
+  bit clk, rst;
+  bit [15:0] s;
+  lfsr dut (.clk(clk), .rst(rst), .s(s));
+  initial begin
+    bit [15:0] m;
+    rst = 1;
+    #1ns; clk = 1; #1ns; clk = 0;
+    rst = 0;
+    m = 16'hace1;
+    repeat (%ITERS%) begin
+      #1ns; clk = 1;
+      #1ns; clk = 0;
+      m = {m[14:0], m[15] ^ m[14] ^ m[12] ^ m[3]};
+      assert(s == m);
+      assert(s != 16'h0000);
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *LZC = R"(
+module lzc (input [15:0] d, output bit [4:0] n);
+  always_comb begin
+    bit done;
+    n = 5'd16;
+    done = 0;
+    for (int i = 0; i < 16; i++) begin
+      if (!done && d[15 - i]) begin
+        n = i[4:0];
+        done = 1;
+      end
+    end
+  end
+endmodule
+
+module lzc_tb;
+  bit [15:0] d;
+  bit [4:0] n;
+  lzc dut (.d(d), .n(n));
+  function bit [4:0] ref_lzc(bit [15:0] v);
+    bit [4:0] r;
+    bit done;
+    r = 5'd16;
+    done = 0;
+    for (int i = 0; i < 16; i++) begin
+      if (!done && v[15 - i]) begin
+        r = i[4:0];
+        done = 1;
+      end
+    end
+    ref_lzc = r;
+  endfunction
+  initial begin
+    bit [15:0] v;
+    v = 16'h0001;
+    repeat (%ITERS%) begin
+      d = v;
+      #1ns;
+      assert(n == ref_lzc(v));
+      v = v * 16'd29 + 16'd17;
+      #1ns;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *FIFO = R"(
+module fifo (input clk, input rst, input push, input [15:0] din,
+             input pop, output [15:0] dout, output full, output empty);
+  bit [15:0] mem [0:7];
+  bit [3:0] wptr, rptr;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      wptr <= 4'd0;
+      rptr <= 4'd0;
+    end else begin
+      if (push && !full) begin
+        mem[wptr[2:0]] <= din;
+        wptr <= wptr + 4'd1;
+      end
+      if (pop && !empty) rptr <= rptr + 4'd1;
+    end
+  end
+  assign empty = wptr == rptr;
+  assign full = (wptr[2:0] == rptr[2:0]) && (wptr[3] != rptr[3]);
+  assign dout = mem[rptr[2:0]];
+endmodule
+
+module fifo_tb;
+  bit clk, rst, push, pop, full, empty;
+  bit [15:0] din, dout;
+  fifo dut (.*);
+  initial begin
+    bit [31:0] wr_seq, rd_seq, i;
+    rst = 1;
+    #1ns; clk = 1; #1ns; clk = 0;
+    rst = 0;
+    wr_seq = 0; rd_seq = 0; i = 0;
+    repeat (%ITERS%) begin
+      // Push on 2 of 3 cycles, pop on 1 of 2: exercises full and empty.
+      push = (i % 3) != 2;
+      pop = (i % 2) == 1;
+      din = wr_seq[15:0];
+      #1ns;
+      if (push && !full) wr_seq = wr_seq + 1;
+      if (pop && !empty) begin
+        assert(dout == rd_seq[15:0]);
+        rd_seq = rd_seq + 1;
+      end
+      clk = 1;
+      #1ns; clk = 0;
+      assert(rd_seq <= wr_seq);
+      i = i + 1;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *CDC_GRAY = R"(
+module cdc_gray (input clk_src, input clk_dst, input rst,
+                 output [31:0] count_dst);
+  bit [31:0] count_src, gray_src, sync0, sync1;
+  bit [31:0] dec;
+  always_ff @(posedge clk_src) begin
+    if (rst) count_src <= 32'd0;
+    else     count_src <= count_src + 32'd1;
+  end
+  assign gray_src = count_src ^ (count_src >> 1);
+  always_ff @(posedge clk_dst) begin
+    sync0 <= gray_src;
+    sync1 <= sync0;
+  end
+  always_comb begin
+    bit [31:0] acc;
+    acc = sync1;
+    acc = acc ^ (acc >> 16);
+    acc = acc ^ (acc >> 8);
+    acc = acc ^ (acc >> 4);
+    acc = acc ^ (acc >> 2);
+    acc = acc ^ (acc >> 1);
+    dec = acc;
+  end
+  assign count_dst = dec;
+endmodule
+
+module cdc_gray_tb;
+  bit clk_src, clk_dst, rst;
+  bit [31:0] count_dst;
+  cdc_gray dut (.*);
+  initial begin
+    bit [31:0] i, prev;
+    rst = 1;
+    #1ns; clk_src = 1; #1ns; clk_src = 0;
+    rst = 0;
+    i = 0; prev = 0;
+    repeat (%ITERS%) begin
+      // Source clock twice as fast as the destination clock.
+      #1ns; clk_src = 1;
+      #1ns; clk_src = 0;
+      if ((i % 2) == 1) begin
+        #1ns; clk_dst = 1;
+        #1ns; clk_dst = 0;
+        // The synchronised count is monotone and never ahead of the
+        // source domain.
+        assert(count_dst >= prev);
+        assert(count_dst <= i + 2);
+        prev = count_dst;
+      end
+      i = i + 1;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *CDC_STROBE = R"(
+module cdc_strobe (input clk_src, input clk_dst, input rst,
+                   input send, input [15:0] data_in,
+                   output bit [15:0] data_out, output bit valid,
+                   output ready);
+  bit req, ack;
+  bit [15:0] data_reg;
+  bit rs0, rs1, rs2;
+  bit as0, as1;
+  assign ready = (req == as1);
+  always_ff @(posedge clk_src) begin
+    if (rst) req <= 1'b0;
+    else if (send && ready) begin
+      data_reg <= data_in;
+      req <= ~req;
+    end
+  end
+  always_ff @(posedge clk_src) begin
+    as0 <= ack;
+    as1 <= as0;
+  end
+  always_ff @(posedge clk_dst) begin
+    rs0 <= req;
+    rs1 <= rs0;
+    rs2 <= rs1;
+    valid <= rs1 != rs2;
+    if (rs1 != rs2) begin
+      data_out <= data_reg;
+      ack <= ~ack;
+    end
+  end
+endmodule
+
+module cdc_strobe_tb;
+  bit clk_src, clk_dst, rst, send, valid, ready;
+  bit [15:0] data_in, data_out;
+  cdc_strobe dut (.*);
+  initial begin
+    bit [31:0] sent, got, i;
+    rst = 1;
+    #1ns; clk_src = 1; #1ns; clk_src = 0;
+    #1ns; clk_dst = 1; #1ns; clk_dst = 0;
+    rst = 0;
+    sent = 0; got = 0; i = 0;
+    repeat (%ITERS%) begin
+      send = ready;
+      data_in = sent[15:0];
+      #1ns;
+      if (send && ready) sent = sent + 1;
+      clk_src = 1;
+      #1ns; clk_src = 0;
+      #1ns; clk_dst = 1;
+      #1ns;
+      if (valid) begin
+        assert(data_out == got[15:0]);
+        got = got + 1;
+      end
+      clk_dst = 0;
+      assert(got <= sent);
+      i = i + 1;
+    end
+    assert(got > 0);
+    $finish;
+  end
+endmodule
+)";
+
+const char *RR_ARBITER = R"(
+module rr_arbiter (input clk, input rst, input [3:0] req,
+                   output bit [3:0] gnt);
+  bit [1:0] last;
+  always_comb begin
+    bit [1:0] idx;
+    bit found;
+    gnt = 4'b0000;
+    found = 0;
+    for (int k = 1; k <= 4; k++) begin
+      idx = last + k[1:0];
+      if (!found && req[idx]) begin
+        gnt = 4'b0001 << idx;
+        found = 1;
+      end
+    end
+  end
+  always_ff @(posedge clk) begin
+    if (rst) last <= 2'd3;
+    else if (gnt != 4'b0000) begin
+      if (gnt[0]) last <= 2'd0;
+      if (gnt[1]) last <= 2'd1;
+      if (gnt[2]) last <= 2'd2;
+      if (gnt[3]) last <= 2'd3;
+    end
+  end
+endmodule
+
+module rr_arbiter_tb;
+  bit clk, rst;
+  bit [3:0] req, gnt;
+  rr_arbiter dut (.*);
+  initial begin
+    bit [15:0] pat;
+    bit [31:0] i;
+    rst = 1;
+    #1ns; clk = 1; #1ns; clk = 0;
+    rst = 0;
+    pat = 16'h9b3d;
+    i = 0;
+    repeat (%ITERS%) begin
+      req = pat[3:0];
+      #1ns;
+      // Grant is one-hot, granted line was requested, work conserving.
+      assert((gnt & (gnt - 4'd1)) == 4'd0);
+      assert((gnt & ~req) == 4'd0);
+      if (req != 4'd0) assert(gnt != 4'd0);
+      clk = 1;
+      #1ns; clk = 0;
+      pat = {pat[14:0], pat[15] ^ pat[13] ^ pat[12] ^ pat[10]};
+      i = i + 1;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *STREAM_DELAYER = R"(
+module stream_delayer (input clk, input rst, input vin,
+                       input [15:0] din, output vout,
+                       output [15:0] dout);
+  bit [15:0] d0, d1, d2, d3;
+  bit v0, v1, v2, v3;
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      v0 <= 1'b0; v1 <= 1'b0; v2 <= 1'b0; v3 <= 1'b0;
+    end else begin
+      v0 <= vin; v1 <= v0; v2 <= v1; v3 <= v2;
+      d0 <= din; d1 <= d0; d2 <= d1; d3 <= d2;
+    end
+  end
+  assign vout = v3;
+  assign dout = d3;
+endmodule
+
+module stream_delayer_tb;
+  bit clk, rst, vin, vout;
+  bit [15:0] din, dout;
+  stream_delayer dut (.*);
+  initial begin
+    bit [15:0] hist_d [0:3];
+    bit hist_v [0:3];
+    bit [31:0] i;
+    rst = 1;
+    #1ns; clk = 1; #1ns; clk = 0;
+    rst = 0;
+    i = 0;
+    repeat (%ITERS%) begin
+      vin = (i % 3) != 0;
+      din = (i * 31 + 7) % 65536;
+      #1ns; clk = 1; #1ns; clk = 0;
+      if (i >= 4) begin
+        assert(vout == hist_v[2]);
+        if (vout) assert(dout == hist_d[2]);
+      end
+      hist_v[3] = hist_v[2]; hist_d[3] = hist_d[2];
+      hist_v[2] = hist_v[1]; hist_d[2] = hist_d[1];
+      hist_v[1] = hist_v[0]; hist_d[1] = hist_d[0];
+      hist_v[0] = vin; hist_d[0] = din;
+      i = i + 1;
+    end
+    $finish;
+  end
+endmodule
+)";
+
+const char *RISCV = R"(
+module riscv_core (input clk, input rst, output [31:0] result);
+  bit [31:0] pc;
+  bit [31:0] regs [0:31];
+  bit [31:0] instr, rv1, rv2, imm_i, imm_b, alu, pc_next;
+  bit [6:0] opcode;
+  bit [4:0] rd, rs1, rs2;
+  bit [2:0] f3;
+  bit sub_bit, take_branch, reg_write;
+
+  // Instruction ROM: sum = 1 + 2 + ... + 100 into x10, then spin.
+  always_comb begin
+    case (pc[7:2])
+      6'd0: instr = 32'h00000093;    // addi x1, x0, 0      (sum)
+      6'd1: instr = 32'h00100113;    // addi x2, x0, 1      (i)
+      6'd2: instr = 32'h06500193;    // addi x3, x0, 101    (limit)
+      6'd3: instr = 32'h002080b3;    // add  x1, x1, x2
+      6'd4: instr = 32'h00110113;    // addi x2, x2, 1
+      6'd5: instr = 32'hfe311ce3;    // bne  x2, x3, -8
+      6'd6: instr = 32'h00008533;    // add  x10, x1, x0
+      default: instr = 32'h0000006f; // jal  x0, 0          (spin)
+    endcase
+  end
+
+  always_comb begin
+    opcode = instr[6:0];
+    rd = instr[11:7];
+    f3 = instr[14:12];
+    rs1 = instr[19:15];
+    rs2 = instr[24:20];
+    sub_bit = instr[30];
+    imm_i = {{20{instr[31]}}, instr[31:20]};
+    imm_b = {{19{instr[31]}}, instr[31], instr[7], instr[30:25],
+             instr[11:8], 1'b0};
+    rv1 = regs[rs1];
+    rv2 = regs[rs2];
+
+    alu = 32'd0;
+    reg_write = 0;
+    take_branch = 0;
+    if (opcode == 7'h13) begin            // ALU immediate
+      if (f3 == 3'h0) alu = rv1 + imm_i;  // addi
+      if (f3 == 3'h4) alu = rv1 ^ imm_i;  // xori
+      if (f3 == 3'h6) alu = rv1 | imm_i;  // ori
+      if (f3 == 3'h7) alu = rv1 & imm_i;  // andi
+      reg_write = 1;
+    end
+    if (opcode == 7'h33) begin            // ALU register
+      if (f3 == 3'h0) begin
+        if (sub_bit) alu = rv1 - rv2;     // sub
+        else         alu = rv1 + rv2;     // add
+      end
+      if (f3 == 3'h4) alu = rv1 ^ rv2;    // xor
+      if (f3 == 3'h6) alu = rv1 | rv2;    // or
+      if (f3 == 3'h7) alu = rv1 & rv2;    // and
+      reg_write = 1;
+    end
+    if (opcode == 7'h63) begin            // branches
+      if (f3 == 3'h0) take_branch = rv1 == rv2; // beq
+      if (f3 == 3'h1) take_branch = rv1 != rv2; // bne
+    end
+
+    pc_next = pc + 32'd4;
+    if (take_branch) pc_next = pc + imm_b;
+    if (opcode == 7'h6f) pc_next = pc;    // jal x0, 0: spin
+  end
+
+  always_ff @(posedge clk) begin
+    if (rst) pc <= 32'd0;
+    else begin
+      pc <= pc_next;
+      if (reg_write && rd != 5'd0) regs[rd] <= alu;
+    end
+  end
+
+  assign result = regs[10];
+endmodule
+
+module riscv_tb;
+  bit clk, rst;
+  bit [31:0] result;
+  riscv_core dut (.*);
+  initial begin
+    bit [31:0] i;
+    rst = 1;
+    #1ns; clk = 1; #1ns; clk = 0;
+    rst = 0;
+    i = 0;
+    repeat (%ITERS%) begin
+      #1ns; clk = 1;
+      #1ns; clk = 0;
+      // Once the program finishes (~310 cycles), x10 holds 5050 forever.
+      if (i > 32'd320) assert(result == 32'd5050);
+      if (i <= 32'd300) assert(result == 32'd0);
+      i = i + 1;
+    end
+    assert(result == 32'd5050);
+    $finish;
+  end
+endmodule
+)";
+
+struct RawDesign {
+  const char *Key;
+  const char *PaperName;
+  const char *TopModule;
+  const char *Source;
+  uint64_t CyclesPaper;
+};
+
+const RawDesign Raw[] = {
+    {"gray", "Gray Enc./Dec.", "gray_tb", GRAY, 12600000},
+    {"fir", "FIR Filter", "fir_tb", FIR, 5000000},
+    {"lfsr", "LFSR", "lfsr_tb", LFSR, 10000000},
+    {"lzc", "Leading Zero C.", "lzc_tb", LZC, 1000000},
+    {"fifo", "FIFO Queue", "fifo_tb", FIFO, 1000000},
+    {"cdc_gray", "CDC (Gray)", "cdc_gray_tb", CDC_GRAY, 1000000},
+    {"cdc_strobe", "CDC (strobe)", "cdc_strobe_tb", CDC_STROBE, 3500000},
+    {"rr_arbiter", "RR Arbiter", "rr_arbiter_tb", RR_ARBITER, 5000000},
+    {"stream_delayer", "Stream Delayer", "stream_delayer_tb",
+     STREAM_DELAYER, 2500000},
+    {"riscv", "RISC-V Core", "riscv_tb", RISCV, 1000000},
+};
+
+DesignInfo instantiate(const RawDesign &R, double Scale) {
+  DesignInfo D;
+  D.Key = R.Key;
+  D.PaperName = R.PaperName;
+  D.TopModule = R.TopModule;
+  D.CyclesPaper = R.CyclesPaper;
+  D.Iterations = std::max<uint64_t>(
+      400, static_cast<uint64_t>(R.CyclesPaper * Scale));
+  std::string Src = R.Source;
+  std::string Needle = "%ITERS%";
+  size_t Pos = Src.find(Needle);
+  while (Pos != std::string::npos) {
+    Src.replace(Pos, Needle.size(), std::to_string(D.Iterations));
+    Pos = Src.find(Needle, Pos);
+  }
+  D.Source = std::move(Src);
+  return D;
+}
+
+} // namespace
+
+std::vector<DesignInfo> llhd::designs::allDesigns(double Scale) {
+  std::vector<DesignInfo> Out;
+  for (const RawDesign &R : Raw)
+    Out.push_back(instantiate(R, Scale));
+  return Out;
+}
+
+DesignInfo llhd::designs::designByKey(const std::string &Key,
+                                      double Scale) {
+  for (const RawDesign &R : Raw)
+    if (Key == R.Key)
+      return instantiate(R, Scale);
+  return DesignInfo();
+}

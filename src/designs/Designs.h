@@ -1,0 +1,42 @@
+//===- designs/Designs.h - Table 2 evaluation designs -----------*- C++ -*-===//
+//
+// The ten evaluation designs of the paper's Table 2, re-implemented in
+// the supported SystemVerilog subset with self-checking testbenches
+// (each asserts its own correctness every cycle): Gray encoder/decoder,
+// FIR filter, LFSR, leading-zero counter, FIFO queue, two clock-domain
+// crossings, round-robin arbiter, stream delayer, and an RV32I-subset
+// RISC-V core.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_DESIGNS_DESIGNS_H
+#define LLHD_DESIGNS_DESIGNS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+namespace designs {
+
+struct DesignInfo {
+  std::string Key;       ///< Short identifier, e.g. "gray".
+  std::string PaperName; ///< Table 2 row label.
+  std::string TopModule; ///< Testbench top.
+  std::string Source;    ///< SystemVerilog source (ITERS substituted).
+  uint64_t Iterations;   ///< Testbench main-loop count.
+  uint64_t CyclesPaper;  ///< Cycle count reported in Table 2.
+};
+
+/// All ten designs, with testbench iteration counts scaled by
+/// \p Scale (1.0 = the paper's cycle counts; the benches default to a
+/// laptop-friendly fraction).
+std::vector<DesignInfo> allDesigns(double Scale);
+
+/// One design by key (same scaling rules); empty Key if unknown.
+DesignInfo designByKey(const std::string &Key, double Scale);
+
+} // namespace designs
+} // namespace llhd
+
+#endif // LLHD_DESIGNS_DESIGNS_H

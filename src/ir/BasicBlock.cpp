@@ -1,0 +1,86 @@
+//===- ir/BasicBlock.cpp - Control flow blocks -----------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Unit.h"
+
+#include <algorithm>
+
+using namespace llhd;
+
+BasicBlock::~BasicBlock() {
+  // First sever all def-use edges among the contained instructions so that
+  // deletion order does not matter, then delete.
+  for (Instruction *I : Insts)
+    I->dropAllOperands();
+  for (Instruction *I : Insts) {
+    I->replaceAllUsesWith(nullptr);
+    delete I;
+  }
+}
+
+void BasicBlock::append(Instruction *I) {
+  assert(!I->parent() && "instruction already has a parent");
+  I->Parent = this;
+  Insts.push_back(I);
+}
+
+void BasicBlock::insertBefore(Instruction *I, Instruction *Before) {
+  insertAt(indexOf(Before), I);
+}
+
+void BasicBlock::insertAt(unsigned Idx, Instruction *I) {
+  assert(!I->parent() && "instruction already has a parent");
+  assert(Idx <= Insts.size() && "insertion index out of range");
+  I->Parent = this;
+  Insts.insert(Insts.begin() + Idx, I);
+}
+
+void BasicBlock::remove(Instruction *I) {
+  assert(I->parent() == this && "instruction not in this block");
+  auto It = std::find(Insts.begin(), Insts.end(), I);
+  assert(It != Insts.end() && "instruction not found");
+  Insts.erase(It);
+  I->Parent = nullptr;
+}
+
+unsigned BasicBlock::indexOf(const Instruction *I) const {
+  auto It = std::find(Insts.begin(), Insts.end(), I);
+  assert(It != Insts.end() && "instruction not in this block");
+  return It - Insts.begin();
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  Instruction *T = terminator();
+  if (!T)
+    return Succs;
+  switch (T->opcode()) {
+  case Opcode::Br:
+    if (T->numOperands() == 1) {
+      Succs.push_back(cast<BasicBlock>(T->operand(0)));
+    } else {
+      Succs.push_back(T->brDest(0));
+      Succs.push_back(T->brDest(1));
+    }
+    break;
+  case Opcode::Wait:
+    Succs.push_back(T->waitDest());
+    break;
+  default:
+    break; // ret/halt have no successors.
+  }
+  return Succs;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Preds;
+  for (const Use *U : uses()) {
+    auto *I = dyn_cast<Instruction>(U->user());
+    if (!I || !I->isTerminator() || !I->parent())
+      continue;
+    BasicBlock *BB = I->parent();
+    if (std::find(Preds.begin(), Preds.end(), BB) == Preds.end())
+      Preds.push_back(BB);
+  }
+  return Preds;
+}

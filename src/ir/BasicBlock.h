@@ -1,0 +1,72 @@
+//===- ir/BasicBlock.h - Control flow blocks --------------------*- C++ -*-===//
+//
+// Basic blocks for control-flow units. Every block of a function or
+// process ends in exactly one terminator. Entities are modelled as a
+// single terminator-free block (§2.4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_BASICBLOCK_H
+#define LLHD_IR_BASICBLOCK_H
+
+#include "ir/Context.h"
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace llhd {
+
+class Unit;
+
+/// A sequence of instructions with a single entry point.
+class BasicBlock : public Value {
+public:
+  BasicBlock(Context &Ctx, std::string Name)
+      : Value(Kind::BasicBlock, Ctx.voidType(), std::move(Name)) {}
+  ~BasicBlock();
+
+  Unit *parent() const { return Parent; }
+
+  const std::vector<Instruction *> &insts() const { return Insts; }
+  bool empty() const { return Insts.empty(); }
+  unsigned size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front(); }
+  Instruction *back() const { return Insts.back(); }
+
+  /// The terminator, or null if the block has none (entities, or blocks
+  /// under construction).
+  Instruction *terminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back();
+  }
+
+  /// Appends \p I at the end; takes ownership.
+  void append(Instruction *I);
+  /// Inserts \p I before \p Before (which must be in this block).
+  void insertBefore(Instruction *I, Instruction *Before);
+  /// Inserts \p I at position \p Idx.
+  void insertAt(unsigned Idx, Instruction *I);
+  /// Detaches \p I without deleting it.
+  void remove(Instruction *I);
+  /// Index of \p I within this block; asserts if absent.
+  unsigned indexOf(const Instruction *I) const;
+
+  /// Successor blocks implied by the terminator (empty for ret/halt).
+  std::vector<BasicBlock *> successors() const;
+  /// Predecessor blocks, computed by scanning users of this block.
+  std::vector<BasicBlock *> predecessors() const;
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == Kind::BasicBlock;
+  }
+
+private:
+  friend class Unit;
+  Unit *Parent = nullptr;
+  std::vector<Instruction *> Insts;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_BASICBLOCK_H

@@ -1,0 +1,56 @@
+//===- ir/Context.h - Type uniquing context ---------------------*- C++ -*-===//
+//
+// Owns and uniques all Type objects. Every Module is created against a
+// Context; types from different contexts must not be mixed.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_CONTEXT_H
+#define LLHD_IR_CONTEXT_H
+
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace llhd {
+
+/// Uniquing context for LLHD types.
+class Context {
+public:
+  Context();
+  ~Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  VoidType *voidType() { return Void.get(); }
+  TimeType *timeType() { return TimeTy.get(); }
+  IntType *intType(unsigned Width);
+  /// The boolean type i1.
+  IntType *boolType() { return intType(1); }
+  EnumType *enumType(unsigned NumValues);
+  LogicType *logicType(unsigned Width);
+  PointerType *pointerType(Type *Pointee);
+  SignalType *signalType(Type *Inner);
+  ArrayType *arrayType(unsigned Length, Type *Element);
+  StructType *structType(std::vector<Type *> Fields);
+
+  /// Approximate heap footprint of all uniqued types, for Table 4.
+  size_t memoryFootprint() const;
+
+private:
+  std::unique_ptr<VoidType> Void;
+  std::unique_ptr<TimeType> TimeTy;
+  std::map<unsigned, std::unique_ptr<IntType>> IntTypes;
+  std::map<unsigned, std::unique_ptr<EnumType>> EnumTypes;
+  std::map<unsigned, std::unique_ptr<LogicType>> LogicTypes;
+  std::map<Type *, std::unique_ptr<PointerType>> PointerTypes;
+  std::map<Type *, std::unique_ptr<SignalType>> SignalTypes;
+  std::map<std::pair<unsigned, Type *>, std::unique_ptr<ArrayType>> ArrayTypes;
+  std::map<std::vector<Type *>, std::unique_ptr<StructType>> StructTypes;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_CONTEXT_H

@@ -1,0 +1,411 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ----------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace llhd;
+
+Instruction *IRBuilder::insert(Instruction *I) {
+  assert(Block && "no insertion point set");
+  if (Before)
+    Block->insertBefore(I, Before);
+  else
+    Block->append(I);
+  return I;
+}
+
+//===----------------------------------------------------------------------===//
+// Constants and aggregates.
+//===----------------------------------------------------------------------===//
+
+Instruction *IRBuilder::constInt(unsigned Width, uint64_t V,
+                                 const std::string &Name) {
+  return constInt(IntValue(Width, V), Name);
+}
+
+Instruction *IRBuilder::constInt(IntValue V, const std::string &Name) {
+  auto *I = new Instruction(Opcode::Const, Ctx.intType(V.width()), Name);
+  I->setIntValue(std::move(V));
+  return insert(I);
+}
+
+Instruction *IRBuilder::constTime(Time T, const std::string &Name) {
+  auto *I = new Instruction(Opcode::Const, Ctx.timeType(), Name);
+  I->setTimeValue(T);
+  return insert(I);
+}
+
+Instruction *IRBuilder::constLogic(LogicVec V, const std::string &Name) {
+  auto *I = new Instruction(Opcode::Const, Ctx.logicType(V.width()), Name);
+  I->setLogicValue(std::move(V));
+  return insert(I);
+}
+
+Instruction *IRBuilder::constEnum(EnumType *Ty, uint64_t V,
+                                  const std::string &Name) {
+  assert(V < Ty->numValues() && "enum constant out of range");
+  auto *I = new Instruction(Opcode::Const, Ty, Name);
+  I->setEnumValue(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::arrayCreate(const std::vector<Value *> &Elems,
+                                    const std::string &Name) {
+  assert(!Elems.empty() && "array literal needs at least one element");
+  Type *ElemTy = Elems.front()->type();
+  auto *I = new Instruction(Opcode::ArrayCreate,
+                            Ctx.arrayType(Elems.size(), ElemTy), Name);
+  for (Value *E : Elems) {
+    assert(E->type() == ElemTy && "array elements must have one type");
+    I->appendOperand(E);
+  }
+  return insert(I);
+}
+
+Instruction *IRBuilder::structCreate(const std::vector<Value *> &Fields,
+                                     const std::string &Name) {
+  std::vector<Type *> Tys;
+  Tys.reserve(Fields.size());
+  for (Value *F : Fields)
+    Tys.push_back(F->type());
+  auto *I =
+      new Instruction(Opcode::StructCreate, Ctx.structType(Tys), Name);
+  for (Value *F : Fields)
+    I->appendOperand(F);
+  return insert(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Data flow.
+//===----------------------------------------------------------------------===//
+
+Instruction *IRBuilder::unary(Opcode Op, Value *A, const std::string &Name) {
+  auto *I = new Instruction(Op, A->type(), Name);
+  I->appendOperand(A);
+  return insert(I);
+}
+
+Instruction *IRBuilder::binary(Opcode Op, Value *A, Value *B,
+                               const std::string &Name) {
+  assert(A->type() == B->type() && "binary operand type mismatch");
+  auto *I = new Instruction(Op, A->type(), Name);
+  I->appendOperand(A);
+  I->appendOperand(B);
+  return insert(I);
+}
+
+Instruction *IRBuilder::cmp(Opcode Op, Value *A, Value *B,
+                            const std::string &Name) {
+  assert(A->type() == B->type() && "comparison operand type mismatch");
+  auto *I = new Instruction(Op, Ctx.boolType(), Name);
+  I->appendOperand(A);
+  I->appendOperand(B);
+  return insert(I);
+}
+
+Instruction *IRBuilder::shift(Opcode Op, Value *A, Value *Amount,
+                              const std::string &Name) {
+  assert(Amount->type()->isInt() && "shift amount must be an integer");
+  auto *I = new Instruction(Op, A->type(), Name);
+  I->appendOperand(A);
+  I->appendOperand(Amount);
+  return insert(I);
+}
+
+Instruction *IRBuilder::mux(Value *Array, Value *Selector,
+                            const std::string &Name) {
+  auto *AT = llhd::cast<ArrayType>(Array->type());
+  auto *I = new Instruction(Opcode::Mux, AT->element(), Name);
+  I->appendOperand(Array);
+  I->appendOperand(Selector);
+  return insert(I);
+}
+
+Instruction *IRBuilder::cast(Opcode Op, Type *To, Value *V,
+                             const std::string &Name) {
+  auto *I = new Instruction(Op, To, Name);
+  I->appendOperand(V);
+  return insert(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Insertion / extraction.
+//===----------------------------------------------------------------------===//
+
+/// Element/field type of an aggregate at \p Index.
+static Type *aggregateElement(Type *Ty, unsigned Index) {
+  if (auto *AT = dyn_cast<ArrayType>(Ty)) {
+    assert(Index < AT->length() && "array index out of range");
+    return AT->element();
+  }
+  auto *ST = cast<StructType>(Ty);
+  return ST->field(Index);
+}
+
+Instruction *IRBuilder::insf(Value *Agg, Value *V, unsigned Index,
+                             const std::string &Name) {
+  assert(aggregateElement(Agg->type(), Index) == V->type() &&
+         "insf value type mismatch");
+  auto *I = new Instruction(Opcode::Insf, Agg->type(), Name);
+  I->setImmediate(Index);
+  I->appendOperand(Agg);
+  I->appendOperand(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::extf(Value *Agg, unsigned Index,
+                             const std::string &Name) {
+  Type *Ty = Agg->type();
+  Type *ResTy;
+  if (auto *SigTy = dyn_cast<SignalType>(Ty))
+    ResTy = Ctx.signalType(aggregateElement(SigTy->inner(), Index));
+  else if (auto *PtrTy = dyn_cast<PointerType>(Ty))
+    ResTy = Ctx.pointerType(aggregateElement(PtrTy->pointee(), Index));
+  else
+    ResTy = aggregateElement(Ty, Index);
+  auto *I = new Instruction(Opcode::Extf, ResTy, Name);
+  I->setImmediate(Index);
+  I->appendOperand(Agg);
+  return insert(I);
+}
+
+/// Result type of slicing \p Length units out of \p Ty at some offset.
+static Type *sliceType(Context &Ctx, Type *Ty, unsigned Length) {
+  if (Ty->isInt())
+    return Ctx.intType(Length);
+  if (Ty->isLogic())
+    return Ctx.logicType(Length);
+  auto *AT = cast<ArrayType>(Ty);
+  return Ctx.arrayType(Length, AT->element());
+}
+
+Instruction *IRBuilder::exts(Value *V, unsigned Offset, unsigned Length,
+                             const std::string &Name) {
+  Type *Ty = V->type();
+  Type *ResTy;
+  if (auto *SigTy = dyn_cast<SignalType>(Ty))
+    ResTy = Ctx.signalType(sliceType(Ctx, SigTy->inner(), Length));
+  else if (auto *PtrTy = dyn_cast<PointerType>(Ty))
+    ResTy = Ctx.pointerType(sliceType(Ctx, PtrTy->pointee(), Length));
+  else
+    ResTy = sliceType(Ctx, Ty, Length);
+  auto *I = new Instruction(Opcode::Exts, ResTy, Name);
+  I->setImmediate(Offset);
+  I->appendOperand(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::inss(Value *Target, Value *Slice, unsigned Offset,
+                             const std::string &Name) {
+  auto *I = new Instruction(Opcode::Inss, Target->type(), Name);
+  I->setImmediate(Offset);
+  I->appendOperand(Target);
+  I->appendOperand(Slice);
+  return insert(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory.
+//===----------------------------------------------------------------------===//
+
+Instruction *IRBuilder::var(Value *Init, const std::string &Name) {
+  auto *I = new Instruction(Opcode::Var, Ctx.pointerType(Init->type()), Name);
+  I->appendOperand(Init);
+  return insert(I);
+}
+
+Instruction *IRBuilder::ld(Value *Ptr, const std::string &Name) {
+  auto *PT = llhd::cast<PointerType>(Ptr->type());
+  auto *I = new Instruction(Opcode::Ld, PT->pointee(), Name);
+  I->appendOperand(Ptr);
+  return insert(I);
+}
+
+Instruction *IRBuilder::st(Value *Ptr, Value *V) {
+  assert(llhd::cast<PointerType>(Ptr->type())->pointee() == V->type() &&
+         "store type mismatch");
+  auto *I = new Instruction(Opcode::St, Ctx.voidType());
+  I->appendOperand(Ptr);
+  I->appendOperand(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::alloc(Value *Init, const std::string &Name) {
+  auto *I =
+      new Instruction(Opcode::Alloc, Ctx.pointerType(Init->type()), Name);
+  I->appendOperand(Init);
+  return insert(I);
+}
+
+Instruction *IRBuilder::freeMem(Value *Ptr) {
+  auto *I = new Instruction(Opcode::Free, Ctx.voidType());
+  I->appendOperand(Ptr);
+  return insert(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Signals, registers, hierarchy.
+//===----------------------------------------------------------------------===//
+
+Instruction *IRBuilder::sig(Value *Init, const std::string &Name) {
+  auto *I = new Instruction(Opcode::Sig, Ctx.signalType(Init->type()), Name);
+  I->appendOperand(Init);
+  return insert(I);
+}
+
+Instruction *IRBuilder::prb(Value *Signal, const std::string &Name) {
+  auto *ST = llhd::cast<SignalType>(Signal->type());
+  auto *I = new Instruction(Opcode::Prb, ST->inner(), Name);
+  I->appendOperand(Signal);
+  return insert(I);
+}
+
+Instruction *IRBuilder::drv(Value *Signal, Value *V, Value *Delay,
+                            Value *Cond) {
+  assert(llhd::cast<SignalType>(Signal->type())->inner() == V->type() &&
+         "drive value type mismatch");
+  assert(Delay->type()->isTime() && "drive delay must be a time");
+  auto *I = new Instruction(Opcode::Drv, Ctx.voidType());
+  I->appendOperand(Signal);
+  I->appendOperand(V);
+  I->appendOperand(Delay);
+  if (Cond) {
+    assert(Cond->type()->isBool() && "drive condition must be i1");
+    I->appendOperand(Cond);
+  }
+  return insert(I);
+}
+
+Instruction *IRBuilder::con(Value *A, Value *B) {
+  assert(A->type() == B->type() && A->type()->isSignal() &&
+         "con needs two signals of one type");
+  auto *I = new Instruction(Opcode::Con, Ctx.voidType());
+  I->appendOperand(A);
+  I->appendOperand(B);
+  return insert(I);
+}
+
+Instruction *IRBuilder::del(Value *Target, Value *Source, Value *Delay) {
+  assert(Target->type() == Source->type() && Target->type()->isSignal() &&
+         "del needs two signals of one type");
+  assert(Delay->type()->isTime() && "del delay must be a time");
+  auto *I = new Instruction(Opcode::Del, Ctx.voidType());
+  I->appendOperand(Target);
+  I->appendOperand(Source);
+  I->appendOperand(Delay);
+  return insert(I);
+}
+
+Instruction *IRBuilder::reg(Value *Signal,
+                            const std::vector<RegEntry> &Entries) {
+  auto *I = new Instruction(Opcode::Reg, Ctx.voidType());
+  I->appendOperand(Signal);
+  Type *Inner = llhd::cast<SignalType>(Signal->type())->inner();
+  for (const RegEntry &E : Entries) {
+    assert(E.StoredValue->type() == Inner && "reg value type mismatch");
+    (void)Inner;
+    RegTrigger T;
+    T.Mode = E.Mode;
+    T.ValueIdx = I->numOperands();
+    I->appendOperand(E.StoredValue);
+    T.TriggerIdx = I->numOperands();
+    I->appendOperand(E.Trigger);
+    T.DelayIdx = -1;
+    if (E.Delay) {
+      T.DelayIdx = I->numOperands();
+      I->appendOperand(E.Delay);
+    }
+    T.CondIdx = -1;
+    if (E.Cond) {
+      T.CondIdx = I->numOperands();
+      I->appendOperand(E.Cond);
+    }
+    I->regTriggers().push_back(T);
+  }
+  return insert(I);
+}
+
+Instruction *IRBuilder::inst(Unit *Callee, const std::vector<Value *> &Inputs,
+                             const std::vector<Value *> &Outputs) {
+  assert(Callee->inputs().size() == Inputs.size() &&
+         Callee->outputs().size() == Outputs.size() &&
+         "inst arity mismatch");
+  auto *I = new Instruction(Opcode::InstOp, Ctx.voidType());
+  I->setCallee(Callee);
+  I->setNumInputs(Inputs.size());
+  for (Value *V : Inputs)
+    I->appendOperand(V);
+  for (Value *V : Outputs)
+    I->appendOperand(V);
+  return insert(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Control and time flow.
+//===----------------------------------------------------------------------===//
+
+Instruction *IRBuilder::call(Unit *Callee, const std::vector<Value *> &Args,
+                             const std::string &Name) {
+  auto *I = new Instruction(Opcode::Call, Callee->returnType(), Name);
+  I->setCallee(Callee);
+  for (Value *V : Args)
+    I->appendOperand(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::ret() {
+  return insert(new Instruction(Opcode::Ret, Ctx.voidType()));
+}
+
+Instruction *IRBuilder::ret(Value *V) {
+  auto *I = new Instruction(Opcode::Ret, Ctx.voidType());
+  I->appendOperand(V);
+  return insert(I);
+}
+
+Instruction *IRBuilder::br(BasicBlock *Dest) {
+  auto *I = new Instruction(Opcode::Br, Ctx.voidType());
+  I->appendOperand(Dest);
+  return insert(I);
+}
+
+Instruction *IRBuilder::condBr(Value *Cond, BasicBlock *IfFalse,
+                               BasicBlock *IfTrue) {
+  assert(Cond->type()->isBool() && "branch condition must be i1");
+  auto *I = new Instruction(Opcode::Br, Ctx.voidType());
+  I->appendOperand(Cond);
+  I->appendOperand(IfFalse);
+  I->appendOperand(IfTrue);
+  return insert(I);
+}
+
+Instruction *IRBuilder::halt() {
+  return insert(new Instruction(Opcode::Halt, Ctx.voidType()));
+}
+
+Instruction *IRBuilder::wait(BasicBlock *Dest,
+                             const std::vector<Value *> &Observed,
+                             Value *Timeout) {
+  auto *I = new Instruction(Opcode::Wait, Ctx.voidType());
+  I->appendOperand(Dest);
+  if (Timeout) {
+    assert(Timeout->type()->isTime() && "wait timeout must be a time");
+    I->appendOperand(Timeout);
+  }
+  for (Value *V : Observed) {
+    assert(V->type()->isSignal() && "wait observes signals");
+    I->appendOperand(V);
+  }
+  return insert(I);
+}
+
+Instruction *IRBuilder::phi(
+    Type *Ty, const std::vector<std::pair<Value *, BasicBlock *>> &In,
+    const std::string &Name) {
+  auto *I = new Instruction(Opcode::Phi, Ty, Name);
+  for (const auto &[V, BB] : In) {
+    assert(V->type() == Ty && "phi incoming type mismatch");
+    I->appendOperand(V);
+    I->appendOperand(BB);
+  }
+  return insert(I);
+}

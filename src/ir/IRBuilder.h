@@ -1,0 +1,172 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Builds instructions with computed result types and inserts them at a
+// configurable insertion point, in the style of llvm::IRBuilder.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_IRBUILDER_H
+#define LLHD_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace llhd {
+
+/// Construction helper with an insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+  explicit IRBuilder(BasicBlock *BB) : Ctx(BB->type()->context()) {
+    setInsertPoint(BB);
+  }
+
+  Context &context() const { return Ctx; }
+
+  /// Inserts at the end of \p BB from now on.
+  void setInsertPoint(BasicBlock *BB) {
+    Block = BB;
+    Before = nullptr;
+  }
+  /// Inserts before \p I from now on.
+  void setInsertPointBefore(Instruction *I) {
+    Block = I->parent();
+    Before = I;
+  }
+  BasicBlock *insertBlock() const { return Block; }
+
+  /// Inserts an already-built instruction at the current point.
+  Instruction *insert(Instruction *I);
+
+  //===------------------------------------------------------------------===//
+  // Constants and aggregates.
+  //===------------------------------------------------------------------===//
+
+  Instruction *constInt(unsigned Width, uint64_t V,
+                        const std::string &Name = "");
+  Instruction *constInt(IntValue V, const std::string &Name = "");
+  Instruction *constTime(Time T, const std::string &Name = "");
+  Instruction *constLogic(LogicVec V, const std::string &Name = "");
+  Instruction *constEnum(EnumType *Ty, uint64_t V,
+                         const std::string &Name = "");
+  Instruction *arrayCreate(const std::vector<Value *> &Elems,
+                           const std::string &Name = "");
+  Instruction *structCreate(const std::vector<Value *> &Fields,
+                            const std::string &Name = "");
+
+  //===------------------------------------------------------------------===//
+  // Data flow.
+  //===------------------------------------------------------------------===//
+
+  Instruction *unary(Opcode Op, Value *A, const std::string &Name = "");
+  Instruction *binary(Opcode Op, Value *A, Value *B,
+                      const std::string &Name = "");
+  Instruction *neg(Value *A, const std::string &N = "") {
+    return unary(Opcode::Neg, A, N);
+  }
+  Instruction *bitNot(Value *A, const std::string &N = "") {
+    return unary(Opcode::Not, A, N);
+  }
+  Instruction *add(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Add, A, B, N);
+  }
+  Instruction *sub(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Sub, A, B, N);
+  }
+  Instruction *mul(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Mul, A, B, N);
+  }
+  Instruction *udiv(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Udiv, A, B, N);
+  }
+  Instruction *bitAnd(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::And, A, B, N);
+  }
+  Instruction *bitOr(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Or, A, B, N);
+  }
+  Instruction *bitXor(Value *A, Value *B, const std::string &N = "") {
+    return binary(Opcode::Xor, A, B, N);
+  }
+  /// Comparison; result is i1.
+  Instruction *cmp(Opcode Op, Value *A, Value *B,
+                   const std::string &Name = "");
+  /// Shift; \p Amount is any integer-typed value.
+  Instruction *shift(Opcode Op, Value *A, Value *Amount,
+                     const std::string &Name = "");
+  Instruction *mux(Value *Array, Value *Selector,
+                   const std::string &Name = "");
+  Instruction *cast(Opcode Op, Type *To, Value *V,
+                    const std::string &Name = "");
+
+  //===------------------------------------------------------------------===//
+  // Insertion / extraction. Work on values, signals and pointers.
+  //===------------------------------------------------------------------===//
+
+  Instruction *insf(Value *Agg, Value *V, unsigned Index,
+                    const std::string &Name = "");
+  Instruction *extf(Value *Agg, unsigned Index, const std::string &Name = "");
+  Instruction *inss(Value *Target, Value *Slice, unsigned Offset,
+                    const std::string &Name = "");
+  Instruction *exts(Value *V, unsigned Offset, unsigned Length,
+                    const std::string &Name = "");
+
+  //===------------------------------------------------------------------===//
+  // Memory.
+  //===------------------------------------------------------------------===//
+
+  Instruction *var(Value *Init, const std::string &Name = "");
+  Instruction *ld(Value *Ptr, const std::string &Name = "");
+  Instruction *st(Value *Ptr, Value *V);
+  Instruction *alloc(Value *Init, const std::string &Name = "");
+  Instruction *freeMem(Value *Ptr);
+
+  //===------------------------------------------------------------------===//
+  // Signals, registers, hierarchy.
+  //===------------------------------------------------------------------===//
+
+  Instruction *sig(Value *Init, const std::string &Name = "");
+  Instruction *prb(Value *Signal, const std::string &Name = "");
+  Instruction *drv(Value *Signal, Value *V, Value *Delay,
+                   Value *Cond = nullptr);
+  Instruction *con(Value *A, Value *B);
+  Instruction *del(Value *Target, Value *Source, Value *Delay);
+
+  /// One `reg` trigger as passed to the builder.
+  struct RegEntry {
+    Value *StoredValue;
+    RegMode Mode;
+    Value *Trigger;
+    Value *Delay = nullptr; ///< Optional.
+    Value *Cond = nullptr;  ///< Optional.
+  };
+  Instruction *reg(Value *Signal, const std::vector<RegEntry> &Entries);
+
+  Instruction *inst(Unit *Callee, const std::vector<Value *> &Inputs,
+                    const std::vector<Value *> &Outputs);
+
+  //===------------------------------------------------------------------===//
+  // Control and time flow.
+  //===------------------------------------------------------------------===//
+
+  Instruction *call(Unit *Callee, const std::vector<Value *> &Args,
+                    const std::string &Name = "");
+  Instruction *ret();
+  Instruction *ret(Value *V);
+  Instruction *br(BasicBlock *Dest);
+  Instruction *condBr(Value *Cond, BasicBlock *IfFalse, BasicBlock *IfTrue);
+  Instruction *halt();
+  Instruction *wait(BasicBlock *Dest, const std::vector<Value *> &Observed,
+                    Value *Timeout = nullptr);
+  Instruction *phi(Type *Ty,
+                   const std::vector<std::pair<Value *, BasicBlock *>> &In,
+                   const std::string &Name = "");
+
+private:
+  Context &Ctx;
+  BasicBlock *Block = nullptr;
+  Instruction *Before = nullptr;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_IRBUILDER_H

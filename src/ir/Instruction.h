@@ -1,0 +1,209 @@
+//===- ir/Instruction.h - LLHD instructions ---------------------*- C++ -*-===//
+//
+// The LLHD instruction set (§2.5 of the paper): data flow, bit-precise
+// insert/extract, memory, control flow, time flow, signals, registers and
+// hierarchy. One Instruction class carries an opcode plus per-opcode
+// payload; operands are Use slots registered in the used values.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_INSTRUCTION_H
+#define LLHD_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+#include "support/IntValue.h"
+#include "support/LogicVec.h"
+#include "support/Time.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class BasicBlock;
+class Unit;
+
+/// Every LLHD operation.
+enum class Opcode : uint8_t {
+  // Constants and aggregates.
+  Const,        ///< const <ty> <literal>
+  ArrayCreate,  ///< [ty %a, %b, ...]
+  StructCreate, ///< {ty1 %a, ty2 %b, ...}
+  // Arithmetic (§2.5.4). div/mod/rem are unsigned; s* are signed.
+  Neg, Add, Sub, Mul, Udiv, Sdiv, Umod, Smod, Urem, Srem,
+  // Bitwise.
+  Not, And, Or, Xor,
+  // Shifts.
+  Shl, Shr, Ashr,
+  // Comparisons (result i1).
+  Eq, Neq, Ult, Ugt, Ule, Uge, Slt, Sgt, Sle, Sge,
+  // Selection.
+  Mux, ///< mux <ty> %array, %selector
+  // Width changes (explicit in LLHD; see §6.3).
+  Zext, Sext, Trunc,
+  // Bit-precise insertion/extraction (§2.5.5/§2.5.6). extf/exts also
+  // operate on signals and pointers, yielding sub-signals/sub-pointers.
+  Insf, ///< insf <ty> %agg, %value, <index>
+  Extf, ///< extf <ty> %agg, <index>
+  Inss, ///< inss <ty> %value, %slice, <offset>
+  Exts, ///< exts <ty> %value, <offset>
+  // Memory (§2.5.8).
+  Var, Ld, St, Alloc, Free,
+  // Signals (§2.5.2).
+  Sig, ///< sig <ty> %init
+  Prb, ///< prb <ty>$ %signal
+  Drv, ///< drv <ty>$ %signal, %value after %delay [if %cond]
+  Con, ///< con <ty>$ %a, %b
+  Del, ///< del <ty>$ %target, %source after %delay
+  // Registers (§2.5.3).
+  Reg, ///< reg <ty>$ %signal, %v mode %trigger [after %d] [if %c], ...
+  // Hierarchy (§2.5.1).
+  InstOp, ///< inst @unit (%in...) -> (%out...)
+  // Control flow (§2.5.7).
+  Call, Ret, Br, Halt,
+  // Time flow.
+  Wait, ///< wait %dest [for %time], %observed...
+  // SSA merge.
+  Phi,
+};
+
+/// Assembly mnemonic of an opcode (e.g. "add").
+const char *opcodeName(Opcode Op);
+
+/// Edge/level sensitivity of one `reg` trigger (§2.5.3).
+enum class RegMode : uint8_t { Low, High, Rise, Fall, Both };
+
+const char *regModeName(RegMode M);
+
+/// One trigger entry of a `reg` instruction; indices refer to the
+/// instruction's operand list (-1 = absent).
+struct RegTrigger {
+  RegMode Mode;
+  int ValueIdx;   ///< Value stored when the trigger fires.
+  int TriggerIdx; ///< The observed trigger value.
+  int DelayIdx;   ///< Optional store delay (`after`).
+  int CondIdx;    ///< Optional gating condition (`if`).
+};
+
+/// A single LLHD instruction.
+class Instruction : public User {
+public:
+  Instruction(Opcode Op, Type *Ty, std::string Name = "")
+      : User(Kind::Instruction, Ty, std::move(Name)), Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+  BasicBlock *parent() const { return Parent; }
+  Unit *parentUnit() const;
+
+  /// Removes from the parent block without deleting.
+  void removeFromParent();
+  /// Removes from the parent block and deletes the instruction. The result
+  /// must be unused.
+  void eraseFromParent();
+
+  //===------------------------------------------------------------------===//
+  // Classification.
+  //===------------------------------------------------------------------===//
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::Ret || Op == Opcode::Halt ||
+           Op == Opcode::Wait;
+  }
+  bool isBinaryArith() const {
+    return Op >= Opcode::Add && Op <= Opcode::Srem;
+  }
+  bool isBinaryBitwise() const {
+    return Op >= Opcode::And && Op <= Opcode::Xor;
+  }
+  bool isShift() const { return Op >= Opcode::Shl && Op <= Opcode::Ashr; }
+  bool isCompare() const { return Op >= Opcode::Eq && Op <= Opcode::Sge; }
+  bool isCast() const { return Op >= Opcode::Zext && Op <= Opcode::Trunc; }
+  /// True for pure data-flow computations that can be freely moved, CSE'd
+  /// and folded (no side effects, no interaction with time or signals).
+  bool isPureDataFlow() const;
+  /// True if the instruction writes state or interacts with the world
+  /// (drv, st, call, reg, ...); such instructions must not be DCE'd even
+  /// when their result is unused.
+  bool hasSideEffects() const;
+
+  //===------------------------------------------------------------------===//
+  // Constant payload (Opcode::Const). Which field is valid follows from
+  // the result type.
+  //===------------------------------------------------------------------===//
+
+  const IntValue &intValue() const { return CInt; }
+  void setIntValue(IntValue V) { CInt = std::move(V); }
+  const Time &timeValue() const { return CTime; }
+  void setTimeValue(Time T) { CTime = T; }
+  const LogicVec &logicValue() const { return CLogic; }
+  void setLogicValue(LogicVec V) { CLogic = std::move(V); }
+  uint64_t enumValue() const { return CEnum; }
+  void setEnumValue(uint64_t V) { CEnum = V; }
+
+  //===------------------------------------------------------------------===//
+  // Immediates (Insf/Extf/Inss/Exts index or offset).
+  //===------------------------------------------------------------------===//
+
+  unsigned immediate() const { return Imm; }
+  void setImmediate(unsigned I) { Imm = I; }
+
+  //===------------------------------------------------------------------===//
+  // Callee (Call / InstOp).
+  //===------------------------------------------------------------------===//
+
+  Unit *callee() const { return Callee; }
+  void setCallee(Unit *U) { Callee = U; }
+  /// Number of input operands of an `inst` (the rest are outputs).
+  unsigned numInputs() const { return NumInputs; }
+  void setNumInputs(unsigned N) { NumInputs = N; }
+
+  //===------------------------------------------------------------------===//
+  // Reg triggers.
+  //===------------------------------------------------------------------===//
+
+  const std::vector<RegTrigger> &regTriggers() const { return Triggers; }
+  std::vector<RegTrigger> &regTriggers() { return Triggers; }
+
+  //===------------------------------------------------------------------===//
+  // Structured accessors for common shapes.
+  //===------------------------------------------------------------------===//
+
+  /// Br: true if this is a conditional branch.
+  bool isConditionalBr() const {
+    return Op == Opcode::Br && numOperands() == 3;
+  }
+  Value *brCondition() const { return operand(0); }
+  BasicBlock *brDest(unsigned I) const; ///< 0 = false/only, 1 = true.
+
+  /// Wait: destination block and operand classification.
+  BasicBlock *waitDest() const;
+
+  /// Phi: incoming pairs.
+  unsigned numIncoming() const { return numOperands() / 2; }
+  Value *incomingValue(unsigned I) const { return operand(2 * I); }
+  BasicBlock *incomingBlock(unsigned I) const;
+  void addIncoming(Value *V, BasicBlock *BB);
+  void removeIncoming(unsigned I);
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == Kind::Instruction;
+  }
+
+private:
+  friend class BasicBlock;
+  Opcode Op;
+  BasicBlock *Parent = nullptr;
+  unsigned Imm = 0;
+  unsigned NumInputs = 0;
+  Unit *Callee = nullptr;
+  IntValue CInt;
+  Time CTime;
+  LogicVec CLogic;
+  uint64_t CEnum = 0;
+  std::vector<RegTrigger> Triggers;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_INSTRUCTION_H

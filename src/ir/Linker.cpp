@@ -1,0 +1,100 @@
+//===- ir/Linker.cpp - Module linking --------------------------------------===//
+//
+// Implements Module::linkFrom (§2.3): combines two modules, resolving
+// references in one against definitions in the other.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace llhd;
+
+/// Signature compatibility between a declaration and a definition.
+static bool signaturesMatch(const Unit &A, const Unit &B) {
+  if (A.kind() != B.kind())
+    return false;
+  if (A.inputs().size() != B.inputs().size() ||
+      A.outputs().size() != B.outputs().size())
+    return false;
+  for (unsigned I = 0; I != A.inputs().size(); ++I)
+    if (A.input(I)->type() != B.input(I)->type())
+      return false;
+  for (unsigned I = 0; I != A.outputs().size(); ++I)
+    if (A.output(I)->type() != B.output(I)->type())
+      return false;
+  return A.returnType() == B.returnType();
+}
+
+bool Module::linkFrom(Module &Src, std::string &Error) {
+  assert(&Ctx == &Src.Ctx && "linked modules must share one context");
+
+  // Unit replacement map for callee pointer rewriting. Superseded units
+  // are parked in Doomed and destroyed only after all callee pointers
+  // have been rewritten.
+  std::map<Unit *, Unit *> Replace;
+  std::vector<std::unique_ptr<Unit>> Doomed;
+  std::vector<std::unique_ptr<Unit>> Incoming;
+  Incoming.swap(Src.Units);
+  Src.SymbolTable.clear();
+
+  auto parkExisting = [&](Unit *U) {
+    for (auto It = Units.begin(); It != Units.end(); ++It) {
+      if (It->get() == U) {
+        Doomed.push_back(std::move(*It));
+        Units.erase(It);
+        return;
+      }
+    }
+    assert(false && "existing unit not found");
+  };
+
+  for (auto &UP : Incoming) {
+    Unit *In = UP.get();
+    Unit *Existing = unitByName(In->name());
+    if (!Existing) {
+      In->Parent = this;
+      SymbolTable[In->name()] = In;
+      Units.push_back(std::move(UP));
+      continue;
+    }
+    if (!signaturesMatch(*Existing, *In)) {
+      Error = "@" + In->name() + ": signature mismatch during link";
+      return false;
+    }
+    if (!Existing->isDeclaration() && !In->isDeclaration()) {
+      Error = "@" + In->name() + ": duplicate definition during link";
+      return false;
+    }
+    if (Existing->isDeclaration() && !In->isDeclaration()) {
+      // The incoming definition replaces the existing declaration.
+      Replace[Existing] = In;
+      parkExisting(Existing);
+      SymbolTable.erase(In->name());
+      In->Parent = this;
+      SymbolTable[In->name()] = In;
+      Units.push_back(std::move(UP));
+    } else {
+      // Existing definition (or declaration) wins; drop the incoming unit.
+      Replace[In] = Existing;
+      Doomed.push_back(std::move(UP));
+    }
+  }
+
+  // Rewrite callee pointers across the whole module (including bodies of
+  // doomed units, whose instructions still hold uses until destruction).
+  auto rewrite = [&](Unit &U) {
+    for (BasicBlock *BB : U.blocks())
+      for (Instruction *I : BB->insts()) {
+        auto It = Replace.find(I->callee());
+        if (It != Replace.end())
+          I->setCallee(It->second);
+      }
+  };
+  for (auto &UP : Units)
+    rewrite(*UP);
+
+  Doomed.clear();
+  return true;
+}

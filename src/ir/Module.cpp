@@ -1,0 +1,99 @@
+//===- ir/Module.cpp - LLHD modules ----------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace llhd;
+
+Unit *Module::addUnit(Unit::Kind K, const std::string &Name,
+                      bool Declaration) {
+  assert(!unitByName(Name) && "duplicate global name");
+  auto U = std::make_unique<Unit>(Ctx, K, Name);
+  U->Parent = this;
+  U->setDeclaration(Declaration);
+  Unit *Ptr = U.get();
+  Units.push_back(std::move(U));
+  SymbolTable[Name] = Ptr;
+  return Ptr;
+}
+
+Unit *Module::createFunction(const std::string &Name) {
+  return addUnit(Unit::Kind::Function, Name, false);
+}
+
+Unit *Module::createProcess(const std::string &Name) {
+  return addUnit(Unit::Kind::Process, Name, false);
+}
+
+Unit *Module::createEntity(const std::string &Name) {
+  return addUnit(Unit::Kind::Entity, Name, false);
+}
+
+Unit *Module::declareUnit(Unit::Kind K, const std::string &Name) {
+  return addUnit(K, Name, true);
+}
+
+Unit *Module::intrinsic(const std::string &Name) {
+  assert(Name.rfind("llhd.", 0) == 0 && "intrinsics must be llhd.*");
+  if (Unit *U = unitByName(Name))
+    return U;
+  return declareUnit(Unit::Kind::Function, Name);
+}
+
+Unit *Module::unitByName(const std::string &Name) const {
+  auto It = SymbolTable.find(Name);
+  return It == SymbolTable.end() ? nullptr : It->second;
+}
+
+void Module::eraseUnit(Unit *U) {
+  SymbolTable.erase(U->name());
+  auto It = std::find_if(Units.begin(), Units.end(),
+                         [&](const auto &P) { return P.get() == U; });
+  assert(It != Units.end() && "unit not in this module");
+  Units.erase(It);
+}
+
+void Module::moveUnitToEnd(Unit *U) {
+  auto It = std::find_if(Units.begin(), Units.end(),
+                         [&](const auto &P) { return P.get() == U; });
+  assert(It != Units.end() && "unit not in this module");
+  auto Holder = std::move(*It);
+  Units.erase(It);
+  Units.push_back(std::move(Holder));
+}
+
+void Module::renameUnit(Unit *U, const std::string &NewName) {
+  assert(!unitByName(NewName) && "rename collides with existing unit");
+  SymbolTable.erase(U->name());
+  U->setName(NewName);
+  SymbolTable[NewName] = U;
+}
+
+size_t Module::memoryFootprint() const {
+  size_t N = sizeof(Module) + Ctx.memoryFootprint();
+  for (const auto &UP : Units) {
+    const Unit &U = *UP;
+    N += sizeof(Unit) + U.name().size();
+    for (const Argument *A : U.inputs())
+      N += sizeof(Argument) + A->name().size() +
+           A->uses().size() * sizeof(Use *);
+    for (const Argument *A : U.outputs())
+      N += sizeof(Argument) + A->name().size() +
+           A->uses().size() * sizeof(Use *);
+    for (const BasicBlock *BB : U.blocks()) {
+      N += sizeof(BasicBlock) + BB->name().size() +
+           BB->insts().size() * sizeof(Instruction *);
+      for (const Instruction *I : BB->insts()) {
+        N += sizeof(Instruction) + I->name().size();
+        N += I->numOperands() * (sizeof(Use) + sizeof(Use *) * 2);
+        N += I->regTriggers().size() * sizeof(RegTrigger);
+        if (I->opcode() == Opcode::Const) {
+          N += I->intValue().numWords() * 8;
+          N += I->logicValue().width();
+        }
+      }
+    }
+  }
+  return N;
+}

@@ -1,0 +1,72 @@
+//===- ir/Module.h - LLHD modules -------------------------------*- C++ -*-===//
+//
+// A module is one LLHD source text (§2.3): a collection of functions,
+// processes and entities with global `@` names. Modules can be combined
+// by the Linker, which resolves declarations against definitions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_MODULE_H
+#define LLHD_IR_MODULE_H
+
+#include "ir/Unit.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// One LLHD translation unit.
+class Module {
+public:
+  explicit Module(Context &Ctx, std::string Name = "")
+      : Ctx(Ctx), Name(std::move(Name)) {}
+
+  Context &context() const { return Ctx; }
+  const std::string &name() const { return Name; }
+
+  /// Creates a unit with a body. The global name must be unique.
+  Unit *createFunction(const std::string &Name);
+  Unit *createProcess(const std::string &Name);
+  Unit *createEntity(const std::string &Name);
+  /// Creates a body-less declaration of the given kind.
+  Unit *declareUnit(Unit::Kind K, const std::string &Name);
+  /// Returns the (possibly new) declaration of intrinsic `llhd.<suffix>`.
+  Unit *intrinsic(const std::string &Name);
+
+  /// Looks a unit up by its global name; null if absent.
+  Unit *unitByName(const std::string &Name) const;
+  /// Detaches and deletes \p U.
+  void eraseUnit(Unit *U);
+  /// Renames \p U, keeping the symbol table consistent.
+  void renameUnit(Unit *U, const std::string &NewName);
+  /// Moves \p U to the end of the unit list (used by the parser to keep
+  /// the unit order equal to textual definition order).
+  void moveUnitToEnd(Unit *U);
+
+  const std::vector<std::unique_ptr<Unit>> &units() const { return Units; }
+
+  /// Links all units of \p Src into this module (§2.3): declarations are
+  /// resolved against definitions, duplicate declarations are merged, and
+  /// duplicate definitions are an error. Both modules must share one
+  /// Context. \p Src is left empty on success. Returns false and sets
+  /// \p Error on conflict.
+  bool linkFrom(Module &Src, std::string &Error);
+
+  /// Approximate in-memory footprint in bytes (Table 4).
+  size_t memoryFootprint() const;
+
+private:
+  Unit *addUnit(Unit::Kind K, const std::string &Name, bool Declaration);
+
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Unit>> Units;
+  std::map<std::string, Unit *> SymbolTable;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_MODULE_H

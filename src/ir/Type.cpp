@@ -1,0 +1,169 @@
+//===- ir/Type.cpp - LLHD type system -------------------------------------===//
+
+#include "ir/Type.h"
+#include "ir/Context.h"
+
+using namespace llhd;
+
+bool Type::isBool() const {
+  const auto *IT = dyn_cast<IntType>(this);
+  return IT && IT->width() == 1;
+}
+
+bool Type::isValueType() const {
+  switch (TheKind) {
+  case Kind::Int:
+  case Kind::Enum:
+  case Kind::Logic:
+    return true;
+  case Kind::Array:
+    return cast<ArrayType>(this)->element()->isValueType();
+  case Kind::Struct: {
+    for (Type *F : cast<StructType>(this)->fields())
+      if (!F->isValueType())
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+unsigned Type::bitWidth() const {
+  switch (TheKind) {
+  case Kind::Int:
+    return cast<IntType>(this)->width();
+  case Kind::Logic:
+    return cast<LogicType>(this)->width();
+  case Kind::Enum: {
+    // Bits needed to represent numValues() distinct values.
+    unsigned N = cast<EnumType>(this)->numValues();
+    unsigned Bits = 0;
+    while ((1u << Bits) < N)
+      ++Bits;
+    return Bits == 0 ? 1 : Bits;
+  }
+  case Kind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->length() * AT->element()->bitWidth();
+  }
+  case Kind::Struct: {
+    unsigned Sum = 0;
+    for (Type *F : cast<StructType>(this)->fields())
+      Sum += F->bitWidth();
+    return Sum;
+  }
+  default:
+    assert(false && "type has no bit width");
+    return 0;
+  }
+}
+
+std::string Type::toString() const {
+  switch (TheKind) {
+  case Kind::Void:
+    return "void";
+  case Kind::Time:
+    return "time";
+  case Kind::Int:
+    return "i" + std::to_string(cast<IntType>(this)->width());
+  case Kind::Enum:
+    return "n" + std::to_string(cast<EnumType>(this)->numValues());
+  case Kind::Logic:
+    return "l" + std::to_string(cast<LogicType>(this)->width());
+  case Kind::Pointer:
+    return cast<PointerType>(this)->pointee()->toString() + "*";
+  case Kind::Signal:
+    return cast<SignalType>(this)->inner()->toString() + "$";
+  case Kind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return "[" + std::to_string(AT->length()) + " x " +
+           AT->element()->toString() + "]";
+  }
+  case Kind::Struct: {
+    const auto *ST = cast<StructType>(this);
+    std::string S = "{";
+    for (unsigned I = 0, E = ST->numFields(); I != E; ++I) {
+      if (I != 0)
+        S += ", ";
+      S += ST->field(I)->toString();
+    }
+    return S + "}";
+  }
+  }
+  assert(false && "unknown type kind");
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+Context::Context() {
+  Void.reset(new VoidType(*this));
+  TimeTy.reset(new TimeType(*this));
+}
+
+Context::~Context() = default;
+
+IntType *Context::intType(unsigned Width) {
+  auto &Slot = IntTypes[Width];
+  if (!Slot)
+    Slot.reset(new IntType(*this, Width));
+  return Slot.get();
+}
+
+EnumType *Context::enumType(unsigned NumValues) {
+  auto &Slot = EnumTypes[NumValues];
+  if (!Slot)
+    Slot.reset(new EnumType(*this, NumValues));
+  return Slot.get();
+}
+
+LogicType *Context::logicType(unsigned Width) {
+  auto &Slot = LogicTypes[Width];
+  if (!Slot)
+    Slot.reset(new LogicType(*this, Width));
+  return Slot.get();
+}
+
+PointerType *Context::pointerType(Type *Pointee) {
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(*this, Pointee));
+  return Slot.get();
+}
+
+SignalType *Context::signalType(Type *Inner) {
+  auto &Slot = SignalTypes[Inner];
+  if (!Slot)
+    Slot.reset(new SignalType(*this, Inner));
+  return Slot.get();
+}
+
+ArrayType *Context::arrayType(unsigned Length, Type *Element) {
+  auto &Slot = ArrayTypes[{Length, Element}];
+  if (!Slot)
+    Slot.reset(new ArrayType(*this, Length, Element));
+  return Slot.get();
+}
+
+StructType *Context::structType(std::vector<Type *> Fields) {
+  auto &Slot = StructTypes[Fields];
+  if (!Slot)
+    Slot.reset(new StructType(*this, std::move(Fields)));
+  return Slot.get();
+}
+
+size_t Context::memoryFootprint() const {
+  size_t N = sizeof(Context);
+  N += IntTypes.size() * (sizeof(IntType) + 48);
+  N += EnumTypes.size() * (sizeof(EnumType) + 48);
+  N += LogicTypes.size() * (sizeof(LogicType) + 48);
+  N += PointerTypes.size() * (sizeof(PointerType) + 48);
+  N += SignalTypes.size() * (sizeof(SignalType) + 48);
+  N += ArrayTypes.size() * (sizeof(ArrayType) + 48);
+  for (const auto &KV : StructTypes)
+    N += sizeof(StructType) + 48 + KV.first.size() * sizeof(Type *) * 2;
+  return N;
+}

@@ -1,0 +1,191 @@
+//===- ir/Type.h - LLHD type system -----------------------------*- C++ -*-===//
+//
+// The LLHD type system (§2.3 of the paper): void, time, iN integers, nN
+// enumerations, lN nine-valued logic, T* pointers, T$ signals, [N x T]
+// arrays and {T1,...} structs. Types are uniqued by the Context and
+// compared by pointer identity.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_TYPE_H
+#define LLHD_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class Context;
+
+/// Base class of all LLHD types. Uniqued per Context; compare with ==.
+class Type {
+public:
+  enum class Kind {
+    Void,
+    Time,
+    Int,
+    Enum,
+    Logic,
+    Pointer,
+    Signal,
+    Array,
+    Struct,
+  };
+
+  Kind kind() const { return TheKind; }
+  Context &context() const { return Ctx; }
+
+  bool isVoid() const { return TheKind == Kind::Void; }
+  bool isTime() const { return TheKind == Kind::Time; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isEnum() const { return TheKind == Kind::Enum; }
+  bool isLogic() const { return TheKind == Kind::Logic; }
+  bool isPointer() const { return TheKind == Kind::Pointer; }
+  bool isSignal() const { return TheKind == Kind::Signal; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isStruct() const { return TheKind == Kind::Struct; }
+  /// True for i1, the boolean type.
+  bool isBool() const;
+  /// True for types a register/signal can carry (no void/time/ptr/signal).
+  bool isValueType() const;
+
+  /// Renders in assembly syntax, e.g. "i32", "[4 x i8]", "i32$".
+  std::string toString() const;
+
+  /// Total bit count for Int/Enum/Logic and aggregates thereof; asserts
+  /// otherwise.
+  unsigned bitWidth() const;
+
+protected:
+  Type(Context &Ctx, Kind K) : Ctx(Ctx), TheKind(K) {}
+  ~Type() = default;
+
+private:
+  friend class Context;
+  Context &Ctx;
+  Kind TheKind;
+};
+
+/// `void` — absence of a value (function returns only).
+class VoidType : public Type {
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Void; }
+
+private:
+  friend class Context;
+  explicit VoidType(Context &Ctx) : Type(Ctx, Kind::Void) {}
+};
+
+/// `time` — simulation time points and spans.
+class TimeType : public Type {
+public:
+  static bool classof(const Type *T) { return T->kind() == Kind::Time; }
+
+private:
+  friend class Context;
+  explicit TimeType(Context &Ctx) : Type(Ctx, Kind::Time) {}
+};
+
+/// `iN` — two-state integer of N bits.
+class IntType : public Type {
+public:
+  unsigned width() const { return Width; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Int; }
+
+private:
+  friend class Context;
+  IntType(Context &Ctx, unsigned Width) : Type(Ctx, Kind::Int), Width(Width) {}
+  unsigned Width;
+};
+
+/// `nN` — enumeration over N distinct values (0 .. N-1).
+class EnumType : public Type {
+public:
+  /// Number of distinct values.
+  unsigned numValues() const { return Num; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Enum; }
+
+private:
+  friend class Context;
+  EnumType(Context &Ctx, unsigned Num) : Type(Ctx, Kind::Enum), Num(Num) {}
+  unsigned Num;
+};
+
+/// `lN` — IEEE 1164 nine-valued logic vector of N bits.
+class LogicType : public Type {
+public:
+  unsigned width() const { return Width; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Logic; }
+
+private:
+  friend class Context;
+  LogicType(Context &Ctx, unsigned Width)
+      : Type(Ctx, Kind::Logic), Width(Width) {}
+  unsigned Width;
+};
+
+/// `T*` — pointer to stack or heap memory holding a T.
+class PointerType : public Type {
+public:
+  Type *pointee() const { return Pointee; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Pointer; }
+
+private:
+  friend class Context;
+  PointerType(Context &Ctx, Type *Pointee)
+      : Type(Ctx, Kind::Pointer), Pointee(Pointee) {}
+  Type *Pointee;
+};
+
+/// `T$` — a physical signal wire carrying a T.
+class SignalType : public Type {
+public:
+  Type *inner() const { return Inner; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Signal; }
+
+private:
+  friend class Context;
+  SignalType(Context &Ctx, Type *Inner)
+      : Type(Ctx, Kind::Signal), Inner(Inner) {}
+  Type *Inner;
+};
+
+/// `[N x T]` — array of N elements.
+class ArrayType : public Type {
+public:
+  unsigned length() const { return Length; }
+  Type *element() const { return Element; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Array; }
+
+private:
+  friend class Context;
+  ArrayType(Context &Ctx, unsigned Length, Type *Element)
+      : Type(Ctx, Kind::Array), Length(Length), Element(Element) {}
+  unsigned Length;
+  Type *Element;
+};
+
+/// `{T1, T2, ...}` — structure with positional fields.
+class StructType : public Type {
+public:
+  unsigned numFields() const { return Fields.size(); }
+  Type *field(unsigned I) const {
+    assert(I < Fields.size() && "field index out of range");
+    return Fields[I];
+  }
+  const std::vector<Type *> &fields() const { return Fields; }
+  static bool classof(const Type *T) { return T->kind() == Kind::Struct; }
+
+private:
+  friend class Context;
+  StructType(Context &Ctx, std::vector<Type *> Fields)
+      : Type(Ctx, Kind::Struct), Fields(std::move(Fields)) {}
+  std::vector<Type *> Fields;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_TYPE_H

@@ -1,0 +1,105 @@
+//===- ir/Unit.cpp - Functions, processes and entities ---------------------===//
+
+#include "ir/Unit.h"
+
+#include <algorithm>
+
+using namespace llhd;
+
+Unit::~Unit() {
+  // Sever all def-use edges first so teardown order does not matter.
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : BB->insts())
+      I->dropAllOperands();
+  for (BasicBlock *BB : Blocks) {
+    BB->replaceAllUsesWith(nullptr);
+    delete BB;
+  }
+  Blocks.clear();
+  for (Argument *A : Inputs) {
+    A->replaceAllUsesWith(nullptr);
+    delete A;
+  }
+  for (Argument *A : Outputs) {
+    A->replaceAllUsesWith(nullptr);
+    delete A;
+  }
+}
+
+Argument *Unit::addInput(Type *Ty, std::string Name) {
+  assert(isFunction() ||
+         Ty->isSignal() && "process/entity inputs must be signals");
+  auto *A = new Argument(Ty, std::move(Name), Argument::Dir::In,
+                         Inputs.size(), this);
+  Inputs.push_back(A);
+  return A;
+}
+
+Argument *Unit::addOutput(Type *Ty, std::string Name) {
+  assert(!isFunction() && "functions have no outputs");
+  assert(Ty->isSignal() && "process/entity outputs must be signals");
+  auto *A = new Argument(Ty, std::move(Name), Argument::Dir::Out,
+                         Outputs.size(), this);
+  Outputs.push_back(A);
+  return A;
+}
+
+Argument *Unit::argumentByName(const std::string &N) const {
+  for (Argument *A : Inputs)
+    if (A->name() == N)
+      return A;
+  for (Argument *A : Outputs)
+    if (A->name() == N)
+      return A;
+  return nullptr;
+}
+
+BasicBlock *Unit::entityBlock() {
+  assert(isEntity() && "entityBlock() on a control-flow unit");
+  if (Blocks.empty())
+    createBlock("body");
+  return Blocks.front();
+}
+
+BasicBlock *Unit::createBlock(std::string Name) {
+  assert(!(isEntity() && !Blocks.empty()) &&
+         "entities have exactly one block");
+  auto *BB = new BasicBlock(Ctx, std::move(Name));
+  BB->Parent = this;
+  Blocks.push_back(BB);
+  return BB;
+}
+
+BasicBlock *Unit::createBlockAfter(std::string Name, BasicBlock *After) {
+  auto *BB = new BasicBlock(Ctx, std::move(Name));
+  BB->Parent = this;
+  auto It = std::find(Blocks.begin(), Blocks.end(), After);
+  assert(It != Blocks.end() && "anchor block not in this unit");
+  Blocks.insert(It + 1, BB);
+  return BB;
+}
+
+void Unit::eraseBlock(BasicBlock *BB) {
+  assert(BB->parent() == this && "block not in this unit");
+  assert(!BB->hasUses() && "erasing a block that still has uses");
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block not found");
+  Blocks.erase(It);
+  delete BB;
+}
+
+void Unit::moveBlockAfter(BasicBlock *BB, BasicBlock *After) {
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block not in this unit");
+  Blocks.erase(It);
+  auto AfterIt = std::find(Blocks.begin(), Blocks.end(), After);
+  assert(AfterIt != Blocks.end() && "anchor block not in this unit");
+  Blocks.insert(AfterIt + 1, BB);
+}
+
+unsigned Unit::numInsts() const {
+  unsigned N = 0;
+  for (BasicBlock *BB : Blocks)
+    N += BB->size();
+  return N;
+}

@@ -1,0 +1,124 @@
+//===- ir/Unit.h - Functions, processes and entities ------------*- C++ -*-===//
+//
+// The three LLHD design units (§2.4, Table 1):
+//   Function — control flow, immediate execution, user-defined mapping.
+//   Process  — control flow, timed, behavioural circuit description.
+//   Entity   — data flow, timed, structural circuit description.
+// Units can also be declarations (extern), resolved by the Linker.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_UNIT_H
+#define LLHD_IR_UNIT_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class Module;
+
+/// One LLHD design unit.
+class Unit {
+public:
+  enum class Kind { Function, Process, Entity };
+
+  Unit(Context &Ctx, Kind K, std::string Name)
+      : Ctx(Ctx), TheKind(K), Name(std::move(Name)),
+        ReturnType(Ctx.voidType()) {}
+  ~Unit();
+  Unit(const Unit &) = delete;
+  Unit &operator=(const Unit &) = delete;
+
+  Context &context() const { return Ctx; }
+  Kind kind() const { return TheKind; }
+  /// Re-kinds a body-less declaration. Used by the parser when a unit that
+  /// was auto-declared from an `inst` turns out to be a process.
+  void setKind(Kind K) {
+    assert(!hasBody() && "cannot re-kind a defined unit");
+    TheKind = K;
+  }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  Module *parent() const { return Parent; }
+
+  bool isFunction() const { return TheKind == Kind::Function; }
+  bool isProcess() const { return TheKind == Kind::Process; }
+  bool isEntity() const { return TheKind == Kind::Entity; }
+  /// Control-flow units consist of basic blocks with terminators;
+  /// entities are a single data-flow block (§2.4).
+  bool isControlFlow() const { return !isEntity(); }
+  /// Timed units persist across simulation time (§2.4).
+  bool isTimed() const { return !isFunction(); }
+
+  /// A declaration has a signature but no body.
+  bool isDeclaration() const { return Declaration; }
+  void setDeclaration(bool D) { Declaration = D; }
+  /// True for the built-in `llhd.*` intrinsics (§2.5.9).
+  bool isIntrinsic() const { return Name.rfind("llhd.", 0) == 0; }
+
+  //===------------------------------------------------------------------===//
+  // Signature.
+  //===------------------------------------------------------------------===//
+
+  /// Adds an input argument (function parameter or process/entity input).
+  Argument *addInput(Type *Ty, std::string Name);
+  /// Adds an output argument (process/entity only; must be signal type).
+  Argument *addOutput(Type *Ty, std::string Name);
+
+  const std::vector<Argument *> &inputs() const { return Inputs; }
+  const std::vector<Argument *> &outputs() const { return Outputs; }
+  Argument *input(unsigned I) const { return Inputs[I]; }
+  Argument *output(unsigned I) const { return Outputs[I]; }
+
+  /// Function return type; void for processes/entities.
+  Type *returnType() const { return ReturnType; }
+  void setReturnType(Type *Ty) { ReturnType = Ty; }
+
+  /// Looks up an argument (input or output) by name; null if absent.
+  Argument *argumentByName(const std::string &N) const;
+
+  //===------------------------------------------------------------------===//
+  // Body.
+  //===------------------------------------------------------------------===//
+
+  const std::vector<BasicBlock *> &blocks() const { return Blocks; }
+  bool hasBody() const { return !Blocks.empty(); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "unit has no body");
+    return Blocks.front();
+  }
+  /// For entities: the single data-flow block, creating it on demand.
+  BasicBlock *entityBlock();
+
+  /// Creates and appends a new block.
+  BasicBlock *createBlock(std::string Name);
+  /// Creates a block inserted after \p After.
+  BasicBlock *createBlockAfter(std::string Name, BasicBlock *After);
+  /// Detaches and deletes \p BB (which must be use-free).
+  void eraseBlock(BasicBlock *BB);
+  /// Moves \p BB to just after \p After in block order.
+  void moveBlockAfter(BasicBlock *BB, BasicBlock *After);
+
+  /// Total instruction count across all blocks.
+  unsigned numInsts() const;
+
+private:
+  friend class Module;
+  Context &Ctx;
+  Kind TheKind;
+  std::string Name;
+  Module *Parent = nullptr;
+  bool Declaration = false;
+  std::vector<Argument *> Inputs;
+  std::vector<Argument *> Outputs;
+  Type *ReturnType;
+  std::vector<BasicBlock *> Blocks;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_UNIT_H

@@ -1,0 +1,42 @@
+//===- ir/Value.cpp - SSA values, uses and users --------------------------===//
+
+#include "ir/Value.h"
+
+using namespace llhd;
+
+void Use::set(Value *NewVal) {
+  if (Val == NewVal)
+    return;
+  if (Val)
+    Val->removeUse(this);
+  Val = NewVal;
+  if (Val)
+    Val->addUse(this);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replaceAllUsesWith on itself");
+  while (!UseList.empty())
+    UseList.back()->set(New);
+}
+
+void User::appendOperand(Value *V) {
+  auto U = std::make_unique<Use>();
+  U->init(this, Operands.size());
+  Operands.push_back(std::move(U));
+  Operands.back()->set(V);
+}
+
+void User::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  Operands[I]->clear();
+  Operands.erase(Operands.begin() + I);
+  for (unsigned J = I, E = Operands.size(); J != E; ++J)
+    Operands[J]->init(this, J);
+}
+
+void User::dropAllOperands() {
+  for (auto &U : Operands)
+    U->clear();
+  Operands.clear();
+}

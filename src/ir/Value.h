@@ -1,0 +1,162 @@
+//===- ir/Value.h - SSA values, uses and users ------------------*- C++ -*-===//
+//
+// The SSA value graph. A Value is anything that can be referenced by name
+// in the IR: unit arguments, basic blocks and instruction results. Users
+// (instructions) hold Use objects that register themselves in the used
+// Value's use list, enabling def-use traversal and replaceAllUsesWith.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_VALUE_H
+#define LLHD_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class User;
+class Value;
+class Unit;
+
+/// One operand slot of a User; registers itself with the used Value.
+class Use {
+public:
+  Use() = default;
+  Use(const Use &) = delete;
+  Use &operator=(const Use &) = delete;
+  Use(Use &&) = delete;
+  ~Use() { clear(); }
+
+  Value *get() const { return Val; }
+  User *user() const { return Usr; }
+  unsigned operandIndex() const { return Index; }
+
+  /// Points this use at \p NewVal (possibly null), updating use lists.
+  void set(Value *NewVal);
+  void clear() { set(nullptr); }
+
+private:
+  friend class User;
+  void init(User *U, unsigned I) {
+    Usr = U;
+    Index = I;
+  }
+
+  Value *Val = nullptr;
+  User *Usr = nullptr;
+  unsigned Index = 0;
+};
+
+/// Base class of everything that can be used as an operand.
+class Value {
+public:
+  enum class Kind {
+    Argument,
+    BasicBlock,
+    Instruction,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  Kind valueKind() const { return TheKind; }
+  Type *type() const { return Ty; }
+  void setType(Type *T) { Ty = T; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  bool hasName() const { return !Name.empty(); }
+
+  const std::vector<Use *> &uses() const { return UseList; }
+  bool hasUses() const { return !UseList.empty(); }
+  unsigned numUses() const { return UseList.size(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(Kind K, Type *Ty, std::string Name)
+      : TheKind(K), Ty(Ty), Name(std::move(Name)) {}
+  ~Value() {
+    assert(UseList.empty() && "deleting a value that still has uses");
+  }
+
+private:
+  friend class Use;
+  void addUse(Use *U) { UseList.push_back(U); }
+  void removeUse(Use *U) {
+    auto It = std::find(UseList.begin(), UseList.end(), U);
+    assert(It != UseList.end() && "use not registered");
+    UseList.erase(It);
+  }
+
+  Kind TheKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use *> UseList;
+};
+
+/// A Value that holds operands (instructions).
+class User : public Value {
+public:
+  unsigned numOperands() const { return Operands.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I]->get();
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I]->set(V);
+  }
+
+  /// Appends a new trailing operand slot holding \p V.
+  void appendOperand(Value *V);
+  /// Removes the operand slot at \p I, shifting later operands down.
+  void removeOperand(unsigned I);
+  /// Clears all operand slots (used before deletion).
+  void dropAllOperands();
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == Kind::Instruction;
+  }
+
+protected:
+  User(Kind K, Type *Ty, std::string Name) : Value(K, Ty, std::move(Name)) {}
+  ~User() { dropAllOperands(); }
+
+  /// Use slots; heap-allocated so addresses are stable across growth.
+  std::vector<std::unique_ptr<Use>> Operands;
+};
+
+/// An input or output argument of a unit.
+class Argument : public Value {
+public:
+  enum class Dir { In, Out };
+
+  Argument(Type *Ty, std::string Name, Dir D, unsigned Index, Unit *Parent)
+      : Value(Kind::Argument, Ty, std::move(Name)), Direction(D), Index(Index),
+        Parent(Parent) {}
+
+  Dir direction() const { return Direction; }
+  bool isInput() const { return Direction == Dir::In; }
+  unsigned index() const { return Index; }
+  Unit *parent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == Kind::Argument;
+  }
+
+private:
+  Dir Direction;
+  unsigned Index;
+  Unit *Parent;
+};
+
+} // namespace llhd
+
+#endif // LLHD_IR_VALUE_H

@@ -1,0 +1,49 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Structural verification of LLHD IR: per-unit instruction legality
+// (Table 1 / §2.5), terminator discipline, SSA dominance, operand typing.
+// Also hosts the multi-level dialect checker (§2.2): Behavioural ⊃
+// Structural ⊃ Netlist.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_IR_VERIFIER_H
+#define LLHD_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// The three levels of the multi-level IR (§2.2).
+enum class IRLevel {
+  Behavioural, ///< Full IR: simulation, verification, testbenches.
+  Structural,  ///< Input/output relations only; entity constructs.
+  Netlist,     ///< Entities, sig/con/del/inst only.
+};
+
+const char *irLevelName(IRLevel L);
+
+/// Verifies \p U; appends diagnostics to \p Errors. Returns true if clean.
+bool verifyUnit(const Unit &U, std::vector<std::string> &Errors);
+
+/// Verifies all units of \p M. Returns true if clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Checks whether \p U conforms to level \p L (legality of constructs,
+/// not behaviour). Appends diagnostics; returns true if conformant.
+bool checkUnitLevel(const Unit &U, IRLevel L,
+                    std::vector<std::string> &Errors);
+
+/// Checks whether every unit of \p M conforms to level \p L.
+bool checkModuleLevel(const Module &M, IRLevel L,
+                      std::vector<std::string> &Errors);
+
+/// The lowest (most restrictive) level the module conforms to.
+IRLevel classifyModule(const Module &M);
+
+} // namespace llhd
+
+#endif // LLHD_IR_VERIFIER_H

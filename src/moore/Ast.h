@@ -1,0 +1,177 @@
+//===- moore/Ast.h - SystemVerilog subset AST -------------------*- C++ -*-===//
+//
+// Abstract syntax for the Moore frontend's SystemVerilog subset: ANSI
+// modules with parameters, variables (packed + one unpacked dimension),
+// continuous assigns, always_ff/always_comb/always/initial blocks,
+// functions, and hierarchical instantiation with .name / .* connections.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_MOORE_AST_H
+#define LLHD_MOORE_AST_H
+
+#include "support/IntValue.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llhd {
+namespace moore {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expressions.
+struct Expr {
+  enum class Kind {
+    Number,  ///< literal (Num; Sized if width explicit)
+    Ident,   ///< Name
+    Unary,   ///< Op, Ops[0]; Op in {~,!,-,&,|,^,~|,~&} (reductions incl.)
+    Binary,  ///< Op, Ops[0], Ops[1]
+    Ternary, ///< Ops[0] ? Ops[1] : Ops[2]
+    Index,   ///< Name[Ops[0]] — identifier base only
+    Slice,   ///< Name[Ops[0]:Ops[1]] — constant bounds
+    Concat,  ///< {Ops...}
+    Repl,    ///< {Ops[0]{Ops[1]}} — replication count Ops[0]
+    Call,    ///< Name(Ops...)
+  };
+  Kind K;
+  unsigned Line = 0;
+  IntValue Num;
+  bool Sized = false;
+  std::string Name;
+  std::string Op;
+  std::vector<ExprPtr> Ops;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statements.
+struct Stmt {
+  enum class Kind {
+    Block,    ///< begin Stmts end
+    If,       ///< Cond, Then, Else?
+    For,      ///< InitVar/InitExpr; Cond; StepVar/StepExpr; Body
+    While,    ///< Cond, Body
+    DoWhile,  ///< Body, Cond
+    Repeat,   ///< Cond(count), Body
+    Forever,  ///< Body
+    Case,     ///< Cond + Items
+    Assign,   ///< Lhs (NonBlocking?), Rhs, Delay?
+    VarDecl,  ///< local variable: Name, Width, Init?
+    Delay,    ///< "#t;" — Cond holds the delay expression
+    ExprStmt, ///< call (assert, $finish, user function)
+    Break,
+  };
+  struct CaseItem {
+    std::vector<ExprPtr> Labels; ///< empty = default
+    StmtPtr Body;
+  };
+  Kind K;
+  unsigned Line = 0;
+  ExprPtr Cond;
+  ExprPtr Lhs, Rhs, Delay;
+  bool NonBlocking = false;
+  std::string Name;   ///< For/VarDecl variable.
+  ExprPtr Init, Step; ///< For: init value and step assignment RHS.
+  std::string StepVar;
+  std::vector<StmtPtr> Stmts;
+  StmtPtr Then, Else, Body;
+  std::vector<CaseItem> Items;
+  // VarDecl payload.
+  ExprPtr WidthMsb, WidthLsb;
+  ExprPtr UnpackedLo, UnpackedHi; ///< Optional unpacked dimension.
+};
+
+/// A packed range [Msb:Lsb] (as constant expressions) or scalar.
+struct Range {
+  ExprPtr Msb, Lsb;
+  bool isScalar() const { return !Msb; }
+};
+
+/// A port.
+struct Port {
+  enum class Dir { In, Out };
+  Dir Direction;
+  std::string Name;
+  Range Packed;
+  unsigned Line = 0;
+};
+
+/// A module-level variable / net.
+struct Net {
+  std::string Name;
+  Range Packed;
+  ExprPtr UnpackedLo, UnpackedHi; ///< one optional unpacked dimension
+  unsigned Line = 0;
+};
+
+/// Procedural block kinds.
+enum class ProcKind { AlwaysComb, AlwaysFF, AlwaysLatch, Always, Initial };
+
+/// One event in an always_ff sensitivity list.
+struct EdgeEvent {
+  bool Posedge;
+  std::string Signal;
+};
+
+struct ProcBlock {
+  ProcKind Kind;
+  std::vector<EdgeEvent> Edges; ///< always_ff only.
+  StmtPtr Body;
+  unsigned Line = 0;
+};
+
+/// A continuous assignment.
+struct ContAssign {
+  ExprPtr Lhs, Rhs;
+  unsigned Line = 0;
+};
+
+struct FunctionDecl {
+  std::string Name;
+  Range RetPacked;
+  std::vector<Port> Args; ///< inputs only.
+  std::vector<StmtPtr> Body;
+  unsigned Line = 0;
+};
+
+struct Instantiation {
+  std::string ModuleName;
+  std::string InstName;
+  std::vector<std::pair<std::string, ExprPtr>> ParamOverrides;
+  std::vector<std::pair<std::string, ExprPtr>> Connections;
+  bool WildcardRest = false; ///< ".*"
+  unsigned Line = 0;
+};
+
+struct Parameter {
+  std::string Name;
+  ExprPtr Default;
+  bool Local = false;
+  unsigned Line = 0;
+};
+
+struct ModuleDecl {
+  std::string Name;
+  std::vector<Parameter> Params;
+  std::vector<Port> Ports;
+  std::vector<Net> Nets;
+  std::vector<ContAssign> Assigns;
+  std::vector<ProcBlock> Procs;
+  std::vector<FunctionDecl> Functions;
+  std::vector<Instantiation> Insts;
+  unsigned Line = 0;
+};
+
+/// A parsed source file.
+struct SourceFile {
+  std::vector<std::unique_ptr<ModuleDecl>> Modules;
+};
+
+} // namespace moore
+} // namespace llhd
+
+#endif // LLHD_MOORE_AST_H

@@ -1,0 +1,38 @@
+//===- moore/Compiler.h - SystemVerilog to LLHD -----------------*- C++ -*-===//
+//
+// The Moore frontend (§3): elaborates a SystemVerilog-subset AST
+// (parameters resolved, loops unrolled where constant) and lowers it to
+// Behavioural LLHD. Modules map to entities, procedural blocks to
+// processes, and functions to LLHD functions, mirroring the Figure 2/3
+// correspondence.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_MOORE_COMPILER_H
+#define LLHD_MOORE_COMPILER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace llhd {
+namespace moore {
+
+struct CompileResult {
+  bool Ok = true;
+  std::string Error;
+  /// The LLHD unit name of the elaborated top module.
+  std::string TopUnit;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Compiles \p Src, elaborating \p TopModule (with default parameters)
+/// and everything it instantiates into \p M.
+CompileResult compileSystemVerilog(const std::string &Src,
+                                   const std::string &TopModule, Module &M);
+
+} // namespace moore
+} // namespace llhd
+
+#endif // LLHD_MOORE_COMPILER_H

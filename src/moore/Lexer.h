@@ -1,0 +1,43 @@
+//===- moore/Lexer.h - SystemVerilog lexer ----------------------*- C++ -*-===//
+//
+// Token stream for the Moore frontend's SystemVerilog subset (§3).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_MOORE_LEXER_H
+#define LLHD_MOORE_LEXER_H
+
+#include "support/IntValue.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+namespace moore {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,   ///< identifiers and keywords
+  Number,  ///< numeric literal (possibly sized/based)
+  String,  ///< "..."
+  Punct,   ///< operator / punctuation (text in Token::Text)
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text;
+  unsigned Line = 0;
+  // Numeric payload.
+  IntValue Num;
+  bool Sized = false; ///< Width was explicit (e.g. 8'hff).
+};
+
+/// Lexes the whole input up front (including skipping // and /* */
+/// comments); parse errors carry line numbers.
+std::vector<Token> lexSystemVerilog(const std::string &Src,
+                                    std::string &Error);
+
+} // namespace moore
+} // namespace llhd
+
+#endif // LLHD_MOORE_LEXER_H

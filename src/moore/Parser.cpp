@@ -1,0 +1,1013 @@
+//===- moore/Parser.cpp - SystemVerilog parser ---------------------------------===//
+
+#include "moore/Parser.h"
+#include "moore/Lexer.h"
+
+#include <map>
+
+using namespace llhd;
+using namespace llhd::moore;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, SourceFile &Out, std::string &Error)
+      : Toks(std::move(Toks)), Out(Out), Err(Error) {}
+
+  bool run() {
+    while (!at(Tok::Eof)) {
+      if (!parseModule())
+        return false;
+    }
+    return true;
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token helpers
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    return Toks[std::min(Pos + Ahead, Toks.size() - 1)];
+  }
+  void advance() {
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+  }
+  bool at(Tok K) const { return cur().Kind == K; }
+  bool atIdent(const char *S) const {
+    return cur().Kind == Tok::Ident && cur().Text == S;
+  }
+  bool atPunct(const char *S) const {
+    return cur().Kind == Tok::Punct && cur().Text == S;
+  }
+  bool acceptIdent(const char *S) {
+    if (!atIdent(S))
+      return false;
+    advance();
+    return true;
+  }
+  bool acceptPunct(const char *S) {
+    if (!atPunct(S))
+      return false;
+    advance();
+    return true;
+  }
+  bool error(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(cur().Line) + ": " + Msg +
+            " (near '" + cur().Text + "')";
+    return false;
+  }
+  bool expectPunct(const char *S) {
+    if (acceptPunct(S))
+      return true;
+    return error(std::string("expected '") + S + "'");
+  }
+  bool expectIdent(const char *S) {
+    if (acceptIdent(S))
+      return true;
+    return error(std::string("expected '") + S + "'");
+  }
+  bool parseIdent(std::string &Name) {
+    if (cur().Kind != Tok::Ident)
+      return error("expected identifier");
+    Name = cur().Text;
+    advance();
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  int binaryPrec(const std::string &Op) {
+    if (Op == "||") return 1;
+    if (Op == "&&") return 2;
+    if (Op == "|") return 3;
+    if (Op == "^") return 4;
+    if (Op == "&") return 5;
+    if (Op == "==" || Op == "!=") return 6;
+    if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=") return 7;
+    if (Op == "<<" || Op == ">>" || Op == ">>>") return 8;
+    if (Op == "+" || Op == "-") return 9;
+    if (Op == "*" || Op == "/" || Op == "%") return 10;
+    return 0;
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr C = parseBinary(1);
+    if (!C || !atPunct("?"))
+      return C;
+    advance();
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Ternary;
+    E->Line = C->Line;
+    ExprPtr T = parseTernary();
+    if (!T || !expectPunct(":"))
+      return nullptr;
+    ExprPtr F = parseTernary();
+    if (!F)
+      return nullptr;
+    E->Ops.push_back(std::move(C));
+    E->Ops.push_back(std::move(T));
+    E->Ops.push_back(std::move(F));
+    return E;
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr L = parseUnary();
+    if (!L)
+      return nullptr;
+    for (;;) {
+      if (cur().Kind != Tok::Punct)
+        return L;
+      int Prec = binaryPrec(cur().Text);
+      if (Prec == 0 || Prec < MinPrec)
+        return L;
+      std::string Op = cur().Text;
+      advance();
+      ExprPtr R = parseBinary(Prec + 1);
+      if (!R)
+        return nullptr;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Binary;
+      E->Op = Op;
+      E->Line = L->Line;
+      E->Ops.push_back(std::move(L));
+      E->Ops.push_back(std::move(R));
+      L = std::move(E);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    for (const char *Op : {"~", "!", "-", "&", "|", "^", "+"}) {
+      if (atPunct(Op)) {
+        unsigned Line = cur().Line;
+        advance();
+        ExprPtr Inner = parseUnary();
+        if (!Inner)
+          return nullptr;
+        if (Op == std::string("+"))
+          return Inner;
+        auto E = std::make_unique<Expr>();
+        E->K = Expr::Kind::Unary;
+        E->Op = Op;
+        E->Line = Line;
+        E->Ops.push_back(std::move(Inner));
+        return E;
+      }
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (!E)
+      return nullptr;
+    while (atPunct("[")) {
+      if (E->K != Expr::Kind::Ident)
+        return error("can only index identifiers"), nullptr;
+      advance();
+      ExprPtr I0 = parseExpr();
+      if (!I0)
+        return nullptr;
+      auto N = std::make_unique<Expr>();
+      N->Name = E->Name;
+      N->Line = E->Line;
+      if (acceptPunct(":")) {
+        ExprPtr I1 = parseExpr();
+        if (!I1)
+          return nullptr;
+        N->K = Expr::Kind::Slice;
+        N->Ops.push_back(std::move(I0));
+        N->Ops.push_back(std::move(I1));
+      } else if (acceptPunct("+")) {
+        // "[base +: width]" indexed part select.
+        if (!expectPunct(":"))
+          return nullptr;
+        ExprPtr W = parseExpr();
+        if (!W)
+          return nullptr;
+        N->K = Expr::Kind::Slice;
+        N->Op = "+:";
+        N->Ops.push_back(std::move(I0));
+        N->Ops.push_back(std::move(W));
+      } else {
+        N->K = Expr::Kind::Index;
+        N->Ops.push_back(std::move(I0));
+      }
+      if (!expectPunct("]"))
+        return nullptr;
+      E = std::move(N);
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    auto E = std::make_unique<Expr>();
+    E->Line = cur().Line;
+    if (cur().Kind == Tok::Number) {
+      E->K = Expr::Kind::Number;
+      E->Num = cur().Num;
+      E->Sized = cur().Sized;
+      // '0 / '1 fill literals keep Sized false and width 1; codegen
+      // extends to context width.
+      if (cur().Text == "'1")
+        E->Op = "'1";
+      advance();
+      return E;
+    }
+    if (atPunct("(")) {
+      advance();
+      ExprPtr Inner = parseExpr();
+      if (!Inner || !expectPunct(")"))
+        return nullptr;
+      return Inner;
+    }
+    if (atPunct("{")) {
+      advance();
+      // Concat or replication {N{expr}}.
+      ExprPtr First = parseExpr();
+      if (!First)
+        return nullptr;
+      if (atPunct("{")) {
+        advance();
+        ExprPtr Val = parseExpr();
+        if (!Val || !expectPunct("}") || !expectPunct("}"))
+          return nullptr;
+        E->K = Expr::Kind::Repl;
+        E->Ops.push_back(std::move(First));
+        E->Ops.push_back(std::move(Val));
+        return E;
+      }
+      E->K = Expr::Kind::Concat;
+      E->Ops.push_back(std::move(First));
+      while (acceptPunct(",")) {
+        ExprPtr Next = parseExpr();
+        if (!Next)
+          return nullptr;
+        E->Ops.push_back(std::move(Next));
+      }
+      if (!expectPunct("}"))
+        return nullptr;
+      return E;
+    }
+    if (cur().Kind == Tok::Ident) {
+      std::string Name = cur().Text;
+      advance();
+      if (atPunct("(")) {
+        advance();
+        E->K = Expr::Kind::Call;
+        E->Name = Name;
+        if (!atPunct(")")) {
+          do {
+            ExprPtr A = parseExpr();
+            if (!A)
+              return nullptr;
+            E->Ops.push_back(std::move(A));
+          } while (acceptPunct(","));
+        }
+        if (!expectPunct(")"))
+          return nullptr;
+        return E;
+      }
+      E->K = Expr::Kind::Ident;
+      E->Name = Name;
+      return E;
+    }
+    error("expected expression");
+    return nullptr;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  StmtPtr parseStmt() {
+    auto S = std::make_unique<Stmt>();
+    S->Line = cur().Line;
+    if (acceptIdent("begin")) {
+      S->K = Stmt::Kind::Block;
+      while (!atIdent("end")) {
+        if (at(Tok::Eof)) {
+          error("unexpected end of input in block");
+          return nullptr;
+        }
+        StmtPtr Sub = parseStmt();
+        if (!Sub)
+          return nullptr;
+        S->Stmts.push_back(std::move(Sub));
+      }
+      advance(); // end
+      return S;
+    }
+    if (acceptIdent("if")) {
+      S->K = Stmt::Kind::If;
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      S->Then = parseStmt();
+      if (!S->Then)
+        return nullptr;
+      if (acceptIdent("else")) {
+        S->Else = parseStmt();
+        if (!S->Else)
+          return nullptr;
+      }
+      return S;
+    }
+    if (acceptIdent("for")) {
+      S->K = Stmt::Kind::For;
+      if (!expectPunct("("))
+        return nullptr;
+      // "int i = 0" or "i = 0".
+      acceptIdent("int");
+      acceptIdent("automatic");
+      acceptIdent("bit");
+      if (!parseIdent(S->Name) || !expectPunct("="))
+        return nullptr;
+      S->Init = parseExpr();
+      if (!S->Init || !expectPunct(";"))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(";"))
+        return nullptr;
+      // Step: "i = i + 1" or "i++".
+      if (!parseIdent(S->StepVar))
+        return nullptr;
+      if (acceptPunct("++")) {
+        auto One = std::make_unique<Expr>();
+        One->K = Expr::Kind::Number;
+        One->Num = IntValue(32, 1);
+        auto Ref = std::make_unique<Expr>();
+        Ref->K = Expr::Kind::Ident;
+        Ref->Name = S->StepVar;
+        auto Add = std::make_unique<Expr>();
+        Add->K = Expr::Kind::Binary;
+        Add->Op = "+";
+        Add->Ops.push_back(std::move(Ref));
+        Add->Ops.push_back(std::move(One));
+        S->Step = std::move(Add);
+      } else if (acceptPunct("=")) {
+        S->Step = parseExpr();
+        if (!S->Step)
+          return nullptr;
+      } else if (acceptPunct("+")) {
+        if (!expectPunct("="))
+          return nullptr;
+        ExprPtr Rhs = parseExpr();
+        if (!Rhs)
+          return nullptr;
+        auto Ref = std::make_unique<Expr>();
+        Ref->K = Expr::Kind::Ident;
+        Ref->Name = S->StepVar;
+        auto Add = std::make_unique<Expr>();
+        Add->K = Expr::Kind::Binary;
+        Add->Op = "+";
+        Add->Ops.push_back(std::move(Ref));
+        Add->Ops.push_back(std::move(Rhs));
+        S->Step = std::move(Add);
+      } else {
+        error("unsupported for-loop step");
+        return nullptr;
+      }
+      if (!expectPunct(")"))
+        return nullptr;
+      S->Body = parseStmt();
+      return S->Body ? std::move(S) : nullptr;
+    }
+    if (acceptIdent("while")) {
+      S->K = Stmt::Kind::While;
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      S->Body = parseStmt();
+      return S->Body ? std::move(S) : nullptr;
+    }
+    if (acceptIdent("do")) {
+      S->K = Stmt::Kind::DoWhile;
+      S->Body = parseStmt();
+      if (!S->Body || !expectIdent("while") || !expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")") || !expectPunct(";"))
+        return nullptr;
+      return S;
+    }
+    if (acceptIdent("repeat")) {
+      S->K = Stmt::Kind::Repeat;
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      S->Body = parseStmt();
+      return S->Body ? std::move(S) : nullptr;
+    }
+    if (acceptIdent("forever")) {
+      S->K = Stmt::Kind::Forever;
+      S->Body = parseStmt();
+      return S->Body ? std::move(S) : nullptr;
+    }
+    if (acceptIdent("case")) {
+      S->K = Stmt::Kind::Case;
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      while (!atIdent("endcase")) {
+        if (at(Tok::Eof)) {
+          error("unexpected end of input in case");
+          return nullptr;
+        }
+        Stmt::CaseItem Item;
+        if (acceptIdent("default")) {
+          acceptPunct(":");
+        } else {
+          do {
+            ExprPtr L = parseExpr();
+            if (!L)
+              return nullptr;
+            Item.Labels.push_back(std::move(L));
+          } while (acceptPunct(","));
+          if (!expectPunct(":"))
+            return nullptr;
+        }
+        Item.Body = parseStmt();
+        if (!Item.Body)
+          return nullptr;
+        S->Items.push_back(std::move(Item));
+      }
+      advance(); // endcase
+      return S;
+    }
+    if (atPunct("#")) {
+      advance();
+      S->K = Stmt::Kind::Delay;
+      S->Cond = parseDelayExpr();
+      if (!S->Cond)
+        return nullptr;
+      if (acceptPunct(";"))
+        return S;
+      // "#t stmt" — delay followed by a statement (always #5 clk = ~clk).
+      S->Body = parseStmt();
+      return S->Body ? std::move(S) : nullptr;
+    }
+    if (atIdent("assert")) {
+      advance();
+      S->K = Stmt::Kind::ExprStmt;
+      auto Call = std::make_unique<Expr>();
+      Call->K = Expr::Kind::Call;
+      Call->Name = "assert";
+      Call->Line = S->Line;
+      if (!expectPunct("("))
+        return nullptr;
+      ExprPtr C = parseExpr();
+      if (!C || !expectPunct(")"))
+        return nullptr;
+      Call->Ops.push_back(std::move(C));
+      S->Rhs = std::move(Call);
+      // Optional "else $error(...)" clause is ignored.
+      if (acceptIdent("else"))
+        skipToSemicolon();
+      acceptPunct(";");
+      return S;
+    }
+    if (atIdent("$finish") || atIdent("$display") || atIdent("$error")) {
+      bool IsFinish = cur().Text == "$finish";
+      advance();
+      if (atPunct("(")) {
+        skipBalancedParens();
+      }
+      if (!expectPunct(";"))
+        return nullptr;
+      S->K = Stmt::Kind::ExprStmt;
+      auto Call = std::make_unique<Expr>();
+      Call->K = Expr::Kind::Call;
+      Call->Name = IsFinish ? "$finish" : "$display";
+      S->Rhs = std::move(Call);
+      return S;
+    }
+    if (acceptIdent("break")) {
+      S->K = Stmt::Kind::Break;
+      if (!expectPunct(";"))
+        return nullptr;
+      return S;
+    }
+    // Local variable declaration: "bit [7:0] x;" / "int i = 0;" /
+    // "automatic bit [31:0] i = 0;".
+    if (atIdent("automatic") || atIdent("bit") || atIdent("logic") ||
+        atIdent("int") || atIdent("integer")) {
+      acceptIdent("automatic");
+      bool IsInt = atIdent("int") || atIdent("integer");
+      advance(); // type keyword
+      ExprPtr Msb, Lsb;
+      if (!IsInt && atPunct("[")) {
+        advance();
+        Msb = parseExpr();
+        if (!Msb || !expectPunct(":"))
+          return nullptr;
+        Lsb = parseExpr();
+        if (!Lsb || !expectPunct("]"))
+          return nullptr;
+      }
+      // Comma-separated declarators become a block of VarDecls.
+      S->K = Stmt::Kind::Block;
+      do {
+        auto D = std::make_unique<Stmt>();
+        D->K = Stmt::Kind::VarDecl;
+        D->Line = cur().Line;
+        if (Msb) {
+          D->WidthMsb = cloneExpr(*Msb);
+          D->WidthLsb = cloneExpr(*Lsb);
+        }
+        if (!parseIdent(D->Name))
+          return nullptr;
+        if (acceptPunct("[")) {
+          D->UnpackedLo = parseExpr();
+          if (!D->UnpackedLo || !expectPunct(":"))
+            return nullptr;
+          D->UnpackedHi = parseExpr();
+          if (!D->UnpackedHi || !expectPunct("]"))
+            return nullptr;
+        }
+        if (acceptPunct("=")) {
+          D->Init = parseExpr();
+          if (!D->Init)
+            return nullptr;
+        }
+        S->Stmts.push_back(std::move(D));
+      } while (acceptPunct(","));
+      if (!expectPunct(";"))
+        return nullptr;
+      if (S->Stmts.size() == 1)
+        return std::move(S->Stmts[0]);
+      return S;
+    }
+
+    // Assignment: lvalue (<=|=) [#delay] expr ;  — or a call statement.
+    ExprPtr Lhs = parsePostfix();
+    if (!Lhs)
+      return nullptr;
+    if (Lhs->K == Expr::Kind::Call && acceptPunct(";")) {
+      S->K = Stmt::Kind::ExprStmt;
+      S->Rhs = std::move(Lhs);
+      return S;
+    }
+    S->K = Stmt::Kind::Assign;
+    if (acceptPunct("<=")) {
+      S->NonBlocking = true;
+    } else if (acceptPunct("=")) {
+      S->NonBlocking = false;
+    } else {
+      error("expected assignment");
+      return nullptr;
+    }
+    if (acceptPunct("#")) {
+      S->Delay = parseDelayExpr();
+      if (!S->Delay)
+        return nullptr;
+    }
+    S->Lhs = std::move(Lhs);
+    S->Rhs = parseExpr();
+    if (!S->Rhs || !expectPunct(";"))
+      return nullptr;
+    return S;
+  }
+
+  /// A delay expression: number with optional time unit (e.g. 2ns → the
+  /// femtosecond count as a Number expr tagged Op="time").
+  ExprPtr parseDelayExpr() {
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Number;
+    E->Op = "time";
+    E->Line = cur().Line;
+    if (cur().Kind != Tok::Number) {
+      error("expected delay literal");
+      return nullptr;
+    }
+    uint64_t N = cur().Num.zextToU64();
+    advance();
+    uint64_t Scale = 1000000; // Default: ns.
+    if (cur().Kind == Tok::Ident) {
+      const std::string &U = cur().Text;
+      if (U == "fs") Scale = 1;
+      else if (U == "ps") Scale = 1000;
+      else if (U == "ns") Scale = 1000000;
+      else if (U == "us") Scale = 1000000000ull;
+      else if (U == "ms") Scale = 1000000000000ull;
+      else if (U == "s") Scale = 1000000000000000ull;
+      else Scale = 0;
+      if (Scale != 0)
+        advance();
+      else
+        Scale = 1000000;
+    }
+    E->Num = IntValue(64, N * Scale);
+    return E;
+  }
+
+  void skipToSemicolon() {
+    while (!at(Tok::Eof) && !atPunct(";"))
+      advance();
+  }
+
+  void skipBalancedParens() {
+    if (!atPunct("("))
+      return;
+    int Depth = 0;
+    do {
+      if (atPunct("("))
+        ++Depth;
+      if (atPunct(")"))
+        --Depth;
+      advance();
+    } while (!at(Tok::Eof) && Depth > 0);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Module items
+  //===------------------------------------------------------------------===//
+
+  bool parseRange(Range &R) {
+    if (!atPunct("["))
+      return true;
+    advance();
+    R.Msb = parseExpr();
+    if (!R.Msb || !expectPunct(":"))
+      return false;
+    R.Lsb = parseExpr();
+    if (!R.Lsb || !expectPunct("]"))
+      return false;
+    return true;
+  }
+
+  bool parseModule() {
+    if (!expectIdent("module"))
+      return false;
+    auto M = std::make_unique<ModuleDecl>();
+    M->Line = cur().Line;
+    if (!parseIdent(M->Name))
+      return false;
+
+    // Parameter list: #(parameter N = 4, ...).
+    if (acceptPunct("#")) {
+      if (!expectPunct("("))
+        return false;
+      do {
+        Parameter P;
+        acceptIdent("parameter");
+        acceptIdent("int");
+        // Optional packed range on the parameter type.
+        Range Ignored;
+        if (!parseRange(Ignored))
+          return false;
+        if (!parseIdent(P.Name) || !expectPunct("="))
+          return false;
+        P.Default = parseExpr();
+        if (!P.Default)
+          return false;
+        M->Params.push_back(std::move(P));
+      } while (acceptPunct(","));
+      if (!expectPunct(")"))
+        return false;
+    }
+
+    // ANSI port list.
+    if (acceptPunct("(")) {
+      if (!atPunct(")")) {
+        Port::Dir Dir = Port::Dir::In;
+        Range Packed;
+        do {
+          // A direction or type keyword starts a fresh declaration whose
+          // range defaults to scalar; a bare identifier continues the
+          // previous declaration and inherits its range.
+          bool Fresh = false;
+          if (acceptIdent("input")) {
+            Dir = Port::Dir::In;
+            Fresh = true;
+          } else if (acceptIdent("output")) {
+            Dir = Port::Dir::Out;
+            Fresh = true;
+          }
+          while (atIdent("bit") || atIdent("logic") || atIdent("wire") ||
+                 atIdent("reg") || atIdent("var")) {
+            advance();
+            Fresh = true;
+          }
+          if (Fresh)
+            Packed = Range();
+          if (atPunct("[")) {
+            Packed = Range();
+            if (!parseRange(Packed))
+              return false;
+          }
+          Port P;
+          P.Direction = Dir;
+          P.Line = cur().Line;
+          if (!parseIdent(P.Name))
+            return false;
+          // Ports share the last explicit range.
+          if (Packed.Msb) {
+            P.Packed.Msb = cloneExpr(*Packed.Msb);
+            P.Packed.Lsb = cloneExpr(*Packed.Lsb);
+          }
+          M->Ports.push_back(std::move(P));
+        } while (acceptPunct(","));
+      }
+      if (!expectPunct(")"))
+        return false;
+    }
+    if (!expectPunct(";"))
+      return false;
+
+    // Body items.
+    while (!atIdent("endmodule")) {
+      if (at(Tok::Eof))
+        return error("unexpected end of input in module");
+      if (!parseModuleItem(*M))
+        return false;
+    }
+    advance(); // endmodule
+    Out.Modules.push_back(std::move(M));
+    return true;
+  }
+
+  ExprPtr cloneExpr(const Expr &E) {
+    auto C = std::make_unique<Expr>();
+    C->K = E.K;
+    C->Line = E.Line;
+    C->Num = E.Num;
+    C->Sized = E.Sized;
+    C->Name = E.Name;
+    C->Op = E.Op;
+    for (const ExprPtr &Op : E.Ops)
+      C->Ops.push_back(cloneExpr(*Op));
+    return C;
+  }
+
+  bool parseModuleItem(ModuleDecl &M) {
+    if (atIdent("parameter") || atIdent("localparam")) {
+      bool Local = cur().Text == "localparam";
+      advance();
+      acceptIdent("int");
+      do {
+        Parameter P;
+        P.Local = Local;
+        Range Ignored;
+        if (!parseRange(Ignored))
+          return false;
+        if (!parseIdent(P.Name) || !expectPunct("="))
+          return false;
+        P.Default = parseExpr();
+        if (!P.Default)
+          return false;
+        M.Params.push_back(std::move(P));
+      } while (acceptPunct(","));
+      return expectPunct(";");
+    }
+    if (atIdent("bit") || atIdent("logic") || atIdent("wire") ||
+        atIdent("reg") || atIdent("int") || atIdent("integer")) {
+      bool IsInt = atIdent("int") || atIdent("integer");
+      advance();
+      Range Packed;
+      if (!IsInt && !parseRange(Packed))
+        return false;
+      do {
+        Net N;
+        N.Line = cur().Line;
+        if (Packed.Msb) {
+          N.Packed.Msb = cloneExpr(*Packed.Msb);
+          N.Packed.Lsb = cloneExpr(*Packed.Lsb);
+        } else if (IsInt) {
+          auto Msb = std::make_unique<Expr>();
+          Msb->K = Expr::Kind::Number;
+          Msb->Num = IntValue(32, 31);
+          auto Lsb = std::make_unique<Expr>();
+          Lsb->K = Expr::Kind::Number;
+          Lsb->Num = IntValue(32, 0);
+          N.Packed.Msb = std::move(Msb);
+          N.Packed.Lsb = std::move(Lsb);
+        }
+        if (!parseIdent(N.Name))
+          return false;
+        // One unpacked dimension: [lo:hi].
+        if (acceptPunct("[")) {
+          N.UnpackedLo = parseExpr();
+          if (!N.UnpackedLo || !expectPunct(":"))
+            return false;
+          N.UnpackedHi = parseExpr();
+          if (!N.UnpackedHi || !expectPunct("]"))
+            return false;
+        }
+        M.Nets.push_back(std::move(N));
+      } while (acceptPunct(","));
+      return expectPunct(";");
+    }
+    if (acceptIdent("assign")) {
+      ContAssign A;
+      A.Line = cur().Line;
+      A.Lhs = parsePostfix();
+      if (!A.Lhs || !expectPunct("="))
+        return false;
+      A.Rhs = parseExpr();
+      if (!A.Rhs || !expectPunct(";"))
+        return false;
+      M.Assigns.push_back(std::move(A));
+      return true;
+    }
+    if (atIdent("always_comb") || atIdent("always_ff") ||
+        atIdent("always_latch") || atIdent("always") ||
+        atIdent("initial")) {
+      ProcBlock P;
+      P.Line = cur().Line;
+      std::string Kw = cur().Text;
+      advance();
+      if (Kw == "always_comb")
+        P.Kind = ProcKind::AlwaysComb;
+      else if (Kw == "always_ff")
+        P.Kind = ProcKind::AlwaysFF;
+      else if (Kw == "always_latch")
+        P.Kind = ProcKind::AlwaysLatch;
+      else if (Kw == "initial")
+        P.Kind = ProcKind::Initial;
+      else
+        P.Kind = ProcKind::Always;
+      if (P.Kind == ProcKind::AlwaysFF || P.Kind == ProcKind::Always) {
+        if (acceptPunct("@")) {
+          if (!expectPunct("("))
+            return false;
+          if (acceptPunct("*")) {
+            P.Kind = ProcKind::AlwaysComb;
+            if (!expectPunct(")"))
+              return false;
+          } else {
+            do {
+              EdgeEvent E;
+              if (acceptIdent("posedge"))
+                E.Posedge = true;
+              else if (acceptIdent("negedge"))
+                E.Posedge = false;
+              else
+                return error("expected posedge/negedge");
+              if (!parseIdent(E.Signal))
+                return false;
+              P.Edges.push_back(E);
+            } while (acceptIdent("or") || acceptPunct(","));
+            if (!expectPunct(")"))
+              return false;
+            P.Kind = ProcKind::AlwaysFF;
+          }
+        }
+      }
+      P.Body = parseStmt();
+      if (!P.Body)
+        return false;
+      M.Procs.push_back(std::move(P));
+      return true;
+    }
+    if (acceptIdent("function")) {
+      FunctionDecl F;
+      F.Line = cur().Line;
+      acceptIdent("automatic");
+      // Return type.
+      if (atIdent("void")) {
+        advance();
+      } else if (atIdent("bit") || atIdent("logic")) {
+        advance();
+        if (!parseRange(F.RetPacked))
+          return false;
+      } else if (atIdent("int") || atIdent("integer")) {
+        advance();
+        auto Msb = std::make_unique<Expr>();
+        Msb->K = Expr::Kind::Number;
+        Msb->Num = IntValue(32, 31);
+        auto Lsb = std::make_unique<Expr>();
+        Lsb->K = Expr::Kind::Number;
+        Lsb->Num = IntValue(32, 0);
+        F.RetPacked.Msb = std::move(Msb);
+        F.RetPacked.Lsb = std::move(Lsb);
+      }
+      if (!parseIdent(F.Name))
+        return false;
+      if (acceptPunct("(")) {
+        if (!atPunct(")")) {
+          do {
+            Port A;
+            A.Direction = Port::Dir::In;
+            acceptIdent("input");
+            while (atIdent("bit") || atIdent("logic") || atIdent("int"))
+              advance();
+            if (!parseRange(A.Packed))
+              return false;
+            if (!parseIdent(A.Name))
+              return false;
+            F.Args.push_back(std::move(A));
+          } while (acceptPunct(","));
+        }
+        if (!expectPunct(")"))
+          return false;
+      }
+      if (!expectPunct(";"))
+        return false;
+      while (!atIdent("endfunction")) {
+        if (at(Tok::Eof))
+          return error("unexpected end of input in function");
+        StmtPtr S = parseStmt();
+        if (!S)
+          return false;
+        F.Body.push_back(std::move(S));
+      }
+      advance(); // endfunction
+      M.Functions.push_back(std::move(F));
+      return true;
+    }
+
+    // Instantiation: mod [#(...)] name ( .a(x), .* );
+    if (cur().Kind == Tok::Ident) {
+      Instantiation I;
+      I.Line = cur().Line;
+      if (!parseIdent(I.ModuleName))
+        return false;
+      if (acceptPunct("#")) {
+        if (!expectPunct("("))
+          return false;
+        do {
+          if (!expectPunct("."))
+            return false;
+          std::string PName;
+          if (!parseIdent(PName) || !expectPunct("("))
+            return false;
+          ExprPtr V = parseExpr();
+          if (!V || !expectPunct(")"))
+            return false;
+          I.ParamOverrides.push_back({PName, std::move(V)});
+        } while (acceptPunct(","));
+        if (!expectPunct(")"))
+          return false;
+      }
+      if (!parseIdent(I.InstName))
+        return false;
+      if (!expectPunct("("))
+        return false;
+      if (!atPunct(")")) {
+        do {
+          if (acceptPunct(".")) {
+            if (acceptPunct("*")) {
+              I.WildcardRest = true;
+              continue;
+            }
+            std::string PName;
+            if (!parseIdent(PName))
+              return false;
+            if (acceptPunct("(")) {
+              ExprPtr V = parseExpr();
+              if (!V || !expectPunct(")"))
+                return false;
+              I.Connections.push_back({PName, std::move(V)});
+            } else {
+              // ".name" shorthand.
+              auto Ref = std::make_unique<Expr>();
+              Ref->K = Expr::Kind::Ident;
+              Ref->Name = PName;
+              I.Connections.push_back({PName, std::move(Ref)});
+            }
+          } else {
+            return error("only named port connections are supported");
+          }
+        } while (acceptPunct(","));
+      }
+      if (!expectPunct(")") || !expectPunct(";"))
+        return false;
+      M.Insts.push_back(std::move(I));
+      return true;
+    }
+    return error("unexpected module item");
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  SourceFile &Out;
+  std::string &Err;
+};
+
+} // namespace
+
+bool llhd::moore::parseSource(const std::string &Src, SourceFile &Out,
+                              std::string &Error) {
+  std::vector<Token> Toks = lexSystemVerilog(Src, Error);
+  if (!Error.empty())
+    return false;
+  Parser P(std::move(Toks), Out, Error);
+  return P.run();
+}

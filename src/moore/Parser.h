@@ -1,0 +1,21 @@
+//===- moore/Parser.h - SystemVerilog parser --------------------*- C++ -*-===//
+
+#ifndef LLHD_MOORE_PARSER_H
+#define LLHD_MOORE_PARSER_H
+
+#include "moore/Ast.h"
+
+#include <string>
+
+namespace llhd {
+namespace moore {
+
+/// Parses SystemVerilog source into an AST. Returns false and sets
+/// \p Error ("line N: message") on failure.
+bool parseSource(const std::string &Src, SourceFile &Out,
+                 std::string &Error);
+
+} // namespace moore
+} // namespace llhd
+
+#endif // LLHD_MOORE_PARSER_H

@@ -1,0 +1,176 @@
+//===- passes/ConstFold.cpp - Constant folding -----------------------------===//
+//
+// Evaluates pure instructions whose operands are all constants, replacing
+// them with `const` instructions (§4.1). Also folds conditional branches
+// on constant conditions into unconditional ones, which unlocks DCE of
+// the dead arm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "passes/Passes.h"
+
+using namespace llhd;
+
+namespace {
+
+/// Constant integer operand of \p I at \p Idx, or null.
+const IntValue *constIntOperand(const Instruction &I, unsigned Idx) {
+  const auto *C = dyn_cast<Instruction>(I.operand(Idx));
+  if (!C || C->opcode() != Opcode::Const || !C->type()->isInt())
+    return nullptr;
+  return &C->intValue();
+}
+
+/// Evaluates a pure integer instruction over constant operands.
+bool evalIntInst(const Instruction &I, IntValue &Out) {
+  switch (I.opcode()) {
+  case Opcode::Neg:
+  case Opcode::Not: {
+    const IntValue *A = constIntOperand(I, 0);
+    if (!A)
+      return false;
+    Out = I.opcode() == Opcode::Neg ? A->neg() : A->logicalNot();
+    return true;
+  }
+  case Opcode::Zext:
+  case Opcode::Sext:
+  case Opcode::Trunc: {
+    const IntValue *A = constIntOperand(I, 0);
+    if (!A || !I.type()->isInt())
+      return false;
+    unsigned W = cast<IntType>(I.type())->width();
+    if (I.opcode() == Opcode::Zext)
+      Out = A->zext(W);
+    else if (I.opcode() == Opcode::Sext)
+      Out = A->sext(W);
+    else
+      Out = A->trunc(W);
+    return true;
+  }
+  case Opcode::Exts: {
+    const IntValue *A = constIntOperand(I, 0);
+    if (!A || !I.type()->isInt())
+      return false;
+    Out = A->extractBits(I.immediate(), cast<IntType>(I.type())->width());
+    return true;
+  }
+  case Opcode::Inss: {
+    const IntValue *A = constIntOperand(I, 0);
+    const IntValue *B = constIntOperand(I, 1);
+    if (!A || !B)
+      return false;
+    Out = A->insertBits(I.immediate(), *B);
+    return true;
+  }
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Ashr: {
+    const IntValue *A = constIntOperand(I, 0);
+    const IntValue *Amt = constIntOperand(I, 1);
+    if (!A || !Amt || !Amt->fitsU64())
+      return false;
+    unsigned S = Amt->zextToU64() > A->width()
+                     ? A->width()
+                     : static_cast<unsigned>(Amt->zextToU64());
+    if (I.opcode() == Opcode::Shl)
+      Out = A->shl(S);
+    else if (I.opcode() == Opcode::Shr)
+      Out = A->lshr(S);
+    else
+      Out = A->ashr(S);
+    return true;
+  }
+  default:
+    break;
+  }
+
+  if (I.numOperands() != 2)
+    return false;
+  const IntValue *A = constIntOperand(I, 0);
+  const IntValue *B = constIntOperand(I, 1);
+  if (!A || !B)
+    return false;
+
+  switch (I.opcode()) {
+  case Opcode::Add:  Out = A->add(*B); return true;
+  case Opcode::Sub:  Out = A->sub(*B); return true;
+  case Opcode::Mul:  Out = A->mul(*B); return true;
+  case Opcode::Udiv: Out = A->udiv(*B); return true;
+  case Opcode::Sdiv: Out = A->sdiv(*B); return true;
+  case Opcode::Umod: Out = A->urem(*B); return true; // mod == rem unsigned
+  case Opcode::Smod: Out = A->smod(*B); return true;
+  case Opcode::Urem: Out = A->urem(*B); return true;
+  case Opcode::Srem: Out = A->srem(*B); return true;
+  case Opcode::And:  Out = A->logicalAnd(*B); return true;
+  case Opcode::Or:   Out = A->logicalOr(*B); return true;
+  case Opcode::Xor:  Out = A->logicalXor(*B); return true;
+  case Opcode::Eq:   Out = IntValue(1, A->eq(*B)); return true;
+  case Opcode::Neq:  Out = IntValue(1, !A->eq(*B)); return true;
+  case Opcode::Ult:  Out = IntValue(1, A->ult(*B)); return true;
+  case Opcode::Ugt:  Out = IntValue(1, A->ugt(*B)); return true;
+  case Opcode::Ule:  Out = IntValue(1, A->ule(*B)); return true;
+  case Opcode::Uge:  Out = IntValue(1, A->uge(*B)); return true;
+  case Opcode::Slt:  Out = IntValue(1, A->slt(*B)); return true;
+  case Opcode::Sgt:  Out = IntValue(1, A->sgt(*B)); return true;
+  case Opcode::Sle:  Out = IntValue(1, A->sle(*B)); return true;
+  case Opcode::Sge:  Out = IntValue(1, A->sge(*B)); return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool llhd::constantFold(Unit &U) {
+  bool Changed = false;
+  for (BasicBlock *BB : U.blocks()) {
+    // Take a snapshot: we insert replacement constants while iterating.
+    std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());
+    for (Instruction *I : Insts) {
+      // Fold a conditional branch on a constant condition.
+      if (I->opcode() == Opcode::Br && I->numOperands() == 3) {
+        const IntValue *C = constIntOperand(*I, 0);
+        if (!C)
+          continue;
+        BasicBlock *Dest = I->brDest(C->isZero() ? 0 : 1);
+        IRBuilder B(U.context());
+        B.setInsertPointBefore(I);
+        B.br(Dest);
+        I->eraseFromParent();
+        Changed = true;
+        continue;
+      }
+      // Fold a mux over a constant selector.
+      if (I->opcode() == Opcode::Mux) {
+        const IntValue *Sel = constIntOperand(*I, 1);
+        auto *Arr = dyn_cast<Instruction>(I->operand(0));
+        if (!Sel || !Arr || Arr->opcode() != Opcode::ArrayCreate)
+          continue;
+        if (!Sel->fitsU64())
+          continue;
+        // Out-of-range selectors pick the last element (clamped), the
+        // same convention the simulator uses.
+        uint64_t Idx = Sel->zextToU64();
+        if (Idx >= Arr->numOperands())
+          Idx = Arr->numOperands() - 1;
+        I->replaceAllUsesWith(Arr->operand(Idx));
+        I->eraseFromParent();
+        Changed = true;
+        continue;
+      }
+      if (!I->isPureDataFlow() || I->type()->isVoid() || !I->hasUses())
+        continue;
+      IntValue Result;
+      if (!evalIntInst(*I, Result))
+        continue;
+      IRBuilder B(U.context());
+      B.setInsertPointBefore(I);
+      Instruction *C = B.constInt(std::move(Result), I->name());
+      I->replaceAllUsesWith(C);
+      I->eraseFromParent();
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,120 @@
+//===- passes/Cse.cpp - Common subexpression elimination --------------------===//
+//
+// Dominance-based CSE over pure data-flow instructions (§4.1). Two
+// instructions are equivalent if they have the same opcode, type,
+// immediates, constant payload and operands. The dominating one wins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "passes/Passes.h"
+
+#include <map>
+
+using namespace llhd;
+
+namespace {
+
+/// Structural key identifying a pure instruction's computation.
+struct InstKey {
+  Opcode Op;
+  Type *Ty;
+  unsigned Imm;
+  std::vector<Value *> Ops;
+  // Constant payloads, encoded for comparison.
+  std::string Payload;
+
+  bool operator<(const InstKey &RHS) const {
+    if (Op != RHS.Op)
+      return Op < RHS.Op;
+    if (Ty != RHS.Ty)
+      return Ty < RHS.Ty;
+    if (Imm != RHS.Imm)
+      return Imm < RHS.Imm;
+    if (Ops != RHS.Ops)
+      return Ops < RHS.Ops;
+    return Payload < RHS.Payload;
+  }
+};
+
+InstKey keyOf(Instruction *I) {
+  InstKey K;
+  K.Op = I->opcode();
+  K.Ty = I->type();
+  K.Imm = I->immediate();
+  for (unsigned J = 0, E = I->numOperands(); J != E; ++J)
+    K.Ops.push_back(I->operand(J));
+  if (I->opcode() == Opcode::Const) {
+    if (I->type()->isInt())
+      K.Payload = I->intValue().toHexString();
+    else if (I->type()->isTime())
+      K.Payload = I->timeValue().toString();
+    else if (I->type()->isLogic())
+      K.Payload = I->logicValue().toString();
+    else if (I->type()->isEnum())
+      K.Payload = std::to_string(I->enumValue());
+  }
+  return K;
+}
+
+/// True if the computation of \p I is safe to deduplicate.
+bool cseable(Instruction *I) {
+  if (!I->isPureDataFlow() || I->type()->isVoid())
+    return false;
+  // Sub-signal/sub-pointer extraction is pure and deduplicable too.
+  return true;
+}
+
+} // namespace
+
+bool llhd::cse(Unit &U) {
+  if (!U.hasBody())
+    return false;
+  bool Changed = false;
+
+  if (U.isEntity()) {
+    // Data-flow graph: no ordering constraints; one table suffices.
+    std::map<InstKey, Instruction *> Table;
+    std::vector<Instruction *> Insts(U.entry()->insts().begin(),
+                                     U.entry()->insts().end());
+    for (Instruction *I : Insts) {
+      if (!cseable(I))
+        continue;
+      auto [It, Inserted] = Table.insert({keyOf(I), I});
+      if (Inserted)
+        continue;
+      I->replaceAllUsesWith(It->second);
+      I->eraseFromParent();
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  // Control flow: walk the dominator tree; an instruction can reuse a
+  // computation from any dominating block. Implemented as RPO scan with a
+  // per-key list of candidates filtered by dominance.
+  DominatorTree DT(U);
+  std::map<InstKey, std::vector<Instruction *>> Table;
+  for (BasicBlock *BB : U.blocks()) {
+    std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());
+    for (Instruction *I : Insts) {
+      if (!cseable(I))
+        continue;
+      auto &Cands = Table[keyOf(I)];
+      Instruction *Repl = nullptr;
+      for (Instruction *C : Cands)
+        if (C != I && DT.dominates(C, I)) {
+          Repl = C;
+          break;
+        }
+      if (Repl) {
+        I->replaceAllUsesWith(Repl);
+        I->eraseFromParent();
+        Changed = true;
+      } else {
+        Cands.push_back(I);
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,149 @@
+//===- passes/Dce.cpp - Dead code elimination -------------------------------===//
+//
+// Removes (§4.1):
+//   - pure instructions whose results are unused,
+//   - conditional drives whose condition is constant false,
+//   - blocks unreachable from the entry,
+//   - phis in blocks with a single predecessor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "passes/Passes.h"
+
+using namespace llhd;
+
+/// True for a `const i1 0` value.
+static bool isConstFalse(Value *V) {
+  const auto *C = dyn_cast<Instruction>(V);
+  return C && C->opcode() == Opcode::Const && C->type()->isBool() &&
+         C->intValue().isZero();
+}
+
+static bool sweepDeadInsts(Unit &U) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : U.blocks()) {
+      std::vector<Instruction *> Insts(BB->insts().begin(),
+                                       BB->insts().end());
+      for (Instruction *I : Insts) {
+        if (I->hasUses())
+          continue;
+        bool Erasable = !I->hasSideEffects() && !I->isTerminator();
+        // A drive that can never fire is dead.
+        if (I->opcode() == Opcode::Drv && I->numOperands() == 4 &&
+            isConstFalse(I->operand(3)))
+          Erasable = true;
+        if (!Erasable)
+          continue;
+        I->eraseFromParent();
+        Changed = LocalChange = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+static bool removeUnreachableBlocks(Unit &U) {
+  if (U.isEntity() || !U.hasBody())
+    return false;
+  bool Changed = false;
+  for (BasicBlock *BB : unreachableBlocks(U)) {
+    // Phis in reachable blocks may reference this block; prune those
+    // incomings first.
+    std::vector<Use *> BlockUses(BB->uses().begin(), BB->uses().end());
+    for (Use *Us : BlockUses) {
+      auto *UserInst = dyn_cast<Instruction>(Us->user());
+      if (UserInst && UserInst->opcode() == Opcode::Phi)
+        UserInst->removeIncoming(Us->operandIndex() / 2);
+    }
+    // Sever all edges out of the dead block, then delete it.
+    std::vector<Instruction *> Insts(BB->insts().begin(),
+                                     BB->insts().end());
+    for (Instruction *I : Insts) {
+      I->replaceAllUsesWith(nullptr);
+      I->eraseFromParent();
+    }
+    if (BB->hasUses())
+      continue; // Referenced by another unreachable block; next sweep.
+    U.eraseBlock(BB);
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Merges a branch-only entry block into its (phi-free) successor. The
+/// Moore frontend emits such entries for always_comb processes; folding
+/// them restores the single-block shape Process Lowering expects.
+static bool mergeTrivialEntry(Unit &U) {
+  if (U.isEntity() || !U.hasBody())
+    return false;
+  BasicBlock *Entry = U.entry();
+  if (Entry->size() != 1)
+    return false;
+  Instruction *T = Entry->terminator();
+  if (!T || T->opcode() != Opcode::Br || T->numOperands() != 1)
+    return false;
+  auto *B = cast<BasicBlock>(T->operand(0));
+  if (B == Entry)
+    return false;
+  for (Instruction *I : B->insts())
+    if (I->opcode() == Opcode::Phi)
+      return false;
+  T->eraseFromParent();
+  std::vector<Instruction *> Insts(B->insts().begin(), B->insts().end());
+  for (Instruction *I : Insts) {
+    B->remove(I);
+    Entry->append(I);
+  }
+  B->replaceAllUsesWith(Entry);
+  U.eraseBlock(B);
+  return true;
+}
+
+static bool simplifyTrivialPhis(Unit &U) {
+  bool Changed = false;
+  for (BasicBlock *BB : U.blocks()) {
+    std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());
+    for (Instruction *I : Insts) {
+      if (I->opcode() != Opcode::Phi)
+        continue;
+      // All incoming values identical (or only one incoming): forward.
+      Value *Common = nullptr;
+      bool Uniform = true;
+      for (unsigned J = 0; J != I->numIncoming(); ++J) {
+        Value *V = I->incomingValue(J);
+        if (V == I)
+          continue; // Self-reference does not break uniformity.
+        if (!Common)
+          Common = V;
+        else if (Common != V)
+          Uniform = false;
+      }
+      if (!Uniform || !Common)
+        continue;
+      I->replaceAllUsesWith(Common);
+      I->eraseFromParent();
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool llhd::dce(Unit &U) {
+  if (!U.hasBody())
+    return false;
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    LocalChange |= removeUnreachableBlocks(U);
+    LocalChange |= mergeTrivialEntry(U);
+    LocalChange |= simplifyTrivialPhis(U);
+    LocalChange |= sweepDeadInsts(U);
+    Changed |= LocalChange;
+  }
+  return Changed;
+}

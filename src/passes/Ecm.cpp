@@ -1,0 +1,93 @@
+//===- passes/Ecm.cpp - Early code motion -----------------------------------===//
+//
+// ECM (§4.2): eagerly hoists instructions towards the entry block, the
+// enabling step for control-flow elimination. Pure data-flow moves to the
+// deepest block where all operands are available (constants all the way
+// to the entry). `prb` moves too, but never across a `wait`: it is
+// confined to the temporal region it samples in (§4.2, Figure 5b).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/TemporalRegions.h"
+#include "passes/Passes.h"
+
+using namespace llhd;
+
+namespace {
+
+/// The deeper (more dominated) of two blocks on one dominator chain.
+BasicBlock *deeper(const DominatorTree &DT, BasicBlock *A, BasicBlock *B) {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  return DT.dominates(A, B) ? B : A;
+}
+
+} // namespace
+
+bool llhd::earlyCodeMotion(Unit &U) {
+  if (!U.hasBody() || U.isEntity())
+    return false;
+  bool Changed = false;
+  bool LocalChange = true;
+  unsigned Rounds = 8;
+  while (LocalChange && Rounds--) {
+    LocalChange = false;
+    DominatorTree DT(U);
+    TemporalRegions TR(U);
+    // RPO guarantees operands are re-placed before their users, keeping
+    // in-block definition order intact as instructions pile up in front
+    // of the target terminators.
+    for (BasicBlock *BB : reversePostOrder(U)) {
+      std::vector<Instruction *> Insts(BB->insts().begin(),
+                                       BB->insts().end());
+      for (Instruction *I : Insts) {
+        bool IsPrb = I->opcode() == Opcode::Prb;
+        bool IsVar = I->opcode() == Opcode::Var;
+        if (!I->isPureDataFlow() && !IsPrb && !IsVar)
+          continue;
+        if (I->opcode() == Opcode::Phi)
+          continue;
+        if (!DT.isReachable(BB))
+          continue;
+
+        // Deepest block where all operands are defined.
+        BasicBlock *Target = U.entry();
+        bool Movable = true;
+        for (unsigned J = 0, E = I->numOperands(); J != E; ++J) {
+          Value *Op = I->operand(J);
+          if (auto *OpI = dyn_cast<Instruction>(Op)) {
+            if (!OpI->parent() || !DT.isReachable(OpI->parent())) {
+              Movable = false;
+              break;
+            }
+            Target = deeper(DT, Target, OpI->parent());
+          }
+          // Arguments are available everywhere.
+        }
+        if (!Movable)
+          continue;
+
+        // prb is confined to its temporal region: it samples the signal
+        // at a specific point in time. Hoist at most to the TR entry.
+        if (IsPrb && TR.hasRegion(BB))
+          Target = deeper(DT, Target, TR.entryOf(TR.regionOf(BB)));
+
+        if (Target == BB || !DT.dominates(Target, BB))
+          continue;
+        // Move before the terminator of the target block.
+        BB->remove(I);
+        Instruction *Term = Target->terminator();
+        if (Term)
+          Target->insertBefore(I, Term);
+        else
+          Target->append(I);
+        Changed = LocalChange = true;
+      }
+    }
+  }
+  return Changed;
+}

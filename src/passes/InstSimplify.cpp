@@ -1,0 +1,226 @@
+//===- passes/InstSimplify.cpp - Peephole simplification --------------------===//
+//
+// Instruction Simplification (§4.1): algebraic identities that reduce
+// short instruction sequences to simpler forms, similar to LLVM's
+// instcombine. Only rewrites that strictly simplify are performed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "passes/Passes.h"
+
+using namespace llhd;
+
+namespace {
+
+Instruction *asConst(Value *V) {
+  auto *I = dyn_cast<Instruction>(V);
+  return I && I->opcode() == Opcode::Const ? I : nullptr;
+}
+
+bool isZero(Value *V) {
+  Instruction *C = asConst(V);
+  return C && C->type()->isInt() && C->intValue().isZero();
+}
+
+bool isAllOnes(Value *V) {
+  Instruction *C = asConst(V);
+  return C && C->type()->isInt() && C->intValue().isAllOnes();
+}
+
+bool isOne(Value *V) {
+  Instruction *C = asConst(V);
+  return C && C->type()->isInt() && C->intValue().fitsU64() &&
+         C->intValue().zextToU64() == 1;
+}
+
+/// Simplifies \p I to an existing value, or null.
+Value *simplify(Instruction *I, IRBuilder &B) {
+  Value *A = I->numOperands() > 0 ? I->operand(0) : nullptr;
+  Value *C = I->numOperands() > 1 ? I->operand(1) : nullptr;
+  switch (I->opcode()) {
+  case Opcode::Add:
+    if (isZero(A))
+      return C;
+    if (isZero(C))
+      return A;
+    return nullptr;
+  case Opcode::Sub:
+    if (isZero(C))
+      return A;
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(cast<IntType>(I->type())->width(), 0));
+    }
+    return nullptr;
+  case Opcode::Mul:
+    if (isOne(A))
+      return C;
+    if (isOne(C))
+      return A;
+    if (isZero(A))
+      return A;
+    if (isZero(C))
+      return C;
+    return nullptr;
+  case Opcode::Udiv:
+  case Opcode::Sdiv:
+    if (isOne(C))
+      return A;
+    return nullptr;
+  case Opcode::And:
+    if (A == C)
+      return A;
+    if (isZero(A))
+      return A;
+    if (isZero(C))
+      return C;
+    if (isAllOnes(A))
+      return C;
+    if (isAllOnes(C))
+      return A;
+    return nullptr;
+  case Opcode::Or:
+    if (A == C)
+      return A;
+    if (isZero(A))
+      return C;
+    if (isZero(C))
+      return A;
+    if (isAllOnes(A))
+      return A;
+    if (isAllOnes(C))
+      return C;
+    return nullptr;
+  case Opcode::Xor:
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(cast<IntType>(I->type())->width(), 0));
+    }
+    if (isZero(A))
+      return C;
+    if (isZero(C))
+      return A;
+    return nullptr;
+  case Opcode::Not: {
+    // not(not(x)) == x.
+    auto *Inner = dyn_cast<Instruction>(A);
+    if (Inner && Inner->opcode() == Opcode::Not)
+      return Inner->operand(0);
+    return nullptr;
+  }
+  case Opcode::Neg: {
+    auto *Inner = dyn_cast<Instruction>(A);
+    if (Inner && Inner->opcode() == Opcode::Neg)
+      return Inner->operand(0);
+    return nullptr;
+  }
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Ashr:
+    if (isZero(C))
+      return A;
+    return nullptr;
+  case Opcode::Eq:
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(1, 1));
+    }
+    // eq(x, 1) on i1 is x; eq(x, 0) on i1 is handled by Neq/Not below.
+    if (A->type()->isBool() && isOne(C))
+      return A;
+    if (A->type()->isBool() && isOne(A))
+      return C;
+    return nullptr;
+  case Opcode::Neq:
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(1, 0));
+    }
+    if (A->type()->isBool() && isZero(C))
+      return A;
+    if (A->type()->isBool() && isZero(A))
+      return C;
+    return nullptr;
+  case Opcode::Ult:
+  case Opcode::Ugt:
+  case Opcode::Slt:
+  case Opcode::Sgt:
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(1, 0));
+    }
+    return nullptr;
+  case Opcode::Ule:
+  case Opcode::Uge:
+  case Opcode::Sle:
+  case Opcode::Sge:
+    if (A == C) {
+      B.setInsertPointBefore(I);
+      return B.constInt(IntValue(1, 1));
+    }
+    return nullptr;
+  case Opcode::Mux: {
+    // mux over identical elements is that element.
+    auto *Arr = dyn_cast<Instruction>(A);
+    if (!Arr || Arr->opcode() != Opcode::ArrayCreate)
+      return nullptr;
+    Value *First = Arr->operand(0);
+    for (unsigned J = 1, E = Arr->numOperands(); J != E; ++J)
+      if (Arr->operand(J) != First)
+        return nullptr;
+    return First;
+  }
+  case Opcode::Extf: {
+    // extf of a matching array/struct literal is the element itself.
+    auto *Agg = dyn_cast<Instruction>(A);
+    if (Agg && (Agg->opcode() == Opcode::ArrayCreate ||
+                Agg->opcode() == Opcode::StructCreate) &&
+        I->immediate() < Agg->numOperands())
+      return Agg->operand(I->immediate());
+    return nullptr;
+  }
+  case Opcode::Zext:
+  case Opcode::Sext:
+  case Opcode::Trunc:
+    // Cast to the same type is the identity.
+    if (I->type() == A->type())
+      return A;
+    return nullptr;
+  case Opcode::Exts:
+    // Whole-value slice is the identity.
+    if (I->type() == A->type() && I->immediate() == 0)
+      return A;
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+bool llhd::instSimplify(Unit &U) {
+  if (!U.hasBody())
+    return false;
+  bool Changed = false;
+  IRBuilder B(U.context());
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    for (BasicBlock *BB : U.blocks()) {
+      std::vector<Instruction *> Insts(BB->insts().begin(),
+                                       BB->insts().end());
+      for (Instruction *I : Insts) {
+        if (!I->isPureDataFlow() || !I->hasUses())
+          continue;
+        Value *Repl = simplify(I, B);
+        if (!Repl)
+          continue;
+        I->replaceAllUsesWith(Repl);
+        I->eraseFromParent();
+        Changed = LocalChange = true;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,132 @@
+//===- passes/LowerToStructural.cpp - Figure 4 pipeline driver ---------------===//
+//
+// Runs the complete behavioural-to-structural lowering of §4 over a
+// module: per process, Inline → Unroll → Mem2Reg → {CF,IS,CSE,DCE}* →
+// ECM → TCM → TCFE → Deseq → PL, then flattens the generated helper
+// entities and cleans up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <set>
+
+using namespace llhd;
+
+bool llhd::runStandardOptimizations(Unit &U) {
+  if (!U.hasBody())
+    return false;
+  bool Changed = false;
+  bool LocalChange = true;
+  unsigned Rounds = 16;
+  while (LocalChange && Rounds--) {
+    LocalChange = false;
+    LocalChange |= constantFold(U);
+    LocalChange |= instSimplify(U);
+    LocalChange |= cse(U);
+    LocalChange |= dce(U);
+    Changed |= LocalChange;
+  }
+  return Changed;
+}
+
+bool llhd::runStandardOptimizations(Module &M) {
+  bool Changed = false;
+  for (const auto &U : M.units())
+    Changed |= runStandardOptimizations(*U);
+  return Changed;
+}
+
+LoweringResult llhd::lowerToStructural(Module &M, LoweringOptions Opts) {
+  LoweringResult R;
+
+  // Snapshot the processes; lowering replaces units in the module.
+  std::vector<Unit *> Processes;
+  for (const auto &U : M.units())
+    if (U->isProcess() && !U->isDeclaration())
+      Processes.push_back(U.get());
+
+  std::set<std::string> LoweredNames;
+  for (Unit *U : Processes) {
+    // Snapshot the process: the pipeline transforms it in place, and a
+    // process that ends up rejected must be restored verbatim — partial
+    // lowering must never change behaviour.
+    std::string Snapshot = printUnit(*U);
+
+    inlineCalls(*U);
+    unrollLoops(*U);
+    mem2reg(*U);
+    runStandardOptimizations(*U);
+    earlyCodeMotion(*U);
+    runStandardOptimizations(*U);
+    temporalCodeMotion(*U);
+    totalControlFlowElim(*U);
+    runStandardOptimizations(*U);
+
+    std::string Name = U->name();
+    if (desequentialize(M, *U, R.Notes) ||
+        processLowering(M, *U, R.Notes)) {
+      LoweredNames.insert(Name);
+      continue;
+    }
+    R.Rejected.push_back("@" + Name +
+                         ": no structural form found (process kept)");
+    if (!Opts.KeepRejected)
+      R.Ok = false;
+
+    // Restore the untouched original.
+    M.renameUnit(U, Name + ".rejected.tmp");
+    ParseResult PR = parseModule(Snapshot, M);
+    if (!PR.Ok) {
+      // Should not happen: the snapshot was printed by us. Keep the
+      // transformed unit rather than losing the design.
+      M.renameUnit(U, Name);
+      R.Notes.push_back("@" + Name +
+                        ": snapshot restore failed: " + PR.Error);
+      continue;
+    }
+    Unit *Fresh = M.unitByName(Name);
+    for (const auto &UP : M.units())
+      for (BasicBlock *BB : UP->blocks())
+        for (Instruction *I : BB->insts())
+          if (I->callee() == U)
+            I->setCallee(Fresh);
+    M.eraseUnit(U);
+  }
+
+  // Flatten generated helpers into their instantiating entities.
+  if (Opts.InlineEntities) {
+    for (const auto &U : M.units())
+      if (U->isEntity() && !U->isDeclaration())
+        inlineEntities(M, *U.get());
+    // Drop lowered entities that are no longer instantiated.
+    bool Removed = true;
+    while (Removed) {
+      Removed = false;
+      for (const auto &U : M.units()) {
+        if (!U->isEntity() || !LoweredNames.count(U->name()))
+          continue;
+        bool Used = false;
+        for (const auto &V : M.units())
+          for (BasicBlock *BB : V->blocks())
+            for (Instruction *I : BB->insts())
+              Used |= I->callee() == U.get();
+        if (!Used) {
+          M.eraseUnit(U.get());
+          Removed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Final cleanup over the whole module.
+  for (const auto &U : M.units())
+    if (U->isEntity() && !U->isDeclaration())
+      runStandardOptimizations(*U.get());
+
+  return R;
+}

@@ -1,0 +1,177 @@
+//===- passes/Mem2Reg.cpp - Stack slot promotion ----------------------------===//
+//
+// Promotes `var` slots whose address never escapes to SSA values with phi
+// nodes, the promotion required before lowering to Structural LLHD
+// (§2.5.8). Classic algorithm: phi placement on the iterated dominance
+// frontier of the stores, then renaming along the dominator tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+
+#include <map>
+#include <set>
+
+using namespace llhd;
+
+namespace {
+
+/// A var whose uses are only ld/st with the slot as the pointer operand.
+bool isPromotable(Instruction *Var) {
+  for (const Use *U : Var->uses()) {
+    const auto *I = dyn_cast<Instruction>(U->user());
+    if (!I)
+      return false;
+    if (I->opcode() == Opcode::Ld)
+      continue;
+    if (I->opcode() == Opcode::St && U->operandIndex() == 0)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+class Promoter {
+public:
+  Promoter(Unit &U) : U(U), DT(U) {
+    computeDominanceFrontiers();
+  }
+
+  bool run() {
+    bool Changed = false;
+    // Collect candidates first; promotion edits the block contents.
+    std::vector<Instruction *> Vars;
+    for (BasicBlock *BB : U.blocks())
+      for (Instruction *I : BB->insts())
+        if (I->opcode() == Opcode::Var && isPromotable(I) &&
+            allUsersReachable(I))
+          Vars.push_back(I);
+    for (Instruction *Var : Vars) {
+      promote(Var);
+      Changed = true;
+    }
+    return Changed;
+  }
+
+private:
+  /// The renaming walk only covers reachable blocks; leave slots with
+  /// users in unreachable code to a prior DCE run.
+  bool allUsersReachable(Instruction *Var) {
+    if (!DT.isReachable(Var->parent()))
+      return false;
+    for (const Use *Us : Var->uses())
+      if (!DT.isReachable(cast<Instruction>(Us->user())->parent()))
+        return false;
+    return true;
+  }
+
+  void computeDominanceFrontiers() {
+    for (BasicBlock *BB : U.blocks()) {
+      auto Preds = BB->predecessors();
+      if (Preds.size() < 2)
+        continue;
+      for (BasicBlock *P : Preds) {
+        BasicBlock *Runner = P;
+        while (Runner && Runner != DT.idom(BB)) {
+          DF[Runner].insert(BB);
+          Runner = DT.idom(Runner);
+        }
+      }
+    }
+  }
+
+  void promote(Instruction *Var) {
+    Type *Ty = cast<PointerType>(Var->type())->pointee();
+
+    // Blocks containing stores (definitions); the var itself defines the
+    // initial value.
+    std::set<BasicBlock *> DefBlocks = {Var->parent()};
+    std::vector<Instruction *> Loads, Stores;
+    for (const Use *Us : Var->uses()) {
+      auto *I = cast<Instruction>(Us->user());
+      if (I->opcode() == Opcode::St) {
+        DefBlocks.insert(I->parent());
+        Stores.push_back(I);
+      } else {
+        Loads.push_back(I);
+      }
+    }
+
+    // Iterated dominance frontier: place phis.
+    std::map<BasicBlock *, Instruction *> Phis;
+    std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+    std::set<BasicBlock *> HasPhi;
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *F : DF[BB]) {
+        if (HasPhi.count(F))
+          continue;
+        HasPhi.insert(F);
+        auto *Phi = new Instruction(Opcode::Phi, Ty, Var->name());
+        F->insertAt(0, Phi);
+        Phis[F] = Phi;
+        if (!DefBlocks.count(F)) {
+          DefBlocks.insert(F);
+          Work.push_back(F);
+        }
+      }
+    }
+
+    // Rename along the dominator tree.
+    std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
+    for (BasicBlock *BB : U.blocks())
+      if (BasicBlock *P = DT.idom(BB))
+        DomChildren[P].push_back(BB);
+
+    std::set<Instruction *> DeadLoadsStores;
+    rename(U.entry(), Var->operand(0), Var, Phis, DomChildren,
+           DeadLoadsStores);
+
+    for (Instruction *I : DeadLoadsStores) {
+      I->replaceAllUsesWith(nullptr); // Loads were already rewired.
+      I->eraseFromParent();
+    }
+    Var->eraseFromParent();
+  }
+
+  void rename(BasicBlock *BB, Value *Incoming, Instruction *Var,
+              std::map<BasicBlock *, Instruction *> &Phis,
+              std::map<BasicBlock *, std::vector<BasicBlock *>> &DomChildren,
+              std::set<Instruction *> &Dead) {
+    Value *Cur = Incoming;
+    if (auto It = Phis.find(BB); It != Phis.end())
+      Cur = It->second;
+    std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());
+    for (Instruction *I : Insts) {
+      if (I->opcode() == Opcode::Ld && I->operand(0) == Var) {
+        I->replaceAllUsesWith(Cur);
+        Dead.insert(I);
+      } else if (I->opcode() == Opcode::St && I->operand(0) == Var) {
+        Cur = I->operand(1);
+        Dead.insert(I);
+      }
+    }
+    // Feed the value into successor phis.
+    for (BasicBlock *S : BB->successors())
+      if (auto It = Phis.find(S); It != Phis.end())
+        It->second->addIncoming(Cur, BB);
+    // Recurse into dominator-tree children.
+    for (BasicBlock *C : DomChildren[BB])
+      rename(C, Cur, Var, Phis, DomChildren, Dead);
+  }
+
+  Unit &U;
+  DominatorTree DT;
+  std::map<BasicBlock *, std::set<BasicBlock *>> DF;
+};
+
+} // namespace
+
+bool llhd::mem2reg(Unit &U) {
+  if (!U.hasBody() || U.isEntity())
+    return false;
+  return Promoter(U).run();
+}

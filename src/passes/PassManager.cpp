@@ -1,0 +1,28 @@
+//===- passes/PassManager.cpp - Pass registry --------------------------------===//
+//
+// Canonical unit-pass registry in Figure 4 pipeline order, used by the
+// pipeline bench and the pass-introspection tools.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+using namespace llhd;
+
+static bool runUnroll(Unit &U) { return unrollLoops(U); }
+
+const std::vector<PassInfo> &llhd::allPasses() {
+  static const std::vector<PassInfo> Passes = {
+      {"inline", "Inline function calls", &inlineCalls},
+      {"unroll", "Unroll counted loops", &runUnroll},
+      {"mem2reg", "Promote var/ld/st to SSA", &mem2reg},
+      {"cf", "Constant Folding", &constantFold},
+      {"is", "Instruction Simplification", &instSimplify},
+      {"cse", "Common Subexpression Elimination", &cse},
+      {"dce", "Dead Code Elimination", &dce},
+      {"ecm", "Early Code Motion", &earlyCodeMotion},
+      {"tcm", "Temporal Code Motion", &temporalCodeMotion},
+      {"tcfe", "Total Control Flow Elimination", &totalControlFlowElim},
+  };
+  return Passes;
+}

@@ -1,0 +1,129 @@
+//===- passes/Passes.h - LLHD transformation passes -------------*- C++ -*-===//
+//
+// The pass pipeline of §4 (Figure 4): basic optimisations (CF, DCE, CSE,
+// IS), inlining and unrolling, memory-to-register promotion, and the
+// lowering passes ECM, TCM, TCFE, process lowering and
+// desequentialisation that take Behavioural LLHD to Structural LLHD.
+//
+// Passes return true if they changed the unit/module.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_PASSES_PASSES_H
+#define LLHD_PASSES_PASSES_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+//===----------------------------------------------------------------------===//
+// Basic transformations (§4.1).
+//===----------------------------------------------------------------------===//
+
+/// Constant Folding: evaluates pure instructions with constant operands.
+bool constantFold(Unit &U);
+
+/// Dead Code Elimination: drops unused side-effect-free instructions,
+/// unreachable blocks, and never-firing conditional drives.
+bool dce(Unit &U);
+
+/// Common Subexpression Elimination over pure data-flow instructions
+/// (dominance-based).
+bool cse(Unit &U);
+
+/// Instruction Simplification: peephole rewrites (x+0, x&x, mux with
+/// constant selector, double-not, ...).
+bool instSimplify(Unit &U);
+
+/// Runs CF, IS, CSE and DCE to a fixpoint.
+bool runStandardOptimizations(Unit &U);
+/// Same over all units with bodies.
+bool runStandardOptimizations(Module &M);
+
+//===----------------------------------------------------------------------===//
+// Enabling transformations (§4.1).
+//===----------------------------------------------------------------------===//
+
+/// Inlines calls to defined, non-recursive functions into \p U.
+bool inlineCalls(Unit &U);
+
+/// Unrolls single-block counted loops with a compile-time trip count of at
+/// most \p MaxTrips.
+bool unrollLoops(Unit &U, unsigned MaxTrips = 1024);
+
+/// Promotes var/ld/st of non-escaping stack slots to SSA values and phis
+/// (the promotion described in §2.5.8).
+bool mem2reg(Unit &U);
+
+//===----------------------------------------------------------------------===//
+// Lowering passes (§4.2-§4.6).
+//===----------------------------------------------------------------------===//
+
+/// Early Code Motion: eagerly hoists pure instructions (and prb within its
+/// temporal region) towards the entry.
+bool earlyCodeMotion(Unit &U);
+
+/// Temporal Code Motion: gives every temporal region a single exiting
+/// block, moves drives there and attaches path conditions, coalescing
+/// drives to one signal.
+bool temporalCodeMotion(Unit &U);
+
+/// Total Control Flow Elimination: replaces phis with muxes and collapses
+/// each temporal region to a single block.
+bool totalControlFlowElim(Unit &U);
+
+/// Process Lowering: converts a single-block process whose wait observes
+/// all probed signals into an entity. Replaces the unit inside \p M.
+bool processLowering(Module &M, Unit &U, std::vector<std::string> &Notes);
+
+/// Desequentialisation: recognises edge/level-triggered drives of
+/// two-region processes and lowers them to entities with `reg`.
+bool desequentialize(Module &M, Unit &U, std::vector<std::string> &Notes);
+
+/// Inlines instantiated child entities into \p U (used to flatten the
+/// @acc_ff/@acc_comb helpers of Figure 5 back into @acc).
+bool inlineEntities(Module &M, Unit &U);
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver.
+//===----------------------------------------------------------------------===//
+
+/// Outcome of lowering a module to Structural LLHD.
+struct LoweringResult {
+  bool Ok = true;
+  /// Processes that could not be lowered, with reasons.
+  std::vector<std::string> Rejected;
+  /// Informational notes (e.g. inferred registers).
+  std::vector<std::string> Notes;
+};
+
+/// Options for lowerToStructural.
+struct LoweringOptions {
+  bool InlineEntities = true; ///< Flatten generated helper entities.
+  bool KeepRejected = true;   ///< Keep unlowerable processes (else fail).
+};
+
+/// Runs the full Figure 4 pipeline over every process in \p M.
+LoweringResult lowerToStructural(Module &M,
+                                 LoweringOptions Opts = LoweringOptions());
+
+//===----------------------------------------------------------------------===//
+// Pass bookkeeping (for the Figure 4 pipeline bench).
+//===----------------------------------------------------------------------===//
+
+/// A named unit-pass for introspection and timing.
+struct PassInfo {
+  const char *Name;
+  const char *Description;
+  bool (*Run)(Unit &U);
+};
+
+/// All registered unit passes in canonical pipeline order.
+const std::vector<PassInfo> &allPasses();
+
+} // namespace llhd
+
+#endif // LLHD_PASSES_PASSES_H

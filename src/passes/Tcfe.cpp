@@ -1,0 +1,183 @@
+//===- passes/Tcfe.cpp - Total control flow elimination ----------------------===//
+//
+// TCFE (§4.4): replaces control flow with data flow. After ECM and TCM,
+// the blocks of a temporal region hold only phis, (gated) drives and
+// terminators. This pass converts every phi into a mux selected by the
+// path condition of its incoming edges (Figure 5g) and then merges each
+// temporal region into its entry block, so that combinational processes
+// end up with one block and one TR, and sequential processes with two of
+// each (§4.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/TemporalRegions.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+
+#include <set>
+
+using namespace llhd;
+
+namespace {
+
+/// True if every instruction of \p BB may execute unconditionally once
+/// control flow is gone (phis are handled separately; drives carry their
+/// own condition after TCM).
+bool blockIsMergeable(BasicBlock *BB, bool IsExit) {
+  for (Instruction *I : BB->insts()) {
+    if (I->isTerminator() || I->opcode() == Opcode::Phi)
+      continue;
+    if (I->isPureDataFlow() || I->opcode() == Opcode::Prb)
+      continue;
+    if (I->opcode() == Opcode::Drv) {
+      // Only drives in the exiting block are known to carry their path
+      // condition (TCM put them there). A drive elsewhere was left
+      // behind because no exact condition could be synthesised; merging
+      // it would make it fire unconditionally.
+      if (!IsExit)
+        return false;
+      continue;
+    }
+    return false; // st/call/var/...: reject.
+  }
+  return true;
+}
+
+} // namespace
+
+bool llhd::totalControlFlowElim(Unit &U) {
+  if (!U.hasBody() || !U.isProcess())
+    return false;
+  bool Changed = false;
+
+  TemporalRegions TR(U);
+  DominatorTree DT(U);
+
+  for (unsigned Id = 0; Id != TR.numRegions(); ++Id) {
+    const std::vector<BasicBlock *> &Blocks = TR.blocksOf(Id);
+    if (Blocks.size() == 1)
+      continue;
+    BasicBlock *Entry = TR.entryOf(Id);
+
+    // The merged block keeps the terminator of the single exiting block.
+    std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
+    if (Exiting.size() != 1)
+      continue;
+    BasicBlock *Exit = Exiting[0];
+
+    // Mergeability: every block unconditional-safe, entry first in RPO,
+    // no phis at the TR entry (those merge values from other TRs), and
+    // no non-entry block referenced from outside this TR (deleting such
+    // a block would strand the reference).
+    bool Ok = true;
+    for (BasicBlock *BB : Blocks)
+      Ok &= blockIsMergeable(BB, BB == Exit);
+    for (Instruction *I : Entry->insts())
+      if (I->opcode() == Opcode::Phi)
+        Ok = false;
+    for (BasicBlock *BB : Blocks) {
+      if (BB == Entry)
+        continue;
+      for (const Use *Us : BB->uses()) {
+        auto *UserI = dyn_cast<Instruction>(Us->user());
+        if (!UserI || !UserI->parent())
+          continue;
+        BasicBlock *From = UserI->parent();
+        if (!TR.hasRegion(From) || TR.regionOf(From) != Id)
+          Ok = false;
+      }
+    }
+    if (!Ok)
+      continue;
+
+    // Convert phis to muxes, in RPO so converted values stay in order.
+    IRBuilder B(U.context());
+    bool Reject = false;
+    for (BasicBlock *BB : Blocks) {
+      if (BB == Entry)
+        continue;
+      std::vector<Instruction *> Phis;
+      for (Instruction *I : BB->insts())
+        if (I->opcode() == Opcode::Phi)
+          Phis.push_back(I);
+      for (Instruction *Phi : Phis) {
+        // Chain: result = mux([prev, v_i], cond_i) over the incomings.
+        B.setInsertPointBefore(Phi);
+        Value *Result = nullptr;
+        for (unsigned J = 0; J != Phi->numIncoming() && !Reject; ++J) {
+          BasicBlock *Pred = Phi->incomingBlock(J);
+          Value *V = Phi->incomingValue(J);
+          if (!TR.hasRegion(Pred) || TR.regionOf(Pred) != Id) {
+            Reject = true; // Value merged from another TR.
+            break;
+          }
+          if (!Result) {
+            Result = V;
+            continue;
+          }
+          bool Exact = true;
+          Value *Cond = pathCondition(DT, Entry, Pred, B, &Exact);
+          Cond = andConditions(Cond, edgeCondition(Pred, BB, B), B);
+          if (!Exact || !Cond) {
+            Reject = true;
+            break;
+          }
+          Value *Arr = B.arrayCreate({Result, V});
+          Result = B.mux(Arr, Cond, Phi->name());
+        }
+        if (Reject)
+          break;
+        Phi->replaceAllUsesWith(Result);
+        Phi->eraseFromParent();
+        Changed = true;
+      }
+      if (Reject)
+        break;
+    }
+    if (Reject)
+      continue;
+
+    // Merge: concatenate all non-entry blocks into the entry, in RPO,
+    // with the exiting block last; drop intermediate terminators.
+    std::vector<BasicBlock *> Order;
+    for (BasicBlock *BB : Blocks)
+      if (BB != Entry && BB != Exit)
+        Order.push_back(BB);
+    if (Exit != Entry)
+      Order.push_back(Exit);
+
+    // Remove the entry's own terminator (an intra-TR branch).
+    if (Instruction *T = Entry->terminator()) {
+      assert(T->opcode() == Opcode::Br && "intra-TR terminator expected");
+      T->replaceAllUsesWith(nullptr);
+      T->eraseFromParent();
+    }
+    for (BasicBlock *BB : Order) {
+      std::vector<Instruction *> Insts(BB->insts().begin(),
+                                       BB->insts().end());
+      for (Instruction *I : Insts) {
+        bool IsFinalTerm = BB == Exit && I->isTerminator();
+        if (I->isTerminator() && !IsFinalTerm) {
+          I->replaceAllUsesWith(nullptr);
+          I->eraseFromParent();
+          continue;
+        }
+        BB->remove(I);
+        Entry->append(I);
+      }
+    }
+    for (BasicBlock *BB : Order) {
+      assert(BB->empty() && "merged block not empty");
+      if (BB->hasUses()) {
+        // Some other TR still branches here (shouldn't happen: inter-TR
+        // edges only target TR entries).
+        continue;
+      }
+      U.eraseBlock(BB);
+    }
+    Changed = true;
+  }
+  return Changed;
+}

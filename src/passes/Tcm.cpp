@@ -1,0 +1,190 @@
+//===- passes/Tcm.cpp - Temporal code motion ---------------------------------===//
+//
+// TCM (§4.3): for every temporal region,
+//   1. ensure a single exiting block (inserting an auxiliary block when
+//      several control-flow arcs leave the TR, Figure 5c/d),
+//   2. move `drv` instructions into that exiting block, attaching the
+//      branch decisions along the way as the drive condition (§4.3.3),
+//   3. coalesce drives to the same signal, factoring value selection out
+//      (the paper uses a phi, Figure 5f; we emit the equivalent mux).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/TemporalRegions.h"
+#include "passes/Passes.h"
+#include "passes/Utils.h"
+
+#include <map>
+
+using namespace llhd;
+
+namespace {
+
+/// Ensures TR \p Id has exactly one exiting block; returns it (or null if
+/// the region's shape is unsupported, e.g. it halts).
+BasicBlock *singleExitingBlock(Unit &U, TemporalRegions &TR, unsigned Id) {
+  std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
+  if (Exiting.empty())
+    return nullptr;
+  if (Exiting.size() == 1)
+    return Exiting[0];
+
+  // Several arcs leave the TR. All of them target the same entry block of
+  // the successor TR (rule 3 guarantees a unique entry), so insert one
+  // auxiliary block in front of that entry and route the arcs through it.
+  // Wait terminators cannot be rerouted this way; reject those shapes.
+  BasicBlock *SuccEntry = nullptr;
+  for (BasicBlock *BB : Exiting) {
+    Instruction *T = BB->terminator();
+    if (!T || T->opcode() != Opcode::Br)
+      return nullptr;
+    for (BasicBlock *S : BB->successors()) {
+      if (TR.hasRegion(S) && TR.regionOf(S) != Id) {
+        if (SuccEntry && SuccEntry != S)
+          return nullptr; // Arcs to different TRs: unsupported.
+        SuccEntry = S;
+      }
+    }
+  }
+  if (!SuccEntry)
+    return nullptr;
+
+  BasicBlock *Aux = U.createBlockAfter(
+      "tr" + std::to_string(Id) + ".aux", Exiting.back());
+  for (BasicBlock *BB : Exiting)
+    redirectEdges(BB, SuccEntry, Aux);
+  // Phis in the successor entry now see Aux as their predecessor. Their
+  // incoming values must be merged; support only phi-free entries.
+  for (Instruction *I : SuccEntry->insts())
+    if (I->opcode() == Opcode::Phi) {
+      // Revert: the shape is unsupported.
+      for (BasicBlock *BB : Exiting)
+        redirectEdges(BB, Aux, SuccEntry);
+      U.eraseBlock(Aux);
+      return nullptr;
+    }
+  IRBuilder B(Aux);
+  B.br(SuccEntry);
+  return Aux;
+}
+
+} // namespace
+
+bool llhd::temporalCodeMotion(Unit &U) {
+  if (!U.hasBody() || !U.isProcess())
+    return false;
+  bool Changed = false;
+
+  TemporalRegions TR(U);
+  // Pass 1: give every TR a single exiting block (may add aux blocks).
+  bool AddedBlocks = false;
+  for (unsigned Id = 0; Id != TR.numRegions(); ++Id) {
+    std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
+    if (Exiting.size() > 1) {
+      if (singleExitingBlock(U, TR, Id))
+        AddedBlocks = true;
+    }
+  }
+  Changed |= AddedBlocks;
+
+  // Recompute analyses after CFG edits.
+  TemporalRegions TR2(U);
+  DominatorTree DT(U);
+
+  for (unsigned Id = 0; Id != TR2.numRegions(); ++Id) {
+    std::vector<BasicBlock *> Exiting = TR2.exitingBlocksOf(Id);
+    if (Exiting.size() != 1)
+      continue; // halt-terminated or irregular: leave untouched.
+    BasicBlock *Exit = Exiting[0];
+
+    // Collect drives of this TR, in execution order (RPO, then in-block).
+    std::vector<Instruction *> Drives;
+    for (BasicBlock *BB : TR2.blocksOf(Id))
+      for (Instruction *I : BB->insts())
+        if (I->opcode() == Opcode::Drv)
+          Drives.push_back(I);
+    if (Drives.empty())
+      continue;
+
+    // Move each drive into the exiting block with its path condition.
+    IRBuilder B(U.context());
+    Instruction *ExitTerm = Exit->terminator();
+    for (Instruction *Drv : Drives) {
+      BasicBlock *BB = Drv->parent();
+      if (BB == Exit)
+        continue;
+      BasicBlock *Dom = DT.nearestCommonDominator(BB, Exit);
+      if (!Dom || !TR2.instInRegion(Drv, Id) ||
+          !TR2.hasRegion(Dom) || TR2.regionOf(Dom) != Id)
+        continue; // Paper: leave untouched; lowering rejects later.
+      if (ExitTerm)
+        B.setInsertPointBefore(ExitTerm);
+      else
+        B.setInsertPoint(Exit);
+      bool Exact = true;
+      Value *Cond = pathCondition(DT, Dom, BB, B, &Exact);
+      if (!Exact)
+        continue;
+      BB->remove(Drv);
+      if (ExitTerm)
+        Exit->insertBefore(Drv, ExitTerm);
+      else
+        Exit->append(Drv);
+      if (Cond) {
+        if (Drv->numOperands() == 4)
+          Drv->setOperand(3, B.bitAnd(Drv->operand(3), Cond));
+        else
+          Drv->appendOperand(Cond);
+      }
+      Changed = true;
+    }
+
+    // Coalesce drives to the same signal within the exiting block:
+    // later drives override earlier ones within the same time step.
+    std::map<std::pair<Value *, Value *>, Instruction *> Last;
+    std::vector<Instruction *> ExitDrives;
+    for (Instruction *I : Exit->insts())
+      if (I->opcode() == Opcode::Drv)
+        ExitDrives.push_back(I);
+    for (Instruction *I : ExitDrives) {
+      auto Key = std::make_pair(I->operand(0), I->operand(2));
+      auto It = Last.find(Key);
+      if (It == Last.end()) {
+        Last[Key] = I;
+        continue;
+      }
+      Instruction *Prev = It->second;
+      // Merge Prev and I into one drive.
+      B.setInsertPointBefore(I);
+      Value *PrevCond =
+          Prev->numOperands() == 4 ? Prev->operand(3) : nullptr;
+      Value *CurCond = I->numOperands() == 4 ? I->operand(3) : nullptr;
+      Value *NewVal;
+      if (CurCond) {
+        Value *Arr = B.arrayCreate({Prev->operand(1), I->operand(1)});
+        NewVal = B.mux(Arr, CurCond);
+      } else {
+        NewVal = I->operand(1); // Unconditional later drive always wins.
+      }
+      Value *NewCond = nullptr;
+      if (PrevCond && CurCond)
+        NewCond = B.bitOr(PrevCond, CurCond);
+      else if (!PrevCond || !CurCond)
+        NewCond = nullptr; // Either branch drives unconditionally.
+      I->setOperand(1, NewVal);
+      if (I->numOperands() == 4) {
+        if (NewCond)
+          I->setOperand(3, NewCond);
+        else
+          I->removeOperand(3);
+      } else if (NewCond) {
+        I->appendOperand(NewCond);
+      }
+      Prev->eraseFromParent();
+      Last[Key] = I;
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,48 @@
+//===- sim/Design.h - Design elaboration ------------------------*- C++ -*-===//
+//
+// Elaboration: expands the `inst` hierarchy of a top unit into a flat
+// list of timed unit instances (processes and entities) bound to
+// elaborated signals. All engines simulate the same elaborated Design.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_DESIGN_H
+#define LLHD_SIM_DESIGN_H
+
+#include "ir/Module.h"
+#include "sim/Kernel.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// One elaborated process or entity instance.
+struct UnitInstance {
+  Unit *U = nullptr;
+  std::string HierName;
+  /// Signal bindings: arguments, entity-local `sig` results and
+  /// elaboration-time extf/exts sub-signals.
+  std::map<const Value *, SigRef> Bindings;
+  /// Elaboration-time constant values of entity instructions (sig inits,
+  /// delays that were computable statically); engines may reuse them.
+  std::map<const Value *, RtValue> StaticValues;
+};
+
+/// A fully elaborated design.
+struct Design {
+  Module *M = nullptr;
+  SignalTable Signals;
+  std::vector<UnitInstance> Instances;
+  std::string Error; ///< Non-empty if elaboration failed.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Elaborates \p Top (an entity or process in \p M) into a Design.
+Design elaborate(Module &M, const std::string &Top);
+
+} // namespace llhd
+
+#endif // LLHD_SIM_DESIGN_H

@@ -1,0 +1,114 @@
+//===- sim/EventLoop.h - Shared event-driven main loop ----------*- C++ -*-===//
+//
+// The engine-independent simulation main loop: pops time slots, applies
+// signal updates, computes the wake set and dispatches into the engine.
+// All engines (Interp, Blaze, CommSim) instantiate this template with
+// their own process/entity execution, so scheduling semantics are shared
+// by construction.
+//
+// The engine type must provide:
+//   uint32_t numProcs();
+//   bool     procWaiting(uint32_t);
+//   bool     procSensitiveTo(uint32_t, SignalId);
+//   uint64_t procWakeGen(uint32_t);
+//   void     procBumpWakeGen(uint32_t);
+//   bool     procHalted(uint32_t);
+//   const std::vector<uint32_t> *entityWatchers(SignalId);
+//   void     runProcess(uint32_t);
+//   void     evalEntity(uint32_t, bool Initial);
+//   uint32_t numEnts();
+//   bool     finishRequested();
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_EVENTLOOP_H
+#define LLHD_SIM_EVENTLOOP_H
+
+#include "sim/Design.h"
+#include "sim/Interp.h" // SimOptions / SimStats.
+
+#include <set>
+
+namespace llhd {
+
+template <typename Engine>
+SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
+                      Scheduler &Sched, Trace &Tr, Time &Now,
+                      SimStats &Stats) {
+  // Initialisation (§2.4.3): processes run to their first suspension,
+  // entities evaluate once.
+  Now = Time();
+  for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
+    Eng.runProcess(PI);
+  for (uint32_t EI = 0; EI != Eng.numEnts(); ++EI)
+    Eng.evalEntity(EI, /*Initial=*/true);
+
+  uint64_t DeltasAtInstant = 0;
+  uint64_t LastFs = ~0ull;
+  std::vector<SigUpdate> Updates;
+  std::vector<ProcWake> Wakes;
+  while (!Sched.empty() && !Eng.finishRequested()) {
+    Time T = Sched.nextTime();
+    if (T > Opts.MaxTime)
+      break;
+    if (T.Fs == LastFs) {
+      if (++DeltasAtInstant > Opts.MaxDeltasPerInstant) {
+        Stats.DeltaOverflow = true;
+        break;
+      }
+    } else {
+      LastFs = T.Fs;
+      DeltasAtInstant = 0;
+    }
+    Now = T;
+    ++Stats.Steps;
+
+    Sched.pop(Updates, Wakes);
+
+    // Apply signal updates; collect changed canonical signals.
+    std::set<SignalId> Changed;
+    for (SigUpdate &U : Updates) {
+      SignalId Canon = D.Signals.canonical(U.Ref.Sig);
+      if (D.Signals.write(U.Ref, U.Val, U.Driver)) {
+        Changed.insert(Canon);
+        Tr.record(Now, Canon, D.Signals.value(Canon));
+      }
+    }
+
+    // Wake set: fresh timers plus sensitivity matches.
+    std::set<uint32_t> ProcsToRun;
+    for (const ProcWake &W : Wakes)
+      if (Eng.procWakeGen(W.Proc) == W.Gen && Eng.procWaiting(W.Proc))
+        ProcsToRun.insert(W.Proc);
+    std::set<uint32_t> EntsToRun;
+    for (SignalId S : Changed) {
+      if (const std::vector<uint32_t> *Ws = Eng.entityWatchers(S))
+        for (uint32_t EI : *Ws)
+          EntsToRun.insert(EI);
+      for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
+        if (Eng.procWaiting(PI) && Eng.procSensitiveTo(PI, S))
+          ProcsToRun.insert(PI);
+    }
+
+    for (uint32_t PI : ProcsToRun) {
+      Eng.procBumpWakeGen(PI); // Invalidate pending timers.
+      Eng.runProcess(PI);
+    }
+    for (uint32_t EI : EntsToRun)
+      Eng.evalEntity(EI, /*Initial=*/false);
+  }
+
+  Stats.EndTime = Now;
+  Stats.Finished = Eng.finishRequested();
+  if (!Stats.Finished) {
+    bool AllHalted = Eng.numProcs() != 0;
+    for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
+      AllHalted &= Eng.procHalted(PI);
+    Stats.Finished = AllHalted || Sched.empty();
+  }
+  return Stats;
+}
+
+} // namespace llhd
+
+#endif // LLHD_SIM_EVENTLOOP_H

@@ -1,0 +1,493 @@
+//===- sim/Interp.cpp - Reference interpreter (LLHD-Sim) ----------------------===//
+
+#include "sim/Interp.h"
+#include "sim/EventLoop.h"
+#include "sim/RtOps.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace llhd;
+
+namespace {
+
+/// Per-process interpreter state.
+struct ProcState {
+  const UnitInstance *Inst = nullptr;
+  std::map<const Value *, RtValue> Frame;
+  std::vector<RtValue> Memory; ///< var/alloc cells.
+  BasicBlock *CurBB = nullptr;
+  unsigned CurIdx = 0;
+  BasicBlock *PrevBB = nullptr; ///< For phi resolution.
+  enum class St { Ready, Waiting, Halted } State = St::Ready;
+  std::vector<SignalId> Sensitivity; ///< Canonical ids while waiting.
+  uint64_t WakeGen = 0;              ///< Stale-timer guard.
+};
+
+/// Per-entity interpreter state.
+struct EntState {
+  const UnitInstance *Inst = nullptr;
+  /// Previous trigger samples, keyed by (reg instruction, trigger index).
+  std::map<std::pair<const Instruction *, unsigned>, RtValue> PrevTrig;
+  /// Previous source values of `del` rules.
+  std::map<const Instruction *, RtValue> PrevDel;
+};
+
+} // namespace
+
+struct InterpSim::Impl {
+  Design D;
+  SimOptions Opts;
+  Scheduler Sched;
+  Trace Tr;
+  SimStats Stats;
+
+  std::vector<ProcState> Procs;
+  std::vector<EntState> Ents;
+  /// Static sensitivity: canonical signal -> entity indices.
+  std::map<SignalId, std::vector<uint32_t>> EntityWatchers;
+  Time Now;
+  bool FinishRequested = false;
+
+  Impl(Design DIn, SimOptions O)
+      : D(std::move(DIn)), Opts(O), Tr(O.TraceMode) {}
+
+  //===------------------------------------------------------------------===//
+  // Setup
+  //===------------------------------------------------------------------===//
+
+  void build() {
+    for (const UnitInstance &UI : D.Instances) {
+      if (UI.U->isProcess()) {
+        ProcState PS;
+        PS.Inst = &UI;
+        PS.CurBB = UI.U->entry();
+        Procs.push_back(std::move(PS));
+      } else {
+        EntState ES;
+        ES.Inst = &UI;
+        Ents.push_back(std::move(ES));
+      }
+    }
+    // Entity static sensitivity: all probed signals and del sources.
+    for (uint32_t EI = 0; EI != Ents.size(); ++EI) {
+      std::set<SignalId> Watched;
+      const UnitInstance &UI = *Ents[EI].Inst;
+      for (Instruction *I : UI.U->entityBlock()->insts()) {
+        if (I->opcode() == Opcode::Prb) {
+          auto It = UI.Bindings.find(I->operand(0));
+          if (It != UI.Bindings.end())
+            Watched.insert(D.Signals.canonical(It->second.Sig));
+        }
+        if (I->opcode() == Opcode::Del) {
+          auto It = UI.Bindings.find(I->operand(1));
+          if (It != UI.Bindings.end())
+            Watched.insert(D.Signals.canonical(It->second.Sig));
+        }
+      }
+      for (SignalId S : Watched)
+        EntityWatchers[S].push_back(EI);
+    }
+  }
+
+  /// Unique driver identity per (instance, instruction).
+  uint64_t driverId(const UnitInstance *UI, const Instruction *I) {
+    return (reinterpret_cast<uintptr_t>(UI) << 20) ^
+           reinterpret_cast<uintptr_t>(I);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Value evaluation
+  //===------------------------------------------------------------------===//
+
+  /// Operand value inside a process frame.
+  RtValue procVal(ProcState &PS, Value *V) {
+    auto BIt = PS.Inst->Bindings.find(V);
+    if (BIt != PS.Inst->Bindings.end())
+      return RtValue(BIt->second);
+    auto FIt = PS.Frame.find(V);
+    assert(FIt != PS.Frame.end() && "use of unevaluated value");
+    return FIt->second;
+  }
+
+  /// Schedules a drive.
+  void scheduleDrive(const SigRef &Target, RtValue Val, Time Delay,
+                     uint64_t Driver) {
+    Sched.scheduleUpdate(driveTarget(Now, Delay),
+                         {Target, std::move(Val), Driver});
+    Sched.countScheduled(1);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Function interpretation (immediate execution, §2.4.1)
+  //===------------------------------------------------------------------===//
+
+  RtValue callFunction(Unit *F, const std::vector<RtValue> &Args) {
+    if (F->isIntrinsic() || F->isDeclaration())
+      return callIntrinsic(F, Args);
+    std::map<const Value *, RtValue> Frame;
+    std::vector<RtValue> Memory;
+    for (unsigned I = 0; I != F->inputs().size(); ++I)
+      Frame[F->input(I)] = Args[I];
+    BasicBlock *BB = F->entry();
+    BasicBlock *Prev = nullptr;
+    unsigned Idx = 0;
+    uint64_t Fuel = 100000000ull; // Runaway guard.
+    auto val = [&](Value *V) {
+      auto It = Frame.find(V);
+      assert(It != Frame.end() && "use of unevaluated value");
+      return It->second;
+    };
+    while (Fuel--) {
+      Instruction *I = BB->insts()[Idx];
+      switch (I->opcode()) {
+      case Opcode::Ret:
+        return I->numOperands() == 1 ? val(I->operand(0)) : RtValue();
+      case Opcode::Br: {
+        BasicBlock *Next;
+        if (I->numOperands() == 1)
+          Next = cast<BasicBlock>(I->operand(0));
+        else
+          Next = I->brDest(val(I->operand(0)).isTruthy() ? 1 : 0);
+        Prev = BB;
+        BB = Next;
+        Idx = 0;
+        continue;
+      }
+      case Opcode::Phi: {
+        for (unsigned J = 0; J != I->numIncoming(); ++J)
+          if (I->incomingBlock(J) == Prev)
+            Frame[I] = val(I->incomingValue(J));
+        break;
+      }
+      case Opcode::Const:
+        Frame[I] = constValue(*I);
+        break;
+      case Opcode::Var:
+      case Opcode::Alloc:
+        Memory.push_back(val(I->operand(0)));
+        Frame[I] = RtValue::makePointer(Memory.size() - 1);
+        break;
+      case Opcode::Ld:
+        Frame[I] = Memory[val(I->operand(0)).pointer()];
+        break;
+      case Opcode::St:
+        Memory[val(I->operand(0)).pointer()] = val(I->operand(1));
+        break;
+      case Opcode::Free:
+        break; // Cells are reclaimed with the call frame.
+      case Opcode::Call: {
+        std::vector<RtValue> CallArgs;
+        for (unsigned J = 0; J != I->numOperands(); ++J)
+          CallArgs.push_back(val(I->operand(J)));
+        RtValue R = callFunction(I->callee(), CallArgs);
+        if (!I->type()->isVoid())
+          Frame[I] = std::move(R);
+        break;
+      }
+      default: {
+        assert(I->isPureDataFlow() && "illegal instruction in function");
+        std::vector<RtValue> Ops;
+        for (unsigned J = 0; J != I->numOperands(); ++J)
+          Ops.push_back(val(I->operand(J)));
+        Frame[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        break;
+      }
+      }
+      ++Idx;
+    }
+    return RtValue();
+  }
+
+  RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args) {
+    const std::string &N = F->name();
+    if (N == "llhd.assert") {
+      if (!Args.empty() && !Args[0].isTruthy()) {
+        ++Stats.AssertFailures;
+        if (getenv("LLHD_ASSERT_DEBUG")) {
+          fprintf(stderr, "assert failed at %s (+%ud)\n",
+                  Now.toString().c_str(), Now.Delta);
+          for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
+            if (D.Signals.name(SI).find("result") != std::string::npos)
+              fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
+                      D.Signals.value(SI).toString().c_str());
+        }
+      }
+      return RtValue();
+    }
+    if (N == "llhd.finish") {
+      FinishRequested = true;
+      return RtValue();
+    }
+    // Unknown intrinsics are no-ops returning the default value.
+    return defaultValue(F->returnType());
+  }
+
+  //===------------------------------------------------------------------===//
+  // Process interpretation
+  //===------------------------------------------------------------------===//
+
+  void runProcess(uint32_t PIdx) {
+    ProcState &PS = Procs[PIdx];
+    if (PS.State == ProcState::St::Halted)
+      return;
+    PS.State = ProcState::St::Ready;
+    ++Stats.ProcessRuns;
+    uint64_t Fuel = 100000000ull;
+    while (Fuel--) {
+      Instruction *I = PS.CurBB->insts()[PS.CurIdx];
+      switch (I->opcode()) {
+      case Opcode::Halt:
+        PS.State = ProcState::St::Halted;
+        return;
+      case Opcode::Wait: {
+        // Register sensitivity and optional timeout, then suspend.
+        PS.Sensitivity.clear();
+        ++PS.WakeGen;
+        for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
+          RtValue V = procVal(PS, I->operand(J));
+          if (V.isTime()) {
+            Sched.scheduleWake(Now.advance(V.timeValue()),
+                               {PIdx, PS.WakeGen});
+          } else {
+            PS.Sensitivity.push_back(
+                D.Signals.canonical(V.sigRef().Sig));
+          }
+        }
+        PS.State = ProcState::St::Waiting;
+        PS.PrevBB = PS.CurBB;
+        PS.CurBB = I->waitDest();
+        PS.CurIdx = 0;
+        return;
+      }
+      case Opcode::Br: {
+        BasicBlock *Next;
+        if (I->numOperands() == 1)
+          Next = cast<BasicBlock>(I->operand(0));
+        else
+          Next = I->brDest(procVal(PS, I->operand(0)).isTruthy() ? 1 : 0);
+        PS.PrevBB = PS.CurBB;
+        PS.CurBB = Next;
+        PS.CurIdx = 0;
+        continue;
+      }
+      case Opcode::Phi: {
+        for (unsigned J = 0; J != I->numIncoming(); ++J)
+          if (I->incomingBlock(J) == PS.PrevBB)
+            PS.Frame[I] = procVal(PS, I->incomingValue(J));
+        break;
+      }
+      case Opcode::Const:
+        PS.Frame[I] = constValue(*I);
+        break;
+      case Opcode::Prb: {
+        RtValue Sig = procVal(PS, I->operand(0));
+        PS.Frame[I] = D.Signals.read(Sig.sigRef());
+        break;
+      }
+      case Opcode::Drv: {
+        if (I->numOperands() == 4 &&
+            !procVal(PS, I->operand(3)).isTruthy())
+          break;
+        RtValue Sig = procVal(PS, I->operand(0));
+        scheduleDrive(Sig.sigRef(), procVal(PS, I->operand(1)),
+                      procVal(PS, I->operand(2)).timeValue(),
+                      driverId(PS.Inst, I));
+        break;
+      }
+      case Opcode::Var:
+      case Opcode::Alloc:
+        PS.Memory.push_back(procVal(PS, I->operand(0)));
+        PS.Frame[I] = RtValue::makePointer(PS.Memory.size() - 1);
+        break;
+      case Opcode::Ld:
+        PS.Frame[I] = PS.Memory[procVal(PS, I->operand(0)).pointer()];
+        break;
+      case Opcode::St:
+        PS.Memory[procVal(PS, I->operand(0)).pointer()] =
+            procVal(PS, I->operand(1));
+        break;
+      case Opcode::Free:
+        break;
+      case Opcode::Call: {
+        std::vector<RtValue> Args;
+        for (unsigned J = 0; J != I->numOperands(); ++J)
+          Args.push_back(procVal(PS, I->operand(J)));
+        RtValue R = callFunction(I->callee(), Args);
+        if (!I->type()->isVoid())
+          PS.Frame[I] = std::move(R);
+        break;
+      }
+      default: {
+        assert(I->isPureDataFlow() && "illegal instruction in process");
+        std::vector<RtValue> Ops;
+        for (unsigned J = 0; J != I->numOperands(); ++J)
+          Ops.push_back(procVal(PS, I->operand(J)));
+        PS.Frame[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        break;
+      }
+      }
+      ++PS.CurIdx;
+    }
+    PS.State = ProcState::St::Halted; // Fuel exhausted: treat as hung.
+  }
+
+  //===------------------------------------------------------------------===//
+  // Entity evaluation
+  //===------------------------------------------------------------------===//
+
+  void evalEntity(uint32_t EIdx, bool Initial) {
+    EntState &ES = Ents[EIdx];
+    const UnitInstance &UI = *ES.Inst;
+    ++Stats.EntityEvals;
+    std::map<const Value *, RtValue> Env;
+    auto val = [&](Value *V) -> RtValue {
+      auto BIt = UI.Bindings.find(V);
+      if (BIt != UI.Bindings.end())
+        return RtValue(BIt->second);
+      auto EIt = Env.find(V);
+      if (EIt != Env.end())
+        return EIt->second;
+      auto SIt = UI.StaticValues.find(V);
+      assert(SIt != UI.StaticValues.end() && "use of unevaluated value");
+      return SIt->second;
+    };
+
+    for (Instruction *I : UI.U->entityBlock()->insts()) {
+      switch (I->opcode()) {
+      case Opcode::Const:
+        Env[I] = constValue(*I);
+        break;
+      case Opcode::Sig:
+      case Opcode::Con:
+      case Opcode::InstOp:
+        break; // Elaborated.
+      case Opcode::Prb:
+        Env[I] = D.Signals.read(val(I->operand(0)).sigRef());
+        break;
+      case Opcode::Drv: {
+        if (I->numOperands() == 4 && !val(I->operand(3)).isTruthy())
+          break;
+        scheduleDrive(val(I->operand(0)).sigRef(), val(I->operand(1)),
+                      val(I->operand(2)).timeValue(),
+                      driverId(&UI, I));
+        break;
+      }
+      case Opcode::Del: {
+        RtValue Src = D.Signals.read(val(I->operand(1)).sigRef());
+        auto &Prev = ES.PrevDel[I];
+        if (Initial || Prev != Src) {
+          Prev = Src;
+          scheduleDrive(val(I->operand(0)).sigRef(), Src,
+                        val(I->operand(2)).timeValue(),
+                        driverId(&UI, I));
+        }
+        break;
+      }
+      case Opcode::Reg:
+        evalReg(ES, I, val, Initial);
+        break;
+      default: {
+        assert(I->isPureDataFlow() && "illegal instruction in entity");
+        std::vector<RtValue> Ops;
+        for (unsigned J = 0; J != I->numOperands(); ++J)
+          Ops.push_back(val(I->operand(J)));
+        Env[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        break;
+      }
+      }
+    }
+  }
+
+  template <typename ValFn>
+  void evalReg(EntState &ES, Instruction *I, ValFn &val, bool Initial) {
+    SigRef Target = val(I->operand(0)).sigRef();
+    for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
+      const RegTrigger &T = I->regTriggers()[TI];
+      RtValue Cur = val(I->operand(T.TriggerIdx));
+      auto Key = std::make_pair(static_cast<const Instruction *>(I), TI);
+      auto PIt = ES.PrevTrig.find(Key);
+      bool HavePrev = PIt != ES.PrevTrig.end();
+      RtValue Prev = HavePrev ? PIt->second : Cur;
+      ES.PrevTrig[Key] = Cur;
+
+      bool Fire = false;
+      bool CurT = Cur.isTruthy();
+      bool PrevT = Prev.isTruthy();
+      switch (T.Mode) {
+      case RegMode::Rise:
+        Fire = HavePrev && !PrevT && CurT;
+        break;
+      case RegMode::Fall:
+        Fire = HavePrev && PrevT && !CurT;
+        break;
+      case RegMode::Both:
+        Fire = HavePrev && PrevT != CurT;
+        break;
+      case RegMode::High:
+        Fire = CurT;
+        break;
+      case RegMode::Low:
+        Fire = !CurT;
+        break;
+      }
+      if (Initial && (T.Mode == RegMode::Rise || T.Mode == RegMode::Fall ||
+                      T.Mode == RegMode::Both))
+        Fire = false;
+      if (!Fire)
+        continue;
+      if (T.CondIdx >= 0 && !val(I->operand(T.CondIdx)).isTruthy())
+        continue;
+      Time Delay;
+      if (T.DelayIdx >= 0)
+        Delay = val(I->operand(T.DelayIdx)).timeValue();
+      scheduleDrive(Target, val(I->operand(T.ValueIdx)), Delay,
+                    driverId(ES.Inst, I) + TI);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // EventLoop hooks
+  //===------------------------------------------------------------------===//
+
+  uint32_t numProcs() const { return Procs.size(); }
+  uint32_t numEnts() const { return Ents.size(); }
+  bool procWaiting(uint32_t PI) const {
+    return Procs[PI].State == ProcState::St::Waiting;
+  }
+  bool procHalted(uint32_t PI) const {
+    return Procs[PI].State == ProcState::St::Halted;
+  }
+  bool procSensitiveTo(uint32_t PI, SignalId S) const {
+    const auto &Sens = Procs[PI].Sensitivity;
+    return std::find(Sens.begin(), Sens.end(), S) != Sens.end();
+  }
+  uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
+  void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
+  const std::vector<uint32_t> *entityWatchers(SignalId S) const {
+    auto It = EntityWatchers.find(S);
+    return It == EntityWatchers.end() ? nullptr : &It->second;
+  }
+  bool finishRequested() const { return FinishRequested; }
+
+  SimStats run() {
+    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+  }
+};
+
+InterpSim::InterpSim(Design D, SimOptions Opts)
+    : P(std::make_unique<Impl>(std::move(D), Opts)) {
+  if (P->D.ok())
+    P->build();
+}
+
+InterpSim::~InterpSim() = default;
+
+bool InterpSim::valid() const { return P->D.ok(); }
+const std::string &InterpSim::error() const { return P->D.Error; }
+SimStats InterpSim::run() { return P->run(); }
+const Trace &InterpSim::trace() const { return P->Tr; }
+const SignalTable &InterpSim::signals() const { return P->D.Signals; }

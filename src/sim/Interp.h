@@ -1,0 +1,62 @@
+//===- sim/Interp.h - Reference interpreter (LLHD-Sim) ----------*- C++ -*-===//
+//
+// The reference simulator of §6.1: "deliberately designed to be the
+// simplest possible simulator of the LLHD instruction set, rather than
+// the fastest". Tree-walks the IR with per-value map lookups; every
+// engine-visible semantic (value ops, scheduling, resolution) is shared
+// with the faster engines through sim/RtOps.h and sim/Kernel.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_INTERP_H
+#define LLHD_SIM_INTERP_H
+
+#include "sim/Design.h"
+
+#include <functional>
+#include <memory>
+
+namespace llhd {
+
+/// Common per-run configuration for all engines.
+struct SimOptions {
+  Time MaxTime = Time::us(1000000000ull); ///< Hard stop.
+  Trace::Mode TraceMode = Trace::Mode::Hash;
+  uint64_t MaxDeltasPerInstant = 10000; ///< Delta-cycle oscillation guard.
+};
+
+/// Common per-run results for all engines.
+struct SimStats {
+  Time EndTime;
+  uint64_t Steps = 0;         ///< Time slots processed.
+  uint64_t ProcessRuns = 0;   ///< Process resumptions.
+  uint64_t EntityEvals = 0;   ///< Entity re-evaluations.
+  uint64_t AssertFailures = 0;
+  bool Finished = false;      ///< A process called llhd.finish / all halted.
+  bool DeltaOverflow = false; ///< Oscillation guard tripped.
+};
+
+/// The LLHD-Sim reference engine.
+class InterpSim {
+public:
+  /// Takes ownership of the elaborated design.
+  InterpSim(Design D, SimOptions Opts = SimOptions());
+  ~InterpSim();
+
+  bool valid() const;
+  const std::string &error() const;
+
+  /// Runs to completion (queue empty, all processes halted, or MaxTime).
+  SimStats run();
+
+  const Trace &trace() const;
+  const SignalTable &signals() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_INTERP_H

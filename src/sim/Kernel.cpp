@@ -1,0 +1,81 @@
+//===- sim/Kernel.cpp - Simulation kernel -------------------------------------===//
+
+#include "sim/Kernel.h"
+#include "sim/RtOps.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace llhd;
+
+SignalId SignalTable::create(Type *Ty, RtValue Init, std::string Name) {
+  Signal S;
+  S.Ty = Ty;
+  S.Value = std::move(Init);
+  S.Name = std::move(Name);
+  S.Parent = Signals.size();
+  Signals.push_back(std::move(S));
+  return Signals.size() - 1;
+}
+
+SignalId SignalTable::canonical(SignalId S) const {
+  while (Signals[S].Parent != S)
+    S = Signals[S].Parent;
+  return S;
+}
+
+void SignalTable::connect(SignalId A, SignalId B) {
+  A = canonical(A);
+  B = canonical(B);
+  if (A == B)
+    return;
+  // The lower id wins as the root; its current value is kept.
+  if (B < A)
+    std::swap(A, B);
+  Signals[B].Parent = A;
+}
+
+RtValue SignalTable::read(const SigRef &Ref) const {
+  const Signal &S = Signals[canonical(Ref.Sig)];
+  return readSubValue(S.Value, Ref);
+}
+
+bool SignalTable::write(const SigRef &Ref, const RtValue &V,
+                        uint64_t Driver) {
+  Signal &S = Signals[canonical(Ref.Sig)];
+
+  // Multi-driver resolution for whole-signal logic drives: each driver
+  // keeps its contribution; the signal value is the IEEE 1164 resolution
+  // over all of them.
+  if (S.Ty && S.Ty->isLogic() && Ref.wholeSignal()) {
+    auto It = std::find_if(S.Drivers.begin(), S.Drivers.end(),
+                           [&](const auto &P) { return P.first == Driver; });
+    if (It == S.Drivers.end())
+      S.Drivers.push_back({Driver, V});
+    else
+      It->second = V;
+    RtValue Resolved = S.Drivers.front().second;
+    for (unsigned I = 1; I < S.Drivers.size(); ++I)
+      Resolved = RtValue(Resolved.logicValue().resolve(
+          S.Drivers[I].second.logicValue()));
+    if (Resolved == S.Value)
+      return false;
+    S.Value = std::move(Resolved);
+    return true;
+  }
+
+  // Two-state and sub-signal drives: last write wins.
+  RtValue Old = readSubValue(S.Value, Ref);
+  if (Old == V)
+    return false;
+  writeSubValue(S.Value, Ref, V);
+  return true;
+}
+
+std::string Trace::dump(const SignalTable &Signals) const {
+  std::ostringstream OS;
+  for (const Change &C : Changes)
+    OS << C.T.toString() << " " << Signals.name(C.Sig) << " = "
+       << C.Val << "\n";
+  return OS.str();
+}

@@ -1,0 +1,181 @@
+//===- sim/Kernel.h - Simulation kernel: signals, queue, trace ---*- C++ -*-===//
+//
+// The shared simulation kernel (§6.1): the signal table with sub-signal
+// reads/writes, `con` aliasing and IEEE 1164 multi-driver resolution, the
+// (time, delta, epsilon) event wheel, and the signal-change trace used
+// for cross-simulator equivalence checking.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_KERNEL_H
+#define LLHD_SIM_KERNEL_H
+
+#include "ir/Type.h"
+#include "sim/RtValue.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+//===----------------------------------------------------------------------===//
+// SignalTable
+//===----------------------------------------------------------------------===//
+
+/// All elaborated signals of a design.
+class SignalTable {
+public:
+  /// Creates a signal carrying \p Ty with initial value \p Init.
+  SignalId create(Type *Ty, RtValue Init, std::string Name);
+
+  unsigned size() const { return Signals.size(); }
+
+  /// Canonical id under `con` aliasing (union-find).
+  SignalId canonical(SignalId S) const;
+
+  /// Merges two signals into one electrical net (`con`).
+  void connect(SignalId A, SignalId B);
+
+  /// Current (resolved) value of a sub-signal.
+  RtValue read(const SigRef &Ref) const;
+  /// Whole current value of a signal.
+  const RtValue &value(SignalId S) const {
+    return Signals[canonical(S)].Value;
+  }
+
+  /// Applies a driver's new value. Returns true if the resolved signal
+  /// value changed. \p Driver identifies the driving statement instance
+  /// for multi-driver resolution on nine-valued signals.
+  bool write(const SigRef &Ref, const RtValue &V, uint64_t Driver);
+
+  const std::string &name(SignalId S) const { return Signals[S].Name; }
+  Type *type(SignalId S) const { return Signals[S].Ty; }
+
+private:
+  struct Signal {
+    Type *Ty;
+    RtValue Value;
+    std::string Name;
+    SignalId Parent; ///< Union-find parent (self if root).
+    /// Per-driver contributions for resolved (logic) signals.
+    std::vector<std::pair<uint64_t, RtValue>> Drivers;
+  };
+  std::vector<Signal> Signals;
+};
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+/// A pending signal update.
+struct SigUpdate {
+  SigRef Ref;
+  RtValue Val;
+  uint64_t Driver;
+};
+
+/// A pending process wake-up; Gen guards against stale timers.
+struct ProcWake {
+  uint32_t Proc;
+  uint64_t Gen;
+};
+
+/// The (time, delta, epsilon) event wheel.
+class Scheduler {
+public:
+  void scheduleUpdate(Time T, SigUpdate U) {
+    Queue[T].Updates.push_back(std::move(U));
+  }
+  void scheduleWake(Time T, ProcWake W) {
+    Queue[T].Wakes.push_back(W);
+  }
+
+  bool empty() const { return Queue.empty(); }
+  Time nextTime() const { return Queue.begin()->first; }
+
+  /// Pops the earliest time slot.
+  void pop(std::vector<SigUpdate> &Updates, std::vector<ProcWake> &Wakes) {
+    auto It = Queue.begin();
+    Updates = std::move(It->second.Updates);
+    Wakes = std::move(It->second.Wakes);
+    Queue.erase(It);
+  }
+
+  /// Event count statistics.
+  uint64_t totalScheduled() const { return Scheduled; }
+  void countScheduled(uint64_t N) { Scheduled += N; }
+
+private:
+  struct Slot {
+    std::vector<SigUpdate> Updates;
+    std::vector<ProcWake> Wakes;
+  };
+  std::map<Time, Slot> Queue;
+  uint64_t Scheduled = 0;
+};
+
+/// Delay semantics of `drv`: a zero-time drive lands on the next delta.
+inline Time driveTarget(Time Now, Time Span) {
+  if (Span.isZero())
+    return Now.advance(Time::delta());
+  return Now.advance(Span);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
+
+/// Signal-change trace. In Hash mode only a running digest is kept (for
+/// large runs); Full mode records every change for diffing and VCD dumps.
+class Trace {
+public:
+  enum class Mode { Off, Hash, Full };
+
+  explicit Trace(Mode M = Mode::Hash) : TheMode(M) {}
+
+  Mode mode() const { return TheMode; }
+
+  void record(Time T, SignalId S, const RtValue &V) {
+    if (TheMode == Mode::Off)
+      return;
+    ++NumChanges;
+    std::string Val = V.toString();
+    // FNV-1a over (time, signal, value).
+    auto mix = [&](uint64_t X) {
+      Digest ^= X;
+      Digest *= 1099511628211ull;
+    };
+    mix(T.Fs);
+    mix(T.Delta);
+    mix(S);
+    for (char C : Val)
+      mix(static_cast<unsigned char>(C));
+    if (TheMode == Mode::Full)
+      Changes.push_back({T, S, std::move(Val)});
+  }
+
+  uint64_t digest() const { return Digest; }
+  uint64_t numChanges() const { return NumChanges; }
+
+  struct Change {
+    Time T;
+    SignalId Sig;
+    std::string Val;
+  };
+  const std::vector<Change> &changes() const { return Changes; }
+
+  /// Renders a VCD-like textual dump (Full mode only).
+  std::string dump(const SignalTable &Signals) const;
+
+private:
+  Mode TheMode;
+  uint64_t Digest = 1469598103934665603ull;
+  uint64_t NumChanges = 0;
+  std::vector<Change> Changes;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_KERNEL_H

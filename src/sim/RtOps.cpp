@@ -1,0 +1,263 @@
+//===- sim/RtOps.cpp - Shared operation semantics ----------------------------===//
+
+#include "sim/RtOps.h"
+#include "ir/Type.h"
+
+using namespace llhd;
+
+RtValue llhd::defaultValue(const Type *Ty) {
+  switch (Ty->kind()) {
+  case Type::Kind::Int:
+    return RtValue(IntValue(cast<IntType>(Ty)->width(), 0));
+  case Type::Kind::Enum:
+    return RtValue(IntValue(Ty->bitWidth(), 0));
+  case Type::Kind::Logic:
+    return RtValue(LogicVec(cast<LogicType>(Ty)->width(), Logic::U));
+  case Type::Kind::Time:
+    return RtValue(Time());
+  case Type::Kind::Array: {
+    const auto *AT = cast<ArrayType>(Ty);
+    std::vector<RtValue> Elems(AT->length(), defaultValue(AT->element()));
+    return RtValue::makeArray(std::move(Elems));
+  }
+  case Type::Kind::Struct: {
+    const auto *ST = cast<StructType>(Ty);
+    std::vector<RtValue> Fields;
+    for (Type *F : ST->fields())
+      Fields.push_back(defaultValue(F));
+    return RtValue::makeStruct(std::move(Fields));
+  }
+  default:
+    return RtValue();
+  }
+}
+
+RtValue llhd::constValue(const Instruction &I) {
+  assert(I.opcode() == Opcode::Const && "not a constant");
+  switch (I.type()->kind()) {
+  case Type::Kind::Int:
+    return RtValue(I.intValue());
+  case Type::Kind::Enum:
+    return RtValue(IntValue(I.type()->bitWidth(), I.enumValue()));
+  case Type::Kind::Logic:
+    return RtValue(I.logicValue());
+  case Type::Kind::Time:
+    return RtValue(I.timeValue());
+  default:
+    assert(false && "invalid constant type");
+    return RtValue();
+  }
+}
+
+/// Converts a logic operand to its integer interpretation for mixed ops.
+static const IntValue intOf(const RtValue &V) {
+  if (V.isInt())
+    return V.intValue();
+  assert(V.isLogic() && "expected int or logic operand");
+  return V.logicValue().toIntValue();
+}
+
+RtValue llhd::evalPure(Opcode Op, const std::vector<RtValue> &Ops,
+                       unsigned Imm, const Instruction *I) {
+  std::vector<const RtValue *> Ptrs;
+  Ptrs.reserve(Ops.size());
+  for (const RtValue &V : Ops)
+    Ptrs.push_back(&V);
+  return evalPureP(Op, Ptrs.data(), Ptrs.size(), Imm, I);
+}
+
+RtValue llhd::evalPureP(Opcode Op, const RtValue *const *OpPtrs,
+                        size_t NumOps, unsigned Imm, const Instruction *I) {
+  // Local accessor so the body below reads like the vector version.
+  struct OpsView {
+    const RtValue *const *P;
+    const RtValue &operator[](size_t J) const { return *P[J]; }
+  } Ops{OpPtrs};
+
+  switch (Op) {
+  case Opcode::ArrayCreate:
+  case Opcode::StructCreate: {
+    std::vector<RtValue> Elems;
+    Elems.reserve(NumOps);
+    for (size_t J = 0; J != NumOps; ++J)
+      Elems.push_back(Ops[J]);
+    return Op == Opcode::ArrayCreate
+               ? RtValue::makeArray(std::move(Elems))
+               : RtValue::makeStruct(std::move(Elems));
+  }
+  case Opcode::Neg:
+    return RtValue(Ops[0].intValue().neg());
+  case Opcode::Not:
+    if (Ops[0].isLogic())
+      return RtValue(Ops[0].logicValue().logicalNot());
+    return RtValue(Ops[0].intValue().logicalNot());
+  case Opcode::Add:
+    return RtValue(Ops[0].intValue().add(Ops[1].intValue()));
+  case Opcode::Sub:
+    return RtValue(Ops[0].intValue().sub(Ops[1].intValue()));
+  case Opcode::Mul:
+    return RtValue(Ops[0].intValue().mul(Ops[1].intValue()));
+  case Opcode::Udiv:
+    return RtValue(Ops[0].intValue().udiv(Ops[1].intValue()));
+  case Opcode::Sdiv:
+    return RtValue(Ops[0].intValue().sdiv(Ops[1].intValue()));
+  case Opcode::Umod:
+  case Opcode::Urem:
+    return RtValue(Ops[0].intValue().urem(Ops[1].intValue()));
+  case Opcode::Smod:
+    return RtValue(Ops[0].intValue().smod(Ops[1].intValue()));
+  case Opcode::Srem:
+    return RtValue(Ops[0].intValue().srem(Ops[1].intValue()));
+  case Opcode::And:
+    if (Ops[0].isLogic())
+      return RtValue(Ops[0].logicValue().logicalAnd(Ops[1].logicValue()));
+    return RtValue(Ops[0].intValue().logicalAnd(Ops[1].intValue()));
+  case Opcode::Or:
+    if (Ops[0].isLogic())
+      return RtValue(Ops[0].logicValue().logicalOr(Ops[1].logicValue()));
+    return RtValue(Ops[0].intValue().logicalOr(Ops[1].intValue()));
+  case Opcode::Xor:
+    if (Ops[0].isLogic())
+      return RtValue(Ops[0].logicValue().logicalXor(Ops[1].logicValue()));
+    return RtValue(Ops[0].intValue().logicalXor(Ops[1].intValue()));
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Ashr: {
+    uint64_t Amt = Ops[1].intValue().fitsU64()
+                       ? Ops[1].intValue().zextToU64()
+                       : ~uint64_t(0);
+    const IntValue &A = Ops[0].intValue();
+    unsigned S =
+        Amt > A.width() ? A.width() : static_cast<unsigned>(Amt);
+    if (Op == Opcode::Shl)
+      return RtValue(A.shl(S));
+    if (Op == Opcode::Shr)
+      return RtValue(A.lshr(S));
+    return RtValue(A.ashr(S));
+  }
+  case Opcode::Eq:
+    return RtValue(IntValue(1, Ops[0] == Ops[1]));
+  case Opcode::Neq:
+    return RtValue(IntValue(1, Ops[0] != Ops[1]));
+  case Opcode::Ult:
+    return RtValue(IntValue(1, intOf(Ops[0]).ult(intOf(Ops[1]))));
+  case Opcode::Ugt:
+    return RtValue(IntValue(1, intOf(Ops[0]).ugt(intOf(Ops[1]))));
+  case Opcode::Ule:
+    return RtValue(IntValue(1, intOf(Ops[0]).ule(intOf(Ops[1]))));
+  case Opcode::Uge:
+    return RtValue(IntValue(1, intOf(Ops[0]).uge(intOf(Ops[1]))));
+  case Opcode::Slt:
+    return RtValue(IntValue(1, intOf(Ops[0]).slt(intOf(Ops[1]))));
+  case Opcode::Sgt:
+    return RtValue(IntValue(1, intOf(Ops[0]).sgt(intOf(Ops[1]))));
+  case Opcode::Sle:
+    return RtValue(IntValue(1, intOf(Ops[0]).sle(intOf(Ops[1]))));
+  case Opcode::Sge:
+    return RtValue(IntValue(1, intOf(Ops[0]).sge(intOf(Ops[1]))));
+  case Opcode::Mux: {
+    const auto &Elems = Ops[0].elements();
+    uint64_t Idx = intOf(Ops[1]).fitsU64() ? intOf(Ops[1]).zextToU64()
+                                           : Elems.size();
+    if (Idx >= Elems.size())
+      Idx = Elems.size() - 1; // Clamp, matching the const-fold rule.
+    return Elems[Idx];
+  }
+  case Opcode::Zext: {
+    unsigned W = I->type()->bitWidth();
+    return RtValue(Ops[0].intValue().zext(W));
+  }
+  case Opcode::Sext: {
+    unsigned W = I->type()->bitWidth();
+    return RtValue(Ops[0].intValue().sext(W));
+  }
+  case Opcode::Trunc: {
+    unsigned W = I->type()->bitWidth();
+    return RtValue(Ops[0].intValue().trunc(W));
+  }
+  case Opcode::Insf: {
+    // On a signal/pointer operand the caller handles it; here: values.
+    RtValue R = Ops[0];
+    R.elements()[Imm] = Ops[1];
+    return R;
+  }
+  case Opcode::Extf: {
+    if (Ops[0].isSignal())
+      return RtValue(Ops[0].sigRef().element(Imm));
+    return Ops[0].elements()[Imm];
+  }
+  case Opcode::Inss: {
+    if (Ops[0].isInt())
+      return RtValue(Ops[0].intValue().insertBits(Imm, Ops[1].intValue()));
+    if (Ops[0].isLogic())
+      return RtValue(
+          Ops[0].logicValue().insertBits(Imm, Ops[1].logicValue()));
+    // Array slice insert.
+    RtValue R = Ops[0];
+    const auto &Src = Ops[1].elements();
+    for (unsigned J = 0; J != Src.size(); ++J)
+      R.elements()[Imm + J] = Src[J];
+    return R;
+  }
+  case Opcode::Exts: {
+    if (Ops[0].isSignal()) {
+      unsigned Len = I->type()->isSignal()
+                         ? cast<SignalType>(I->type())->inner()->bitWidth()
+                         : 0;
+      // Array-of-signal slices keep element granularity; only int/logic
+      // slicing is bit-granular.
+      Type *Inner = cast<SignalType>(I->type())->inner();
+      if (Inner->isArray()) {
+        SigRef R = Ops[0].sigRef();
+        // Represent an array slice as a bit-range over elements? Keep it
+        // simple: array slices of signals are not supported.
+        assert(false && "array slices of signals are unsupported");
+        return RtValue(R);
+      }
+      return RtValue(Ops[0].sigRef().bits(Imm, Len));
+    }
+    if (Ops[0].isInt()) {
+      unsigned W = I->type()->bitWidth();
+      return RtValue(Ops[0].intValue().extractBits(Imm, W));
+    }
+    if (Ops[0].isLogic()) {
+      unsigned W = I->type()->bitWidth();
+      return RtValue(Ops[0].logicValue().extractBits(Imm, W));
+    }
+    // Array slice.
+    const auto &Src = Ops[0].elements();
+    unsigned Len = cast<ArrayType>(I->type())->length();
+    std::vector<RtValue> Out(Src.begin() + Imm, Src.begin() + Imm + Len);
+    return RtValue::makeArray(std::move(Out));
+  }
+  default:
+    assert(false && "not a pure op");
+    return RtValue();
+  }
+}
+
+RtValue llhd::readSubValue(const RtValue &V, const SigRef &Ref) {
+  const RtValue *Cur = &V;
+  for (uint32_t Idx : Ref.Path)
+    Cur = &Cur->elements()[Idx];
+  if (Ref.BitOff < 0)
+    return *Cur;
+  if (Cur->isInt())
+    return RtValue(Cur->intValue().extractBits(Ref.BitOff, Ref.BitLen));
+  return RtValue(Cur->logicValue().extractBits(Ref.BitOff, Ref.BitLen));
+}
+
+void llhd::writeSubValue(RtValue &V, const SigRef &Ref, const RtValue &Sub) {
+  RtValue *Cur = &V;
+  for (uint32_t Idx : Ref.Path)
+    Cur = &Cur->elements()[Idx];
+  if (Ref.BitOff < 0) {
+    *Cur = Sub;
+    return;
+  }
+  if (Cur->isInt())
+    *Cur = RtValue(Cur->intValue().insertBits(Ref.BitOff, Sub.intValue()));
+  else
+    *Cur = RtValue(
+        Cur->logicValue().insertBits(Ref.BitOff, Sub.logicValue()));
+}

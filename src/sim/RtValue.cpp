@@ -1,0 +1,65 @@
+//===- sim/RtValue.cpp - Runtime simulation values --------------------------===//
+
+#include "sim/RtValue.h"
+
+using namespace llhd;
+
+bool RtValue::isTruthy() const {
+  if (isInt())
+    return !IV.isZero();
+  if (isLogic())
+    return LV.toIntValue().zextToU64() != 0;
+  assert(false && "truthiness of a non-scalar value");
+  return false;
+}
+
+bool RtValue::operator==(const RtValue &RHS) const {
+  if (K != RHS.K)
+    return false;
+  switch (K) {
+  case Kind::Invalid:
+    return true;
+  case Kind::Int:
+    return IV == RHS.IV;
+  case Kind::Logic:
+    return LV == RHS.LV;
+  case Kind::TimeVal:
+    return TV == RHS.TV;
+  case Kind::Pointer:
+    return Ptr == RHS.Ptr;
+  case Kind::Signal:
+    return SR == RHS.SR;
+  case Kind::Array:
+  case Kind::Struct:
+    return Elems == RHS.Elems;
+  }
+  return false;
+}
+
+std::string RtValue::toString() const {
+  switch (K) {
+  case Kind::Invalid:
+    return "<invalid>";
+  case Kind::Int:
+    return IV.toString();
+  case Kind::Logic:
+    return std::to_string(LV.width()) + "'b" + LV.toString();
+  case Kind::TimeVal:
+    return TV.toString();
+  case Kind::Pointer:
+    return "ptr:" + std::to_string(Ptr);
+  case Kind::Signal:
+    return "sig:" + std::to_string(SR.Sig);
+  case Kind::Array:
+  case Kind::Struct: {
+    std::string S = K == Kind::Array ? "[" : "{";
+    for (unsigned I = 0; I != Elems.size(); ++I) {
+      if (I != 0)
+        S += ", ";
+      S += Elems[I].toString();
+    }
+    return S + (K == Kind::Array ? "]" : "}");
+  }
+  }
+  return "";
+}

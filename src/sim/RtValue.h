@@ -1,0 +1,172 @@
+//===- sim/RtValue.h - Runtime simulation values ----------------*- C++ -*-===//
+//
+// The dynamic values flowing through a simulation: two-state integers
+// (also used for enums), nine-valued logic, times, aggregates, stack/heap
+// pointers and sub-signal references. All three execution engines share
+// this representation and the operation semantics in RtOps.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_RTVALUE_H
+#define LLHD_SIM_RTVALUE_H
+
+#include "support/IntValue.h"
+#include "support/LogicVec.h"
+#include "support/Time.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// Identifies one elaborated signal.
+using SignalId = uint32_t;
+constexpr SignalId InvalidSignal = ~SignalId(0);
+
+/// A reference to (part of) a signal: an element path through aggregate
+/// layers plus an optional bit range, produced by extf/exts on signals.
+struct SigRef {
+  SignalId Sig = InvalidSignal;
+  std::vector<uint32_t> Path; ///< Aggregate element indices, outermost first.
+  int32_t BitOff = -1;        ///< -1: whole element.
+  uint32_t BitLen = 0;
+
+  bool valid() const { return Sig != InvalidSignal; }
+  bool wholeSignal() const { return Path.empty() && BitOff < 0; }
+
+  /// Narrows this reference by an element index.
+  SigRef element(uint32_t Index) const {
+    SigRef R = *this;
+    assert(R.BitOff < 0 && "cannot take an element of a bit slice");
+    R.Path.push_back(Index);
+    return R;
+  }
+  /// Narrows this reference by a bit range.
+  SigRef bits(uint32_t Off, uint32_t Len) const {
+    SigRef R = *this;
+    if (R.BitOff < 0) {
+      R.BitOff = Off;
+      R.BitLen = Len;
+    } else {
+      assert(Off + Len <= R.BitLen && "bit slice out of range");
+      R.BitOff += Off;
+      R.BitLen = Len;
+    }
+    return R;
+  }
+
+  bool operator==(const SigRef &RHS) const {
+    return Sig == RHS.Sig && Path == RHS.Path && BitOff == RHS.BitOff &&
+           BitLen == RHS.BitLen;
+  }
+  bool operator<(const SigRef &RHS) const {
+    if (Sig != RHS.Sig)
+      return Sig < RHS.Sig;
+    if (Path != RHS.Path)
+      return Path < RHS.Path;
+    if (BitOff != RHS.BitOff)
+      return BitOff < RHS.BitOff;
+    return BitLen < RHS.BitLen;
+  }
+};
+
+/// One dynamic value.
+class RtValue {
+public:
+  enum class Kind : uint8_t {
+    Invalid,
+    Int,     ///< iN and nN.
+    Logic,   ///< lN.
+    TimeVal, ///< time.
+    Array,
+    Struct,
+    Pointer, ///< Index into the owning frame's memory cells.
+    Signal,  ///< A SigRef.
+  };
+
+  RtValue() : K(Kind::Invalid) {}
+  explicit RtValue(IntValue V) : K(Kind::Int), IV(std::move(V)) {}
+  explicit RtValue(LogicVec V) : K(Kind::Logic), LV(std::move(V)) {}
+  explicit RtValue(Time T) : K(Kind::TimeVal), TV(T) {}
+  explicit RtValue(SigRef S) : K(Kind::Signal), SR(std::move(S)) {}
+
+  static RtValue makeArray(std::vector<RtValue> Elems) {
+    RtValue V;
+    V.K = Kind::Array;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+  static RtValue makeStruct(std::vector<RtValue> Fields) {
+    RtValue V;
+    V.K = Kind::Struct;
+    V.Elems = std::move(Fields);
+    return V;
+  }
+  static RtValue makePointer(uint32_t Cell) {
+    RtValue V;
+    V.K = Kind::Pointer;
+    V.Ptr = Cell;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isInvalid() const { return K == Kind::Invalid; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isLogic() const { return K == Kind::Logic; }
+  bool isTime() const { return K == Kind::TimeVal; }
+  bool isAggregate() const { return K == Kind::Array || K == Kind::Struct; }
+  bool isSignal() const { return K == Kind::Signal; }
+  bool isPointer() const { return K == Kind::Pointer; }
+
+  const IntValue &intValue() const {
+    assert(isInt() && "not an integer value");
+    return IV;
+  }
+  const LogicVec &logicValue() const {
+    assert(isLogic() && "not a logic value");
+    return LV;
+  }
+  const Time &timeValue() const {
+    assert(isTime() && "not a time value");
+    return TV;
+  }
+  const SigRef &sigRef() const {
+    assert(isSignal() && "not a signal reference");
+    return SR;
+  }
+  uint32_t pointer() const {
+    assert(isPointer() && "not a pointer");
+    return Ptr;
+  }
+  const std::vector<RtValue> &elements() const {
+    assert(isAggregate() && "not an aggregate");
+    return Elems;
+  }
+  std::vector<RtValue> &elements() {
+    assert(isAggregate() && "not an aggregate");
+    return Elems;
+  }
+
+  /// The boolean interpretation of an i1 (or l1) value.
+  bool isTruthy() const;
+
+  bool operator==(const RtValue &RHS) const;
+  bool operator!=(const RtValue &RHS) const { return !(*this == RHS); }
+
+  /// Renders for traces and diagnostics, e.g. "42", "4'b01XZ", "[1, 2]".
+  std::string toString() const;
+
+private:
+  Kind K;
+  IntValue IV;
+  LogicVec LV;
+  Time TV;
+  SigRef SR;
+  uint32_t Ptr = 0;
+  std::vector<RtValue> Elems;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_RTVALUE_H

@@ -1,0 +1,60 @@
+//===- support/Casting.h - LLVM-style RTTI helpers --------------*- C++ -*-===//
+//
+// Part of the LLHD reproduction. Minimal reimplementation of the LLVM
+// isa<>/cast<>/dyn_cast<> templates (see the LLVM Programmer's Manual).
+// Classes opt in by providing `static bool classof(const Base *)`.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SUPPORT_CASTING_H
+#define LLHD_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace llhd {
+
+/// Returns true if \p Val is an instance of \p To (or any of the listed
+/// classes, when more than one is given).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates null pointers (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates null pointers (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return isa_and_present<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace llhd
+
+#endif // LLHD_SUPPORT_CASTING_H

@@ -1,0 +1,392 @@
+//===- support/IntValue.cpp - Arbitrary-width two-state integers ---------===//
+
+#include "support/IntValue.h"
+
+#include <algorithm>
+
+using namespace llhd;
+
+static unsigned wordsForBits(unsigned Bits) { return (Bits + 63) / 64; }
+
+IntValue::IntValue(unsigned Width, uint64_t Value) : Width(Width) {
+  Words.assign(std::max(1u, wordsForBits(Width)), 0);
+  if (Width == 0)
+    Words.assign(1, 0);
+  else
+    Words[0] = Value;
+  clearUnusedBits();
+}
+
+IntValue::IntValue(unsigned Width, const std::vector<uint64_t> &Ws)
+    : Width(Width), Words(Ws) {
+  Words.resize(std::max(1u, wordsForBits(Width)), 0);
+  clearUnusedBits();
+}
+
+void IntValue::clearUnusedBits() {
+  if (Width == 0) {
+    Words.assign(1, 0);
+    return;
+  }
+  unsigned Rem = Width % 64;
+  if (Rem != 0)
+    Words.back() &= (~uint64_t(0) >> (64 - Rem));
+}
+
+IntValue IntValue::fromString(unsigned Width, const std::string &Str) {
+  IntValue Result(Width, 0);
+  size_t I = 0;
+  bool Negative = false;
+  if (I < Str.size() && (Str[I] == '-' || Str[I] == '+')) {
+    Negative = Str[I] == '-';
+    ++I;
+  }
+  unsigned Radix = 10;
+  if (Str.size() >= I + 2 && Str[I] == '0' &&
+      (Str[I + 1] == 'x' || Str[I + 1] == 'X')) {
+    Radix = 16;
+    I += 2;
+  } else if (Str.size() >= I + 2 && Str[I] == '0' &&
+             (Str[I + 1] == 'b' || Str[I + 1] == 'B')) {
+    Radix = 2;
+    I += 2;
+  }
+  IntValue RadixVal(Width, Radix);
+  for (; I < Str.size(); ++I) {
+    char C = Str[I];
+    if (C == '_')
+      continue;
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      break;
+    assert(Digit < Radix && "digit out of range for radix");
+    Result = Result.mul(RadixVal).add(IntValue(Width, Digit));
+  }
+  if (Negative)
+    Result = Result.neg();
+  return Result;
+}
+
+IntValue IntValue::allOnes(unsigned Width) {
+  IntValue V(Width, 0);
+  for (auto &W : V.Words)
+    W = ~uint64_t(0);
+  V.clearUnusedBits();
+  return V;
+}
+
+int64_t IntValue::sextToI64() const {
+  uint64_t Low = zextToU64();
+  if (Width == 0)
+    return 0;
+  if (Width >= 64)
+    return static_cast<int64_t>(Low);
+  if (signBit())
+    Low |= ~uint64_t(0) << Width;
+  return static_cast<int64_t>(Low);
+}
+
+bool IntValue::isZero() const {
+  return std::all_of(Words.begin(), Words.end(),
+                     [](uint64_t W) { return W == 0; });
+}
+
+bool IntValue::isAllOnes() const { return *this == allOnes(Width); }
+
+bool IntValue::fitsU64() const {
+  return std::all_of(Words.begin() + 1, Words.end(),
+                     [](uint64_t W) { return W == 0; });
+}
+
+void IntValue::setBit(unsigned I, bool V) {
+  assert(I < Width && "setBit index out of range");
+  if (V)
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  else
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+}
+
+IntValue IntValue::add(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  IntValue R(Width, 0);
+  uint64_t Carry = 0;
+  for (unsigned I = 0, E = Words.size(); I != E; ++I) {
+    uint64_t A = Words[I], B = RHS.Words[I];
+    uint64_t S = A + B;
+    uint64_t C1 = S < A;
+    uint64_t S2 = S + Carry;
+    uint64_t C2 = S2 < S;
+    R.Words[I] = S2;
+    Carry = C1 | C2;
+  }
+  R.clearUnusedBits();
+  return R;
+}
+
+IntValue IntValue::sub(const IntValue &RHS) const {
+  return add(RHS.neg());
+}
+
+IntValue IntValue::neg() const {
+  IntValue R = logicalNot();
+  return R.add(IntValue(Width, Width == 0 ? 0 : 1));
+}
+
+IntValue IntValue::mul(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  IntValue R(Width, 0);
+  unsigned N = Words.size();
+  for (unsigned I = 0; I != N; ++I) {
+    if (Words[I] == 0)
+      continue;
+    uint64_t Carry = 0;
+    for (unsigned J = 0; I + J < N; ++J) {
+      // 64x64 -> 128 multiply-accumulate.
+      __uint128_t Prod = (__uint128_t)Words[I] * RHS.Words[J] +
+                         R.Words[I + J] + Carry;
+      R.Words[I + J] = (uint64_t)Prod;
+      Carry = (uint64_t)(Prod >> 64);
+    }
+  }
+  R.clearUnusedBits();
+  return R;
+}
+
+bool IntValue::ult(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  for (unsigned I = Words.size(); I-- > 0;) {
+    if (Words[I] != RHS.Words[I])
+      return Words[I] < RHS.Words[I];
+  }
+  return false;
+}
+
+bool IntValue::slt(const IntValue &RHS) const {
+  bool LNeg = signBit(), RNeg = RHS.signBit();
+  if (LNeg != RNeg)
+    return LNeg;
+  return ult(RHS);
+}
+
+IntValue IntValue::udiv(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  if (RHS.isZero())
+    return allOnes(Width);
+  if (fitsU64() && RHS.fitsU64())
+    return IntValue(Width, zextToU64() / RHS.zextToU64());
+  // Shift-subtract long division for multi-word values.
+  IntValue Quot(Width, 0), Rem(Width, 0);
+  for (unsigned I = Width; I-- > 0;) {
+    Rem = Rem.shl(1);
+    Rem.setBit(0, bit(I));
+    if (Rem.uge(RHS)) {
+      Rem = Rem.sub(RHS);
+      Quot.setBit(I, true);
+    }
+  }
+  return Quot;
+}
+
+IntValue IntValue::urem(const IntValue &RHS) const {
+  if (RHS.isZero())
+    return *this;
+  if (fitsU64() && RHS.fitsU64())
+    return IntValue(Width, zextToU64() % RHS.zextToU64());
+  return sub(udiv(RHS).mul(RHS));
+}
+
+IntValue IntValue::sdiv(const IntValue &RHS) const {
+  bool LNeg = signBit(), RNeg = RHS.signBit();
+  IntValue L = LNeg ? neg() : *this;
+  IntValue R = RNeg ? RHS.neg() : RHS;
+  IntValue Q = L.udiv(R);
+  return LNeg != RNeg ? Q.neg() : Q;
+}
+
+IntValue IntValue::srem(const IntValue &RHS) const {
+  bool LNeg = signBit(), RNeg = RHS.signBit();
+  IntValue L = LNeg ? neg() : *this;
+  IntValue R = RNeg ? RHS.neg() : RHS;
+  IntValue Rem = L.urem(R);
+  return LNeg ? Rem.neg() : Rem;
+}
+
+IntValue IntValue::smod(const IntValue &RHS) const {
+  IntValue Rem = srem(RHS);
+  if (Rem.isZero() || Rem.signBit() == RHS.signBit())
+    return Rem;
+  return Rem.add(RHS);
+}
+
+IntValue IntValue::logicalAnd(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  IntValue R(Width, 0);
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    R.Words[I] = Words[I] & RHS.Words[I];
+  return R;
+}
+
+IntValue IntValue::logicalOr(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  IntValue R(Width, 0);
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    R.Words[I] = Words[I] | RHS.Words[I];
+  return R;
+}
+
+IntValue IntValue::logicalXor(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  IntValue R(Width, 0);
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    R.Words[I] = Words[I] ^ RHS.Words[I];
+  return R;
+}
+
+IntValue IntValue::logicalNot() const {
+  IntValue R(Width, 0);
+  for (unsigned I = 0, E = Words.size(); I != E; ++I)
+    R.Words[I] = ~Words[I];
+  R.clearUnusedBits();
+  return R;
+}
+
+IntValue IntValue::shl(unsigned Amount) const {
+  if (Amount >= Width)
+    return IntValue(Width, 0);
+  IntValue R(Width, 0);
+  unsigned WordShift = Amount / 64, BitShift = Amount % 64;
+  for (unsigned I = Words.size(); I-- > WordShift;) {
+    uint64_t W = Words[I - WordShift] << BitShift;
+    if (BitShift != 0 && I > WordShift)
+      W |= Words[I - WordShift - 1] >> (64 - BitShift);
+    R.Words[I] = W;
+  }
+  R.clearUnusedBits();
+  return R;
+}
+
+IntValue IntValue::lshr(unsigned Amount) const {
+  if (Amount >= Width)
+    return IntValue(Width, 0);
+  IntValue R(Width, 0);
+  unsigned WordShift = Amount / 64, BitShift = Amount % 64;
+  unsigned N = Words.size();
+  for (unsigned I = 0; I + WordShift < N; ++I) {
+    uint64_t W = Words[I + WordShift] >> BitShift;
+    if (BitShift != 0 && I + WordShift + 1 < N)
+      W |= Words[I + WordShift + 1] << (64 - BitShift);
+    R.Words[I] = W;
+  }
+  return R;
+}
+
+IntValue IntValue::ashr(unsigned Amount) const {
+  bool Neg = signBit();
+  IntValue R = lshr(Amount);
+  if (!Neg || Amount == 0)
+    return R;
+  unsigned Fill = std::min(Amount, Width);
+  for (unsigned I = 0; I != Fill; ++I)
+    R.setBit(Width - 1 - I, true);
+  return R;
+}
+
+IntValue IntValue::zext(unsigned NewWidth) const {
+  assert(NewWidth >= Width && "zext to smaller width");
+  IntValue R(NewWidth, 0);
+  std::copy(Words.begin(), Words.end(), R.Words.begin());
+  R.clearUnusedBits();
+  return R;
+}
+
+IntValue IntValue::sext(unsigned NewWidth) const {
+  assert(NewWidth >= Width && "sext to smaller width");
+  if (!signBit())
+    return zext(NewWidth);
+  IntValue R = allOnes(NewWidth);
+  for (unsigned I = 0; I != Width; ++I)
+    R.setBit(I, bit(I));
+  return R;
+}
+
+IntValue IntValue::trunc(unsigned NewWidth) const {
+  assert(NewWidth <= Width && "trunc to larger width");
+  IntValue R(NewWidth, 0);
+  for (unsigned I = 0, E = R.Words.size(); I != E; ++I)
+    R.Words[I] = word(I);
+  R.clearUnusedBits();
+  return R;
+}
+
+IntValue IntValue::zextOrTrunc(unsigned NewWidth) const {
+  return NewWidth >= Width ? zext(NewWidth) : trunc(NewWidth);
+}
+
+IntValue IntValue::extractBits(unsigned Offset, unsigned Length) const {
+  assert(Offset + Length <= Width && "extract out of range");
+  return lshr(Offset).trunc(Length);
+}
+
+IntValue IntValue::insertBits(unsigned Offset, const IntValue &Src) const {
+  assert(Offset + Src.width() <= Width && "insert out of range");
+  IntValue R = *this;
+  for (unsigned I = 0; I != Src.width(); ++I)
+    R.setBit(Offset + I, Src.bit(I));
+  return R;
+}
+
+unsigned IntValue::popCount() const {
+  unsigned N = 0;
+  for (uint64_t W : Words)
+    N += __builtin_popcountll(W);
+  return N;
+}
+
+unsigned IntValue::countLeadingZeros() const {
+  for (unsigned I = Width; I-- > 0;)
+    if (bit(I))
+      return Width - 1 - I;
+  return Width;
+}
+
+std::string IntValue::toString() const {
+  if (fitsU64())
+    return std::to_string(zextToU64());
+  IntValue Ten(Width, 10);
+  IntValue V = *this;
+  std::string S;
+  while (!V.isZero()) {
+    S += char('0' + V.urem(Ten).zextToU64());
+    V = V.udiv(Ten);
+  }
+  if (S.empty())
+    S = "0";
+  std::reverse(S.begin(), S.end());
+  return S;
+}
+
+std::string IntValue::toHexString() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S;
+  unsigned NumNibbles = (Width + 3) / 4;
+  for (unsigned I = NumNibbles; I-- > 0;) {
+    unsigned Nibble = (word(I / 16) >> ((I % 16) * 4)) & 0xf;
+    S += Digits[Nibble];
+  }
+  if (S.empty())
+    S = "0";
+  return "0x" + S;
+}
+
+size_t IntValue::hash() const {
+  size_t H = std::hash<unsigned>()(Width);
+  for (uint64_t W : Words)
+    H = H * 1000003u + std::hash<uint64_t>()(W);
+  return H;
+}

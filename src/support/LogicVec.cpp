@@ -1,0 +1,198 @@
+//===- support/LogicVec.cpp - IEEE 1164 nine-valued logic ----------------===//
+
+#include "support/LogicVec.h"
+
+using namespace llhd;
+
+static constexpr unsigned NumLogic = 9;
+
+char llhd::logicToChar(Logic L) {
+  static const char Chars[NumLogic] = {'U', 'X', '0', '1', 'Z',
+                                       'W', 'L', 'H', '-'};
+  return Chars[static_cast<unsigned>(L)];
+}
+
+Logic llhd::logicFromChar(char C) {
+  switch (C) {
+  case 'U': case 'u': return Logic::U;
+  case 'X': case 'x': return Logic::X;
+  case '0':           return Logic::L0;
+  case '1':           return Logic::L1;
+  case 'Z': case 'z': return Logic::Z;
+  case 'W': case 'w': return Logic::W;
+  case 'L': case 'l': return Logic::L;
+  case 'H': case 'h': return Logic::H;
+  case '-':           return Logic::DC;
+  }
+  assert(false && "invalid IEEE 1164 character");
+  return Logic::X;
+}
+
+// IEEE 1164 resolution table, indexed [A][B].
+// Order: U X 0 1 Z W L H -
+Logic llhd::resolveLogic(Logic A, Logic B) {
+  using enum Logic;
+  static const Logic Table[NumLogic][NumLogic] = {
+      //          U  X   0   1   Z  W  L  H  -
+      /* U */ {U, U, U, U, U, U, U, U, U},
+      /* X */ {U, X, X, X, X, X, X, X, X},
+      /* 0 */ {U, X, L0, X, L0, L0, L0, L0, X},
+      /* 1 */ {U, X, X, L1, L1, L1, L1, L1, X},
+      /* Z */ {U, X, L0, L1, Z, W, L, H, X},
+      /* W */ {U, X, L0, L1, W, W, W, W, X},
+      /* L */ {U, X, L0, L1, L, W, L, W, X},
+      /* H */ {U, X, L0, L1, H, W, W, H, X},
+      /* - */ {U, X, X, X, X, X, X, X, X},
+  };
+  return Table[static_cast<unsigned>(A)][static_cast<unsigned>(B)];
+}
+
+Logic llhd::logicToX01(Logic A) {
+  switch (A) {
+  case Logic::L0: case Logic::L: return Logic::L0;
+  case Logic::L1: case Logic::H: return Logic::L1;
+  default:                       return Logic::X;
+  }
+}
+
+Logic llhd::logicAnd(Logic A, Logic B) {
+  Logic X01A = logicToX01(A), X01B = logicToX01(B);
+  if (X01A == Logic::L0 || X01B == Logic::L0)
+    return Logic::L0;
+  if (A == Logic::U || B == Logic::U)
+    return Logic::U;
+  if (X01A == Logic::X || X01B == Logic::X)
+    return Logic::X;
+  return Logic::L1;
+}
+
+Logic llhd::logicOr(Logic A, Logic B) {
+  Logic X01A = logicToX01(A), X01B = logicToX01(B);
+  if (X01A == Logic::L1 || X01B == Logic::L1)
+    return Logic::L1;
+  if (A == Logic::U || B == Logic::U)
+    return Logic::U;
+  if (X01A == Logic::X || X01B == Logic::X)
+    return Logic::X;
+  return Logic::L0;
+}
+
+Logic llhd::logicXor(Logic A, Logic B) {
+  if (A == Logic::U || B == Logic::U)
+    return Logic::U;
+  Logic X01A = logicToX01(A), X01B = logicToX01(B);
+  if (X01A == Logic::X || X01B == Logic::X)
+    return Logic::X;
+  return X01A == X01B ? Logic::L0 : Logic::L1;
+}
+
+Logic llhd::logicNot(Logic A) {
+  switch (logicToX01(A)) {
+  case Logic::L0: return Logic::L1;
+  case Logic::L1: return Logic::L0;
+  default:        return A == Logic::U ? Logic::U : Logic::X;
+  }
+}
+
+LogicVec::LogicVec(const IntValue &V) : Bits(V.width(), Logic::L0) {
+  for (unsigned I = 0, E = V.width(); I != E; ++I)
+    if (V.bit(I))
+      Bits[I] = Logic::L1;
+}
+
+LogicVec LogicVec::fromString(const std::string &Str) {
+  LogicVec V(Str.size());
+  for (unsigned I = 0, E = Str.size(); I != E; ++I)
+    V.Bits[E - 1 - I] = logicFromChar(Str[I]);
+  return V;
+}
+
+bool LogicVec::isFullyDefined() const {
+  for (Logic L : Bits)
+    if (logicToX01(L) == Logic::X)
+      return false;
+  return true;
+}
+
+IntValue LogicVec::toIntValue(bool *HadUnknown) const {
+  IntValue V(width(), 0);
+  if (HadUnknown)
+    *HadUnknown = false;
+  for (unsigned I = 0, E = width(); I != E; ++I) {
+    Logic L = logicToX01(Bits[I]);
+    if (L == Logic::L1)
+      V.setBit(I, true);
+    else if (L != Logic::L0 && HadUnknown)
+      *HadUnknown = true;
+  }
+  return V;
+}
+
+LogicVec LogicVec::resolve(const LogicVec &RHS) const {
+  assert(width() == RHS.width() && "width mismatch");
+  LogicVec R(width());
+  for (unsigned I = 0, E = width(); I != E; ++I)
+    R.Bits[I] = resolveLogic(Bits[I], RHS.Bits[I]);
+  return R;
+}
+
+LogicVec LogicVec::logicalAnd(const LogicVec &RHS) const {
+  assert(width() == RHS.width() && "width mismatch");
+  LogicVec R(width());
+  for (unsigned I = 0, E = width(); I != E; ++I)
+    R.Bits[I] = logicAnd(Bits[I], RHS.Bits[I]);
+  return R;
+}
+
+LogicVec LogicVec::logicalOr(const LogicVec &RHS) const {
+  assert(width() == RHS.width() && "width mismatch");
+  LogicVec R(width());
+  for (unsigned I = 0, E = width(); I != E; ++I)
+    R.Bits[I] = logicOr(Bits[I], RHS.Bits[I]);
+  return R;
+}
+
+LogicVec LogicVec::logicalXor(const LogicVec &RHS) const {
+  assert(width() == RHS.width() && "width mismatch");
+  LogicVec R(width());
+  for (unsigned I = 0, E = width(); I != E; ++I)
+    R.Bits[I] = logicXor(Bits[I], RHS.Bits[I]);
+  return R;
+}
+
+LogicVec LogicVec::logicalNot() const {
+  LogicVec R(width());
+  for (unsigned I = 0, E = width(); I != E; ++I)
+    R.Bits[I] = logicNot(Bits[I]);
+  return R;
+}
+
+LogicVec LogicVec::extractBits(unsigned Offset, unsigned Length) const {
+  assert(Offset + Length <= width() && "extract out of range");
+  LogicVec R(Length);
+  for (unsigned I = 0; I != Length; ++I)
+    R.Bits[I] = Bits[Offset + I];
+  return R;
+}
+
+LogicVec LogicVec::insertBits(unsigned Offset, const LogicVec &Src) const {
+  assert(Offset + Src.width() <= width() && "insert out of range");
+  LogicVec R = *this;
+  for (unsigned I = 0; I != Src.width(); ++I)
+    R.Bits[Offset + I] = Src.Bits[I];
+  return R;
+}
+
+std::string LogicVec::toString() const {
+  std::string S;
+  for (unsigned I = width(); I-- > 0;)
+    S += logicToChar(Bits[I]);
+  return S;
+}
+
+size_t LogicVec::hash() const {
+  size_t H = std::hash<unsigned>()(width());
+  for (Logic L : Bits)
+    H = H * 31 + static_cast<unsigned>(L);
+  return H;
+}

@@ -1,0 +1,101 @@
+//===- support/LogicVec.h - IEEE 1164 nine-valued logic ---------*- C++ -*-===//
+//
+// Nine-valued logic values and vectors for LLHD `lN` types, following the
+// IEEE 1164 standard logic system (std_ulogic/std_logic).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SUPPORT_LOGICVEC_H
+#define LLHD_SUPPORT_LOGICVEC_H
+
+#include "support/IntValue.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// One IEEE 1164 logic value.
+enum class Logic : uint8_t {
+  U,  ///< Uninitialised.
+  X,  ///< Forcing unknown.
+  L0, ///< Forcing 0.
+  L1, ///< Forcing 1.
+  Z,  ///< High impedance.
+  W,  ///< Weak unknown.
+  L,  ///< Weak 0.
+  H,  ///< Weak 1.
+  DC, ///< Don't care ('-').
+};
+
+/// Renders a logic value as its IEEE 1164 character (U X 0 1 Z W L H -).
+char logicToChar(Logic L);
+/// Parses an IEEE 1164 character; asserts on invalid input.
+Logic logicFromChar(char C);
+
+/// IEEE 1164 `resolved` function: combines two drivers of one signal.
+Logic resolveLogic(Logic A, Logic B);
+/// IEEE 1164 `and`/`or`/`xor`/`not` tables.
+Logic logicAnd(Logic A, Logic B);
+Logic logicOr(Logic A, Logic B);
+Logic logicXor(Logic A, Logic B);
+Logic logicNot(Logic A);
+/// `to_x01`: maps weak values onto their forcing equivalent, everything
+/// else that is not 0/1 onto X.
+Logic logicToX01(Logic A);
+
+/// A fixed-width vector of nine-valued logic, bit 0 first (little-endian,
+/// matching IntValue bit order).
+class LogicVec {
+public:
+  LogicVec() = default;
+  /// Builds a vector of \p Width copies of \p Fill.
+  explicit LogicVec(unsigned Width, Logic Fill = Logic::U)
+      : Bits(Width, Fill) {}
+  /// Builds from a two-state integer (bits become 0/1).
+  explicit LogicVec(const IntValue &V);
+  /// Parses from a string of 1164 characters, most-significant first.
+  static LogicVec fromString(const std::string &Str);
+
+  unsigned width() const { return Bits.size(); }
+  Logic bit(unsigned I) const {
+    assert(I < Bits.size() && "bit index out of range");
+    return Bits[I];
+  }
+  void setBit(unsigned I, Logic L) {
+    assert(I < Bits.size() && "bit index out of range");
+    Bits[I] = L;
+  }
+
+  /// True if every bit is a forcing or weak 0/1.
+  bool isFullyDefined() const;
+
+  /// Converts to a two-state integer; non-01 bits read as 0 and set
+  /// \p HadUnknown if provided.
+  IntValue toIntValue(bool *HadUnknown = nullptr) const;
+
+  LogicVec resolve(const LogicVec &RHS) const;
+  LogicVec logicalAnd(const LogicVec &RHS) const;
+  LogicVec logicalOr(const LogicVec &RHS) const;
+  LogicVec logicalXor(const LogicVec &RHS) const;
+  LogicVec logicalNot() const;
+
+  LogicVec extractBits(unsigned Offset, unsigned Length) const;
+  LogicVec insertBits(unsigned Offset, const LogicVec &Src) const;
+
+  bool operator==(const LogicVec &RHS) const { return Bits == RHS.Bits; }
+  bool operator!=(const LogicVec &RHS) const { return !(*this == RHS); }
+
+  /// Renders most-significant bit first, e.g. "01XZ".
+  std::string toString() const;
+
+  size_t hash() const;
+
+private:
+  std::vector<Logic> Bits;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SUPPORT_LOGICVEC_H

@@ -1,0 +1,103 @@
+//===- support/Time.cpp - Simulation time values -------------------------===//
+
+#include "support/Time.h"
+
+#include <cctype>
+
+using namespace llhd;
+
+std::string Time::toString() const {
+  // Pick the largest unit that divides the femtosecond count evenly.
+  static const struct {
+    const char *Suffix;
+    uint64_t Scale;
+  } Units[] = {{"s", 1000000000000000ull},
+               {"ms", 1000000000000ull},
+               {"us", 1000000000ull},
+               {"ns", 1000000ull},
+               {"ps", 1000ull},
+               {"fs", 1ull}};
+  std::string S;
+  for (const auto &U : Units) {
+    if (Fs % U.Scale == 0) {
+      S = std::to_string(Fs / U.Scale) + U.Suffix;
+      break;
+    }
+  }
+  if (Delta != 0)
+    S += " " + std::to_string(Delta) + "d";
+  if (Eps != 0)
+    S += " " + std::to_string(Eps) + "e";
+  return S;
+}
+
+bool Time::parse(const std::string &Str, Time &Out) {
+  Out = Time();
+  size_t I = 0;
+  auto skipSpace = [&] {
+    while (I < Str.size() && std::isspace(static_cast<unsigned char>(Str[I])))
+      ++I;
+  };
+  auto parseNum = [&](uint64_t &N) {
+    if (I >= Str.size() || !std::isdigit(static_cast<unsigned char>(Str[I])))
+      return false;
+    N = 0;
+    while (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I])))
+      N = N * 10 + (Str[I++] - '0');
+    return true;
+  };
+
+  skipSpace();
+  uint64_t N;
+  if (!parseNum(N))
+    return false;
+
+  // Physical unit suffix.
+  uint64_t Scale;
+  if (Str.compare(I, 2, "fs") == 0) {
+    Scale = 1;
+    I += 2;
+  } else if (Str.compare(I, 2, "ps") == 0) {
+    Scale = 1000;
+    I += 2;
+  } else if (Str.compare(I, 2, "ns") == 0) {
+    Scale = 1000000;
+    I += 2;
+  } else if (Str.compare(I, 2, "us") == 0) {
+    Scale = 1000000000ull;
+    I += 2;
+  } else if (Str.compare(I, 2, "ms") == 0) {
+    Scale = 1000000000000ull;
+    I += 2;
+  } else if (I < Str.size() && Str[I] == 's') {
+    Scale = 1000000000000000ull;
+    I += 1;
+  } else {
+    return false;
+  }
+  Out.Fs = N * Scale;
+
+  // Optional delta and epsilon counts: "<n>d" then "<n>e".
+  skipSpace();
+  if (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I]))) {
+    size_t Save = I;
+    if (parseNum(N) && I < Str.size() && Str[I] == 'd') {
+      Out.Delta = static_cast<uint32_t>(N);
+      ++I;
+    } else {
+      I = Save;
+    }
+  }
+  skipSpace();
+  if (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I]))) {
+    size_t Save = I;
+    if (parseNum(N) && I < Str.size() && Str[I] == 'e') {
+      Out.Eps = static_cast<uint32_t>(N);
+      ++I;
+    } else {
+      I = Save;
+    }
+  }
+  skipSpace();
+  return I == Str.size();
+}

@@ -1,0 +1,649 @@
+//===- vsim/CommSim.cpp - Commercial-simulator stand-in ------------------------===//
+
+#include "vsim/CommSim.h"
+#include "sim/EventLoop.h"
+#include "sim/RtOps.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace llhd;
+
+/// Engine services visible to closures.
+struct CommSimImplRef;
+
+namespace {
+
+struct CsExec; // Per-activation execution context.
+
+/// One compiled step: mutates the register file / schedules events.
+using Step = std::function<void(CsExec &)>;
+/// A compiled terminator: returns the next block index, or -1 to halt,
+/// -2 to suspend (wait), -3 to return from a function.
+using Term = std::function<int(CsExec &)>;
+
+/// A compiled basic block.
+struct CsBlock {
+  std::vector<Step> Steps;
+  Term Terminator;
+};
+
+/// A compiled unit, shared across instances.
+struct CsUnit {
+  Unit *U = nullptr;
+  std::vector<CsBlock> Blocks;
+  uint32_t NumRegs = 0;
+  std::vector<std::pair<uint32_t, RtValue>> Preload; // Constants.
+  std::map<const Value *, uint32_t> RegOf;
+  uint32_t NumRegPrev = 0, NumDelPrev = 0;
+};
+
+/// Per-activation state the closures operate on.
+struct CsExec {
+  std::vector<RtValue> R;      ///< Register file.
+  std::vector<RtValue> Memory; ///< var/alloc cells.
+  RtValue RetVal;
+  // Engine services (filled by the engine before running closures):
+  CommSimImplRef *Eng = nullptr;
+  const void *InstanceTag = nullptr; ///< Driver identity.
+  std::vector<RtValue> *RegPrev = nullptr;
+  std::vector<bool> *RegPrevValid = nullptr;
+  std::vector<RtValue> *DelPrev = nullptr;
+  bool Initial = false;
+  // Wait results.
+  std::vector<SignalId> *Sensitivity = nullptr;
+  bool TimeoutSet = false;
+  Time Timeout;
+};
+
+} // namespace
+
+struct CommSimImplRef {
+  SignalTable *Signals = nullptr;
+  Scheduler *Sched = nullptr;
+  Time *Now = nullptr;
+  uint64_t *AssertFailures = nullptr;
+  bool *FinishRequested = nullptr;
+  std::function<RtValue(Unit *, std::vector<RtValue>)> CallFn;
+};
+
+namespace {
+
+/// Compiles one unit to closures.
+class CsCompiler {
+public:
+  explicit CsCompiler(Unit &U) { compile(U); }
+  CsUnit take() { return std::move(CU); }
+
+private:
+  uint32_t regOf(Value *V) {
+    auto It = CU.RegOf.find(V);
+    if (It != CU.RegOf.end())
+      return It->second;
+    uint32_t R = CU.NumRegs++;
+    CU.RegOf[V] = R;
+    return R;
+  }
+
+  void compile(Unit &U) {
+    CU.U = &U;
+    for (Argument *A : U.inputs())
+      regOf(A);
+    for (Argument *A : U.outputs())
+      regOf(A);
+
+    std::map<const BasicBlock *, int> BlockIdx;
+    int N = 0;
+    for (BasicBlock *BB : U.blocks())
+      BlockIdx[BB] = N++;
+
+    for (BasicBlock *BB : U.blocks()) {
+      CsBlock CB;
+      for (Instruction *I : BB->insts()) {
+        if (I->isTerminator()) {
+          CB.Terminator = compileTerminator(I, BlockIdx);
+          continue;
+        }
+        if (Step S = compileStep(I, BB, BlockIdx))
+          CB.Steps.push_back(std::move(S));
+      }
+      if (!CB.Terminator)
+        CB.Terminator = [](CsExec &) { return -1; }; // Entity body.
+      CU.Blocks.push_back(std::move(CB));
+    }
+  }
+
+  Step compileStep(Instruction *I, BasicBlock *BB,
+                   std::map<const BasicBlock *, int> &BlockIdx) {
+    switch (I->opcode()) {
+    case Opcode::Const:
+      CU.Preload.push_back({regOf(I), constValue(*I)});
+      return nullptr;
+    case Opcode::Sig:
+    case Opcode::Con:
+    case Opcode::InstOp:
+      (void)regOf(I);
+      return nullptr; // Elaborated.
+    case Opcode::Phi: {
+      // Compiled as block-entry selects over the dynamic predecessor:
+      // handled by the terminator writing PredIdx; here we read the
+      // incoming register chosen by the recorded predecessor.
+      uint32_t Dst = regOf(I);
+      std::vector<std::pair<int, uint32_t>> Incoming;
+      for (unsigned J = 0; J != I->numIncoming(); ++J)
+        Incoming.push_back({BlockIdx[I->incomingBlock(J)],
+                            regOf(I->incomingValue(J))});
+      return [Dst, Incoming](CsExec &X) {
+        // PredIdx is stashed in RetVal's pointer field by terminators;
+        // see makeJump below.
+        uint32_t Pred = X.RetVal.isPointer() ? X.RetVal.pointer() : 0;
+        for (auto &[B, R] : Incoming)
+          if (static_cast<uint32_t>(B) == Pred) {
+            X.R[Dst] = X.R[R];
+            return;
+          }
+      };
+    }
+    case Opcode::Prb: {
+      if (I->type()->isSignal())
+        return nullptr;
+      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
+      return [Dst, A](CsExec &X) {
+        X.R[Dst] = X.Eng->Signals->read(X.R[A].sigRef());
+      };
+    }
+    case Opcode::Drv: {
+      uint32_t S = regOf(I->operand(0)), V = regOf(I->operand(1)),
+               D = regOf(I->operand(2));
+      int C = I->numOperands() == 4 ? (int)regOf(I->operand(3)) : -1;
+      const Instruction *Src = I;
+      return [S, V, D, C, Src](CsExec &X) {
+        if (C >= 0 && !X.R[C].isTruthy())
+          return;
+        uint64_t Driver = (reinterpret_cast<uintptr_t>(X.InstanceTag)
+                           << 20) ^
+                          reinterpret_cast<uintptr_t>(Src);
+        X.Eng->Sched->scheduleUpdate(
+            driveTarget(*X.Eng->Now, X.R[D].timeValue()),
+            {X.R[S].sigRef(), X.R[V], Driver});
+        X.Eng->Sched->countScheduled(1);
+      };
+    }
+    case Opcode::Var:
+    case Opcode::Alloc: {
+      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
+      return [Dst, A](CsExec &X) {
+        X.Memory.push_back(X.R[A]);
+        X.R[Dst] = RtValue::makePointer(X.Memory.size() - 1);
+      };
+    }
+    case Opcode::Ld: {
+      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
+      return [Dst, A](CsExec &X) {
+        X.R[Dst] = X.Memory[X.R[A].pointer()];
+      };
+    }
+    case Opcode::St: {
+      uint32_t A = regOf(I->operand(0)), B = regOf(I->operand(1));
+      return [A, B](CsExec &X) { X.Memory[X.R[A].pointer()] = X.R[B]; };
+    }
+    case Opcode::Free:
+      return nullptr;
+    case Opcode::Call: {
+      int Dst = I->type()->isVoid() ? -1 : (int)regOf(I);
+      std::vector<uint32_t> Args;
+      for (unsigned J = 0; J != I->numOperands(); ++J)
+        Args.push_back(regOf(I->operand(J)));
+      Unit *Callee = I->callee();
+      return [Dst, Args, Callee](CsExec &X) {
+        std::vector<RtValue> Vals;
+        Vals.reserve(Args.size());
+        for (uint32_t R : Args)
+          Vals.push_back(X.R[R]);
+        RtValue Ret = X.Eng->CallFn(Callee, std::move(Vals));
+        if (Dst >= 0)
+          X.R[Dst] = std::move(Ret);
+      };
+    }
+    case Opcode::Reg: {
+      uint32_t Target = regOf(I->operand(0));
+      struct TrigMeta {
+        RegMode Mode;
+        uint32_t Val, Trig;
+        int Delay, Cond;
+        uint32_t PrevIdx;
+      };
+      std::vector<TrigMeta> Metas;
+      for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
+        const RegTrigger &T = I->regTriggers()[TI];
+        TrigMeta M;
+        M.Mode = T.Mode;
+        M.Val = regOf(I->operand(T.ValueIdx));
+        M.Trig = regOf(I->operand(T.TriggerIdx));
+        M.Delay = T.DelayIdx >= 0 ? (int)regOf(I->operand(T.DelayIdx)) : -1;
+        M.Cond = T.CondIdx >= 0 ? (int)regOf(I->operand(T.CondIdx)) : -1;
+        M.PrevIdx = CU.NumRegPrev++;
+        Metas.push_back(M);
+      }
+      const Instruction *Src = I;
+      return [Target, Metas, Src](CsExec &X) {
+        for (unsigned TI = 0; TI != Metas.size(); ++TI) {
+          const TrigMeta &M = Metas[TI];
+          RtValue Cur = X.R[M.Trig];
+          bool HavePrev = (*X.RegPrevValid)[M.PrevIdx];
+          RtValue Prev = HavePrev ? (*X.RegPrev)[M.PrevIdx] : Cur;
+          (*X.RegPrev)[M.PrevIdx] = Cur;
+          (*X.RegPrevValid)[M.PrevIdx] = true;
+          bool CurT = Cur.isTruthy(), PrevT = Prev.isTruthy();
+          bool Fire = false;
+          switch (M.Mode) {
+          case RegMode::Rise: Fire = HavePrev && !PrevT && CurT; break;
+          case RegMode::Fall: Fire = HavePrev && PrevT && !CurT; break;
+          case RegMode::Both: Fire = HavePrev && PrevT != CurT; break;
+          case RegMode::High: Fire = CurT; break;
+          case RegMode::Low:  Fire = !CurT; break;
+          }
+          if (X.Initial &&
+              (M.Mode == RegMode::Rise || M.Mode == RegMode::Fall ||
+               M.Mode == RegMode::Both))
+            Fire = false;
+          if (!Fire)
+            continue;
+          if (M.Cond >= 0 && !X.R[M.Cond].isTruthy())
+            continue;
+          Time Delay;
+          if (M.Delay >= 0)
+            Delay = X.R[M.Delay].timeValue();
+          uint64_t Driver = ((reinterpret_cast<uintptr_t>(X.InstanceTag)
+                              << 20) ^
+                             reinterpret_cast<uintptr_t>(Src)) +
+                            TI;
+          X.Eng->Sched->scheduleUpdate(
+              driveTarget(*X.Eng->Now, Delay),
+              {X.R[Target].sigRef(), X.R[M.Val], Driver});
+          X.Eng->Sched->countScheduled(1);
+        }
+      };
+    }
+    case Opcode::Del: {
+      uint32_t T = regOf(I->operand(0)), S = regOf(I->operand(1)),
+               D = regOf(I->operand(2));
+      uint32_t PrevIdx = CU.NumDelPrev++;
+      const Instruction *Src = I;
+      return [T, S, D, PrevIdx, Src](CsExec &X) {
+        RtValue Cur = X.Eng->Signals->read(X.R[S].sigRef());
+        RtValue &Prev = (*X.DelPrev)[PrevIdx];
+        if (!X.Initial && Prev == Cur)
+          return;
+        Prev = Cur;
+        uint64_t Driver = (reinterpret_cast<uintptr_t>(X.InstanceTag)
+                           << 20) ^
+                          reinterpret_cast<uintptr_t>(Src);
+        X.Eng->Sched->scheduleUpdate(
+            X.Eng->Now->advance(X.R[D].timeValue()),
+            {X.R[T].sigRef(), Cur, Driver});
+        X.Eng->Sched->countScheduled(1);
+      };
+    }
+    case Opcode::Extf:
+    case Opcode::Exts:
+      if (I->type()->isSignal() && BB->parent()->isEntity()) {
+        (void)regOf(I);
+        return nullptr; // Bound at elaboration.
+      }
+      [[fallthrough]];
+    default: {
+      assert(I->isPureDataFlow() && "unexpected opcode");
+      uint32_t Dst = regOf(I);
+      std::vector<uint32_t> Srcs;
+      for (unsigned J = 0; J != I->numOperands(); ++J)
+        Srcs.push_back(regOf(I->operand(J)));
+      Opcode Op = I->opcode();
+      unsigned Imm = I->immediate();
+      const Instruction *Src = I;
+      return [Dst, Srcs, Op, Imm, Src](CsExec &X) {
+        const RtValue *Ptrs[8];
+        std::vector<const RtValue *> Big;
+        const RtValue *const *P;
+        if (Srcs.size() <= 8) {
+          for (size_t J = 0; J != Srcs.size(); ++J)
+            Ptrs[J] = &X.R[Srcs[J]];
+          P = Ptrs;
+        } else {
+          for (uint32_t R : Srcs)
+            Big.push_back(&X.R[R]);
+          P = Big.data();
+        }
+        X.R[Dst] = evalPureP(Op, P, Srcs.size(), Imm, Src);
+      };
+    }
+    }
+  }
+
+  Term compileTerminator(Instruction *I,
+                         std::map<const BasicBlock *, int> &BlockIdx) {
+    int Self = BlockIdx[I->parent()];
+    switch (I->opcode()) {
+    case Opcode::Halt:
+      return [](CsExec &) { return -1; };
+    case Opcode::Ret: {
+      int A = I->numOperands() == 1 ? (int)regOf(I->operand(0)) : -1;
+      return [A](CsExec &X) {
+        X.RetVal = A >= 0 ? X.R[A] : RtValue();
+        return -3;
+      };
+    }
+    case Opcode::Br: {
+      if (I->numOperands() == 1) {
+        int T = BlockIdx[cast<BasicBlock>(I->operand(0))];
+        return [T, Self](CsExec &X) {
+          X.RetVal = RtValue::makePointer(Self);
+          return T;
+        };
+      }
+      uint32_t C = regOf(I->operand(0));
+      int TF = BlockIdx[I->brDest(0)], TT = BlockIdx[I->brDest(1)];
+      return [C, TF, TT, Self](CsExec &X) {
+        X.RetVal = RtValue::makePointer(Self);
+        return X.R[C].isTruthy() ? TT : TF;
+      };
+    }
+    case Opcode::Wait: {
+      int Dest = BlockIdx[I->waitDest()];
+      int TimeoutReg = -1;
+      std::vector<uint32_t> Observed;
+      for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
+        if (I->operand(J)->type()->isTime())
+          TimeoutReg = regOf(I->operand(J));
+        else
+          Observed.push_back(regOf(I->operand(J)));
+      }
+      return [Dest, TimeoutReg, Observed, Self](CsExec &X) {
+        X.RetVal = RtValue::makePointer(Self);
+        X.Sensitivity->clear();
+        for (uint32_t R : Observed)
+          X.Sensitivity->push_back(
+              X.Eng->Signals->canonical(X.R[R].sigRef().Sig));
+        X.TimeoutSet = TimeoutReg >= 0;
+        if (X.TimeoutSet)
+          X.Timeout = X.R[TimeoutReg].timeValue();
+        // Suspend; the resume block is encoded as -(Dest + 2).
+        return -(Dest + 2);
+      };
+    }
+    default:
+      assert(false && "unexpected terminator");
+      return [](CsExec &) { return -1; };
+    }
+  }
+
+  CsUnit CU;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CsProcState {
+  const CsUnit *CU = nullptr;
+  const UnitInstance *Inst = nullptr;
+  CsExec X;
+  int CurBlock = 0;
+  int ResumeBlock = 0;
+  enum class St { Ready, Waiting, Halted } State = St::Ready;
+  std::vector<SignalId> Sensitivity;
+  std::vector<RtValue> RegPrev, DelPrev;
+  std::vector<bool> RegPrevValid;
+  uint64_t WakeGen = 0;
+};
+
+struct CsEntState {
+  const CsUnit *CU = nullptr;
+  const UnitInstance *Inst = nullptr;
+  CsExec X;
+  std::vector<RtValue> RegPrev, DelPrev;
+  std::vector<bool> RegPrevValid;
+};
+
+} // namespace
+
+struct CommSim::Impl {
+  Design D;
+  SimOptions Opts;
+  Scheduler Sched;
+  Trace Tr;
+  SimStats Stats;
+  Time Now;
+  bool FinishRequested = false;
+  std::string Err;
+  CommSimImplRef Services;
+
+  std::map<Unit *, CsUnit> Units;
+  std::vector<CsProcState> Procs;
+  std::vector<CsEntState> Ents;
+  std::map<SignalId, std::vector<uint32_t>> Watchers;
+
+  Impl(Module &M, const std::string &Top, SimOptions O)
+      : Opts(O), Tr(O.TraceMode) {
+    D = elaborate(M, Top);
+    if (!D.ok()) {
+      Err = D.Error;
+      return;
+    }
+    Services.Signals = &D.Signals;
+    Services.Sched = &Sched;
+    Services.Now = &Now;
+    Services.AssertFailures = &Stats.AssertFailures;
+    Services.FinishRequested = &FinishRequested;
+    Services.CallFn = [this](Unit *F, std::vector<RtValue> Args) {
+      return callFunction(F, std::move(Args));
+    };
+    build();
+  }
+
+  const CsUnit &unitFor(Unit *U) {
+    auto It = Units.find(U);
+    if (It != Units.end())
+      return It->second;
+    CsCompiler C(*U);
+    return Units.emplace(U, C.take()).first->second;
+  }
+
+  void preload(const CsUnit &CU, const UnitInstance &UI, CsExec &X) {
+    X.R.assign(CU.NumRegs, RtValue());
+    for (const auto &[Slot, V] : CU.Preload)
+      X.R[Slot] = V;
+    for (const auto &[Val, Ref] : UI.Bindings) {
+      auto It = CU.RegOf.find(Val);
+      if (It != CU.RegOf.end())
+        X.R[It->second] = RtValue(Ref);
+    }
+    X.Eng = &Services;
+  }
+
+  void build() {
+    for (const UnitInstance &UI : D.Instances) {
+      const CsUnit &CU = unitFor(UI.U);
+      if (UI.U->isProcess()) {
+        CsProcState PS;
+        PS.CU = &CU;
+        PS.Inst = &UI;
+        preload(CU, UI, PS.X);
+        PS.X.InstanceTag = &UI;
+        PS.X.Sensitivity = &PS.Sensitivity;
+        PS.RegPrev.assign(CU.NumRegPrev, RtValue());
+        PS.RegPrevValid.assign(CU.NumRegPrev, false);
+        PS.DelPrev.assign(CU.NumDelPrev, RtValue());
+        Procs.push_back(std::move(PS));
+      } else {
+        CsEntState ES;
+        ES.CU = &CU;
+        ES.Inst = &UI;
+        preload(CU, UI, ES.X);
+        ES.X.InstanceTag = &UI;
+        ES.RegPrev.assign(CU.NumRegPrev, RtValue());
+        ES.RegPrevValid.assign(CU.NumRegPrev, false);
+        ES.DelPrev.assign(CU.NumDelPrev, RtValue());
+        Ents.push_back(std::move(ES));
+      }
+    }
+    // Re-point the aux vectors (vector moves above invalidate nothing,
+    // but the CsExec pointers must target the final locations).
+    for (CsProcState &PS : Procs) {
+      PS.X.Sensitivity = &PS.Sensitivity;
+      PS.X.RegPrev = &PS.RegPrev;
+      PS.X.RegPrevValid = &PS.RegPrevValid;
+      PS.X.DelPrev = &PS.DelPrev;
+    }
+    for (CsEntState &ES : Ents) {
+      ES.X.RegPrev = &ES.RegPrev;
+      ES.X.RegPrevValid = &ES.RegPrevValid;
+      ES.X.DelPrev = &ES.DelPrev;
+    }
+    for (uint32_t EI = 0; EI != Ents.size(); ++EI) {
+      std::set<SignalId> Watched;
+      const UnitInstance &UI = *Ents[EI].Inst;
+      for (Instruction *I : UI.U->entityBlock()->insts()) {
+        if (I->opcode() == Opcode::Prb) {
+          auto It = UI.Bindings.find(I->operand(0));
+          if (It != UI.Bindings.end())
+            Watched.insert(D.Signals.canonical(It->second.Sig));
+        }
+        if (I->opcode() == Opcode::Del) {
+          auto It = UI.Bindings.find(I->operand(1));
+          if (It != UI.Bindings.end())
+            Watched.insert(D.Signals.canonical(It->second.Sig));
+        }
+      }
+      for (SignalId S : Watched)
+        Watchers[S].push_back(EI);
+    }
+  }
+
+  RtValue callFunction(Unit *F, std::vector<RtValue> Args) {
+    if (F->isIntrinsic() || F->isDeclaration()) {
+      const std::string &N = F->name();
+      if (N == "llhd.assert") {
+        if (!Args.empty() && !Args[0].isTruthy())
+          ++Stats.AssertFailures;
+        return RtValue();
+      }
+      if (N == "llhd.finish") {
+        FinishRequested = true;
+        return RtValue();
+      }
+      return defaultValue(F->returnType());
+    }
+    const CsUnit &CU = unitFor(F);
+    CsExec X;
+    X.Eng = &Services;
+    X.R.assign(CU.NumRegs, RtValue());
+    for (const auto &[Slot, V] : CU.Preload)
+      X.R[Slot] = V;
+    for (unsigned I = 0; I != F->inputs().size(); ++I)
+      X.R[CU.RegOf.at(F->input(I))] = std::move(Args[I]);
+    int Block = 0;
+    uint64_t Fuel = 10000000ull;
+    while (Fuel--) {
+      const CsBlock &CB = CU.Blocks[Block];
+      for (const Step &S : CB.Steps)
+        S(X);
+      int Next = CB.Terminator(X);
+      if (Next == -3 || Next < 0)
+        return X.RetVal;
+      Block = Next;
+    }
+    return RtValue();
+  }
+
+  void runProcess(uint32_t PI) {
+    CsProcState &PS = Procs[PI];
+    if (PS.State == CsProcState::St::Halted)
+      return;
+    PS.State = CsProcState::St::Ready;
+    ++Stats.ProcessRuns;
+    const CsUnit &CU = *PS.CU;
+    int Block = PS.CurBlock;
+    uint64_t Fuel = 10000000ull;
+    while (Fuel--) {
+      const CsBlock &CB = CU.Blocks[Block];
+      for (const Step &S : CB.Steps)
+        S(PS.X);
+      int Next = CB.Terminator(PS.X);
+      if (Next == -1) {
+        PS.State = CsProcState::St::Halted;
+        return;
+      }
+      if (Next <= -2) {
+        // Wait: resume block is encoded as -(Dest + 2).
+        int Dest = -Next - 2;
+        ++PS.WakeGen;
+        if (PS.X.TimeoutSet)
+          Sched.scheduleWake(Now.advance(PS.X.Timeout),
+                             {PI, PS.WakeGen});
+        PS.State = CsProcState::St::Waiting;
+        PS.CurBlock = Dest;
+        return;
+      }
+      Block = Next;
+    }
+    PS.State = CsProcState::St::Halted;
+  }
+
+  void evalEntity(uint32_t EI, bool Initial) {
+    CsEntState &ES = Ents[EI];
+    ++Stats.EntityEvals;
+    ES.X.Initial = Initial;
+    const CsBlock &CB = ES.CU->Blocks.front();
+    for (const Step &S : CB.Steps)
+      S(ES.X);
+  }
+
+  //===------------------------------------------------------------------===//
+  // EventLoop hooks
+  //===------------------------------------------------------------------===//
+
+  uint32_t numProcs() const { return Procs.size(); }
+  uint32_t numEnts() const { return Ents.size(); }
+  bool procWaiting(uint32_t PI) const {
+    return Procs[PI].State == CsProcState::St::Waiting;
+  }
+  bool procHalted(uint32_t PI) const {
+    return Procs[PI].State == CsProcState::St::Halted;
+  }
+  bool procSensitiveTo(uint32_t PI, SignalId S) const {
+    const auto &Sens = Procs[PI].Sensitivity;
+    return std::find(Sens.begin(), Sens.end(), S) != Sens.end();
+  }
+  uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
+  void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
+  const std::vector<uint32_t> *entityWatchers(SignalId S) const {
+    auto It = Watchers.find(S);
+    return It == Watchers.end() ? nullptr : &It->second;
+  }
+  bool finishRequested() const { return FinishRequested; }
+
+  SimStats run() {
+    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+  }
+};
+
+CommSim::CommSim(Module &M, const std::string &Top, SimOptions Opts)
+    : P(std::make_unique<Impl>(M, Top, Opts)) {}
+
+CommSim::CommSim(Module &M, const std::string &Top)
+    : CommSim(M, Top, SimOptions()) {}
+
+CommSim::~CommSim() = default;
+
+bool CommSim::valid() const { return P->Err.empty(); }
+const std::string &CommSim::error() const { return P->Err; }
+SimStats CommSim::run() { return P->run(); }
+const Trace &CommSim::trace() const { return P->Tr; }
+const SignalTable &CommSim::signals() const { return P->D.Signals; }

@@ -1,0 +1,43 @@
+//===- vsim/CommSim.h - Commercial-simulator stand-in -----------*- C++ -*-===//
+//
+// The comparison simulator for Table 2. The paper races LLHD-Blaze
+// against a closed-source commercial HDL simulator; this repository
+// substitutes CommSim (documented in DESIGN.md): an independently
+// structured, optimised event-driven engine in the style of classic
+// compiled-code simulators — each instruction is compiled at elaboration
+// into a closure over a register file, and blocks become closure vectors.
+// It shares the value semantics (RtOps) and scheduling kernel with the
+// other engines, so cycle-accurate trace equivalence is checkable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_VSIM_COMMSIM_H
+#define LLHD_VSIM_COMMSIM_H
+
+#include "sim/Interp.h"
+
+namespace llhd {
+
+/// The closure-compiled comparison engine.
+class CommSim {
+public:
+  CommSim(Module &M, const std::string &Top, SimOptions Opts);
+  CommSim(Module &M, const std::string &Top);
+  ~CommSim();
+
+  bool valid() const;
+  const std::string &error() const;
+
+  SimStats run();
+
+  const Trace &trace() const;
+  const SignalTable &signals() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace llhd
+
+#endif // LLHD_VSIM_COMMSIM_H

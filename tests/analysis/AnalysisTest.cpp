@@ -1,0 +1,242 @@
+//===- tests/analysis/AnalysisTest.cpp - Dominators, TRs, DNF -------------===//
+
+#include "analysis/Cfg.h"
+#include "analysis/Dnf.h"
+#include "analysis/Dominators.h"
+#include "analysis/TemporalRegions.h"
+#include "asm/Parser.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+/// Parses one module and returns the named unit.
+struct ParsedModule {
+  Context Ctx;
+  Module M{Ctx, "t"};
+  Unit *unit(const char *Src, const std::string &Name) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Unit *U = M.unitByName(Name);
+    EXPECT_NE(U, nullptr);
+    return U;
+  }
+  BasicBlock *block(Unit *U, const std::string &Name) {
+    for (BasicBlock *BB : U->blocks())
+      if (BB->name() == Name)
+        return BB;
+    return nullptr;
+  }
+};
+
+struct DominatorsTest : public ::testing::Test, public ParsedModule {};
+struct TemporalRegionsTest : public ::testing::Test, public ParsedModule {};
+struct DnfTest : public ::testing::Test, public ParsedModule {};
+
+const char *DIAMOND = R"(
+func @f (i1 %c) i32 {
+entry:
+  %zero = const i32 0
+  %one = const i32 1
+  br %c, %l, %r
+l:
+  br %join
+r:
+  br %join
+join:
+  %v = phi i32 [%zero, %l], [%one, %r]
+  ret i32 %v
+}
+)";
+
+TEST_F(DominatorsTest, Diamond) {
+  Unit *F = unit(DIAMOND, "f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = block(F, "entry");
+  BasicBlock *L = block(F, "l");
+  BasicBlock *R = block(F, "r");
+  BasicBlock *Join = block(F, "join");
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+  EXPECT_EQ(DT.idom(L), Entry);
+  EXPECT_EQ(DT.idom(R), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(L, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+  EXPECT_EQ(DT.nearestCommonDominator(L, R), Entry);
+  EXPECT_EQ(DT.nearestCommonDominator(L, Join), Entry);
+  EXPECT_EQ(DT.nearestCommonDominator(Join, Join), Join);
+}
+
+TEST_F(DominatorsTest, InstructionDominance) {
+  Unit *F = unit(DIAMOND, "f");
+  DominatorTree DT(*F);
+  BasicBlock *Entry = block(F, "entry");
+  BasicBlock *Join = block(F, "join");
+  Instruction *Zero = Entry->insts()[0];
+  Instruction *One = Entry->insts()[1];
+  Instruction *Phi = Join->insts()[0];
+  EXPECT_TRUE(DT.dominates(Zero, One));
+  EXPECT_FALSE(DT.dominates(One, Zero));
+  EXPECT_TRUE(DT.dominates(Zero, Phi));
+}
+
+TEST_F(DominatorsTest, LoopHeader) {
+  Unit *F = unit(R"(
+func @g (i32 %n) i32 {
+entry:
+  %zero = const i32 0
+  %one = const i32 1
+  br %loop
+loop:
+  %i = phi i32 [%zero, %entry], [%in, %loop]
+  %in = add i32 %i, %one
+  %c = ult i32 %in, %n
+  br %c, %exit, %loop
+exit:
+  ret i32 %in
+}
+)", "g");
+  DominatorTree DT(*F);
+  BasicBlock *Loop = block(F, "loop");
+  BasicBlock *Exit = block(F, "exit");
+  EXPECT_EQ(DT.idom(Loop), block(F, "entry"));
+  EXPECT_EQ(DT.idom(Exit), Loop);
+  EXPECT_TRUE(DT.dominates(Loop, Exit));
+}
+
+TEST_F(DominatorsTest, ReversePostOrderStartsAtEntry) {
+  Unit *F = unit(DIAMOND, "f");
+  auto RPO = reversePostOrder(*F);
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), block(F, "entry"));
+  EXPECT_EQ(RPO.back(), block(F, "join"));
+}
+
+// The @acc_ff flip-flop process of Figure 5: two temporal regions.
+const char *ACC_FF = R"(
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+)";
+
+TEST_F(TemporalRegionsTest, FlipFlopHasTwoRegions) {
+  Unit *P = unit(ACC_FF, "acc_ff");
+  TemporalRegions TR(*P);
+  EXPECT_EQ(TR.numRegions(), 2u);
+  BasicBlock *Init = block(P, "init");
+  BasicBlock *Check = block(P, "check");
+  BasicBlock *Event = block(P, "event");
+  EXPECT_EQ(TR.regionOf(Init), 0u);
+  EXPECT_EQ(TR.regionOf(Check), 1u);
+  EXPECT_EQ(TR.regionOf(Event), 1u);
+  EXPECT_EQ(TR.entryOf(0), Init);
+  EXPECT_EQ(TR.entryOf(1), Check);
+  // Both check (br to init) and event (br to init) exit TR 1.
+  auto Exits = TR.exitingBlocksOf(1);
+  EXPECT_EQ(Exits.size(), 2u);
+}
+
+TEST_F(TemporalRegionsTest, CombProcessHasOneRegion) {
+  Unit *P = unit(R"(
+proc @comb (i32$ %a) -> (i32$ %y) {
+entry:
+  %ap = prb i32$ %a
+  %delay = const time 1ns
+  drv i32$ %y, %ap after %delay
+  br %final
+final:
+  wait %entry for %a
+}
+)", "comb");
+  TemporalRegions TR(*P);
+  EXPECT_EQ(TR.numRegions(), 1u);
+  auto Exits = TR.exitingBlocksOf(0);
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0]->name(), "final");
+}
+
+TEST_F(DnfTest, PosedgePattern) {
+  // The @acc_ff condition and(neq(clk0,clk1), clk1) must canonicalise to
+  // the single term (!clk0 & clk1) — §4.6's rising edge.
+  Unit *P = unit(ACC_FF, "acc_ff");
+  BasicBlock *Check = block(P, "check");
+  Instruction *Posedge = Check->insts()[2];
+  ASSERT_EQ(Posedge->opcode(), Opcode::And);
+  Dnf D = Dnf::of(Posedge);
+  ASSERT_EQ(D.terms().size(), 1u);
+  const DnfTerm &T = D.terms()[0];
+  ASSERT_EQ(T.size(), 2u);
+  // One negated clk0 and one positive clk1.
+  Instruction *Clk0 = block(P, "init")->insts()[0];
+  Instruction *Clk1 = Check->insts()[0];
+  bool FoundPast = false, FoundPresent = false;
+  for (const DnfLiteral &L : T) {
+    if (L.Val == Clk0 && L.Negated)
+      FoundPast = true;
+    if (L.Val == Clk1 && !L.Negated)
+      FoundPresent = true;
+  }
+  EXPECT_TRUE(FoundPast);
+  EXPECT_TRUE(FoundPresent);
+}
+
+TEST_F(DnfTest, ConstantsAndIdentities) {
+  Unit *F = unit(R"(
+func @h (i1 %a, i1 %b) i1 {
+entry:
+  %t = const i1 1
+  %f = const i1 0
+  %and_tf = and i1 %t, %f
+  %or_ab = or i1 %a, %b
+  %not_a = not i1 %a
+  %contra = and i1 %a, %not_a
+  %xab = xor i1 %a, %b
+  ret i1 %or_ab
+}
+)", "h");
+  auto &Insts = F->entry()->insts();
+  EXPECT_TRUE(Dnf::of(Insts[0]).isTrue());
+  EXPECT_TRUE(Dnf::of(Insts[1]).isFalse());
+  EXPECT_TRUE(Dnf::of(Insts[2]).isFalse());   // 1 & 0
+  EXPECT_EQ(Dnf::of(Insts[3]).terms().size(), 2u); // a | b
+  EXPECT_TRUE(Dnf::of(Insts[5]).isFalse());   // a & !a
+  EXPECT_EQ(Dnf::of(Insts[6]).terms().size(), 2u); // xor: 2 terms
+  // Negation roundtrip: !(a|b) = !a & !b.
+  Dnf NotOr = Dnf::ofNegated(Insts[3]);
+  ASSERT_EQ(NotOr.terms().size(), 1u);
+  EXPECT_EQ(NotOr.terms()[0].size(), 2u);
+}
+
+TEST_F(DnfTest, OpaquePassthrough) {
+  Unit *F = unit(R"(
+func @k (i32 %a, i32 %b) i1 {
+entry:
+  %c = ult i32 %a, %b
+  ret i1 %c
+}
+)", "k");
+  Instruction *Cmp = F->entry()->insts()[0];
+  Dnf D = Dnf::of(Cmp);
+  ASSERT_EQ(D.terms().size(), 1u);
+  ASSERT_EQ(D.terms()[0].size(), 1u);
+  EXPECT_EQ(D.terms()[0][0].Val, Cmp);
+  EXPECT_FALSE(D.terms()[0][0].Negated);
+}
+
+} // namespace

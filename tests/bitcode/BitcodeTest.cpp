@@ -1,0 +1,82 @@
+//===- tests/bitcode/BitcodeTest.cpp - Bitcode round trips ----------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "bitcode/Bitcode.h"
+#include "designs/Designs.h"
+#include "ir/Verifier.h"
+#include "moore/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+#include "../common/TestDesigns.h"
+
+TEST(Bitcode, RoundTripAccumulator) {
+  Context Ctx;
+  Module M(Ctx, "a");
+  ASSERT_TRUE(parseModule(llhd_test::accTestbench("10"), M).Ok);
+  std::string P1 = printModule(M);
+
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  EXPECT_GT(Bytes.size(), 100u);
+  EXPECT_LT(Bytes.size(), P1.size()); // Denser than text.
+
+  Module M2(Ctx, "b");
+  std::string Error;
+  ASSERT_TRUE(readBitcode(Bytes, M2, Error)) << Error;
+  EXPECT_EQ(printModule(M2), P1);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M2, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+}
+
+TEST(Bitcode, RejectsGarbage) {
+  Context Ctx;
+  Module M(Ctx, "t");
+  std::string Error;
+  EXPECT_FALSE(readBitcode({1, 2, 3, 4}, M, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Bitcode, RejectsTruncation) {
+  Context Ctx;
+  Module M(Ctx, "a");
+  ASSERT_TRUE(parseModule(llhd_test::accTestbench("10"), M).Ok);
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  Bytes.resize(Bytes.size() / 2);
+  Module M2(Ctx, "b");
+  std::string Error;
+  EXPECT_FALSE(readBitcode(Bytes, M2, Error));
+}
+
+class BitcodeDesignSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BitcodeDesignSweep, RoundTripsAllDesigns) {
+  designs::DesignInfo D = designs::designByKey(GetParam(), 0.0);
+  Context Ctx;
+  Module M(Ctx, "t");
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string P1 = printModule(M);
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  Module M2(Ctx, "u");
+  std::string Error;
+  ASSERT_TRUE(readBitcode(Bytes, M2, Error)) << Error;
+  EXPECT_EQ(printModule(M2), P1) << D.PaperName;
+  // Table 4 property: bitcode is denser than assembly text.
+  EXPECT_LT(Bytes.size(), P1.size()) << D.PaperName;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, BitcodeDesignSweep,
+    ::testing::Values("gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
+                      "cdc_strobe", "rr_arbiter", "stream_delayer",
+                      "riscv"),
+    [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/integration/FullFlowTest.cpp - SV -> lower -> simulate -------===//
+//
+// The full paper flow, end to end: SystemVerilog is compiled by Moore to
+// Behavioural LLHD, the §4 pipeline lowers the synthesizable processes
+// to Structural LLHD (testbench processes are rejected and kept, as the
+// paper prescribes), and the design is re-simulated — the testbench's
+// per-cycle self-checks must still pass against the lowered hardware.
+// This is a dynamic proof that lowering preserves circuit semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Printer.h"
+#include "designs/Designs.h"
+#include "ir/Verifier.h"
+#include "moore/Compiler.h"
+#include "passes/Passes.h"
+#include "sim/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+struct FlowResult {
+  unsigned Lowered = 0;
+  unsigned Rejected = 0;
+  uint64_t AssertFailures = 0;
+  bool Finished = false;
+};
+
+FlowResult runFlow(const designs::DesignInfo &D) {
+  FlowResult F;
+  Context Ctx;
+  Module M(Ctx, D.Key);
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  if (!R.Ok)
+    return F;
+
+  LoweringResult LR = lowerToStructural(M);
+  F.Lowered = LR.Notes.size();
+  F.Rejected = LR.Rejected.size();
+
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors))
+      << D.PaperName << ": " << (Errors.empty() ? "" : Errors[0]);
+
+  Design Dn = elaborate(M, R.TopUnit);
+  EXPECT_TRUE(Dn.ok()) << Dn.Error;
+  if (!Dn.ok())
+    return F;
+  InterpSim Sim(std::move(Dn));
+  SimStats St = Sim.run();
+  F.AssertFailures = St.AssertFailures;
+  F.Finished = St.Finished;
+  return F;
+}
+
+class FullFlow : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FullFlow, LoweredDesignStillPassesSelfChecks) {
+  designs::DesignInfo D = designs::designByKey(GetParam(), 0.0);
+  ASSERT_FALSE(D.Key.empty());
+  FlowResult F = runFlow(D);
+  EXPECT_TRUE(F.Finished) << D.PaperName;
+  EXPECT_EQ(F.AssertFailures, 0u)
+      << D.PaperName << ": lowering changed circuit behaviour";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, FullFlow,
+    ::testing::Values("gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
+                      "cdc_strobe", "rr_arbiter", "stream_delayer",
+                      "riscv"),
+    [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
+
+// The DUT processes of the simple clocked designs must actually lower
+// (not merely be rejected): at least one register is inferred and the
+// DUT entity ends up free of process instantiations.
+TEST(FullFlow, LfsrHardwareActuallyLowers) {
+  designs::DesignInfo D = designs::designByKey("lfsr", 0.0);
+  Context Ctx;
+  Module M(Ctx, "lfsr");
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  LoweringResult LR = lowerToStructural(M);
+  bool InferredReg = false;
+  for (const std::string &N : LR.Notes)
+    InferredReg |= N.find("register") != std::string::npos;
+  EXPECT_TRUE(InferredReg) << printModule(M);
+  // The DUT entity itself holds a reg instruction now.
+  Unit *Dut = M.unitByName("lfsr");
+  ASSERT_NE(Dut, nullptr);
+  unsigned Regs = 0;
+  for (Instruction *I : Dut->entityBlock()->insts())
+    Regs += I->opcode() == Opcode::Reg;
+  EXPECT_EQ(Regs, 1u) << printModule(M);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+}
+
+TEST(FullFlow, GrayCombinationalLowersToEntities) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  Context Ctx;
+  Module M(Ctx, "gray");
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  lowerToStructural(M);
+  // The encoder's continuous assign lowers to a pure entity.
+  Unit *Enc = M.unitByName("gray_enc");
+  ASSERT_NE(Enc, nullptr);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(checkUnitLevel(*Enc, IRLevel::Structural, Errors))
+      << printUnit(*Enc);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/ir/TypeTest.cpp - Type system unit tests ---------------------===//
+
+#include "ir/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+TEST(Type, UniquedByContext) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.intType(32), Ctx.intType(32));
+  EXPECT_NE(Ctx.intType(32), Ctx.intType(31));
+  EXPECT_EQ(Ctx.signalType(Ctx.intType(8)), Ctx.signalType(Ctx.intType(8)));
+  EXPECT_EQ(Ctx.pointerType(Ctx.intType(8)),
+            Ctx.pointerType(Ctx.intType(8)));
+  EXPECT_NE(static_cast<Type *>(Ctx.signalType(Ctx.intType(8))),
+            static_cast<Type *>(Ctx.pointerType(Ctx.intType(8))));
+  EXPECT_EQ(Ctx.arrayType(4, Ctx.intType(8)),
+            Ctx.arrayType(4, Ctx.intType(8)));
+  EXPECT_EQ(Ctx.structType({Ctx.intType(1), Ctx.intType(2)}),
+            Ctx.structType({Ctx.intType(1), Ctx.intType(2)}));
+  EXPECT_NE(Ctx.structType({Ctx.intType(1)}),
+            Ctx.structType({Ctx.intType(2)}));
+}
+
+TEST(Type, ToString) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.voidType()->toString(), "void");
+  EXPECT_EQ(Ctx.timeType()->toString(), "time");
+  EXPECT_EQ(Ctx.intType(32)->toString(), "i32");
+  EXPECT_EQ(Ctx.enumType(5)->toString(), "n5");
+  EXPECT_EQ(Ctx.logicType(9)->toString(), "l9");
+  EXPECT_EQ(Ctx.pointerType(Ctx.intType(8))->toString(), "i8*");
+  EXPECT_EQ(Ctx.signalType(Ctx.intType(8))->toString(), "i8$");
+  EXPECT_EQ(Ctx.arrayType(4, Ctx.intType(16))->toString(), "[4 x i16]");
+  EXPECT_EQ(Ctx.structType({Ctx.intType(1), Ctx.timeType()})->toString(),
+            "{i1, time}");
+  EXPECT_EQ(Ctx.signalType(Ctx.arrayType(2, Ctx.logicType(4)))->toString(),
+            "[2 x l4]$");
+}
+
+TEST(Type, Predicates) {
+  Context Ctx;
+  EXPECT_TRUE(Ctx.intType(1)->isBool());
+  EXPECT_FALSE(Ctx.intType(2)->isBool());
+  EXPECT_TRUE(Ctx.intType(8)->isValueType());
+  EXPECT_TRUE(Ctx.arrayType(3, Ctx.intType(8))->isValueType());
+  EXPECT_FALSE(Ctx.signalType(Ctx.intType(8))->isValueType());
+  EXPECT_FALSE(
+      Ctx.arrayType(3, Ctx.pointerType(Ctx.intType(8)))->isValueType());
+}
+
+TEST(Type, BitWidth) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.intType(13)->bitWidth(), 13u);
+  EXPECT_EQ(Ctx.logicType(4)->bitWidth(), 4u);
+  EXPECT_EQ(Ctx.enumType(2)->bitWidth(), 1u);
+  EXPECT_EQ(Ctx.enumType(3)->bitWidth(), 2u);
+  EXPECT_EQ(Ctx.enumType(9)->bitWidth(), 4u);
+  EXPECT_EQ(Ctx.arrayType(3, Ctx.intType(8))->bitWidth(), 24u);
+  EXPECT_EQ(Ctx.structType({Ctx.intType(3), Ctx.intType(5)})->bitWidth(),
+            8u);
+}
+
+TEST(Type, CastingTemplates) {
+  Context Ctx;
+  Type *T = Ctx.intType(8);
+  EXPECT_TRUE(isa<IntType>(T));
+  EXPECT_FALSE(isa<LogicType>(T));
+  EXPECT_TRUE((isa<LogicType, IntType>(T)));
+  EXPECT_EQ(cast<IntType>(T)->width(), 8u);
+  EXPECT_EQ(dyn_cast<LogicType>(T), nullptr);
+  EXPECT_NE(dyn_cast<IntType>(T), nullptr);
+  Type *Null = nullptr;
+  EXPECT_FALSE(isa_and_present<IntType>(Null));
+  EXPECT_EQ(dyn_cast_if_present<IntType>(Null), nullptr);
+}

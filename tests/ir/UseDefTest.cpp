@@ -1,0 +1,112 @@
+//===- tests/ir/UseDefTest.cpp - SSA use-def chain unit tests -------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+struct UseDefTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+  Unit *F = M.createFunction("f");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B{BB};
+};
+
+TEST_F(UseDefTest, UsesAreTracked) {
+  Instruction *C1 = B.constInt(32, 1);
+  Instruction *C2 = B.constInt(32, 2);
+  Instruction *Add = B.add(C1, C2);
+  EXPECT_EQ(C1->numUses(), 1u);
+  EXPECT_EQ(C2->numUses(), 1u);
+  EXPECT_EQ(Add->numUses(), 0u);
+  EXPECT_EQ(C1->uses().front()->user(), Add);
+  EXPECT_EQ(C1->uses().front()->operandIndex(), 0u);
+}
+
+TEST_F(UseDefTest, ReplaceAllUsesWith) {
+  Instruction *C1 = B.constInt(32, 1);
+  Instruction *C2 = B.constInt(32, 2);
+  Instruction *A1 = B.add(C1, C1);
+  Instruction *A2 = B.add(C1, C2);
+  EXPECT_EQ(C1->numUses(), 3u);
+  C1->replaceAllUsesWith(C2);
+  EXPECT_EQ(C1->numUses(), 0u);
+  EXPECT_EQ(C2->numUses(), 4u); // Its own prior use plus C1's three.
+  EXPECT_EQ(A1->operand(0), C2);
+  EXPECT_EQ(A1->operand(1), C2);
+  EXPECT_EQ(A2->operand(0), C2);
+}
+
+TEST_F(UseDefTest, SetOperandMovesUse) {
+  Instruction *C1 = B.constInt(32, 1);
+  Instruction *C2 = B.constInt(32, 2);
+  Instruction *Add = B.add(C1, C1);
+  Add->setOperand(1, C2);
+  EXPECT_EQ(C1->numUses(), 1u);
+  EXPECT_EQ(C2->numUses(), 1u);
+  EXPECT_EQ(Add->operand(1), C2);
+}
+
+TEST_F(UseDefTest, EraseFromParentDropsUses) {
+  Instruction *C1 = B.constInt(32, 1);
+  Instruction *Add = B.add(C1, C1);
+  EXPECT_EQ(BB->size(), 2u);
+  Add->eraseFromParent();
+  EXPECT_EQ(BB->size(), 1u);
+  EXPECT_EQ(C1->numUses(), 0u);
+}
+
+TEST_F(UseDefTest, RemoveOperandShiftsIndices) {
+  Instruction *C1 = B.constInt(32, 1);
+  Instruction *C2 = B.constInt(32, 2);
+  Instruction *C3 = B.constInt(32, 3);
+  Instruction *Arr = B.arrayCreate({C1, C2, C3});
+  Arr->removeOperand(0);
+  EXPECT_EQ(Arr->numOperands(), 2u);
+  EXPECT_EQ(Arr->operand(0), C2);
+  EXPECT_EQ(C2->uses().front()->operandIndex(), 0u);
+  EXPECT_EQ(C1->numUses(), 0u);
+}
+
+TEST_F(UseDefTest, BlockSuccessorsPredecessors) {
+  BasicBlock *BB2 = F->createBlock("next");
+  BasicBlock *BB3 = F->createBlock("other");
+  Instruction *Cond = B.constInt(1, 1);
+  B.condBr(Cond, BB2, BB3);
+  IRBuilder B2(BB2);
+  B2.ret();
+  IRBuilder B3(BB3);
+  B3.ret();
+  auto Succs = BB->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], BB2);
+  EXPECT_EQ(Succs[1], BB3);
+  ASSERT_EQ(BB2->predecessors().size(), 1u);
+  EXPECT_EQ(BB2->predecessors()[0], BB);
+  EXPECT_TRUE(BB->predecessors().empty());
+}
+
+TEST_F(UseDefTest, PhiIncomingManagement) {
+  BasicBlock *BB2 = F->createBlock("loop");
+  Instruction *C1 = B.constInt(32, 1);
+  B.br(BB2);
+  IRBuilder B2(BB2);
+  Instruction *Phi = B2.phi(Ctx.intType(32), {{C1, BB}});
+  EXPECT_EQ(Phi->numIncoming(), 1u);
+  Phi->addIncoming(Phi, BB2);
+  EXPECT_EQ(Phi->numIncoming(), 2u);
+  EXPECT_EQ(Phi->incomingValue(1), Phi);
+  EXPECT_EQ(Phi->incomingBlock(1), BB2);
+  Phi->removeIncoming(0);
+  EXPECT_EQ(Phi->numIncoming(), 1u);
+  EXPECT_EQ(Phi->incomingBlock(0), BB2);
+  B2.br(BB2);
+  // Clean up the self-loop so teardown assertions hold.
+  Phi->removeIncoming(0);
+}
+
+} // namespace

@@ -1,0 +1,445 @@
+//===- tests/passes/LoweringTest.cpp - ECM/TCM/TCFE/PL/Deseq tests --------===//
+//
+// Exercises the §4 lowering pipeline, culminating in the Figure 5
+// end-to-end check: the behavioural @acc design lowers to a structural
+// entity with an inferred rising-edge register.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+struct LoweringTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+
+  Unit *parse(const char *Src, const std::string &Name) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Unit *U = M.unitByName(Name);
+    EXPECT_NE(U, nullptr);
+    return U;
+  }
+
+  void expectVerifies() {
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(M, Errors))
+        << (Errors.empty() ? "" : Errors[0]) << "\n"
+        << printModule(M);
+  }
+
+  unsigned countOps(Unit *U, Opcode Op) {
+    unsigned N = 0;
+    for (BasicBlock *BB : U->blocks())
+      for (Instruction *I : BB->insts())
+        N += I->opcode() == Op;
+    return N;
+  }
+
+  BasicBlock *block(Unit *U, const std::string &Name) {
+    for (BasicBlock *BB : U->blocks())
+      if (BB->name() == Name)
+        return BB;
+    return nullptr;
+  }
+};
+
+// The behavioural accumulator of Figures 3/5.
+const char *ACC_BEHAVIOURAL = R"(
+entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+  %zero = const i32 0
+  %d = sig i32 %zero
+  inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d)
+}
+
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 2ns
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+)";
+
+TEST_F(LoweringTest, EcmHoistsIntoEntry) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_comb");
+  EXPECT_TRUE(earlyCodeMotion(*P));
+  // %xp and %sum move from `enabled` up into `entry` (Figure 5a);
+  // `enabled` keeps only its drive and terminator.
+  BasicBlock *Enabled = block(P, "enabled");
+  ASSERT_NE(Enabled, nullptr);
+  EXPECT_EQ(Enabled->size(), 2u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, EcmDoesNotMovePrbAcrossWait) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_ff");
+  earlyCodeMotion(*P);
+  // %clk1 is sampled after the wait; it must stay in TR1 (Figure 5b).
+  BasicBlock *Init = block(P, "init");
+  BasicBlock *Check = block(P, "check");
+  ASSERT_NE(Check, nullptr);
+  bool Clk1InCheck = false;
+  for (Instruction *I : Check->insts())
+    if (I->name() == "clk1")
+      Clk1InCheck = true;
+  EXPECT_TRUE(Clk1InCheck);
+  // %clk0 stays in TR0 (init).
+  bool Clk0InInit = false;
+  for (Instruction *I : Init->insts())
+    if (I->name() == "clk0")
+      Clk0InInit = true;
+  EXPECT_TRUE(Clk0InInit);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, TcmCreatesAuxBlockAndGatesDrive) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_ff");
+  earlyCodeMotion(*P);
+  EXPECT_TRUE(temporalCodeMotion(*P));
+  // TR1 had two exits (check, event); an aux block now holds the drive,
+  // gated by %posedge (Figure 5c/d).
+  ASSERT_EQ(P->blocks().size(), 4u);
+  Instruction *Drv = nullptr;
+  for (BasicBlock *BB : P->blocks())
+    for (Instruction *I : BB->insts())
+      if (I->opcode() == Opcode::Drv)
+        Drv = I;
+  ASSERT_NE(Drv, nullptr);
+  ASSERT_EQ(Drv->numOperands(), 4u);
+  EXPECT_EQ(Drv->operand(3)->name(), "posedge");
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, TcmCoalescesDrives) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_comb");
+  earlyCodeMotion(*P);
+  EXPECT_TRUE(temporalCodeMotion(*P));
+  // The two drives of %d merge into one unconditional drive whose value
+  // selects between %qp and %sum (Figure 5f/g).
+  EXPECT_EQ(countOps(P, Opcode::Drv), 1u);
+  Instruction *Drv = nullptr;
+  for (BasicBlock *BB : P->blocks())
+    for (Instruction *I : BB->insts())
+      if (I->opcode() == Opcode::Drv)
+        Drv = I;
+  ASSERT_NE(Drv, nullptr);
+  EXPECT_EQ(Drv->numOperands(), 3u); // Unconditional.
+  auto *Mux = dyn_cast<Instruction>(Drv->operand(1));
+  ASSERT_NE(Mux, nullptr);
+  EXPECT_EQ(Mux->opcode(), Opcode::Mux);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, TcfeCollapsesCombProcess) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_comb");
+  earlyCodeMotion(*P);
+  temporalCodeMotion(*P);
+  EXPECT_TRUE(totalControlFlowElim(*P));
+  runStandardOptimizations(*P);
+  // One block, one TR (§4.4).
+  EXPECT_EQ(P->blocks().size(), 1u);
+  Instruction *T = P->entry()->terminator();
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->opcode(), Opcode::Wait);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, TcfeCollapsesSeqProcessToTwoBlocks) {
+  Unit *P = parse(ACC_BEHAVIOURAL, "acc_ff");
+  earlyCodeMotion(*P);
+  temporalCodeMotion(*P);
+  totalControlFlowElim(*P);
+  runStandardOptimizations(*P);
+  EXPECT_EQ(P->blocks().size(), 2u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, ProcessLoweringProducesEntity) {
+  parse(ACC_BEHAVIOURAL, "acc_comb");
+  Unit *P = M.unitByName("acc_comb");
+  earlyCodeMotion(*P);
+  temporalCodeMotion(*P);
+  totalControlFlowElim(*P);
+  runStandardOptimizations(*P);
+  std::vector<std::string> Notes;
+  EXPECT_TRUE(processLowering(M, *P, Notes));
+  Unit *E = M.unitByName("acc_comb");
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->isEntity());
+  EXPECT_EQ(countOps(E, Opcode::Drv), 1u);
+  // The @acc entity's inst now references the new entity.
+  Unit *Acc = M.unitByName("acc");
+  for (Instruction *I : Acc->entry()->insts())
+    if (I->opcode() == Opcode::InstOp && I->callee()->name() == "acc_comb")
+      EXPECT_EQ(I->callee(), E);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, DeseqInfersRisingEdgeRegister) {
+  parse(ACC_BEHAVIOURAL, "acc_ff");
+  Unit *P = M.unitByName("acc_ff");
+  earlyCodeMotion(*P);
+  temporalCodeMotion(*P);
+  totalControlFlowElim(*P);
+  runStandardOptimizations(*P);
+  std::vector<std::string> Notes;
+  EXPECT_TRUE(desequentialize(M, *P, Notes)) << printModule(M);
+  Unit *E = M.unitByName("acc_ff");
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->isEntity());
+  // One reg, rise-triggered on clk (Figure 5k).
+  ASSERT_EQ(countOps(E, Opcode::Reg), 1u);
+  Instruction *Reg = nullptr;
+  for (Instruction *I : E->entry()->insts())
+    if (I->opcode() == Opcode::Reg)
+      Reg = I;
+  ASSERT_EQ(Reg->regTriggers().size(), 1u);
+  EXPECT_EQ(Reg->regTriggers()[0].Mode, RegMode::Rise);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, Figure5EndToEnd) {
+  parse(ACC_BEHAVIOURAL, "acc");
+  LoweringResult R = lowerToStructural(M);
+  EXPECT_TRUE(R.Rejected.empty())
+      << (R.Rejected.empty() ? "" : R.Rejected[0]);
+  expectVerifies();
+
+  // The whole module is now Structural LLHD.
+  EXPECT_EQ(classifyModule(M), IRLevel::Structural) << printModule(M);
+
+  // @acc contains the inferred register and the combinational mux,
+  // flattened (Figure 5 right column, bottom).
+  Unit *Acc = M.unitByName("acc");
+  ASSERT_NE(Acc, nullptr);
+  ASSERT_TRUE(Acc->isEntity());
+  EXPECT_EQ(countOps(Acc, Opcode::InstOp), 0u);
+  EXPECT_EQ(countOps(Acc, Opcode::Reg), 1u);
+  EXPECT_GE(countOps(Acc, Opcode::Add), 1u);
+  // The helper units are gone.
+  EXPECT_EQ(M.unitByName("acc_ff"), nullptr);
+  EXPECT_EQ(M.unitByName("acc_comb"), nullptr);
+}
+
+TEST_F(LoweringTest, TestbenchProcessIsRejectedGracefully) {
+  parse(R"(
+proc @tb () -> (i1$ %clk) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %del = const time 1ns
+  br %loop
+loop:
+  drv i1$ %clk, %b1 after %del
+  wait %flip for %del
+flip:
+  drv i1$ %clk, %b0 after %del
+  wait %loop for %del
+}
+)", "tb");
+  LoweringResult R = lowerToStructural(M);
+  ASSERT_EQ(R.Rejected.size(), 1u);
+  EXPECT_NE(R.Rejected[0].find("@tb"), std::string::npos);
+  // The process is kept behavioural.
+  Unit *Tb = M.unitByName("tb");
+  ASSERT_NE(Tb, nullptr);
+  EXPECT_TRUE(Tb->isProcess());
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, InlineCallsSplicesFunctionBody) {
+  Unit *P = parse(R"(
+func @square (i32 %x) i32 {
+entry:
+  %r = mul i32 %x, %x
+  ret i32 %r
+}
+proc @user (i32$ %a) -> (i32$ %y) {
+entry:
+  %ap = prb i32$ %a
+  %sq = call i32 @square (i32 %ap)
+  %del = const time 1ns
+  drv i32$ %y, %sq after %del
+  wait %entry for %a
+}
+)", "user");
+  EXPECT_TRUE(inlineCalls(*P));
+  EXPECT_EQ(countOps(P, Opcode::Call), 0u);
+  EXPECT_EQ(countOps(P, Opcode::Mul), 1u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, InlineMultipleReturnsViaPhi) {
+  Unit *F = parse(R"(
+func @abs (i32 %x) i32 {
+entry:
+  %zero = const i32 0
+  %neg = slt i32 %x, %zero
+  br %neg, %pos, %negate
+negate:
+  %nx = neg i32 %x
+  ret i32 %nx
+pos:
+  ret i32 %x
+}
+func @caller (i32 %a) i32 {
+entry:
+  %r = call i32 @abs (i32 %a)
+  ret i32 %r
+}
+)", "caller");
+  EXPECT_TRUE(inlineCalls(*F));
+  EXPECT_EQ(countOps(F, Opcode::Call), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Phi), 1u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, Mem2RegPromotesAcrossBranches) {
+  Unit *F = parse(R"(
+func @f (i1 %c, i32 %a, i32 %b) i32 {
+entry:
+  %zero = const i32 0
+  %v = var i32 %zero
+  br %c, %no, %yes
+yes:
+  st i32* %v, %a
+  br %join
+no:
+  st i32* %v, %b
+  br %join
+join:
+  %r = ld i32* %v
+  ret i32 %r
+}
+)", "f");
+  EXPECT_TRUE(mem2reg(*F));
+  EXPECT_EQ(countOps(F, Opcode::Var), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Ld), 0u);
+  EXPECT_EQ(countOps(F, Opcode::St), 0u);
+  EXPECT_EQ(countOps(F, Opcode::Phi), 1u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, Mem2RegUsesInitValue) {
+  Unit *F = parse(R"(
+func @f (i1 %c, i32 %a) i32 {
+entry:
+  %init = const i32 42
+  %v = var i32 %init
+  br %c, %skip, %set
+set:
+  st i32* %v, %a
+  br %skip
+skip:
+  %r = ld i32* %v
+  ret i32 %r
+}
+)", "f");
+  EXPECT_TRUE(mem2reg(*F));
+  EXPECT_EQ(countOps(F, Opcode::Phi), 1u);
+  // One incoming is the init constant.
+  Instruction *Phi = nullptr;
+  for (BasicBlock *BB : F->blocks())
+    for (Instruction *I : BB->insts())
+      if (I->opcode() == Opcode::Phi)
+        Phi = I;
+  ASSERT_NE(Phi, nullptr);
+  bool HasInit = false;
+  for (unsigned J = 0; J != Phi->numIncoming(); ++J) {
+    auto *C = dyn_cast<Instruction>(Phi->incomingValue(J));
+    if (C && C->opcode() == Opcode::Const &&
+        C->intValue().zextToU64() == 42)
+      HasInit = true;
+  }
+  EXPECT_TRUE(HasInit);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, UnrollCountedLoop) {
+  Unit *F = parse(R"(
+func @f (i32 %a) i32 {
+entry:
+  %zero = const i32 0
+  %one = const i32 1
+  %four = const i32 4
+  br %loop
+loop:
+  %i = phi i32 [%zero, %entry], [%in, %loop]
+  %in = add i32 %i, %one
+  %c = ult i32 %in, %four
+  br %c, %exit, %loop
+exit:
+  ret i32 %in
+}
+)", "f");
+  EXPECT_TRUE(unrollLoops(*F));
+  EXPECT_EQ(countOps(F, Opcode::Phi), 0u);
+  runStandardOptimizations(*F);
+  // The loop computed 4.
+  Instruction *Ret = nullptr;
+  for (BasicBlock *BB : F->blocks())
+    if (Instruction *T = BB->terminator())
+      if (T->opcode() == Opcode::Ret)
+        Ret = T;
+  ASSERT_NE(Ret, nullptr);
+  auto *C = dyn_cast<Instruction>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->intValue().zextToU64(), 4u);
+  expectVerifies();
+}
+
+TEST_F(LoweringTest, UnrollRejectsUnboundedLoop) {
+  Unit *F = parse(R"(
+func @f (i32 %n) i32 {
+entry:
+  %zero = const i32 0
+  %one = const i32 1
+  br %loop
+loop:
+  %i = phi i32 [%zero, %entry], [%in, %loop]
+  %in = add i32 %i, %one
+  %c = ult i32 %in, %n
+  br %c, %exit, %loop
+exit:
+  ret i32 %in
+}
+)", "f");
+  EXPECT_FALSE(unrollLoops(*F)); // %n is not a constant.
+  expectVerifies();
+}
+
+} // namespace

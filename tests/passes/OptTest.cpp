@@ -1,0 +1,288 @@
+//===- tests/passes/OptTest.cpp - CF / DCE / CSE / IS unit tests ----------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "ir/Verifier.h"
+#include "passes/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+struct OptTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+
+  Unit *parse(const char *Src, const std::string &Name) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Unit *U = M.unitByName(Name);
+    EXPECT_NE(U, nullptr);
+    return U;
+  }
+
+  void expectVerifies() {
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(M, Errors))
+        << (Errors.empty() ? "" : Errors[0]);
+  }
+
+  unsigned countOps(Unit *U, Opcode Op) {
+    unsigned N = 0;
+    for (BasicBlock *BB : U->blocks())
+      for (Instruction *I : BB->insts())
+        N += I->opcode() == Op;
+    return N;
+  }
+};
+
+TEST_F(OptTest, ConstantFoldArithmetic) {
+  Unit *F = parse(R"(
+func @f () i32 {
+entry:
+  %a = const i32 6
+  %b = const i32 7
+  %m = mul i32 %a, %b
+  %s = add i32 %m, %a
+  ret i32 %s
+}
+)", "f");
+  EXPECT_TRUE(constantFold(*F));
+  dce(*F);
+  // Everything folds to const 48.
+  bool Found48 = false;
+  for (Instruction *I : F->entry()->insts())
+    if (I->opcode() == Opcode::Const && I->type()->isInt() &&
+        I->intValue().zextToU64() == 48)
+      Found48 = true;
+  EXPECT_TRUE(Found48);
+  EXPECT_EQ(countOps(F, Opcode::Mul), 0u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, ConstantFoldBranch) {
+  Unit *F = parse(R"(
+func @f () i32 {
+entry:
+  %t = const i1 1
+  %a = const i32 1
+  %b = const i32 2
+  br %t, %no, %yes
+yes:
+  ret i32 %a
+no:
+  ret i32 %b
+}
+)", "f");
+  EXPECT_TRUE(constantFold(*F));
+  EXPECT_TRUE(dce(*F));
+  // The false arm is unreachable and removed.
+  EXPECT_EQ(F->blocks().size(), 2u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, ConstantFoldComparisonsAndShifts) {
+  Unit *F = parse(R"(
+func @f () i1 {
+entry:
+  %a = const i8 200
+  %b = const i8 100
+  %lt = ult i8 %b, %a
+  %sh = shl i8 %b, i8 %b
+  %amt = const i8 1
+  %sh2 = shl i8 %b, i8 %amt
+  %c = eq i8 %sh2, %a
+  %r = and i1 %lt, %c
+  ret i1 %r
+}
+)", "f");
+  EXPECT_TRUE(constantFold(*F));
+  dce(*F);
+  // 100 < 200 && (100 << 1) == 200 → const i1 1.
+  Instruction *Ret = F->entry()->terminator();
+  auto *C = dyn_cast<Instruction>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->opcode(), Opcode::Const);
+  EXPECT_EQ(C->intValue().zextToU64(), 1u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, DceKeepsSideEffects) {
+  Unit *P = parse(R"(
+proc @p (i32$ %a) -> (i32$ %y) {
+entry:
+  %ap = prb i32$ %a
+  %unused = add i32 %ap, %ap
+  %delay = const time 1ns
+  drv i32$ %y, %ap after %delay
+  wait %entry for %a
+}
+)", "p");
+  EXPECT_TRUE(dce(*P));
+  EXPECT_EQ(countOps(P, Opcode::Add), 0u);
+  EXPECT_EQ(countOps(P, Opcode::Drv), 1u);
+  EXPECT_EQ(countOps(P, Opcode::Prb), 1u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, DceRemovesFalseDrive) {
+  Unit *P = parse(R"(
+proc @p (i32$ %a) -> (i32$ %y) {
+entry:
+  %ap = prb i32$ %a
+  %f = const i1 0
+  %delay = const time 1ns
+  drv i32$ %y, %ap after %delay if %f
+  wait %entry for %a
+}
+)", "p");
+  EXPECT_TRUE(dce(*P));
+  EXPECT_EQ(countOps(P, Opcode::Drv), 0u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, CseDeduplicatesAcrossDominators) {
+  Unit *F = parse(R"(
+func @f (i32 %a, i1 %c) i32 {
+entry:
+  %x = add i32 %a, %a
+  br %c, %l, %r
+l:
+  br %join
+r:
+  %y = add i32 %a, %a
+  br %join
+join:
+  %z = add i32 %a, %a
+  %p = phi i32 [%x, %l], [%y, %r]
+  %s = add i32 %z, %p
+  ret i32 %s
+}
+)", "f");
+  EXPECT_TRUE(cse(*F));
+  dce(*F);
+  // %y and %z fold into %x; only the summing add (+1 for %x) remains.
+  EXPECT_EQ(countOps(F, Opcode::Add), 2u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, CseRespectsConstPayload) {
+  Unit *F = parse(R"(
+func @f () i32 {
+entry:
+  %a = const i32 1
+  %b = const i32 2
+  %c = const i32 1
+  %s = add i32 %a, %b
+  %t = add i32 %c, %b
+  %r = add i32 %s, %t
+  ret i32 %r
+}
+)", "f");
+  EXPECT_TRUE(cse(*F));
+  // %c == %a, so %t == %s; but const 2 stays distinct from const 1.
+  dce(*F);
+  EXPECT_EQ(countOps(F, Opcode::Const), 2u);
+  EXPECT_EQ(countOps(F, Opcode::Add), 2u);
+  expectVerifies();
+}
+
+TEST_F(OptTest, InstSimplifyIdentities) {
+  Unit *F = parse(R"(
+func @f (i32 %a) i32 {
+entry:
+  %zero = const i32 0
+  %one = const i32 1
+  %t1 = add i32 %a, %zero
+  %t2 = mul i32 %t1, %one
+  %t3 = sub i32 %t2, %zero
+  %t4 = or i32 %t3, %zero
+  %t5 = xor i32 %t4, %zero
+  ret i32 %t5
+}
+)", "f");
+  EXPECT_TRUE(instSimplify(*F));
+  dce(*F);
+  Instruction *Ret = F->entry()->terminator();
+  EXPECT_EQ(Ret->operand(0), F->input(0));
+  expectVerifies();
+}
+
+TEST_F(OptTest, InstSimplifyDoubleNot) {
+  Unit *F = parse(R"(
+func @f (i1 %a) i1 {
+entry:
+  %n1 = not i1 %a
+  %n2 = not i1 %n1
+  ret i1 %n2
+}
+)", "f");
+  EXPECT_TRUE(instSimplify(*F));
+  Instruction *Ret = F->entry()->terminator();
+  EXPECT_EQ(Ret->operand(0), F->input(0));
+  expectVerifies();
+}
+
+TEST_F(OptTest, InstSimplifySelfComparisons) {
+  Unit *F = parse(R"(
+func @f (i32 %a) i1 {
+entry:
+  %e = eq i32 %a, %a
+  %l = ult i32 %a, %a
+  %r = and i1 %e, %l
+  ret i1 %r
+}
+)", "f");
+  EXPECT_TRUE(instSimplify(*F));
+  constantFold(*F);
+  instSimplify(*F);
+  dce(*F);
+  Instruction *Ret = F->entry()->terminator();
+  auto *C = dyn_cast<Instruction>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->intValue().zextToU64(), 0u); // true & false.
+  expectVerifies();
+}
+
+TEST_F(OptTest, StandardPipelineConverges) {
+  Unit *F = parse(R"(
+func @f (i32 %a) i32 {
+entry:
+  %zero = const i32 0
+  %two = const i32 2
+  %t1 = add i32 %a, %zero
+  %t2 = mul i32 %t1, %two
+  %t3 = mul i32 %a, %two
+  %s = sub i32 %t2, %t3
+  ret i32 %s
+}
+)", "f");
+  runStandardOptimizations(*F);
+  // (a*2) - (a*2) == 0.
+  Instruction *Ret = F->entry()->terminator();
+  auto *C = dyn_cast<Instruction>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->opcode(), Opcode::Const);
+  EXPECT_TRUE(C->intValue().isZero());
+  expectVerifies();
+}
+
+TEST_F(OptTest, MuxConstantSelectorFolds) {
+  Unit *F = parse(R"(
+func @f (i32 %a, i32 %b) i32 {
+entry:
+  %one = const i1 1
+  %arr = [i32 %a, %b]
+  %m = mux i32 %arr, %one
+  ret i32 %m
+}
+)", "f");
+  EXPECT_TRUE(constantFold(*F));
+  Instruction *Ret = F->entry()->terminator();
+  EXPECT_EQ(Ret->operand(0), F->input(1));
+  expectVerifies();
+}
+
+} // namespace

@@ -1,0 +1,481 @@
+//===- tests/sim/InterpTest.cpp - Reference simulator tests ---------------===//
+//
+// Exercises the LLHD-Sim reference interpreter: delta cycles, drive
+// delays, waits, registers, hierarchy — and the paper's own accumulator
+// testbench (Figure 2), whose self-checking asserts must all pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "sim/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+struct InterpTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+
+  InterpSim makeSim(const char *Src, const std::string &Top,
+                    SimOptions Opts = SimOptions()) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Design D = elaborate(M, Top);
+    EXPECT_TRUE(D.ok()) << D.Error;
+    return InterpSim(std::move(D), Opts);
+  }
+
+  /// Value of the signal whose name ends in \p Suffix.
+  static RtValue signalValue(const InterpSim &Sim,
+                             const std::string &Suffix) {
+    const SignalTable &S = Sim.signals();
+    for (SignalId I = 0; I != S.size(); ++I) {
+      const std::string &N = S.name(I);
+      if (N.size() >= Suffix.size() &&
+          N.compare(N.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
+        return S.value(I);
+    }
+    return RtValue();
+  }
+};
+
+TEST_F(InterpTest, ProcessDrivesSignal) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %s = sig i8 %zero
+  inst @driver () -> (i8$ %s)
+}
+proc @driver () -> (i8$ %s) {
+entry:
+  %v = const i8 42
+  %del = const time 1ns
+  drv i8$ %s, %v after %del
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_TRUE(St.Finished);
+  EXPECT_EQ(signalValue(Sim, "/s").intValue().zextToU64(), 42u);
+  EXPECT_EQ(St.EndTime.Fs, Time::ns(1).Fs);
+  EXPECT_EQ(Sim.trace().numChanges(), 1u);
+}
+
+TEST_F(InterpTest, DeltaCycleOrdering) {
+  // A zero-delay drive lands on the next delta, not the same instant.
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %a = sig i8 %zero
+  %b = sig i8 %zero
+  inst @p (i8$ %a) -> (i8$ %b)
+  inst @stim () -> (i8$ %a)
+}
+proc @stim () -> (i8$ %a) {
+entry:
+  %v = const i8 5
+  %zt = const time 0s
+  drv i8$ %a, %v after %zt
+  halt
+}
+proc @p (i8$ %a) -> (i8$ %b) {
+entry:
+  %ap = prb i8$ %a
+  %zt = const time 0s
+  drv i8$ %b, %ap after %zt
+  wait %entry for %a
+}
+)", "top");
+  SimStats St = Sim.run();
+  // b follows a through a second delta at time 0.
+  EXPECT_EQ(signalValue(Sim, "/b").intValue().zextToU64(), 5u);
+  EXPECT_EQ(St.EndTime.Fs, 0u);
+  EXPECT_GE(St.EndTime.Delta, 2u);
+}
+
+TEST_F(InterpTest, WaitTimeoutWakes) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %cnt = sig i8 %zero
+  inst @ticker () -> (i8$ %cnt)
+}
+proc @ticker () -> (i8$ %cnt) {
+entry:
+  %one = const i8 1
+  %del = const time 1ns
+  br %loop
+loop:
+  %c = prb i8$ %cnt
+  %n = add i8 %c, %one
+  drv i8$ %cnt, %n after %del
+  %limit = const i8 10
+  %done = uge i8 %n, %limit
+  br %done, %sleep, %end
+sleep:
+  wait %loop for %del
+end:
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_TRUE(St.Finished);
+  EXPECT_EQ(signalValue(Sim, "/cnt").intValue().zextToU64(), 10u);
+  EXPECT_EQ(St.EndTime.Fs, Time::ns(10).Fs);
+}
+
+TEST_F(InterpTest, RegRisingEdge) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero1 = const i1 0
+  %zero8 = const i8 0
+  %clk = sig i1 %zero1
+  %d = sig i8 %zero8
+  %q = sig i8 %zero8
+  inst @dff (i1$ %clk, i8$ %d) -> (i8$ %q)
+  inst @stim () -> (i1$ %clk, i8$ %d)
+}
+entity @dff (i1$ %clk, i8$ %d) -> (i8$ %q) {
+  %clkp = prb i1$ %clk
+  %dp = prb i8$ %d
+  %del = const time 0s
+  reg i8$ %q, %dp rise %clkp after %del
+}
+proc @stim () -> (i1$ %clk, i8$ %d) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %v1 = const i8 7
+  %v2 = const i8 9
+  %t1 = const time 1ns
+  %t2 = const time 2ns
+  %t3 = const time 3ns
+  %t4 = const time 4ns
+  drv i8$ %d, %v1 after %t1
+  drv i1$ %clk, %b1 after %t2
+  drv i1$ %clk, %b0 after %t3
+  drv i8$ %d, %v2 after %t3
+  drv i1$ %clk, %b1 after %t4
+  halt
+}
+)", "top");
+  Sim.run();
+  // Two rising edges: q captures 7 at 2ns, then 9 at 4ns.
+  EXPECT_EQ(signalValue(Sim, "/q").intValue().zextToU64(), 9u);
+}
+
+TEST_F(InterpTest, RegFallingAndCondition) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero1 = const i1 0
+  %one1 = const i1 1
+  %zero8 = const i8 0
+  %clk = sig i1 %one1
+  %en = sig i1 %zero1
+  %d = sig i8 %zero8
+  %q = sig i8 %zero8
+  inst @dff (i1$ %clk, i1$ %en, i8$ %d) -> (i8$ %q)
+  inst @stim () -> (i1$ %clk, i1$ %en, i8$ %d)
+}
+entity @dff (i1$ %clk, i1$ %en, i8$ %d) -> (i8$ %q) {
+  %clkp = prb i1$ %clk
+  %enp = prb i1$ %en
+  %dp = prb i8$ %d
+  %del = const time 0s
+  reg i8$ %q, %dp fall %clkp after %del if %enp
+}
+proc @stim () -> (i1$ %clk, i1$ %en, i8$ %d) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %v1 = const i8 3
+  %t1 = const time 1ns
+  %t2 = const time 2ns
+  %t3 = const time 3ns
+  %t4 = const time 4ns
+  drv i8$ %d, %v1 after %t1
+  drv i1$ %clk, %b0 after %t2
+  drv i1$ %clk, %b1 after %t3
+  drv i1$ %en, %b1 after %t3
+  drv i1$ %clk, %b0 after %t4
+  halt
+}
+)", "top");
+  Sim.run();
+  // First falling edge at 2ns is gated off (en=0); second at 4ns stores.
+  EXPECT_EQ(signalValue(Sim, "/q").intValue().zextToU64(), 3u);
+}
+
+TEST_F(InterpTest, ConnectedSignalsAreOneNet) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %a = sig i8 %zero
+  %b = sig i8 %zero
+  con i8$ %a, %b
+  inst @driver () -> (i8$ %a)
+}
+proc @driver () -> (i8$ %a) {
+entry:
+  %v = const i8 99
+  %del = const time 1ns
+  drv i8$ %a, %v after %del
+  halt
+}
+)", "top");
+  Sim.run();
+  EXPECT_EQ(signalValue(Sim, "/b").intValue().zextToU64(), 99u);
+}
+
+TEST_F(InterpTest, DelDelaysSignal) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %a = sig i8 %zero
+  %b = sig i8 %zero
+  %del = const time 5ns
+  del i8$ %b, %a after %del
+  inst @driver () -> (i8$ %a)
+}
+proc @driver () -> (i8$ %a) {
+entry:
+  %v = const i8 1
+  %t = const time 1ns
+  drv i8$ %a, %v after %t
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_EQ(signalValue(Sim, "/b").intValue().zextToU64(), 1u);
+  EXPECT_EQ(St.EndTime.Fs, Time::ns(6).Fs); // 1ns drive + 5ns wire delay.
+}
+
+TEST_F(InterpTest, NineValuedResolution) {
+  // Two drivers on one l1 signal: 0 resolved with Z is 0; 0 with 1 is X.
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %init = const l1 "Z"
+  %w = sig l1 %init
+  inst @d0 () -> (l1$ %w)
+  inst @d1 () -> (l1$ %w)
+}
+proc @d0 () -> (l1$ %w) {
+entry:
+  %v0 = const l1 "0"
+  %t1 = const time 1ns
+  drv l1$ %w, %v0 after %t1
+  halt
+}
+proc @d1 () -> (l1$ %w) {
+entry:
+  %vz = const l1 "Z"
+  %v1 = const l1 "1"
+  %t1 = const time 1ns
+  %t2 = const time 2ns
+  drv l1$ %w, %vz after %t1
+  drv l1$ %w, %v1 after %t2
+  halt
+}
+)", "top");
+  Sim.run();
+  EXPECT_EQ(signalValue(Sim, "/w").logicValue().toString(), "X");
+}
+
+TEST_F(InterpTest, SubSignalDrives) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i8 0
+  %arr0 = [i8 %zero, %zero]
+  %mem = sig [2 x i8] %arr0
+  %lo = extf i8$ %mem, 0
+  %hi = extf i8$ %mem, 1
+  inst @driver () -> (i8$ %lo, i8$ %hi)
+}
+proc @driver () -> (i8$ %lo, i8$ %hi) {
+entry:
+  %a = const i8 17
+  %b = const i8 34
+  %t = const time 1ns
+  drv i8$ %lo, %a after %t
+  drv i8$ %hi, %b after %t
+  halt
+}
+)", "top");
+  Sim.run();
+  RtValue Mem = signalValue(Sim, "/mem");
+  ASSERT_EQ(Mem.kind(), RtValue::Kind::Array);
+  EXPECT_EQ(Mem.elements()[0].intValue().zextToU64(), 17u);
+  EXPECT_EQ(Mem.elements()[1].intValue().zextToU64(), 34u);
+}
+
+TEST_F(InterpTest, FunctionCallAndAssertPass) {
+  InterpSim Sim = makeSim(R"(
+func @double (i8 %x) i8 {
+entry:
+  %two = const i8 2
+  %r = mul i8 %x, %two
+  ret i8 %r
+}
+entity @top () -> () {
+  %zero = const i8 0
+  %s = sig i8 %zero
+  inst @p () -> (i8$ %s)
+}
+proc @p () -> (i8$ %s) {
+entry:
+  %v = const i8 21
+  %d = call i8 @double (i8 %v)
+  %exp = const i8 42
+  %ok = eq i8 %d, %exp
+  call void @llhd.assert (i1 %ok)
+  %del = const time 1ns
+  drv i8$ %s, %d after %del
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_EQ(St.AssertFailures, 0u);
+  EXPECT_EQ(signalValue(Sim, "/s").intValue().zextToU64(), 42u);
+}
+
+TEST_F(InterpTest, AssertFailureIsCounted) {
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  inst @p () -> ()
+}
+proc @p () -> () {
+entry:
+  %f = const i1 0
+  call void @llhd.assert (i1 %f)
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_EQ(St.AssertFailures, 1u);
+}
+
+TEST_F(InterpTest, DeltaOscillationGuard) {
+  // Two zero-delay processes feeding each other through an inverter loop
+  // oscillate in delta time; the guard must stop the run.
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero = const i1 0
+  %a = sig i1 %zero
+  inst @inv (i1$ %a) -> (i1$ %a)
+}
+proc @inv (i1$ %ain) -> (i1$ %aout) {
+entry:
+  %ap = prb i1$ %ain
+  %n = not i1 %ap
+  %zt = const time 0s
+  drv i1$ %aout, %n after %zt
+  wait %entry for %ain
+}
+)", "top");
+  SimOptions O;
+  SimStats St = Sim.run();
+  EXPECT_TRUE(St.DeltaOverflow);
+}
+
+// The paper's own Figure 2/3 testbench: an accumulator checked against
+// q == i*(i+1)/2 on every cycle, shortened to 100 iterations.
+TEST_F(InterpTest, Figure2AccumulatorTestbench) {
+  const char *Src = R"(
+entity @acc_tb () -> () {
+  %zero0 = const i1 0
+  %zero1 = const i32 0
+  %clk = sig i1 %zero0
+  %en = sig i1 %zero0
+  %x = sig i32 %zero1
+  %q = sig i32 %zero1
+  inst @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q)
+  inst @acc_tb_initial (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en)
+}
+proc @acc_tb_initial (i32$ %q) -> (i1$ %clk, i32$ %x, i1$ %en) {
+entry:
+  %bit0 = const i1 0
+  %bit1 = const i1 1
+  %zero = const i32 0
+  %one = const i32 1
+  %many = const i32 100
+  %del0 = const time 0s
+  %del1ns = const time 1ns
+  %del2ns = const time 2ns
+  %i = var i32 %zero
+  drv i1$ %en, %bit1 after %del0
+  br %loop
+loop:
+  %ip = ld i32* %i
+  drv i32$ %x, %ip after %del0
+  drv i1$ %clk, %bit1 after %del1ns
+  drv i1$ %clk, %bit0 after %del2ns
+  wait %next for %del2ns
+next:
+  %qp = prb i32$ %q
+  call void @acc_tb_check (i32 %ip, i32 %qp)
+  %in = add i32 %ip, %one
+  st i32* %i, %in
+  %cont = ult i32 %ip, %many
+  br %cont, %end, %loop
+end:
+  halt
+}
+func @acc_tb_check (i32 %i, i32 %q) void {
+entry:
+  %one = const i32 1
+  %two = const i32 2
+  %ip1 = add i32 %i, %one
+  %ixip1 = mul i32 %i, %ip1
+  %qexp = div i32 %ixip1, %two
+  %eq = eq i32 %qexp, %q
+  call void @llhd.assert (i1 %eq)
+  ret
+}
+entity @acc (i1$ %clk, i32$ %x, i1$ %en) -> (i32$ %q) {
+  %zero = const i32 0
+  %d = sig i32 %zero
+  inst @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q)
+  inst @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d)
+}
+proc @acc_ff (i1$ %clk, i32$ %d) -> (i32$ %q) {
+init:
+  %clk0 = prb i1$ %clk
+  wait %check for %clk
+check:
+  %clk1 = prb i1$ %clk
+  %chg = neq i1 %clk0, %clk1
+  %posedge = and i1 %chg, %clk1
+  br %posedge, %init, %event
+event:
+  %dp = prb i32$ %d
+  %delay = const time 1ns
+  drv i32$ %q, %dp after %delay
+  br %init
+}
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 0s
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+)";
+  InterpSim Sim = makeSim(Src, "acc_tb");
+  SimStats St = Sim.run();
+  EXPECT_TRUE(St.Finished);
+  EXPECT_EQ(St.AssertFailures, 0u) << "trace mismatch in accumulator";
+  EXPECT_GT(Sim.trace().numChanges(), 100u);
+}
+
+} // namespace

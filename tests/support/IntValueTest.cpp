@@ -1,0 +1,188 @@
+//===- tests/support/IntValueTest.cpp - IntValue unit tests ---------------===//
+
+#include "support/IntValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+TEST(IntValue, ConstructionMasksToWidth) {
+  IntValue V(4, 0xff);
+  EXPECT_EQ(V.zextToU64(), 0xfu);
+  EXPECT_EQ(V.width(), 4u);
+}
+
+TEST(IntValue, ZeroWidth) {
+  IntValue V(0, 0);
+  EXPECT_TRUE(V.isZero());
+  EXPECT_EQ(V.toString(), "0");
+}
+
+TEST(IntValue, AddWraps) {
+  IntValue A(8, 200), B(8, 100);
+  EXPECT_EQ(A.add(B).zextToU64(), (200 + 100) % 256u);
+}
+
+TEST(IntValue, SubWraps) {
+  IntValue A(8, 5), B(8, 10);
+  EXPECT_EQ(A.sub(B).zextToU64(), 251u);
+}
+
+TEST(IntValue, MulWide) {
+  IntValue A(128, 0), B(128, 0);
+  A = IntValue(128, ~uint64_t(0));
+  B = IntValue(128, 2);
+  IntValue R = A.mul(B);
+  EXPECT_EQ(R.word(0), ~uint64_t(0) << 1);
+  EXPECT_EQ(R.word(1), 1u);
+}
+
+TEST(IntValue, MulAccumulatorIdentity) {
+  // q == i*(i+1)/2, the Figure 2 testbench check.
+  IntValue Two(32, 2);
+  uint32_t Acc = 0;
+  for (uint32_t I = 1; I <= 100; ++I) {
+    Acc += I;
+    IntValue IV(32, I), IP1(32, I + 1);
+    EXPECT_EQ(IV.mul(IP1).udiv(Two).zextToU64(), Acc);
+  }
+}
+
+TEST(IntValue, UdivByZeroIsAllOnes) {
+  IntValue A(8, 42), Z(8, 0);
+  EXPECT_TRUE(A.udiv(Z).isAllOnes());
+}
+
+TEST(IntValue, SdivSigns) {
+  IntValue A = IntValue(8, 0).sub(IntValue(8, 7)); // -7
+  IntValue B(8, 2);
+  EXPECT_EQ(A.sdiv(B).sextToI64(), -3);
+  EXPECT_EQ(A.srem(B).sextToI64(), -1);
+  EXPECT_EQ(A.smod(B).sextToI64(), 1);
+}
+
+TEST(IntValue, MultiwordDivision) {
+  IntValue A(128, {0x123456789abcdef0ull, 0xfedcba9876543210ull});
+  IntValue B(128, 1000000007);
+  IntValue Q = A.udiv(B);
+  IntValue R = A.urem(B);
+  EXPECT_EQ(Q.mul(B).add(R), A);
+  EXPECT_TRUE(R.ult(B));
+}
+
+TEST(IntValue, ComparisonsUnsigned) {
+  IntValue A(16, 5), B(16, 9);
+  EXPECT_TRUE(A.ult(B));
+  EXPECT_TRUE(B.ugt(A));
+  EXPECT_TRUE(A.ule(A));
+  EXPECT_TRUE(A.uge(A));
+  EXPECT_FALSE(B.ult(A));
+}
+
+TEST(IntValue, ComparisonsSigned) {
+  IntValue MinusOne = IntValue::allOnes(8);
+  IntValue One(8, 1);
+  EXPECT_TRUE(MinusOne.slt(One));
+  EXPECT_TRUE(One.sgt(MinusOne));
+  EXPECT_FALSE(MinusOne.ult(One)); // 255 > 1 unsigned.
+}
+
+TEST(IntValue, Shifts) {
+  IntValue A(8, 0b1011);
+  EXPECT_EQ(A.shl(2).zextToU64(), 0b101100u);
+  EXPECT_EQ(A.lshr(1).zextToU64(), 0b101u);
+  IntValue Neg(8, 0x80);
+  EXPECT_EQ(Neg.ashr(3).zextToU64(), 0xf0u);
+  EXPECT_EQ(A.shl(8).zextToU64(), 0u);
+}
+
+TEST(IntValue, MultiwordShifts) {
+  IntValue A(130, 1);
+  IntValue S = A.shl(129);
+  EXPECT_TRUE(S.bit(129));
+  EXPECT_EQ(S.lshr(129), A);
+}
+
+TEST(IntValue, ExtensionTruncation) {
+  IntValue A(4, 0b1010);
+  EXPECT_EQ(A.zext(8).zextToU64(), 0b1010u);
+  EXPECT_EQ(A.sext(8).zextToU64(), 0b11111010u);
+  EXPECT_EQ(A.trunc(2).zextToU64(), 0b10u);
+  EXPECT_EQ(A.zextOrTrunc(4), A);
+}
+
+TEST(IntValue, BitSliceInsertExtract) {
+  IntValue A(16, 0xabcd);
+  EXPECT_EQ(A.extractBits(4, 8).zextToU64(), 0xbcu);
+  IntValue R = A.insertBits(8, IntValue(4, 0x7));
+  EXPECT_EQ(R.zextToU64(), 0xa7cdu);
+}
+
+TEST(IntValue, FromStringRadixes) {
+  EXPECT_EQ(IntValue::fromString(16, "1234").zextToU64(), 1234u);
+  EXPECT_EQ(IntValue::fromString(16, "0xff").zextToU64(), 0xffu);
+  EXPECT_EQ(IntValue::fromString(16, "0b1010").zextToU64(), 10u);
+  EXPECT_EQ(IntValue::fromString(8, "-1").zextToU64(), 0xffu);
+  EXPECT_EQ(IntValue::fromString(16, "1_000").zextToU64(), 1000u);
+}
+
+TEST(IntValue, ToStringDecimal) {
+  EXPECT_EQ(IntValue(32, 123456).toString(), "123456");
+  IntValue Big = IntValue::allOnes(128);
+  EXPECT_EQ(Big.toString(), "340282366920938463463374607431768211455");
+}
+
+TEST(IntValue, ToHexString) {
+  EXPECT_EQ(IntValue(16, 0xbeef).toHexString(), "0xbeef");
+  EXPECT_EQ(IntValue(12, 0xbe).toHexString(), "0x0be");
+}
+
+TEST(IntValue, PopCountAndLeadingZeros) {
+  IntValue A(16, 0x0f0f);
+  EXPECT_EQ(A.popCount(), 8u);
+  EXPECT_EQ(A.countLeadingZeros(), 4u);
+  EXPECT_EQ(IntValue(16, 0).countLeadingZeros(), 16u);
+}
+
+TEST(IntValue, NegIsTwosComplement) {
+  IntValue A(8, 1);
+  EXPECT_EQ(A.neg().zextToU64(), 0xffu);
+  EXPECT_EQ(IntValue(8, 0).neg().zextToU64(), 0u);
+}
+
+// Property-style sweep: algebraic identities over assorted widths/values.
+class IntValueProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint64_t>> {};
+
+TEST_P(IntValueProperty, AddSubRoundTrip) {
+  auto [W, Raw] = GetParam();
+  IntValue A(W, Raw), B(W, Raw ^ 0x5555555555555555ull);
+  EXPECT_EQ(A.add(B).sub(B), A);
+}
+
+TEST_P(IntValueProperty, DivRemReconstruct) {
+  auto [W, Raw] = GetParam();
+  IntValue A(W, Raw), B(W, (Raw >> 3) | 1);
+  EXPECT_EQ(A.udiv(B).mul(B).add(A.urem(B)), A);
+}
+
+TEST_P(IntValueProperty, DoubleNegation) {
+  auto [W, Raw] = GetParam();
+  IntValue A(W, Raw);
+  EXPECT_EQ(A.neg().neg(), A);
+  EXPECT_EQ(A.logicalNot().logicalNot(), A);
+}
+
+TEST_P(IntValueProperty, ShiftInverse) {
+  auto [W, Raw] = GetParam();
+  IntValue A(W, Raw);
+  unsigned S = W / 3;
+  EXPECT_EQ(A.shl(S).lshr(S), A.extractBits(0, W - S).zext(W));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, IntValueProperty,
+    ::testing::Combine(::testing::Values(1u, 7u, 8u, 31u, 32u, 63u, 64u,
+                                         65u, 127u),
+                       ::testing::Values(0ull, 1ull, 0xdeadbeefull,
+                                         ~0ull)));

@@ -1,0 +1,114 @@
+//===- tests/support/LogicVecTest.cpp - IEEE 1164 logic unit tests --------===//
+
+#include "support/LogicVec.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+TEST(Logic, CharRoundTrip) {
+  const char *Chars = "UX01ZWLH-";
+  for (const char *C = Chars; *C; ++C)
+    EXPECT_EQ(logicToChar(logicFromChar(*C)), *C);
+}
+
+TEST(Logic, ResolutionBasics) {
+  // From the IEEE 1164 resolution table.
+  EXPECT_EQ(resolveLogic(Logic::L0, Logic::L1), Logic::X); // drive conflict
+  EXPECT_EQ(resolveLogic(Logic::Z, Logic::L1), Logic::L1); // Z yields
+  EXPECT_EQ(resolveLogic(Logic::Z, Logic::Z), Logic::Z);
+  EXPECT_EQ(resolveLogic(Logic::L, Logic::H), Logic::W);   // weak conflict
+  EXPECT_EQ(resolveLogic(Logic::L0, Logic::H), Logic::L0); // forcing wins
+  EXPECT_EQ(resolveLogic(Logic::U, Logic::L1), Logic::U);  // U dominates
+}
+
+TEST(Logic, ResolutionIsCommutative) {
+  for (unsigned A = 0; A != 9; ++A)
+    for (unsigned B = 0; B != 9; ++B)
+      EXPECT_EQ(resolveLogic(Logic(A), Logic(B)),
+                resolveLogic(Logic(B), Logic(A)))
+          << "A=" << A << " B=" << B;
+}
+
+TEST(Logic, ResolutionIsIdempotent) {
+  // Per IEEE 1164, resolution is idempotent for all values except '-',
+  // which resolves with itself to X.
+  for (unsigned A = 0; A != 9; ++A) {
+    if (Logic(A) == Logic::DC)
+      continue;
+    EXPECT_EQ(resolveLogic(Logic(A), Logic(A)), Logic(A));
+  }
+  EXPECT_EQ(resolveLogic(Logic::DC, Logic::DC), Logic::X);
+}
+
+TEST(Logic, AndOrTables) {
+  EXPECT_EQ(logicAnd(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logicAnd(Logic::L0, Logic::X), Logic::L0); // 0 dominates and
+  EXPECT_EQ(logicAnd(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logicAnd(Logic::H, Logic::L1), Logic::L1); // weak 1 counts
+  EXPECT_EQ(logicOr(Logic::L1, Logic::X), Logic::L1);  // 1 dominates or
+  EXPECT_EQ(logicOr(Logic::L0, Logic::X), Logic::X);
+  EXPECT_EQ(logicOr(Logic::L, Logic::L), Logic::L0);
+}
+
+TEST(Logic, XorNot) {
+  EXPECT_EQ(logicXor(Logic::L1, Logic::L1), Logic::L0);
+  EXPECT_EQ(logicXor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logicXor(Logic::L1, Logic::Z), Logic::X);
+  EXPECT_EQ(logicNot(Logic::H), Logic::L0);
+  EXPECT_EQ(logicNot(Logic::U), Logic::U);
+}
+
+TEST(LogicVec, FromStringMsbFirst) {
+  LogicVec V = LogicVec::fromString("10XZ");
+  EXPECT_EQ(V.width(), 4u);
+  EXPECT_EQ(V.bit(3), Logic::L1);
+  EXPECT_EQ(V.bit(2), Logic::L0);
+  EXPECT_EQ(V.bit(1), Logic::X);
+  EXPECT_EQ(V.bit(0), Logic::Z);
+  EXPECT_EQ(V.toString(), "10XZ");
+}
+
+TEST(LogicVec, IntConversion) {
+  LogicVec V(IntValue(8, 0xa5));
+  EXPECT_TRUE(V.isFullyDefined());
+  bool Unknown = false;
+  EXPECT_EQ(V.toIntValue(&Unknown).zextToU64(), 0xa5u);
+  EXPECT_FALSE(Unknown);
+
+  LogicVec W = LogicVec::fromString("1X");
+  W.toIntValue(&Unknown);
+  EXPECT_TRUE(Unknown);
+  EXPECT_FALSE(W.isFullyDefined());
+}
+
+TEST(LogicVec, VectorOpsElementwise) {
+  LogicVec A = LogicVec::fromString("1100");
+  LogicVec B = LogicVec::fromString("1010");
+  EXPECT_EQ(A.logicalAnd(B).toString(), "1000");
+  EXPECT_EQ(A.logicalOr(B).toString(), "1110");
+  EXPECT_EQ(A.logicalXor(B).toString(), "0110");
+  EXPECT_EQ(A.logicalNot().toString(), "0011");
+}
+
+TEST(LogicVec, SliceInsertExtract) {
+  LogicVec A = LogicVec::fromString("HLZX01UW-");
+  LogicVec S = A.extractBits(2, 3);
+  EXPECT_EQ(S.width(), 3u);
+  LogicVec R = A.insertBits(0, LogicVec::fromString("11"));
+  EXPECT_EQ(R.bit(0), Logic::L1);
+  EXPECT_EQ(R.bit(1), Logic::L1);
+  EXPECT_EQ(R.bit(2), A.bit(2));
+}
+
+TEST(LogicVec, ResolveVectors) {
+  LogicVec A = LogicVec::fromString("0Z1Z");
+  LogicVec B = LogicVec::fromString("ZZ0Z");
+  EXPECT_EQ(A.resolve(B).toString(), "0ZXZ");
+}
+
+TEST(LogicVec, DefaultIsUninitialised) {
+  LogicVec V(3);
+  EXPECT_EQ(V.toString(), "UUU");
+  EXPECT_FALSE(V.isFullyDefined());
+}

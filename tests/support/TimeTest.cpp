@@ -1,0 +1,71 @@
+//===- tests/support/TimeTest.cpp - Time unit tests -----------------------===//
+
+#include "support/Time.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+TEST(Time, UnitsScale) {
+  EXPECT_EQ(Time::ns(1).Fs, 1000000u);
+  EXPECT_EQ(Time::ps(1).Fs, 1000u);
+  EXPECT_EQ(Time::us(2).Fs, 2000000000u);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_LT(Time(100, 0, 0), Time(100, 1, 0));
+  EXPECT_LT(Time(100, 1, 0), Time(100, 1, 1));
+  EXPECT_LT(Time(100, 5, 9), Time(101, 0, 0));
+}
+
+TEST(Time, AdvancePhysicalResetsDelta) {
+  Time Now(1000, 3, 2);
+  Time Next = Now.advance(Time::ns(1));
+  EXPECT_EQ(Next.Fs, 1000u + 1000000u);
+  EXPECT_EQ(Next.Delta, 0u);
+  EXPECT_EQ(Next.Eps, 0u);
+}
+
+TEST(Time, AdvanceDelta) {
+  Time Now(1000, 3, 2);
+  Time Next = Now.advance(Time::delta());
+  EXPECT_EQ(Next.Fs, 1000u);
+  EXPECT_EQ(Next.Delta, 4u);
+  EXPECT_EQ(Next.Eps, 0u);
+  Time Eps = Now.advance(Time::eps());
+  EXPECT_EQ(Eps.Delta, 3u);
+  EXPECT_EQ(Eps.Eps, 3u);
+}
+
+TEST(Time, ToStringPicksLargestUnit) {
+  EXPECT_EQ(Time::ns(1).toString(), "1ns");
+  EXPECT_EQ(Time::ns(1500).toString(), "1500ns");
+  EXPECT_EQ(Time(1500).toString(), "1500fs");
+  EXPECT_EQ(Time(0).toString(), "0s");
+  EXPECT_EQ(Time(0, 2, 1).toString(), "0s 2d 1e");
+}
+
+TEST(Time, ParseRoundTrip) {
+  for (const char *S : {"1ns", "250ps", "3us", "0s", "42fs"}) {
+    Time T;
+    ASSERT_TRUE(Time::parse(S, T)) << S;
+    EXPECT_EQ(T.toString(), S);
+  }
+}
+
+TEST(Time, ParseDeltaEps) {
+  Time T;
+  ASSERT_TRUE(Time::parse("1ns 2d 3e", T));
+  EXPECT_EQ(T.Fs, 1000000u);
+  EXPECT_EQ(T.Delta, 2u);
+  EXPECT_EQ(T.Eps, 3u);
+}
+
+TEST(Time, ParseRejectsGarbage) {
+  Time T;
+  EXPECT_FALSE(Time::parse("", T));
+  EXPECT_FALSE(Time::parse("abc", T));
+  EXPECT_FALSE(Time::parse("1", T));
+  EXPECT_FALSE(Time::parse("1ns x", T));
+}
