@@ -16,7 +16,92 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <map>
+
 using namespace llhd;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scheduler baseline: the pre-refactor kernel data structures, kept here
+// so the old-vs-new wheel win stays measurable.
+//===----------------------------------------------------------------------===//
+
+/// The retired std::map event wheel (one red-black-tree node per distinct
+/// time, allocated and freed per slot).
+class LegacyMapWheel {
+public:
+  void scheduleUpdate(Time T, SigUpdate U) {
+    Queue[T].Updates.push_back(std::move(U));
+  }
+  void scheduleWake(Time T, ProcWake W) { Queue[T].Wakes.push_back(W); }
+  bool empty() const { return Queue.empty(); }
+  Time nextTime() const { return Queue.begin()->first; }
+  void pop(std::vector<SigUpdate> &Updates, std::vector<ProcWake> &Wakes) {
+    auto It = Queue.begin();
+    Updates = std::move(It->second.Updates);
+    Wakes = std::move(It->second.Wakes);
+    Queue.erase(It);
+  }
+
+private:
+  struct Slot {
+    std::vector<SigUpdate> Updates;
+    std::vector<ProcWake> Wakes;
+  };
+  std::map<Time, Slot> Queue;
+};
+
+/// The schedule/pop workload: per simulated slot, a burst of next-delta
+/// events (the dominant traffic) plus a few future-time events, then a
+/// drain of the earliest slot — the steady-state rhythm of the event
+/// loop.
+template <typename Wheel> uint64_t runWheelWorkload(unsigned Slots) {
+  Wheel W;
+  std::vector<SigUpdate> Updates;
+  std::vector<ProcWake> Wakes;
+  SigUpdate U;
+  U.Ref.Sig = 0;
+  U.Val = RtValue(Time::ns(1));
+  U.Driver = 1;
+  uint64_t Popped = 0;
+  Time Now;
+  for (unsigned I = 0; I != Slots; ++I) {
+    // The dominant traffic: a burst of events on the next delta. Wakes
+    // carry a 12-byte payload, so what gets measured is the wheel's
+    // ordering machinery rather than event-payload copies.
+    for (unsigned J = 0; J != 8; ++J)
+      W.scheduleWake(driveTarget(Now, Time()), {J, I});
+    W.scheduleUpdate(driveTarget(Now, Time()), U);
+    for (unsigned J = 0; J != 4; ++J) // Spread-out future instants.
+      W.scheduleWake(Now.advance(Time::ns(1 + (I * 7 + J * 41) % 97)),
+                     {J, I});
+    Now = W.nextTime();
+    W.pop(Updates, Wakes);
+    Popped += Updates.size() + Wakes.size();
+  }
+  while (!W.empty()) {
+    W.pop(Updates, Wakes);
+    Popped += Updates.size() + Wakes.size();
+  }
+  return Popped;
+}
+
+/// Wake-set parameters: P processes, each waiting on K of N signals.
+constexpr unsigned WakeProcs = 256;
+constexpr unsigned WakeSignals = 1024;
+constexpr unsigned WakeSensPerProc = 4;
+
+std::vector<std::vector<SignalId>> wakeSensitivities() {
+  std::vector<std::vector<SignalId>> Sens(WakeProcs);
+  for (unsigned P = 0; P != WakeProcs; ++P)
+    for (unsigned K = 0; K != WakeSensPerProc; ++K)
+      Sens[P].push_back((P * 37 + K * 131) % WakeSignals);
+  return Sens;
+}
+
+} // namespace
 
 static void BM_IntValueAdd64(benchmark::State &State) {
   IntValue A(64, 0x123456789abcdef0ull), B(64, 42);
@@ -40,6 +125,60 @@ static void BM_IntValueUdiv128(benchmark::State &State) {
     benchmark::DoNotOptimize(A.udiv(B));
 }
 BENCHMARK(BM_IntValueUdiv128);
+
+static void BM_WheelScheduleDrainLegacyMap(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runWheelWorkload<LegacyMapWheel>(4096));
+  State.SetItemsProcessed(State.iterations() * 4096 * 13);
+}
+BENCHMARK(BM_WheelScheduleDrainLegacyMap);
+
+static void BM_WheelScheduleDrainTwoLane(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runWheelWorkload<Scheduler>(4096));
+  State.SetItemsProcessed(State.iterations() * 4096 * 13);
+}
+BENCHMARK(BM_WheelScheduleDrainTwoLane);
+
+static void BM_WakeSetLinearScan(benchmark::State &State) {
+  // The retired wake-set computation: for each changed signal, scan all
+  // processes and search each sensitivity list.
+  auto Sens = wakeSensitivities();
+  std::vector<uint32_t> Out;
+  SignalId Changed = 0;
+  for (auto _ : State) {
+    Out.clear();
+    for (uint32_t P = 0; P != WakeProcs; ++P)
+      if (std::find(Sens[P].begin(), Sens[P].end(), Changed) !=
+          Sens[P].end())
+        Out.push_back(P);
+    benchmark::DoNotOptimize(Out.data());
+    Changed = (Changed + 1) % WakeSignals;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_WakeSetLinearScan);
+
+static void BM_WakeSetDenseIndex(benchmark::State &State) {
+  // The dense reverse index: one lookup per changed signal.
+  auto Sens = wakeSensitivities();
+  std::vector<uint64_t> Gens(WakeProcs, 1);
+  WakeIndex W;
+  W.resize(WakeSignals);
+  for (uint32_t P = 0; P != WakeProcs; ++P)
+    W.watch(P, Gens[P], Sens[P]);
+  auto CurGen = [&Gens](uint32_t P) { return Gens[P]; };
+  std::vector<uint32_t> Out;
+  SignalId Changed = 0;
+  for (auto _ : State) {
+    Out.clear();
+    W.collect(Changed, CurGen, Out);
+    benchmark::DoNotOptimize(Out.data());
+    Changed = (Changed + 1) % WakeSignals;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_WakeSetDenseIndex);
 
 static void BM_MooreCompileGray(benchmark::State &State) {
   designs::DesignInfo D = designs::designByKey("gray", 0.0);

@@ -425,7 +425,6 @@ struct BlazeSim::Impl {
   std::map<Unit *, BcUnit> Units;
   std::vector<BcProcState> Procs;
   std::vector<BcEntState> Ents;
-  std::map<SignalId, std::vector<uint32_t>> Watchers;
   std::vector<RtValue> Scratch;
 
   Impl(Module &M, const std::string &Top, BlazeOptions O)
@@ -487,24 +486,8 @@ struct BlazeSim::Impl {
         Ents.push_back(std::move(ES));
       }
     }
-    for (uint32_t EI = 0; EI != Ents.size(); ++EI) {
-      std::set<SignalId> Watched;
-      const UnitInstance &UI = *Ents[EI].Inst;
-      for (Instruction *I : UI.U->entityBlock()->insts()) {
-        if (I->opcode() == Opcode::Prb) {
-          auto It = UI.Bindings.find(I->operand(0));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-        if (I->opcode() == Opcode::Del) {
-          auto It = UI.Bindings.find(I->operand(1));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-      }
-      for (SignalId S : Watched)
-        Watchers[S].push_back(EI);
-    }
+    // Entity static sensitivity comes from D.EntityWatchers (built at
+    // elaboration of the optimised clone).
   }
 
   uint64_t driverId(const void *Instance, const Instruction *I) {
@@ -793,16 +776,11 @@ struct BlazeSim::Impl {
   bool procHalted(uint32_t PI) const {
     return Procs[PI].State == BcProcState::St::Halted;
   }
-  bool procSensitiveTo(uint32_t PI, SignalId S) const {
-    const auto &Sens = Procs[PI].Sensitivity;
-    return std::find(Sens.begin(), Sens.end(), S) != Sens.end();
+  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
+    return Procs[PI].Sensitivity;
   }
   uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
   void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
-  const std::vector<uint32_t> *entityWatchers(SignalId S) const {
-    auto It = Watchers.find(S);
-    return It == Watchers.end() ? nullptr : &It->second;
-  }
   bool finishRequested() const { return FinishRequested; }
 
   SimStats run() {

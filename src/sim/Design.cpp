@@ -3,6 +3,8 @@
 #include "sim/Design.h"
 #include "sim/RtOps.h"
 
+#include <set>
+
 using namespace llhd;
 
 namespace {
@@ -196,11 +198,43 @@ private:
   unsigned Depth = 0;
 };
 
+/// Builds the dense signal -> entity watcher index. Runs after the full
+/// hierarchy is expanded so that `con` aliasing has settled and
+/// canonical ids are final.
+void buildSensitivityIndex(Design &D) {
+  D.EntityWatchers.assign(D.Signals.size(), {});
+  uint32_t EI = 0;
+  for (const UnitInstance &UI : D.Instances) {
+    if (UI.U->isProcess())
+      continue;
+    // An entity re-evaluates when a probed signal or a `del` source
+    // changes.
+    std::set<SignalId> Watched;
+    for (Instruction *I : UI.U->entityBlock()->insts()) {
+      if (I->opcode() == Opcode::Prb) {
+        auto It = UI.Bindings.find(I->operand(0));
+        if (It != UI.Bindings.end())
+          Watched.insert(D.Signals.canonical(It->second.Sig));
+      }
+      if (I->opcode() == Opcode::Del) {
+        auto It = UI.Bindings.find(I->operand(1));
+        if (It != UI.Bindings.end())
+          Watched.insert(D.Signals.canonical(It->second.Sig));
+      }
+    }
+    for (SignalId S : Watched)
+      D.EntityWatchers[S].push_back(EI);
+    ++EI;
+  }
+}
+
 } // namespace
 
 Design llhd::elaborate(Module &M, const std::string &Top) {
   Design D;
   D.M = &M;
   Elaborator(M, D).run(Top);
+  if (D.ok())
+    buildSensitivityIndex(D);
   return D;
 }

@@ -37,6 +37,13 @@ struct Design {
   std::vector<UnitInstance> Instances;
   std::string Error; ///< Non-empty if elaboration failed.
 
+  /// Static sensitivity reverse index, built once at elaboration and
+  /// shared by every engine: canonical signal -> indices of the entity
+  /// instances (counting entities in Instances order) that probe it or
+  /// use it as a `del` source. Computing an entity wake set is a direct
+  /// lookup, O(changed signals).
+  std::vector<std::vector<uint32_t>> EntityWatchers;
+
   bool ok() const { return Error.empty(); }
 };
 

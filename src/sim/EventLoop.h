@@ -4,20 +4,15 @@
 // signal updates, computes the wake set and dispatches into the engine.
 // All engines (Interp, Blaze, CommSim) instantiate this template with
 // their own process/entity execution, so scheduling semantics are shared
-// by construction.
+// by construction. The engine contract is the EngineTraits concept
+// below; violations fail at the instantiation site with the missing
+// requirement named.
 //
-// The engine type must provide:
-//   uint32_t numProcs();
-//   bool     procWaiting(uint32_t);
-//   bool     procSensitiveTo(uint32_t, SignalId);
-//   uint64_t procWakeGen(uint32_t);
-//   void     procBumpWakeGen(uint32_t);
-//   bool     procHalted(uint32_t);
-//   const std::vector<uint32_t> *entityWatchers(SignalId);
-//   void     runProcess(uint32_t);
-//   void     evalEntity(uint32_t, bool Initial);
-//   uint32_t numEnts();
-//   bool     finishRequested();
+// Wake sets are computed through dense reverse indices: entity watchers
+// come from Design::EntityWatchers (built at elaboration), and dynamic
+// process sensitivity is registered into a WakeIndex each time a process
+// suspends. One time slot therefore costs O(updates + changed signals +
+// woken units), independent of the total process count.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,26 +22,69 @@
 #include "sim/Design.h"
 #include "sim/Interp.h" // SimOptions / SimStats.
 
-#include <set>
+#include <algorithm>
+#include <concepts>
+#include <vector>
 
 namespace llhd {
 
-template <typename Engine>
+/// The contract every simulation engine implements to drive the shared
+/// event loop. Processes are identified by dense indices [0, numProcs()),
+/// entities by [0, numEnts()), both in elaboration (Design::Instances)
+/// order so that Design::EntityWatchers applies to every engine.
+template <typename E>
+concept EngineTraits = requires(E &Eng, uint32_t I, bool Initial) {
+  /// Unit counts.
+  { Eng.numProcs() } -> std::convertible_to<uint32_t>;
+  { Eng.numEnts() } -> std::convertible_to<uint32_t>;
+  /// Process scheduling state.
+  { Eng.procWaiting(I) } -> std::convertible_to<bool>;
+  { Eng.procHalted(I) } -> std::convertible_to<bool>;
+  /// Stale-timer guard: the generation is bumped on every wake and every
+  /// suspension, invalidating earlier timers and registrations.
+  { Eng.procWakeGen(I) } -> std::convertible_to<uint64_t>;
+  { Eng.procBumpWakeGen(I) };
+  /// Canonical signal ids the process registered at its last `wait`.
+  { Eng.procSensitivity(I) } ->
+      std::convertible_to<const std::vector<SignalId> &>;
+  /// Execution.
+  { Eng.runProcess(I) };
+  { Eng.evalEntity(I, Initial) };
+  /// A process executed llhd.finish.
+  { Eng.finishRequested() } -> std::convertible_to<bool>;
+};
+
+template <EngineTraits Engine>
 SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
                       Scheduler &Sched, Trace &Tr, Time &Now,
                       SimStats &Stats) {
+  // Dynamic process sensitivity, re-registered at every suspension.
+  WakeIndex WIdx;
+  WIdx.resize(D.Signals.size());
+  auto registerSensitivity = [&](uint32_t PI) {
+    if (Eng.procWaiting(PI))
+      WIdx.watch(PI, Eng.procWakeGen(PI), Eng.procSensitivity(PI));
+  };
+  auto curGen = [&Eng](uint32_t PI) { return Eng.procWakeGen(PI); };
+
   // Initialisation (§2.4.3): processes run to their first suspension,
   // entities evaluate once.
   Now = Time();
-  for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
+  for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI) {
     Eng.runProcess(PI);
+    registerSensitivity(PI);
+  }
   for (uint32_t EI = 0; EI != Eng.numEnts(); ++EI)
     Eng.evalEntity(EI, /*Initial=*/true);
 
   uint64_t DeltasAtInstant = 0;
   uint64_t LastFs = ~0ull;
+  // Scratch reused across slots; capacity settles after a few steps.
   std::vector<SigUpdate> Updates;
   std::vector<ProcWake> Wakes;
+  std::vector<SignalId> Changed;
+  std::vector<uint32_t> ProcsToRun, EntsToRun;
+  std::vector<uint8_t> ChangedMark(D.Signals.size(), 0);
   while (!Sched.empty() && !Eng.finishRequested()) {
     Time T = Sched.nextTime();
     if (T > Opts.MaxTime)
@@ -65,34 +103,45 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
 
     Sched.pop(Updates, Wakes);
 
-    // Apply signal updates; collect changed canonical signals.
-    std::set<SignalId> Changed;
+    // Apply signal updates; collect changed canonical signals (deduped
+    // via marks, in first-change order).
+    Changed.clear();
     for (SigUpdate &U : Updates) {
       SignalId Canon = D.Signals.canonical(U.Ref.Sig);
       if (D.Signals.write(U.Ref, U.Val, U.Driver)) {
-        Changed.insert(Canon);
+        if (!ChangedMark[Canon]) {
+          ChangedMark[Canon] = 1;
+          Changed.push_back(Canon);
+        }
         Tr.record(Now, Canon, D.Signals.value(Canon));
       }
     }
+    for (SignalId S : Changed)
+      ChangedMark[S] = 0;
 
-    // Wake set: fresh timers plus sensitivity matches.
-    std::set<uint32_t> ProcsToRun;
+    // Wake set: fresh timers plus sensitivity matches, each a direct
+    // index lookup. Units run in ascending index order for determinism.
+    ProcsToRun.clear();
     for (const ProcWake &W : Wakes)
       if (Eng.procWakeGen(W.Proc) == W.Gen && Eng.procWaiting(W.Proc))
-        ProcsToRun.insert(W.Proc);
-    std::set<uint32_t> EntsToRun;
+        ProcsToRun.push_back(W.Proc);
+    EntsToRun.clear();
     for (SignalId S : Changed) {
-      if (const std::vector<uint32_t> *Ws = Eng.entityWatchers(S))
-        for (uint32_t EI : *Ws)
-          EntsToRun.insert(EI);
-      for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
-        if (Eng.procWaiting(PI) && Eng.procSensitiveTo(PI, S))
-          ProcsToRun.insert(PI);
+      const std::vector<uint32_t> &Ws = D.EntityWatchers[S];
+      EntsToRun.insert(EntsToRun.end(), Ws.begin(), Ws.end());
+      WIdx.collect(S, curGen, ProcsToRun);
     }
+    std::sort(ProcsToRun.begin(), ProcsToRun.end());
+    ProcsToRun.erase(std::unique(ProcsToRun.begin(), ProcsToRun.end()),
+                     ProcsToRun.end());
+    std::sort(EntsToRun.begin(), EntsToRun.end());
+    EntsToRun.erase(std::unique(EntsToRun.begin(), EntsToRun.end()),
+                    EntsToRun.end());
 
     for (uint32_t PI : ProcsToRun) {
       Eng.procBumpWakeGen(PI); // Invalidate pending timers.
       Eng.runProcess(PI);
+      registerSensitivity(PI);
     }
     for (uint32_t EI : EntsToRun)
       Eng.evalEntity(EI, /*Initial=*/false);

@@ -47,8 +47,6 @@ struct InterpSim::Impl {
 
   std::vector<ProcState> Procs;
   std::vector<EntState> Ents;
-  /// Static sensitivity: canonical signal -> entity indices.
-  std::map<SignalId, std::vector<uint32_t>> EntityWatchers;
   Time Now;
   bool FinishRequested = false;
 
@@ -72,25 +70,8 @@ struct InterpSim::Impl {
         Ents.push_back(std::move(ES));
       }
     }
-    // Entity static sensitivity: all probed signals and del sources.
-    for (uint32_t EI = 0; EI != Ents.size(); ++EI) {
-      std::set<SignalId> Watched;
-      const UnitInstance &UI = *Ents[EI].Inst;
-      for (Instruction *I : UI.U->entityBlock()->insts()) {
-        if (I->opcode() == Opcode::Prb) {
-          auto It = UI.Bindings.find(I->operand(0));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-        if (I->opcode() == Opcode::Del) {
-          auto It = UI.Bindings.find(I->operand(1));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-      }
-      for (SignalId S : Watched)
-        EntityWatchers[S].push_back(EI);
-    }
+    // Entity static sensitivity comes from Design::EntityWatchers,
+    // built at elaboration and shared with the other engines.
   }
 
   /// Unique driver identity per (instance, instruction).
@@ -461,16 +442,11 @@ struct InterpSim::Impl {
   bool procHalted(uint32_t PI) const {
     return Procs[PI].State == ProcState::St::Halted;
   }
-  bool procSensitiveTo(uint32_t PI, SignalId S) const {
-    const auto &Sens = Procs[PI].Sensitivity;
-    return std::find(Sens.begin(), Sens.end(), S) != Sens.end();
+  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
+    return Procs[PI].Sensitivity;
   }
   uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
   void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
-  const std::vector<uint32_t> *entityWatchers(SignalId S) const {
-    auto It = EntityWatchers.find(S);
-    return It == EntityWatchers.end() ? nullptr : &It->second;
-  }
   bool finishRequested() const { return FinishRequested; }
 
   SimStats run() {

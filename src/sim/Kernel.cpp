@@ -8,20 +8,18 @@
 
 using namespace llhd;
 
+//===----------------------------------------------------------------------===//
+// SignalTable
+//===----------------------------------------------------------------------===//
+
 SignalId SignalTable::create(Type *Ty, RtValue Init, std::string Name) {
   Signal S;
   S.Ty = Ty;
   S.Value = std::move(Init);
   S.Name = std::move(Name);
-  S.Parent = Signals.size();
   Signals.push_back(std::move(S));
+  Parents.push_back(Signals.size() - 1);
   return Signals.size() - 1;
-}
-
-SignalId SignalTable::canonical(SignalId S) const {
-  while (Signals[S].Parent != S)
-    S = Signals[S].Parent;
-  return S;
 }
 
 void SignalTable::connect(SignalId A, SignalId B) {
@@ -32,7 +30,7 @@ void SignalTable::connect(SignalId A, SignalId B) {
   // The lower id wins as the root; its current value is kept.
   if (B < A)
     std::swap(A, B);
-  Signals[B].Parent = A;
+  Parents[B] = A;
 }
 
 RtValue SignalTable::read(const SigRef &Ref) const {
@@ -45,13 +43,15 @@ bool SignalTable::write(const SigRef &Ref, const RtValue &V,
   Signal &S = Signals[canonical(Ref.Sig)];
 
   // Multi-driver resolution for whole-signal logic drives: each driver
-  // keeps its contribution; the signal value is the IEEE 1164 resolution
-  // over all of them.
+  // keeps its contribution in a slot found by binary search; the signal
+  // value is the IEEE 1164 resolution over all of them (commutative, so
+  // slot order does not affect the result).
   if (S.Ty && S.Ty->isLogic() && Ref.wholeSignal()) {
-    auto It = std::find_if(S.Drivers.begin(), S.Drivers.end(),
-                           [&](const auto &P) { return P.first == Driver; });
-    if (It == S.Drivers.end())
-      S.Drivers.push_back({Driver, V});
+    auto It = std::lower_bound(
+        S.Drivers.begin(), S.Drivers.end(), Driver,
+        [](const auto &P, uint64_t D) { return P.first < D; });
+    if (It == S.Drivers.end() || It->first != Driver)
+      It = S.Drivers.insert(It, {Driver, V});
     else
       It->second = V;
     RtValue Resolved = S.Drivers.front().second;
@@ -71,6 +71,95 @@ bool SignalTable::write(const SigRef &Ref, const RtValue &V,
   writeSubValue(S.Value, Ref, V);
   return true;
 }
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+uint32_t Scheduler::allocSlot() {
+  if (!FreeSlots.empty()) {
+    uint32_t Idx = FreeSlots.back();
+    FreeSlots.pop_back();
+    return Idx;
+  }
+  Arena.emplace_back();
+  return Arena.size() - 1;
+}
+
+void Scheduler::recycle(uint32_t Idx, std::vector<SigUpdate> &Updates,
+                        std::vector<ProcWake> &Wakes) {
+  Slot &S = Arena[Idx];
+  Updates.insert(Updates.end(),
+                 std::make_move_iterator(S.Updates.begin()),
+                 std::make_move_iterator(S.Updates.end()));
+  Wakes.insert(Wakes.end(), S.Wakes.begin(), S.Wakes.end());
+  // clear() keeps the vectors' capacity, so a recycled slot schedules
+  // without allocating.
+  S.Updates.clear();
+  S.Wakes.clear();
+  FreeSlots.push_back(Idx);
+}
+
+Scheduler::Slot &Scheduler::slotFor(Time T) {
+  if (T.Fs <= HeadFs) {
+    // Fast lane: sorted linear scan — the lane holds the current
+    // instant's few pending delta/epsilon slots.
+    size_t I = 0;
+    while (I != Fast.size() && Fast[I].T < T)
+      ++I;
+    if (I != Fast.size() && Fast[I].T == T)
+      return Arena[Fast[I].Idx];
+    uint32_t Idx = allocSlot();
+    Fast.insert(Fast.begin() + I, {T, Idx});
+    return Arena[Idx];
+  }
+  // Heap lane: merge into the existing slot for T if there is one, so
+  // equal-time events stay in scheduling order.
+  auto [It, Fresh] = HeapIndex.try_emplace(T, 0);
+  if (!Fresh)
+    return Arena[It->second];
+  uint32_t Idx = allocSlot();
+  It->second = Idx;
+  Heap.push_back({T, Idx});
+  std::push_heap(Heap.begin(), Heap.end(), HeapOrder());
+  return Arena[Idx];
+}
+
+void Scheduler::pop(std::vector<SigUpdate> &Updates,
+                    std::vector<ProcWake> &Wakes) {
+  Updates.clear();
+  Wakes.clear();
+  MemoValid = false; // The memoed slot may be the one being recycled.
+  // The lanes are disjoint (fast: Fs <= HeadFs, heap: Fs > HeadFs), so
+  // a nonempty fast lane always holds the earliest slot.
+  if (!Fast.empty()) {
+    uint32_t Idx = Fast.front().Idx;
+    Fast.erase(Fast.begin());
+    recycle(Idx, Updates, Wakes);
+    return;
+  }
+  Time T = Heap.front().T;
+  std::pop_heap(Heap.begin(), Heap.end(), HeapOrder());
+  uint32_t Idx = Heap.back().Idx;
+  Heap.pop_back();
+  HeapIndex.erase(T);
+  recycle(Idx, Updates, Wakes);
+  // A new physical instant begins: anchor the fast lane to it and pull
+  // over any already-scheduled slots of the same instant (they are at
+  // the top of the heap, and arrive in ascending time order).
+  HeadFs = T.Fs;
+  while (!Heap.empty() && Heap.front().T.Fs == HeadFs) {
+    Ref R = Heap.front();
+    std::pop_heap(Heap.begin(), Heap.end(), HeapOrder());
+    Heap.pop_back();
+    HeapIndex.erase(R.T);
+    Fast.push_back(R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
 
 std::string Trace::dump(const SignalTable &Signals) const {
   std::ostringstream OS;

@@ -5,6 +5,14 @@
 // (time, delta, epsilon) event wheel, and the signal-change trace used
 // for cross-simulator equivalence checking.
 //
+// The event wheel is a two-lane design (DESIGN.md): a current-instant
+// fast lane holding the handful of pending delta/epsilon slots at the
+// head physical time, and a binary min-heap of future time slots. Slots
+// are recycled through a pool, so steady-state scheduling performs no
+// allocation. The wake set is computed through dense reverse indices —
+// entity watchers live in Design, dynamic process sensitivity in
+// WakeIndex — instead of per-process scans.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef LLHD_SIM_KERNEL_H
@@ -13,9 +21,10 @@
 #include "ir/Type.h"
 #include "sim/RtValue.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace llhd {
@@ -32,8 +41,21 @@ public:
 
   unsigned size() const { return Signals.size(); }
 
-  /// Canonical id under `con` aliasing (union-find).
-  SignalId canonical(SignalId S) const;
+  /// Canonical id under `con` aliasing (union-find with path compression).
+  SignalId canonical(SignalId S) const {
+    SignalId Root = S;
+    while (Parents[Root] != Root)
+      Root = Parents[Root];
+    // Path compression: point every visited node at the root so repeated
+    // lookups are O(1). Parents is representation cache state, not
+    // logical state, hence mutable.
+    while (Parents[S] != Root) {
+      SignalId Next = Parents[S];
+      Parents[S] = Root;
+      S = Next;
+    }
+    return Root;
+  }
 
   /// Merges two signals into one electrical net (`con`).
   void connect(SignalId A, SignalId B);
@@ -58,11 +80,14 @@ private:
     Type *Ty;
     RtValue Value;
     std::string Name;
-    SignalId Parent; ///< Union-find parent (self if root).
-    /// Per-driver contributions for resolved (logic) signals.
+    /// Per-driver contributions for resolved (logic) signals, sorted by
+    /// driver id so a slot is found by binary search.
     std::vector<std::pair<uint64_t, RtValue>> Drivers;
   };
   std::vector<Signal> Signals;
+  /// Union-find parents (self if root), separate from Signals so that
+  /// path compression can run under const lookups.
+  mutable std::vector<SignalId> Parents;
 };
 
 //===----------------------------------------------------------------------===//
@@ -83,36 +108,103 @@ struct ProcWake {
 };
 
 /// The (time, delta, epsilon) event wheel.
+///
+/// Two lanes share a pooled slot arena:
+///  - the fast lane is a small sorted vector of slots at (or before) the
+///    head physical instant — the delta/epsilon traffic that dominates a
+///    simulation stays here and never touches the heap;
+///  - the heap lane is a binary min-heap of future physical instants.
+/// Every distinct Time owns exactly one slot, so events at equal times
+/// are applied in scheduling order (engines rely on this for trace
+/// determinism).
 class Scheduler {
 public:
   void scheduleUpdate(Time T, SigUpdate U) {
-    Queue[T].Updates.push_back(std::move(U));
+    slotForCached(T).Updates.push_back(std::move(U));
   }
   void scheduleWake(Time T, ProcWake W) {
-    Queue[T].Wakes.push_back(W);
+    slotForCached(T).Wakes.push_back(W);
   }
 
-  bool empty() const { return Queue.empty(); }
-  Time nextTime() const { return Queue.begin()->first; }
+  bool empty() const { return Fast.empty() && Heap.empty(); }
 
-  /// Pops the earliest time slot.
-  void pop(std::vector<SigUpdate> &Updates, std::vector<ProcWake> &Wakes) {
-    auto It = Queue.begin();
-    Updates = std::move(It->second.Updates);
-    Wakes = std::move(It->second.Wakes);
-    Queue.erase(It);
+  Time nextTime() const {
+    if (Heap.empty())
+      return Fast.front().T;
+    if (Fast.empty())
+      return Heap.front().T;
+    return std::min(Fast.front().T, Heap.front().T);
   }
+
+  /// Pops the earliest time slot into \p Updates / \p Wakes (cleared
+  /// first; capacity is reused across pops).
+  void pop(std::vector<SigUpdate> &Updates, std::vector<ProcWake> &Wakes);
 
   /// Event count statistics.
   uint64_t totalScheduled() const { return Scheduled; }
   void countScheduled(uint64_t N) { Scheduled += N; }
 
 private:
+  struct Ref {
+    Time T;
+    uint32_t Idx; ///< Arena slot.
+  };
   struct Slot {
     std::vector<SigUpdate> Updates;
     std::vector<ProcWake> Wakes;
   };
-  std::map<Time, Slot> Queue;
+  struct TimeHash {
+    size_t operator()(const Time &T) const {
+      uint64_t H = 1469598103934665603ull;
+      auto mix = [&H](uint64_t X) {
+        H ^= X;
+        H *= 1099511628211ull;
+      };
+      mix(T.Fs);
+      mix((uint64_t(T.Delta) << 32) | T.Eps);
+      return static_cast<size_t>(H);
+    }
+  };
+  struct HeapOrder { // std::*_heap builds a max-heap; invert for a min-heap.
+    bool operator()(const Ref &A, const Ref &B) const { return B.T < A.T; }
+  };
+
+  /// Events arrive in same-time bursts (one process/entity activation
+  /// schedules several drives at one target), so a one-entry memo skips
+  /// the lane lookup for everything but the first event of a burst.
+  Slot &slotForCached(Time T) {
+    if (MemoValid && MemoT == T)
+      return Arena[MemoIdx];
+    Slot &S = slotFor(T);
+    MemoT = T;
+    MemoIdx = static_cast<uint32_t>(&S - Arena.data());
+    MemoValid = true;
+    return S;
+  }
+
+  Slot &slotFor(Time T);
+  uint32_t allocSlot();
+  void recycle(uint32_t Idx, std::vector<SigUpdate> &Updates,
+               std::vector<ProcWake> &Wakes);
+
+  /// Fast lane: slots with T.Fs <= HeadFs, sorted ascending by time.
+  /// Holds the current instant's delta/epsilon slots — almost always one
+  /// or two entries.
+  std::vector<Ref> Fast;
+  /// Heap lane: min-heap of slots with T.Fs > HeadFs.
+  std::vector<Ref> Heap;
+  /// Active heap times -> arena slot, so equal-time events merge into
+  /// one slot (scheduling order is preserved within a time).
+  std::unordered_map<Time, uint32_t, TimeHash> HeapIndex;
+  /// The physical instant the fast lane is anchored to.
+  uint64_t HeadFs = 0;
+
+  std::vector<Slot> Arena;
+  std::vector<uint32_t> FreeSlots;
+  /// One-entry schedule memo; invalidated on every pop.
+  Time MemoT;
+  uint32_t MemoIdx = 0;
+  bool MemoValid = false;
   uint64_t Scheduled = 0;
 };
 
@@ -122,6 +214,63 @@ inline Time driveTarget(Time Now, Time Span) {
     return Now.advance(Time::delta());
   return Now.advance(Span);
 }
+
+//===----------------------------------------------------------------------===//
+// WakeIndex
+//===----------------------------------------------------------------------===//
+
+/// Dense dynamic sensitivity: canonical signal -> processes currently
+/// waiting on it. Engines re-register a process's sensitivity each time
+/// it suspends; entries are invalidated lazily through the process wake
+/// generation (an entry is live iff its recorded generation still equals
+/// the process's current one), so waking a process never has to walk the
+/// signals it was watching. Computing the wake set of a changed signal
+/// is O(watchers of that signal) instead of O(processes).
+class WakeIndex {
+public:
+  void resize(unsigned NumSignals) { Watchers.resize(NumSignals); }
+
+  /// Registers \p Proc (whose current wake generation is \p Gen) as
+  /// watching each canonical signal in \p Sens. A process re-waiting on
+  /// a signal reuses its existing entry, so the index holds at most one
+  /// entry per (signal, process) pair.
+  void watch(uint32_t Proc, uint64_t Gen,
+             const std::vector<SignalId> &Sens) {
+    for (SignalId S : Sens) {
+      std::vector<Entry> &Es = Watchers[S];
+      auto It = std::find_if(Es.begin(), Es.end(), [Proc](const Entry &E) {
+        return E.Proc == Proc;
+      });
+      if (It != Es.end())
+        It->Gen = Gen;
+      else
+        Es.push_back({Proc, Gen});
+    }
+  }
+
+  /// Appends to \p Out every process with a live registration on \p S;
+  /// stale entries are compacted away in passing. \p CurGen maps a
+  /// process index to its current wake generation.
+  template <typename GenFn>
+  void collect(SignalId S, GenFn &&CurGen, std::vector<uint32_t> &Out) {
+    std::vector<Entry> &Es = Watchers[S];
+    size_t Keep = 0;
+    for (size_t I = 0; I != Es.size(); ++I) {
+      if (CurGen(Es[I].Proc) != Es[I].Gen)
+        continue; // Stale: the process ran since registering.
+      Out.push_back(Es[I].Proc);
+      Es[Keep++] = Es[I];
+    }
+    Es.resize(Keep);
+  }
+
+private:
+  struct Entry {
+    uint32_t Proc;
+    uint64_t Gen;
+  };
+  std::vector<std::vector<Entry>> Watchers;
+};
 
 //===----------------------------------------------------------------------===//
 // Trace

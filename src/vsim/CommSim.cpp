@@ -427,7 +427,6 @@ struct CommSim::Impl {
   std::map<Unit *, CsUnit> Units;
   std::vector<CsProcState> Procs;
   std::vector<CsEntState> Ents;
-  std::map<SignalId, std::vector<uint32_t>> Watchers;
 
   Impl(Module &M, const std::string &Top, SimOptions O)
       : Opts(O), Tr(O.TraceMode) {
@@ -506,24 +505,8 @@ struct CommSim::Impl {
       ES.X.RegPrevValid = &ES.RegPrevValid;
       ES.X.DelPrev = &ES.DelPrev;
     }
-    for (uint32_t EI = 0; EI != Ents.size(); ++EI) {
-      std::set<SignalId> Watched;
-      const UnitInstance &UI = *Ents[EI].Inst;
-      for (Instruction *I : UI.U->entityBlock()->insts()) {
-        if (I->opcode() == Opcode::Prb) {
-          auto It = UI.Bindings.find(I->operand(0));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-        if (I->opcode() == Opcode::Del) {
-          auto It = UI.Bindings.find(I->operand(1));
-          if (It != UI.Bindings.end())
-            Watched.insert(D.Signals.canonical(It->second.Sig));
-        }
-      }
-      for (SignalId S : Watched)
-        Watchers[S].push_back(EI);
-    }
+    // Entity static sensitivity comes from D.EntityWatchers, built at
+    // elaboration and shared with the other engines.
   }
 
   RtValue callFunction(Unit *F, std::vector<RtValue> Args) {
@@ -617,16 +600,11 @@ struct CommSim::Impl {
   bool procHalted(uint32_t PI) const {
     return Procs[PI].State == CsProcState::St::Halted;
   }
-  bool procSensitiveTo(uint32_t PI, SignalId S) const {
-    const auto &Sens = Procs[PI].Sensitivity;
-    return std::find(Sens.begin(), Sens.end(), S) != Sens.end();
+  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
+    return Procs[PI].Sensitivity;
   }
   uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
   void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
-  const std::vector<uint32_t> *entityWatchers(SignalId S) const {
-    auto It = Watchers.find(S);
-    return It == Watchers.end() ? nullptr : &It->second;
-  }
   bool finishRequested() const { return FinishRequested; }
 
   SimStats run() {

@@ -8,6 +8,8 @@
 
 #include "asm/Parser.h"
 #include "blaze/Blaze.h"
+#include "designs/Designs.h"
+#include "moore/Compiler.h"
 #include "sim/Interp.h"
 #include "vsim/CommSim.h"
 
@@ -83,6 +85,53 @@ TEST_F(EngineEquivalence, BlazeUnoptimizedAlsoMatches) {
   Blaze.run();
 
   EXPECT_EQ(Ref.trace().digest(), Blaze.trace().digest());
+}
+
+// Determinism must survive the event-wheel and wake-set data-structure
+// changes: every design of the Table 2 suite yields one digest on all
+// three engines.
+TEST_F(EngineEquivalence, DesignsSuiteDigestsAgreeAcrossEngines) {
+  for (const designs::DesignInfo &D : designs::allDesigns(0.0)) {
+    Context DCtx;
+
+    Module M1(DCtx, D.Key + ".ref");
+    moore::CompileResult R =
+        moore::compileSystemVerilog(D.Source, D.TopModule, M1);
+    ASSERT_TRUE(R.Ok) << D.Key << ": " << R.Error;
+    Design Dn = elaborate(M1, R.TopUnit);
+    ASSERT_TRUE(Dn.ok()) << D.Key << ": " << Dn.Error;
+    InterpSim Ref(std::move(Dn));
+    SimStats S1 = Ref.run();
+
+    Module M2(DCtx, D.Key + ".blaze");
+    ASSERT_TRUE(
+        moore::compileSystemVerilog(D.Source, D.TopModule, M2).Ok);
+    BlazeSim Blaze(M2, R.TopUnit);
+    ASSERT_TRUE(Blaze.valid()) << D.Key << ": " << Blaze.error();
+    SimStats S2 = Blaze.run();
+
+    Module M3(DCtx, D.Key + ".comm");
+    ASSERT_TRUE(
+        moore::compileSystemVerilog(D.Source, D.TopModule, M3).Ok);
+    CommSim Comm(M3, R.TopUnit);
+    ASSERT_TRUE(Comm.valid()) << D.Key << ": " << Comm.error();
+    SimStats S3 = Comm.run();
+
+    EXPECT_EQ(S1.AssertFailures, 0u) << D.Key;
+    EXPECT_EQ(S2.AssertFailures, 0u) << D.Key;
+    EXPECT_EQ(S3.AssertFailures, 0u) << D.Key;
+    EXPECT_GT(Ref.trace().numChanges(), 0u) << D.Key;
+    EXPECT_EQ(Ref.trace().numChanges(), Blaze.trace().numChanges())
+        << D.Key;
+    EXPECT_EQ(Ref.trace().digest(), Blaze.trace().digest())
+        << D.Key << ": Blaze trace diverges";
+    EXPECT_EQ(Ref.trace().numChanges(), Comm.trace().numChanges())
+        << D.Key;
+    EXPECT_EQ(Ref.trace().digest(), Comm.trace().digest())
+        << D.Key << ": CommSim trace diverges";
+    EXPECT_EQ(S1.EndTime.Fs, S2.EndTime.Fs) << D.Key;
+    EXPECT_EQ(S1.EndTime.Fs, S3.EndTime.Fs) << D.Key;
+  }
 }
 
 TEST_F(EngineEquivalence, FullTraceDiffIsEmpty) {

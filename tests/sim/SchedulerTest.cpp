@@ -1,0 +1,232 @@
+//===- tests/sim/SchedulerTest.cpp - Event wheel unit tests ---------------===//
+//
+// The two-lane event wheel in isolation: (time, delta, epsilon) pop
+// ordering, the driveTarget zero-time rule, equal-time slot merging,
+// heap-lane ordering under interleaved past/future schedules — and the
+// stale-timer generation guard observed through a real simulation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "sim/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+SigUpdate update(uint64_t Driver) {
+  SigUpdate U;
+  U.Ref.Sig = 0;
+  U.Val = RtValue(IntValue(8, Driver));
+  U.Driver = Driver;
+  return U;
+}
+
+/// Drains the wheel, returning the popped times in order.
+std::vector<Time> drain(Scheduler &S) {
+  std::vector<Time> Order;
+  std::vector<SigUpdate> U;
+  std::vector<ProcWake> W;
+  while (!S.empty()) {
+    Order.push_back(S.nextTime());
+    S.pop(U, W);
+  }
+  return Order;
+}
+
+TEST(SchedulerTest, DeltaVersusEpsilonOrdering) {
+  // Within one physical instant, epsilon steps order before the next
+  // delta, and deltas order among themselves.
+  Scheduler S;
+  S.scheduleUpdate(Time(0, 2, 0), update(1));
+  S.scheduleUpdate(Time(0, 1, 0), update(2));
+  S.scheduleUpdate(Time(0, 0, 1), update(3));
+  S.scheduleUpdate(Time(0, 1, 1), update(4));
+
+  std::vector<Time> Order = drain(S);
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order[0], Time(0, 0, 1));
+  EXPECT_EQ(Order[1], Time(0, 1, 0));
+  EXPECT_EQ(Order[2], Time(0, 1, 1));
+  EXPECT_EQ(Order[3], Time(0, 2, 0));
+}
+
+TEST(SchedulerTest, DriveTargetZeroTimeLandsOnNextDelta) {
+  Time Now(Time::ns(5).Fs, 3, 2);
+  // A zero span becomes the next delta (epsilon resets).
+  EXPECT_EQ(driveTarget(Now, Time()), Time(Time::ns(5).Fs, 4, 0));
+  // A physical span starts a fresh instant at delta 0.
+  EXPECT_EQ(driveTarget(Now, Time::ns(1)), Time(Time::ns(6).Fs, 0, 0));
+  // An epsilon span stays within the current delta.
+  EXPECT_EQ(driveTarget(Now, Time::eps()), Time(Time::ns(5).Fs, 3, 3));
+}
+
+TEST(SchedulerTest, EqualTimeEventsMergeInScheduleOrder) {
+  // Events at the same time land in one slot and pop in scheduling
+  // order — in the fast lane and in the heap lane alike. Engines rely
+  // on this for last-write-wins determinism.
+  Scheduler S;
+  Time Current(0, 1, 0);        // Fast lane (current instant).
+  Time Future = Time::ns(7);    // Heap lane.
+  for (uint64_t I = 0; I != 4; ++I) {
+    S.scheduleUpdate(Current, update(I));
+    S.scheduleUpdate(Future, update(100 + I));
+  }
+
+  std::vector<SigUpdate> U;
+  std::vector<ProcWake> W;
+  ASSERT_EQ(S.nextTime(), Current);
+  S.pop(U, W);
+  ASSERT_EQ(U.size(), 4u);
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(U[I].Driver, I);
+
+  ASSERT_EQ(S.nextTime(), Future);
+  S.pop(U, W);
+  ASSERT_EQ(U.size(), 4u);
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(U[I].Driver, 100 + I);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(SchedulerTest, HeapLaneOrdersInterleavedPastAndFutureSchedules) {
+  // Schedules arrive out of order, interleaved with pops that advance
+  // the head instant; pops must still come out in global time order.
+  Scheduler S;
+  std::vector<SigUpdate> U;
+  std::vector<ProcWake> W;
+
+  S.scheduleUpdate(Time::ns(5), update(5));
+  S.scheduleUpdate(Time::ns(1), update(1));
+  S.scheduleUpdate(Time::ns(9), update(9));
+
+  EXPECT_EQ(S.nextTime(), Time::ns(1));
+  S.pop(U, W); // Head instant is now 1ns.
+  ASSERT_EQ(U.size(), 1u);
+  EXPECT_EQ(U[0].Driver, 1u);
+
+  // Current-instant deltas (fast lane), a nearer future time than the
+  // pending 5ns, and one at a pending instant's delta.
+  S.scheduleUpdate(Time(Time::ns(1).Fs, 1, 0), update(11));
+  S.scheduleUpdate(Time::ns(3), update(3));
+  S.scheduleUpdate(Time(Time::ns(5).Fs, 2, 0), update(52));
+
+  std::vector<Time> Rest = drain(S);
+  ASSERT_EQ(Rest.size(), 5u);
+  EXPECT_EQ(Rest[0], Time(Time::ns(1).Fs, 1, 0));
+  EXPECT_EQ(Rest[1], Time::ns(3));
+  EXPECT_EQ(Rest[2], Time::ns(5));
+  EXPECT_EQ(Rest[3], Time(Time::ns(5).Fs, 2, 0));
+  EXPECT_EQ(Rest[4], Time::ns(9));
+}
+
+TEST(SchedulerTest, SameInstantHeapSlotsMigrateToFastLane) {
+  // Two slots at the same future instant but different deltas: popping
+  // the first anchors the instant; the second must still pop next, and
+  // new same-instant schedules merge with it.
+  Scheduler S;
+  std::vector<SigUpdate> U;
+  std::vector<ProcWake> W;
+  S.scheduleUpdate(Time::ns(2), update(1));
+  S.scheduleUpdate(Time(Time::ns(2).Fs, 1, 0), update(2));
+
+  S.pop(U, W);
+  ASSERT_EQ(U.size(), 1u);
+  EXPECT_EQ(U[0].Driver, 1u);
+
+  // Merge into the migrated delta-1 slot.
+  S.scheduleUpdate(Time(Time::ns(2).Fs, 1, 0), update(3));
+  EXPECT_EQ(S.nextTime(), Time(Time::ns(2).Fs, 1, 0));
+  S.pop(U, W);
+  ASSERT_EQ(U.size(), 2u);
+  EXPECT_EQ(U[0].Driver, 2u);
+  EXPECT_EQ(U[1].Driver, 3u);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(SchedulerTest, WakesAndUpdatesShareSlots) {
+  Scheduler S;
+  std::vector<SigUpdate> U;
+  std::vector<ProcWake> W;
+  S.scheduleWake(Time::ns(1), {7, 42});
+  S.scheduleUpdate(Time::ns(1), update(1));
+  S.scheduleWake(Time::ns(1), {8, 43});
+
+  S.pop(U, W);
+  ASSERT_EQ(U.size(), 1u);
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_EQ(W[0].Proc, 7u);
+  EXPECT_EQ(W[0].Gen, 42u);
+  EXPECT_EQ(W[1].Proc, 8u);
+  EXPECT_TRUE(S.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Stale-timer generation guard (through the event loop)
+//===----------------------------------------------------------------------===//
+
+struct SchedulerSimTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+
+  InterpSim makeSim(const char *Src, const std::string &Top) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Design D = elaborate(M, Top);
+    EXPECT_TRUE(D.ok()) << D.Error;
+    return InterpSim(std::move(D));
+  }
+};
+
+TEST_F(SchedulerSimTest, StaleTimerDoesNotRewakeProcess) {
+  // The process waits on %a with a 10ns timeout; %a changes at 1ns.
+  // The 10ns timer (scheduled with the old generation) must not fire
+  // the process out of its second wait, so the counter stays at 1 and
+  // the run ends at the second wait's own 20ns timeout.
+  InterpSim Sim = makeSim(R"(
+entity @top () -> () {
+  %zero1 = const i1 0
+  %zero8 = const i8 0
+  %a = sig i1 %zero1
+  %cnt = sig i8 %zero8
+  inst @waiter (i1$ %a) -> (i8$ %cnt)
+  inst @stim () -> (i1$ %a)
+}
+proc @waiter (i1$ %a) -> (i8$ %cnt) {
+entry:
+  %t10 = const time 10ns
+  wait %woke for %a, %t10
+woke:
+  %c = prb i8$ %cnt
+  %one = const i8 1
+  %n = add i8 %c, %one
+  %zt = const time 0s
+  drv i8$ %cnt, %n after %zt
+  %t20 = const time 20ns
+  wait %done for %t20
+done:
+  halt
+}
+proc @stim () -> (i1$ %a) {
+entry:
+  %b1 = const i1 1
+  %t1 = const time 1ns
+  drv i1$ %a, %b1 after %t1
+  halt
+}
+)", "top");
+  SimStats St = Sim.run();
+  EXPECT_TRUE(St.Finished);
+
+  const SignalTable &Sig = Sim.signals();
+  for (SignalId I = 0; I != Sig.size(); ++I)
+    if (Sig.name(I).find("/cnt") != std::string::npos)
+      EXPECT_EQ(Sig.value(I).intValue().zextToU64(), 1u)
+          << "stale timer re-woke the process";
+  // Woken at 1ns by the signal, halted at 1ns + 20ns.
+  EXPECT_EQ(St.EndTime.Fs, Time::ns(21).Fs);
+}
+
+} // namespace
