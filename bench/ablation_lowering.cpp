@@ -36,17 +36,21 @@ final:
 int main() {
   printf("Ablation: which lowering stages are required to lower the\n");
   printf("combinational accumulator process to an entity (Figure 5)?\n\n");
-  printf("%-28s %-10s %s\n", "Configuration", "Lowered?", "Level");
+  printf("%-28s %-10s %-12s %s\n", "Configuration", "Lowered?", "Level",
+         "Pipeline");
 
+  // Each configuration is a pass-manager pipeline string with one stage
+  // elided (passes/PassManager.h).
   struct Config {
     const char *Name;
-    bool Ecm, Tcm, Tcfe;
+    const char *Pipeline;
   } Configs[] = {
-      {"full pipeline", true, true, true},
-      {"without ECM", false, true, true},
-      {"without TCM", true, false, true},
-      {"without TCFE", true, true, false},
-      {"without ECM+TCM+TCFE", false, false, false},
+      {"full pipeline", "std<fixpoint>,ecm,std<fixpoint>,tcm,tcfe,"
+                        "std<fixpoint>"},
+      {"without ECM", "std<fixpoint>,tcm,tcfe,std<fixpoint>"},
+      {"without TCM", "std<fixpoint>,ecm,std<fixpoint>,tcfe,std<fixpoint>"},
+      {"without TCFE", "std<fixpoint>,ecm,std<fixpoint>,tcm,std<fixpoint>"},
+      {"without ECM+TCM+TCFE", "std<fixpoint>"},
   };
 
   for (const Config &C : Configs) {
@@ -55,15 +59,16 @@ int main() {
     if (!parseModule(ACC_COMB, M).Ok)
       return 1;
     Unit *P = M.unitByName("acc_comb");
-    runStandardOptimizations(*P);
-    if (C.Ecm)
-      earlyCodeMotion(*P);
-    runStandardOptimizations(*P);
-    if (C.Tcm)
-      temporalCodeMotion(*P);
-    if (C.Tcfe)
-      totalControlFlowElim(*P);
-    runStandardOptimizations(*P);
+
+    UnitAnalysisManager AM;
+    UnitPassManager UPM;
+    std::string Error;
+    if (!UPM.addPipeline(C.Pipeline, &Error)) {
+      printf("bad pipeline '%s': %s\n", C.Pipeline, Error.c_str());
+      return 1;
+    }
+    UPM.run(*P, AM);
+
     std::vector<std::string> Notes;
     // P may be replaced inside M; look it up again afterwards.
     bool Lowered = desequentialize(M, *P, Notes);
@@ -73,8 +78,9 @@ int main() {
         Lowered = processLowering(M, *Cur, Notes);
     }
     Unit *Result = M.unitByName("acc_comb");
-    printf("%-28s %-10s %s\n", C.Name, Lowered ? "yes" : "no",
-           Result && Result->isEntity() ? "structural" : "behavioural");
+    printf("%-28s %-10s %-12s %s\n", C.Name, Lowered ? "yes" : "no",
+           Result && Result->isEntity() ? "structural" : "behavioural",
+           C.Pipeline);
   }
   printf("\nExpected: only the full pipeline (and configurations where a\n"
          "missing stage is subsumed for this simple input) reach "

@@ -68,11 +68,21 @@ int main() {
   printf("level before lowering: %s\n\n",
          irLevelName(classifyModule(M)));
 
-  LoweringResult LR = lowerToStructural(M);
+  printf("pipeline: %s\n\n", kLoweringPipeline);
+  LoweringOptions Opts;
+  Opts.VerifyEach = true; // Demo the safety net; failures become notes.
+  LoweringResult LR = lowerToStructural(M, Opts);
   for (const std::string &N : LR.Notes)
     printf("note: %s\n", N.c_str());
   for (const std::string &Rej : LR.Rejected)
     printf("rejected: %s\n", Rej.c_str());
+
+  printf("\n==== Per-pass statistics ====\n%s",
+         LR.Stats.toString().c_str());
+  printf("analysis cache: %llu hits / %llu misses (%.0f%% hit rate)\n",
+         (unsigned long long)LR.AnalysisStats.Hits,
+         (unsigned long long)LR.AnalysisStats.Misses,
+         LR.AnalysisStats.hitRate() * 100.0);
 
   printf("\n==== Structural LLHD (Figure 5, right) ====\n%s\n",
          printModule(M).c_str());

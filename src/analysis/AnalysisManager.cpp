@@ -1,0 +1,112 @@
+//===- analysis/AnalysisManager.cpp - Cached unit analyses ------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+using namespace llhd;
+
+void PreservedAnalyses::intersect(const PreservedAnalyses &O) {
+  if (O.isAll())
+    return;
+  if (All) {
+    All = false;
+    Keys = O.Keys;
+    return;
+  }
+  std::set<AnalysisKey> Out;
+  for (AnalysisKey K : Keys)
+    if (O.preserved(K))
+      Out.insert(K);
+  Keys = std::move(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis registrations.
+//===----------------------------------------------------------------------===//
+
+AnalysisKey CfgAnalysis::key() {
+  static char ID;
+  return &ID;
+}
+CfgInfo CfgAnalysis::run(Unit &U, UnitAnalysisManager &) { return CfgInfo(U); }
+
+AnalysisKey DominatorTreeAnalysis::key() {
+  static char ID;
+  return &ID;
+}
+DominatorTree DominatorTreeAnalysis::run(Unit &U, UnitAnalysisManager &AM) {
+  return DominatorTree(U, AM.get<CfgAnalysis>(U));
+}
+
+AnalysisKey TemporalRegionsAnalysis::key() {
+  static char ID;
+  return &ID;
+}
+TemporalRegions TemporalRegionsAnalysis::run(Unit &U, UnitAnalysisManager &) {
+  return TemporalRegions(U);
+}
+
+AnalysisKey DominanceFrontiersAnalysis::key() {
+  static char ID;
+  return &ID;
+}
+DominanceFrontiers DominanceFrontiersAnalysis::run(Unit &U,
+                                                   UnitAnalysisManager &AM) {
+  return DominanceFrontiers(U, AM.get<DominatorTreeAnalysis>(U));
+}
+
+//===----------------------------------------------------------------------===//
+// The manager.
+//===----------------------------------------------------------------------===//
+
+void UnitAnalysisManager::invalidate(Unit &U, const PreservedAnalyses &PA) {
+  if (PA.isAll())
+    return;
+  auto It = Results.find(&U);
+  if (It == Results.end())
+    return;
+
+  // Enforce the dependency chain: a dropped parent drops its children.
+  bool DropCfg = !PA.preserved(CfgAnalysis::key());
+  bool DropDom = DropCfg || !PA.preserved(DominatorTreeAnalysis::key());
+  auto ShouldDrop = [&](AnalysisKey K) {
+    if (K == CfgAnalysis::key())
+      return DropCfg;
+    if (K == DominatorTreeAnalysis::key())
+      return DropDom;
+    if (K == DominanceFrontiersAnalysis::key())
+      return DropDom || !PA.preserved(DominanceFrontiersAnalysis::key());
+    if (K == TemporalRegionsAnalysis::key())
+      return DropCfg || !PA.preserved(TemporalRegionsAnalysis::key());
+    return !PA.preserved(K);
+  };
+
+  auto &UnitMap = It->second;
+  for (auto KV = UnitMap.begin(); KV != UnitMap.end();) {
+    if (ShouldDrop(KV->first)) {
+      KV = UnitMap.erase(KV);
+      ++TheStats.Invalidations;
+    } else {
+      ++KV;
+    }
+  }
+  if (UnitMap.empty())
+    Results.erase(It);
+}
+
+void UnitAnalysisManager::invalidateAll(Unit &U) {
+  auto It = Results.find(&U);
+  if (It == Results.end())
+    return;
+  TheStats.Invalidations += It->second.size();
+  Results.erase(It);
+}
+
+void UnitAnalysisManager::clear() { Results.clear(); }
+
+PreservedAnalyses llhd::preserveCfgAnalyses() {
+  return PreservedAnalyses::none()
+      .preserve<CfgAnalysis>()
+      .preserve<DominatorTreeAnalysis>()
+      .preserve<TemporalRegionsAnalysis>()
+      .preserve<DominanceFrontiersAnalysis>();
+}

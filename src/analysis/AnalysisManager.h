@@ -1,0 +1,190 @@
+//===- analysis/AnalysisManager.h - Cached unit analyses --------*- C++ -*-===//
+//
+// The analysis half of the pass infrastructure (DESIGN.md, "Pass
+// infrastructure"): a per-unit cache of analysis results keyed by an
+// analysis ID. Passes request analyses through get<>() instead of
+// constructing them, and report a PreservedAnalyses set afterwards that
+// drives invalidation — so a pass that does not touch the CFG lets the
+// next pass reuse the DominatorTree for free.
+//
+// Registered analyses and their dependency chain:
+//   CfgAnalysis -> DominatorTreeAnalysis -> DominanceFrontiersAnalysis
+//   CfgAnalysis -> TemporalRegionsAnalysis
+// invalidate() enforces the chain: dropping a parent drops its children
+// even if the caller's PreservedAnalyses claims otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_ANALYSISMANAGER_H
+#define LLHD_ANALYSIS_ANALYSISMANAGER_H
+
+#include "analysis/Cfg.h"
+#include "analysis/DominanceFrontiers.h"
+#include "analysis/Dominators.h"
+#include "analysis/TemporalRegions.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+
+namespace llhd {
+
+class UnitAnalysisManager;
+
+/// Opaque identity of one analysis type.
+using AnalysisKey = const void *;
+
+/// The set of analyses a pass left intact. Passes return this from their
+/// managed entry point; the manager intersects it with the cache.
+class PreservedAnalyses {
+public:
+  /// Nothing changed: every cached result stays valid.
+  static PreservedAnalyses all() {
+    PreservedAnalyses P;
+    P.All = true;
+    return P;
+  }
+  /// The IR changed arbitrarily: drop everything.
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  PreservedAnalyses &preserve(AnalysisKey K) {
+    Keys.insert(K);
+    return *this;
+  }
+  template <typename AnalysisT> PreservedAnalyses &preserve() {
+    return preserve(AnalysisT::key());
+  }
+
+  bool isAll() const { return All; }
+  bool preserved(AnalysisKey K) const { return All || Keys.count(K); }
+
+  /// Combines with a second set (a pipeline preserves the intersection).
+  void intersect(const PreservedAnalyses &O);
+
+private:
+  bool All = false;
+  std::set<AnalysisKey> Keys;
+};
+
+//===----------------------------------------------------------------------===//
+// Analysis registrations.
+//===----------------------------------------------------------------------===//
+
+/// CFG orderings (RPO, reachability).
+struct CfgAnalysis {
+  using Result = CfgInfo;
+  static AnalysisKey key();
+  static constexpr const char *Name = "cfg";
+  static Result run(Unit &U, UnitAnalysisManager &AM);
+};
+
+/// Dominator tree, built on the cached CFG ordering.
+struct DominatorTreeAnalysis {
+  using Result = DominatorTree;
+  static AnalysisKey key();
+  static constexpr const char *Name = "domtree";
+  static Result run(Unit &U, UnitAnalysisManager &AM);
+};
+
+/// Temporal regions (§4.3.1).
+struct TemporalRegionsAnalysis {
+  using Result = TemporalRegions;
+  static AnalysisKey key();
+  static constexpr const char *Name = "temporal-regions";
+  static Result run(Unit &U, UnitAnalysisManager &AM);
+};
+
+/// Dominance frontiers, built on the cached dominator tree.
+struct DominanceFrontiersAnalysis {
+  using Result = DominanceFrontiers;
+  static AnalysisKey key();
+  static constexpr const char *Name = "dom-frontiers";
+  static Result run(Unit &U, UnitAnalysisManager &AM);
+};
+
+//===----------------------------------------------------------------------===//
+// The manager.
+//===----------------------------------------------------------------------===//
+
+/// Per-unit analysis cache. Not thread-safe: the parallel module
+/// scheduler gives every worker thread its own manager.
+class UnitAnalysisManager {
+public:
+  struct Stats {
+    uint64_t Hits = 0;          ///< get<>() served from the cache.
+    uint64_t Misses = 0;        ///< get<>() had to run the analysis.
+    uint64_t Invalidations = 0; ///< Cached results dropped.
+
+    void merge(const Stats &O) {
+      Hits += O.Hits;
+      Misses += O.Misses;
+      Invalidations += O.Invalidations;
+    }
+    double hitRate() const {
+      uint64_t Total = Hits + Misses;
+      return Total ? double(Hits) / double(Total) : 0.0;
+    }
+  };
+
+  /// Cached (or freshly computed) result of \p AnalysisT on \p U.
+  template <typename AnalysisT> typename AnalysisT::Result &get(Unit &U) {
+    AnalysisKey K = AnalysisT::key();
+    auto &UnitMap = Results[&U];
+    auto It = UnitMap.find(K);
+    if (It != UnitMap.end()) {
+      ++TheStats.Hits;
+      return static_cast<Model<typename AnalysisT::Result> *>(It->second.get())
+          ->Value;
+    }
+    ++TheStats.Misses;
+    // Run outside the map slot: the analysis may recursively request its
+    // own inputs (std::map nodes are stable, but the iterator position of
+    // an un-inserted slot is not).
+    auto Holder = std::make_unique<Model<typename AnalysisT::Result>>(
+        AnalysisT::run(U, *this));
+    auto *Ptr = Holder.get();
+    Results[&U][K] = std::move(Holder);
+    return Ptr->Value;
+  }
+
+  /// True if \p AnalysisT is currently cached for \p U (test hook).
+  template <typename AnalysisT> bool isCached(const Unit &U) const {
+    auto It = Results.find(&U);
+    return It != Results.end() && It->second.count(AnalysisT::key());
+  }
+
+  /// Drops every result for \p U that \p PA does not preserve, honouring
+  /// the analysis dependency chain.
+  void invalidate(Unit &U, const PreservedAnalyses &PA);
+
+  /// Drops every result for \p U (CFG surgery mid-pass).
+  void invalidateAll(Unit &U);
+
+  /// Forgets everything (also use when a unit is erased).
+  void clear();
+
+  const Stats &stats() const { return TheStats; }
+
+private:
+  struct Concept {
+    virtual ~Concept() = default;
+  };
+  template <typename T> struct Model : Concept {
+    explicit Model(T &&V) : Value(std::move(V)) {}
+    T Value;
+  };
+
+  std::map<const Unit *, std::map<AnalysisKey, std::unique_ptr<Concept>>>
+      Results;
+  Stats TheStats;
+};
+
+/// Convenience: the PreservedAnalyses set of a pass that edited
+/// instructions but left the block structure alone (all four CFG-shaped
+/// analyses survive).
+PreservedAnalyses preserveCfgAnalyses();
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_ANALYSISMANAGER_H

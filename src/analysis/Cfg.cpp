@@ -39,6 +39,15 @@ std::vector<BasicBlock *> llhd::unreachableBlocks(Unit &U) {
   return Result;
 }
 
+CfgInfo::CfgInfo(Unit &U) {
+  Rpo = reversePostOrder(U);
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+  for (BasicBlock *BB : U.blocks())
+    if (!RpoIndex.count(BB))
+      Unreachable.push_back(BB);
+}
+
 void llhd::redirectEdges(BasicBlock *Pred, BasicBlock *From, BasicBlock *To) {
   Instruction *T = Pred->terminator();
   assert(T && "predecessor has no terminator");

@@ -9,6 +9,7 @@
 
 #include "ir/Unit.h"
 
+#include <map>
 #include <vector>
 
 namespace llhd {
@@ -18,6 +19,35 @@ std::vector<BasicBlock *> reversePostOrder(Unit &U);
 
 /// Blocks not reachable from the entry block.
 std::vector<BasicBlock *> unreachableBlocks(Unit &U);
+
+/// Cached CFG orderings of one unit: reverse post-order, per-block RPO
+/// indices and the unreachable-block set. This is the cheapest of the
+/// cached analyses (see DESIGN.md, "Pass infrastructure") and the input
+/// to the dominator computation. Invalidated by any CFG edit.
+class CfgInfo {
+public:
+  explicit CfgInfo(Unit &U);
+
+  /// Reachable blocks in reverse post-order (entry first).
+  const std::vector<BasicBlock *> &rpo() const { return Rpo; }
+
+  /// Blocks not reachable from the entry, in unit block order.
+  const std::vector<BasicBlock *> &unreachable() const { return Unreachable; }
+
+  bool isReachable(const BasicBlock *BB) const { return RpoIndex.count(BB); }
+
+  /// RPO position of a reachable block.
+  unsigned rpoIndexOf(const BasicBlock *BB) const {
+    auto It = RpoIndex.find(BB);
+    assert(It != RpoIndex.end() && "block is unreachable");
+    return It->second;
+  }
+
+private:
+  std::vector<BasicBlock *> Rpo;
+  std::vector<BasicBlock *> Unreachable;
+  std::map<const BasicBlock *, unsigned> RpoIndex;
+};
 
 /// Rewrites the terminator of \p Pred so that edges to \p From point to
 /// \p To, and updates phis in \p From/\p To accordingly is left to callers.

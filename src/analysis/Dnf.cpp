@@ -2,12 +2,86 @@
 
 #include "analysis/Dnf.h"
 
+#include "ir/Unit.h"
+
 #include <algorithm>
+#include <functional>
 #include <set>
+#include <tuple>
 
 using namespace llhd;
 
 static const unsigned MaxDepth = 32;
+
+/// Stable, heap-layout-independent ordering key of a value: arguments by
+/// direction and index, instructions by (block position, instruction
+/// position) within their unit. Distinct values always have distinct
+/// keys, so this is a strict total order wherever DNF literals can come
+/// from.
+static std::tuple<int, unsigned, unsigned> positionKey(const Value *V) {
+  if (const auto *A = dyn_cast<Argument>(V))
+    return {0, A->isInput() ? 0u : 1u, A->index()};
+  if (const auto *I = dyn_cast<Instruction>(V)) {
+    const BasicBlock *BB = I->parent();
+    const Unit *U = BB ? BB->parent() : nullptr;
+    unsigned BlockIdx = 0;
+    if (U)
+      for (const BasicBlock *Cand : U->blocks()) {
+        if (Cand == BB)
+          break;
+        ++BlockIdx;
+      }
+    return {1, BlockIdx, BB ? BB->indexOf(I) : 0};
+  }
+  return {2, 0, 0};
+}
+
+bool DnfLiteral::operator<(const DnfLiteral &RHS) const {
+  if (Val != RHS.Val) {
+    auto K = positionKey(Val), RK = positionKey(RHS.Val);
+    if (K != RK)
+      return K < RK;
+    return Val < RHS.Val; // Unreachable for parented values; last resort.
+  }
+  return Negated < RHS.Negated;
+}
+
+namespace {
+
+/// Comparator used by normalise(): same order as DnfLiteral::operator<,
+/// but with the position keys memoised so sorting does not recompute the
+/// O(unit-size) key per comparison.
+struct LiteralOrder {
+  mutable std::map<const Value *, std::tuple<int, unsigned, unsigned>> Keys;
+
+  const std::tuple<int, unsigned, unsigned> &keyOf(const Value *V) const {
+    auto It = Keys.find(V);
+    if (It == Keys.end())
+      It = Keys.emplace(V, positionKey(V)).first;
+    return It->second;
+  }
+
+  bool operator()(const DnfLiteral &A, const DnfLiteral &B) const {
+    if (A.Val != B.Val) {
+      const auto &KA = keyOf(A.Val);
+      const auto &KB = keyOf(B.Val);
+      if (KA != KB)
+        return KA < KB;
+      return A.Val < B.Val;
+    }
+    return A.Negated < B.Negated;
+  }
+  bool operator()(const DnfTerm &A, const DnfTerm &B) const {
+    return std::lexicographical_compare(A.begin(), A.end(), B.begin(),
+                                        B.end(),
+                                        [this](const DnfLiteral &X,
+                                               const DnfLiteral &Y) {
+                                          return (*this)(X, Y);
+                                        });
+  }
+};
+
+} // namespace
 
 Dnf Dnf::of(Value *V, unsigned MaxTerms) {
   assert(V->type()->isBool() && "DNF over non-boolean value");
@@ -103,9 +177,12 @@ Dnf Dnf::andOf(const Dnf &A, const Dnf &B, unsigned MaxTerms) {
 }
 
 void Dnf::normalise() {
+  // std::ref: sort copies its comparator, and the key memo must be
+  // shared across every sort of this normalisation.
+  LiteralOrder Order;
   std::vector<DnfTerm> Out;
   for (DnfTerm &T : Terms) {
-    std::sort(T.begin(), T.end());
+    std::sort(T.begin(), T.end(), std::ref(Order));
     T.erase(std::unique(T.begin(), T.end()), T.end());
     // Drop terms containing x ∧ ¬x.
     bool Contradiction = false;
@@ -115,7 +192,7 @@ void Dnf::normalise() {
     if (!Contradiction)
       Out.push_back(std::move(T));
   }
-  std::sort(Out.begin(), Out.end());
+  std::sort(Out.begin(), Out.end(), std::ref(Order));
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   // If any term is empty, the whole DNF is true.
   for (const DnfTerm &T : Out)

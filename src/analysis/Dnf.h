@@ -25,9 +25,12 @@ struct DnfLiteral {
   bool operator==(const DnfLiteral &RHS) const {
     return Val == RHS.Val && Negated == RHS.Negated;
   }
-  bool operator<(const DnfLiteral &RHS) const {
-    return Val != RHS.Val ? Val < RHS.Val : Negated < RHS.Negated;
-  }
+  /// Orders by program position (argument index / instruction position),
+  /// not by pointer: DNF term order decides the order in which deseq
+  /// emits reg triggers and gating chains, and that output must not
+  /// depend on heap layout (serial and parallel lowering print
+  /// identically).
+  bool operator<(const DnfLiteral &RHS) const;
 };
 
 /// A conjunction of literals (sorted, duplicate-free).

@@ -1,0 +1,23 @@
+//===- analysis/DominanceFrontiers.cpp - Dominance frontiers ----------------===//
+
+#include "analysis/DominanceFrontiers.h"
+#include "analysis/Dominators.h"
+
+using namespace llhd;
+
+DominanceFrontiers::DominanceFrontiers(Unit &U, const DominatorTree &DT) {
+  // Cytron et al.: a join block is in the frontier of every predecessor
+  // chain up to (but excluding) its immediate dominator.
+  for (BasicBlock *BB : U.blocks()) {
+    auto Preds = BB->predecessors();
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *P : Preds) {
+      BasicBlock *Runner = P;
+      while (Runner && Runner != DT.idom(BB)) {
+        DF[Runner].insert(BB);
+        Runner = DT.idom(Runner);
+      }
+    }
+  }
+}

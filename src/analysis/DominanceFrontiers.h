@@ -1,0 +1,40 @@
+//===- analysis/DominanceFrontiers.h - Dominance frontiers ------*- C++ -*-===//
+//
+// Per-block dominance frontiers (Cytron et al.), lifted out of Mem2Reg so
+// the phi-placement sets can be cached and shared across promotion runs
+// through the AnalysisManager (see DESIGN.md, "Pass infrastructure").
+// Derived from the DominatorTree; invalidated by any CFG edit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_DOMINANCEFRONTIERS_H
+#define LLHD_ANALYSIS_DOMINANCEFRONTIERS_H
+
+#include "ir/Unit.h"
+
+#include <map>
+#include <set>
+
+namespace llhd {
+
+class DominatorTree;
+
+/// Dominance frontier sets for every block of one unit.
+class DominanceFrontiers {
+public:
+  DominanceFrontiers(Unit &U, const DominatorTree &DT);
+
+  /// Frontier of \p BB (empty set if BB has none or is unreachable).
+  const std::set<BasicBlock *> &frontierOf(BasicBlock *BB) const {
+    auto It = DF.find(BB);
+    return It == DF.end() ? Empty : It->second;
+  }
+
+private:
+  std::map<BasicBlock *, std::set<BasicBlock *>> DF;
+  std::set<BasicBlock *> Empty;
+};
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_DOMINANCEFRONTIERS_H

@@ -9,7 +9,17 @@ DominatorTree::DominatorTree(Unit &U) {
   if (!U.hasBody())
     return;
   Entry = U.entry();
-  std::vector<BasicBlock *> RPO = reversePostOrder(U);
+  compute(reversePostOrder(U));
+}
+
+DominatorTree::DominatorTree(Unit &U, const CfgInfo &Cfg) {
+  if (!U.hasBody())
+    return;
+  Entry = U.entry();
+  compute(Cfg.rpo());
+}
+
+void DominatorTree::compute(const std::vector<BasicBlock *> &RPO) {
   for (unsigned I = 0; I != RPO.size(); ++I)
     RpoIndex[RPO[I]] = I;
 

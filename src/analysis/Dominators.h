@@ -16,10 +16,15 @@
 
 namespace llhd {
 
+class CfgInfo;
+
 /// Dominator tree over the blocks of one unit. Invalidated by CFG edits.
 class DominatorTree {
 public:
   explicit DominatorTree(Unit &U);
+  /// Construction from a precomputed CFG ordering (the cached-analysis
+  /// path: shares the RPO instead of re-walking the CFG).
+  DominatorTree(Unit &U, const CfgInfo &Cfg);
 
   /// Immediate dominator; null for the entry block and unreachable blocks.
   BasicBlock *idom(const BasicBlock *BB) const;
@@ -39,6 +44,8 @@ public:
   }
 
 private:
+  void compute(const std::vector<BasicBlock *> &RPO);
+
   BasicBlock *Entry = nullptr;
   std::map<const BasicBlock *, BasicBlock *> IDom;
   std::map<const BasicBlock *, unsigned> RpoIndex;

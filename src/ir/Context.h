@@ -12,11 +12,15 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace llhd {
 
-/// Uniquing context for LLHD types.
+/// Uniquing context for LLHD types. The factory methods are internally
+/// locked: units that share a Context may be transformed on different
+/// threads (the parallel lowering scheduler), and creating a type is the
+/// only Context mutation those transforms perform.
 class Context {
 public:
   Context();
@@ -40,6 +44,7 @@ public:
   size_t memoryFootprint() const;
 
 private:
+  mutable std::mutex Mutex;
   std::unique_ptr<VoidType> Void;
   std::unique_ptr<TimeType> TimeTy;
   std::map<unsigned, std::unique_ptr<IntType>> IntTypes;

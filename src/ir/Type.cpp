@@ -107,6 +107,7 @@ Context::Context() {
 Context::~Context() = default;
 
 IntType *Context::intType(unsigned Width) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = IntTypes[Width];
   if (!Slot)
     Slot.reset(new IntType(*this, Width));
@@ -114,6 +115,7 @@ IntType *Context::intType(unsigned Width) {
 }
 
 EnumType *Context::enumType(unsigned NumValues) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = EnumTypes[NumValues];
   if (!Slot)
     Slot.reset(new EnumType(*this, NumValues));
@@ -121,6 +123,7 @@ EnumType *Context::enumType(unsigned NumValues) {
 }
 
 LogicType *Context::logicType(unsigned Width) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = LogicTypes[Width];
   if (!Slot)
     Slot.reset(new LogicType(*this, Width));
@@ -128,6 +131,7 @@ LogicType *Context::logicType(unsigned Width) {
 }
 
 PointerType *Context::pointerType(Type *Pointee) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = PointerTypes[Pointee];
   if (!Slot)
     Slot.reset(new PointerType(*this, Pointee));
@@ -135,6 +139,7 @@ PointerType *Context::pointerType(Type *Pointee) {
 }
 
 SignalType *Context::signalType(Type *Inner) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = SignalTypes[Inner];
   if (!Slot)
     Slot.reset(new SignalType(*this, Inner));
@@ -142,6 +147,7 @@ SignalType *Context::signalType(Type *Inner) {
 }
 
 ArrayType *Context::arrayType(unsigned Length, Type *Element) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = ArrayTypes[{Length, Element}];
   if (!Slot)
     Slot.reset(new ArrayType(*this, Length, Element));
@@ -149,6 +155,7 @@ ArrayType *Context::arrayType(unsigned Length, Type *Element) {
 }
 
 StructType *Context::structType(std::vector<Type *> Fields) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto &Slot = StructTypes[Fields];
   if (!Slot)
     Slot.reset(new StructType(*this, std::move(Fields)));
@@ -156,6 +163,7 @@ StructType *Context::structType(std::vector<Type *> Fields) {
 }
 
 size_t Context::memoryFootprint() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   size_t N = sizeof(Context);
   N += IntTypes.size() * (sizeof(IntType) + 48);
   N += EnumTypes.size() * (sizeof(EnumType) + 48);

@@ -42,6 +42,7 @@ public:
 
 private:
   friend class User;
+  friend class Value;
   void init(User *U, unsigned I) {
     Usr = U;
     Index = I;
@@ -50,6 +51,9 @@ private:
   Value *Val = nullptr;
   User *Usr = nullptr;
   unsigned Index = 0;
+  /// Position inside the used Value's use list, maintained by
+  /// Value::addUse/removeUse so unregistering is O(1).
+  unsigned ListIndex = 0;
 };
 
 /// Base class of everything that can be used as an operand.
@@ -88,11 +92,20 @@ protected:
 
 private:
   friend class Use;
-  void addUse(Use *U) { UseList.push_back(U); }
+  void addUse(Use *U) {
+    U->ListIndex = UseList.size();
+    UseList.push_back(U);
+  }
+  /// Swap-with-back removal: use-list order is not semantic, so
+  /// unregistering a use is O(1) instead of a linear scan — RAUW-heavy
+  /// passes tear down thousands of uses per unit.
   void removeUse(Use *U) {
-    auto It = std::find(UseList.begin(), UseList.end(), U);
-    assert(It != UseList.end() && "use not registered");
-    UseList.erase(It);
+    assert(U->ListIndex < UseList.size() && UseList[U->ListIndex] == U &&
+           "use not registered");
+    Use *Back = UseList.back();
+    UseList[U->ListIndex] = Back;
+    Back->ListIndex = U->ListIndex;
+    UseList.pop_back();
   }
 
   Kind TheKind;

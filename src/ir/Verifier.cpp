@@ -2,7 +2,10 @@
 
 #include "ir/Verifier.h"
 
+#include "analysis/Dominators.h"
+
 #include <map>
+#include <optional>
 #include <set>
 
 using namespace llhd;
@@ -34,7 +37,10 @@ public:
       return false;
     }
     checkBlocks();
-    computeDominators();
+    // Definitions must dominate uses; the shared dominator analysis
+    // (analysis/Dominators.h) answers the queries. Unreachable blocks are
+    // dominated by nothing, matching the old private bitset computation.
+    DT.emplace(const_cast<Unit &>(U));
     for (const BasicBlock *BB : U.blocks())
       for (const Instruction *I : BB->insts())
         checkInst(*I);
@@ -91,55 +97,11 @@ private:
   }
 
   //===------------------------------------------------------------------===//
-  // Dominance. Standard iterative dominator computation over the block
-  // graph; definitions must dominate uses.
+  // Dominance.
   //===------------------------------------------------------------------===//
 
-  void computeDominators() {
-    const auto &Blocks = U.blocks();
-    if (Blocks.empty())
-      return;
-    std::map<const BasicBlock *, unsigned> Index;
-    for (unsigned I = 0; I != Blocks.size(); ++I)
-      Index[Blocks[I]] = I;
-    unsigned N = Blocks.size();
-    // Dom sets as bitsets; start full except entry.
-    std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
-    Dom[0].assign(N, false);
-    Dom[0][0] = true;
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (unsigned I = 1; I != N; ++I) {
-        std::vector<bool> NewDom(N, true);
-        bool AnyPred = false;
-        for (const BasicBlock *P : Blocks[I]->predecessors()) {
-          auto It = Index.find(P);
-          if (It == Index.end())
-            continue;
-          AnyPred = true;
-          for (unsigned J = 0; J != N; ++J)
-            NewDom[J] = NewDom[J] && Dom[It->second][J];
-        }
-        if (!AnyPred)
-          NewDom.assign(N, false); // Unreachable: dominated by nothing.
-        NewDom[I] = true;
-        if (NewDom != Dom[I]) {
-          Dom[I] = NewDom;
-          Changed = true;
-        }
-      }
-    }
-    BlockIndex = std::move(Index);
-    DomSets = std::move(Dom);
-  }
-
   bool dominates(const BasicBlock *A, const BasicBlock *B) const {
-    auto AIt = BlockIndex.find(A);
-    auto BIt = BlockIndex.find(B);
-    if (AIt == BlockIndex.end() || BIt == BlockIndex.end())
-      return false;
-    return DomSets[BIt->second][AIt->second];
+    return DT && DT->isReachable(B) && DT->dominates(A, B);
   }
 
   /// True if def at \p Def is visible at use site (\p UseInst, operand to a
@@ -325,8 +287,7 @@ private:
 
   const Unit &U;
   std::vector<std::string> &Errors;
-  std::map<const BasicBlock *, unsigned> BlockIndex;
-  std::vector<std::vector<bool>> DomSets;
+  std::optional<DominatorTree> DT;
 };
 
 /// Opcode legality for IR levels.

@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Dominators.h"
+#include "analysis/AnalysisManager.h"
 #include "passes/Passes.h"
 
 #include <map>
@@ -68,6 +68,11 @@ bool cseable(Instruction *I) {
 } // namespace
 
 bool llhd::cse(Unit &U) {
+  UnitAnalysisManager AM;
+  return cse(U, AM);
+}
+
+bool llhd::cse(Unit &U, UnitAnalysisManager &AM) {
   if (!U.hasBody())
     return false;
   bool Changed = false;
@@ -92,8 +97,9 @@ bool llhd::cse(Unit &U) {
 
   // Control flow: walk the dominator tree; an instruction can reuse a
   // computation from any dominating block. Implemented as RPO scan with a
-  // per-key list of candidates filtered by dominance.
-  DominatorTree DT(U);
+  // per-key list of candidates filtered by dominance. CSE only erases
+  // instructions, so the cached tree stays valid throughout.
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(U);
   std::map<InstKey, std::vector<Instruction *>> Table;
   for (BasicBlock *BB : U.blocks()) {
     std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());

@@ -8,9 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Cfg.h"
-#include "analysis/Dominators.h"
-#include "analysis/TemporalRegions.h"
+#include "analysis/AnalysisManager.h"
 #include "passes/Passes.h"
 
 using namespace llhd;
@@ -29,19 +27,29 @@ BasicBlock *deeper(const DominatorTree &DT, BasicBlock *A, BasicBlock *B) {
 } // namespace
 
 bool llhd::earlyCodeMotion(Unit &U) {
+  UnitAnalysisManager AM;
+  return earlyCodeMotion(U, AM);
+}
+
+bool llhd::earlyCodeMotion(Unit &U, UnitAnalysisManager &AM) {
   if (!U.hasBody() || U.isEntity())
     return false;
   bool Changed = false;
+
+  // ECM moves instructions but never edits edges or blocks, so one fetch
+  // of the CFG-shaped analyses serves every hoisting round.
+  const CfgInfo &Cfg = AM.get<CfgAnalysis>(U);
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(U);
+  const TemporalRegions &TR = AM.get<TemporalRegionsAnalysis>(U);
+
   bool LocalChange = true;
   unsigned Rounds = 8;
   while (LocalChange && Rounds--) {
     LocalChange = false;
-    DominatorTree DT(U);
-    TemporalRegions TR(U);
     // RPO guarantees operands are re-placed before their users, keeping
     // in-block definition order intact as instructions pile up in front
     // of the target terminators.
-    for (BasicBlock *BB : reversePostOrder(U)) {
+    for (BasicBlock *BB : Cfg.rpo()) {
       std::vector<Instruction *> Insts(BB->insts().begin(),
                                        BB->insts().end());
       for (Instruction *I : Insts) {

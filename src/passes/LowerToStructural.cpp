@@ -1,36 +1,34 @@
 //===- passes/LowerToStructural.cpp - Figure 4 pipeline driver ---------------===//
 //
 // Runs the complete behavioural-to-structural lowering of §4 over a
-// module: per process, Inline → Unroll → Mem2Reg → {CF,IS,CSE,DCE}* →
-// ECM → TCM → TCFE → Deseq → PL, then flattens the generated helper
-// entities and cleans up.
+// module. The per-process pipeline (Inline → Unroll → Mem2Reg →
+// {CF,IS,CSE,DCE}* → ECM → {CF,IS,CSE,DCE}* → TCM → TCFE →
+// {CF,IS,CSE,DCE}*) is a PassManager pipeline string and can run across
+// a thread pool (each worker owns its analysis cache); the
+// module-mutating stages — Deseq, PL, reject-restore, helper flattening —
+// stay on the calling thread. See DESIGN.md, "Pass infrastructure".
 //
 //===----------------------------------------------------------------------===//
 
-#include "asm/Parser.h"
-#include "asm/Printer.h"
 #include "ir/Verifier.h"
+#include "passes/PassManager.h"
 #include "passes/Passes.h"
 
 #include <set>
 
 using namespace llhd;
 
+const char *const llhd::kLoweringPipeline =
+    "inline,unroll,mem2reg,std<fixpoint>,ecm,std<fixpoint>,tcm,tcfe,"
+    "std<fixpoint>";
+
 bool llhd::runStandardOptimizations(Unit &U) {
   if (!U.hasBody())
     return false;
-  bool Changed = false;
-  bool LocalChange = true;
-  unsigned Rounds = 16;
-  while (LocalChange && Rounds--) {
-    LocalChange = false;
-    LocalChange |= constantFold(U);
-    LocalChange |= instSimplify(U);
-    LocalChange |= cse(U);
-    LocalChange |= dce(U);
-    Changed |= LocalChange;
-  }
-  return Changed;
+  UnitAnalysisManager AM;
+  UnitPassManager UPM;
+  UPM.addPass("std");
+  return UPM.run(U, AM);
 }
 
 bool llhd::runStandardOptimizations(Module &M) {
@@ -43,29 +41,40 @@ bool llhd::runStandardOptimizations(Module &M) {
 LoweringResult llhd::lowerToStructural(Module &M, LoweringOptions Opts) {
   LoweringResult R;
 
-  // Snapshot the processes; lowering replaces units in the module.
+  // Snapshot the processes on the coordinating thread; the pipeline
+  // transforms them in place, and a process that ends up rejected must be
+  // restored verbatim — partial lowering must never change behaviour.
   std::vector<Unit *> Processes;
   for (const auto &U : M.units())
     if (U->isProcess() && !U->isDeclaration())
       Processes.push_back(U.get());
+  std::vector<UnitCheckpoint> Checkpoints;
+  Checkpoints.reserve(Processes.size());
+  for (Unit *U : Processes)
+    Checkpoints.emplace_back(M, *U);
 
+  // Phase 1: the per-process pipeline. The scheduler runs the inline
+  // prefix serially (it reads — and via cloneInst forward references
+  // temporarily uses — callee bodies), then fans the unit-local rest of
+  // the pipeline out across the pool; Context type uniquing is locked.
+  ModulePassManagerOptions MOpts;
+  MOpts.Unit.VerifyEach = Opts.VerifyEach;
+  MOpts.Threads = Opts.Threads;
+  MOpts.OnlyProcesses = true;
+  ModulePassManager MPM(MOpts);
+  MPM.addPipeline(kLoweringPipeline);
+  MPM.run(M);
+  R.Stats.merge(MPM.statistics());
+  R.AnalysisStats.merge(MPM.analysisStatistics());
+  for (const std::string &E : MPM.verifyErrors())
+    R.Notes.push_back("verify: " + E);
+
+  // Phase 2 (coordinating thread): desequentialisation / process
+  // lowering replace units in the module; rejected processes restore
+  // their checkpoint.
   std::set<std::string> LoweredNames;
-  for (Unit *U : Processes) {
-    // Snapshot the process: the pipeline transforms it in place, and a
-    // process that ends up rejected must be restored verbatim — partial
-    // lowering must never change behaviour.
-    std::string Snapshot = printUnit(*U);
-
-    inlineCalls(*U);
-    unrollLoops(*U);
-    mem2reg(*U);
-    runStandardOptimizations(*U);
-    earlyCodeMotion(*U);
-    runStandardOptimizations(*U);
-    temporalCodeMotion(*U);
-    totalControlFlowElim(*U);
-    runStandardOptimizations(*U);
-
+  for (UnitCheckpoint &CP : Checkpoints) {
+    Unit *U = CP.unit();
     std::string Name = U->name();
     if (desequentialize(M, *U, R.Notes) ||
         processLowering(M, *U, R.Notes)) {
@@ -76,25 +85,10 @@ LoweringResult llhd::lowerToStructural(Module &M, LoweringOptions Opts) {
                          ": no structural form found (process kept)");
     if (!Opts.KeepRejected)
       R.Ok = false;
-
-    // Restore the untouched original.
-    M.renameUnit(U, Name + ".rejected.tmp");
-    ParseResult PR = parseModule(Snapshot, M);
-    if (!PR.Ok) {
-      // Should not happen: the snapshot was printed by us. Keep the
-      // transformed unit rather than losing the design.
-      M.renameUnit(U, Name);
+    std::string Error;
+    if (!CP.restore(&Error))
       R.Notes.push_back("@" + Name +
-                        ": snapshot restore failed: " + PR.Error);
-      continue;
-    }
-    Unit *Fresh = M.unitByName(Name);
-    for (const auto &UP : M.units())
-      for (BasicBlock *BB : UP->blocks())
-        for (Instruction *I : BB->insts())
-          if (I->callee() == U)
-            I->setCallee(Fresh);
-    M.eraseUnit(U);
+                        ": checkpoint restore failed: " + Error);
   }
 
   // Flatten generated helpers into their instantiating entities.
@@ -123,10 +117,17 @@ LoweringResult llhd::lowerToStructural(Module &M, LoweringOptions Opts) {
     }
   }
 
-  // Final cleanup over the whole module.
-  for (const auto &U : M.units())
-    if (U->isEntity() && !U->isDeclaration())
-      runStandardOptimizations(*U.get());
+  // Final cleanup over the whole module, instrumented like the rest.
+  {
+    UnitAnalysisManager AM;
+    UnitPassManager UPM;
+    UPM.addPass("std");
+    for (const auto &U : M.units())
+      if (U->isEntity() && !U->isDeclaration())
+        UPM.run(*U.get(), AM);
+    R.Stats.merge(UPM.statistics());
+    R.AnalysisStats.merge(AM.stats());
+  }
 
   return R;
 }

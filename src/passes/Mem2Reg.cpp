@@ -3,11 +3,14 @@
 // Promotes `var` slots whose address never escapes to SSA values with phi
 // nodes, the promotion required before lowering to Structural LLHD
 // (§2.5.8). Classic algorithm: phi placement on the iterated dominance
-// frontier of the stores, then renaming along the dominator tree.
+// frontier of the stores, then renaming along the dominator tree. The
+// dominator tree and frontier sets come from the analysis cache
+// (analysis/DominanceFrontiers.h); promotion never edits the CFG, so
+// both survive the pass.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Cfg.h"
+#include "analysis/AnalysisManager.h"
 #include "passes/Passes.h"
 #include "passes/Utils.h"
 
@@ -35,9 +38,8 @@ bool isPromotable(Instruction *Var) {
 
 class Promoter {
 public:
-  Promoter(Unit &U) : U(U), DT(U) {
-    computeDominanceFrontiers();
-  }
+  Promoter(Unit &U, const DominatorTree &DT, const DominanceFrontiers &DF)
+      : U(U), DT(DT), DF(DF) {}
 
   bool run() {
     bool Changed = false;
@@ -48,6 +50,12 @@ public:
         if (I->opcode() == Opcode::Var && isPromotable(I) &&
             allUsersReachable(I))
           Vars.push_back(I);
+    if (Vars.empty())
+      return false;
+    // Renaming walks the dominator tree; children in unit block order.
+    for (BasicBlock *BB : U.blocks())
+      if (BasicBlock *P = DT.idom(BB))
+        DomChildren[P].push_back(BB);
     for (Instruction *Var : Vars) {
       promote(Var);
       Changed = true;
@@ -65,21 +73,6 @@ private:
       if (!DT.isReachable(cast<Instruction>(Us->user())->parent()))
         return false;
     return true;
-  }
-
-  void computeDominanceFrontiers() {
-    for (BasicBlock *BB : U.blocks()) {
-      auto Preds = BB->predecessors();
-      if (Preds.size() < 2)
-        continue;
-      for (BasicBlock *P : Preds) {
-        BasicBlock *Runner = P;
-        while (Runner && Runner != DT.idom(BB)) {
-          DF[Runner].insert(BB);
-          Runner = DT.idom(Runner);
-        }
-      }
-    }
   }
 
   void promote(Instruction *Var) {
@@ -106,7 +99,7 @@ private:
     while (!Work.empty()) {
       BasicBlock *BB = Work.back();
       Work.pop_back();
-      for (BasicBlock *F : DF[BB]) {
+      for (BasicBlock *F : DF.frontierOf(BB)) {
         if (HasPhi.count(F))
           continue;
         HasPhi.insert(F);
@@ -121,14 +114,8 @@ private:
     }
 
     // Rename along the dominator tree.
-    std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
-    for (BasicBlock *BB : U.blocks())
-      if (BasicBlock *P = DT.idom(BB))
-        DomChildren[P].push_back(BB);
-
     std::set<Instruction *> DeadLoadsStores;
-    rename(U.entry(), Var->operand(0), Var, Phis, DomChildren,
-           DeadLoadsStores);
+    rename(U.entry(), Var->operand(0), Var, Phis, DeadLoadsStores);
 
     for (Instruction *I : DeadLoadsStores) {
       I->replaceAllUsesWith(nullptr); // Loads were already rewired.
@@ -139,7 +126,6 @@ private:
 
   void rename(BasicBlock *BB, Value *Incoming, Instruction *Var,
               std::map<BasicBlock *, Instruction *> &Phis,
-              std::map<BasicBlock *, std::vector<BasicBlock *>> &DomChildren,
               std::set<Instruction *> &Dead) {
     Value *Cur = Incoming;
     if (auto It = Phis.find(BB); It != Phis.end())
@@ -160,18 +146,26 @@ private:
         It->second->addIncoming(Cur, BB);
     // Recurse into dominator-tree children.
     for (BasicBlock *C : DomChildren[BB])
-      rename(C, Cur, Var, Phis, DomChildren, Dead);
+      rename(C, Cur, Var, Phis, Dead);
   }
 
   Unit &U;
-  DominatorTree DT;
-  std::map<BasicBlock *, std::set<BasicBlock *>> DF;
+  const DominatorTree &DT;
+  const DominanceFrontiers &DF;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DomChildren;
 };
 
 } // namespace
 
 bool llhd::mem2reg(Unit &U) {
+  UnitAnalysisManager AM;
+  return mem2reg(U, AM);
+}
+
+bool llhd::mem2reg(Unit &U, UnitAnalysisManager &AM) {
   if (!U.hasBody() || U.isEntity())
     return false;
-  return Promoter(U).run();
+  return Promoter(U, AM.get<DominatorTreeAnalysis>(U),
+                  AM.get<DominanceFrontiersAnalysis>(U))
+      .run();
 }

@@ -1,28 +1,503 @@
-//===- passes/PassManager.cpp - Pass registry --------------------------------===//
+//===- passes/PassManager.cpp - Pass management ------------------------------===//
 //
-// Canonical unit-pass registry in Figure 4 pipeline order, used by the
-// pipeline bench and the pass-introspection tools.
+// Registry, pipeline-string parser, statistics, the unit/module pass
+// managers with the worklist fixpoint driver and the parallel per-unit
+// scheduler, and the UnitCheckpoint reject-and-restore path. See
+// DESIGN.md, "Pass infrastructure".
 //
 //===----------------------------------------------------------------------===//
 
+#include "passes/PassManager.h"
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "ir/Verifier.h"
 #include "passes/Passes.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <thread>
 
 using namespace llhd;
 
-static bool runUnroll(Unit &U) { return unrollLoops(U); }
+//===----------------------------------------------------------------------===//
+// Registry.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Adapters for passes that ignore the analysis cache.
+bool runInline(Unit &U, UnitAnalysisManager &) { return inlineCalls(U); }
+bool runUnroll(Unit &U, UnitAnalysisManager &) { return unrollLoops(U); }
+bool runCf(Unit &U, UnitAnalysisManager &) { return constantFold(U); }
+bool runIs(Unit &U, UnitAnalysisManager &) { return instSimplify(U); }
+bool runDce(Unit &U, UnitAnalysisManager &) { return dce(U); }
+
+bool runMem2Reg(Unit &U, UnitAnalysisManager &AM) { return mem2reg(U, AM); }
+bool runCse(Unit &U, UnitAnalysisManager &AM) { return cse(U, AM); }
+bool runEcm(Unit &U, UnitAnalysisManager &AM) { return earlyCodeMotion(U, AM); }
+bool runTcm(Unit &U, UnitAnalysisManager &AM) {
+  return temporalCodeMotion(U, AM);
+}
+bool runTcfe(Unit &U, UnitAnalysisManager &AM) {
+  return totalControlFlowElim(U, AM);
+}
+
+PreservedAnalyses preservedNone() { return PreservedAnalyses::none(); }
+
+} // namespace
 
 const std::vector<PassInfo> &llhd::allPasses() {
+  // Instruction-level passes (is, cse, mem2reg, ecm) leave the block
+  // structure alone, so the CFG-shaped analyses survive them; anything
+  // that can add, merge, erase blocks or rewrite edges (inline, unroll,
+  // dce, tcm, tcfe — and cf, which folds conditional branches) preserves
+  // nothing. Only inline is parallel-unsafe (see PassInfo::ParallelSafe).
   static const std::vector<PassInfo> Passes = {
-      {"inline", "Inline function calls", &inlineCalls},
-      {"unroll", "Unroll counted loops", &runUnroll},
-      {"mem2reg", "Promote var/ld/st to SSA", &mem2reg},
-      {"cf", "Constant Folding", &constantFold},
-      {"is", "Instruction Simplification", &instSimplify},
-      {"cse", "Common Subexpression Elimination", &cse},
-      {"dce", "Dead Code Elimination", &dce},
-      {"ecm", "Early Code Motion", &earlyCodeMotion},
-      {"tcm", "Temporal Code Motion", &temporalCodeMotion},
-      {"tcfe", "Total Control Flow Elimination", &totalControlFlowElim},
+      {"inline", "Inline function calls", &runInline, &preservedNone,
+       /*ParallelSafe=*/false},
+      {"unroll", "Unroll counted loops", &runUnroll, &preservedNone, true},
+      {"mem2reg", "Promote var/ld/st to SSA", &runMem2Reg,
+       &preserveCfgAnalyses, true},
+      {"cf", "Constant Folding", &runCf, &preservedNone, true},
+      {"is", "Instruction Simplification", &runIs, &preserveCfgAnalyses,
+       true},
+      {"cse", "Common Subexpression Elimination", &runCse,
+       &preserveCfgAnalyses, true},
+      {"dce", "Dead Code Elimination", &runDce, &preservedNone, true},
+      {"ecm", "Early Code Motion", &runEcm, &preserveCfgAnalyses, true},
+      {"tcm", "Temporal Code Motion", &runTcm, &preservedNone, true},
+      {"tcfe", "Total Control Flow Elimination", &runTcfe, &preservedNone,
+       true},
   };
   return Passes;
+}
+
+const PassInfo *llhd::passByName(const std::string &Name) {
+  for (const PassInfo &P : allPasses())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+llhd::passSets() {
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      Sets = {
+          {"std", {"cf", "is", "cse", "dce"}},
+      };
+  return Sets;
+}
+
+static const std::vector<std::string> *setByName(const std::string &Name) {
+  for (const auto &KV : passSets())
+    if (KV.first == Name)
+      return &KV.second;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline strings.
+//===----------------------------------------------------------------------===//
+
+static std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+static bool resolveElement(const std::string &Spec, PipelineElement &El,
+                           std::string &Error) {
+  std::string Name = Spec;
+  bool Fixpoint = false;
+  size_t LT = Spec.find('<');
+  if (LT != std::string::npos) {
+    if (Spec.back() != '>') {
+      Error = "expected '>' to close modifier in '" + Spec + "'";
+      return false;
+    }
+    std::string Mod = trim(Spec.substr(LT + 1, Spec.size() - LT - 2));
+    if (Mod != "fixpoint") {
+      Error = "unknown modifier '" + Mod + "' in '" + Spec + "'";
+      return false;
+    }
+    Fixpoint = true;
+    Name = trim(Spec.substr(0, LT));
+  }
+  if (Name.empty()) {
+    Error = "empty pass name in pipeline";
+    return false;
+  }
+
+  El.Name = Name;
+  El.Passes.clear();
+  if (const std::vector<std::string> *Set = setByName(Name)) {
+    // Pass sets are fixpoint elements by construction; "std" and
+    // "std<fixpoint>" parse identically (and print as the latter).
+    El.Fixpoint = true;
+    for (const std::string &Member : *Set)
+      El.Passes.push_back(passByName(Member));
+    return true;
+  }
+  const PassInfo *P = passByName(Name);
+  if (!P) {
+    Error = "unknown pass '" + Name + "'";
+    return false;
+  }
+  El.Fixpoint = Fixpoint;
+  El.Passes.push_back(P);
+  return true;
+}
+
+bool llhd::parsePassPipeline(const std::string &Text,
+                             std::vector<PipelineElement> &Out,
+                             std::string &Error) {
+  Out.clear();
+  if (trim(Text).empty()) {
+    Error = "empty pipeline";
+    return false;
+  }
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Spec = trim(Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos));
+    PipelineElement El;
+    if (!resolveElement(Spec, El, Error)) {
+      Out.clear();
+      return false;
+    }
+    Out.push_back(std::move(El));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+std::string llhd::pipelineToString(const std::vector<PipelineElement> &Pipe) {
+  std::string S;
+  for (const PipelineElement &El : Pipe) {
+    if (!S.empty())
+      S += ",";
+    S += El.Name;
+    if (El.Fixpoint)
+      S += "<fixpoint>";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics.
+//===----------------------------------------------------------------------===//
+
+void PassStatistics::record(const std::string &Name, bool Changed,
+                            double Seconds) {
+  for (PassStatistic &S : Stats)
+    if (S.Name == Name) {
+      ++S.Runs;
+      S.Changed += Changed;
+      S.Seconds += Seconds;
+      return;
+    }
+  Stats.push_back({Name, 1, uint64_t(Changed), Seconds});
+}
+
+void PassStatistics::merge(const PassStatistics &O) {
+  for (const PassStatistic &S : O.Stats) {
+    bool Found = false;
+    for (PassStatistic &Mine : Stats)
+      if (Mine.Name == S.Name) {
+        Mine.Runs += S.Runs;
+        Mine.Changed += S.Changed;
+        Mine.Seconds += S.Seconds;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Stats.push_back(S);
+  }
+}
+
+std::string PassStatistics::toString() const {
+  char Line[160];
+  snprintf(Line, sizeof(Line), "%-10s %8s %8s %12s %12s\n", "Pass", "Runs",
+           "Changed", "Total [us]", "Avg [us]");
+  std::string Out = Line;
+  for (const PassStatistic &S : Stats) {
+    snprintf(Line, sizeof(Line), "%-10s %8llu %8llu %12.1f %12.2f\n",
+             S.Name.c_str(), (unsigned long long)S.Runs,
+             (unsigned long long)S.Changed, S.Seconds * 1e6,
+             S.Runs ? S.Seconds * 1e6 / double(S.Runs) : 0.0);
+    Out += Line;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// UnitPassManager.
+//===----------------------------------------------------------------------===//
+
+UnitPassManager::UnitPassManager(PassManagerOptions Opts) : Opts(Opts) {}
+
+bool UnitPassManager::addPass(const std::string &Name, std::string *Error) {
+  PipelineElement El;
+  std::string Err;
+  if (!resolveElement(Name, El, Err)) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  Pipeline.push_back(std::move(El));
+  return true;
+}
+
+bool UnitPassManager::addPipeline(const std::string &Text,
+                                  std::string *Error) {
+  std::vector<PipelineElement> Parsed;
+  std::string Err;
+  if (!parsePassPipeline(Text, Parsed, Err)) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  for (PipelineElement &El : Parsed)
+    Pipeline.push_back(std::move(El));
+  return true;
+}
+
+bool UnitPassManager::runPass(const PassInfo &P, Unit &U,
+                              UnitAnalysisManager &AM) {
+  auto Start = std::chrono::steady_clock::now();
+  bool Changed = P.Run(U, AM);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Stats.record(P.Name, Changed, Seconds);
+  AM.invalidate(U, Changed ? P.PreservedWhenChanged()
+                           : PreservedAnalyses::all());
+  if (Opts.VerifyEach && Changed) {
+    std::vector<std::string> Errors;
+    if (!verifyUnit(U, Errors))
+      for (const std::string &E : Errors)
+        VerifyErrors.push_back(std::string("after pass '") + P.Name +
+                               "': " + E);
+  }
+  return Changed;
+}
+
+bool UnitPassManager::run(Unit &U, UnitAnalysisManager &AM) {
+  bool Changed = false;
+  for (const PipelineElement &El : Pipeline) {
+    if (!El.Fixpoint) {
+      for (const PassInfo *P : El.Passes)
+        Changed |= runPass(*P, U, AM);
+      continue;
+    }
+
+    // Worklist fixpoint: every member starts queued in order; a change
+    // re-queues all members not already queued (including the changing
+    // pass — a pass may enable itself). Converges when a full drain
+    // reports no change; MaxFixpointRuns bounds pathological ping-pong.
+    std::deque<size_t> Queue;
+    std::vector<char> InQueue(El.Passes.size(), 1);
+    for (size_t I = 0; I != El.Passes.size(); ++I)
+      Queue.push_back(I);
+    unsigned Runs = 0;
+    while (!Queue.empty() && Runs++ < Opts.MaxFixpointRuns) {
+      size_t I = Queue.front();
+      Queue.pop_front();
+      InQueue[I] = 0;
+      if (!runPass(*El.Passes[I], U, AM))
+        continue;
+      Changed = true;
+      for (size_t J = 0; J != El.Passes.size(); ++J)
+        if (!InQueue[J]) {
+          Queue.push_back(J);
+          InQueue[J] = 1;
+        }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// ModulePassManager.
+//===----------------------------------------------------------------------===//
+
+ModulePassManager::ModulePassManager(ModulePassManagerOptions Opts)
+    : Opts(Opts) {}
+
+bool ModulePassManager::addPipeline(const std::string &Text,
+                                    std::string *Error) {
+  // Validate eagerly so misspelled pipelines fail at configuration time.
+  std::vector<PipelineElement> Parsed;
+  std::string Err;
+  if (!parsePassPipeline(Text, Parsed, Err)) {
+    if (Error)
+      *Error = Err;
+    return false;
+  }
+  if (!PipelineText.empty())
+    PipelineText += ",";
+  PipelineText += pipelineToString(Parsed);
+  return true;
+}
+
+std::string ModulePassManager::pipelineString() const {
+  std::vector<PipelineElement> Parsed;
+  std::string Err;
+  if (PipelineText.empty() || !parsePassPipeline(PipelineText, Parsed, Err))
+    return PipelineText;
+  return pipelineToString(Parsed);
+}
+
+bool ModulePassManager::run(Module &M) {
+  Stats = PassStatistics();
+  AnalysisStats = UnitAnalysisManager::Stats();
+  VerifyErrors.clear();
+
+  // The schedulable units.
+  std::vector<Unit *> Units;
+  for (const auto &U : M.units()) {
+    if (U->isDeclaration() || !U->hasBody())
+      continue;
+    if (Opts.OnlyProcesses && !U->isProcess())
+      continue;
+    Units.push_back(U.get());
+  }
+
+  std::vector<PipelineElement> Pipeline;
+  std::string Err;
+  if (!PipelineText.empty() &&
+      !parsePassPipeline(PipelineText, Pipeline, Err)) {
+    VerifyErrors.push_back("bad pipeline: " + Err);
+    return false;
+  }
+
+  // Split at the last parallel-unsafe element (inline mutates callee
+  // use-lists through cloneInst forward references): everything up to
+  // and including it runs serially over all units on this thread, the
+  // remainder — unit-local passes only — fans out. Per-unit pass order
+  // is unaffected; cross-unit coupling only exists in the serial phase.
+  size_t Split = 0;
+  for (size_t I = 0; I != Pipeline.size(); ++I)
+    for (const PassInfo *P : Pipeline[I].Passes)
+      if (!P->ParallelSafe)
+        Split = I + 1;
+  std::string SerialPipeline = pipelineToString(
+      {Pipeline.begin(), Pipeline.begin() + Split});
+  std::string ParallelPipeline =
+      pipelineToString({Pipeline.begin() + Split, Pipeline.end()});
+
+  unsigned Threads = Opts.Threads ? Opts.Threads
+                                  : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  Threads = std::min<unsigned>(Threads, Units.size());
+
+  std::atomic<bool> Changed{false};
+
+  auto Work = [&](const std::string &Text, std::vector<Unit *> Mine,
+                  PassStatistics &OutStats,
+                  UnitAnalysisManager::Stats &OutAStats,
+                  std::vector<std::string> &OutErrors) {
+    UnitAnalysisManager AM;
+    UnitPassManager UPM(Opts.Unit);
+    std::string WorkerErr;
+    if (!UPM.addPipeline(Text, &WorkerErr)) {
+      OutErrors.push_back("bad pipeline: " + WorkerErr);
+      return;
+    }
+    for (Unit *U : Mine)
+      if (UPM.run(*U, AM))
+        Changed = true;
+    OutStats = std::move(UPM.statistics());
+    OutAStats = AM.stats();
+    OutErrors.insert(OutErrors.end(), UPM.verifyErrors().begin(),
+                     UPM.verifyErrors().end());
+  };
+
+  if (!SerialPipeline.empty()) {
+    PassStatistics SStats;
+    UnitAnalysisManager::Stats SAStats;
+    Work(SerialPipeline, Units, SStats, SAStats, VerifyErrors);
+    Stats.merge(SStats);
+    AnalysisStats.merge(SAStats);
+  }
+  if (ParallelPipeline.empty())
+    return Changed;
+
+  if (Threads <= 1) {
+    PassStatistics SStats;
+    UnitAnalysisManager::Stats SAStats;
+    Work(ParallelPipeline, Units, SStats, SAStats, VerifyErrors);
+    Stats.merge(SStats);
+    AnalysisStats.merge(SAStats);
+    return Changed;
+  }
+
+  // Static round-robin partition keeps the schedule deterministic; the
+  // per-unit pipelines are independent, so only the partition (not any
+  // cross-thread timing) decides what each worker does.
+  std::vector<std::vector<Unit *>> Parts(Threads);
+  for (size_t I = 0; I != Units.size(); ++I)
+    Parts[I % Threads].push_back(Units[I]);
+
+  std::vector<PassStatistics> WorkerStats(Threads);
+  std::vector<UnitAnalysisManager::Stats> WorkerAStats(Threads);
+  std::vector<std::vector<std::string>> WorkerErrors(Threads);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 1; T < Threads; ++T)
+    Pool.emplace_back(Work, ParallelPipeline, Parts[T],
+                      std::ref(WorkerStats[T]), std::ref(WorkerAStats[T]),
+                      std::ref(WorkerErrors[T]));
+  Work(ParallelPipeline, Parts[0], WorkerStats[0], WorkerAStats[0],
+       WorkerErrors[0]);
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (unsigned T = 0; T < Threads; ++T) {
+    Stats.merge(WorkerStats[T]);
+    AnalysisStats.merge(WorkerAStats[T]);
+    VerifyErrors.insert(VerifyErrors.end(), WorkerErrors[T].begin(),
+                        WorkerErrors[T].end());
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// UnitCheckpoint.
+//===----------------------------------------------------------------------===//
+
+UnitCheckpoint::UnitCheckpoint(Module &M, Unit &U)
+    : M(M), TrackedUnit(&U), Name(U.name()), Snapshot(printUnit(U)) {}
+
+bool UnitCheckpoint::restore(std::string *Error) {
+  // Move the transformed unit out of the way, re-parse the snapshot under
+  // the original name, re-point callee references, then drop the
+  // transformed unit.
+  M.renameUnit(TrackedUnit, Name + ".checkpoint.tmp");
+  ParseResult PR = parseModule(Snapshot, M);
+  if (!PR.Ok) {
+    // Should not happen: the snapshot was printed by us. Keep the
+    // transformed unit rather than losing the design.
+    M.renameUnit(TrackedUnit, Name);
+    if (Error)
+      *Error = PR.Error;
+    return false;
+  }
+  Unit *Fresh = M.unitByName(Name);
+  for (const auto &UP : M.units())
+    for (BasicBlock *BB : UP->blocks())
+      for (Instruction *I : BB->insts())
+        if (I->callee() == TrackedUnit)
+          I->setCallee(Fresh);
+  M.eraseUnit(TrackedUnit);
+  TrackedUnit = Fresh;
+  return true;
 }

@@ -1,0 +1,226 @@
+//===- passes/PassManager.h - Pass management ------------------*- C++ -*-===//
+//
+// The pass half of the pass infrastructure (DESIGN.md, "Pass
+// infrastructure"):
+//
+//   * a registry of named unit passes with preserved-analyses metadata,
+//   * a textual pipeline syntax ("inline,unroll,mem2reg,std<fixpoint>,
+//     ecm,tcm,tcfe") shared by benches, tests and tools/llhd-opt,
+//   * UnitPassManager: runs a pipeline over one unit against a
+//     UnitAnalysisManager, with per-pass wall-time/changed statistics, an
+//     opt-in verify-after-each-pass mode and a worklist-driven fixpoint
+//     driver (re-run only passes whose trigger changed),
+//   * ModulePassManager: runs the pipeline over every unit of a module,
+//     optionally across a std::thread pool (each worker owns its private
+//     analysis cache; the Module/Context are only read — Context type
+//     uniquing is internally locked),
+//   * UnitCheckpoint: the structured reject-and-restore path used by
+//     lowerToStructural when a process cannot reach structural form.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_PASSES_PASSMANAGER_H
+#define LLHD_PASSES_PASSMANAGER_H
+
+#include "analysis/AnalysisManager.h"
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+//===----------------------------------------------------------------------===//
+// Pass registry.
+//===----------------------------------------------------------------------===//
+
+/// A named unit-pass: the managed entry point plus invalidation metadata.
+struct PassInfo {
+  const char *Name;
+  const char *Description;
+  /// Runs the pass; returns true if the unit changed.
+  bool (*Run)(Unit &U, UnitAnalysisManager &AM);
+  /// Analyses that stay valid when the pass reports a change. (When it
+  /// reports no change, everything is preserved.)
+  PreservedAnalyses (*PreservedWhenChanged)();
+  /// True if the pass only touches its own unit. Inlining is the
+  /// exception: it reads callee bodies and — via cloneInst forward
+  /// references — even registers temporary uses on the callee's values,
+  /// so it must never run on two units concurrently. The module
+  /// scheduler runs everything up to the last parallel-unsafe pipeline
+  /// element serially before fanning out.
+  bool ParallelSafe;
+};
+
+/// All registered unit passes in canonical pipeline order.
+const std::vector<PassInfo> &allPasses();
+
+/// Registry lookup; null for unknown names.
+const PassInfo *passByName(const std::string &Name);
+
+/// Named pass sets usable in pipeline strings ("std" = cf,is,cse,dce).
+const std::vector<std::pair<std::string, std::vector<std::string>>> &
+passSets();
+
+//===----------------------------------------------------------------------===//
+// Pipeline strings.
+//===----------------------------------------------------------------------===//
+
+/// One parsed pipeline element: either a single pass, or a pass set run
+/// to fixpoint by the worklist driver.
+struct PipelineElement {
+  std::string Name;                   ///< Pass or set name as written.
+  bool Fixpoint = false;              ///< True for "name<fixpoint>" / sets.
+  std::vector<const PassInfo *> Passes; ///< Resolved member passes.
+};
+
+/// Parses a comma-separated pipeline ("inline,std<fixpoint>,ecm"). On
+/// failure returns false and describes the problem in \p Error.
+bool parsePassPipeline(const std::string &Text,
+                       std::vector<PipelineElement> &Out, std::string &Error);
+
+/// Canonical string form of a parsed pipeline; parse(toString(P)) == P.
+std::string pipelineToString(const std::vector<PipelineElement> &Pipeline);
+
+//===----------------------------------------------------------------------===//
+// Statistics.
+//===----------------------------------------------------------------------===//
+
+/// Accumulated per-pass counters, in first-run order.
+struct PassStatistic {
+  std::string Name;
+  uint64_t Runs = 0;    ///< Invocations.
+  uint64_t Changed = 0; ///< Invocations that changed the IR.
+  double Seconds = 0;   ///< Accumulated wall time.
+};
+
+class PassStatistics {
+public:
+  void record(const std::string &Name, bool Changed, double Seconds);
+  void merge(const PassStatistics &O);
+  const std::vector<PassStatistic> &table() const { return Stats; }
+  bool empty() const { return Stats.empty(); }
+  /// Formatted report (the table printed by bench/fig4_pipeline).
+  std::string toString() const;
+
+private:
+  std::vector<PassStatistic> Stats;
+};
+
+//===----------------------------------------------------------------------===//
+// Managers.
+//===----------------------------------------------------------------------===//
+
+struct PassManagerOptions {
+  /// Run the IR verifier after every pass that changed the unit; failures
+  /// are collected in verifyErrors().
+  bool VerifyEach = false;
+  /// Upper bound on pass invocations inside one fixpoint element (safety
+  /// net; matches the former 16-round x 4-pass loop).
+  unsigned MaxFixpointRuns = 64;
+};
+
+/// Runs a pass pipeline over single units.
+class UnitPassManager {
+public:
+  explicit UnitPassManager(PassManagerOptions Opts = {});
+
+  /// Appends one pass or set by name; false (with \p Error set) if the
+  /// name is unknown.
+  bool addPass(const std::string &Name, std::string *Error = nullptr);
+  /// Appends a parsed pipeline string.
+  bool addPipeline(const std::string &Text, std::string *Error = nullptr);
+
+  /// Runs the pipeline; returns true if the unit changed. Analyses are
+  /// fetched from and invalidated in \p AM.
+  bool run(Unit &U, UnitAnalysisManager &AM);
+
+  /// Canonical pipeline string (round-trips through addPipeline).
+  std::string pipelineString() const { return pipelineToString(Pipeline); }
+
+  PassStatistics &statistics() { return Stats; }
+  const PassStatistics &statistics() const { return Stats; }
+  const std::vector<std::string> &verifyErrors() const { return VerifyErrors; }
+
+private:
+  bool runPass(const PassInfo &P, Unit &U, UnitAnalysisManager &AM);
+
+  PassManagerOptions Opts;
+  std::vector<PipelineElement> Pipeline;
+  PassStatistics Stats;
+  std::vector<std::string> VerifyErrors;
+};
+
+struct ModulePassManagerOptions {
+  PassManagerOptions Unit;
+  /// Worker threads for the per-unit schedule: 1 = serial, 0 = one per
+  /// hardware thread.
+  unsigned Threads = 1;
+  /// Restrict the schedule to processes (the lowering pipeline).
+  bool OnlyProcesses = false;
+};
+
+/// Runs a unit pipeline over every defined unit of a module, optionally
+/// in parallel. The pipeline is split at its last parallel-unsafe pass
+/// (see PassInfo::ParallelSafe): that prefix runs serially over all
+/// units on the calling thread, the rest — unit-local passes only —
+/// fans out across the pool, each worker with a private analysis cache,
+/// sharing the Module read-only.
+class ModulePassManager {
+public:
+  explicit ModulePassManager(ModulePassManagerOptions Opts = {});
+
+  bool addPipeline(const std::string &Text, std::string *Error = nullptr);
+
+  /// Runs over \p M; returns true if anything changed.
+  bool run(Module &M);
+
+  std::string pipelineString() const;
+
+  /// Statistics merged across all workers of the last run().
+  const PassStatistics &statistics() const { return Stats; }
+  const UnitAnalysisManager::Stats &analysisStatistics() const {
+    return AnalysisStats;
+  }
+  const std::vector<std::string> &verifyErrors() const { return VerifyErrors; }
+
+private:
+  ModulePassManagerOptions Opts;
+  std::string PipelineText;
+  PassStatistics Stats;
+  UnitAnalysisManager::Stats AnalysisStats;
+  std::vector<std::string> VerifyErrors;
+};
+
+//===----------------------------------------------------------------------===//
+// Checkpoints.
+//===----------------------------------------------------------------------===//
+
+/// Structured reject-and-restore for speculative unit transformation:
+/// snapshot a unit, run the pipeline, and either keep the result or
+/// restore the unit verbatim (partial lowering must never change
+/// behaviour). Restoration re-points callee references at the restored
+/// unit. Must be used from the thread that owns the Module (it mutates
+/// the unit table).
+class UnitCheckpoint {
+public:
+  UnitCheckpoint(Module &M, Unit &U);
+
+  /// The (possibly replaced) unit this checkpoint tracks.
+  Unit *unit() const { return TrackedUnit; }
+
+  /// Discards the transformed unit and re-materialises the snapshot.
+  /// Returns false (unit left transformed) if re-parsing failed, which
+  /// indicates a printer/parser bug; \p Error receives the reason.
+  bool restore(std::string *Error = nullptr);
+
+private:
+  Module &M;
+  Unit *TrackedUnit;
+  std::string Name;
+  std::string Snapshot;
+};
+
+} // namespace llhd
+
+#endif // LLHD_PASSES_PASSMANAGER_H

@@ -5,14 +5,18 @@
 // lowering passes ECM, TCM, TCFE, process lowering and
 // desequentialisation that take Behavioural LLHD to Structural LLHD.
 //
-// Passes return true if they changed the unit/module.
+// Passes return true if they changed the unit/module. Analysis-consuming
+// passes come in two flavours: the managed entry point taking a
+// UnitAnalysisManager (cached analyses, the form the PassManager runs —
+// see passes/PassManager.h and DESIGN.md, "Pass infrastructure") and a
+// convenience overload that spins up a transient manager.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef LLHD_PASSES_PASSES_H
 #define LLHD_PASSES_PASSES_H
 
-#include "ir/Module.h"
+#include "passes/PassManager.h"
 
 #include <string>
 #include <vector>
@@ -32,13 +36,15 @@ bool dce(Unit &U);
 
 /// Common Subexpression Elimination over pure data-flow instructions
 /// (dominance-based).
+bool cse(Unit &U, UnitAnalysisManager &AM);
 bool cse(Unit &U);
 
 /// Instruction Simplification: peephole rewrites (x+0, x&x, mux with
 /// constant selector, double-not, ...).
 bool instSimplify(Unit &U);
 
-/// Runs CF, IS, CSE and DCE to a fixpoint.
+/// Runs CF, IS, CSE and DCE to a fixpoint (the "std<fixpoint>" pipeline
+/// element, driven by the PassManager worklist).
 bool runStandardOptimizations(Unit &U);
 /// Same over all units with bodies.
 bool runStandardOptimizations(Module &M);
@@ -55,7 +61,9 @@ bool inlineCalls(Unit &U);
 bool unrollLoops(Unit &U, unsigned MaxTrips = 1024);
 
 /// Promotes var/ld/st of non-escaping stack slots to SSA values and phis
-/// (the promotion described in §2.5.8).
+/// (the promotion described in §2.5.8), placing phis on the cached
+/// iterated dominance frontier.
+bool mem2reg(Unit &U, UnitAnalysisManager &AM);
 bool mem2reg(Unit &U);
 
 //===----------------------------------------------------------------------===//
@@ -64,15 +72,18 @@ bool mem2reg(Unit &U);
 
 /// Early Code Motion: eagerly hoists pure instructions (and prb within its
 /// temporal region) towards the entry.
+bool earlyCodeMotion(Unit &U, UnitAnalysisManager &AM);
 bool earlyCodeMotion(Unit &U);
 
 /// Temporal Code Motion: gives every temporal region a single exiting
 /// block, moves drives there and attaches path conditions, coalescing
 /// drives to one signal.
+bool temporalCodeMotion(Unit &U, UnitAnalysisManager &AM);
 bool temporalCodeMotion(Unit &U);
 
 /// Total Control Flow Elimination: replaces phis with muxes and collapses
 /// each temporal region to a single block.
+bool totalControlFlowElim(Unit &U, UnitAnalysisManager &AM);
 bool totalControlFlowElim(Unit &U);
 
 /// Process Lowering: converts a single-block process whose wait observes
@@ -91,6 +102,10 @@ bool inlineEntities(Module &M, Unit &U);
 // Pipeline driver.
 //===----------------------------------------------------------------------===//
 
+/// The canonical per-process pipeline string run before
+/// desequentialisation/process lowering (Figure 4).
+extern const char *const kLoweringPipeline;
+
 /// Outcome of lowering a module to Structural LLHD.
 struct LoweringResult {
   bool Ok = true;
@@ -98,31 +113,26 @@ struct LoweringResult {
   std::vector<std::string> Rejected;
   /// Informational notes (e.g. inferred registers).
   std::vector<std::string> Notes;
+  /// Per-pass instrumentation of the run (merged across workers).
+  PassStatistics Stats;
+  /// Analysis cache behaviour of the run (merged across workers).
+  UnitAnalysisManager::Stats AnalysisStats;
 };
 
 /// Options for lowerToStructural.
 struct LoweringOptions {
   bool InlineEntities = true; ///< Flatten generated helper entities.
   bool KeepRejected = true;   ///< Keep unlowerable processes (else fail).
+  /// Worker threads for the per-process pipeline phase: 1 = serial,
+  /// 0 = one per hardware thread. Module mutation (deseq, process
+  /// lowering, reject-restore) always stays on the calling thread.
+  unsigned Threads = 1;
+  bool VerifyEach = false; ///< Verify units after every pass.
 };
 
 /// Runs the full Figure 4 pipeline over every process in \p M.
 LoweringResult lowerToStructural(Module &M,
                                  LoweringOptions Opts = LoweringOptions());
-
-//===----------------------------------------------------------------------===//
-// Pass bookkeeping (for the Figure 4 pipeline bench).
-//===----------------------------------------------------------------------===//
-
-/// A named unit-pass for introspection and timing.
-struct PassInfo {
-  const char *Name;
-  const char *Description;
-  bool (*Run)(Unit &U);
-};
-
-/// All registered unit passes in canonical pipeline order.
-const std::vector<PassInfo> &allPasses();
 
 } // namespace llhd
 

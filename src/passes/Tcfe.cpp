@@ -10,9 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Cfg.h"
-#include "analysis/Dominators.h"
-#include "analysis/TemporalRegions.h"
+#include "analysis/AnalysisManager.h"
 #include "passes/Passes.h"
 #include "passes/Utils.h"
 
@@ -48,12 +46,17 @@ bool blockIsMergeable(BasicBlock *BB, bool IsExit) {
 } // namespace
 
 bool llhd::totalControlFlowElim(Unit &U) {
+  UnitAnalysisManager AM;
+  return totalControlFlowElim(U, AM);
+}
+
+bool llhd::totalControlFlowElim(Unit &U, UnitAnalysisManager &AM) {
   if (!U.hasBody() || !U.isProcess())
     return false;
   bool Changed = false;
 
-  TemporalRegions TR(U);
-  DominatorTree DT(U);
+  const TemporalRegions &TR = AM.get<TemporalRegionsAnalysis>(U);
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(U);
 
   for (unsigned Id = 0; Id != TR.numRegions(); ++Id) {
     const std::vector<BasicBlock *> &Blocks = TR.blocksOf(Id);

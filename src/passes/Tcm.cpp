@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/Cfg.h"
-#include "analysis/TemporalRegions.h"
 #include "passes/Passes.h"
 #include "passes/Utils.h"
 
@@ -23,7 +23,8 @@ namespace {
 
 /// Ensures TR \p Id has exactly one exiting block; returns it (or null if
 /// the region's shape is unsupported, e.g. it halts).
-BasicBlock *singleExitingBlock(Unit &U, TemporalRegions &TR, unsigned Id) {
+BasicBlock *singleExitingBlock(Unit &U, const TemporalRegions &TR,
+                               unsigned Id) {
   std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
   if (Exiting.empty())
     return nullptr;
@@ -72,25 +73,35 @@ BasicBlock *singleExitingBlock(Unit &U, TemporalRegions &TR, unsigned Id) {
 } // namespace
 
 bool llhd::temporalCodeMotion(Unit &U) {
+  UnitAnalysisManager AM;
+  return temporalCodeMotion(U, AM);
+}
+
+bool llhd::temporalCodeMotion(Unit &U, UnitAnalysisManager &AM) {
   if (!U.hasBody() || !U.isProcess())
     return false;
   bool Changed = false;
 
-  TemporalRegions TR(U);
-  // Pass 1: give every TR a single exiting block (may add aux blocks).
-  bool AddedBlocks = false;
-  for (unsigned Id = 0; Id != TR.numRegions(); ++Id) {
-    std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
-    if (Exiting.size() > 1) {
-      if (singleExitingBlock(U, TR, Id))
-        AddedBlocks = true;
+  {
+    const TemporalRegions &TR = AM.get<TemporalRegionsAnalysis>(U);
+    // Pass 1: give every TR a single exiting block (may add aux blocks).
+    bool AddedBlocks = false;
+    for (unsigned Id = 0; Id != TR.numRegions(); ++Id) {
+      std::vector<BasicBlock *> Exiting = TR.exitingBlocksOf(Id);
+      if (Exiting.size() > 1) {
+        if (singleExitingBlock(U, TR, Id))
+          AddedBlocks = true;
+      }
     }
+    Changed |= AddedBlocks;
+    // The aux blocks invalidate everything CFG-shaped; drop the cache
+    // (and the TR reference into it) before re-querying.
+    if (AddedBlocks)
+      AM.invalidateAll(U);
   }
-  Changed |= AddedBlocks;
 
-  // Recompute analyses after CFG edits.
-  TemporalRegions TR2(U);
-  DominatorTree DT(U);
+  const TemporalRegions &TR2 = AM.get<TemporalRegionsAnalysis>(U);
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(U);
 
   for (unsigned Id = 0; Id != TR2.numRegions(); ++Id) {
     std::vector<BasicBlock *> Exiting = TR2.exitingBlocksOf(Id);

@@ -41,6 +41,35 @@ TEST_F(UseDefTest, ReplaceAllUsesWith) {
   EXPECT_EQ(A2->operand(0), C2);
 }
 
+TEST_F(UseDefTest, RemoveUseFromMiddleKeepsListConsistent) {
+  // removeUse is swap-with-back (use order is not semantic); dropping a
+  // use from the middle of a long list must leave every remaining use
+  // resolvable and the count right.
+  Instruction *C = B.constInt(32, 7);
+  std::vector<Instruction *> Adds;
+  for (int I = 0; I != 8; ++I)
+    Adds.push_back(B.add(C, C));
+  EXPECT_EQ(C->numUses(), 16u);
+  // Drop a middle user entirely, then spot-check the survivors.
+  Adds[3]->eraseFromParent();
+  EXPECT_EQ(C->numUses(), 14u);
+  for (const Use *U : C->uses()) {
+    EXPECT_EQ(U->get(), C);
+    EXPECT_NE(U->user(), nullptr);
+  }
+  // RAUW still rewrites every remaining use exactly once.
+  Instruction *C2 = B.constInt(32, 9);
+  C->replaceAllUsesWith(C2);
+  EXPECT_EQ(C->numUses(), 0u);
+  EXPECT_EQ(C2->numUses(), 14u);
+  for (Instruction *A : Adds) {
+    if (A == Adds[3])
+      continue;
+    EXPECT_EQ(A->operand(0), C2);
+    EXPECT_EQ(A->operand(1), C2);
+  }
+}
+
 TEST_F(UseDefTest, SetOperandMovesUse) {
   Instruction *C1 = B.constInt(32, 1);
   Instruction *C2 = B.constInt(32, 2);

@@ -1,0 +1,360 @@
+//===- tests/passes/PassManagerTest.cpp - Pass infrastructure tests -------===//
+//
+// Covers the pass-management layer (passes/PassManager.h + the
+// AnalysisManager): pipeline-string parsing and round-tripping, analysis
+// cache hits and preserved-analyses invalidation, the worklist fixpoint
+// driver, verify-after-each-pass, checkpoint restore, and the parallel
+// module scheduler producing modules byte-identical to the serial one on
+// the Table 2 designs suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "asm/Printer.h"
+#include "designs/Designs.h"
+#include "ir/Verifier.h"
+#include "moore/Compiler.h"
+#include "passes/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace llhd;
+
+namespace {
+
+const char *ACC_COMB = R"(
+proc @acc_comb (i32$ %q, i32$ %x, i1$ %en) -> (i32$ %d) {
+entry:
+  %qp = prb i32$ %q
+  %enp = prb i1$ %en
+  %delay = const time 0s
+  drv i32$ %d, %qp after %delay
+  br %enp, %final, %enabled
+enabled:
+  %xp = prb i32$ %x
+  %sum = add i32 %qp, %xp
+  drv i32$ %d, %sum after %delay
+  br %final
+final:
+  wait %entry for %q, %x, %en
+}
+)";
+
+struct PassManagerTest : public ::testing::Test {
+  Context Ctx;
+  Module M{Ctx, "t"};
+
+  Unit *parse(const char *Src, const std::string &Name) {
+    ParseResult R = parseModule(Src, M);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Unit *U = M.unitByName(Name);
+    EXPECT_NE(U, nullptr);
+    return U;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Pipeline strings.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, PipelineParseRoundTrip) {
+  const char *Canonical =
+      "inline,unroll,mem2reg,std<fixpoint>,ecm,tcm,tcfe";
+  std::vector<PipelineElement> P;
+  std::string Error;
+  ASSERT_TRUE(parsePassPipeline(Canonical, P, Error)) << Error;
+  ASSERT_EQ(P.size(), 7u);
+  EXPECT_EQ(pipelineToString(P), Canonical);
+
+  // Sets expand to their members and always run to fixpoint.
+  EXPECT_EQ(P[3].Name, "std");
+  EXPECT_TRUE(P[3].Fixpoint);
+  ASSERT_EQ(P[3].Passes.size(), 4u);
+  EXPECT_STREQ(P[3].Passes[0]->Name, "cf");
+  EXPECT_STREQ(P[3].Passes[3]->Name, "dce");
+  EXPECT_FALSE(P[0].Fixpoint);
+  ASSERT_EQ(P[0].Passes.size(), 1u);
+
+  // "std" canonicalises to "std<fixpoint>", whitespace is tolerated, and
+  // a single pass can be wrapped in a fixpoint.
+  ASSERT_TRUE(parsePassPipeline(" std , dce<fixpoint> ", P, Error)) << Error;
+  EXPECT_EQ(pipelineToString(P), "std<fixpoint>,dce<fixpoint>");
+
+  // The canonical form re-parses to itself.
+  std::vector<PipelineElement> P2;
+  ASSERT_TRUE(parsePassPipeline(pipelineToString(P), P2, Error)) << Error;
+  EXPECT_EQ(pipelineToString(P2), pipelineToString(P));
+
+  // The built-in lowering pipeline parses.
+  ASSERT_TRUE(parsePassPipeline(kLoweringPipeline, P, Error)) << Error;
+}
+
+TEST_F(PassManagerTest, PipelineParseErrors) {
+  std::vector<PipelineElement> P;
+  std::string Error;
+
+  EXPECT_FALSE(parsePassPipeline("", P, Error));
+  EXPECT_NE(Error.find("empty"), std::string::npos);
+
+  EXPECT_FALSE(parsePassPipeline("cse,,dce", P, Error));
+  EXPECT_NE(Error.find("empty pass name"), std::string::npos);
+
+  EXPECT_FALSE(parsePassPipeline("cse,dce,", P, Error));
+
+  EXPECT_FALSE(parsePassPipeline("nosuchpass", P, Error));
+  EXPECT_NE(Error.find("unknown pass 'nosuchpass'"), std::string::npos);
+
+  EXPECT_FALSE(parsePassPipeline("cse<forever>", P, Error));
+  EXPECT_NE(Error.find("unknown modifier 'forever'"), std::string::npos);
+
+  EXPECT_FALSE(parsePassPipeline("cse<fixpoint", P, Error));
+  EXPECT_NE(Error.find("expected '>'"), std::string::npos);
+
+  // Failure leaves no partial pipeline behind.
+  EXPECT_TRUE(P.empty());
+
+  UnitPassManager UPM;
+  EXPECT_FALSE(UPM.addPipeline("cse,bogus", &Error));
+  EXPECT_TRUE(UPM.addPipeline("cse,dce", &Error)) << Error;
+  EXPECT_EQ(UPM.pipelineString(), "cse,dce");
+}
+
+TEST_F(PassManagerTest, RegistryLookup) {
+  EXPECT_EQ(allPasses().size(), 10u);
+  ASSERT_NE(passByName("tcm"), nullptr);
+  EXPECT_STREQ(passByName("tcm")->Name, "tcm");
+  EXPECT_EQ(passByName("TCM"), nullptr);
+  EXPECT_EQ(passByName("std"), nullptr); // A set, not a pass.
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis caching and invalidation.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, AnalysisCacheHitsAndInvalidation) {
+  Unit *P = parse(ACC_COMB, "acc_comb");
+  UnitAnalysisManager AM;
+
+  // First request computes (the dominator tree pulls in the CFG).
+  const DominatorTree &DT = AM.get<DominatorTreeAnalysis>(*P);
+  EXPECT_EQ(AM.stats().Misses, 2u); // domtree + cfg
+  EXPECT_EQ(AM.stats().Hits, 0u);
+
+  // Second request is a cache hit returning the same object.
+  const DominatorTree &DT2 = AM.get<DominatorTreeAnalysis>(*P);
+  EXPECT_EQ(&DT, &DT2);
+  EXPECT_EQ(AM.stats().Hits, 1u);
+  EXPECT_EQ(AM.stats().Misses, 2u);
+
+  // Frontiers derive from the cached tree: one more miss, one more hit.
+  AM.get<DominanceFrontiersAnalysis>(*P);
+  EXPECT_EQ(AM.stats().Misses, 3u);
+  EXPECT_EQ(AM.stats().Hits, 2u);
+
+  // A pass that preserves the CFG analyses keeps them cached.
+  AM.invalidate(*P, preserveCfgAnalyses());
+  EXPECT_TRUE(AM.isCached<DominatorTreeAnalysis>(*P));
+  EXPECT_EQ(AM.stats().Invalidations, 0u);
+
+  // Preserving only the domtree still drops the frontiers' dependents?
+  // No — frontiers depend on the domtree, so they survive with it; but
+  // dropping the CFG drops the whole chain.
+  PreservedAnalyses OnlyTR =
+      PreservedAnalyses::none().preserve<TemporalRegionsAnalysis>();
+  AM.invalidate(*P, OnlyTR);
+  EXPECT_FALSE(AM.isCached<DominatorTreeAnalysis>(*P));
+  EXPECT_FALSE(AM.isCached<CfgAnalysis>(*P));
+  EXPECT_FALSE(AM.isCached<DominanceFrontiersAnalysis>(*P));
+  EXPECT_EQ(AM.stats().Invalidations, 3u);
+
+  // Dependency chain: claiming to preserve the frontiers while dropping
+  // the domtree must drop the frontiers too.
+  AM.get<DominanceFrontiersAnalysis>(*P);
+  PreservedAnalyses KeepDF =
+      PreservedAnalyses::none()
+          .preserve<CfgAnalysis>()
+          .preserve<DominanceFrontiersAnalysis>();
+  AM.invalidate(*P, KeepDF);
+  EXPECT_TRUE(AM.isCached<CfgAnalysis>(*P));
+  EXPECT_FALSE(AM.isCached<DominanceFrontiersAnalysis>(*P));
+}
+
+TEST_F(PassManagerTest, PipelineReusesAnalysesAcrossPasses) {
+  Unit *P = parse(ACC_COMB, "acc_comb");
+  UnitAnalysisManager AM;
+  UnitPassManager UPM;
+  // cse and ecm both want the dominator tree; cse preserves the CFG
+  // analyses, so ecm's fetch must hit the cache.
+  ASSERT_TRUE(UPM.addPipeline("cse,ecm", nullptr));
+  UPM.run(*P, AM);
+  EXPECT_GT(AM.stats().Hits, 0u);
+  // 10 passes were registered with stats: exactly cse + ecm ran.
+  ASSERT_EQ(UPM.statistics().table().size(), 2u);
+  EXPECT_EQ(UPM.statistics().table()[0].Name, "cse");
+  EXPECT_EQ(UPM.statistics().table()[0].Runs, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint driver and statistics.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, FixpointDriverMatchesLegacyLoop) {
+  // Two identical copies of a unit with folding + dead-code chains.
+  const char *Src = R"(
+func @f (i32 %x) i32 {
+entry:
+  %a = const i32 6
+  %b = const i32 7
+  %m = mul i32 %a, %b
+  %dead = add i32 %m, %a
+  %z = const i32 0
+  %s = add i32 %m, %z
+  ret i32 %s
+}
+)";
+  Module M2{Ctx, "t2"};
+  ASSERT_TRUE(parseModule(Src, M).Ok);
+  ASSERT_TRUE(parseModule(Src, M2).Ok);
+
+  Unit *F1 = M.unitByName("f");
+  Unit *F2 = M2.unitByName("f");
+  // Legacy entry point (now a std<fixpoint> pipeline) vs explicit one.
+  EXPECT_TRUE(runStandardOptimizations(*F1));
+  UnitAnalysisManager AM;
+  UnitPassManager UPM;
+  ASSERT_TRUE(UPM.addPipeline("std<fixpoint>", nullptr));
+  EXPECT_TRUE(UPM.run(*F2, AM));
+  EXPECT_EQ(printUnit(*F1), printUnit(*F2));
+
+  // The worklist converged: every member ran, none more often than the
+  // MaxFixpointRuns safety net, and the statistics saw every run.
+  for (const PassStatistic &S : UPM.statistics().table()) {
+    EXPECT_GE(S.Runs, 1u);
+    EXPECT_LE(S.Runs, 64u);
+    EXPECT_GE(S.Seconds, 0.0);
+  }
+}
+
+TEST_F(PassManagerTest, RAUWHeavyPassesConverge) {
+  // A long chain of foldable adds: constant folding RAUWs every link,
+  // exercising the swap-with-back use-list removal; the fixpoint driver
+  // must still converge to a single returned constant.
+  std::string Src = "func @f () i32 {\nentry:\n  %v0 = const i32 1\n";
+  for (int I = 1; I <= 100; ++I)
+    Src += "  %v" + std::to_string(I) + " = add i32 %v" +
+           std::to_string(I - 1) + ", %v0\n";
+  Src += "  ret i32 %v100\n}\n";
+  Unit *F = parse(Src.c_str(), "f");
+
+  UnitAnalysisManager AM;
+  UnitPassManager UPM;
+  ASSERT_TRUE(UPM.addPipeline("std<fixpoint>", nullptr));
+  EXPECT_TRUE(UPM.run(*F, AM));
+
+  // Everything folded away: a constant and the return.
+  EXPECT_EQ(F->numInsts(), 2u);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyUnit(*F, Errors)) << Errors.front();
+}
+
+TEST_F(PassManagerTest, VerifyEachReportsNothingOnHealthyPipeline) {
+  Unit *P = parse(ACC_COMB, "acc_comb");
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  UnitAnalysisManager AM;
+  UnitPassManager UPM(Opts);
+  ASSERT_TRUE(UPM.addPipeline(kLoweringPipeline, nullptr));
+  UPM.run(*P, AM);
+  EXPECT_TRUE(UPM.verifyErrors().empty())
+      << UPM.verifyErrors().front();
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoints.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, CheckpointRestoresRejectedProcessVerbatim) {
+  const char *Tb = R"(
+proc @tb () -> (i1$ %clk) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %del = const time 1ns
+  br %loop
+loop:
+  drv i1$ %clk, %b1 after %del
+  wait %flip for %del
+flip:
+  drv i1$ %clk, %b0 after %del
+  wait %loop for %del
+}
+)";
+  Unit *P = parse(Tb, "tb");
+  std::string Original = printUnit(*P);
+
+  LoweringResult R = lowerToStructural(M);
+  ASSERT_EQ(R.Rejected.size(), 1u);
+
+  // The rejected process came back byte-identical despite the pipeline
+  // having transformed it in place.
+  Unit *Restored = M.unitByName("tb");
+  ASSERT_NE(Restored, nullptr);
+  EXPECT_EQ(printUnit(*Restored), Original);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel scheduling.
+//===----------------------------------------------------------------------===//
+
+TEST_F(PassManagerTest, ParallelLoweringMatchesSerialOnDesignsSuite) {
+  for (const designs::DesignInfo &D : designs::allDesigns(0.0)) {
+    Context C1, C2;
+    Module M1(C1, D.Key), M2(C2, D.Key);
+    ASSERT_TRUE(moore::compileSystemVerilog(D.Source, D.TopModule, M1).Ok)
+        << D.Key;
+    ASSERT_TRUE(moore::compileSystemVerilog(D.Source, D.TopModule, M2).Ok)
+        << D.Key;
+
+    LoweringOptions SerialOpts;
+    SerialOpts.Threads = 1;
+    LoweringResult SR = lowerToStructural(M1, SerialOpts);
+
+    LoweringOptions ParallelOpts;
+    ParallelOpts.Threads = 4;
+    LoweringResult PR = lowerToStructural(M2, ParallelOpts);
+
+    EXPECT_EQ(SR.Rejected.size(), PR.Rejected.size()) << D.Key;
+    EXPECT_EQ(printModule(M1), printModule(M2)) << D.Key;
+
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(M2, Errors))
+        << D.Key << ": " << Errors.front();
+  }
+}
+
+TEST_F(PassManagerTest, ModulePassManagerMergesWorkerStatistics) {
+  // Several parseable processes, pipelined with 3 workers: the merged
+  // statistics must account for every unit exactly once.
+  std::string Src;
+  for (int I = 0; I != 6; ++I) {
+    std::string N = std::to_string(I);
+    Src += "proc @p" + N + " (i1$ %a) -> (i1$ %b) {\nentry:\n";
+    Src += "  %v = prb i1$ %a\n  %t = const time 0s\n";
+    Src += "  drv i1$ %b, %v after %t\n  wait %entry for %a\n}\n";
+  }
+  ASSERT_TRUE(parseModule(Src, M).Ok);
+
+  ModulePassManagerOptions Opts;
+  Opts.Threads = 3;
+  Opts.OnlyProcesses = true;
+  ModulePassManager MPM(Opts);
+  ASSERT_TRUE(MPM.addPipeline("cse,ecm,dce", nullptr));
+  MPM.run(M);
+
+  for (const PassStatistic &S : MPM.statistics().table())
+    EXPECT_EQ(S.Runs, 6u) << S.Name;
+  EXPECT_EQ(MPM.analysisStatistics().Misses > 0, true);
+  EXPECT_TRUE(MPM.verifyErrors().empty());
+}
+
+} // namespace
