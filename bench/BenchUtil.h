@@ -29,6 +29,18 @@ inline double argFloat(int Argc, char **Argv, const std::string &Name,
   return Default;
 }
 
+/// Parses "--name=<string>" style flags.
+inline std::string argStr(int Argc, char **Argv, const std::string &Name,
+                          const std::string &Default) {
+  std::string Prefix = "--" + Name + "=";
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind(Prefix, 0) == 0)
+      return A.substr(Prefix.size());
+  }
+  return Default;
+}
+
 inline bool argFlag(int Argc, char **Argv, const std::string &Name) {
   std::string Flag = "--" + Name;
   for (int I = 1; I < Argc; ++I)

@@ -19,14 +19,71 @@
 #include "sim/Interp.h"
 #include "vsim/CommSim.h"
 
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 using namespace llhd;
 using namespace llhd_bench;
 
+namespace {
+
+/// One design's measurements for the machine-readable dump.
+struct Row {
+  std::string Name;
+  uint64_t Cycles;
+  double IntS, JitS, CommS;
+  bool TracesMatch;
+};
+
+/// Writes per-engine ns/cycle (and geometric means) as JSON so future
+/// PRs can diff simulation performance mechanically.
+void writeJson(const std::string &Path, double Scale,
+               const std::vector<Row> &Rows) {
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return;
+  }
+  auto nsPerCycle = [](double Sec, uint64_t Cycles) {
+    return Cycles ? Sec * 1e9 / (double)Cycles : 0.0;
+  };
+  double GInt = 0, GJit = 0, GComm = 0;
+  fprintf(F, "{\n  \"bench\": \"table2_sim_perf\",\n");
+  fprintf(F, "  \"scale\": %g,\n  \"designs\": [\n", Scale);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    double NInt = nsPerCycle(R.IntS, R.Cycles),
+           NJit = nsPerCycle(R.JitS, R.Cycles),
+           NComm = nsPerCycle(R.CommS, R.Cycles);
+    GInt += std::log(NInt);
+    GJit += std::log(NJit);
+    GComm += std::log(NComm);
+    fprintf(F,
+            "    {\"name\": \"%s\", \"cycles\": %llu, "
+            "\"interp_ns_per_cycle\": %.1f, \"blaze_ns_per_cycle\": %.1f, "
+            "\"comm_ns_per_cycle\": %.1f, \"traces_match\": %s}%s\n",
+            R.Name.c_str(), (unsigned long long)R.Cycles, NInt, NJit,
+            NComm, R.TracesMatch ? "true" : "false",
+            I + 1 != Rows.size() ? "," : "");
+  }
+  size_t N = Rows.empty() ? 1 : Rows.size();
+  fprintf(F, "  ],\n  \"geomean_ns_per_cycle\": ");
+  fprintf(F,
+          "{\"interp\": %.1f, \"blaze\": %.1f, \"comm\": %.1f}\n}\n",
+          std::exp(GInt / N), std::exp(GJit / N), std::exp(GComm / N));
+  fclose(F);
+  printf("wrote %s\n", Path.c_str());
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   double Scale = argFloat(argc, argv, "scale", 0.001);
   bool Verify = !argFlag(argc, argv, "no-verify");
+  std::string JsonPath = argStr(argc, argv, "json", "BENCH_sim.json");
+  std::vector<Row> Rows;
 
   printf("Table 2: Simulation performance of LLHD (scale=%g of paper "
          "cycle counts)\n",
@@ -68,13 +125,19 @@ int main(int argc, char **argv) {
     double TComm = timeIt([&] { S3 = Comm.run(); });
 
     const char *Status = "";
-    if (S1.AssertFailures || S2.AssertFailures || S3.AssertFailures)
+    bool Match = true;
+    if (S1.AssertFailures || S2.AssertFailures || S3.AssertFailures) {
       Status = "  ASSERTS FAILED";
-    else if (Verify && (Int.trace().digest() != Jit.trace().digest() ||
-                        Int.trace().digest() != Comm.trace().digest()))
+      Match = false;
+    } else if (Verify &&
+               (Int.trace().digest() != Jit.trace().digest() ||
+                Int.trace().digest() != Comm.trace().digest())) {
       Status = "  TRACE MISMATCH";
-    else if (Verify)
+      Match = false;
+    } else if (Verify) {
       Status = "  traces match";
+    }
+    Rows.push_back({D.PaperName, D.Iterations, TInt, TJit, TComm, Match});
 
     printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %8.1f %7.2f%s\n",
            D.PaperName.c_str(), locOf(D.Source),
@@ -85,5 +148,7 @@ int main(int argc, char **argv) {
   printf("\nShape to compare with the paper: Int. is orders of magnitude "
          "slower than JIT;\nJIT and Comm. are the same order, with either "
          "ahead by up to ~2.4x per design.\n");
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Scale, Rows);
   return 0;
 }

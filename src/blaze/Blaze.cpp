@@ -6,10 +6,11 @@
 #include "passes/Passes.h"
 #include "sim/EventLoop.h"
 #include "sim/RtOps.h"
+#include "support/DepthPool.h"
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <memory>
 
 using namespace llhd;
 
@@ -43,6 +44,8 @@ struct BcOp {
   Opcode IrOp = Opcode::Halt;
   int32_t Dst = -1;
   int32_t A = -1, B = -1, Cc = -1, Dd = -1;
+  /// Pure/insf/exts immediate; for RegOp/DelOp, the base index into the
+  /// per-instance RegPrev/DelPrev state arrays.
   uint32_t Imm = 0;
   int32_t Jmp0 = -1, Jmp1 = -1;
   std::vector<int32_t> Ext;
@@ -54,13 +57,11 @@ struct BcUnit {
   Unit *U = nullptr;
   std::vector<BcOp> Ops;
   uint32_t NumSlots = 0;
+  /// Slots [0, NumValues) are the unit's dense value numbering (see
+  /// Unit::numberValues); the rest are compiler scratch.
+  uint32_t NumValues = 0;
   /// Constant preloads: (slot, value).
   std::vector<std::pair<uint32_t, RtValue>> ConstSlots;
-  /// Slot of every value (for binding preloads).
-  std::map<const Value *, uint32_t> SlotOf;
-  /// reg/del per-instance state layout.
-  std::map<std::pair<const Instruction *, unsigned>, uint32_t> RegPrevIdx;
-  std::map<const Instruction *, uint32_t> DelPrevIdx;
   uint32_t NumRegPrev = 0, NumDelPrev = 0;
 };
 
@@ -71,23 +72,18 @@ public:
   BcUnit take() { return std::move(BC); }
 
 private:
+  /// A value's frame slot is its dense value number.
   uint32_t slotOf(Value *V) {
-    auto It = BC.SlotOf.find(V);
-    if (It != BC.SlotOf.end())
-      return It->second;
-    uint32_t S = BC.NumSlots++;
-    BC.SlotOf[V] = S;
-    return S;
+    assert(V->valueNumber() < BC.NumValues && "value not numbered");
+    return V->valueNumber();
   }
 
   uint32_t freshSlot() { return BC.NumSlots++; }
 
   void compile(Unit &U) {
     BC.U = &U;
-    for (Argument *A : U.inputs())
-      slotOf(A);
-    for (Argument *A : U.outputs())
-      slotOf(A);
+    BC.NumValues = U.numberValues();
+    BC.NumSlots = BC.NumValues;
 
     if (U.isEntity()) {
       compileEntityBody(U);
@@ -95,8 +91,9 @@ private:
     }
 
     // Control flow: emit blocks in order, then fix jump targets and
-    // insert phi edge-copy trampolines.
-    std::map<const BasicBlock *, uint32_t> BlockPc;
+    // insert phi edge-copy trampolines. Blocks are numbered densely by
+    // numberValues(), so the pc table is a flat vector.
+    std::vector<uint32_t> BlockPc(U.blocks().size(), 0);
     struct PendingJump {
       uint32_t Pc;
       int WhichTarget; // 0 = Jmp0, 1 = Jmp1.
@@ -106,18 +103,22 @@ private:
     std::vector<PendingJump> Pending;
 
     for (BasicBlock *BB : U.blocks()) {
-      BlockPc[BB] = BC.Ops.size();
+      BlockPc[BB->valueNumber()] = BC.Ops.size();
       for (Instruction *I : BB->insts())
         emitInst(I, BB, Pending);
     }
 
     // Edge trampolines: copy phi incomings staged through scratch slots.
-    std::map<std::pair<const BasicBlock *, const BasicBlock *>, uint32_t>
-        EdgePc;
+    // Keyed by (pred, target) block numbers; the edge count is small, so
+    // a linear scan over a flat vector beats a node-based map.
+    std::vector<std::pair<uint64_t, uint32_t>> EdgePc;
     for (PendingJump &PJ : Pending) {
-      auto Key = std::make_pair(PJ.Pred, PJ.Target);
+      uint64_t Key = (uint64_t(PJ.Pred->valueNumber()) << 32) |
+                     PJ.Target->valueNumber();
       uint32_t TargetPc;
-      auto EIt = EdgePc.find(Key);
+      auto EIt = std::find_if(
+          EdgePc.begin(), EdgePc.end(),
+          [Key](const auto &P) { return P.first == Key; });
       if (EIt != EdgePc.end()) {
         TargetPc = EIt->second;
       } else {
@@ -131,7 +132,7 @@ private:
               Copies.push_back({slotOf(I->incomingValue(J)), slotOf(I)});
         }
         if (Copies.empty()) {
-          TargetPc = BlockPc[PJ.Target];
+          TargetPc = BlockPc[PJ.Target->valueNumber()];
         } else {
           TargetPc = BC.Ops.size();
           // Stage all reads first so phi-reads-phi is safe.
@@ -154,10 +155,10 @@ private:
           }
           BcOp Jump;
           Jump.C = BcOpc::Jmp;
-          Jump.Jmp0 = BlockPc[PJ.Target];
+          Jump.Jmp0 = BlockPc[PJ.Target->valueNumber()];
           BC.Ops.push_back(Jump);
         }
-        EdgePc[Key] = TargetPc;
+        EdgePc.push_back({Key, TargetPc});
       }
       if (PJ.WhichTarget == 0)
         BC.Ops[PJ.Pc].Jmp0 = TargetPc;
@@ -314,8 +315,8 @@ private:
         Op.A = slotOf(I->operand(0)); // Target signal.
         for (unsigned J = 1; J != I->numOperands(); ++J)
           Op.Ext.push_back(slotOf(I->operand(J)));
-        for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI)
-          BC.RegPrevIdx[{I, TI}] = BC.NumRegPrev++;
+        Op.Imm = BC.NumRegPrev; // Trigger state base index.
+        BC.NumRegPrev += I->regTriggers().size();
         BC.Ops.push_back(Op);
         continue;
       }
@@ -326,7 +327,7 @@ private:
         Op.A = slotOf(I->operand(0));
         Op.B = slotOf(I->operand(1));
         Op.Cc = slotOf(I->operand(2));
-        BC.DelPrevIdx[I] = BC.NumDelPrev++;
+        Op.Imm = BC.NumDelPrev++; // Prev-value state index.
         BC.Ops.push_back(Op);
         continue;
       }
@@ -425,7 +426,16 @@ struct BlazeSim::Impl {
   std::map<Unit *, BcUnit> Units;
   std::vector<BcProcState> Procs;
   std::vector<BcEntState> Ents;
-  std::vector<RtValue> Scratch;
+
+  /// Depth-indexed pools of function frames and call-argument buffers,
+  /// reused across calls so steady-state function execution does not
+  /// allocate.
+  struct FnFrame {
+    std::vector<RtValue> Frame;
+    std::vector<RtValue> Memory;
+  };
+  DepthPool<FnFrame> FnPool;
+  DepthPool<std::vector<RtValue>> ArgPool;
 
   Impl(Module &M, const std::string &Top, BlazeOptions O)
       : Ctx(M.context()), Cloned(Ctx, M.name() + ".blaze"), Opts(O),
@@ -460,9 +470,9 @@ struct BlazeSim::Impl {
     for (const auto &[Slot, V] : BC.ConstSlots)
       Frame[Slot] = V;
     for (const auto &[Val, Ref] : UI.Bindings) {
-      auto It = BC.SlotOf.find(Val);
-      if (It != BC.SlotOf.end())
-        Frame[It->second] = RtValue(Ref);
+      uint32_t Slot = Val->valueNumber();
+      if (Slot < BC.NumValues)
+        Frame[Slot] = RtValue(Ref);
     }
   }
 
@@ -499,24 +509,26 @@ struct BlazeSim::Impl {
   // Function execution
   //===------------------------------------------------------------------===//
 
-  RtValue callFunction(Unit *F, std::vector<RtValue> Args) {
+  RtValue callFunction(Unit *F, std::vector<RtValue> &Args) {
     if (F->isIntrinsic() || F->isDeclaration())
       return callIntrinsic(F, Args);
     const BcUnit &BC = unitFor(F);
-    std::vector<RtValue> Frame(BC.NumSlots);
+    auto FR = FnPool.lease();
+    std::vector<RtValue> &Frame = FR->Frame;
+    std::vector<RtValue> &Memory = FR->Memory;
+    Frame.assign(BC.NumSlots, RtValue());
+    Memory.clear();
     for (const auto &[Slot, V] : BC.ConstSlots)
       Frame[Slot] = V;
     for (unsigned I = 0; I != F->inputs().size(); ++I)
-      Frame[BC.SlotOf.at(F->input(I))] = std::move(Args[I]);
-    std::vector<RtValue> Memory;
+      Frame[F->input(I)->valueNumber()] = std::move(Args[I]);
     uint32_t Pc = 0;
     uint64_t Fuel = 100000000ull;
-    std::vector<const RtValue *> OpPtrs;
     while (Fuel--) {
       const BcOp &Op = BC.Ops[Pc];
       switch (Op.C) {
       case BcOpc::Ret:
-        return Op.A >= 0 ? Frame[Op.A] : RtValue();
+        return Op.A >= 0 ? std::move(Frame[Op.A]) : RtValue();
       case BcOpc::Jmp:
         Pc = Op.Jmp0;
         continue;
@@ -526,14 +538,10 @@ struct BlazeSim::Impl {
       case BcOpc::Copy:
         Frame[Op.Dst] = Frame[Op.A];
         break;
-      case BcOpc::Pure: {
-        OpPtrs.clear();
-        for (int32_t S : Op.Ext)
-          OpPtrs.push_back(&Frame[S]);
-        Frame[Op.Dst] = evalPureP(Op.IrOp, OpPtrs.data(), OpPtrs.size(),
-                                  Op.Imm, Op.Src);
+      case BcOpc::Pure:
+        Frame[Op.Dst] = evalPureIdx(Op.IrOp, Frame.data(), Op.Ext.data(),
+                                    Op.Ext.size(), Op.Imm, Op.Src);
         break;
-      }
       case BcOpc::VarOp:
         Memory.push_back(Frame[Op.A]);
         Frame[Op.Dst] = RtValue::makePointer(Memory.size() - 1);
@@ -545,10 +553,7 @@ struct BlazeSim::Impl {
         Memory[Frame[Op.A].pointer()] = Frame[Op.B];
         break;
       case BcOpc::CallFn: {
-        std::vector<RtValue> CallArgs;
-        for (int32_t S : Op.Ext)
-          CallArgs.push_back(Frame[S]);
-        RtValue R = callFunction(Op.Src->callee(), std::move(CallArgs));
+        RtValue R = callFrameSlots(Op, Frame);
         if (Op.Dst >= 0)
           Frame[Op.Dst] = std::move(R);
         break;
@@ -560,6 +565,17 @@ struct BlazeSim::Impl {
       ++Pc;
     }
     return RtValue();
+  }
+
+  /// Gathers a CallFn op's arguments from \p Frame into a pooled buffer
+  /// and invokes the callee.
+  RtValue callFrameSlots(const BcOp &Op, std::vector<RtValue> &Frame) {
+    auto Lease = ArgPool.lease();
+    std::vector<RtValue> &Args = *Lease;
+    Args.clear();
+    for (int32_t S : Op.Ext)
+      Args.push_back(Frame[S]);
+    return callFunction(Op.Src->callee(), Args);
   }
 
   RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args) {
@@ -588,7 +604,6 @@ struct BlazeSim::Impl {
     ++Stats.ProcessRuns;
     const BcUnit &BC = *PS.BC;
     uint64_t Fuel = 100000000ull;
-    std::vector<const RtValue *> OpPtrs;
     while (Fuel--) {
       const BcOp &Op = BC.Ops[PS.Pc];
       switch (Op.C) {
@@ -603,7 +618,7 @@ struct BlazeSim::Impl {
                              {PI, PS.WakeGen});
         for (int32_t S : Op.Ext)
           PS.Sensitivity.push_back(
-              D.Signals.canonical(PS.Frame[S].sigRef().Sig));
+              D.Signals.canonical(PS.Frame[S].sigId()));
         PS.State = BcProcState::St::Waiting;
         PS.Pc = Op.Jmp0;
         return;
@@ -630,15 +645,11 @@ struct BlazeSim::Impl {
         Sched.countScheduled(1);
         break;
       }
-      case BcOpc::Pure: {
-        OpPtrs.clear();
-        for (int32_t S : Op.Ext)
-          OpPtrs.push_back(&PS.Frame[S]);
+      case BcOpc::Pure:
         PS.Frame[Op.Dst] =
-            evalPureP(Op.IrOp, OpPtrs.data(), OpPtrs.size(), Op.Imm,
-                      Op.Src);
+            evalPureIdx(Op.IrOp, PS.Frame.data(), Op.Ext.data(),
+                        Op.Ext.size(), Op.Imm, Op.Src);
         break;
-      }
       case BcOpc::VarOp:
         PS.Memory.push_back(PS.Frame[Op.A]);
         PS.Frame[Op.Dst] = RtValue::makePointer(PS.Memory.size() - 1);
@@ -650,10 +661,7 @@ struct BlazeSim::Impl {
         PS.Memory[PS.Frame[Op.A].pointer()] = PS.Frame[Op.B];
         break;
       case BcOpc::CallFn: {
-        std::vector<RtValue> Args;
-        for (int32_t S : Op.Ext)
-          Args.push_back(PS.Frame[S]);
-        RtValue R = callFunction(Op.Src->callee(), std::move(Args));
+        RtValue R = callFrameSlots(Op, PS.Frame);
         if (Op.Dst >= 0)
           PS.Frame[Op.Dst] = std::move(R);
         break;
@@ -672,7 +680,6 @@ struct BlazeSim::Impl {
     BcEntState &ES = Ents[EI];
     ++Stats.EntityEvals;
     const BcUnit &BC = *ES.BC;
-    std::vector<const RtValue *> OpPtrs;
     for (const BcOp &Op : BC.Ops) {
       switch (Op.C) {
       case BcOpc::Prb:
@@ -688,21 +695,17 @@ struct BlazeSim::Impl {
         Sched.countScheduled(1);
         break;
       }
-      case BcOpc::Pure: {
-        OpPtrs.clear();
-        for (int32_t S : Op.Ext)
-          OpPtrs.push_back(&ES.Frame[S]);
+      case BcOpc::Pure:
         ES.Frame[Op.Dst] =
-            evalPureP(Op.IrOp, OpPtrs.data(), OpPtrs.size(), Op.Imm,
-                      Op.Src);
+            evalPureIdx(Op.IrOp, ES.Frame.data(), Op.Ext.data(),
+                        Op.Ext.size(), Op.Imm, Op.Src);
         break;
-      }
       case BcOpc::RegOp:
         evalReg(ES, Op, Initial);
         break;
       case BcOpc::DelOp: {
         RtValue Src = D.Signals.read(ES.Frame[Op.B].sigRef());
-        RtValue &Prev = ES.DelPrev[BC.DelPrevIdx.at(Op.Src)];
+        RtValue &Prev = ES.DelPrev[Op.Imm];
         if (Initial || Prev != Src) {
           Prev = Src;
           Sched.scheduleUpdate(
@@ -721,7 +724,6 @@ struct BlazeSim::Impl {
 
   void evalReg(BcEntState &ES, const BcOp &Op, bool Initial) {
     const Instruction *I = Op.Src;
-    const BcUnit &BC = *ES.BC;
     SigRef Target = ES.Frame[Op.A].sigRef();
     for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
       const RegTrigger &T = I->regTriggers()[TI];
@@ -731,7 +733,7 @@ struct BlazeSim::Impl {
         return Op.Ext[OperandIdx - 1];
       };
       RtValue Cur = ES.Frame[slot(T.TriggerIdx)];
-      uint32_t PrevIdx = BC.RegPrevIdx.at({I, TI});
+      uint32_t PrevIdx = Op.Imm + TI;
       bool HavePrev = ES.RegPrevValid[PrevIdx];
       RtValue Prev = HavePrev ? ES.RegPrev[PrevIdx] : Cur;
       ES.RegPrev[PrevIdx] = Cur;

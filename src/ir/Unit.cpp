@@ -103,3 +103,18 @@ unsigned Unit::numInsts() const {
     N += BB->size();
   return N;
 }
+
+uint32_t Unit::numberValues() {
+  uint32_t N = 0;
+  for (Argument *A : Inputs)
+    A->setValueNumber(N++);
+  for (Argument *A : Outputs)
+    A->setValueNumber(N++);
+  uint32_t BN = 0;
+  for (BasicBlock *BB : Blocks) {
+    BB->setValueNumber(BN++);
+    for (Instruction *I : BB->insts())
+      I->setValueNumber(N++);
+  }
+  return N;
+}

@@ -106,6 +106,13 @@ public:
   /// Total instruction count across all blocks.
   unsigned numInsts() const;
 
+  /// Assigns every argument and instruction of this unit a dense value
+  /// number 0..N-1 (in signature/program order) and every block a dense
+  /// block number 0..NB-1, then returns N. Engines call this once when
+  /// building their per-unit structures; the numbering is deterministic,
+  /// so repeated calls (e.g. by two engines sharing a module) agree.
+  uint32_t numberValues();
+
 private:
   friend class Module;
   Context &Ctx;

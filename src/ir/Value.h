@@ -83,6 +83,13 @@ public:
   /// Rewrites every use of this value to use \p New instead.
   void replaceAllUsesWith(Value *New);
 
+  /// Dense per-unit numbering used by the simulation engines to index
+  /// frame slots (and block tables) as flat arrays instead of per-value
+  /// maps. Assigned by Unit::numberValues(); only meaningful after it ran
+  /// and until the unit is mutated again.
+  uint32_t valueNumber() const { return ValNo; }
+  void setValueNumber(uint32_t N) { ValNo = N; }
+
 protected:
   Value(Kind K, Type *Ty, std::string Name)
       : TheKind(K), Ty(Ty), Name(std::move(Name)) {}
@@ -111,6 +118,7 @@ private:
   Kind TheKind;
   Type *Ty;
   std::string Name;
+  uint32_t ValNo = 0;
   std::vector<Use *> UseList;
 };
 

@@ -3,21 +3,24 @@
 #include "sim/Interp.h"
 #include "sim/EventLoop.h"
 #include "sim/RtOps.h"
+#include "support/DepthPool.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <set>
+#include <memory>
 
 using namespace llhd;
 
 namespace {
 
-/// Per-process interpreter state.
+/// Per-process interpreter state. The frame is a dense slot array indexed
+/// by the unit's value numbering (Unit::numberValues), preallocated once
+/// at build — re-activating a process touches no allocator.
 struct ProcState {
   const UnitInstance *Inst = nullptr;
-  std::map<const Value *, RtValue> Frame;
+  std::vector<RtValue> Frame;  ///< One slot per unit value.
   std::vector<RtValue> Memory; ///< var/alloc cells.
   BasicBlock *CurBB = nullptr;
   unsigned CurIdx = 0;
@@ -27,13 +30,16 @@ struct ProcState {
   uint64_t WakeGen = 0;              ///< Stale-timer guard.
 };
 
-/// Per-entity interpreter state.
+/// Per-entity interpreter state. The frame persists across evaluations;
+/// constants, static values and signal bindings are preloaded once.
+/// reg/del previous samples live in dense arrays addressed by a running
+/// cursor over the (stable) entity instruction walk order.
 struct EntState {
   const UnitInstance *Inst = nullptr;
-  /// Previous trigger samples, keyed by (reg instruction, trigger index).
-  std::map<std::pair<const Instruction *, unsigned>, RtValue> PrevTrig;
-  /// Previous source values of `del` rules.
-  std::map<const Instruction *, RtValue> PrevDel;
+  std::vector<RtValue> Frame;
+  std::vector<RtValue> PrevTrig;
+  std::vector<uint8_t> PrevTrigValid;
+  std::vector<RtValue> PrevDel;
 };
 
 } // namespace
@@ -50,6 +56,20 @@ struct InterpSim::Impl {
   Time Now;
   bool FinishRequested = false;
 
+  /// Value-slot counts of function units, numbered on first call.
+  std::map<Unit *, uint32_t> FnSlots;
+  /// Depth-indexed pools of function frames and call-argument buffers,
+  /// so steady-state function calls reuse storage instead of allocating.
+  struct FnFrame {
+    std::vector<RtValue> Frame;
+    std::vector<RtValue> Memory;
+  };
+  DepthPool<FnFrame> FnPool;
+  DepthPool<std::vector<RtValue>> ArgPool;
+  /// Operand pointer scratch for evalPureP; cleared at each use, so the
+  /// reentrant use through function calls is safe.
+  std::vector<const RtValue *> OpPtrs;
+
   Impl(Design DIn, SimOptions O)
       : D(std::move(DIn)), Opts(O), Tr(O.TraceMode) {}
 
@@ -59,19 +79,47 @@ struct InterpSim::Impl {
 
   void build() {
     for (const UnitInstance &UI : D.Instances) {
+      uint32_t NumSlots = UI.U->numberValues();
       if (UI.U->isProcess()) {
         ProcState PS;
         PS.Inst = &UI;
         PS.CurBB = UI.U->entry();
+        PS.Frame.assign(NumSlots, RtValue());
+        preloadBindings(UI, PS.Frame, NumSlots);
         Procs.push_back(std::move(PS));
       } else {
         EntState ES;
         ES.Inst = &UI;
+        ES.Frame.assign(NumSlots, RtValue());
+        // Statics first so bindings take precedence, then constants.
+        for (const auto &[Val, V] : UI.StaticValues)
+          if (Val->valueNumber() < NumSlots)
+            ES.Frame[Val->valueNumber()] = V;
+        preloadBindings(UI, ES.Frame, NumSlots);
+        unsigned NumTrig = 0, NumDel = 0;
+        for (Instruction *I : UI.U->entityBlock()->insts()) {
+          if (I->opcode() == Opcode::Const)
+            ES.Frame[I->valueNumber()] = constValue(*I);
+          else if (I->opcode() == Opcode::Reg)
+            NumTrig += I->regTriggers().size();
+          else if (I->opcode() == Opcode::Del)
+            ++NumDel;
+        }
+        ES.PrevTrig.assign(NumTrig, RtValue());
+        ES.PrevTrigValid.assign(NumTrig, 0);
+        ES.PrevDel.assign(NumDel, RtValue());
         Ents.push_back(std::move(ES));
       }
     }
     // Entity static sensitivity comes from Design::EntityWatchers,
     // built at elaboration and shared with the other engines.
+  }
+
+  void preloadBindings(const UnitInstance &UI, std::vector<RtValue> &Frame,
+                       uint32_t NumSlots) {
+    for (const auto &[Val, Ref] : UI.Bindings)
+      if (Val->valueNumber() < NumSlots)
+        Frame[Val->valueNumber()] = RtValue(Ref);
   }
 
   /// Unique driver identity per (instance, instruction).
@@ -84,14 +132,10 @@ struct InterpSim::Impl {
   // Value evaluation
   //===------------------------------------------------------------------===//
 
-  /// Operand value inside a process frame.
-  RtValue procVal(ProcState &PS, Value *V) {
-    auto BIt = PS.Inst->Bindings.find(V);
-    if (BIt != PS.Inst->Bindings.end())
-      return RtValue(BIt->second);
-    auto FIt = PS.Frame.find(V);
-    assert(FIt != PS.Frame.end() && "use of unevaluated value");
-    return FIt->second;
+  /// Operand value inside a process frame: a direct slot load (bindings
+  /// were preloaded into their slots at build).
+  const RtValue &procVal(ProcState &PS, Value *V) {
+    return PS.Frame[V->valueNumber()];
   }
 
   /// Schedules a drive.
@@ -102,31 +146,45 @@ struct InterpSim::Impl {
     Sched.countScheduled(1);
   }
 
+  /// Evaluates a pure data-flow instruction over frame \p Frame.
+  RtValue evalPureInst(Instruction *I, std::vector<RtValue> &Frame) {
+    OpPtrs.clear();
+    for (unsigned J = 0, E = I->numOperands(); J != E; ++J)
+      OpPtrs.push_back(&Frame[I->operand(J)->valueNumber()]);
+    return evalPureP(I->opcode(), OpPtrs.data(), OpPtrs.size(),
+                     I->immediate(), I);
+  }
+
   //===------------------------------------------------------------------===//
   // Function interpretation (immediate execution, §2.4.1)
   //===------------------------------------------------------------------===//
 
-  RtValue callFunction(Unit *F, const std::vector<RtValue> &Args) {
+  RtValue callFunction(Unit *F, std::vector<RtValue> &Args) {
     if (F->isIntrinsic() || F->isDeclaration())
       return callIntrinsic(F, Args);
-    std::map<const Value *, RtValue> Frame;
-    std::vector<RtValue> Memory;
+    auto SlotIt = FnSlots.find(F);
+    if (SlotIt == FnSlots.end())
+      SlotIt = FnSlots.emplace(F, F->numberValues()).first;
+    auto FR = FnPool.lease();
+    std::vector<RtValue> &Frame = FR->Frame;
+    std::vector<RtValue> &Memory = FR->Memory;
+    Frame.assign(SlotIt->second, RtValue());
+    Memory.clear();
     for (unsigned I = 0; I != F->inputs().size(); ++I)
-      Frame[F->input(I)] = Args[I];
+      Frame[F->input(I)->valueNumber()] = std::move(Args[I]);
     BasicBlock *BB = F->entry();
     BasicBlock *Prev = nullptr;
     unsigned Idx = 0;
     uint64_t Fuel = 100000000ull; // Runaway guard.
-    auto val = [&](Value *V) {
-      auto It = Frame.find(V);
-      assert(It != Frame.end() && "use of unevaluated value");
-      return It->second;
+    auto val = [&](Value *V) -> RtValue & {
+      return Frame[V->valueNumber()];
     };
     while (Fuel--) {
       Instruction *I = BB->insts()[Idx];
       switch (I->opcode()) {
       case Opcode::Ret:
-        return I->numOperands() == 1 ? val(I->operand(0)) : RtValue();
+        return I->numOperands() == 1 ? std::move(val(I->operand(0)))
+                                     : RtValue();
       case Opcode::Br: {
         BasicBlock *Next;
         if (I->numOperands() == 1)
@@ -141,19 +199,19 @@ struct InterpSim::Impl {
       case Opcode::Phi: {
         for (unsigned J = 0; J != I->numIncoming(); ++J)
           if (I->incomingBlock(J) == Prev)
-            Frame[I] = val(I->incomingValue(J));
+            Frame[I->valueNumber()] = val(I->incomingValue(J));
         break;
       }
       case Opcode::Const:
-        Frame[I] = constValue(*I);
+        Frame[I->valueNumber()] = constValue(*I);
         break;
       case Opcode::Var:
       case Opcode::Alloc:
         Memory.push_back(val(I->operand(0)));
-        Frame[I] = RtValue::makePointer(Memory.size() - 1);
+        Frame[I->valueNumber()] = RtValue::makePointer(Memory.size() - 1);
         break;
       case Opcode::Ld:
-        Frame[I] = Memory[val(I->operand(0)).pointer()];
+        Frame[I->valueNumber()] = Memory[val(I->operand(0)).pointer()];
         break;
       case Opcode::St:
         Memory[val(I->operand(0)).pointer()] = val(I->operand(1));
@@ -161,26 +219,31 @@ struct InterpSim::Impl {
       case Opcode::Free:
         break; // Cells are reclaimed with the call frame.
       case Opcode::Call: {
-        std::vector<RtValue> CallArgs;
-        for (unsigned J = 0; J != I->numOperands(); ++J)
-          CallArgs.push_back(val(I->operand(J)));
-        RtValue R = callFunction(I->callee(), CallArgs);
+        RtValue R = callInstruction(I, Frame);
         if (!I->type()->isVoid())
-          Frame[I] = std::move(R);
+          Frame[I->valueNumber()] = std::move(R);
         break;
       }
       default: {
         assert(I->isPureDataFlow() && "illegal instruction in function");
-        std::vector<RtValue> Ops;
-        for (unsigned J = 0; J != I->numOperands(); ++J)
-          Ops.push_back(val(I->operand(J)));
-        Frame[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        Frame[I->valueNumber()] = evalPureInst(I, Frame);
         break;
       }
       }
       ++Idx;
     }
     return RtValue();
+  }
+
+  /// Gathers a call instruction's arguments from \p Frame into a pooled
+  /// buffer and invokes the callee.
+  RtValue callInstruction(Instruction *I, std::vector<RtValue> &Frame) {
+    auto Lease = ArgPool.lease();
+    std::vector<RtValue> &Args = *Lease;
+    Args.clear();
+    for (unsigned J = 0, E = I->numOperands(); J != E; ++J)
+      Args.push_back(Frame[I->operand(J)->valueNumber()]);
+    return callFunction(I->callee(), Args);
   }
 
   RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args) {
@@ -229,13 +292,12 @@ struct InterpSim::Impl {
         PS.Sensitivity.clear();
         ++PS.WakeGen;
         for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
-          RtValue V = procVal(PS, I->operand(J));
+          const RtValue &V = procVal(PS, I->operand(J));
           if (V.isTime()) {
             Sched.scheduleWake(Now.advance(V.timeValue()),
                                {PIdx, PS.WakeGen});
           } else {
-            PS.Sensitivity.push_back(
-                D.Signals.canonical(V.sigRef().Sig));
+            PS.Sensitivity.push_back(D.Signals.canonical(V.sigId()));
           }
         }
         PS.State = ProcState::St::Waiting;
@@ -258,22 +320,23 @@ struct InterpSim::Impl {
       case Opcode::Phi: {
         for (unsigned J = 0; J != I->numIncoming(); ++J)
           if (I->incomingBlock(J) == PS.PrevBB)
-            PS.Frame[I] = procVal(PS, I->incomingValue(J));
+            PS.Frame[I->valueNumber()] =
+                procVal(PS, I->incomingValue(J));
         break;
       }
       case Opcode::Const:
-        PS.Frame[I] = constValue(*I);
+        PS.Frame[I->valueNumber()] = constValue(*I);
         break;
       case Opcode::Prb: {
-        RtValue Sig = procVal(PS, I->operand(0));
-        PS.Frame[I] = D.Signals.read(Sig.sigRef());
+        const RtValue &Sig = procVal(PS, I->operand(0));
+        PS.Frame[I->valueNumber()] = D.Signals.read(Sig.sigRef());
         break;
       }
       case Opcode::Drv: {
         if (I->numOperands() == 4 &&
             !procVal(PS, I->operand(3)).isTruthy())
           break;
-        RtValue Sig = procVal(PS, I->operand(0));
+        const RtValue &Sig = procVal(PS, I->operand(0));
         scheduleDrive(Sig.sigRef(), procVal(PS, I->operand(1)),
                       procVal(PS, I->operand(2)).timeValue(),
                       driverId(PS.Inst, I));
@@ -282,10 +345,12 @@ struct InterpSim::Impl {
       case Opcode::Var:
       case Opcode::Alloc:
         PS.Memory.push_back(procVal(PS, I->operand(0)));
-        PS.Frame[I] = RtValue::makePointer(PS.Memory.size() - 1);
+        PS.Frame[I->valueNumber()] =
+            RtValue::makePointer(PS.Memory.size() - 1);
         break;
       case Opcode::Ld:
-        PS.Frame[I] = PS.Memory[procVal(PS, I->operand(0)).pointer()];
+        PS.Frame[I->valueNumber()] =
+            PS.Memory[procVal(PS, I->operand(0)).pointer()];
         break;
       case Opcode::St:
         PS.Memory[procVal(PS, I->operand(0)).pointer()] =
@@ -294,20 +359,14 @@ struct InterpSim::Impl {
       case Opcode::Free:
         break;
       case Opcode::Call: {
-        std::vector<RtValue> Args;
-        for (unsigned J = 0; J != I->numOperands(); ++J)
-          Args.push_back(procVal(PS, I->operand(J)));
-        RtValue R = callFunction(I->callee(), Args);
+        RtValue R = callInstruction(I, PS.Frame);
         if (!I->type()->isVoid())
-          PS.Frame[I] = std::move(R);
+          PS.Frame[I->valueNumber()] = std::move(R);
         break;
       }
       default: {
         assert(I->isPureDataFlow() && "illegal instruction in process");
-        std::vector<RtValue> Ops;
-        for (unsigned J = 0; J != I->numOperands(); ++J)
-          Ops.push_back(procVal(PS, I->operand(J)));
-        PS.Frame[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        PS.Frame[I->valueNumber()] = evalPureInst(I, PS.Frame);
         break;
       }
       }
@@ -324,30 +383,23 @@ struct InterpSim::Impl {
     EntState &ES = Ents[EIdx];
     const UnitInstance &UI = *ES.Inst;
     ++Stats.EntityEvals;
-    std::map<const Value *, RtValue> Env;
-    auto val = [&](Value *V) -> RtValue {
-      auto BIt = UI.Bindings.find(V);
-      if (BIt != UI.Bindings.end())
-        return RtValue(BIt->second);
-      auto EIt = Env.find(V);
-      if (EIt != Env.end())
-        return EIt->second;
-      auto SIt = UI.StaticValues.find(V);
-      assert(SIt != UI.StaticValues.end() && "use of unevaluated value");
-      return SIt->second;
+    auto val = [&](Value *V) -> const RtValue & {
+      return ES.Frame[V->valueNumber()];
     };
+    // Dense reg/del state cursors, advanced in (stable) walk order.
+    unsigned TrigCursor = 0, DelCursor = 0;
 
     for (Instruction *I : UI.U->entityBlock()->insts()) {
       switch (I->opcode()) {
       case Opcode::Const:
-        Env[I] = constValue(*I);
-        break;
+        break; // Preloaded at build.
       case Opcode::Sig:
       case Opcode::Con:
       case Opcode::InstOp:
         break; // Elaborated.
       case Opcode::Prb:
-        Env[I] = D.Signals.read(val(I->operand(0)).sigRef());
+        ES.Frame[I->valueNumber()] =
+            D.Signals.read(val(I->operand(0)).sigRef());
         break;
       case Opcode::Drv: {
         if (I->numOperands() == 4 && !val(I->operand(3)).isTruthy())
@@ -359,7 +411,7 @@ struct InterpSim::Impl {
       }
       case Opcode::Del: {
         RtValue Src = D.Signals.read(val(I->operand(1)).sigRef());
-        auto &Prev = ES.PrevDel[I];
+        RtValue &Prev = ES.PrevDel[DelCursor++];
         if (Initial || Prev != Src) {
           Prev = Src;
           scheduleDrive(val(I->operand(0)).sigRef(), Src,
@@ -368,15 +420,20 @@ struct InterpSim::Impl {
         }
         break;
       }
-      case Opcode::Reg:
-        evalReg(ES, I, val, Initial);
+      case Opcode::Reg: {
+        unsigned Base = TrigCursor;
+        TrigCursor += I->regTriggers().size();
+        evalReg(ES, I, val, Initial, Base);
         break;
+      }
+      case Opcode::Extf:
+      case Opcode::Exts:
+        if (I->type()->isSignal())
+          break; // Sub-signal bound at elaboration.
+        [[fallthrough]];
       default: {
         assert(I->isPureDataFlow() && "illegal instruction in entity");
-        std::vector<RtValue> Ops;
-        for (unsigned J = 0; J != I->numOperands(); ++J)
-          Ops.push_back(val(I->operand(J)));
-        Env[I] = evalPure(I->opcode(), Ops, I->immediate(), I);
+        ES.Frame[I->valueNumber()] = evalPureInst(I, ES.Frame);
         break;
       }
       }
@@ -384,16 +441,16 @@ struct InterpSim::Impl {
   }
 
   template <typename ValFn>
-  void evalReg(EntState &ES, Instruction *I, ValFn &val, bool Initial) {
+  void evalReg(EntState &ES, Instruction *I, ValFn &val, bool Initial,
+               unsigned TrigBase) {
     SigRef Target = val(I->operand(0)).sigRef();
     for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
       const RegTrigger &T = I->regTriggers()[TI];
-      RtValue Cur = val(I->operand(T.TriggerIdx));
-      auto Key = std::make_pair(static_cast<const Instruction *>(I), TI);
-      auto PIt = ES.PrevTrig.find(Key);
-      bool HavePrev = PIt != ES.PrevTrig.end();
-      RtValue Prev = HavePrev ? PIt->second : Cur;
-      ES.PrevTrig[Key] = Cur;
+      const RtValue &Cur = val(I->operand(T.TriggerIdx));
+      bool HavePrev = ES.PrevTrigValid[TrigBase + TI];
+      RtValue Prev = HavePrev ? ES.PrevTrig[TrigBase + TI] : Cur;
+      ES.PrevTrig[TrigBase + TI] = Cur;
+      ES.PrevTrigValid[TrigBase + TI] = 1;
 
       bool Fire = false;
       bool CurT = Cur.isTruthy();

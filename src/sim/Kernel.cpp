@@ -115,11 +115,10 @@ Scheduler::Slot &Scheduler::slotFor(Time T) {
   }
   // Heap lane: merge into the existing slot for T if there is one, so
   // equal-time events stay in scheduling order.
-  auto [It, Fresh] = HeapIndex.try_emplace(T, 0);
-  if (!Fresh)
-    return Arena[It->second];
+  for (const Ref &R : Heap)
+    if (R.T == T)
+      return Arena[R.Idx];
   uint32_t Idx = allocSlot();
-  It->second = Idx;
   Heap.push_back({T, Idx});
   std::push_heap(Heap.begin(), Heap.end(), HeapOrder());
   return Arena[Idx];
@@ -142,7 +141,6 @@ void Scheduler::pop(std::vector<SigUpdate> &Updates,
   std::pop_heap(Heap.begin(), Heap.end(), HeapOrder());
   uint32_t Idx = Heap.back().Idx;
   Heap.pop_back();
-  HeapIndex.erase(T);
   recycle(Idx, Updates, Wakes);
   // A new physical instant begins: anchor the fast lane to it and pull
   // over any already-scheduled slots of the same instant (they are at
@@ -152,7 +150,6 @@ void Scheduler::pop(std::vector<SigUpdate> &Updates,
     Ref R = Heap.front();
     std::pop_heap(Heap.begin(), Heap.end(), HeapOrder());
     Heap.pop_back();
-    HeapIndex.erase(R.T);
     Fast.push_back(R);
   }
 }

@@ -153,18 +153,6 @@ private:
     std::vector<SigUpdate> Updates;
     std::vector<ProcWake> Wakes;
   };
-  struct TimeHash {
-    size_t operator()(const Time &T) const {
-      uint64_t H = 1469598103934665603ull;
-      auto mix = [&H](uint64_t X) {
-        H ^= X;
-        H *= 1099511628211ull;
-      };
-      mix(T.Fs);
-      mix((uint64_t(T.Delta) << 32) | T.Eps);
-      return static_cast<size_t>(H);
-    }
-  };
   struct HeapOrder { // std::*_heap builds a max-heap; invert for a min-heap.
     bool operator()(const Ref &A, const Ref &B) const { return B.T < A.T; }
   };
@@ -191,11 +179,12 @@ private:
   /// Holds the current instant's delta/epsilon slots — almost always one
   /// or two entries.
   std::vector<Ref> Fast;
-  /// Heap lane: min-heap of slots with T.Fs > HeadFs.
+  /// Heap lane: min-heap of slots with T.Fs > HeadFs. Equal-time events
+  /// merge into one slot (scheduling order is preserved within a time);
+  /// the merge lookup is a linear scan — the pending-future-time count is
+  /// a handful in practice, and scanning keeps scheduling allocation-free
+  /// where a node-based index would allocate per distinct time.
   std::vector<Ref> Heap;
-  /// Active heap times -> arena slot, so equal-time events merge into
-  /// one slot (scheduling order is preserved within a time).
-  std::unordered_map<Time, uint32_t, TimeHash> HeapIndex;
   /// The physical instant the fast lane is anchored to.
   uint64_t HeadFs = 0;
 

@@ -57,22 +57,138 @@ static const IntValue intOf(const RtValue &V) {
   return V.logicValue().toIntValue();
 }
 
-RtValue llhd::evalPure(Opcode Op, const std::vector<RtValue> &Ops,
-                       unsigned Imm, const Instruction *I) {
-  std::vector<const RtValue *> Ptrs;
-  Ptrs.reserve(Ops.size());
-  for (const RtValue &V : Ops)
-    Ptrs.push_back(&V);
-  return evalPureP(Op, Ptrs.data(), Ptrs.size(), Imm, I);
+//===----------------------------------------------------------------------===//
+// Width <= 64 two-state fast path
+//===----------------------------------------------------------------------===//
+
+/// Sign-extends the low \p W bits of \p V into an int64_t.
+static inline int64_t sextU64(uint64_t V, unsigned W) {
+  if (W == 0 || W >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignMask = uint64_t(1) << (W - 1);
+  return static_cast<int64_t>((V ^ SignMask) - SignMask);
 }
 
-RtValue llhd::evalPureP(Opcode Op, const RtValue *const *OpPtrs,
-                        size_t NumOps, unsigned Imm, const Instruction *I) {
-  // Local accessor so the body below reads like the vector version.
-  struct OpsView {
-    const RtValue *const *P;
-    const RtValue &operator[](size_t J) const { return *P[J]; }
-  } Ops{OpPtrs};
+/// Evaluates the common two-state opcodes directly on uint64_t when every
+/// operand fits one word, writing the result into \p Out. Returns false
+/// when \p Op (or the operand shapes) need the generic wide path. The
+/// semantics must be bit-identical to the IntValue word-loop path; the
+/// RtOps unit test cross-checks both against a reference implementation.
+static bool evalIntFast(Opcode Op, const RtValue &L, const RtValue &R,
+                        RtValue &Out) {
+  if (!L.isInt() || !R.isInt())
+    return false;
+  const IntValue &A = L.intValue(), &B = R.intValue();
+  unsigned W = A.width();
+  if (W > 64)
+    return false;
+  uint64_t a = A.zextToU64();
+
+  // Shifts take their amount from an operand of independent width.
+  if (Op == Opcode::Shl || Op == Opcode::Shr || Op == Opcode::Ashr) {
+    uint64_t Amt = B.fitsU64() ? B.zextToU64() : ~uint64_t(0);
+    unsigned S = Amt > W ? W : static_cast<unsigned>(Amt);
+    uint64_t V;
+    if (Op == Opcode::Shl)
+      V = S >= W ? 0 : a << S;
+    else if (Op == Opcode::Shr)
+      V = S >= W ? 0 : a >> S;
+    else { // Ashr
+      bool Neg = W != 0 && ((a >> (W - 1)) & 1);
+      if (S >= W)
+        V = Neg ? ~uint64_t(0) : 0;
+      else {
+        V = a >> S;
+        if (Neg && S != 0)
+          V |= IntValue::maskOf(W) << (W - S);
+      }
+    }
+    Out = RtValue(IntValue(W, V));
+    return true;
+  }
+
+  if (B.width() != W)
+    return false;
+  uint64_t b = B.zextToU64();
+  switch (Op) {
+  case Opcode::Add:
+    Out = RtValue(IntValue(W, a + b));
+    return true;
+  case Opcode::Sub:
+    Out = RtValue(IntValue(W, a - b));
+    return true;
+  case Opcode::Mul:
+    Out = RtValue(IntValue(W, a * b));
+    return true;
+  case Opcode::And:
+    Out = RtValue(IntValue(W, a & b));
+    return true;
+  case Opcode::Or:
+    Out = RtValue(IntValue(W, a | b));
+    return true;
+  case Opcode::Xor:
+    Out = RtValue(IntValue(W, a ^ b));
+    return true;
+  case Opcode::Udiv:
+    Out = RtValue(IntValue(W, b == 0 ? ~uint64_t(0) : a / b));
+    return true;
+  case Opcode::Umod:
+  case Opcode::Urem:
+    Out = RtValue(IntValue(W, b == 0 ? a : a % b));
+    return true;
+  case Opcode::Eq:
+    Out = RtValue(IntValue(1, a == b));
+    return true;
+  case Opcode::Neq:
+    Out = RtValue(IntValue(1, a != b));
+    return true;
+  case Opcode::Ult:
+    Out = RtValue(IntValue(1, a < b));
+    return true;
+  case Opcode::Ugt:
+    Out = RtValue(IntValue(1, a > b));
+    return true;
+  case Opcode::Ule:
+    Out = RtValue(IntValue(1, a <= b));
+    return true;
+  case Opcode::Uge:
+    Out = RtValue(IntValue(1, a >= b));
+    return true;
+  case Opcode::Slt:
+    Out = RtValue(IntValue(1, sextU64(a, W) < sextU64(b, W)));
+    return true;
+  case Opcode::Sgt:
+    Out = RtValue(IntValue(1, sextU64(a, W) > sextU64(b, W)));
+    return true;
+  case Opcode::Sle:
+    Out = RtValue(IntValue(1, sextU64(a, W) <= sextU64(b, W)));
+    return true;
+  case Opcode::Sge:
+    Out = RtValue(IntValue(1, sextU64(a, W) >= sextU64(b, W)));
+    return true;
+  default:
+    // sdiv/srem/smod keep the (already single-word) IntValue path: their
+    // sign-handling is subtle enough that one implementation is safer.
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Generic evaluation, templated over the operand accessor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+template <typename OpsT>
+RtValue evalPureImpl(Opcode Op, const OpsT &Ops, size_t NumOps,
+                     unsigned Imm, const Instruction *I) {
+  // Scalar fast path: binary two-state ops on width <= 64 compute
+  // directly on uint64_t, no word loops and no temporaries.
+  if (NumOps == 2) {
+    RtValue Fast;
+    if (evalIntFast(Op, Ops[0], Ops[1], Fast))
+      return Fast;
+  }
 
   switch (Op) {
   case Opcode::ArrayCreate:
@@ -234,6 +350,39 @@ RtValue llhd::evalPureP(Opcode Op, const RtValue *const *OpPtrs,
     assert(false && "not a pure op");
     return RtValue();
   }
+}
+
+/// Operand accessors for the three engine calling conventions.
+struct VecOps {
+  const std::vector<RtValue> &V;
+  const RtValue &operator[](size_t J) const { return V[J]; }
+};
+struct PtrOps {
+  const RtValue *const *P;
+  const RtValue &operator[](size_t J) const { return *P[J]; }
+};
+struct IdxOps {
+  const RtValue *Base;
+  const int32_t *Idx;
+  const RtValue &operator[](size_t J) const { return Base[Idx[J]]; }
+};
+
+} // namespace
+
+RtValue llhd::evalPure(Opcode Op, const std::vector<RtValue> &Ops,
+                       unsigned Imm, const Instruction *I) {
+  return evalPureImpl(Op, VecOps{Ops}, Ops.size(), Imm, I);
+}
+
+RtValue llhd::evalPureP(Opcode Op, const RtValue *const *OpPtrs,
+                        size_t NumOps, unsigned Imm, const Instruction *I) {
+  return evalPureImpl(Op, PtrOps{OpPtrs}, NumOps, Imm, I);
+}
+
+RtValue llhd::evalPureIdx(Opcode Op, const RtValue *Base,
+                          const int32_t *Idx, size_t NumOps, unsigned Imm,
+                          const Instruction *I) {
+  return evalPureImpl(Op, IdxOps{Base, Idx}, NumOps, Imm, I);
 }
 
 RtValue llhd::readSubValue(const RtValue &V, const SigRef &Ref) {

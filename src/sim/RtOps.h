@@ -30,6 +30,11 @@ RtValue evalPure(Opcode Op, const std::vector<RtValue> &Ops, unsigned Imm,
 RtValue evalPureP(Opcode Op, const RtValue *const *Ops, size_t NumOps,
                   unsigned Imm, const Instruction *I);
 
+/// Zero-copy variant for slot-indexed frames: operand \p J is
+/// Base[Idx[J]]. Avoids building a pointer array per dispatched op.
+RtValue evalPureIdx(Opcode Op, const RtValue *Base, const int32_t *Idx,
+                    size_t NumOps, unsigned Imm, const Instruction *I);
+
 /// The default ("don't know yet") value of a type: integers zero, logic
 /// all-U, aggregates element-wise.
 RtValue defaultValue(const Type *Ty);

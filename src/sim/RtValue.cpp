@@ -28,10 +28,13 @@ bool RtValue::operator==(const RtValue &RHS) const {
   case Kind::Pointer:
     return Ptr == RHS.Ptr;
   case Kind::Signal:
-    return SR == RHS.SR;
+    if (SigBoxed || RHS.SigBoxed)
+      return sigRef() == RHS.sigRef();
+    return SRI.Sig == RHS.SRI.Sig && SRI.BitOff == RHS.SRI.BitOff &&
+           SRI.BitLen == RHS.SRI.BitLen;
   case Kind::Array:
   case Kind::Struct:
-    return Elems == RHS.Elems;
+    return *Agg == *RHS.Agg;
   }
   return false;
 }
@@ -49,14 +52,15 @@ std::string RtValue::toString() const {
   case Kind::Pointer:
     return "ptr:" + std::to_string(Ptr);
   case Kind::Signal:
-    return "sig:" + std::to_string(SR.Sig);
+    return "sig:" + std::to_string(sigId());
   case Kind::Array:
   case Kind::Struct: {
     std::string S = K == Kind::Array ? "[" : "{";
-    for (unsigned I = 0; I != Elems.size(); ++I) {
+    const std::vector<RtValue> &Es = *Agg;
+    for (unsigned I = 0; I != Es.size(); ++I) {
       if (I != 0)
         S += ", ";
-      S += Elems[I].toString();
+      S += Es[I].toString();
     }
     return S + (K == Kind::Array ? "]" : "}");
   }

@@ -5,6 +5,13 @@
 // pointers and sub-signal references. All three execution engines share
 // this representation and the operation semantics in RtOps.h.
 //
+// RtValue is a tagged union of at most 32 bytes. Scalars — integers up to
+// 64 bits, logic vectors up to 16 elements, times, pointers and
+// whole-signal references — are stored inline, so the steady-state scalar
+// data path never allocates; copies and moves of scalars are plain word
+// copies. Aggregates and signal references with an element path live
+// behind an owned heap pointer.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef LLHD_SIM_RTVALUE_H
@@ -86,21 +93,59 @@ public:
   };
 
   RtValue() : K(Kind::Invalid) {}
-  explicit RtValue(IntValue V) : K(Kind::Int), IV(std::move(V)) {}
-  explicit RtValue(LogicVec V) : K(Kind::Logic), LV(std::move(V)) {}
-  explicit RtValue(Time T) : K(Kind::TimeVal), TV(T) {}
-  explicit RtValue(SigRef S) : K(Kind::Signal), SR(std::move(S)) {}
+  explicit RtValue(IntValue V) : K(Kind::Int) {
+    new (&IV) IntValue(std::move(V));
+  }
+  explicit RtValue(LogicVec V) : K(Kind::Logic) {
+    new (&LV) LogicVec(std::move(V));
+  }
+  explicit RtValue(Time T) : K(Kind::TimeVal) { TV = T; }
+  explicit RtValue(SigRef S) : K(Kind::Signal) {
+    if (S.Path.empty()) {
+      SigBoxed = false;
+      SRI.Sig = S.Sig;
+      SRI.BitOff = S.BitOff;
+      SRI.BitLen = S.BitLen;
+    } else {
+      SigBoxed = true;
+      SRB = new SigRef(std::move(S));
+    }
+  }
+
+  RtValue(const RtValue &RHS) { copyFrom(RHS); }
+  /// Moves are plain word copies: heap payloads transfer ownership by
+  /// pointer, inline payloads by value. The source is left Invalid.
+  RtValue(RtValue &&RHS) noexcept {
+    rawCopy(RHS);
+    RHS.K = Kind::Invalid;
+  }
+  RtValue &operator=(const RtValue &RHS) {
+    if (this == &RHS)
+      return *this;
+    destroy();
+    copyFrom(RHS);
+    return *this;
+  }
+  RtValue &operator=(RtValue &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    destroy();
+    rawCopy(RHS);
+    RHS.K = Kind::Invalid;
+    return *this;
+  }
+  ~RtValue() { destroy(); }
 
   static RtValue makeArray(std::vector<RtValue> Elems) {
     RtValue V;
     V.K = Kind::Array;
-    V.Elems = std::move(Elems);
+    V.Agg = new std::vector<RtValue>(std::move(Elems));
     return V;
   }
   static RtValue makeStruct(std::vector<RtValue> Fields) {
     RtValue V;
     V.K = Kind::Struct;
-    V.Elems = std::move(Fields);
+    V.Agg = new std::vector<RtValue>(std::move(Fields));
     return V;
   }
   static RtValue makePointer(uint32_t Cell) {
@@ -131,9 +176,22 @@ public:
     assert(isTime() && "not a time value");
     return TV;
   }
-  const SigRef &sigRef() const {
+  /// Materialises the signal reference. Whole-signal references (the
+  /// common case) are stored inline and produce no allocation.
+  SigRef sigRef() const {
     assert(isSignal() && "not a signal reference");
-    return SR;
+    if (SigBoxed)
+      return *SRB;
+    SigRef R;
+    R.Sig = SRI.Sig;
+    R.BitOff = SRI.BitOff;
+    R.BitLen = SRI.BitLen;
+    return R;
+  }
+  /// The referenced signal id without materialising a SigRef.
+  SignalId sigId() const {
+    assert(isSignal() && "not a signal reference");
+    return SigBoxed ? SRB->Sig : SRI.Sig;
   }
   uint32_t pointer() const {
     assert(isPointer() && "not a pointer");
@@ -141,11 +199,11 @@ public:
   }
   const std::vector<RtValue> &elements() const {
     assert(isAggregate() && "not an aggregate");
-    return Elems;
+    return *Agg;
   }
   std::vector<RtValue> &elements() {
     assert(isAggregate() && "not an aggregate");
-    return Elems;
+    return *Agg;
   }
 
   /// The boolean interpretation of an i1 (or l1) value.
@@ -158,14 +216,88 @@ public:
   std::string toString() const;
 
 private:
+  void destroy() {
+    switch (K) {
+    case Kind::Int:
+      IV.~IntValue();
+      break;
+    case Kind::Logic:
+      LV.~LogicVec();
+      break;
+    case Kind::Array:
+    case Kind::Struct:
+      delete Agg;
+      break;
+    case Kind::Signal:
+      if (SigBoxed)
+        delete SRB;
+      break;
+    default:
+      break;
+    }
+  }
+  void copyFrom(const RtValue &RHS) {
+    K = RHS.K;
+    SigBoxed = RHS.SigBoxed;
+    switch (K) {
+    case Kind::Int:
+      new (&IV) IntValue(RHS.IV);
+      break;
+    case Kind::Logic:
+      new (&LV) LogicVec(RHS.LV);
+      break;
+    case Kind::Array:
+    case Kind::Struct:
+      Agg = new std::vector<RtValue>(*RHS.Agg);
+      break;
+    case Kind::Signal:
+      if (SigBoxed)
+        SRB = new SigRef(*RHS.SRB);
+      else
+        SRI = RHS.SRI;
+      break;
+    case Kind::TimeVal:
+      TV = RHS.TV;
+      break;
+    case Kind::Pointer:
+      Ptr = RHS.Ptr;
+      break;
+    case Kind::Invalid:
+      break;
+    }
+  }
+  /// Bitwise payload adoption for moves; the caller resets RHS's kind.
+  void rawCopy(const RtValue &RHS) {
+    K = RHS.K;
+    SigBoxed = RHS.SigBoxed;
+    Raw = RHS.Raw;
+  }
+
+  struct RawBytes {
+    uint64_t A, B;
+  };
+  struct InlineSigRef {
+    SignalId Sig;
+    int32_t BitOff;
+    uint32_t BitLen;
+  };
+
   Kind K;
-  IntValue IV;
-  LogicVec LV;
-  Time TV;
-  SigRef SR;
-  uint32_t Ptr = 0;
-  std::vector<RtValue> Elems;
+  bool SigBoxed = false; ///< Signal kind: SRB (boxed) vs SRI (inline).
+  union {
+    IntValue IV;
+    LogicVec LV;
+    Time TV;
+    uint32_t Ptr;
+    InlineSigRef SRI;
+    SigRef *SRB;
+    std::vector<RtValue> *Agg;
+    RawBytes Raw;
+  };
 };
+
+static_assert(sizeof(RtValue) <= 32,
+              "scalar RtValue must stay within 32 bytes");
 
 } // namespace llhd
 

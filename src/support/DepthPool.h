@@ -1,0 +1,52 @@
+//===- support/DepthPool.h - Depth-indexed object pool ----------*- C++ -*-===//
+//
+// A pool of reusable objects indexed by recursion depth, used by the
+// simulation engines to reuse function-call frames and argument buffers
+// across calls: steady-state calls draw warm storage instead of
+// allocating. Entries are heap-boxed so leases stay stable while nested
+// (deeper) leases grow the pool.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SUPPORT_DEPTHPOOL_H
+#define LLHD_SUPPORT_DEPTHPOOL_H
+
+#include <memory>
+#include <vector>
+
+namespace llhd {
+
+template <typename T> class DepthPool {
+public:
+  /// A scoped lease of the pool entry at the current depth; releasing
+  /// the lease (scope exit) pops the depth. The leased object keeps
+  /// whatever state the previous lease at this depth left — callers
+  /// reset what they need and reuse the rest (capacity).
+  class Lease {
+  public:
+    explicit Lease(DepthPool &Pool) : Pool(Pool), Idx(Pool.Depth++) {
+      if (Idx >= Pool.Entries.size())
+        Pool.Entries.push_back(std::make_unique<T>());
+    }
+    ~Lease() { --Pool.Depth; }
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    T &operator*() const { return *Pool.Entries[Idx]; }
+    T *operator->() const { return Pool.Entries[Idx].get(); }
+
+  private:
+    DepthPool &Pool;
+    size_t Idx;
+  };
+
+  Lease lease() { return Lease(*this); }
+
+private:
+  std::vector<std::unique_ptr<T>> Entries;
+  size_t Depth = 0;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SUPPORT_DEPTHPOOL_H

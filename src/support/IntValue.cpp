@@ -6,31 +6,16 @@
 
 using namespace llhd;
 
-static unsigned wordsForBits(unsigned Bits) { return (Bits + 63) / 64; }
-
-IntValue::IntValue(unsigned Width, uint64_t Value) : Width(Width) {
-  Words.assign(std::max(1u, wordsForBits(Width)), 0);
-  if (Width == 0)
-    Words.assign(1, 0);
-  else
-    Words[0] = Value;
-  clearUnusedBits();
-}
-
 IntValue::IntValue(unsigned Width, const std::vector<uint64_t> &Ws)
-    : Width(Width), Words(Ws) {
-  Words.resize(std::max(1u, wordsForBits(Width)), 0);
-  clearUnusedBits();
-}
-
-void IntValue::clearUnusedBits() {
-  if (Width == 0) {
-    Words.assign(1, 0);
+    : Width(Width) {
+  if (isInline()) {
+    Word = (Ws.empty() ? 0 : Ws[0]) & maskOf(Width);
     return;
   }
-  unsigned Rem = Width % 64;
-  if (Rem != 0)
-    Words.back() &= (~uint64_t(0) >> (64 - Rem));
+  unsigned N = numWords();
+  Ptr = new uint64_t[N]();
+  std::copy_n(Ws.begin(), std::min<size_t>(Ws.size(), N), Ptr);
+  clearUnusedBits();
 }
 
 IntValue IntValue::fromString(unsigned Width, const std::string &Str) {
@@ -74,9 +59,11 @@ IntValue IntValue::fromString(unsigned Width, const std::string &Str) {
 }
 
 IntValue IntValue::allOnes(unsigned Width) {
+  if (Width <= 64)
+    return makeInline(Width, ~uint64_t(0));
   IntValue V(Width, 0);
-  for (auto &W : V.Words)
-    W = ~uint64_t(0);
+  for (unsigned I = 0, E = V.numWords(); I != E; ++I)
+    V.Ptr[I] = ~uint64_t(0);
   V.clearUnusedBits();
   return V;
 }
@@ -93,36 +80,46 @@ int64_t IntValue::sextToI64() const {
 }
 
 bool IntValue::isZero() const {
-  return std::all_of(Words.begin(), Words.end(),
-                     [](uint64_t W) { return W == 0; });
+  if (isInline())
+    return Word == 0;
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    if (Ptr[I] != 0)
+      return false;
+  return true;
 }
 
 bool IntValue::isAllOnes() const { return *this == allOnes(Width); }
 
 bool IntValue::fitsU64() const {
-  return std::all_of(Words.begin() + 1, Words.end(),
-                     [](uint64_t W) { return W == 0; });
+  if (isInline())
+    return true;
+  for (unsigned I = 1, E = numWords(); I != E; ++I)
+    if (Ptr[I] != 0)
+      return false;
+  return true;
 }
 
 void IntValue::setBit(unsigned I, bool V) {
   assert(I < Width && "setBit index out of range");
   if (V)
-    Words[I / 64] |= uint64_t(1) << (I % 64);
+    words()[I / 64] |= uint64_t(1) << (I % 64);
   else
-    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+    words()[I / 64] &= ~(uint64_t(1) << (I % 64));
 }
 
 IntValue IntValue::add(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word + RHS.Word);
   IntValue R(Width, 0);
   uint64_t Carry = 0;
-  for (unsigned I = 0, E = Words.size(); I != E; ++I) {
-    uint64_t A = Words[I], B = RHS.Words[I];
+  for (unsigned I = 0, E = numWords(); I != E; ++I) {
+    uint64_t A = Ptr[I], B = RHS.Ptr[I];
     uint64_t S = A + B;
     uint64_t C1 = S < A;
     uint64_t S2 = S + Carry;
     uint64_t C2 = S2 < S;
-    R.Words[I] = S2;
+    R.Ptr[I] = S2;
     Carry = C1 | C2;
   }
   R.clearUnusedBits();
@@ -130,27 +127,34 @@ IntValue IntValue::add(const IntValue &RHS) const {
 }
 
 IntValue IntValue::sub(const IntValue &RHS) const {
+  assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word - RHS.Word);
   return add(RHS.neg());
 }
 
 IntValue IntValue::neg() const {
+  if (isInline())
+    return makeInline(Width, Width == 0 ? 0 : (~Word + 1));
   IntValue R = logicalNot();
-  return R.add(IntValue(Width, Width == 0 ? 0 : 1));
+  return R.add(IntValue(Width, 1));
 }
 
 IntValue IntValue::mul(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word * RHS.Word);
   IntValue R(Width, 0);
-  unsigned N = Words.size();
+  unsigned N = numWords();
   for (unsigned I = 0; I != N; ++I) {
-    if (Words[I] == 0)
+    if (Ptr[I] == 0)
       continue;
     uint64_t Carry = 0;
     for (unsigned J = 0; I + J < N; ++J) {
       // 64x64 -> 128 multiply-accumulate.
-      __uint128_t Prod = (__uint128_t)Words[I] * RHS.Words[J] +
-                         R.Words[I + J] + Carry;
-      R.Words[I + J] = (uint64_t)Prod;
+      __uint128_t Prod =
+          (__uint128_t)Ptr[I] * RHS.Ptr[J] + R.Ptr[I + J] + Carry;
+      R.Ptr[I + J] = (uint64_t)Prod;
       Carry = (uint64_t)(Prod >> 64);
     }
   }
@@ -160,9 +164,11 @@ IntValue IntValue::mul(const IntValue &RHS) const {
 
 bool IntValue::ult(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
-  for (unsigned I = Words.size(); I-- > 0;) {
-    if (Words[I] != RHS.Words[I])
-      return Words[I] < RHS.Words[I];
+  if (isInline())
+    return Word < RHS.Word;
+  for (unsigned I = numWords(); I-- > 0;) {
+    if (Ptr[I] != RHS.Ptr[I])
+      return Ptr[I] < RHS.Ptr[I];
   }
   return false;
 }
@@ -178,6 +184,8 @@ IntValue IntValue::udiv(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
   if (RHS.isZero())
     return allOnes(Width);
+  if (isInline())
+    return makeInline(Width, Word / RHS.Word);
   if (fitsU64() && RHS.fitsU64())
     return IntValue(Width, zextToU64() / RHS.zextToU64());
   // Shift-subtract long division for multi-word values.
@@ -196,6 +204,8 @@ IntValue IntValue::udiv(const IntValue &RHS) const {
 IntValue IntValue::urem(const IntValue &RHS) const {
   if (RHS.isZero())
     return *this;
+  if (isInline())
+    return makeInline(Width, Word % RHS.Word);
   if (fitsU64() && RHS.fitsU64())
     return IntValue(Width, zextToU64() % RHS.zextToU64());
   return sub(udiv(RHS).mul(RHS));
@@ -226,32 +236,40 @@ IntValue IntValue::smod(const IntValue &RHS) const {
 
 IntValue IntValue::logicalAnd(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word & RHS.Word);
   IntValue R(Width, 0);
-  for (unsigned I = 0, E = Words.size(); I != E; ++I)
-    R.Words[I] = Words[I] & RHS.Words[I];
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    R.Ptr[I] = Ptr[I] & RHS.Ptr[I];
   return R;
 }
 
 IntValue IntValue::logicalOr(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word | RHS.Word);
   IntValue R(Width, 0);
-  for (unsigned I = 0, E = Words.size(); I != E; ++I)
-    R.Words[I] = Words[I] | RHS.Words[I];
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    R.Ptr[I] = Ptr[I] | RHS.Ptr[I];
   return R;
 }
 
 IntValue IntValue::logicalXor(const IntValue &RHS) const {
   assert(Width == RHS.Width && "width mismatch");
+  if (isInline())
+    return makeInline(Width, Word ^ RHS.Word);
   IntValue R(Width, 0);
-  for (unsigned I = 0, E = Words.size(); I != E; ++I)
-    R.Words[I] = Words[I] ^ RHS.Words[I];
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    R.Ptr[I] = Ptr[I] ^ RHS.Ptr[I];
   return R;
 }
 
 IntValue IntValue::logicalNot() const {
+  if (isInline())
+    return makeInline(Width, ~Word);
   IntValue R(Width, 0);
-  for (unsigned I = 0, E = Words.size(); I != E; ++I)
-    R.Words[I] = ~Words[I];
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    R.Ptr[I] = ~Ptr[I];
   R.clearUnusedBits();
   return R;
 }
@@ -259,13 +277,15 @@ IntValue IntValue::logicalNot() const {
 IntValue IntValue::shl(unsigned Amount) const {
   if (Amount >= Width)
     return IntValue(Width, 0);
+  if (isInline())
+    return makeInline(Width, Word << Amount);
   IntValue R(Width, 0);
   unsigned WordShift = Amount / 64, BitShift = Amount % 64;
-  for (unsigned I = Words.size(); I-- > WordShift;) {
-    uint64_t W = Words[I - WordShift] << BitShift;
+  for (unsigned I = numWords(); I-- > WordShift;) {
+    uint64_t W = Ptr[I - WordShift] << BitShift;
     if (BitShift != 0 && I > WordShift)
-      W |= Words[I - WordShift - 1] >> (64 - BitShift);
-    R.Words[I] = W;
+      W |= Ptr[I - WordShift - 1] >> (64 - BitShift);
+    R.Ptr[I] = W;
   }
   R.clearUnusedBits();
   return R;
@@ -274,20 +294,30 @@ IntValue IntValue::shl(unsigned Amount) const {
 IntValue IntValue::lshr(unsigned Amount) const {
   if (Amount >= Width)
     return IntValue(Width, 0);
+  if (isInline())
+    return makeInline(Width, Word >> Amount);
   IntValue R(Width, 0);
   unsigned WordShift = Amount / 64, BitShift = Amount % 64;
-  unsigned N = Words.size();
+  unsigned N = numWords();
   for (unsigned I = 0; I + WordShift < N; ++I) {
-    uint64_t W = Words[I + WordShift] >> BitShift;
+    uint64_t W = Ptr[I + WordShift] >> BitShift;
     if (BitShift != 0 && I + WordShift + 1 < N)
-      W |= Words[I + WordShift + 1] << (64 - BitShift);
-    R.Words[I] = W;
+      W |= Ptr[I + WordShift + 1] << (64 - BitShift);
+    R.Ptr[I] = W;
   }
   return R;
 }
 
 IntValue IntValue::ashr(unsigned Amount) const {
   bool Neg = signBit();
+  if (isInline()) {
+    if (Amount >= Width)
+      return Neg ? allOnes(Width) : IntValue(Width, 0);
+    uint64_t W = Word >> Amount;
+    if (Neg && Amount != 0)
+      W |= maskOf(Width) << (Width - Amount);
+    return makeInline(Width, W);
+  }
   IntValue R = lshr(Amount);
   if (!Neg || Amount == 0)
     return R;
@@ -299,8 +329,11 @@ IntValue IntValue::ashr(unsigned Amount) const {
 
 IntValue IntValue::zext(unsigned NewWidth) const {
   assert(NewWidth >= Width && "zext to smaller width");
+  if (NewWidth <= 64)
+    return makeInline(NewWidth, zextToU64());
   IntValue R(NewWidth, 0);
-  std::copy(Words.begin(), Words.end(), R.Words.begin());
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    R.Ptr[I] = words()[I];
   R.clearUnusedBits();
   return R;
 }
@@ -309,6 +342,10 @@ IntValue IntValue::sext(unsigned NewWidth) const {
   assert(NewWidth >= Width && "sext to smaller width");
   if (!signBit())
     return zext(NewWidth);
+  if (NewWidth <= 64) {
+    uint64_t W = zextToU64() | (Width < 64 ? ~uint64_t(0) << Width : 0);
+    return makeInline(NewWidth, W);
+  }
   IntValue R = allOnes(NewWidth);
   for (unsigned I = 0; I != Width; ++I)
     R.setBit(I, bit(I));
@@ -317,9 +354,11 @@ IntValue IntValue::sext(unsigned NewWidth) const {
 
 IntValue IntValue::trunc(unsigned NewWidth) const {
   assert(NewWidth <= Width && "trunc to larger width");
+  if (NewWidth <= 64)
+    return makeInline(NewWidth, zextToU64());
   IntValue R(NewWidth, 0);
-  for (unsigned I = 0, E = R.Words.size(); I != E; ++I)
-    R.Words[I] = word(I);
+  for (unsigned I = 0, E = R.numWords(); I != E; ++I)
+    R.Ptr[I] = word(I);
   R.clearUnusedBits();
   return R;
 }
@@ -330,11 +369,19 @@ IntValue IntValue::zextOrTrunc(unsigned NewWidth) const {
 
 IntValue IntValue::extractBits(unsigned Offset, unsigned Length) const {
   assert(Offset + Length <= Width && "extract out of range");
+  if (Length == 0)
+    return IntValue(0, 0); // Offset may equal Width: no bits to shift.
+  if (isInline())
+    return makeInline(Length, Word >> Offset);
   return lshr(Offset).trunc(Length);
 }
 
 IntValue IntValue::insertBits(unsigned Offset, const IntValue &Src) const {
   assert(Offset + Src.width() <= Width && "insert out of range");
+  if (isInline() && Src.width() != 0) {
+    uint64_t Mask = maskOf(Src.width()) << Offset;
+    return makeInline(Width, (Word & ~Mask) | (Src.Word << Offset));
+  }
   IntValue R = *this;
   for (unsigned I = 0; I != Src.width(); ++I)
     R.setBit(Offset + I, Src.bit(I));
@@ -343,8 +390,8 @@ IntValue IntValue::insertBits(unsigned Offset, const IntValue &Src) const {
 
 unsigned IntValue::popCount() const {
   unsigned N = 0;
-  for (uint64_t W : Words)
-    N += __builtin_popcountll(W);
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    N += __builtin_popcountll(words()[I]);
   return N;
 }
 
@@ -386,7 +433,7 @@ std::string IntValue::toHexString() const {
 
 size_t IntValue::hash() const {
   size_t H = std::hash<unsigned>()(Width);
-  for (uint64_t W : Words)
-    H = H * 1000003u + std::hash<uint64_t>()(W);
+  for (unsigned I = 0, E = numWords(); I != E; ++I)
+    H = H * 1000003u + std::hash<uint64_t>()(words()[I]);
   return H;
 }

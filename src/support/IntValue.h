@@ -4,6 +4,12 @@
 // after llvm::APInt but self-contained. Values are stored as little-endian
 // 64-bit words; bits above the declared width are kept zero (canonical form).
 //
+// Small-size optimization: widths up to 64 bits — the overwhelming majority
+// of RTL values — live in one inline word, so constructing, copying and
+// operating on them never touches the heap. Wider values keep their words
+// in a heap array sized exactly for the width. Every operation takes a
+// branch-light single-word fast path when the width fits one word.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef LLHD_SUPPORT_INTVALUE_H
@@ -11,6 +17,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,13 +30,68 @@ namespace llhd {
 class IntValue {
 public:
   /// Builds the zero value of width 0. Mostly useful as a placeholder.
-  IntValue() : Width(0) {}
+  IntValue() : Width(0), Word(0) {}
 
   /// Builds a value of \p Width bits from the low bits of \p Value.
-  explicit IntValue(unsigned Width, uint64_t Value = 0);
+  explicit IntValue(unsigned Width, uint64_t Value = 0) : Width(Width) {
+    if (isInline()) {
+      Word = Value & maskOf(Width);
+    } else {
+      Ptr = new uint64_t[numWords()]();
+      Ptr[0] = Value;
+    }
+  }
 
   /// Builds a value from explicit words (little-endian).
   IntValue(unsigned Width, const std::vector<uint64_t> &Ws);
+
+  IntValue(const IntValue &RHS) : Width(RHS.Width) {
+    if (isInline()) {
+      Word = RHS.Word;
+    } else {
+      Ptr = new uint64_t[numWords()];
+      std::memcpy(Ptr, RHS.Ptr, numWords() * sizeof(uint64_t));
+    }
+  }
+  IntValue(IntValue &&RHS) noexcept : Width(RHS.Width), Word(RHS.Word) {
+    RHS.Width = 0;
+    RHS.Word = 0;
+  }
+  IntValue &operator=(const IntValue &RHS) {
+    if (this == &RHS)
+      return *this;
+    if (!isInline() && !RHS.isInline() && numWords() == RHS.numWords()) {
+      // Reuse the existing allocation when the word counts match.
+      Width = RHS.Width;
+      std::memcpy(Ptr, RHS.Ptr, numWords() * sizeof(uint64_t));
+      return *this;
+    }
+    if (!isInline())
+      delete[] Ptr;
+    Width = RHS.Width;
+    if (isInline()) {
+      Word = RHS.Word;
+    } else {
+      Ptr = new uint64_t[numWords()];
+      std::memcpy(Ptr, RHS.Ptr, numWords() * sizeof(uint64_t));
+    }
+    return *this;
+  }
+  IntValue &operator=(IntValue &&RHS) noexcept {
+    if (this == &RHS)
+      return *this;
+    if (!isInline())
+      delete[] Ptr;
+    Width = RHS.Width;
+    Word = RHS.Word;
+    RHS.Width = 0;
+    RHS.Word = 0;
+    return *this;
+  }
+  ~IntValue() {
+    if (!isInline())
+      delete[] Ptr;
+  }
 
   /// Parses a decimal (optionally negative) or, with prefix "0x"/"0b",
   /// hexadecimal/binary literal. Returns the value truncated to \p Width.
@@ -39,11 +101,15 @@ public:
   static IntValue allOnes(unsigned Width);
 
   unsigned width() const { return Width; }
-  unsigned numWords() const { return Words.size(); }
-  uint64_t word(unsigned I) const { return I < Words.size() ? Words[I] : 0; }
+  /// True if the words live in the inline storage (width <= 64).
+  bool isInline() const { return Width <= 64; }
+  unsigned numWords() const { return Width <= 64 ? 1 : (Width + 63) / 64; }
+  uint64_t word(unsigned I) const {
+    return I < numWords() ? words()[I] : 0;
+  }
 
   /// Returns the low 64 bits.
-  uint64_t zextToU64() const { return Words.empty() ? 0 : Words[0]; }
+  uint64_t zextToU64() const { return isInline() ? Word : Ptr[0]; }
   /// Returns the value sign-extended into an int64_t (width clamped to 64).
   int64_t sextToI64() const;
 
@@ -54,7 +120,7 @@ public:
 
   bool bit(unsigned I) const {
     assert(I < Width && "bit index out of range");
-    return (Words[I / 64] >> (I % 64)) & 1;
+    return (words()[I / 64] >> (I % 64)) & 1;
   }
   void setBit(unsigned I, bool V);
 
@@ -93,7 +159,13 @@ public:
   // Comparisons.
   //===------------------------------------------------------------------===//
 
-  bool eq(const IntValue &RHS) const { return Words == RHS.Words; }
+  bool eq(const IntValue &RHS) const {
+    if (numWords() != RHS.numWords())
+      return false;
+    if (isInline())
+      return Word == RHS.Word;
+    return std::memcmp(Ptr, RHS.Ptr, numWords() * sizeof(uint64_t)) == 0;
+  }
   bool ult(const IntValue &RHS) const;
   bool slt(const IntValue &RHS) const;
   bool ule(const IntValue &RHS) const { return !RHS.ult(*this); }
@@ -104,7 +176,7 @@ public:
   bool sge(const IntValue &RHS) const { return !slt(RHS); }
 
   bool operator==(const IntValue &RHS) const {
-    return Width == RHS.Width && Words == RHS.Words;
+    return Width == RHS.Width && eq(RHS);
   }
   bool operator!=(const IntValue &RHS) const { return !(*this == RHS); }
 
@@ -136,11 +208,34 @@ public:
   /// Hash for use in unordered containers.
   size_t hash() const;
 
+  /// The mask of live bits in the top word of a \p W-bit value (all ones
+  /// for W a multiple of 64; width 0 masks to nothing).
+  static uint64_t maskOf(unsigned W) {
+    unsigned Rem = W % 64;
+    if (Rem == 0)
+      return W == 0 ? 0 : ~uint64_t(0);
+    return ~uint64_t(0) >> (64 - Rem);
+  }
+
 private:
-  void clearUnusedBits();
+  /// Fast constructor for a width <= 64 result; \p Value is masked.
+  struct InlineTag {};
+  IntValue(InlineTag, unsigned W, uint64_t Value)
+      : Width(W), Word(Value & maskOf(W)) {}
+  static IntValue makeInline(unsigned W, uint64_t Value) {
+    return IntValue(InlineTag{}, W, Value);
+  }
+
+  const uint64_t *words() const { return isInline() ? &Word : Ptr; }
+  uint64_t *words() { return isInline() ? &Word : Ptr; }
+
+  void clearUnusedBits() { words()[numWords() - 1] &= maskOf(Width); }
 
   unsigned Width;
-  std::vector<uint64_t> Words;
+  union {
+    uint64_t Word;  ///< Width <= 64 (also width 0).
+    uint64_t *Ptr;  ///< Width > 64: numWords() heap words.
+  };
 };
 
 } // namespace llhd

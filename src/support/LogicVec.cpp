@@ -94,32 +94,83 @@ Logic llhd::logicNot(Logic A) {
   }
 }
 
-LogicVec::LogicVec(const IntValue &V) : Bits(V.width(), Logic::L0) {
-  for (unsigned I = 0, E = V.width(); I != E; ++I)
-    if (V.bit(I))
-      Bits[I] = Logic::L1;
+//===----------------------------------------------------------------------===//
+// Packed nibble tables
+//===----------------------------------------------------------------------===//
+
+// The 9x9 IEEE tables, flattened to 256-entry nibble-pair lookups indexed
+// (A << 4) | B so packed operands feed the table without decoding.
+namespace {
+
+struct PairTable {
+  uint8_t T[256];
+  template <typename Fn> explicit PairTable(Fn F) {
+    for (unsigned A = 0; A != 16; ++A)
+      for (unsigned B = 0; B != 16; ++B)
+        T[(A << 4) | B] =
+            A < NumLogic && B < NumLogic
+                ? static_cast<uint8_t>(
+                      F(static_cast<Logic>(A), static_cast<Logic>(B)))
+                : 0;
+  }
+};
+
+struct UnaryTable {
+  uint8_t T[16];
+  template <typename Fn> explicit UnaryTable(Fn F) {
+    for (unsigned A = 0; A != 16; ++A)
+      T[A] = A < NumLogic
+                 ? static_cast<uint8_t>(F(static_cast<Logic>(A)))
+                 : 0;
+  }
+};
+
+const PairTable ResolveTable{[](Logic A, Logic B) {
+  return resolveLogic(A, B);
+}};
+const PairTable AndTable{[](Logic A, Logic B) { return logicAnd(A, B); }};
+const PairTable OrTable{[](Logic A, Logic B) { return logicOr(A, B); }};
+const PairTable XorTable{[](Logic A, Logic B) { return logicXor(A, B); }};
+const UnaryTable NotTable{[](Logic A) { return logicNot(A); }};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LogicVec
+//===----------------------------------------------------------------------===//
+
+LogicVec::LogicVec(const IntValue &V) : LogicVec(V.width(), Logic::L0) {
+  // Spread each source bit into the 0/1 nibble pair: nibble = 2 + bit.
+  for (unsigned WI = 0, E = numWords(); WI != E; ++WI) {
+    uint64_t Bits = V.word(WI / 4) >> ((WI % 4) * 16);
+    uint64_t Nibbles = 0;
+    for (unsigned I = 0; I != 16; ++I)
+      Nibbles |= (uint64_t(2) + ((Bits >> I) & 1)) << (I * 4);
+    words()[WI] = Nibbles;
+  }
+  words()[numWords() - 1] &= maskOf(Width);
 }
 
 LogicVec LogicVec::fromString(const std::string &Str) {
   LogicVec V(Str.size());
   for (unsigned I = 0, E = Str.size(); I != E; ++I)
-    V.Bits[E - 1 - I] = logicFromChar(Str[I]);
+    V.setBit(E - 1 - I, logicFromChar(Str[I]));
   return V;
 }
 
 bool LogicVec::isFullyDefined() const {
-  for (Logic L : Bits)
-    if (logicToX01(L) == Logic::X)
+  for (unsigned I = 0, E = Width; I != E; ++I)
+    if (logicToX01(bit(I)) == Logic::X)
       return false;
   return true;
 }
 
 IntValue LogicVec::toIntValue(bool *HadUnknown) const {
-  IntValue V(width(), 0);
+  IntValue V(Width, 0);
   if (HadUnknown)
     *HadUnknown = false;
-  for (unsigned I = 0, E = width(); I != E; ++I) {
-    Logic L = logicToX01(Bits[I]);
+  for (unsigned I = 0, E = Width; I != E; ++I) {
+    Logic L = logicToX01(bit(I));
     if (L == Logic::L1)
       V.setBit(I, true);
     else if (L != Logic::L0 && HadUnknown)
@@ -128,71 +179,89 @@ IntValue LogicVec::toIntValue(bool *HadUnknown) const {
   return V;
 }
 
-LogicVec LogicVec::resolve(const LogicVec &RHS) const {
-  assert(width() == RHS.width() && "width mismatch");
-  LogicVec R(width());
-  for (unsigned I = 0, E = width(); I != E; ++I)
-    R.Bits[I] = resolveLogic(Bits[I], RHS.Bits[I]);
+LogicVec LogicVec::mapPairs(const LogicVec &RHS, const uint8_t *Table) const {
+  assert(Width == RHS.Width && "width mismatch");
+  LogicVec R(Width);
+  const uint64_t *A = words(), *B = RHS.words();
+  uint64_t *Out = R.words();
+  for (unsigned WI = 0, E = numWords(); WI != E; ++WI) {
+    uint64_t WA = A[WI], WB = B[WI], W = 0;
+    for (unsigned I = 0; I != 16; ++I) {
+      unsigned Idx = ((WA >> (I * 4)) & 0xF) << 4 | ((WB >> (I * 4)) & 0xF);
+      W |= uint64_t(Table[Idx]) << (I * 4);
+    }
+    Out[WI] = W;
+  }
+  Out[numWords() - 1] &= maskOf(Width);
   return R;
+}
+
+LogicVec LogicVec::resolve(const LogicVec &RHS) const {
+  return mapPairs(RHS, ResolveTable.T);
 }
 
 LogicVec LogicVec::logicalAnd(const LogicVec &RHS) const {
-  assert(width() == RHS.width() && "width mismatch");
-  LogicVec R(width());
-  for (unsigned I = 0, E = width(); I != E; ++I)
-    R.Bits[I] = logicAnd(Bits[I], RHS.Bits[I]);
-  return R;
+  return mapPairs(RHS, AndTable.T);
 }
 
 LogicVec LogicVec::logicalOr(const LogicVec &RHS) const {
-  assert(width() == RHS.width() && "width mismatch");
-  LogicVec R(width());
-  for (unsigned I = 0, E = width(); I != E; ++I)
-    R.Bits[I] = logicOr(Bits[I], RHS.Bits[I]);
-  return R;
+  return mapPairs(RHS, OrTable.T);
 }
 
 LogicVec LogicVec::logicalXor(const LogicVec &RHS) const {
-  assert(width() == RHS.width() && "width mismatch");
-  LogicVec R(width());
-  for (unsigned I = 0, E = width(); I != E; ++I)
-    R.Bits[I] = logicXor(Bits[I], RHS.Bits[I]);
-  return R;
+  return mapPairs(RHS, XorTable.T);
 }
 
 LogicVec LogicVec::logicalNot() const {
-  LogicVec R(width());
-  for (unsigned I = 0, E = width(); I != E; ++I)
-    R.Bits[I] = logicNot(Bits[I]);
+  LogicVec R(Width);
+  const uint64_t *A = words();
+  uint64_t *Out = R.words();
+  for (unsigned WI = 0, E = numWords(); WI != E; ++WI) {
+    uint64_t WA = A[WI], W = 0;
+    for (unsigned I = 0; I != 16; ++I)
+      W |= uint64_t(NotTable.T[(WA >> (I * 4)) & 0xF]) << (I * 4);
+    Out[WI] = W;
+  }
+  Out[numWords() - 1] &= maskOf(Width);
   return R;
 }
 
 LogicVec LogicVec::extractBits(unsigned Offset, unsigned Length) const {
-  assert(Offset + Length <= width() && "extract out of range");
+  assert(Offset + Length <= Width && "extract out of range");
   LogicVec R(Length);
+  if (Length == 0)
+    return R; // Offset may equal the width: no source words to touch.
+  if (Offset % 16 == 0) {
+    // Word-aligned: straight word copy.
+    for (unsigned WI = 0, E = R.numWords(); WI != E; ++WI)
+      R.words()[WI] = words()[Offset / 16 + WI];
+    R.words()[R.numWords() - 1] &= maskOf(Length);
+    return R;
+  }
   for (unsigned I = 0; I != Length; ++I)
-    R.Bits[I] = Bits[Offset + I];
+    R.setBit(I, bit(Offset + I));
   return R;
 }
 
 LogicVec LogicVec::insertBits(unsigned Offset, const LogicVec &Src) const {
-  assert(Offset + Src.width() <= width() && "insert out of range");
+  assert(Offset + Src.width() <= Width && "insert out of range");
   LogicVec R = *this;
   for (unsigned I = 0; I != Src.width(); ++I)
-    R.Bits[Offset + I] = Src.Bits[I];
+    R.setBit(Offset + I, Src.bit(I));
   return R;
 }
 
 std::string LogicVec::toString() const {
   std::string S;
-  for (unsigned I = width(); I-- > 0;)
-    S += logicToChar(Bits[I]);
+  S.reserve(Width);
+  for (unsigned I = Width; I-- > 0;)
+    S += logicToChar(bit(I));
   return S;
 }
 
 size_t LogicVec::hash() const {
-  size_t H = std::hash<unsigned>()(width());
-  for (Logic L : Bits)
-    H = H * 31 + static_cast<unsigned>(L);
+  size_t H = std::hash<unsigned>()(Width);
+  for (unsigned WI = 0, E = numWords(); WI != E; ++WI)
+    H = H * 1000003u + std::hash<uint64_t>()(words()[WI]);
   return H;
 }

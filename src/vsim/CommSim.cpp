@@ -3,11 +3,12 @@
 #include "vsim/CommSim.h"
 #include "sim/EventLoop.h"
 #include "sim/RtOps.h"
+#include "support/DepthPool.h"
 
 #include <algorithm>
 #include <functional>
 #include <map>
-#include <set>
+#include <memory>
 
 using namespace llhd;
 
@@ -30,13 +31,14 @@ struct CsBlock {
   Term Terminator;
 };
 
-/// A compiled unit, shared across instances.
+/// A compiled unit, shared across instances. Register indices are the
+/// unit's dense value numbering (Unit::numberValues), so no per-value
+/// map is needed.
 struct CsUnit {
   Unit *U = nullptr;
   std::vector<CsBlock> Blocks;
   uint32_t NumRegs = 0;
   std::vector<std::pair<uint32_t, RtValue>> Preload; // Constants.
-  std::map<const Value *, uint32_t> RegOf;
   uint32_t NumRegPrev = 0, NumDelPrev = 0;
 };
 
@@ -79,34 +81,22 @@ public:
 
 private:
   uint32_t regOf(Value *V) {
-    auto It = CU.RegOf.find(V);
-    if (It != CU.RegOf.end())
-      return It->second;
-    uint32_t R = CU.NumRegs++;
-    CU.RegOf[V] = R;
-    return R;
+    assert(V->valueNumber() < CU.NumRegs && "value not numbered");
+    return V->valueNumber();
   }
 
   void compile(Unit &U) {
     CU.U = &U;
-    for (Argument *A : U.inputs())
-      regOf(A);
-    for (Argument *A : U.outputs())
-      regOf(A);
-
-    std::map<const BasicBlock *, int> BlockIdx;
-    int N = 0;
-    for (BasicBlock *BB : U.blocks())
-      BlockIdx[BB] = N++;
-
+    CU.NumRegs = U.numberValues();
+    // Block indices are the dense block numbering (blocks() order).
     for (BasicBlock *BB : U.blocks()) {
       CsBlock CB;
       for (Instruction *I : BB->insts()) {
         if (I->isTerminator()) {
-          CB.Terminator = compileTerminator(I, BlockIdx);
+          CB.Terminator = compileTerminator(I);
           continue;
         }
-        if (Step S = compileStep(I, BB, BlockIdx))
+        if (Step S = compileStep(I, BB))
           CB.Steps.push_back(std::move(S));
       }
       if (!CB.Terminator)
@@ -115,8 +105,7 @@ private:
     }
   }
 
-  Step compileStep(Instruction *I, BasicBlock *BB,
-                   std::map<const BasicBlock *, int> &BlockIdx) {
+  Step compileStep(Instruction *I, BasicBlock *BB) {
     switch (I->opcode()) {
     case Opcode::Const:
       CU.Preload.push_back({regOf(I), constValue(*I)});
@@ -133,7 +122,7 @@ private:
       uint32_t Dst = regOf(I);
       std::vector<std::pair<int, uint32_t>> Incoming;
       for (unsigned J = 0; J != I->numIncoming(); ++J)
-        Incoming.push_back({BlockIdx[I->incomingBlock(J)],
+        Incoming.push_back({(int)I->incomingBlock(J)->valueNumber(),
                             regOf(I->incomingValue(J))});
       return [Dst, Incoming](CsExec &X) {
         // PredIdx is stashed in RetVal's pointer field by terminators;
@@ -297,34 +286,22 @@ private:
     default: {
       assert(I->isPureDataFlow() && "unexpected opcode");
       uint32_t Dst = regOf(I);
-      std::vector<uint32_t> Srcs;
+      std::vector<int32_t> Srcs;
       for (unsigned J = 0; J != I->numOperands(); ++J)
         Srcs.push_back(regOf(I->operand(J)));
       Opcode Op = I->opcode();
       unsigned Imm = I->immediate();
       const Instruction *Src = I;
       return [Dst, Srcs, Op, Imm, Src](CsExec &X) {
-        const RtValue *Ptrs[8];
-        std::vector<const RtValue *> Big;
-        const RtValue *const *P;
-        if (Srcs.size() <= 8) {
-          for (size_t J = 0; J != Srcs.size(); ++J)
-            Ptrs[J] = &X.R[Srcs[J]];
-          P = Ptrs;
-        } else {
-          for (uint32_t R : Srcs)
-            Big.push_back(&X.R[R]);
-          P = Big.data();
-        }
-        X.R[Dst] = evalPureP(Op, P, Srcs.size(), Imm, Src);
+        X.R[Dst] = evalPureIdx(Op, X.R.data(), Srcs.data(), Srcs.size(),
+                               Imm, Src);
       };
     }
     }
   }
 
-  Term compileTerminator(Instruction *I,
-                         std::map<const BasicBlock *, int> &BlockIdx) {
-    int Self = BlockIdx[I->parent()];
+  Term compileTerminator(Instruction *I) {
+    int Self = I->parent()->valueNumber();
     switch (I->opcode()) {
     case Opcode::Halt:
       return [](CsExec &) { return -1; };
@@ -337,21 +314,22 @@ private:
     }
     case Opcode::Br: {
       if (I->numOperands() == 1) {
-        int T = BlockIdx[cast<BasicBlock>(I->operand(0))];
+        int T = cast<BasicBlock>(I->operand(0))->valueNumber();
         return [T, Self](CsExec &X) {
           X.RetVal = RtValue::makePointer(Self);
           return T;
         };
       }
       uint32_t C = regOf(I->operand(0));
-      int TF = BlockIdx[I->brDest(0)], TT = BlockIdx[I->brDest(1)];
+      int TF = I->brDest(0)->valueNumber(),
+          TT = I->brDest(1)->valueNumber();
       return [C, TF, TT, Self](CsExec &X) {
         X.RetVal = RtValue::makePointer(Self);
         return X.R[C].isTruthy() ? TT : TF;
       };
     }
     case Opcode::Wait: {
-      int Dest = BlockIdx[I->waitDest()];
+      int Dest = I->waitDest()->valueNumber();
       int TimeoutReg = -1;
       std::vector<uint32_t> Observed;
       for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
@@ -365,7 +343,7 @@ private:
         X.Sensitivity->clear();
         for (uint32_t R : Observed)
           X.Sensitivity->push_back(
-              X.Eng->Signals->canonical(X.R[R].sigRef().Sig));
+              X.Eng->Signals->canonical(X.R[R].sigId()));
         X.TimeoutSet = TimeoutReg >= 0;
         if (X.TimeoutSet)
           X.Timeout = X.R[TimeoutReg].timeValue();
@@ -428,6 +406,10 @@ struct CommSim::Impl {
   std::vector<CsProcState> Procs;
   std::vector<CsEntState> Ents;
 
+  /// Depth-indexed pool of function execution contexts, reused across
+  /// calls.
+  DepthPool<CsExec> FnPool;
+
   Impl(Module &M, const std::string &Top, SimOptions O)
       : Opts(O), Tr(O.TraceMode) {
     D = elaborate(M, Top);
@@ -459,9 +441,9 @@ struct CommSim::Impl {
     for (const auto &[Slot, V] : CU.Preload)
       X.R[Slot] = V;
     for (const auto &[Val, Ref] : UI.Bindings) {
-      auto It = CU.RegOf.find(Val);
-      if (It != CU.RegOf.end())
-        X.R[It->second] = RtValue(Ref);
+      uint32_t Reg = Val->valueNumber();
+      if (Reg < CU.NumRegs)
+        X.R[Reg] = RtValue(Ref);
     }
     X.Eng = &Services;
   }
@@ -524,13 +506,15 @@ struct CommSim::Impl {
       return defaultValue(F->returnType());
     }
     const CsUnit &CU = unitFor(F);
-    CsExec X;
+    auto Lease = FnPool.lease();
+    CsExec &X = *Lease;
     X.Eng = &Services;
     X.R.assign(CU.NumRegs, RtValue());
+    X.Memory.clear();
     for (const auto &[Slot, V] : CU.Preload)
       X.R[Slot] = V;
     for (unsigned I = 0; I != F->inputs().size(); ++I)
-      X.R[CU.RegOf.at(F->input(I))] = std::move(Args[I]);
+      X.R[F->input(I)->valueNumber()] = std::move(Args[I]);
     int Block = 0;
     uint64_t Fuel = 10000000ull;
     while (Fuel--) {
@@ -539,7 +523,7 @@ struct CommSim::Impl {
         S(X);
       int Next = CB.Terminator(X);
       if (Next == -3 || Next < 0)
-        return X.RetVal;
+        return std::move(X.RetVal);
       Block = Next;
     }
     return RtValue();

@@ -1,0 +1,298 @@
+//===- tests/sim/RtOpsTest.cpp - Fast-path vs wide-path equivalence -------===//
+//
+// RtOps routes width <= 64 two-state operations through a uint64_t fast
+// path and wider ones through the IntValue word loops. This test checks
+// both against an independent bit-level reference model on randomized
+// widths 1..128, so the two paths are bit-identical by construction: the
+// same opcode and operand bits must produce the same result bits no
+// matter which side of the 64-bit boundary the width falls on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+#include "sim/RtOps.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace llhd;
+
+namespace {
+
+/// Little-endian bit vector, the reference representation.
+using Bits = std::vector<int>;
+
+Bits toBits(const IntValue &V) {
+  Bits B(V.width());
+  for (unsigned I = 0; I != V.width(); ++I)
+    B[I] = V.bit(I);
+  return B;
+}
+
+IntValue fromBits(const Bits &B) {
+  IntValue V(B.size(), 0);
+  for (unsigned I = 0; I != B.size(); ++I)
+    V.setBit(I, B[I]);
+  return V;
+}
+
+Bits refNot(const Bits &A) {
+  Bits R(A.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    R[I] = !A[I];
+  return R;
+}
+
+Bits refAdd(const Bits &A, const Bits &B) {
+  Bits R(A.size());
+  int Carry = 0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    int S = A[I] + B[I] + Carry;
+    R[I] = S & 1;
+    Carry = S >> 1;
+  }
+  return R;
+}
+
+Bits refNeg(const Bits &A) {
+  Bits One(A.size(), 0);
+  if (!One.empty())
+    One[0] = 1;
+  return refAdd(refNot(A), One);
+}
+
+Bits refSub(const Bits &A, const Bits &B) { return refAdd(A, refNeg(B)); }
+
+Bits refShl(const Bits &A, unsigned S) {
+  Bits R(A.size(), 0);
+  for (size_t I = S; I < A.size(); ++I)
+    R[I] = A[I - S];
+  return R;
+}
+
+Bits refMul(const Bits &A, const Bits &B) {
+  Bits R(A.size(), 0);
+  for (size_t I = 0; I != B.size(); ++I)
+    if (B[I])
+      R = refAdd(R, refShl(A, I));
+  return R;
+}
+
+/// Unsigned compare: -1, 0, 1.
+int refCmpU(const Bits &A, const Bits &B) {
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+int refCmpS(const Bits &A, const Bits &B) {
+  int SA = A.empty() ? 0 : A.back(), SB = B.empty() ? 0 : B.back();
+  if (SA != SB)
+    return SA ? -1 : 1;
+  return refCmpU(A, B);
+}
+
+bool refIsZero(const Bits &A) {
+  for (int X : A)
+    if (X)
+      return false;
+  return true;
+}
+
+/// Restoring long division; quotient and remainder.
+void refUdivRem(const Bits &A, const Bits &B, Bits &Q, Bits &R) {
+  Q.assign(A.size(), 0);
+  R.assign(A.size(), 0);
+  if (refIsZero(B)) {
+    Q.assign(A.size(), 1); // Division by zero: all-ones.
+    R = A;
+    return;
+  }
+  for (size_t I = A.size(); I-- > 0;) {
+    // R = (R << 1) | A[I].
+    for (size_t J = R.size(); J-- > 1;)
+      R[J] = R[J - 1];
+    R[0] = A[I];
+    if (refCmpU(R, B) >= 0) {
+      R = refSub(R, B);
+      Q[I] = 1;
+    }
+  }
+}
+
+Bits refSdiv(const Bits &A, const Bits &B) {
+  bool NA = !A.empty() && A.back(), NB = !B.empty() && B.back();
+  Bits UA = NA ? refNeg(A) : A, UB = NB ? refNeg(B) : B;
+  Bits Q, R;
+  refUdivRem(UA, UB, Q, R); // Division by zero: Q is all-ones.
+  return NA != NB ? refNeg(Q) : Q;
+}
+
+Bits refSrem(const Bits &A, const Bits &B) {
+  if (refIsZero(B))
+    return A;
+  bool NA = !A.empty() && A.back(), NB = !B.empty() && B.back();
+  Bits UA = NA ? refNeg(A) : A, UB = NB ? refNeg(B) : B;
+  Bits Q, R;
+  refUdivRem(UA, UB, Q, R);
+  return NA ? refNeg(R) : R;
+}
+
+Bits refSmod(const Bits &A, const Bits &B) {
+  Bits R = refSrem(A, B);
+  if (refIsZero(R))
+    return R;
+  bool SR = !R.empty() && R.back(), SB = !B.empty() && B.back();
+  if (SR == SB)
+    return R;
+  return refAdd(R, B);
+}
+
+RtValue evalBin(Opcode Op, const IntValue &A, const IntValue &B) {
+  std::vector<RtValue> Ops;
+  Ops.push_back(RtValue(A));
+  Ops.push_back(RtValue(B));
+  return evalPure(Op, Ops, 0, nullptr);
+}
+
+IntValue boolVal(bool B) { return IntValue(1, B); }
+
+} // namespace
+
+TEST(RtOpsFastWide, RandomizedWidths1To128) {
+  std::mt19937_64 Rng(0xfab1e5eedull);
+  for (unsigned Trial = 0; Trial != 400; ++Trial) {
+    unsigned W = 1 + Rng() % 128;
+    IntValue A(W, 0), B(W, 0);
+    for (unsigned I = 0; I != W; ++I) {
+      A.setBit(I, Rng() & 1);
+      B.setBit(I, Rng() & 1);
+    }
+    // Bias some trials toward the interesting corners.
+    if (Trial % 7 == 0)
+      B = IntValue(W, 0);
+    if (Trial % 11 == 0)
+      A = IntValue::allOnes(W);
+    Bits BA = toBits(A), BB = toBits(B);
+
+    EXPECT_EQ(evalBin(Opcode::Add, A, B).intValue(),
+              fromBits(refAdd(BA, BB)))
+        << "add at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Sub, A, B).intValue(),
+              fromBits(refSub(BA, BB)))
+        << "sub at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Mul, A, B).intValue(),
+              fromBits(refMul(BA, BB)))
+        << "mul at width " << W;
+
+    Bits Q, R;
+    refUdivRem(BA, BB, Q, R);
+    EXPECT_EQ(evalBin(Opcode::Udiv, A, B).intValue(), fromBits(Q))
+        << "udiv at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Urem, A, B).intValue(), fromBits(R))
+        << "urem at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Sdiv, A, B).intValue(),
+              fromBits(refSdiv(BA, BB)))
+        << "sdiv at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Srem, A, B).intValue(),
+              fromBits(refSrem(BA, BB)))
+        << "srem at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Smod, A, B).intValue(),
+              fromBits(refSmod(BA, BB)))
+        << "smod at width " << W;
+
+    // Bitwise.
+    for (Opcode Op : {Opcode::And, Opcode::Or, Opcode::Xor}) {
+      Bits RB(W);
+      for (unsigned I = 0; I != W; ++I)
+        RB[I] = Op == Opcode::And   ? (BA[I] & BB[I])
+                : Op == Opcode::Or  ? (BA[I] | BB[I])
+                                    : (BA[I] ^ BB[I]);
+      EXPECT_EQ(evalBin(Op, A, B).intValue(), fromBits(RB))
+          << "bitwise at width " << W;
+    }
+    {
+      std::vector<RtValue> One;
+      One.push_back(RtValue(A));
+      EXPECT_EQ(evalPure(Opcode::Not, One, 0, nullptr).intValue(),
+                fromBits(refNot(BA)))
+          << "not at width " << W;
+      EXPECT_EQ(evalPure(Opcode::Neg, One, 0, nullptr).intValue(),
+                fromBits(refNeg(BA)))
+          << "neg at width " << W;
+    }
+
+    // Comparisons.
+    int CU = refCmpU(BA, BB), CS = refCmpS(BA, BB);
+    EXPECT_EQ(evalBin(Opcode::Eq, A, B).intValue(), boolVal(CU == 0));
+    EXPECT_EQ(evalBin(Opcode::Neq, A, B).intValue(), boolVal(CU != 0));
+    EXPECT_EQ(evalBin(Opcode::Ult, A, B).intValue(), boolVal(CU < 0));
+    EXPECT_EQ(evalBin(Opcode::Ugt, A, B).intValue(), boolVal(CU > 0));
+    EXPECT_EQ(evalBin(Opcode::Ule, A, B).intValue(), boolVal(CU <= 0));
+    EXPECT_EQ(evalBin(Opcode::Uge, A, B).intValue(), boolVal(CU >= 0));
+    EXPECT_EQ(evalBin(Opcode::Slt, A, B).intValue(), boolVal(CS < 0));
+    EXPECT_EQ(evalBin(Opcode::Sgt, A, B).intValue(), boolVal(CS > 0));
+    EXPECT_EQ(evalBin(Opcode::Sle, A, B).intValue(), boolVal(CS <= 0));
+    EXPECT_EQ(evalBin(Opcode::Sge, A, B).intValue(), boolVal(CS >= 0));
+
+    // Shifts: the amount operand has its own width (8 bits here), so
+    // amounts range over [0, 255] and clamp at the value width.
+    unsigned Amt = Rng() % (W + 4);
+    IntValue AmtV(8, Amt);
+    {
+      unsigned S = Amt > W ? W : Amt;
+      Bits ShlR = refShl(BA, S);
+      Bits ShrR(W, 0);
+      for (unsigned I = 0; I + S < W; ++I)
+        ShrR[I] = BA[I + S];
+      Bits AshrR(W, BA.back());
+      for (unsigned I = 0; I + S < W; ++I)
+        AshrR[I] = BA[I + S];
+      EXPECT_EQ(evalBin(Opcode::Shl, A, AmtV).intValue(), fromBits(ShlR))
+          << "shl " << S << " at width " << W;
+      EXPECT_EQ(evalBin(Opcode::Shr, A, AmtV).intValue(), fromBits(ShrR))
+          << "shr " << S << " at width " << W;
+      EXPECT_EQ(evalBin(Opcode::Ashr, A, AmtV).intValue(),
+                fromBits(AshrR))
+          << "ashr " << S << " at width " << W;
+    }
+  }
+}
+
+// The boundary widths get a deterministic exhaustive-ish sweep: results
+// at 64 (fast path) and 65 (wide path) must agree with the reference for
+// the same low-64 operand bits.
+TEST(RtOpsFastWide, BoundaryWidthsAgree) {
+  std::mt19937_64 Rng(42);
+  for (unsigned Trial = 0; Trial != 200; ++Trial) {
+    uint64_t RA = Rng(), RB = Rng();
+    for (unsigned W : {63u, 64u, 65u}) {
+      IntValue A(W, std::vector<uint64_t>{RA, Rng() & 1});
+      IntValue B(W, std::vector<uint64_t>{RB, Rng() & 1});
+      Bits BA = toBits(A), BB = toBits(B);
+      EXPECT_EQ(evalBin(Opcode::Add, A, B).intValue(),
+                fromBits(refAdd(BA, BB)));
+      EXPECT_EQ(evalBin(Opcode::Sub, A, B).intValue(),
+                fromBits(refSub(BA, BB)));
+      EXPECT_EQ(evalBin(Opcode::Mul, A, B).intValue(),
+                fromBits(refMul(BA, BB)));
+      EXPECT_EQ(evalBin(Opcode::Ult, A, B).intValue(),
+                boolVal(refCmpU(BA, BB) < 0));
+      EXPECT_EQ(evalBin(Opcode::Slt, A, B).intValue(),
+                boolVal(refCmpS(BA, BB) < 0));
+      Bits Q, R;
+      refUdivRem(BA, BB, Q, R);
+      EXPECT_EQ(evalBin(Opcode::Udiv, A, B).intValue(), fromBits(Q));
+      EXPECT_EQ(evalBin(Opcode::Urem, A, B).intValue(), fromBits(R));
+    }
+  }
+}
+
+TEST(RtOpsFastWide, RtValueStaysSmall) {
+  static_assert(sizeof(RtValue) <= 32,
+                "scalar RtValue must stay within 32 bytes");
+  EXPECT_LE(sizeof(RtValue), 32u);
+}

@@ -186,3 +186,190 @@ INSTANTIATE_TEST_SUITE_P(
                                          65u, 127u),
                        ::testing::Values(0ull, 1ull, 0xdeadbeefull,
                                          ~0ull)));
+
+//===----------------------------------------------------------------------===//
+// Inline -> heap boundary (the small-size optimization switches storage at
+// 64 bits). Every arithmetic/shift/slice op is exercised at widths 63, 64
+// (inline) and 65, 128 (heap) with operands straddling bit 63/64.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Builds a value from explicit low/high words at the given width.
+IntValue mk(unsigned W, uint64_t Lo, uint64_t Hi = 0) {
+  return IntValue(W, std::vector<uint64_t>{Lo, Hi});
+}
+} // namespace
+
+TEST(IntValueBoundary, StorageKind) {
+  EXPECT_TRUE(IntValue(64, 1).isInline());
+  EXPECT_FALSE(IntValue(65, 1).isInline());
+  EXPECT_EQ(IntValue(64, 1).numWords(), 1u);
+  EXPECT_EQ(IntValue(65, 1).numWords(), 2u);
+}
+
+TEST(IntValueBoundary, HeapCopyIsIndependent) {
+  IntValue A = mk(128, 5, 7);
+  IntValue B = A;
+  B.setBit(100, true);
+  EXPECT_FALSE(A.bit(100));
+  EXPECT_TRUE(B.bit(100));
+  IntValue C = std::move(B);
+  EXPECT_TRUE(C.bit(100));
+  A = C; // Same word count: in-place copy.
+  EXPECT_TRUE(A.bit(100));
+  A = IntValue(8, 3); // Shrink heap -> inline.
+  EXPECT_EQ(A.zextToU64(), 3u);
+}
+
+TEST(IntValueBoundary, AddCarriesAcrossWord) {
+  // all-ones(64) + 1 at width 65 carries into the second word.
+  IntValue R = mk(65, ~0ull).add(mk(65, 1));
+  EXPECT_EQ(R.word(0), 0u);
+  EXPECT_EQ(R.word(1), 1u);
+  // Same operands at width 64 wrap to zero instead.
+  EXPECT_TRUE(IntValue(64, ~0ull).add(IntValue(64, 1)).isZero());
+}
+
+TEST(IntValueBoundary, SubBorrowsAcrossWord) {
+  // 2^64 - 1 at width 65.
+  IntValue R = mk(65, 0, 1).sub(mk(65, 1));
+  EXPECT_EQ(R.word(0), ~0ull);
+  EXPECT_EQ(R.word(1), 0u);
+  EXPECT_EQ(IntValue(63, 0).sub(IntValue(63, 1)).zextToU64(),
+            (~0ull) >> 1);
+}
+
+TEST(IntValueBoundary, MulCarriesAcrossWord) {
+  // (2^63) * 2 = 2^64 at width 65; wraps to 0 at width 64.
+  IntValue R = mk(65, 1ull << 63).mul(mk(65, 2));
+  EXPECT_EQ(R.word(0), 0u);
+  EXPECT_EQ(R.word(1), 1u);
+  EXPECT_TRUE(IntValue(64, 1ull << 63).mul(IntValue(64, 2)).isZero());
+}
+
+TEST(IntValueBoundary, NegAtBoundary) {
+  // -1 is all-ones at both 64 and 65 bits.
+  EXPECT_TRUE(IntValue(64, 1).neg().isAllOnes());
+  EXPECT_TRUE(mk(65, 1).neg().isAllOnes());
+  EXPECT_EQ(mk(65, 1).neg().word(1), 1u); // Bit 64 set.
+}
+
+TEST(IntValueBoundary, DivRemAcrossWord) {
+  // 2^64 / 2 = 2^63; 2^64 % 3 = 1.
+  IntValue V = mk(65, 0, 1);
+  EXPECT_EQ(V.udiv(mk(65, 2)).word(0), 1ull << 63);
+  EXPECT_EQ(V.udiv(mk(65, 2)).word(1), 0u);
+  EXPECT_EQ(V.urem(mk(65, 3)).zextToU64(), 1u);
+  // Division by zero: all-ones at any width.
+  EXPECT_TRUE(V.udiv(mk(65, 0)).isAllOnes());
+  EXPECT_TRUE(IntValue(64, 7).udiv(IntValue(64, 0)).isAllOnes());
+}
+
+TEST(IntValueBoundary, SignedDivRemAcrossWord) {
+  // At width 65: -6 / 4 = -1 (truncating), -6 rem 4 = -2, -6 mod 4 = 2.
+  IntValue M6 = mk(65, 6).neg(), P4 = mk(65, 4);
+  EXPECT_EQ(M6.sdiv(P4), mk(65, 1).neg());
+  EXPECT_EQ(M6.srem(P4), mk(65, 2).neg());
+  EXPECT_EQ(M6.smod(P4), mk(65, 2));
+  // And identically at width 64 (inline path).
+  IntValue m6(64, uint64_t(-6)), p4(64, 4);
+  EXPECT_EQ(m6.sdiv(p4).sextToI64(), -1);
+  EXPECT_EQ(m6.srem(p4).sextToI64(), -2);
+  EXPECT_EQ(m6.smod(p4).sextToI64(), 2);
+}
+
+TEST(IntValueBoundary, BitwiseAcrossWord) {
+  IntValue A = mk(65, 0xff00ff00ff00ff00ull, 1);
+  IntValue B = mk(65, 0x0ff00ff00ff00ff0ull, 0);
+  EXPECT_EQ(A.logicalAnd(B).word(0), 0x0f000f000f000f00ull);
+  EXPECT_EQ(A.logicalAnd(B).word(1), 0u);
+  EXPECT_EQ(A.logicalOr(B).word(1), 1u);
+  EXPECT_EQ(A.logicalXor(B).word(0), 0xf0f0f0f0f0f0f0f0ull);
+  EXPECT_EQ(A.logicalNot().word(1), 0u); // ~1 in a 1-bit top word.
+  EXPECT_EQ(IntValue(63, 0).logicalNot().zextToU64(), (~0ull) >> 1);
+}
+
+TEST(IntValueBoundary, ShiftsCrossWordBoundary) {
+  // shl moves bit 63 into bit 64 (the second word).
+  IntValue A = mk(65, 1ull << 63);
+  EXPECT_EQ(A.shl(1).word(0), 0u);
+  EXPECT_EQ(A.shl(1).word(1), 1u);
+  // lshr moves it back.
+  EXPECT_EQ(A.shl(1).lshr(1), A);
+  // ashr at width 65: sign bit is bit 64.
+  IntValue S = mk(65, 0, 1);
+  EXPECT_EQ(S.ashr(64).word(0), ~0ull);
+  EXPECT_EQ(S.ashr(64).word(1), 1u);
+  // ashr at width 64 (inline): sign fill from bit 63.
+  EXPECT_EQ(IntValue(64, 1ull << 63).ashr(63).zextToU64(), ~0ull);
+  EXPECT_EQ(IntValue(64, 1ull << 62).ashr(62).zextToU64(), 1u);
+  // Shift by >= width clears (or sign-fills for ashr).
+  EXPECT_TRUE(A.shl(65).isZero());
+  EXPECT_TRUE(A.lshr(65).isZero());
+  EXPECT_TRUE(S.ashr(65).isAllOnes());
+}
+
+TEST(IntValueBoundary, ExtZextSextTruncAcross) {
+  IntValue A(64, 1ull << 63); // MSB set.
+  EXPECT_EQ(A.zext(65).word(1), 0u);
+  EXPECT_EQ(A.sext(65).word(1), 1u);
+  EXPECT_EQ(A.sext(128).word(1), ~0ull);
+  EXPECT_EQ(mk(65, 123, 1).trunc(64).zextToU64(), 123u);
+  EXPECT_EQ(mk(128, 5, 9).trunc(65).word(1), 1u);
+  EXPECT_EQ(mk(65, 77, 1).zextOrTrunc(8).zextToU64(), 77u);
+}
+
+TEST(IntValueBoundary, SliceAcrossWordBoundary) {
+  // Extract a 10-bit field straddling bit 64 of a 128-bit value.
+  IntValue V = mk(128, 0x3ull << 62, 0x5ull);
+  IntValue F = V.extractBits(60, 10);
+  // Bits 60..69 of V: bits 62,63 set (word0) and bits 64,66 set (word1).
+  EXPECT_EQ(F.zextToU64(),
+            (0x3ull << 2) | (0x5ull << 4));
+  // Insert it back shifted: round-trips.
+  IntValue Z(128, 0);
+  IntValue W = Z.insertBits(60, F);
+  EXPECT_EQ(W.extractBits(60, 10), F);
+  EXPECT_EQ(W.word(1), 0x5ull);
+  // Inline insert at the top bit of a 64-bit value.
+  IntValue I64 = IntValue(64, 0).insertBits(63, IntValue(1, 1));
+  EXPECT_EQ(I64.zextToU64(), 1ull << 63);
+}
+
+TEST(IntValueBoundary, ComparisonsAtBit64) {
+  IntValue Big = mk(65, 0, 1);   // 2^64.
+  IntValue Small = mk(65, ~0ull); // 2^64 - 1.
+  EXPECT_TRUE(Small.ult(Big));
+  EXPECT_TRUE(Big.ugt(Small));
+  // Signed at width 65: 2^64 has the sign bit -> negative.
+  EXPECT_TRUE(Big.slt(Small));
+  EXPECT_FALSE(Small.slt(Big));
+  EXPECT_TRUE(Big.eq(Big));
+  EXPECT_FALSE(Big.eq(Small));
+}
+
+TEST(IntValueBoundary, PopCountLeadingZerosHash) {
+  IntValue V = mk(65, 0xf, 1);
+  EXPECT_EQ(V.popCount(), 5u);
+  EXPECT_EQ(V.countLeadingZeros(), 0u);
+  EXPECT_EQ(mk(65, 0xf).countLeadingZeros(), 61u);
+  EXPECT_NE(mk(65, 0xf).hash(), mk(65, 0xf, 1).hash());
+  EXPECT_EQ(mk(65, 0xf).hash(), mk(65, 0xf).hash());
+}
+
+TEST(IntValueBoundary, ToStringAcrossWord) {
+  EXPECT_EQ(mk(65, 0, 1).toString(), "18446744073709551616");
+  EXPECT_EQ(mk(65, 0, 1).toHexString(), "0x10000000000000000");
+  EXPECT_EQ(IntValue::fromString(65, "18446744073709551616"),
+            mk(65, 0, 1));
+  EXPECT_EQ(IntValue::fromString(65, "0x10000000000000000"),
+            mk(65, 0, 1));
+}
+
+TEST(IntValueBoundary, ZeroLengthExtractAtEnd) {
+  // Offset == width with length 0 must not shift by >= 64 or read past
+  // the word array (regression: UB shift / OOB read).
+  EXPECT_EQ(IntValue(64, 5).extractBits(64, 0).width(), 0u);
+  EXPECT_EQ(mk(128, 1, 2).extractBits(128, 0).width(), 0u);
+  EXPECT_TRUE(IntValue(64, 5).extractBits(64, 0).isZero());
+}

@@ -112,3 +112,133 @@ TEST(LogicVec, DefaultIsUninitialised) {
   EXPECT_EQ(V.toString(), "UUU");
   EXPECT_FALSE(V.isFullyDefined());
 }
+
+//===----------------------------------------------------------------------===//
+// Inline -> heap boundary: elements are packed 4 bits each, 16 per word,
+// so storage switches at 16 elements. Every op is exercised at widths on
+// both sides of (and straddling) the boundary.
+//===----------------------------------------------------------------------===//
+
+TEST(LogicVecBoundary, StorageKind) {
+  EXPECT_TRUE(LogicVec(16).isInline());
+  EXPECT_FALSE(LogicVec(17).isInline());
+  EXPECT_EQ(LogicVec(16).numWords(), 1u);
+  EXPECT_EQ(LogicVec(17).numWords(), 2u);
+  EXPECT_EQ(LogicVec(33).numWords(), 3u);
+}
+
+TEST(LogicVecBoundary, FillAndSetAcrossWord) {
+  LogicVec V(20, Logic::Z);
+  for (unsigned I = 0; I != 20; ++I)
+    EXPECT_EQ(V.bit(I), Logic::Z) << I;
+  V.setBit(15, Logic::L1); // Last nibble of word 0.
+  V.setBit(16, Logic::L0); // First nibble of word 1.
+  EXPECT_EQ(V.bit(15), Logic::L1);
+  EXPECT_EQ(V.bit(16), Logic::L0);
+  EXPECT_EQ(V.bit(17), Logic::Z);
+}
+
+TEST(LogicVecBoundary, HeapCopyIsIndependent) {
+  LogicVec A = LogicVec::fromString("01XZ01XZ01XZ01XZ01XZ");
+  LogicVec B = A;
+  B.setBit(18, Logic::W);
+  EXPECT_NE(A.bit(18), Logic::W);
+  LogicVec C = std::move(B);
+  EXPECT_EQ(C.bit(18), Logic::W);
+  A = C;
+  EXPECT_EQ(A.bit(18), Logic::W);
+  A = LogicVec(4, Logic::L1); // Shrink heap -> inline.
+  EXPECT_EQ(A.width(), 4u);
+  EXPECT_EQ(A.bit(0), Logic::L1);
+}
+
+TEST(LogicVecBoundary, StringRoundTripAtBoundary) {
+  std::string S16 = "01XZWLHU-01XZWLH";
+  std::string S17 = "U" + S16;
+  EXPECT_EQ(LogicVec::fromString(S16).toString(), S16);
+  EXPECT_EQ(LogicVec::fromString(S17).toString(), S17);
+  EXPECT_EQ(LogicVec::fromString(S17).width(), 17u);
+}
+
+TEST(LogicVecBoundary, PackedTablesMatchScalarOps) {
+  // Cross-check the packed nibble tables against the scalar functions on
+  // a 27-element vector cycling through all nine values.
+  LogicVec A(27), B(27);
+  for (unsigned I = 0; I != 27; ++I) {
+    A.setBit(I, Logic(I % 9));
+    B.setBit(I, Logic((I * 5 + 3) % 9));
+  }
+  LogicVec Res = A.resolve(B), An = A.logicalAnd(B), Or = A.logicalOr(B),
+           Xo = A.logicalXor(B), No = A.logicalNot();
+  for (unsigned I = 0; I != 27; ++I) {
+    EXPECT_EQ(Res.bit(I), resolveLogic(A.bit(I), B.bit(I))) << I;
+    EXPECT_EQ(An.bit(I), logicAnd(A.bit(I), B.bit(I))) << I;
+    EXPECT_EQ(Or.bit(I), logicOr(A.bit(I), B.bit(I))) << I;
+    EXPECT_EQ(Xo.bit(I), logicXor(A.bit(I), B.bit(I))) << I;
+    EXPECT_EQ(No.bit(I), logicNot(A.bit(I))) << I;
+  }
+}
+
+TEST(LogicVecBoundary, IntValueRoundTripAcrossWords) {
+  // Width 65 exercises multi-word IntValue <-> multi-word LogicVec.
+  IntValue V(65, std::vector<uint64_t>{0xdeadbeefcafef00dull, 1});
+  LogicVec L(V);
+  EXPECT_EQ(L.width(), 65u);
+  EXPECT_EQ(L.bit(64), Logic::L1);
+  EXPECT_EQ(L.bit(0), Logic::L1); // 0xd has bit 0 set.
+  bool Unknown = true;
+  EXPECT_EQ(L.toIntValue(&Unknown), V);
+  EXPECT_FALSE(Unknown);
+  EXPECT_TRUE(L.isFullyDefined());
+}
+
+TEST(LogicVecBoundary, ToIntValueFlagsUnknowns) {
+  LogicVec L(17, Logic::L1);
+  L.setBit(16, Logic::X);
+  bool Unknown = false;
+  IntValue V = L.toIntValue(&Unknown);
+  EXPECT_TRUE(Unknown);
+  EXPECT_FALSE(V.bit(16)); // X reads as 0.
+  EXPECT_TRUE(V.bit(15));
+  EXPECT_FALSE(L.isFullyDefined());
+}
+
+TEST(LogicVecBoundary, SliceAcrossWordBoundary) {
+  LogicVec V(24, Logic::L0);
+  V.setBit(15, Logic::L1);
+  V.setBit(16, Logic::Z);
+  V.setBit(17, Logic::W);
+  // A slice straddling the word boundary.
+  LogicVec S = V.extractBits(15, 3);
+  EXPECT_EQ(S.width(), 3u);
+  EXPECT_EQ(S.bit(0), Logic::L1);
+  EXPECT_EQ(S.bit(1), Logic::Z);
+  EXPECT_EQ(S.bit(2), Logic::W);
+  // Word-aligned extract takes the fast copy path.
+  LogicVec Al = V.extractBits(16, 8);
+  EXPECT_EQ(Al.bit(0), Logic::Z);
+  EXPECT_EQ(Al.bit(1), Logic::W);
+  // Insert straddling the boundary round-trips.
+  LogicVec W(24, Logic::U);
+  LogicVec Ins = W.insertBits(15, S);
+  EXPECT_EQ(Ins.extractBits(15, 3), S);
+  EXPECT_EQ(Ins.bit(14), Logic::U);
+  EXPECT_EQ(Ins.bit(18), Logic::U);
+}
+
+TEST(LogicVecBoundary, EqualityAndHashAtBoundary) {
+  LogicVec A(17, Logic::L1), B(17, Logic::L1);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  B.setBit(16, Logic::L0);
+  EXPECT_NE(A, B);
+  // Same prefix, different width: never equal.
+  EXPECT_NE(LogicVec(16, Logic::L1), LogicVec(17, Logic::L1));
+}
+
+TEST(LogicVecBoundary, ZeroLengthExtractAtEnd) {
+  // Word-aligned offset == width with length 0 must not read past the
+  // word array (regression: heap-buffer-overflow on the copy path).
+  EXPECT_EQ(LogicVec(32, Logic::L1).extractBits(32, 0).width(), 0u);
+  EXPECT_EQ(LogicVec(16, Logic::L1).extractBits(16, 0).width(), 0u);
+}
