@@ -17,6 +17,7 @@
 #include "designs/Designs.h"
 #include "moore/Compiler.h"
 #include "sim/Interp.h"
+#include "sim/Wave.h"
 #include "vsim/CommSim.h"
 
 #include <cmath>
@@ -83,6 +84,11 @@ int main(int argc, char **argv) {
   double Scale = argFloat(argc, argv, "scale", 0.001);
   bool Verify = !argFlag(argc, argv, "no-verify");
   std::string JsonPath = argStr(argc, argv, "json", "BENCH_sim.json");
+  // Optional waveform dump: attaches the VCD observer to every timed
+  // run (so the numbers then include tracing overhead), cross-checks
+  // that all three engines emit byte-identical dumps, and writes the
+  // interpreter's to <dir>/<design>.vcd.
+  std::string VcdDir = argStr(argc, argv, "vcd-dir", "");
   std::vector<Row> Rows;
 
   printf("Table 2: Simulation performance of LLHD (scale=%g of paper "
@@ -108,18 +114,26 @@ int main(int argc, char **argv) {
 
     SimOptions Opts;
     Opts.TraceMode = Verify ? Trace::Mode::Hash : Trace::Mode::Off;
+    bool DumpVcd = !VcdDir.empty();
+    WaveWriter WInt, WJit, WComm;
 
     Design Dn = elaborate(M1, R1.TopUnit);
+    if (DumpVcd)
+      Opts.Wave = &WInt;
     InterpSim Int(std::move(Dn), Opts);
     SimStats S1;
     double TInt = timeIt([&] { S1 = Int.run(); });
 
     BlazeSim::BlazeOptions BOpts;
     static_cast<SimOptions &>(BOpts) = Opts;
+    if (DumpVcd)
+      BOpts.Wave = &WJit;
     BlazeSim Jit(M2, R2.TopUnit, BOpts);
     SimStats S2;
     double TJit = timeIt([&] { S2 = Jit.run(); });
 
+    if (DumpVcd)
+      Opts.Wave = &WComm;
     CommSim Comm(M3, R3.TopUnit, Opts);
     SimStats S3;
     double TComm = timeIt([&] { S3 = Comm.run(); });
@@ -134,9 +148,17 @@ int main(int argc, char **argv) {
                 Int.trace().digest() != Comm.trace().digest())) {
       Status = "  TRACE MISMATCH";
       Match = false;
+    } else if (DumpVcd && (WInt.text() != WJit.text() ||
+                           WInt.text() != WComm.text())) {
+      Status = "  VCD MISMATCH";
+      Match = false;
     } else if (Verify) {
       Status = "  traces match";
     }
+    if (DumpVcd &&
+        !WInt.writeToFile(VcdDir + "/" + D.Key + ".vcd"))
+      printf("%-16s cannot write %s/%s.vcd\n", "", VcdDir.c_str(),
+             D.Key.c_str());
     Rows.push_back({D.PaperName, D.Iterations, TInt, TJit, TComm, Match});
 
     printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %8.1f %7.2f%s\n",

@@ -1,0 +1,40 @@
+// Gray encoder/decoder pair with a self-checking testbench, in the
+// SystemVerilog subset the Moore frontend supports. Compile and simulate
+// through the frontend:
+//
+//   llhd-sim examples/gray.sv --top=gray_tb --vcd=gray.vcd
+//   llhd-sim examples/gray.sv --top=gray_tb --engine=blaze --stats
+
+module gray_enc (input [15:0] b, output [15:0] g);
+  assign g = b ^ (b >> 1);
+endmodule
+
+module gray_dec (input [15:0] g, output bit [15:0] b);
+  always_comb begin
+    bit [15:0] acc;
+    acc = g;
+    acc = acc ^ (acc >> 8);
+    acc = acc ^ (acc >> 4);
+    acc = acc ^ (acc >> 2);
+    acc = acc ^ (acc >> 1);
+    b = acc;
+  end
+endmodule
+
+module gray_tb;
+  bit [15:0] b_in, g, b_out;
+  gray_enc enc (.b(b_in), .g(g));
+  gray_dec dec (.g(g), .b(b_out));
+  initial begin
+    bit [15:0] i;
+    i = 0;
+    repeat (32) begin
+      b_in = i;
+      #1ns;
+      assert(b_out == i);
+      i = i + 1;
+      #1ns;
+    end
+    $finish;
+  end
+endmodule

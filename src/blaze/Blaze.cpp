@@ -803,3 +803,4 @@ const std::string &BlazeSim::error() const { return P->Err; }
 SimStats BlazeSim::run() { return P->run(); }
 const Trace &BlazeSim::trace() const { return P->Tr; }
 const SignalTable &BlazeSim::signals() const { return P->D.Signals; }
+const Design &BlazeSim::design() const { return P->D; }

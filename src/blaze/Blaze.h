@@ -41,6 +41,8 @@ public:
 
   const Trace &trace() const;
   const SignalTable &signals() const;
+  /// The elaborated design this engine simulates.
+  const Design &design() const;
 
 private:
   struct Impl;

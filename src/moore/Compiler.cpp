@@ -1431,3 +1431,31 @@ CompileResult llhd::moore::compileSystemVerilog(const std::string &Src,
   Elaborator E(SF, M);
   return E.run(TopModule);
 }
+
+std::string llhd::moore::detectTopModule(const std::string &Src,
+                                         std::string &Error) {
+  SourceFile SF;
+  if (!parseSource(Src, SF, Error))
+    return "";
+  std::set<std::string> Instantiated;
+  for (const auto &MD : SF.Modules)
+    for (const Instantiation &I : MD->Insts)
+      Instantiated.insert(I.ModuleName);
+  std::vector<std::string> Tops;
+  for (const auto &MD : SF.Modules)
+    if (!Instantiated.count(MD->Name))
+      Tops.push_back(MD->Name);
+  if (Tops.size() == 1)
+    return Tops.front();
+  if (Tops.empty()) {
+    Error = SF.Modules.empty()
+                ? "no modules in source"
+                : "no top module (every module is instantiated); "
+                  "use --top=<module>";
+  } else {
+    Error = "multiple top candidates (use --top=<module>):";
+    for (const std::string &T : Tops)
+      Error += " " + T;
+  }
+  return "";
+}

@@ -32,6 +32,11 @@ struct CompileResult {
 CompileResult compileSystemVerilog(const std::string &Src,
                                    const std::string &TopModule, Module &M);
 
+/// Parses \p Src and returns the unique top module: the one no other
+/// module instantiates. Returns "" and sets \p Error when the source is
+/// malformed, has no module, or has several top candidates.
+std::string detectTopModule(const std::string &Src, std::string &Error);
+
 } // namespace moore
 } // namespace llhd
 

@@ -21,6 +21,7 @@
 
 #include "sim/Design.h"
 #include "sim/Interp.h" // SimOptions / SimStats.
+#include "sim/Wave.h"
 
 #include <algorithm>
 #include <concepts>
@@ -66,6 +67,13 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
       WIdx.watch(PI, Eng.procWakeGen(PI), Eng.procSensitivity(PI));
   };
   auto curGen = [&Eng](uint32_t PI) { return Eng.procWakeGen(PI); };
+
+  // Optional waveform observer: header and initial state go out before
+  // the first event (initialisation only schedules, it never commits a
+  // signal value, so the elaboration-time values are the #0 state).
+  WaveWriter *Wave = Opts.Wave;
+  if (Wave)
+    Wave->begin(D);
 
   // Initialisation (§2.4.3): processes run to their first suspension,
   // entities evaluate once.
@@ -114,6 +122,8 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
           Changed.push_back(Canon);
         }
         Tr.record(Now, Canon, D.Signals.value(Canon));
+        if (Wave)
+          Wave->onChange(Now, Canon, D.Signals.value(Canon));
       }
     }
     for (SignalId S : Changed)
@@ -147,6 +157,8 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
       Eng.evalEntity(EI, /*Initial=*/false);
   }
 
+  if (Wave)
+    Wave->finish();
   Stats.EndTime = Now;
   Stats.Finished = Eng.finishRequested();
   if (!Stats.Finished) {

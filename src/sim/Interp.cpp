@@ -524,3 +524,4 @@ const std::string &InterpSim::error() const { return P->D.Error; }
 SimStats InterpSim::run() { return P->run(); }
 const Trace &InterpSim::trace() const { return P->Tr; }
 const SignalTable &InterpSim::signals() const { return P->D.Signals; }
+const Design &InterpSim::design() const { return P->D; }

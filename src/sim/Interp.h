@@ -18,11 +18,17 @@
 
 namespace llhd {
 
+class WaveWriter;
+
 /// Common per-run configuration for all engines.
 struct SimOptions {
   Time MaxTime = Time::us(1000000000ull); ///< Hard stop.
   Trace::Mode TraceMode = Trace::Mode::Hash;
   uint64_t MaxDeltasPerInstant = 10000; ///< Delta-cycle oscillation guard.
+  /// Optional waveform observer (sim/Wave.h), fed from the shared event
+  /// loop's signal-commit path. Null (the default) keeps the commit path
+  /// free of any waveform work beyond one pointer test.
+  WaveWriter *Wave = nullptr;
 };
 
 /// Common per-run results for all engines.
@@ -51,6 +57,8 @@ public:
 
   const Trace &trace() const;
   const SignalTable &signals() const;
+  /// The elaborated design this engine simulates.
+  const Design &design() const;
 
 private:
   struct Impl;

@@ -136,6 +136,42 @@ static bool evalIntFast(Opcode Op, const RtValue &L, const RtValue &R,
   case Opcode::Urem:
     Out = RtValue(IntValue(W, b == 0 ? a : a % b));
     return true;
+  case Opcode::Sdiv: {
+    // Same X-prop rule as the IntValue path: signed division by zero is
+    // all-ones, never the sign-negated 1. Computed on magnitudes so the
+    // minimum-value/-1 case wraps instead of trapping.
+    if (b == 0) {
+      Out = RtValue(IntValue(W, ~uint64_t(0)));
+      return true;
+    }
+    bool ANeg = W != 0 && ((a >> (W - 1)) & 1);
+    bool BNeg = W != 0 && ((b >> (W - 1)) & 1);
+    uint64_t Mask = IntValue::maskOf(W);
+    uint64_t Ma = ANeg ? (0 - a) & Mask : a;
+    uint64_t Mb = BNeg ? (0 - b) & Mask : b;
+    uint64_t Q = Ma / Mb;
+    Out = RtValue(IntValue(W, ANeg != BNeg ? 0 - Q : Q));
+    return true;
+  }
+  case Opcode::Srem:
+  case Opcode::Smod: {
+    if (b == 0) {
+      Out = RtValue(IntValue(W, a)); // Remainder by zero: the dividend.
+      return true;
+    }
+    bool ANeg = W != 0 && ((a >> (W - 1)) & 1);
+    bool BNeg = W != 0 && ((b >> (W - 1)) & 1);
+    uint64_t Mask = IntValue::maskOf(W);
+    uint64_t Ma = ANeg ? (0 - a) & Mask : a;
+    uint64_t Mb = BNeg ? (0 - b) & Mask : b;
+    uint64_t R = Ma % Mb;
+    if (ANeg)
+      R = (0 - R) & Mask; // rem takes the dividend's sign.
+    if (Op == Opcode::Smod && R != 0 && ANeg != BNeg)
+      R = (R + b) & Mask; // mod takes the divisor's sign.
+    Out = RtValue(IntValue(W, R));
+    return true;
+  }
   case Opcode::Eq:
     Out = RtValue(IntValue(1, a == b));
     return true;
@@ -167,8 +203,6 @@ static bool evalIntFast(Opcode Op, const RtValue &L, const RtValue &R,
     Out = RtValue(IntValue(1, sextU64(a, W) >= sextU64(b, W)));
     return true;
   default:
-    // sdiv/srem/smod keep the (already single-word) IntValue path: their
-    // sign-handling is subtle enough that one implementation is safer.
     return false;
   }
 }

@@ -1,0 +1,258 @@
+//===- sim/Wave.cpp - VCD waveform observer ------------------------------===//
+
+#include "sim/Wave.h"
+#include "sim/Design.h"
+
+#include <algorithm>
+#include <fstream>
+
+using namespace llhd;
+
+namespace {
+
+/// Allocates the VCD identifier code of \p Index: positional base-94 over
+/// the printable characters '!'..'~', least-significant first, matching
+/// the compact codes conventional VCD writers produce.
+std::string vcdCode(unsigned Index) {
+  std::string Code;
+  do {
+    Code += static_cast<char>('!' + Index % 94);
+    Index /= 94;
+  } while (Index != 0);
+  return Code;
+}
+
+/// Maps a nine-valued logic element onto VCD's four-state alphabet:
+/// forcing/weak 0 and 1 keep their strength-stripped value, Z stays Z,
+/// everything unknown (U, X, W, '-') becomes x.
+char vcdLogicChar(Logic L) {
+  switch (L) {
+  case Logic::L0:
+  case Logic::L:
+    return '0';
+  case Logic::L1:
+  case Logic::H:
+    return '1';
+  case Logic::Z:
+    return 'z';
+  default:
+    return 'x';
+  }
+}
+
+/// Dumpable payload width; 0 for values VCD cannot represent as a wire
+/// (times, aggregates, pointers).
+unsigned dumpableWidth(const RtValue &V) {
+  if (V.isInt())
+    return V.intValue().width();
+  if (V.isLogic())
+    return V.logicValue().width();
+  return 0;
+}
+
+/// Renders a value-change line (without the trailing newline): scalar
+/// form "0!" for width-1 signals, vector form "b101 !" otherwise. Vector
+/// two-state values are trimmed to the shortest binary spelling, as
+/// conventional writers do; logic vectors keep their full width so x/z
+/// left-extension is never ambiguous.
+std::string vcdValue(const RtValue &V, const std::string &Code) {
+  if (V.isInt()) {
+    const IntValue &IV = V.intValue();
+    unsigned W = IV.width();
+    if (W == 1)
+      return std::string(IV.bit(0) ? "1" : "0") + Code;
+    std::string Bits;
+    bool Seen = false;
+    for (unsigned I = W; I-- > 0;) {
+      bool B = IV.bit(I);
+      if (!Seen && !B && I != 0)
+        continue; // Trim leading zeros, keep at least one digit.
+      Seen |= B;
+      Bits += B ? '1' : '0';
+    }
+    return "b" + Bits + " " + Code;
+  }
+  const LogicVec &LV = V.logicValue();
+  unsigned W = LV.width();
+  if (W == 1)
+    return std::string(1, vcdLogicChar(LV.bit(0))) + Code;
+  std::string Bits;
+  for (unsigned I = W; I-- > 0;)
+    Bits += vcdLogicChar(LV.bit(I));
+  return "b" + Bits + " " + Code;
+}
+
+/// One node of the reconstructed instance hierarchy.
+struct ScopeNode {
+  /// Child scopes in first-appearance order (signal-id order, which is
+  /// elaboration order and therefore identical across engines).
+  std::vector<std::pair<std::string, ScopeNode>> Children;
+  /// (name, signal, width) variables declared directly in this scope.
+  struct VarDecl {
+    std::string Name;
+    SignalId Sig;
+    unsigned Width;
+  };
+  std::vector<VarDecl> Decls;
+
+  ScopeNode &child(const std::string &Name) {
+    for (auto &C : Children)
+      if (C.first == Name)
+        return C.second;
+    Children.emplace_back(Name, ScopeNode());
+    return Children.back().second;
+  }
+};
+
+} // namespace
+
+void WaveWriter::begin(const Design &D) {
+  Began = true;
+  unsigned N = D.Signals.size();
+  Vars.resize(N);
+  PendingVal.resize(N);
+
+  // Build the scope tree from the hierarchical signal names. Only
+  // canonical signals get a variable: `con` aliases share their root's
+  // value and would dump the same change twice.
+  ScopeNode Root;
+  for (SignalId S = 0; S != N; ++S) {
+    if (D.Signals.canonical(S) != S)
+      continue;
+    unsigned W = dumpableWidth(D.Signals.value(S));
+    if (W == 0)
+      continue; // Aggregate/time-valued signals have no VCD form.
+    Vars[S].Code = vcdCode(NumVars++);
+    const std::string &Name = D.Signals.name(S);
+    ScopeNode *Scope = &Root;
+    size_t Start = 0;
+    for (size_t Slash = Name.find('/'); Slash != std::string::npos;
+         Slash = Name.find('/', Start)) {
+      Scope = &Scope->child(Name.substr(Start, Slash - Start));
+      Start = Slash + 1;
+    }
+    std::string Leaf = Name.substr(Start);
+    // Elaboration can produce sibling signals with one name (unnamed
+    // `sig` results); qualify repeats until every $var is unique (the
+    // qualified name can itself collide with a literal sibling name).
+    auto taken = [&] {
+      for (const ScopeNode::VarDecl &Dcl : Scope->Decls)
+        if (Dcl.Name == Leaf)
+          return true;
+      return false;
+    };
+    if (taken()) {
+      std::string Base = Leaf + "_" + std::to_string(S);
+      Leaf = Base;
+      for (unsigned Suffix = 1; taken(); ++Suffix)
+        Leaf = Base + "_" + std::to_string(Suffix);
+    }
+    Scope->Decls.push_back({std::move(Leaf), S, W});
+  }
+
+  // Header. Everything here must be deterministic — no dates, no host
+  // information — so that dumps compare byte-for-byte across engines.
+  Out += "$version llhd-sim $end\n";
+  Out += "$timescale 1fs $end\n";
+
+  // Recursive scope emission, iteratively with an explicit stack to keep
+  // arbitrarily deep hierarchies safe.
+  struct Frame {
+    const ScopeNode *N;
+    size_t NextChild = 0;
+    bool DeclsDone = false;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({&Root});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (!F.DeclsDone) {
+      F.DeclsDone = true;
+      for (const ScopeNode::VarDecl &Dcl : F.N->Decls) {
+        Out += "$var wire " + std::to_string(Dcl.Width) + " " +
+               Vars[Dcl.Sig].Code + " " + Dcl.Name;
+        if (Dcl.Width > 1)
+          Out += " [" + std::to_string(Dcl.Width - 1) + ":0]";
+        Out += " $end\n";
+      }
+    }
+    if (F.NextChild < F.N->Children.size()) {
+      const auto &C = F.N->Children[F.NextChild++];
+      Out += "$scope module " + C.first + " $end\n";
+      Stack.push_back({&C.second});
+      continue;
+    }
+    Stack.pop_back();
+    if (!Stack.empty())
+      Out += "$upscope $end\n";
+  }
+  Out += "$enddefinitions $end\n";
+
+  // Initial state: every variable's elaboration-time value at #0.
+  Out += "#0\n$dumpvars\n";
+  for (SignalId S = 0; S != N; ++S) {
+    if (Vars[S].Code.empty())
+      continue;
+    Vars[S].Last = vcdValue(D.Signals.value(S), Vars[S].Code);
+    Out += Vars[S].Last;
+    Out += '\n';
+  }
+  Out += "$end\n";
+  drain();
+}
+
+void WaveWriter::drain() {
+  if (!Sink || Out.empty())
+    return;
+  Sink->write(Out.data(), static_cast<std::streamsize>(Out.size()));
+  Out.clear();
+}
+
+void WaveWriter::onChange(Time T, SignalId S, const RtValue &V) {
+  if (!Began || S >= Vars.size() || Vars[S].Code.empty())
+    return;
+  if (T.Fs != PendingFs) {
+    flushPending();
+    PendingFs = T.Fs;
+  }
+  if (PendingVal[S].empty())
+    Touched.push_back(S);
+  PendingVal[S] = vcdValue(V, Vars[S].Code);
+}
+
+void WaveWriter::flushPending() {
+  if (Touched.empty())
+    return;
+  // Ascending signal-id order: deterministic and engine-independent
+  // (first-touch order within an instant can differ between delta
+  // rounds, the set of settled values cannot).
+  std::sort(Touched.begin(), Touched.end());
+  bool WroteTs = false;
+  for (SignalId S : Touched) {
+    std::string &Val = PendingVal[S];
+    if (Val != Vars[S].Last) {
+      if (!WroteTs && PendingFs != 0) {
+        // #0 is already current from the $dumpvars block.
+        Out += "#" + std::to_string(PendingFs) + "\n";
+      }
+      WroteTs = true;
+      Vars[S].Last = Val;
+      Out += Val;
+      Out += '\n';
+      ++DumpedChanges;
+    }
+    Val.clear();
+  }
+  Touched.clear();
+  drain();
+}
+
+void WaveWriter::finish() { flushPending(); }
+
+bool WaveWriter::writeToFile(const std::string &Path) const {
+  std::ofstream OutFile(Path, std::ios::binary);
+  if (!OutFile)
+    return false;
+  OutFile << Out;
+  return static_cast<bool>(OutFile);
+}

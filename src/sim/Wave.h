@@ -1,0 +1,106 @@
+//===- sim/Wave.h - VCD waveform observer -----------------------*- C++ -*-===//
+//
+// Waveform tracing for the simulation engines: a WaveWriter observes the
+// kernel's signal-commit path (the same per-change hook the equivalence
+// Trace uses, fed from the shared event loop so Interp, Blaze and CommSim
+// all produce it identically) and renders a standard IEEE 1364 VCD dump.
+//
+// Hierarchical $scope sections are reconstructed from the elaborated
+// instance paths ("top/inst/sig"), identifier codes are allocated in
+// canonical signal-id order (printable base-94), and dumping is
+// change-only: changes are buffered per physical instant and a signal is
+// re-dumped only when its final value at that instant differs from the
+// last value written. Because every engine commits the same resolved
+// values in the same order, the emitted VCD text is byte-identical across
+// engines — the CI smoke job and tests/sim/WaveTest.cpp assert this.
+//
+// The observer is opt-in through SimOptions::Wave; when it is null the
+// simulation path pays exactly one pointer test per committed change and
+// performs no allocation (AllocGuardTest covers the disabled path).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_WAVE_H
+#define LLHD_SIM_WAVE_H
+
+#include "sim/Kernel.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+struct Design;
+
+/// Streams a simulation run into VCD text.
+///
+/// Lifecycle: begin(design) emits the header, variable definitions and
+/// the $dumpvars initial state; onChange() is called by the event loop
+/// for every committed signal change; finish() flushes the final pending
+/// instant. The accumulated text is available via text() or writeToFile().
+class WaveWriter {
+public:
+  WaveWriter() = default;
+
+  /// Emits the VCD header for \p D: scope tree, $var definitions and the
+  /// $dumpvars initial state at #0. Must be called exactly once, before
+  /// any onChange().
+  void begin(const Design &D);
+
+  /// Records a committed change of canonical signal \p S to \p V at time
+  /// \p T. Changes are buffered until the physical instant advances, so
+  /// delta-cycle glitches that settle back to the previous value produce
+  /// no output (change-only semantics).
+  void onChange(Time T, SignalId S, const RtValue &V);
+
+  /// Flushes the last pending instant. Call after the run completes.
+  void finish();
+
+  /// Streams the dump into \p OS instead of accumulating it: emitted
+  /// text is forwarded and dropped from memory at every instant flush,
+  /// so an unbounded run holds at most one instant's worth of pending
+  /// state. Set before begin(). text() is empty in this mode — callers
+  /// that byte-compare dumps (--diff-engines, the tests) must not set a
+  /// sink.
+  void streamTo(std::ostream &OS) { Sink = &OS; }
+
+  /// The VCD text produced so far (finish() first for a complete dump).
+  /// Only meaningful without a streamTo() sink.
+  const std::string &text() const { return Out; }
+
+  /// Writes text() to \p Path; returns false on I/O failure.
+  bool writeToFile(const std::string &Path) const;
+
+  /// Number of signals that got a $var definition.
+  unsigned numVars() const { return NumVars; }
+  /// Number of value-change lines emitted after $dumpvars.
+  uint64_t numDumpedChanges() const { return DumpedChanges; }
+
+private:
+  void flushPending();
+  void drain();
+
+  /// Per-signal dump state; Code is empty for signals without a $var
+  /// (aliases and non-scalar payloads).
+  struct Var {
+    std::string Code; ///< VCD identifier code.
+    std::string Last; ///< Last dumped value line payload.
+  };
+
+  std::string Out;
+  std::ostream *Sink = nullptr;
+  std::vector<Var> Vars;
+  /// Signals touched at the pending instant, with their latest value.
+  std::vector<SignalId> Touched;
+  std::vector<std::string> PendingVal; ///< Indexed by signal; "" = clean.
+  uint64_t PendingFs = 0;
+  bool Began = false;
+  unsigned NumVars = 0;
+  uint64_t DumpedChanges = 0;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_WAVE_H

@@ -212,6 +212,11 @@ IntValue IntValue::urem(const IntValue &RHS) const {
 }
 
 IntValue IntValue::sdiv(const IntValue &RHS) const {
+  // Division by zero yields all-ones regardless of operand signs (the
+  // same X-prop convention as udiv); without this check a negative
+  // dividend would negate udiv's all-ones into 1.
+  if (RHS.isZero())
+    return allOnes(Width);
   bool LNeg = signBit(), RNeg = RHS.signBit();
   IntValue L = LNeg ? neg() : *this;
   IntValue R = RNeg ? RHS.neg() : RHS;
@@ -220,6 +225,9 @@ IntValue IntValue::sdiv(const IntValue &RHS) const {
 }
 
 IntValue IntValue::srem(const IntValue &RHS) const {
+  // Remainder by zero yields the dividend, matching urem.
+  if (RHS.isZero())
+    return *this;
   bool LNeg = signBit(), RNeg = RHS.signBit();
   IntValue L = LNeg ? neg() : *this;
   IntValue R = RNeg ? RHS.neg() : RHS;
@@ -228,6 +236,8 @@ IntValue IntValue::srem(const IntValue &RHS) const {
 }
 
 IntValue IntValue::smod(const IntValue &RHS) const {
+  if (RHS.isZero())
+    return *this;
   IntValue Rem = srem(RHS);
   if (Rem.isZero() || Rem.signBit() == RHS.signBit())
     return Rem;

@@ -38,12 +38,17 @@ bool Time::parse(const std::string &Str, Time &Out) {
     while (I < Str.size() && std::isspace(static_cast<unsigned char>(Str[I])))
       ++I;
   };
+  // Rejects (instead of silently wrapping) numbers beyond uint64_t.
   auto parseNum = [&](uint64_t &N) {
     if (I >= Str.size() || !std::isdigit(static_cast<unsigned char>(Str[I])))
       return false;
     N = 0;
-    while (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I])))
-      N = N * 10 + (Str[I++] - '0');
+    while (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I]))) {
+      unsigned Digit = Str[I++] - '0';
+      if (N > (~uint64_t(0) - Digit) / 10)
+        return false;
+      N = N * 10 + Digit;
+    }
     return true;
   };
 
@@ -75,13 +80,19 @@ bool Time::parse(const std::string &Str, Time &Out) {
   } else {
     return false;
   }
+  // Large ms/s counts can exceed the femtosecond range; fail instead of
+  // wrapping uint64_t (e.g. "20000s" > ~18446s of femtoseconds).
+  if (N != 0 && N > ~uint64_t(0) / Scale)
+    return false;
   Out.Fs = N * Scale;
 
-  // Optional delta and epsilon counts: "<n>d" then "<n>e".
+  // Optional delta and epsilon counts: "<n>d" then "<n>e". The counters
+  // are 32-bit; larger literals are malformed, not truncated.
   skipSpace();
   if (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I]))) {
     size_t Save = I;
-    if (parseNum(N) && I < Str.size() && Str[I] == 'd') {
+    if (parseNum(N) && N <= ~uint32_t(0) && I < Str.size() &&
+        Str[I] == 'd') {
       Out.Delta = static_cast<uint32_t>(N);
       ++I;
     } else {
@@ -91,13 +102,16 @@ bool Time::parse(const std::string &Str, Time &Out) {
   skipSpace();
   if (I < Str.size() && std::isdigit(static_cast<unsigned char>(Str[I]))) {
     size_t Save = I;
-    if (parseNum(N) && I < Str.size() && Str[I] == 'e') {
+    if (parseNum(N) && N <= ~uint32_t(0) && I < Str.size() &&
+        Str[I] == 'e') {
       Out.Eps = static_cast<uint32_t>(N);
       ++I;
     } else {
       I = Save;
     }
   }
+  // Strict tail: nothing but whitespace may remain ("1ns xyz" is
+  // malformed, as is a dangling "3" after the epsilon count).
   skipSpace();
   return I == Str.size();
 }

@@ -609,3 +609,4 @@ const std::string &CommSim::error() const { return P->Err; }
 SimStats CommSim::run() { return P->run(); }
 const Trace &CommSim::trace() const { return P->Tr; }
 const SignalTable &CommSim::signals() const { return P->D.Signals; }
+const Design &CommSim::design() const { return P->D; }

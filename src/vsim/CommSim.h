@@ -32,6 +32,8 @@ public:
 
   const Trace &trace() const;
   const SignalTable &signals() const;
+  /// The elaborated design this engine simulates.
+  const Design &design() const;
 
 private:
   struct Impl;

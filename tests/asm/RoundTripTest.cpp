@@ -2,6 +2,7 @@
 
 #include "asm/Parser.h"
 #include "asm/Printer.h"
+#include "bitcode/Bitcode.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 
@@ -173,6 +174,53 @@ entry:
   EXPECT_EQ(Insts[0]->timeValue(), Time::ns(1));
   EXPECT_EQ(Insts[1]->timeValue(), Time(100000, 2, 1));
   EXPECT_EQ(Insts[2]->timeValue(), Time(0, 1, 0));
+}
+
+TEST(RoundTrip, TimeValuesWithDeltaEpsilonRoundTrip) {
+  // Full (physical, delta, epsilon) time constants must survive
+  // Parser -> Printer -> Parser and the Bitcode path bit-exactly,
+  // including counter-only times and boundary-sized counters.
+  Context Ctx;
+  Module M(Ctx, "t");
+  const char *Src = R"(
+func @f () void {
+entry:
+  %a = const time 100ps 2d 1e
+  %b = const time 0s 1d
+  %c = const time 0s 3e
+  %d = const time 1ns 4294967295d 4294967295e
+  %e = const time 18446744073709551615fs
+  ret
+}
+)";
+  ParseResult R = parseModule(Src, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const Time Expected[] = {Time(100000, 2, 1), Time(0, 1, 0),
+                           Time(0, 0, 3),
+                           Time(1000000, 4294967295u, 4294967295u),
+                           Time(~uint64_t(0), 0, 0)};
+  auto checkTimes = [&](Module &Mod, const char *Label) {
+    auto Insts = Mod.unitByName("f")->entry()->insts();
+    for (size_t I = 0; I != std::size(Expected); ++I)
+      EXPECT_EQ(Insts[I]->timeValue(), Expected[I])
+          << Label << " inst " << I;
+  };
+  checkTimes(M, "parsed");
+
+  // Textual round trip reaches a printing fixpoint.
+  std::string P1 = printModule(M);
+  Module M2(Ctx, "t2");
+  ASSERT_TRUE(parseModule(P1, M2).Ok) << P1;
+  checkTimes(M2, "reparsed");
+  EXPECT_EQ(printModule(M2), P1);
+
+  // Bitcode round trip preserves all three time components.
+  std::vector<uint8_t> Bytes = writeBitcode(M);
+  Module M3(Ctx, "t3");
+  std::string Error;
+  ASSERT_TRUE(readBitcode(Bytes, M3, Error)) << Error;
+  checkTimes(M3, "bitcode");
+  EXPECT_EQ(printModule(M3), P1);
 }
 
 TEST(RoundTrip, LogicEnumAggregates) {

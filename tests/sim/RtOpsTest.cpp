@@ -124,10 +124,12 @@ void refUdivRem(const Bits &A, const Bits &B, Bits &Q, Bits &R) {
 }
 
 Bits refSdiv(const Bits &A, const Bits &B) {
+  if (refIsZero(B))
+    return Bits(A.size(), 1); // Division by zero: all-ones, signs ignored.
   bool NA = !A.empty() && A.back(), NB = !B.empty() && B.back();
   Bits UA = NA ? refNeg(A) : A, UB = NB ? refNeg(B) : B;
   Bits Q, R;
-  refUdivRem(UA, UB, Q, R); // Division by zero: Q is all-ones.
+  refUdivRem(UA, UB, Q, R);
   return NA != NB ? refNeg(Q) : Q;
 }
 
@@ -295,4 +297,61 @@ TEST(RtOpsFastWide, RtValueStaysSmall) {
   static_assert(sizeof(RtValue) <= 32,
                 "scalar RtValue must stay within 32 bytes");
   EXPECT_LE(sizeof(RtValue), 32u);
+}
+
+TEST(RtOpsFastWide, SignedDivisionBoundaries) {
+  // The div-by-zero X-prop rule and the MIN/-1 wrap must agree between
+  // the width<=64 fast path and the IntValue wide path, on both sides
+  // of the word boundary.
+  for (unsigned W : {1u, 8u, 63u, 64u, 65u, 128u}) {
+    IntValue Zero(W, 0);
+    IntValue Five(W, 5);
+    IntValue MinusFive = Five.neg();
+    IntValue MinusOne = IntValue::allOnes(W);
+    EXPECT_EQ(evalBin(Opcode::Sdiv, MinusFive, Zero).intValue(),
+              IntValue::allOnes(W))
+        << "sdiv by zero at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Sdiv, Five, Zero).intValue(),
+              IntValue::allOnes(W))
+        << "sdiv by zero at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Srem, MinusFive, Zero).intValue(),
+              MinusFive)
+        << "srem by zero at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Smod, MinusFive, Zero).intValue(),
+              MinusFive)
+        << "smod by zero at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Udiv, Five, Zero).intValue(),
+              IntValue::allOnes(W))
+        << "udiv by zero at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Urem, Five, Zero).intValue(), Five)
+        << "urem by zero at width " << W;
+
+    IntValue Min(W, 0);
+    Min.setBit(W - 1, true);
+    EXPECT_EQ(evalBin(Opcode::Sdiv, Min, MinusOne).intValue(), Min)
+        << "MIN/-1 at width " << W;
+    EXPECT_EQ(evalBin(Opcode::Srem, Min, MinusOne).intValue(),
+              IntValue(W, 0))
+        << "MIN rem -1 at width " << W;
+
+    // Sign combinations around the boundary widths.
+    IntValue Seven(W, 7);
+    if (W >= 4) {
+      EXPECT_EQ(evalBin(Opcode::Sdiv, Seven.neg(), IntValue(W, 2))
+                    .intValue()
+                    .sextToI64(),
+                -3)
+          << "width " << W;
+      EXPECT_EQ(evalBin(Opcode::Srem, Seven.neg(), IntValue(W, 2))
+                    .intValue()
+                    .sextToI64(),
+                -1)
+          << "width " << W;
+      EXPECT_EQ(evalBin(Opcode::Smod, Seven.neg(), IntValue(W, 2))
+                    .intValue()
+                    .sextToI64(),
+                1)
+          << "width " << W;
+    }
+  }
 }

@@ -1,0 +1,350 @@
+//===- tests/sim/WaveTest.cpp - VCD waveform subsystem --------------------===//
+//
+// Validates the WaveWriter observer: VCD structure (header, hierarchical
+// scopes, identifier allocation, $dumpvars initial state), change-only
+// dumping semantics (delta glitches that settle back produce no output),
+// golden traces for a known design, and byte-identical dumps across the
+// three engines over the whole Table 2 designs suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "blaze/Blaze.h"
+#include "designs/Designs.h"
+#include "moore/Compiler.h"
+#include "sim/EventLoop.h"
+#include "sim/Interp.h"
+#include "sim/Wave.h"
+#include "vsim/CommSim.h"
+
+#include "../common/TestDesigns.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace llhd;
+
+namespace {
+
+std::vector<std::string> lines(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start < S.size()) {
+    size_t End = S.find('\n', Start);
+    if (End == std::string::npos)
+      End = S.size();
+    Out.push_back(S.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Out;
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = Hay.find(Needle); P != std::string::npos;
+       P = Hay.find(Needle, P + Needle.size()))
+    ++N;
+  return N;
+}
+
+/// Runs \p Src (LLHD assembly) on the interpreter with a WaveWriter
+/// attached and returns the finished VCD text.
+std::string interpVcd(const char *Src, const char *Top,
+                      Time Until = Time::us(1000000000ull)) {
+  Context Ctx;
+  Module M(Ctx, "wave");
+  ParseResult R = parseModule(Src, M);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  Design D = elaborate(M, Top);
+  EXPECT_TRUE(D.ok()) << D.Error;
+  WaveWriter W;
+  SimOptions Opts;
+  Opts.MaxTime = Until;
+  Opts.Wave = &W;
+  InterpSim Sim(std::move(D), Opts);
+  Sim.run();
+  return W.text();
+}
+
+/// A two-signal design with a known, hand-checkable waveform: s toggles
+/// at 1ns/2ns, g glitches at 3ns (x -> 1 -> x within one instant) and
+/// must not appear in the dump at 3ns.
+const char *GlitchSrc = R"(
+entity @top () -> () {
+  %z = const i1 0
+  %s = sig i1 %z
+  %g = sig i1 %z
+  inst @driver () -> (i1$ %s, i1$ %g)
+}
+proc @driver () -> (i1$ %s, i1$ %g) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %t1 = const time 1ns
+  %d0 = const time 0s
+  drv i1$ %s, %b1 after %t1
+  wait %at1 for %t1
+at1:
+  drv i1$ %s, %b0 after %t1
+  wait %at2 for %t1
+at2:
+  ; Glitch: raise %g on the next delta, lower it one delta later — both
+  ; drives land within the 2ns instant's delta rounds, so the settled
+  ; value never moves.
+  drv i1$ %g, %b1 after %d0
+  wait %at2b for %d0
+at2b:
+  drv i1$ %g, %b0 after %d0
+  wait %done for %t1
+done:
+  halt
+}
+)";
+
+} // namespace
+
+TEST(Wave, HeaderStructureAndScopes) {
+  std::string Vcd = interpVcd(GlitchSrc, "top");
+  // Header blocks in order.
+  size_t Version = Vcd.find("$version");
+  size_t Timescale = Vcd.find("$timescale 1fs $end");
+  size_t Scope = Vcd.find("$scope module top $end");
+  size_t Upscope = Vcd.find("$upscope $end");
+  size_t EndDefs = Vcd.find("$enddefinitions $end");
+  size_t Dumpvars = Vcd.find("#0\n$dumpvars\n");
+  ASSERT_NE(Version, std::string::npos);
+  ASSERT_NE(Timescale, std::string::npos);
+  ASSERT_NE(Scope, std::string::npos);
+  ASSERT_NE(Upscope, std::string::npos);
+  ASSERT_NE(EndDefs, std::string::npos);
+  ASSERT_NE(Dumpvars, std::string::npos);
+  EXPECT_LT(Version, Timescale);
+  EXPECT_LT(Timescale, Scope);
+  EXPECT_LT(Scope, Upscope);
+  EXPECT_LT(Upscope, EndDefs);
+  EXPECT_LT(EndDefs, Dumpvars);
+
+  // Both signals get a $var inside the top scope with distinct codes.
+  EXPECT_NE(Vcd.find("$var wire 1 ! s $end"), std::string::npos) << Vcd;
+  EXPECT_NE(Vcd.find("$var wire 1 \" g $end"), std::string::npos) << Vcd;
+
+  // $dumpvars carries the initial state of both variables.
+  size_t DumpEnd = Vcd.find("$end", Dumpvars);
+  std::string Initial = Vcd.substr(Dumpvars, DumpEnd - Dumpvars);
+  EXPECT_NE(Initial.find("0!"), std::string::npos);
+  EXPECT_NE(Initial.find("0\""), std::string::npos);
+}
+
+TEST(Wave, ChangeOnlyDumping) {
+  std::string Vcd = interpVcd(GlitchSrc, "top");
+  // s: 0 -> 1 at 1ns -> 0 at 2ns. g: glitches within the 2ns instant
+  // (up one delta, down the next) and must not surface at all.
+  EXPECT_NE(Vcd.find("#1000000\n1!"), std::string::npos) << Vcd;
+  EXPECT_NE(Vcd.find("#2000000\n0!"), std::string::npos) << Vcd;
+  // No change line for g after $dumpvars: its settled value never moved.
+  size_t DumpvarsEnd = Vcd.find("$end\n", Vcd.find("$dumpvars"));
+  ASSERT_NE(DumpvarsEnd, std::string::npos);
+  std::string Body = Vcd.substr(DumpvarsEnd + 5);
+  EXPECT_EQ(Body.find('"'), std::string::npos)
+      << "glitching signal leaked into the dump:\n" << Vcd;
+  // And exactly the two settled s-changes were dumped.
+  EXPECT_EQ(countOccurrences(Body, "!"), 2u) << Vcd;
+}
+
+TEST(Wave, GoldenCounterTrace) {
+  const char *Src = R"(
+entity @top () -> () {
+  %z1 = const i1 0
+  %z2 = const i2 0
+  %clk = sig i1 %z1
+  %cnt = sig i2 %z2
+  inst @clkgen () -> (i1$ %clk)
+  inst @count (i1$ %clk) -> (i2$ %cnt)
+}
+proc @clkgen () -> (i1$ %clk) {
+entry:
+  %b0 = const i1 0
+  %b1 = const i1 1
+  %half = const time 1ns
+  br %hi
+hi:
+  drv i1$ %clk, %b1 after %half
+  wait %lo for %half
+lo:
+  drv i1$ %clk, %b0 after %half
+  wait %hi for %half
+}
+proc @count (i1$ %clk) -> (i2$ %cnt) {
+entry:
+  %one = const i2 1
+  %d0 = const time 0s
+  br %loop
+loop:
+  wait %tick for %clk
+tick:
+  %c = prb i1$ %clk
+  br %c, %loop, %up
+up:
+  %v = prb i2$ %cnt
+  %vn = add i2 %v, %one
+  drv i2$ %cnt, %vn after %d0
+  br %loop
+}
+)";
+  std::string Vcd = interpVcd(Src, "top", Time::ns(4));
+  const char *Golden = "$version llhd-sim $end\n"
+                       "$timescale 1fs $end\n"
+                       "$scope module top $end\n"
+                       "$var wire 1 ! clk $end\n"
+                       "$var wire 2 \" cnt [1:0] $end\n"
+                       "$upscope $end\n"
+                       "$enddefinitions $end\n"
+                       "#0\n"
+                       "$dumpvars\n"
+                       "0!\n"
+                       "b0 \"\n"
+                       "$end\n"
+                       "#1000000\n"
+                       "1!\n"
+                       "b1 \"\n"
+                       "#2000000\n"
+                       "0!\n"
+                       "#3000000\n"
+                       "1!\n"
+                       "b10 \"\n"
+                       "#4000000\n"
+                       "0!\n";
+  EXPECT_EQ(Vcd, Golden);
+}
+
+TEST(Wave, LogicSignalsUseFourStateAlphabet) {
+  const char *Src = R"(
+entity @top () -> () {
+  %init = const l4 "UX1Z"
+  %l = sig l4 %init
+  inst @driver () -> (l4$ %l)
+}
+proc @driver () -> (l4$ %l) {
+entry:
+  %v = const l4 "01ZW"
+  %t1 = const time 1ns
+  drv l4$ %l, %v after %t1
+  wait %done for %t1
+done:
+  halt
+}
+)";
+  std::string Vcd = interpVcd(Src, "top");
+  // Initial UX1Z maps to xx1z, driven 01ZW maps to 01zx (MSB first).
+  EXPECT_NE(Vcd.find("bxx1z !"), std::string::npos) << Vcd;
+  EXPECT_NE(Vcd.find("#1000000\nb01zx !"), std::string::npos) << Vcd;
+}
+
+TEST(Wave, HierarchicalScopesNestAndClose) {
+  std::string Vcd = interpVcd(llhd_test::accTestbench("5"), "acc_tb");
+  // acc_tb instantiates @acc, which instantiates @acc_ff/@acc_comb; the
+  // signals live at two levels: acc_tb/{clk,en,x,q} and acc_tb/acc/d.
+  EXPECT_NE(Vcd.find("$scope module acc_tb $end"), std::string::npos);
+  EXPECT_NE(Vcd.find("$scope module acc $end"), std::string::npos);
+  EXPECT_EQ(countOccurrences(Vcd, "$scope module"),
+            countOccurrences(Vcd, "$upscope $end"));
+  // Five dumpable signals, five $var definitions, all unique codes.
+  EXPECT_EQ(countOccurrences(Vcd, "$var wire"), 5u) << Vcd;
+}
+
+TEST(Wave, StreamingSinkMatchesInMemoryText) {
+  // streamTo() must produce byte-identical output to the accumulating
+  // mode while keeping nothing buffered after finish().
+  const char *Src = llhd_test::accTestbench("10");
+  Context Ctx;
+  auto runWith = [&](const char *Name, std::ostream *Sink) {
+    Module M(Ctx, Name);
+    EXPECT_TRUE(parseModule(Src, M).Ok);
+    WaveWriter W;
+    if (Sink)
+      W.streamTo(*Sink);
+    SimOptions Opts;
+    Opts.Wave = &W;
+    InterpSim Sim(elaborate(M, "acc_tb"), Opts);
+    Sim.run();
+    return W.text();
+  };
+  std::string InMemory = runWith("mem", nullptr);
+  std::ostringstream Streamed;
+  std::string Tail = runWith("stream", &Streamed);
+  EXPECT_EQ(Streamed.str(), InMemory);
+  EXPECT_TRUE(Tail.empty());
+}
+
+TEST(Wave, DisabledObserverCostsNothing) {
+  // With no WaveWriter attached the run produces no VCD state at all;
+  // the digests of traced runs with and without an observer agree, so
+  // observation does not perturb simulation.
+  const char *Src = llhd_test::accTestbench("20");
+  Context Ctx;
+  Module M1(Ctx, "a");
+  ASSERT_TRUE(parseModule(Src, M1).Ok);
+  InterpSim Plain(elaborate(M1, "acc_tb"));
+  Plain.run();
+
+  Module M2(Ctx, "b");
+  ASSERT_TRUE(parseModule(Src, M2).Ok);
+  WaveWriter W;
+  SimOptions Opts;
+  Opts.Wave = &W;
+  InterpSim Observed(elaborate(M2, "acc_tb"), Opts);
+  Observed.run();
+
+  EXPECT_EQ(Plain.trace().digest(), Observed.trace().digest());
+  EXPECT_GT(W.numDumpedChanges(), 0u);
+}
+
+// The tentpole acceptance criterion: VCD output is byte-identical across
+// Interp, Blaze and CommSim for every design of the Table 2 suite.
+TEST(Wave, DesignsSuiteVcdByteIdenticalAcrossEngines) {
+  for (const designs::DesignInfo &D : designs::allDesigns(0.0)) {
+    Context Ctx;
+
+    Module M1(Ctx, D.Key + ".ref");
+    moore::CompileResult R =
+        moore::compileSystemVerilog(D.Source, D.TopModule, M1);
+    ASSERT_TRUE(R.Ok) << D.Key << ": " << R.Error;
+    WaveWriter W1;
+    SimOptions O1;
+    O1.Wave = &W1;
+    Design Dn = elaborate(M1, R.TopUnit);
+    ASSERT_TRUE(Dn.ok()) << D.Key << ": " << Dn.Error;
+    InterpSim Ref(std::move(Dn), O1);
+    Ref.run();
+
+    Module M2(Ctx, D.Key + ".blaze");
+    ASSERT_TRUE(
+        moore::compileSystemVerilog(D.Source, D.TopModule, M2).Ok);
+    WaveWriter W2;
+    BlazeSim::BlazeOptions O2;
+    O2.Wave = &W2;
+    BlazeSim Blaze(M2, R.TopUnit, O2);
+    ASSERT_TRUE(Blaze.valid()) << D.Key << ": " << Blaze.error();
+    Blaze.run();
+
+    Module M3(Ctx, D.Key + ".comm");
+    ASSERT_TRUE(
+        moore::compileSystemVerilog(D.Source, D.TopModule, M3).Ok);
+    WaveWriter W3;
+    SimOptions O3;
+    O3.Wave = &W3;
+    CommSim Comm(M3, R.TopUnit, O3);
+    ASSERT_TRUE(Comm.valid()) << D.Key << ": " << Comm.error();
+    Comm.run();
+
+    EXPECT_GT(W1.numVars(), 0u) << D.Key;
+    EXPECT_GT(W1.numDumpedChanges(), 0u) << D.Key;
+    EXPECT_EQ(W1.text(), W2.text())
+        << D.Key << ": Blaze VCD diverges from Interp";
+    EXPECT_EQ(W1.text(), W3.text())
+        << D.Key << ": CommSim VCD diverges from Interp";
+  }
+}

@@ -61,6 +61,40 @@ TEST(IntValue, SdivSigns) {
   EXPECT_EQ(A.smod(B).sextToI64(), 1);
 }
 
+TEST(IntValue, SignedDivisionByZero) {
+  // sdiv by zero is all-ones regardless of the dividend's sign — the
+  // same X-prop convention as udiv. A negative dividend must not turn
+  // udiv's all-ones into 1 through sign correction. srem/smod by zero
+  // yield the dividend, like urem. Checked on both sides of the
+  // inline/heap storage boundary.
+  for (unsigned W : {1u, 8u, 63u, 64u, 65u, 128u}) {
+    IntValue Zero(W, 0);
+    IntValue Five(W, 5);
+    IntValue MinusFive = Five.neg();
+    EXPECT_EQ(MinusFive.sdiv(Zero), IntValue::allOnes(W)) << "width " << W;
+    EXPECT_EQ(Five.sdiv(Zero), IntValue::allOnes(W)) << "width " << W;
+    EXPECT_EQ(Zero.sdiv(Zero), IntValue::allOnes(W)) << "width " << W;
+    EXPECT_EQ(MinusFive.srem(Zero), MinusFive) << "width " << W;
+    EXPECT_EQ(Five.srem(Zero), Five) << "width " << W;
+    EXPECT_EQ(MinusFive.smod(Zero), MinusFive) << "width " << W;
+    EXPECT_EQ(Five.smod(Zero), Five) << "width " << W;
+  }
+}
+
+TEST(IntValue, SignedMinimumDivMinusOneWraps) {
+  // The one signed pair whose true quotient does not fit: MIN / -1
+  // wraps back to MIN (all arithmetic is modulo 2^width), and the
+  // remainder is zero.
+  for (unsigned W : {8u, 64u, 65u, 128u}) {
+    IntValue Min(W, 0);
+    Min.setBit(W - 1, true);
+    IntValue MinusOne = IntValue::allOnes(W);
+    EXPECT_EQ(Min.sdiv(MinusOne), Min) << "width " << W;
+    EXPECT_EQ(Min.srem(MinusOne), IntValue(W, 0)) << "width " << W;
+    EXPECT_EQ(Min.smod(MinusOne), IntValue(W, 0)) << "width " << W;
+  }
+}
+
 TEST(IntValue, MultiwordDivision) {
   IntValue A(128, {0x123456789abcdef0ull, 0xfedcba9876543210ull});
   IntValue B(128, 1000000007);

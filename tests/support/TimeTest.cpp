@@ -69,3 +69,45 @@ TEST(Time, ParseRejectsGarbage) {
   EXPECT_FALSE(Time::parse("1", T));
   EXPECT_FALSE(Time::parse("1ns x", T));
 }
+
+TEST(Time, ParseRejectsTrailingGarbage) {
+  Time T;
+  EXPECT_FALSE(Time::parse("1ns xyz", T));
+  EXPECT_FALSE(Time::parse("1nsxyz", T));
+  EXPECT_FALSE(Time::parse("1ns 2d xyz", T));
+  EXPECT_FALSE(Time::parse("1ns 2d 1e 3", T));
+  EXPECT_FALSE(Time::parse("1ns 2d 1e 3e", T));
+  EXPECT_FALSE(Time::parse("1ns 2x", T));
+  EXPECT_FALSE(Time::parse("5seconds", T));
+  EXPECT_FALSE(Time::parse("1ns 2d5", T));
+  // Leading/trailing whitespace alone stays accepted.
+  EXPECT_TRUE(Time::parse("  1ns ", T));
+  EXPECT_EQ(T, Time::ns(1));
+}
+
+TEST(Time, ParseOverflowRejected) {
+  Time T;
+  // 2^64 fs is about 18446.7s; one count beyond the representable range
+  // in any unit must fail instead of silently wrapping uint64_t.
+  EXPECT_TRUE(Time::parse("18446s", T));
+  EXPECT_EQ(T.Fs, 18446ull * 1000000000000000ull);
+  EXPECT_FALSE(Time::parse("18447s", T));
+  EXPECT_TRUE(Time::parse("18446744ms", T));
+  EXPECT_FALSE(Time::parse("18446745ms", T));
+  EXPECT_TRUE(Time::parse("18446744073709551615fs", T)); // 2^64 - 1.
+  EXPECT_EQ(T.Fs, ~uint64_t(0));
+  EXPECT_FALSE(Time::parse("18446744073709551616fs", T)); // 2^64.
+  // Digit accumulation beyond uint64_t fails too, any unit.
+  EXPECT_FALSE(Time::parse("99999999999999999999999ns", T));
+}
+
+TEST(Time, ParseDeltaEpsOverflowRejected) {
+  Time T;
+  ASSERT_TRUE(Time::parse("0s 4294967295d 4294967295e", T));
+  EXPECT_EQ(T.Delta, 4294967295u);
+  EXPECT_EQ(T.Eps, 4294967295u);
+  // The delta/epsilon counters are 32-bit; larger literals are
+  // malformed rather than truncated.
+  EXPECT_FALSE(Time::parse("0s 4294967296d", T));
+  EXPECT_FALSE(Time::parse("0s 1d 4294967296e", T));
+}

@@ -1,0 +1,405 @@
+//===- tools/llhd-sim.cpp - Simulation driver --------------------------------===//
+//
+// The llhd-sim tool: the paper's reference-simulator workflow as a
+// command-line driver. Reads LLHD assembly (or SystemVerilog through the
+// Moore frontend), elaborates the design, simulates it on any of the
+// three engines, and optionally dumps a VCD waveform or cross-checks the
+// engines against each other.
+//
+//   llhd-sim design.llhd --vcd=design.vcd --until=500ns
+//   llhd-sim counter.sv --top=counter_tb --engine=blaze --stats
+//   llhd-sim design.llhd --diff-engines
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Parser.h"
+#include "blaze/Blaze.h"
+#include "moore/Compiler.h"
+#include "sim/Interp.h"
+#include "sim/Wave.h"
+#include "vsim/CommSim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace llhd;
+
+namespace {
+
+void printUsage() {
+  fprintf(stderr,
+          "usage: llhd-sim [options] <file.llhd | file.sv | ->\n"
+          "\n"
+          "  --engine=<e>     interp (default), blaze, or comm\n"
+          "  --top=<name>     top entity/module; auto-detected when the\n"
+          "                   design has a unique un-instantiated root\n"
+          "  --until=<time>   stop at this simulation time, e.g. 500ns\n"
+          "  --vcd=<file>     dump a VCD waveform of the run\n"
+          "  --diff-engines   run Interp, Blaze and CommSim and cross-\n"
+          "                   check their trace digests (and waveforms,\n"
+          "                   with --vcd); nonzero exit on divergence\n"
+          "  --no-opt         disable Blaze's pre-compilation pipeline\n"
+          "  --stats          print run statistics to stderr\n"
+          "  --list-signals   print the elaborated signal hierarchy and\n"
+          "                   exit without simulating\n"
+          "  --sv, --llhd     force the input language (default: by\n"
+          "                   file extension; stdin defaults to .llhd)\n");
+}
+
+/// Everything one engine run produces that the driver reports on.
+struct RunOutcome {
+  std::string Engine;
+  SimStats Stats;
+  uint64_t Digest = 0;
+  uint64_t Changes = 0;
+  unsigned Signals = 0;   ///< Elaborated signal count.
+  unsigned Instances = 0; ///< Elaborated unit-instance count.
+  std::string Vcd; ///< Empty unless a waveform was requested.
+};
+
+struct DriverConfig {
+  std::string Engine = "interp";
+  std::string Top;
+  std::string VcdPath;
+  bool DiffEngines = false;
+  bool NoOpt = false;
+  bool Stats = false;
+  bool ListSignals = false;
+  SimOptions Opts;
+};
+
+/// Finds the unique simulatable root of \p M: a non-declaration process
+/// or entity that no other unit instantiates. Returns empty and fills
+/// \p Error when there is no unique candidate.
+std::string detectTop(const Module &M, std::string &Error) {
+  std::vector<const Unit *> Candidates;
+  for (const auto &U : M.units()) {
+    if (U->isFunction() || U->isDeclaration())
+      continue;
+    Candidates.push_back(U.get());
+  }
+  for (const auto &U : M.units())
+    for (const BasicBlock *B : U->blocks())
+      for (const Instruction *I : B->insts())
+        if (I->opcode() == Opcode::InstOp && I->callee())
+          Candidates.erase(std::remove(Candidates.begin(), Candidates.end(),
+                                       I->callee()),
+                          Candidates.end());
+  if (Candidates.size() == 1)
+    return Candidates.front()->name();
+  if (Candidates.empty()) {
+    Error = "no top unit found (every process/entity is instantiated); "
+            "use --top=<name>";
+  } else {
+    Error = "multiple top candidates (use --top=<name>):";
+    for (const Unit *U : Candidates)
+      Error += " @" + U->name();
+  }
+  return "";
+}
+
+/// Runs one engine over \p M. \p WantVcd attaches a WaveWriter: with a
+/// \p VcdStream it streams there (bounded memory, arbitrary run
+/// length), otherwise the text lands in the outcome for comparison.
+bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
+               const DriverConfig &Cfg, bool WantVcd,
+               std::ostream *VcdStream, RunOutcome &Out,
+               std::string &Error) {
+  Out.Engine = Engine;
+  WaveWriter Wave;
+  SimOptions Opts = Cfg.Opts;
+  if (WantVcd) {
+    Opts.Wave = &Wave;
+    if (VcdStream)
+      Wave.streamTo(*VcdStream);
+  }
+
+  // All engines share the run/trace/design interface.
+  auto record = [&Out](auto &Sim) {
+    Out.Stats = Sim.run();
+    Out.Digest = Sim.trace().digest();
+    Out.Changes = Sim.trace().numChanges();
+    Out.Signals = Sim.design().Signals.size();
+    Out.Instances = Sim.design().Instances.size();
+  };
+
+  if (Engine == "interp") {
+    Design D = elaborate(M, Top);
+    if (!D.ok()) {
+      Error = D.Error;
+      return false;
+    }
+    InterpSim Sim(std::move(D), Opts);
+    record(Sim);
+  } else if (Engine == "blaze") {
+    BlazeSim::BlazeOptions BOpts;
+    static_cast<SimOptions &>(BOpts) = Opts;
+    BOpts.Optimize = !Cfg.NoOpt;
+    BlazeSim Sim(M, Top, BOpts);
+    if (!Sim.valid()) {
+      Error = Sim.error();
+      return false;
+    }
+    record(Sim);
+  } else if (Engine == "comm") {
+    CommSim Sim(M, Top, Opts);
+    if (!Sim.valid()) {
+      Error = Sim.error();
+      return false;
+    }
+    record(Sim);
+  } else {
+    Error = "unknown engine '" + Engine + "'";
+    return false;
+  }
+  if (WantVcd && !VcdStream)
+    Out.Vcd = Wave.text();
+  return true;
+}
+
+void printStats(const RunOutcome &O) {
+  fprintf(stderr,
+          "%s: %u signals, %u instances, end time %s, %llu slots, "
+          "%llu process runs, %llu entity evals, %llu changes, "
+          "digest %016llx%s%s\n",
+          O.Engine.c_str(), O.Signals, O.Instances,
+          O.Stats.EndTime.toString().c_str(),
+          (unsigned long long)O.Stats.Steps,
+          (unsigned long long)O.Stats.ProcessRuns,
+          (unsigned long long)O.Stats.EntityEvals,
+          (unsigned long long)O.Changes, (unsigned long long)O.Digest,
+          O.Stats.Finished ? ", finished" : "",
+          O.Stats.DeltaOverflow ? ", DELTA OVERFLOW" : "");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverConfig Cfg;
+  std::string File;
+  int Language = 0; // 0 = by extension, 1 = llhd, 2 = sv.
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "-h" || A == "--help") {
+      printUsage();
+      return 0;
+    } else if (A.rfind("--engine=", 0) == 0) {
+      Cfg.Engine = A.substr(strlen("--engine="));
+    } else if (A.rfind("--top=", 0) == 0) {
+      Cfg.Top = A.substr(strlen("--top="));
+    } else if (A.rfind("--until=", 0) == 0) {
+      std::string T = A.substr(strlen("--until="));
+      if (!Time::parse(T, Cfg.Opts.MaxTime)) {
+        fprintf(stderr, "llhd-sim: invalid time '%s'\n", T.c_str());
+        return 1;
+      }
+    } else if (A.rfind("--vcd=", 0) == 0) {
+      Cfg.VcdPath = A.substr(strlen("--vcd="));
+    } else if (A == "--diff-engines") {
+      Cfg.DiffEngines = true;
+    } else if (A == "--no-opt") {
+      Cfg.NoOpt = true;
+    } else if (A == "--stats") {
+      Cfg.Stats = true;
+    } else if (A == "--list-signals") {
+      Cfg.ListSignals = true;
+    } else if (A == "--sv") {
+      Language = 2;
+    } else if (A == "--llhd") {
+      Language = 1;
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      fprintf(stderr, "llhd-sim: unknown option '%s'\n", A.c_str());
+      printUsage();
+      return 1;
+    } else if (File.empty()) {
+      File = A;
+    } else {
+      fprintf(stderr, "llhd-sim: more than one input file\n");
+      return 1;
+    }
+  }
+  if (File.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  std::string Src;
+  if (File == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Src = SS.str();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      fprintf(stderr, "llhd-sim: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Src = SS.str();
+  }
+  if (Language == 0) {
+    auto endsWith = [&](const char *Suffix) {
+      size_t L = strlen(Suffix);
+      return File.size() >= L &&
+             File.compare(File.size() - L, L, Suffix) == 0;
+    };
+    Language = (endsWith(".sv") || endsWith(".v")) ? 2 : 1;
+  }
+  // Detect the SystemVerilog top once, before any engine runs: it
+  // cannot change between engines, and this keeps --diff-engines from
+  // re-parsing the source an extra time per engine.
+  if (Language == 2 && Cfg.Top.empty()) {
+    std::string Error;
+    Cfg.Top = moore::detectTopModule(Src, Error);
+    if (Cfg.Top.empty()) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  // Front end: every engine run gets a freshly built module, so the
+  // optimising engines can never contaminate a comparison run.
+  Context Ctx;
+  auto buildModule = [&](const std::string &Name, std::string &Top,
+                         std::string &Error) -> std::unique_ptr<Module> {
+    auto M = std::make_unique<Module>(Ctx, Name);
+    if (Language == 2) {
+      moore::CompileResult R =
+          moore::compileSystemVerilog(Src, Cfg.Top, *M);
+      if (!R.Ok) {
+        Error = R.Error;
+        return nullptr;
+      }
+      Top = R.TopUnit;
+    } else {
+      ParseResult R = parseModule(Src, *M);
+      if (!R.Ok) {
+        Error = R.Error;
+        return nullptr;
+      }
+      Top = Cfg.Top.empty() ? detectTop(*M, Error) : Cfg.Top;
+      if (Top.empty())
+        return nullptr;
+    }
+    return M;
+  };
+
+  if (Cfg.ListSignals) {
+    std::string Top, Error;
+    std::unique_ptr<Module> M = buildModule(File, Top, Error);
+    if (!M) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return 1;
+    }
+    Design D = elaborate(*M, Top);
+    if (!D.ok()) {
+      fprintf(stderr, "llhd-sim: %s\n", D.Error.c_str());
+      return 1;
+    }
+    printf("%u signals, %zu instances under @%s\n",
+           D.Signals.size(), D.Instances.size(), Top.c_str());
+    for (SignalId S = 0; S != D.Signals.size(); ++S) {
+      SignalId Canon = D.Signals.canonical(S);
+      std::string Alias =
+          Canon != S ? " (con -> " + D.Signals.name(Canon) + ")" : "";
+      printf("  %4u  %-40s %s%s\n", S, D.Signals.name(S).c_str(),
+             D.Signals.value(Canon).toString().c_str(), Alias.c_str());
+    }
+    return 0;
+  }
+
+  bool WantVcd = !Cfg.VcdPath.empty();
+  std::vector<RunOutcome> Outcomes;
+  std::vector<std::string> Engines =
+      Cfg.DiffEngines ? std::vector<std::string>{"interp", "blaze", "comm"}
+                      : std::vector<std::string>{Cfg.Engine};
+  // A single-engine --vcd run streams straight to the file (bounded
+  // memory); diff mode keeps each dump in memory to byte-compare them.
+  // The file is opened only once the input has built, so a parse error
+  // does not clobber a previous good dump.
+  std::ofstream VcdOut;
+  for (const std::string &E : Engines) {
+    std::string Top, Error;
+    std::unique_ptr<Module> M = buildModule(File + "." + E, Top, Error);
+    if (!M) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return 1;
+    }
+    if (WantVcd && !VcdOut.is_open()) {
+      VcdOut.open(Cfg.VcdPath, std::ios::binary);
+      if (!VcdOut) {
+        fprintf(stderr, "llhd-sim: cannot write '%s'\n",
+                Cfg.VcdPath.c_str());
+        return 1;
+      }
+    }
+    RunOutcome O;
+    // In diff mode the waveforms are compared even without --vcd.
+    if (!runEngine(E, *M, Top, Cfg, WantVcd || Cfg.DiffEngines,
+                   Cfg.DiffEngines ? nullptr : &VcdOut, O, Error)) {
+      fprintf(stderr, "llhd-sim: %s: %s\n", E.c_str(), Error.c_str());
+      return 1;
+    }
+    Outcomes.push_back(std::move(O));
+    if (Cfg.Stats)
+      printStats(Outcomes.back());
+  }
+  if (WantVcd) {
+    if (Cfg.DiffEngines)
+      VcdOut << Outcomes.front().Vcd;
+    VcdOut.flush();
+    if (!VcdOut) { // Full disk / I/O error: fail loudly, not with exit 0.
+      fprintf(stderr, "llhd-sim: error writing '%s'\n",
+              Cfg.VcdPath.c_str());
+      return 1;
+    }
+  }
+
+  int Exit = 0;
+  for (const RunOutcome &O : Outcomes) {
+    if (O.Stats.AssertFailures != 0) {
+      fprintf(stderr, "llhd-sim: %s: %llu assertion failure(s)\n",
+              O.Engine.c_str(), (unsigned long long)O.Stats.AssertFailures);
+      Exit = 1;
+    }
+    if (O.Stats.DeltaOverflow) {
+      fprintf(stderr, "llhd-sim: %s: delta-cycle overflow (oscillation?)\n",
+              O.Engine.c_str());
+      Exit = 1;
+    }
+  }
+
+  if (Cfg.DiffEngines) {
+    const RunOutcome &Ref = Outcomes.front();
+    bool Diverged = false;
+    for (size_t I = 1; I != Outcomes.size(); ++I) {
+      const RunOutcome &O = Outcomes[I];
+      if (O.Digest != Ref.Digest || O.Changes != Ref.Changes ||
+          O.Stats.EndTime != Ref.Stats.EndTime || O.Vcd != Ref.Vcd) {
+        Diverged = true;
+        fprintf(stderr,
+                "llhd-sim: DIVERGENCE %s vs %s: digest %016llx/%016llx, "
+                "changes %llu/%llu, vcd %s\n",
+                Ref.Engine.c_str(), O.Engine.c_str(),
+                (unsigned long long)Ref.Digest, (unsigned long long)O.Digest,
+                (unsigned long long)Ref.Changes, (unsigned long long)O.Changes,
+                O.Vcd == Ref.Vcd ? "identical" : "DIFFERS");
+      }
+    }
+    if (Diverged)
+      return 2;
+    printf("llhd-sim: traces match across interp/blaze/comm "
+           "(%llu changes, digest %016llx)\n",
+           (unsigned long long)Ref.Changes, (unsigned long long)Ref.Digest);
+  }
+  return Exit;
+}
