@@ -1,792 +1,52 @@
-//===- blaze/Blaze.cpp - Accelerated bytecode engine ---------------------------===//
+//===- blaze/Blaze.cpp - Accelerated engine (LLHD-Blaze) -----------------------===//
+//
+// Blaze's compilation is now a thin pass over the shared lowered runtime
+// IR (sim/Lir.h) instead of a second opcode walk over ir::Instruction:
+// the engine clones the caller's module, runs the LLHD optimisation
+// pipeline over the clone (the paper's "JIT with optimisations"
+// configuration, one notch below LLVM), elaborates, and then executes
+// the same LIR through the same execution core as the reference
+// interpreter (sim/LirEngine.h). Engine semantics are therefore shared
+// by construction; what distinguishes Blaze is the pre-compilation
+// optimisation of the simulated module itself.
+//
+//===----------------------------------------------------------------------===//
 
 #include "blaze/Blaze.h"
 #include "asm/Parser.h"
 #include "asm/Printer.h"
 #include "passes/Passes.h"
-#include "sim/EventLoop.h"
-#include "sim/RtOps.h"
-#include "support/DepthPool.h"
+#include "sim/LirEngine.h"
 
-#include <algorithm>
-#include <map>
 #include <memory>
 
 using namespace llhd;
 
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Bytecode
-//===----------------------------------------------------------------------===//
-
-enum class BcOpc : uint8_t {
-  Pure,    ///< frame[Dst] = evalPure(IrOp, frame[Ext...]).
-  Prb,     ///< frame[Dst] = signal read of frame[A].
-  Drv,     ///< drive frame[A] with frame[B] after frame[C] if frame[Dd].
-  Jmp,     ///< pc = Jmp0.
-  CondJmp, ///< pc = frame[A] ? Jmp1 : Jmp0.
-  Copy,    ///< frame[Dst] = frame[A] (phi edge copies).
-  Wait,    ///< suspend; resume at Jmp0; timeout frame[A]; observe Ext.
-  Halt,
-  Ret,     ///< return frame[A] (A = -1: void).
-  CallFn,  ///< frame[Dst] = call Src->callee() with frame[Ext...].
-  VarOp,   ///< memory cell from frame[A]; pointer into frame[Dst].
-  LdOp,    ///< frame[Dst] = memory[frame[A]].
-  StOp,    ///< memory[frame[A]] = frame[B].
-  RegOp,   ///< register triggers; metadata in Src.
-  DelOp,   ///< transport delay rule; metadata in Src.
-  Nop,
-};
-
-struct BcOp {
-  BcOpc C = BcOpc::Nop;
-  Opcode IrOp = Opcode::Halt;
-  int32_t Dst = -1;
-  int32_t A = -1, B = -1, Cc = -1, Dd = -1;
-  /// Pure/insf/exts immediate; for RegOp/DelOp, the base index into the
-  /// per-instance RegPrev/DelPrev state arrays.
-  uint32_t Imm = 0;
-  int32_t Jmp0 = -1, Jmp1 = -1;
-  std::vector<int32_t> Ext;
-  const Instruction *Src = nullptr;
-};
-
-/// One unit compiled to bytecode (shared across instances).
-struct BcUnit {
-  Unit *U = nullptr;
-  std::vector<BcOp> Ops;
-  uint32_t NumSlots = 0;
-  /// Slots [0, NumValues) are the unit's dense value numbering (see
-  /// Unit::numberValues); the rest are compiler scratch.
-  uint32_t NumValues = 0;
-  /// Constant preloads: (slot, value).
-  std::vector<std::pair<uint32_t, RtValue>> ConstSlots;
-  uint32_t NumRegPrev = 0, NumDelPrev = 0;
-};
-
-/// Compiles one unit into bytecode.
-class Compiler {
-public:
-  explicit Compiler(Unit &U) { compile(U); }
-  BcUnit take() { return std::move(BC); }
-
-private:
-  /// A value's frame slot is its dense value number.
-  uint32_t slotOf(Value *V) {
-    assert(V->valueNumber() < BC.NumValues && "value not numbered");
-    return V->valueNumber();
-  }
-
-  uint32_t freshSlot() { return BC.NumSlots++; }
-
-  void compile(Unit &U) {
-    BC.U = &U;
-    BC.NumValues = U.numberValues();
-    BC.NumSlots = BC.NumValues;
-
-    if (U.isEntity()) {
-      compileEntityBody(U);
-      return;
-    }
-
-    // Control flow: emit blocks in order, then fix jump targets and
-    // insert phi edge-copy trampolines. Blocks are numbered densely by
-    // numberValues(), so the pc table is a flat vector.
-    std::vector<uint32_t> BlockPc(U.blocks().size(), 0);
-    struct PendingJump {
-      uint32_t Pc;
-      int WhichTarget; // 0 = Jmp0, 1 = Jmp1.
-      const BasicBlock *Pred;
-      const BasicBlock *Target;
-    };
-    std::vector<PendingJump> Pending;
-
-    for (BasicBlock *BB : U.blocks()) {
-      BlockPc[BB->valueNumber()] = BC.Ops.size();
-      for (Instruction *I : BB->insts())
-        emitInst(I, BB, Pending);
-    }
-
-    // Edge trampolines: copy phi incomings staged through scratch slots.
-    // Keyed by (pred, target) block numbers; the edge count is small, so
-    // a linear scan over a flat vector beats a node-based map.
-    std::vector<std::pair<uint64_t, uint32_t>> EdgePc;
-    for (PendingJump &PJ : Pending) {
-      uint64_t Key = (uint64_t(PJ.Pred->valueNumber()) << 32) |
-                     PJ.Target->valueNumber();
-      uint32_t TargetPc;
-      auto EIt = std::find_if(
-          EdgePc.begin(), EdgePc.end(),
-          [Key](const auto &P) { return P.first == Key; });
-      if (EIt != EdgePc.end()) {
-        TargetPc = EIt->second;
-      } else {
-        // Collect phi copies for this edge.
-        std::vector<std::pair<uint32_t, uint32_t>> Copies; // (src, phi).
-        for (Instruction *I : PJ.Target->insts()) {
-          if (I->opcode() != Opcode::Phi)
-            continue;
-          for (unsigned J = 0; J != I->numIncoming(); ++J)
-            if (I->incomingBlock(J) == PJ.Pred)
-              Copies.push_back({slotOf(I->incomingValue(J)), slotOf(I)});
-        }
-        if (Copies.empty()) {
-          TargetPc = BlockPc[PJ.Target->valueNumber()];
-        } else {
-          TargetPc = BC.Ops.size();
-          // Stage all reads first so phi-reads-phi is safe.
-          std::vector<uint32_t> Scratch;
-          for (auto &[SrcS, PhiS] : Copies) {
-            uint32_t Tmp = freshSlot();
-            Scratch.push_back(Tmp);
-            BcOp Op;
-            Op.C = BcOpc::Copy;
-            Op.Dst = Tmp;
-            Op.A = SrcS;
-            BC.Ops.push_back(Op);
-          }
-          for (unsigned J = 0; J != Copies.size(); ++J) {
-            BcOp Op;
-            Op.C = BcOpc::Copy;
-            Op.Dst = Copies[J].second;
-            Op.A = Scratch[J];
-            BC.Ops.push_back(Op);
-          }
-          BcOp Jump;
-          Jump.C = BcOpc::Jmp;
-          Jump.Jmp0 = BlockPc[PJ.Target->valueNumber()];
-          BC.Ops.push_back(Jump);
-        }
-        EdgePc.push_back({Key, TargetPc});
-      }
-      if (PJ.WhichTarget == 0)
-        BC.Ops[PJ.Pc].Jmp0 = TargetPc;
-      else
-        BC.Ops[PJ.Pc].Jmp1 = TargetPc;
-    }
-  }
-
-  template <typename PendingVec>
-  void emitInst(Instruction *I, BasicBlock *BB, PendingVec &Pending) {
-    switch (I->opcode()) {
-    case Opcode::Const:
-      BC.ConstSlots.push_back({slotOf(I), constValue(*I)});
-      return;
-    case Opcode::Phi:
-      (void)slotOf(I); // Filled by edge copies.
-      return;
-    case Opcode::Prb: {
-      BcOp Op;
-      Op.C = BcOpc::Prb;
-      Op.Dst = slotOf(I);
-      Op.A = slotOf(I->operand(0));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Drv: {
-      BcOp Op;
-      Op.C = BcOpc::Drv;
-      Op.A = slotOf(I->operand(0));
-      Op.B = slotOf(I->operand(1));
-      Op.Cc = slotOf(I->operand(2));
-      Op.Dd = I->numOperands() == 4 ? slotOf(I->operand(3)) : -1;
-      Op.Src = I;
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Br: {
-      BcOp Op;
-      if (I->numOperands() == 1) {
-        Op.C = BcOpc::Jmp;
-        BC.Ops.push_back(Op);
-        Pending.push_back({(uint32_t)BC.Ops.size() - 1, 0, BB,
-                           cast<BasicBlock>(I->operand(0))});
-      } else {
-        Op.C = BcOpc::CondJmp;
-        Op.A = slotOf(I->operand(0));
-        BC.Ops.push_back(Op);
-        Pending.push_back(
-            {(uint32_t)BC.Ops.size() - 1, 0, BB, I->brDest(0)});
-        Pending.push_back(
-            {(uint32_t)BC.Ops.size() - 1, 1, BB, I->brDest(1)});
-      }
-      return;
-    }
-    case Opcode::Wait: {
-      BcOp Op;
-      Op.C = BcOpc::Wait;
-      for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
-        if (I->operand(J)->type()->isTime())
-          Op.A = slotOf(I->operand(J));
-        else
-          Op.Ext.push_back(slotOf(I->operand(J)));
-      }
-      BC.Ops.push_back(Op);
-      Pending.push_back(
-          {(uint32_t)BC.Ops.size() - 1, 0, BB, I->waitDest()});
-      return;
-    }
-    case Opcode::Halt: {
-      BcOp Op;
-      Op.C = BcOpc::Halt;
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Ret: {
-      BcOp Op;
-      Op.C = BcOpc::Ret;
-      Op.A = I->numOperands() == 1 ? (int32_t)slotOf(I->operand(0)) : -1;
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Call: {
-      BcOp Op;
-      Op.C = BcOpc::CallFn;
-      Op.Dst = I->type()->isVoid() ? -1 : (int32_t)slotOf(I);
-      for (unsigned J = 0; J != I->numOperands(); ++J)
-        Op.Ext.push_back(slotOf(I->operand(J)));
-      Op.Src = I;
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Var:
-    case Opcode::Alloc: {
-      BcOp Op;
-      Op.C = BcOpc::VarOp;
-      Op.Dst = slotOf(I);
-      Op.A = slotOf(I->operand(0));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Ld: {
-      BcOp Op;
-      Op.C = BcOpc::LdOp;
-      Op.Dst = slotOf(I);
-      Op.A = slotOf(I->operand(0));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::St: {
-      BcOp Op;
-      Op.C = BcOpc::StOp;
-      Op.A = slotOf(I->operand(0));
-      Op.B = slotOf(I->operand(1));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Free:
-      return; // Cells live until the frame dies.
-    default: {
-      assert(I->isPureDataFlow() && "unexpected opcode");
-      BcOp Op;
-      Op.C = BcOpc::Pure;
-      Op.IrOp = I->opcode();
-      Op.Dst = slotOf(I);
-      Op.Imm = I->immediate();
-      Op.Src = I;
-      for (unsigned J = 0; J != I->numOperands(); ++J)
-        Op.Ext.push_back(slotOf(I->operand(J)));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    }
-  }
-
-  void compileEntityBody(Unit &U) {
-    for (Instruction *I : U.entityBlock()->insts()) {
-      switch (I->opcode()) {
-      case Opcode::Sig:
-      case Opcode::Con:
-      case Opcode::InstOp:
-        (void)slotOf(I); // Bound at elaboration (sig only).
-        continue;
-      case Opcode::Extf:
-      case Opcode::Exts:
-        if (I->type()->isSignal()) {
-          (void)slotOf(I); // Sub-signal bound at elaboration.
-          continue;
-        }
-        break;
-      case Opcode::Reg: {
-        BcOp Op;
-        Op.C = BcOpc::RegOp;
-        Op.Src = I;
-        Op.A = slotOf(I->operand(0)); // Target signal.
-        for (unsigned J = 1; J != I->numOperands(); ++J)
-          Op.Ext.push_back(slotOf(I->operand(J)));
-        Op.Imm = BC.NumRegPrev; // Trigger state base index.
-        BC.NumRegPrev += I->regTriggers().size();
-        BC.Ops.push_back(Op);
-        continue;
-      }
-      case Opcode::Del: {
-        BcOp Op;
-        Op.C = BcOpc::DelOp;
-        Op.Src = I;
-        Op.A = slotOf(I->operand(0));
-        Op.B = slotOf(I->operand(1));
-        Op.Cc = slotOf(I->operand(2));
-        Op.Imm = BC.NumDelPrev++; // Prev-value state index.
-        BC.Ops.push_back(Op);
-        continue;
-      }
-      default:
-        break;
-      }
-      emitEntityInst(I);
-    }
-  }
-
-  void emitEntityInst(Instruction *I) {
-    switch (I->opcode()) {
-    case Opcode::Const:
-      BC.ConstSlots.push_back({slotOf(I), constValue(*I)});
-      return;
-    case Opcode::Prb: {
-      BcOp Op;
-      Op.C = BcOpc::Prb;
-      Op.Dst = slotOf(I);
-      Op.A = slotOf(I->operand(0));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    case Opcode::Drv: {
-      BcOp Op;
-      Op.C = BcOpc::Drv;
-      Op.A = slotOf(I->operand(0));
-      Op.B = slotOf(I->operand(1));
-      Op.Cc = slotOf(I->operand(2));
-      Op.Dd = I->numOperands() == 4 ? slotOf(I->operand(3)) : -1;
-      Op.Src = I;
-      BC.Ops.push_back(Op);
-      return;
-    }
-    default: {
-      assert(I->isPureDataFlow() && "unexpected entity opcode");
-      BcOp Op;
-      Op.C = BcOpc::Pure;
-      Op.IrOp = I->opcode();
-      Op.Dst = slotOf(I);
-      Op.Imm = I->immediate();
-      Op.Src = I;
-      for (unsigned J = 0; J != I->numOperands(); ++J)
-        Op.Ext.push_back(slotOf(I->operand(J)));
-      BC.Ops.push_back(Op);
-      return;
-    }
-    }
-  }
-
-  BcUnit BC;
-};
-
-//===----------------------------------------------------------------------===//
-// Runtime state
-//===----------------------------------------------------------------------===//
-
-struct BcProcState {
-  const BcUnit *BC = nullptr;
-  const UnitInstance *Inst = nullptr;
-  std::vector<RtValue> Frame;
-  std::vector<RtValue> Memory;
-  uint32_t Pc = 0;
-  enum class St { Ready, Waiting, Halted } State = St::Ready;
-  std::vector<SignalId> Sensitivity;
-  uint64_t WakeGen = 0;
-};
-
-struct BcEntState {
-  const BcUnit *BC = nullptr;
-  const UnitInstance *Inst = nullptr;
-  std::vector<RtValue> Frame;
-  std::vector<RtValue> RegPrev;
-  std::vector<bool> RegPrevValid;
-  std::vector<RtValue> DelPrev;
-};
-
-} // namespace
-
-//===----------------------------------------------------------------------===//
-// Engine
-//===----------------------------------------------------------------------===//
-
 struct BlazeSim::Impl {
   Context &Ctx;
   Module Cloned;
-  Design D;
-  BlazeOptions Opts;
-  Scheduler Sched;
-  Trace Tr;
-  SimStats Stats;
-  Time Now;
-  bool FinishRequested = false;
   std::string Err;
-
-  std::map<Unit *, BcUnit> Units;
-  std::vector<BcProcState> Procs;
-  std::vector<BcEntState> Ents;
-
-  /// Depth-indexed pools of function frames and call-argument buffers,
-  /// reused across calls so steady-state function execution does not
-  /// allocate.
-  struct FnFrame {
-    std::vector<RtValue> Frame;
-    std::vector<RtValue> Memory;
-  };
-  DepthPool<FnFrame> FnPool;
-  DepthPool<std::vector<RtValue>> ArgPool;
+  std::unique_ptr<LirEngine> Eng;
+  Trace EmptyTr;
+  Design EmptyD;
 
   Impl(Module &M, const std::string &Top, BlazeOptions O)
-      : Ctx(M.context()), Cloned(Ctx, M.name() + ".blaze"), Opts(O),
-        Tr(O.TraceMode) {
+      : Ctx(M.context()), Cloned(Ctx, M.name() + ".blaze") {
     // Clone the module so optimisation does not disturb the caller.
     ParseResult R = parseModule(printModule(M), Cloned);
     if (!R.Ok) {
       Err = "internal clone failed: " + R.Error;
       return;
     }
-    if (Opts.Optimize)
+    if (O.Optimize)
       runStandardOptimizations(Cloned);
-    D = elaborate(Cloned, Top);
+    Design D = elaborate(Cloned, Top);
     if (!D.ok()) {
       Err = D.Error;
       return;
     }
-    build();
-  }
-
-  const BcUnit &unitFor(Unit *U) {
-    auto It = Units.find(U);
-    if (It != Units.end())
-      return It->second;
-    Compiler C(*U);
-    return Units.emplace(U, C.take()).first->second;
-  }
-
-  void preloadFrame(const BcUnit &BC, const UnitInstance &UI,
-                    std::vector<RtValue> &Frame) {
-    Frame.assign(BC.NumSlots, RtValue());
-    for (const auto &[Slot, V] : BC.ConstSlots)
-      Frame[Slot] = V;
-    for (const auto &[Val, Ref] : UI.Bindings) {
-      uint32_t Slot = Val->valueNumber();
-      if (Slot < BC.NumValues)
-        Frame[Slot] = RtValue(Ref);
-    }
-  }
-
-  void build() {
-    for (const UnitInstance &UI : D.Instances) {
-      const BcUnit &BC = unitFor(UI.U);
-      if (UI.U->isProcess()) {
-        BcProcState PS;
-        PS.BC = &BC;
-        PS.Inst = &UI;
-        preloadFrame(BC, UI, PS.Frame);
-        Procs.push_back(std::move(PS));
-      } else {
-        BcEntState ES;
-        ES.BC = &BC;
-        ES.Inst = &UI;
-        preloadFrame(BC, UI, ES.Frame);
-        ES.RegPrev.assign(BC.NumRegPrev, RtValue());
-        ES.RegPrevValid.assign(BC.NumRegPrev, false);
-        ES.DelPrev.assign(BC.NumDelPrev, RtValue());
-        Ents.push_back(std::move(ES));
-      }
-    }
-    // Entity static sensitivity comes from D.EntityWatchers (built at
-    // elaboration of the optimised clone).
-  }
-
-  uint64_t driverId(const void *Instance, const Instruction *I) {
-    return (reinterpret_cast<uintptr_t>(Instance) << 20) ^
-           reinterpret_cast<uintptr_t>(I);
-  }
-
-  //===------------------------------------------------------------------===//
-  // Function execution
-  //===------------------------------------------------------------------===//
-
-  RtValue callFunction(Unit *F, std::vector<RtValue> &Args) {
-    if (F->isIntrinsic() || F->isDeclaration())
-      return callIntrinsic(F, Args);
-    const BcUnit &BC = unitFor(F);
-    auto FR = FnPool.lease();
-    std::vector<RtValue> &Frame = FR->Frame;
-    std::vector<RtValue> &Memory = FR->Memory;
-    Frame.assign(BC.NumSlots, RtValue());
-    Memory.clear();
-    for (const auto &[Slot, V] : BC.ConstSlots)
-      Frame[Slot] = V;
-    for (unsigned I = 0; I != F->inputs().size(); ++I)
-      Frame[F->input(I)->valueNumber()] = std::move(Args[I]);
-    uint32_t Pc = 0;
-    uint64_t Fuel = 100000000ull;
-    while (Fuel--) {
-      const BcOp &Op = BC.Ops[Pc];
-      switch (Op.C) {
-      case BcOpc::Ret:
-        return Op.A >= 0 ? std::move(Frame[Op.A]) : RtValue();
-      case BcOpc::Jmp:
-        Pc = Op.Jmp0;
-        continue;
-      case BcOpc::CondJmp:
-        Pc = Frame[Op.A].isTruthy() ? Op.Jmp1 : Op.Jmp0;
-        continue;
-      case BcOpc::Copy:
-        Frame[Op.Dst] = Frame[Op.A];
-        break;
-      case BcOpc::Pure:
-        Frame[Op.Dst] = evalPureIdx(Op.IrOp, Frame.data(), Op.Ext.data(),
-                                    Op.Ext.size(), Op.Imm, Op.Src);
-        break;
-      case BcOpc::VarOp:
-        Memory.push_back(Frame[Op.A]);
-        Frame[Op.Dst] = RtValue::makePointer(Memory.size() - 1);
-        break;
-      case BcOpc::LdOp:
-        Frame[Op.Dst] = Memory[Frame[Op.A].pointer()];
-        break;
-      case BcOpc::StOp:
-        Memory[Frame[Op.A].pointer()] = Frame[Op.B];
-        break;
-      case BcOpc::CallFn: {
-        RtValue R = callFrameSlots(Op, Frame);
-        if (Op.Dst >= 0)
-          Frame[Op.Dst] = std::move(R);
-        break;
-      }
-      default:
-        assert(false && "illegal op in function");
-        return RtValue();
-      }
-      ++Pc;
-    }
-    return RtValue();
-  }
-
-  /// Gathers a CallFn op's arguments from \p Frame into a pooled buffer
-  /// and invokes the callee.
-  RtValue callFrameSlots(const BcOp &Op, std::vector<RtValue> &Frame) {
-    auto Lease = ArgPool.lease();
-    std::vector<RtValue> &Args = *Lease;
-    Args.clear();
-    for (int32_t S : Op.Ext)
-      Args.push_back(Frame[S]);
-    return callFunction(Op.Src->callee(), Args);
-  }
-
-  RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args) {
-    const std::string &N = F->name();
-    if (N == "llhd.assert") {
-      if (!Args.empty() && !Args[0].isTruthy())
-        ++Stats.AssertFailures;
-      return RtValue();
-    }
-    if (N == "llhd.finish") {
-      FinishRequested = true;
-      return RtValue();
-    }
-    return defaultValue(F->returnType());
-  }
-
-  //===------------------------------------------------------------------===//
-  // Process / entity execution
-  //===------------------------------------------------------------------===//
-
-  void runProcess(uint32_t PI) {
-    BcProcState &PS = Procs[PI];
-    if (PS.State == BcProcState::St::Halted)
-      return;
-    PS.State = BcProcState::St::Ready;
-    ++Stats.ProcessRuns;
-    const BcUnit &BC = *PS.BC;
-    uint64_t Fuel = 100000000ull;
-    while (Fuel--) {
-      const BcOp &Op = BC.Ops[PS.Pc];
-      switch (Op.C) {
-      case BcOpc::Halt:
-        PS.State = BcProcState::St::Halted;
-        return;
-      case BcOpc::Wait: {
-        PS.Sensitivity.clear();
-        ++PS.WakeGen;
-        if (Op.A >= 0)
-          Sched.scheduleWake(Now.advance(PS.Frame[Op.A].timeValue()),
-                             {PI, PS.WakeGen});
-        for (int32_t S : Op.Ext)
-          PS.Sensitivity.push_back(
-              D.Signals.canonical(PS.Frame[S].sigId()));
-        PS.State = BcProcState::St::Waiting;
-        PS.Pc = Op.Jmp0;
-        return;
-      }
-      case BcOpc::Jmp:
-        PS.Pc = Op.Jmp0;
-        continue;
-      case BcOpc::CondJmp:
-        PS.Pc = PS.Frame[Op.A].isTruthy() ? Op.Jmp1 : Op.Jmp0;
-        continue;
-      case BcOpc::Copy:
-        PS.Frame[Op.Dst] = PS.Frame[Op.A];
-        break;
-      case BcOpc::Prb:
-        PS.Frame[Op.Dst] = D.Signals.read(PS.Frame[Op.A].sigRef());
-        break;
-      case BcOpc::Drv: {
-        if (Op.Dd >= 0 && !PS.Frame[Op.Dd].isTruthy())
-          break;
-        Sched.scheduleUpdate(
-            driveTarget(Now, PS.Frame[Op.Cc].timeValue()),
-            {PS.Frame[Op.A].sigRef(), PS.Frame[Op.B],
-             driverId(&PS, Op.Src)});
-        Sched.countScheduled(1);
-        break;
-      }
-      case BcOpc::Pure:
-        PS.Frame[Op.Dst] =
-            evalPureIdx(Op.IrOp, PS.Frame.data(), Op.Ext.data(),
-                        Op.Ext.size(), Op.Imm, Op.Src);
-        break;
-      case BcOpc::VarOp:
-        PS.Memory.push_back(PS.Frame[Op.A]);
-        PS.Frame[Op.Dst] = RtValue::makePointer(PS.Memory.size() - 1);
-        break;
-      case BcOpc::LdOp:
-        PS.Frame[Op.Dst] = PS.Memory[PS.Frame[Op.A].pointer()];
-        break;
-      case BcOpc::StOp:
-        PS.Memory[PS.Frame[Op.A].pointer()] = PS.Frame[Op.B];
-        break;
-      case BcOpc::CallFn: {
-        RtValue R = callFrameSlots(Op, PS.Frame);
-        if (Op.Dst >= 0)
-          PS.Frame[Op.Dst] = std::move(R);
-        break;
-      }
-      default:
-        assert(false && "illegal op in process");
-        PS.State = BcProcState::St::Halted;
-        return;
-      }
-      ++PS.Pc;
-    }
-    PS.State = BcProcState::St::Halted;
-  }
-
-  void evalEntity(uint32_t EI, bool Initial) {
-    BcEntState &ES = Ents[EI];
-    ++Stats.EntityEvals;
-    const BcUnit &BC = *ES.BC;
-    for (const BcOp &Op : BC.Ops) {
-      switch (Op.C) {
-      case BcOpc::Prb:
-        ES.Frame[Op.Dst] = D.Signals.read(ES.Frame[Op.A].sigRef());
-        break;
-      case BcOpc::Drv: {
-        if (Op.Dd >= 0 && !ES.Frame[Op.Dd].isTruthy())
-          break;
-        Sched.scheduleUpdate(
-            driveTarget(Now, ES.Frame[Op.Cc].timeValue()),
-            {ES.Frame[Op.A].sigRef(), ES.Frame[Op.B],
-             driverId(&ES, Op.Src)});
-        Sched.countScheduled(1);
-        break;
-      }
-      case BcOpc::Pure:
-        ES.Frame[Op.Dst] =
-            evalPureIdx(Op.IrOp, ES.Frame.data(), Op.Ext.data(),
-                        Op.Ext.size(), Op.Imm, Op.Src);
-        break;
-      case BcOpc::RegOp:
-        evalReg(ES, Op, Initial);
-        break;
-      case BcOpc::DelOp: {
-        RtValue Src = D.Signals.read(ES.Frame[Op.B].sigRef());
-        RtValue &Prev = ES.DelPrev[Op.Imm];
-        if (Initial || Prev != Src) {
-          Prev = Src;
-          Sched.scheduleUpdate(
-              Now.advance(ES.Frame[Op.Cc].timeValue()),
-              {ES.Frame[Op.A].sigRef(), Src, driverId(&ES, Op.Src)});
-          Sched.countScheduled(1);
-        }
-        break;
-      }
-      default:
-        assert(false && "illegal op in entity");
-        break;
-      }
-    }
-  }
-
-  void evalReg(BcEntState &ES, const BcOp &Op, bool Initial) {
-    const Instruction *I = Op.Src;
-    SigRef Target = ES.Frame[Op.A].sigRef();
-    for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
-      const RegTrigger &T = I->regTriggers()[TI];
-      // Operand indices are into the IR instruction; Ext holds slots for
-      // operands 1..N in order.
-      auto slot = [&](int OperandIdx) {
-        return Op.Ext[OperandIdx - 1];
-      };
-      RtValue Cur = ES.Frame[slot(T.TriggerIdx)];
-      uint32_t PrevIdx = Op.Imm + TI;
-      bool HavePrev = ES.RegPrevValid[PrevIdx];
-      RtValue Prev = HavePrev ? ES.RegPrev[PrevIdx] : Cur;
-      ES.RegPrev[PrevIdx] = Cur;
-      ES.RegPrevValid[PrevIdx] = true;
-
-      bool CurT = Cur.isTruthy();
-      bool PrevT = Prev.isTruthy();
-      bool Fire = false;
-      switch (T.Mode) {
-      case RegMode::Rise: Fire = HavePrev && !PrevT && CurT; break;
-      case RegMode::Fall: Fire = HavePrev && PrevT && !CurT; break;
-      case RegMode::Both: Fire = HavePrev && PrevT != CurT; break;
-      case RegMode::High: Fire = CurT; break;
-      case RegMode::Low:  Fire = !CurT; break;
-      }
-      if (Initial && (T.Mode == RegMode::Rise || T.Mode == RegMode::Fall ||
-                      T.Mode == RegMode::Both))
-        Fire = false;
-      if (!Fire)
-        continue;
-      if (T.CondIdx >= 0 && !ES.Frame[slot(T.CondIdx)].isTruthy())
-        continue;
-      Time Delay;
-      if (T.DelayIdx >= 0)
-        Delay = ES.Frame[slot(T.DelayIdx)].timeValue();
-      Sched.scheduleUpdate(driveTarget(Now, Delay),
-                           {Target, ES.Frame[slot(T.ValueIdx)],
-                            driverId(&ES, I) + TI});
-      Sched.countScheduled(1);
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // EventLoop hooks
-  //===------------------------------------------------------------------===//
-
-  uint32_t numProcs() const { return Procs.size(); }
-  uint32_t numEnts() const { return Ents.size(); }
-  bool procWaiting(uint32_t PI) const {
-    return Procs[PI].State == BcProcState::St::Waiting;
-  }
-  bool procHalted(uint32_t PI) const {
-    return Procs[PI].State == BcProcState::St::Halted;
-  }
-  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
-    return Procs[PI].Sensitivity;
-  }
-  uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
-  void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
-  bool finishRequested() const { return FinishRequested; }
-
-  SimStats run() {
-    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+    Eng = std::make_unique<LirEngine>(std::move(D), O);
+    Eng->build();
   }
 };
 
@@ -800,7 +60,13 @@ BlazeSim::~BlazeSim() = default;
 
 bool BlazeSim::valid() const { return P->Err.empty(); }
 const std::string &BlazeSim::error() const { return P->Err; }
-SimStats BlazeSim::run() { return P->run(); }
-const Trace &BlazeSim::trace() const { return P->Tr; }
-const SignalTable &BlazeSim::signals() const { return P->D.Signals; }
-const Design &BlazeSim::design() const { return P->D; }
+SimStats BlazeSim::run() { return P->Eng ? P->Eng->run() : SimStats(); }
+const Trace &BlazeSim::trace() const {
+  return P->Eng ? P->Eng->Tr : P->EmptyTr;
+}
+const SignalTable &BlazeSim::signals() const {
+  return P->Eng ? P->Eng->D.Signals : P->EmptyD.Signals;
+}
+const Design &BlazeSim::design() const {
+  return P->Eng ? P->Eng->D : P->EmptyD;
+}

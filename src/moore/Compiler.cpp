@@ -615,10 +615,34 @@ public:
   Value *insertIntoValue(Value *Old, const Expr &Lhs, Value *Val,
                          unsigned Line) {
     if (Lhs.K == Expr::Kind::Slice) {
+      if (Lhs.Op == "+:") {
+        // Indexed part select x[base +: W]. The width is constant by
+        // the language rules; the base may be dynamic.
+        auto Wc = constEval(*Lhs.Ops[1], Params);
+        if (!Wc) {
+          error(Line, "indexed part-select width must be constant");
+          return Old;
+        }
+        unsigned FullW = widthOfValue(Old);
+        unsigned W = Wc->zextToU64();
+        if (W > FullW)
+          W = FullW;
+        auto Off = constEval(*Lhs.Ops[0], Params);
+        if (Off)
+          return B.inss(Old, adapt(Val, W), Off->zextToU64());
+        // Dynamic base: shift/mask read-modify-write on the packed
+        // vector — (old & ~(ones<<i)) | ((val zext)<<i).
+        Value *I = adapt(genExpr(*Lhs.Ops[0]), FullW);
+        Value *Ones = adapt(B.constInt(IntValue::allOnes(W)), FullW);
+        Value *Mask = B.bitNot(B.shift(Opcode::Shl, Ones, I));
+        Value *Bits = B.shift(Opcode::Shl, adapt(adapt(Val, W), FullW), I);
+        return B.bitOr(B.bitAnd(Old, Mask), Bits);
+      }
       auto Msb = constEval(*Lhs.Ops[0], Params);
       auto Lsb = constEval(*Lhs.Ops[1], Params);
-      if (!Msb || !Lsb || Lhs.Op == "+:") {
-        error(Line, "dynamic slice assignment is unsupported");
+      if (!Msb || !Lsb) {
+        error(Line, "dynamic [msb:lsb] slice assignment is unsupported "
+                    "(use an indexed part select x[base +: width])");
         return Old;
       }
       unsigned L = Lsb->zextToU64(), W = Msb->zextToU64() - L + 1;

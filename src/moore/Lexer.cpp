@@ -148,7 +148,7 @@ std::vector<Token> llhd::moore::lexSystemVerilog(const std::string &Src,
   LexState S{Src, 0, 1, Error};
   static const char *MultiPunct[] = {
       "<<<", ">>>", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
-      "+=", "-=", "++", "--", "->", "::",
+      "+=", "-=", "++", "--", "->", "::", "+:",
   };
   while (true) {
     S.skipTrivia();

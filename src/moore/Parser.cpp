@@ -186,10 +186,9 @@ private:
         N->K = Expr::Kind::Slice;
         N->Ops.push_back(std::move(I0));
         N->Ops.push_back(std::move(I1));
-      } else if (acceptPunct("+")) {
-        // "[base +: width]" indexed part select.
-        if (!expectPunct(":"))
-          return nullptr;
+      } else if (acceptPunct("+:")) {
+        // "[base +: width]" indexed part select ("+:" is one token, so
+        // a dynamic base expression parses cleanly before it).
         ExprPtr W = parseExpr();
         if (!W)
           return nullptr;

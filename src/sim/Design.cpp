@@ -110,9 +110,15 @@ private:
           if (I->opcode() == Opcode::Extf) {
             Inst.Bindings[I] = BIt->second.element(I->immediate());
           } else {
-            unsigned Len =
-                cast<SignalType>(I->type())->inner()->bitWidth();
-            Inst.Bindings[I] = BIt->second.bits(I->immediate(), Len);
+            Type *Inner = cast<SignalType>(I->type())->inner();
+            // Array slices stay element-granular; int/logic slices are
+            // bit ranges.
+            if (Inner->isArray())
+              Inst.Bindings[I] = BIt->second.elements(
+                  I->immediate(), cast<ArrayType>(Inner)->length());
+            else
+              Inst.Bindings[I] =
+                  BIt->second.bits(I->immediate(), Inner->bitWidth());
           }
         } else if (const RtValue *Op = staticVal(I->operand(0))) {
           Env[I] = evalPure(I->opcode(), {*Op}, I->immediate(), I);
@@ -126,11 +132,11 @@ private:
           D.Error = Hier + ": con of unbound signals";
           return;
         }
-        if (!A->second.wholeSignal() || !B->second.wholeSignal()) {
-          D.Error = Hier + ": con of sub-signals is unsupported";
+        if (!D.Signals.connectRefs(A->second, B->second)) {
+          D.Error = Hier + ": con of bit-sliced or doubly nested "
+                           "sub-signals is unsupported";
           return;
         }
-        D.Signals.connect(A->second.Sig, B->second.Sig);
         break;
       }
       case Opcode::InstOp: {
@@ -189,7 +195,6 @@ private:
       }
       }
     }
-    Inst.StaticValues = std::move(Env);
     D.Instances.push_back(std::move(Inst));
   }
 

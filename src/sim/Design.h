@@ -23,11 +23,9 @@ struct UnitInstance {
   Unit *U = nullptr;
   std::string HierName;
   /// Signal bindings: arguments, entity-local `sig` results and
-  /// elaboration-time extf/exts sub-signals.
+  /// elaboration-time extf/exts sub-signals. Everything else an engine
+  /// needs is recomputed from the unit's lowered form (sim/Lir.h).
   std::map<const Value *, SigRef> Bindings;
-  /// Elaboration-time constant values of entity instructions (sig inits,
-  /// delays that were computable statically); engines may reuse them.
-  std::map<const Value *, RtValue> StaticValues;
 };
 
 /// A fully elaborated design.

@@ -48,6 +48,11 @@ concept EngineTraits = requires(E &Eng, uint32_t I, bool Initial) {
   /// Canonical signal ids the process registered at its last `wait`.
   { Eng.procSensitivity(I) } ->
       std::convertible_to<const std::vector<SignalId> &>;
+  /// True when the process's sensitivity is static (one wait, no
+  /// timeout — the LIR classifier's PureComb/ClockedReg shapes): the
+  /// loop then registers it once at initialisation and skips the
+  /// per-activation wake-generation bump and re-registration.
+  { Eng.procSenseStable(I) } -> std::convertible_to<bool>;
   /// Execution.
   { Eng.runProcess(I) };
   { Eng.evalEntity(I, Initial) };
@@ -149,6 +154,13 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
                     EntsToRun.end());
 
     for (uint32_t PI : ProcsToRun) {
+      if (Eng.procSenseStable(PI)) {
+        // Stable sensitivity: the registration made at the first
+        // suspension stays live (the generation never moves, and no
+        // timers exist that would need invalidating).
+        Eng.runProcess(PI);
+        continue;
+      }
       Eng.procBumpWakeGen(PI); // Invalidate pending timers.
       Eng.runProcess(PI);
       registerSensitivity(PI);

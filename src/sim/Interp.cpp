@@ -1,514 +1,23 @@
 //===- sim/Interp.cpp - Reference interpreter (LLHD-Sim) ----------------------===//
+//
+// The reference engine executes the shared lowered runtime IR directly
+// (sim/Lir.h): units are lowered once at build, and the hot loop walks a
+// flat LirOp array with dense slot operands — no ir::Instruction pointer
+// chasing. All execution semantics live in sim/LirEngine.cpp, shared
+// with Blaze by construction; Interp's defining property is that it runs
+// the caller's module exactly as given (no optimisation pipeline).
+//
+//===----------------------------------------------------------------------===//
 
 #include "sim/Interp.h"
-#include "sim/EventLoop.h"
-#include "sim/RtOps.h"
-#include "support/DepthPool.h"
+#include "sim/LirEngine.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <map>
 #include <memory>
 
 using namespace llhd;
 
-namespace {
-
-/// Per-process interpreter state. The frame is a dense slot array indexed
-/// by the unit's value numbering (Unit::numberValues), preallocated once
-/// at build — re-activating a process touches no allocator.
-struct ProcState {
-  const UnitInstance *Inst = nullptr;
-  std::vector<RtValue> Frame;  ///< One slot per unit value.
-  std::vector<RtValue> Memory; ///< var/alloc cells.
-  BasicBlock *CurBB = nullptr;
-  unsigned CurIdx = 0;
-  BasicBlock *PrevBB = nullptr; ///< For phi resolution.
-  enum class St { Ready, Waiting, Halted } State = St::Ready;
-  std::vector<SignalId> Sensitivity; ///< Canonical ids while waiting.
-  uint64_t WakeGen = 0;              ///< Stale-timer guard.
-};
-
-/// Per-entity interpreter state. The frame persists across evaluations;
-/// constants, static values and signal bindings are preloaded once.
-/// reg/del previous samples live in dense arrays addressed by a running
-/// cursor over the (stable) entity instruction walk order.
-struct EntState {
-  const UnitInstance *Inst = nullptr;
-  std::vector<RtValue> Frame;
-  std::vector<RtValue> PrevTrig;
-  std::vector<uint8_t> PrevTrigValid;
-  std::vector<RtValue> PrevDel;
-};
-
-} // namespace
-
-struct InterpSim::Impl {
-  Design D;
-  SimOptions Opts;
-  Scheduler Sched;
-  Trace Tr;
-  SimStats Stats;
-
-  std::vector<ProcState> Procs;
-  std::vector<EntState> Ents;
-  Time Now;
-  bool FinishRequested = false;
-
-  /// Value-slot counts of function units, numbered on first call.
-  std::map<Unit *, uint32_t> FnSlots;
-  /// Depth-indexed pools of function frames and call-argument buffers,
-  /// so steady-state function calls reuse storage instead of allocating.
-  struct FnFrame {
-    std::vector<RtValue> Frame;
-    std::vector<RtValue> Memory;
-  };
-  DepthPool<FnFrame> FnPool;
-  DepthPool<std::vector<RtValue>> ArgPool;
-  /// Operand pointer scratch for evalPureP; cleared at each use, so the
-  /// reentrant use through function calls is safe.
-  std::vector<const RtValue *> OpPtrs;
-
-  Impl(Design DIn, SimOptions O)
-      : D(std::move(DIn)), Opts(O), Tr(O.TraceMode) {}
-
-  //===------------------------------------------------------------------===//
-  // Setup
-  //===------------------------------------------------------------------===//
-
-  void build() {
-    for (const UnitInstance &UI : D.Instances) {
-      uint32_t NumSlots = UI.U->numberValues();
-      if (UI.U->isProcess()) {
-        ProcState PS;
-        PS.Inst = &UI;
-        PS.CurBB = UI.U->entry();
-        PS.Frame.assign(NumSlots, RtValue());
-        preloadBindings(UI, PS.Frame, NumSlots);
-        Procs.push_back(std::move(PS));
-      } else {
-        EntState ES;
-        ES.Inst = &UI;
-        ES.Frame.assign(NumSlots, RtValue());
-        // Statics first so bindings take precedence, then constants.
-        for (const auto &[Val, V] : UI.StaticValues)
-          if (Val->valueNumber() < NumSlots)
-            ES.Frame[Val->valueNumber()] = V;
-        preloadBindings(UI, ES.Frame, NumSlots);
-        unsigned NumTrig = 0, NumDel = 0;
-        for (Instruction *I : UI.U->entityBlock()->insts()) {
-          if (I->opcode() == Opcode::Const)
-            ES.Frame[I->valueNumber()] = constValue(*I);
-          else if (I->opcode() == Opcode::Reg)
-            NumTrig += I->regTriggers().size();
-          else if (I->opcode() == Opcode::Del)
-            ++NumDel;
-        }
-        ES.PrevTrig.assign(NumTrig, RtValue());
-        ES.PrevTrigValid.assign(NumTrig, 0);
-        ES.PrevDel.assign(NumDel, RtValue());
-        Ents.push_back(std::move(ES));
-      }
-    }
-    // Entity static sensitivity comes from Design::EntityWatchers,
-    // built at elaboration and shared with the other engines.
-  }
-
-  void preloadBindings(const UnitInstance &UI, std::vector<RtValue> &Frame,
-                       uint32_t NumSlots) {
-    for (const auto &[Val, Ref] : UI.Bindings)
-      if (Val->valueNumber() < NumSlots)
-        Frame[Val->valueNumber()] = RtValue(Ref);
-  }
-
-  /// Unique driver identity per (instance, instruction).
-  uint64_t driverId(const UnitInstance *UI, const Instruction *I) {
-    return (reinterpret_cast<uintptr_t>(UI) << 20) ^
-           reinterpret_cast<uintptr_t>(I);
-  }
-
-  //===------------------------------------------------------------------===//
-  // Value evaluation
-  //===------------------------------------------------------------------===//
-
-  /// Operand value inside a process frame: a direct slot load (bindings
-  /// were preloaded into their slots at build).
-  const RtValue &procVal(ProcState &PS, Value *V) {
-    return PS.Frame[V->valueNumber()];
-  }
-
-  /// Schedules a drive.
-  void scheduleDrive(const SigRef &Target, RtValue Val, Time Delay,
-                     uint64_t Driver) {
-    Sched.scheduleUpdate(driveTarget(Now, Delay),
-                         {Target, std::move(Val), Driver});
-    Sched.countScheduled(1);
-  }
-
-  /// Evaluates a pure data-flow instruction over frame \p Frame.
-  RtValue evalPureInst(Instruction *I, std::vector<RtValue> &Frame) {
-    OpPtrs.clear();
-    for (unsigned J = 0, E = I->numOperands(); J != E; ++J)
-      OpPtrs.push_back(&Frame[I->operand(J)->valueNumber()]);
-    return evalPureP(I->opcode(), OpPtrs.data(), OpPtrs.size(),
-                     I->immediate(), I);
-  }
-
-  //===------------------------------------------------------------------===//
-  // Function interpretation (immediate execution, §2.4.1)
-  //===------------------------------------------------------------------===//
-
-  RtValue callFunction(Unit *F, std::vector<RtValue> &Args) {
-    if (F->isIntrinsic() || F->isDeclaration())
-      return callIntrinsic(F, Args);
-    auto SlotIt = FnSlots.find(F);
-    if (SlotIt == FnSlots.end())
-      SlotIt = FnSlots.emplace(F, F->numberValues()).first;
-    auto FR = FnPool.lease();
-    std::vector<RtValue> &Frame = FR->Frame;
-    std::vector<RtValue> &Memory = FR->Memory;
-    Frame.assign(SlotIt->second, RtValue());
-    Memory.clear();
-    for (unsigned I = 0; I != F->inputs().size(); ++I)
-      Frame[F->input(I)->valueNumber()] = std::move(Args[I]);
-    BasicBlock *BB = F->entry();
-    BasicBlock *Prev = nullptr;
-    unsigned Idx = 0;
-    uint64_t Fuel = 100000000ull; // Runaway guard.
-    auto val = [&](Value *V) -> RtValue & {
-      return Frame[V->valueNumber()];
-    };
-    while (Fuel--) {
-      Instruction *I = BB->insts()[Idx];
-      switch (I->opcode()) {
-      case Opcode::Ret:
-        return I->numOperands() == 1 ? std::move(val(I->operand(0)))
-                                     : RtValue();
-      case Opcode::Br: {
-        BasicBlock *Next;
-        if (I->numOperands() == 1)
-          Next = cast<BasicBlock>(I->operand(0));
-        else
-          Next = I->brDest(val(I->operand(0)).isTruthy() ? 1 : 0);
-        Prev = BB;
-        BB = Next;
-        Idx = 0;
-        continue;
-      }
-      case Opcode::Phi: {
-        for (unsigned J = 0; J != I->numIncoming(); ++J)
-          if (I->incomingBlock(J) == Prev)
-            Frame[I->valueNumber()] = val(I->incomingValue(J));
-        break;
-      }
-      case Opcode::Const:
-        Frame[I->valueNumber()] = constValue(*I);
-        break;
-      case Opcode::Var:
-      case Opcode::Alloc:
-        Memory.push_back(val(I->operand(0)));
-        Frame[I->valueNumber()] = RtValue::makePointer(Memory.size() - 1);
-        break;
-      case Opcode::Ld:
-        Frame[I->valueNumber()] = Memory[val(I->operand(0)).pointer()];
-        break;
-      case Opcode::St:
-        Memory[val(I->operand(0)).pointer()] = val(I->operand(1));
-        break;
-      case Opcode::Free:
-        break; // Cells are reclaimed with the call frame.
-      case Opcode::Call: {
-        RtValue R = callInstruction(I, Frame);
-        if (!I->type()->isVoid())
-          Frame[I->valueNumber()] = std::move(R);
-        break;
-      }
-      default: {
-        assert(I->isPureDataFlow() && "illegal instruction in function");
-        Frame[I->valueNumber()] = evalPureInst(I, Frame);
-        break;
-      }
-      }
-      ++Idx;
-    }
-    return RtValue();
-  }
-
-  /// Gathers a call instruction's arguments from \p Frame into a pooled
-  /// buffer and invokes the callee.
-  RtValue callInstruction(Instruction *I, std::vector<RtValue> &Frame) {
-    auto Lease = ArgPool.lease();
-    std::vector<RtValue> &Args = *Lease;
-    Args.clear();
-    for (unsigned J = 0, E = I->numOperands(); J != E; ++J)
-      Args.push_back(Frame[I->operand(J)->valueNumber()]);
-    return callFunction(I->callee(), Args);
-  }
-
-  RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args) {
-    const std::string &N = F->name();
-    if (N == "llhd.assert") {
-      if (!Args.empty() && !Args[0].isTruthy()) {
-        ++Stats.AssertFailures;
-        if (getenv("LLHD_ASSERT_DEBUG")) {
-          fprintf(stderr, "assert failed at %s (+%ud)\n",
-                  Now.toString().c_str(), Now.Delta);
-          for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
-            if (D.Signals.name(SI).find("result") != std::string::npos)
-              fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
-                      D.Signals.value(SI).toString().c_str());
-        }
-      }
-      return RtValue();
-    }
-    if (N == "llhd.finish") {
-      FinishRequested = true;
-      return RtValue();
-    }
-    // Unknown intrinsics are no-ops returning the default value.
-    return defaultValue(F->returnType());
-  }
-
-  //===------------------------------------------------------------------===//
-  // Process interpretation
-  //===------------------------------------------------------------------===//
-
-  void runProcess(uint32_t PIdx) {
-    ProcState &PS = Procs[PIdx];
-    if (PS.State == ProcState::St::Halted)
-      return;
-    PS.State = ProcState::St::Ready;
-    ++Stats.ProcessRuns;
-    uint64_t Fuel = 100000000ull;
-    while (Fuel--) {
-      Instruction *I = PS.CurBB->insts()[PS.CurIdx];
-      switch (I->opcode()) {
-      case Opcode::Halt:
-        PS.State = ProcState::St::Halted;
-        return;
-      case Opcode::Wait: {
-        // Register sensitivity and optional timeout, then suspend.
-        PS.Sensitivity.clear();
-        ++PS.WakeGen;
-        for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
-          const RtValue &V = procVal(PS, I->operand(J));
-          if (V.isTime()) {
-            Sched.scheduleWake(Now.advance(V.timeValue()),
-                               {PIdx, PS.WakeGen});
-          } else {
-            PS.Sensitivity.push_back(D.Signals.canonical(V.sigId()));
-          }
-        }
-        PS.State = ProcState::St::Waiting;
-        PS.PrevBB = PS.CurBB;
-        PS.CurBB = I->waitDest();
-        PS.CurIdx = 0;
-        return;
-      }
-      case Opcode::Br: {
-        BasicBlock *Next;
-        if (I->numOperands() == 1)
-          Next = cast<BasicBlock>(I->operand(0));
-        else
-          Next = I->brDest(procVal(PS, I->operand(0)).isTruthy() ? 1 : 0);
-        PS.PrevBB = PS.CurBB;
-        PS.CurBB = Next;
-        PS.CurIdx = 0;
-        continue;
-      }
-      case Opcode::Phi: {
-        for (unsigned J = 0; J != I->numIncoming(); ++J)
-          if (I->incomingBlock(J) == PS.PrevBB)
-            PS.Frame[I->valueNumber()] =
-                procVal(PS, I->incomingValue(J));
-        break;
-      }
-      case Opcode::Const:
-        PS.Frame[I->valueNumber()] = constValue(*I);
-        break;
-      case Opcode::Prb: {
-        const RtValue &Sig = procVal(PS, I->operand(0));
-        PS.Frame[I->valueNumber()] = D.Signals.read(Sig.sigRef());
-        break;
-      }
-      case Opcode::Drv: {
-        if (I->numOperands() == 4 &&
-            !procVal(PS, I->operand(3)).isTruthy())
-          break;
-        const RtValue &Sig = procVal(PS, I->operand(0));
-        scheduleDrive(Sig.sigRef(), procVal(PS, I->operand(1)),
-                      procVal(PS, I->operand(2)).timeValue(),
-                      driverId(PS.Inst, I));
-        break;
-      }
-      case Opcode::Var:
-      case Opcode::Alloc:
-        PS.Memory.push_back(procVal(PS, I->operand(0)));
-        PS.Frame[I->valueNumber()] =
-            RtValue::makePointer(PS.Memory.size() - 1);
-        break;
-      case Opcode::Ld:
-        PS.Frame[I->valueNumber()] =
-            PS.Memory[procVal(PS, I->operand(0)).pointer()];
-        break;
-      case Opcode::St:
-        PS.Memory[procVal(PS, I->operand(0)).pointer()] =
-            procVal(PS, I->operand(1));
-        break;
-      case Opcode::Free:
-        break;
-      case Opcode::Call: {
-        RtValue R = callInstruction(I, PS.Frame);
-        if (!I->type()->isVoid())
-          PS.Frame[I->valueNumber()] = std::move(R);
-        break;
-      }
-      default: {
-        assert(I->isPureDataFlow() && "illegal instruction in process");
-        PS.Frame[I->valueNumber()] = evalPureInst(I, PS.Frame);
-        break;
-      }
-      }
-      ++PS.CurIdx;
-    }
-    PS.State = ProcState::St::Halted; // Fuel exhausted: treat as hung.
-  }
-
-  //===------------------------------------------------------------------===//
-  // Entity evaluation
-  //===------------------------------------------------------------------===//
-
-  void evalEntity(uint32_t EIdx, bool Initial) {
-    EntState &ES = Ents[EIdx];
-    const UnitInstance &UI = *ES.Inst;
-    ++Stats.EntityEvals;
-    auto val = [&](Value *V) -> const RtValue & {
-      return ES.Frame[V->valueNumber()];
-    };
-    // Dense reg/del state cursors, advanced in (stable) walk order.
-    unsigned TrigCursor = 0, DelCursor = 0;
-
-    for (Instruction *I : UI.U->entityBlock()->insts()) {
-      switch (I->opcode()) {
-      case Opcode::Const:
-        break; // Preloaded at build.
-      case Opcode::Sig:
-      case Opcode::Con:
-      case Opcode::InstOp:
-        break; // Elaborated.
-      case Opcode::Prb:
-        ES.Frame[I->valueNumber()] =
-            D.Signals.read(val(I->operand(0)).sigRef());
-        break;
-      case Opcode::Drv: {
-        if (I->numOperands() == 4 && !val(I->operand(3)).isTruthy())
-          break;
-        scheduleDrive(val(I->operand(0)).sigRef(), val(I->operand(1)),
-                      val(I->operand(2)).timeValue(),
-                      driverId(&UI, I));
-        break;
-      }
-      case Opcode::Del: {
-        RtValue Src = D.Signals.read(val(I->operand(1)).sigRef());
-        RtValue &Prev = ES.PrevDel[DelCursor++];
-        if (Initial || Prev != Src) {
-          Prev = Src;
-          scheduleDrive(val(I->operand(0)).sigRef(), Src,
-                        val(I->operand(2)).timeValue(),
-                        driverId(&UI, I));
-        }
-        break;
-      }
-      case Opcode::Reg: {
-        unsigned Base = TrigCursor;
-        TrigCursor += I->regTriggers().size();
-        evalReg(ES, I, val, Initial, Base);
-        break;
-      }
-      case Opcode::Extf:
-      case Opcode::Exts:
-        if (I->type()->isSignal())
-          break; // Sub-signal bound at elaboration.
-        [[fallthrough]];
-      default: {
-        assert(I->isPureDataFlow() && "illegal instruction in entity");
-        ES.Frame[I->valueNumber()] = evalPureInst(I, ES.Frame);
-        break;
-      }
-      }
-    }
-  }
-
-  template <typename ValFn>
-  void evalReg(EntState &ES, Instruction *I, ValFn &val, bool Initial,
-               unsigned TrigBase) {
-    SigRef Target = val(I->operand(0)).sigRef();
-    for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
-      const RegTrigger &T = I->regTriggers()[TI];
-      const RtValue &Cur = val(I->operand(T.TriggerIdx));
-      bool HavePrev = ES.PrevTrigValid[TrigBase + TI];
-      RtValue Prev = HavePrev ? ES.PrevTrig[TrigBase + TI] : Cur;
-      ES.PrevTrig[TrigBase + TI] = Cur;
-      ES.PrevTrigValid[TrigBase + TI] = 1;
-
-      bool Fire = false;
-      bool CurT = Cur.isTruthy();
-      bool PrevT = Prev.isTruthy();
-      switch (T.Mode) {
-      case RegMode::Rise:
-        Fire = HavePrev && !PrevT && CurT;
-        break;
-      case RegMode::Fall:
-        Fire = HavePrev && PrevT && !CurT;
-        break;
-      case RegMode::Both:
-        Fire = HavePrev && PrevT != CurT;
-        break;
-      case RegMode::High:
-        Fire = CurT;
-        break;
-      case RegMode::Low:
-        Fire = !CurT;
-        break;
-      }
-      if (Initial && (T.Mode == RegMode::Rise || T.Mode == RegMode::Fall ||
-                      T.Mode == RegMode::Both))
-        Fire = false;
-      if (!Fire)
-        continue;
-      if (T.CondIdx >= 0 && !val(I->operand(T.CondIdx)).isTruthy())
-        continue;
-      Time Delay;
-      if (T.DelayIdx >= 0)
-        Delay = val(I->operand(T.DelayIdx)).timeValue();
-      scheduleDrive(Target, val(I->operand(T.ValueIdx)), Delay,
-                    driverId(ES.Inst, I) + TI);
-    }
-  }
-
-  //===------------------------------------------------------------------===//
-  // EventLoop hooks
-  //===------------------------------------------------------------------===//
-
-  uint32_t numProcs() const { return Procs.size(); }
-  uint32_t numEnts() const { return Ents.size(); }
-  bool procWaiting(uint32_t PI) const {
-    return Procs[PI].State == ProcState::St::Waiting;
-  }
-  bool procHalted(uint32_t PI) const {
-    return Procs[PI].State == ProcState::St::Halted;
-  }
-  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
-    return Procs[PI].Sensitivity;
-  }
-  uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
-  void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
-  bool finishRequested() const { return FinishRequested; }
-
-  SimStats run() {
-    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
-  }
+struct InterpSim::Impl : LirEngine {
+  using LirEngine::LirEngine;
 };
 
 InterpSim::InterpSim(Design D, SimOptions Opts)

@@ -19,6 +19,7 @@ SignalId SignalTable::create(Type *Ty, RtValue Init, std::string Name) {
   S.Name = std::move(Name);
   Signals.push_back(std::move(S));
   Parents.push_back(Signals.size() - 1);
+  Aliases.emplace_back();
   return Signals.size() - 1;
 }
 
@@ -33,14 +34,74 @@ void SignalTable::connect(SignalId A, SignalId B) {
   Parents[B] = A;
 }
 
-RtValue SignalTable::read(const SigRef &Ref) const {
-  const Signal &S = Signals[canonical(Ref.Sig)];
-  return readSubValue(S.Value, Ref);
+SigRef SignalTable::resolve(const SigRef &Ref) const {
+  SigRef R = Ref;
+  R.Sig = ufRoot(R.Sig);
+  while (Aliases[R.Sig].valid()) {
+    // Compose: the alias target is the prefix, then this reference's
+    // own narrowing on top of it. Targets are element-aligned by
+    // construction (connectRefs), so element()/elements() compose.
+    SigRef N = Aliases[R.Sig];
+    N.Sig = ufRoot(N.Sig);
+    for (uint32_t Idx : R.Path)
+      N = N.element(Idx);
+    if (R.ElemOff >= 0)
+      N = N.elements(R.ElemOff, R.ElemLen);
+    if (R.BitOff >= 0)
+      N = N.bits(R.BitOff, R.BitLen);
+    R = std::move(N);
+    R.Sig = ufRoot(R.Sig);
+  }
+  return R;
 }
 
-bool SignalTable::write(const SigRef &Ref, const RtValue &V,
+bool SignalTable::connectRefs(const SigRef &ARaw, const SigRef &BRaw) {
+  SigRef A = resolve(ARaw), B = resolve(BRaw);
+  if (A.wholeSignal() && B.wholeSignal()) {
+    connect(A.Sig, B.Sig);
+    return true;
+  }
+  // One side must be a whole signal, the other an element-aligned
+  // sub-signal; the whole side becomes an alias view of the sub-ref.
+  const SigRef *Sub = nullptr;
+  SignalId Whole = InvalidSignal;
+  if (A.wholeSignal() && B.BitOff < 0) {
+    Whole = A.Sig;
+    Sub = &B;
+  } else if (B.wholeSignal() && A.BitOff < 0) {
+    Whole = B.Sig;
+    Sub = &A;
+  } else {
+    return false;
+  }
+  if (Sub->Sig == Whole)
+    return false; // Self-alias would cycle.
+  Aliases[Whole] = *Sub;
+  return true;
+}
+
+RtValue SignalTable::read(const SigRef &Ref) const {
+  // Fast path: no alias on the root — the overwhelmingly common case,
+  // and allocation-free for scalar signals.
+  SignalId Root = ufRoot(Ref.Sig);
+  if (!Aliases[Root].valid())
+    return readSubValue(Signals[Root].Value, Ref);
+  SigRef R = resolve(Ref);
+  return readSubValue(Signals[R.Sig].Value, R);
+}
+
+bool SignalTable::write(const SigRef &RefIn, const RtValue &V,
                         uint64_t Driver) {
-  Signal &S = Signals[canonical(Ref.Sig)];
+  SigRef Resolved;
+  const SigRef *RefP = &RefIn;
+  SignalId Root = ufRoot(RefIn.Sig);
+  if (Aliases[Root].valid()) {
+    Resolved = resolve(RefIn);
+    RefP = &Resolved;
+    Root = Resolved.Sig;
+  }
+  const SigRef &Ref = *RefP;
+  Signal &S = Signals[Root];
 
   // Multi-driver resolution for whole-signal logic drives: each driver
   // keeps its contribution in a slot found by binary search; the signal

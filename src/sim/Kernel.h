@@ -41,24 +41,31 @@ public:
 
   unsigned size() const { return Signals.size(); }
 
-  /// Canonical id under `con` aliasing (union-find with path compression).
+  /// Canonical id under `con` aliasing: the signal that owns the storage
+  /// this one reads and writes. Whole-signal `con` merges resolve through
+  /// a union-find; element-aligned sub-signal `con` resolves through
+  /// alias records (the aliased signal's storage root).
   SignalId canonical(SignalId S) const {
-    SignalId Root = S;
-    while (Parents[Root] != Root)
-      Root = Parents[Root];
-    // Path compression: point every visited node at the root so repeated
-    // lookups are O(1). Parents is representation cache state, not
-    // logical state, hence mutable.
-    while (Parents[S] != Root) {
-      SignalId Next = Parents[S];
-      Parents[S] = Root;
-      S = Next;
-    }
+    SignalId Root = ufRoot(S);
+    while (Aliases[Root].valid())
+      Root = ufRoot(Aliases[Root].Sig);
     return Root;
   }
 
   /// Merges two signals into one electrical net (`con`).
   void connect(SignalId A, SignalId B);
+
+  /// Connects two (possibly sub-)signal references into one net.
+  /// Whole/whole merges through the union-find; a whole signal and an
+  /// element-aligned sub-signal (element path or element range, no bit
+  /// slice) connect by recording an alias: the whole signal becomes a
+  /// view of the sub-reference's storage. Returns false for the shapes
+  /// that stay unsupported (two proper sub-signals, bit-sliced refs).
+  bool connectRefs(const SigRef &A, const SigRef &B);
+
+  /// Resolves \p Ref through `con` merges and alias records to a
+  /// reference into its storage root.
+  SigRef resolve(const SigRef &Ref) const;
 
   /// Current (resolved) value of a sub-signal.
   RtValue read(const SigRef &Ref) const;
@@ -84,10 +91,28 @@ private:
     /// driver id so a slot is found by binary search.
     std::vector<std::pair<uint64_t, RtValue>> Drivers;
   };
+
+  /// Union-find root under whole-signal `con` merges only (no alias
+  /// chasing). Path compression keeps repeated lookups O(1); Parents is
+  /// representation cache state, not logical state, hence mutable.
+  SignalId ufRoot(SignalId S) const {
+    SignalId Root = S;
+    while (Parents[Root] != Root)
+      Root = Parents[Root];
+    while (Parents[S] != Root) {
+      SignalId Next = Parents[S];
+      Parents[S] = Root;
+      S = Next;
+    }
+    return Root;
+  }
+
   std::vector<Signal> Signals;
-  /// Union-find parents (self if root), separate from Signals so that
-  /// path compression can run under const lookups.
   mutable std::vector<SignalId> Parents;
+  /// Element-aligned `con` alias records, indexed by union-find root:
+  /// an entry with valid() set makes that signal a view of another
+  /// signal's storage. Invalid (the default) means "owns its storage".
+  std::vector<SigRef> Aliases;
 };
 
 //===----------------------------------------------------------------------===//

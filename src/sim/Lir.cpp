@@ -1,0 +1,610 @@
+//===- sim/Lir.cpp - Lowered runtime IR ----------------------------------------===//
+
+#include "sim/Lir.h"
+#include "ir/Type.h"
+#include "sim/RtOps.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace llhd;
+
+const char *llhd::lirOpcName(LirOpc C) {
+  switch (C) {
+  case LirOpc::Pure:    return "pure";
+  case LirOpc::Prb:     return "prb";
+  case LirOpc::Drv:     return "drv";
+  case LirOpc::Jmp:     return "jmp";
+  case LirOpc::CondJmp: return "condjmp";
+  case LirOpc::Copy:    return "copy";
+  case LirOpc::Wait:    return "wait";
+  case LirOpc::Halt:    return "halt";
+  case LirOpc::Ret:     return "ret";
+  case LirOpc::Call:    return "call";
+  case LirOpc::Var:     return "var";
+  case LirOpc::Ld:      return "ld";
+  case LirOpc::St:      return "st";
+  case LirOpc::Reg:     return "reg";
+  case LirOpc::Del:     return "del";
+  }
+  return "?";
+}
+
+const char *llhd::procClassName(ProcClass C) {
+  switch (C) {
+  case ProcClass::PureComb:   return "pure_comb";
+  case ProcClass::ClockedReg: return "clocked_reg";
+  case ProcClass::General:    return "general";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Lowers one unit. This is the single IR-opcode walk all engines share.
+class Lowerer {
+public:
+  explicit Lowerer(Unit &U) { lower(U); }
+  LirUnit take() { return std::move(L); }
+
+private:
+  /// A value's frame slot is its dense value number.
+  int32_t slotOf(Value *V) {
+    assert(V->valueNumber() < L.NumValues && "value not numbered");
+    return static_cast<int32_t>(V->valueNumber());
+  }
+
+  int32_t freshSlot() { return static_cast<int32_t>(L.NumSlots++); }
+
+  uint32_t poolSlots(std::initializer_list<Value *> Vs) {
+    uint32_t Base = L.OperandPool.size();
+    for (Value *V : Vs)
+      L.OperandPool.push_back(slotOf(V));
+    return Base;
+  }
+
+  void lower(Unit &U) {
+    L.U = &U;
+    L.NumValues = U.numberValues();
+    L.NumSlots = L.NumValues;
+    if (U.isEntity())
+      lowerEntityBody(U);
+    else
+      lowerControlFlow(U);
+    optimize();
+    classify();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Control-flow units (processes and functions)
+  //===------------------------------------------------------------------===//
+
+  struct PendingJump {
+    uint32_t Pc;
+    int WhichTarget; ///< 0 = Jmp0, 1 = Jmp1.
+    const BasicBlock *Pred;
+    const BasicBlock *Target;
+  };
+
+  void lowerControlFlow(Unit &U) {
+    // Emit blocks in order, then fix jump targets and insert phi
+    // edge-copy trampolines. Blocks are numbered densely, so the pc
+    // table is a flat vector.
+    std::vector<uint32_t> BlockPc(U.blocks().size(), 0);
+    std::vector<PendingJump> Pending;
+
+    for (BasicBlock *BB : U.blocks()) {
+      BlockPc[BB->valueNumber()] = L.Ops.size();
+      for (Instruction *I : BB->insts())
+        emitInst(I, BB, Pending);
+    }
+
+    // Edge trampolines: copy phi incomings staged through scratch slots.
+    // Keyed by (pred, target) block numbers; the edge count is small, so
+    // a linear scan over a flat vector beats a node-based map.
+    std::vector<std::pair<uint64_t, uint32_t>> EdgePc;
+    for (PendingJump &PJ : Pending) {
+      uint64_t Key = (uint64_t(PJ.Pred->valueNumber()) << 32) |
+                     PJ.Target->valueNumber();
+      uint32_t TargetPc;
+      auto EIt = std::find_if(
+          EdgePc.begin(), EdgePc.end(),
+          [Key](const auto &P) { return P.first == Key; });
+      if (EIt != EdgePc.end()) {
+        TargetPc = EIt->second;
+      } else {
+        // Collect phi copies for this edge.
+        std::vector<std::pair<int32_t, int32_t>> Copies; // (src, phi).
+        for (Instruction *I : PJ.Target->insts()) {
+          if (I->opcode() != Opcode::Phi)
+            continue;
+          for (unsigned J = 0; J != I->numIncoming(); ++J)
+            if (I->incomingBlock(J) == PJ.Pred)
+              Copies.push_back({slotOf(I->incomingValue(J)), slotOf(I)});
+        }
+        if (Copies.empty()) {
+          TargetPc = BlockPc[PJ.Target->valueNumber()];
+        } else {
+          TargetPc = L.Ops.size();
+          // Stage all reads first so phi-reads-phi is safe.
+          std::vector<int32_t> Scratch;
+          for (auto &[SrcS, PhiS] : Copies) {
+            int32_t Tmp = freshSlot();
+            Scratch.push_back(Tmp);
+            LirOp Op;
+            Op.C = LirOpc::Copy;
+            Op.Dst = Tmp;
+            Op.A = SrcS;
+            L.Ops.push_back(Op);
+          }
+          for (unsigned J = 0; J != Copies.size(); ++J) {
+            LirOp Op;
+            Op.C = LirOpc::Copy;
+            Op.Dst = Copies[J].second;
+            Op.A = Scratch[J];
+            L.Ops.push_back(Op);
+          }
+          LirOp Jump;
+          Jump.C = LirOpc::Jmp;
+          Jump.Jmp0 = BlockPc[PJ.Target->valueNumber()];
+          L.Ops.push_back(Jump);
+        }
+        EdgePc.push_back({Key, TargetPc});
+      }
+      if (PJ.WhichTarget == 0)
+        L.Ops[PJ.Pc].Jmp0 = TargetPc;
+      else
+        L.Ops[PJ.Pc].Jmp1 = TargetPc;
+    }
+  }
+
+  void emitInst(Instruction *I, BasicBlock *BB,
+                std::vector<PendingJump> &Pending) {
+    switch (I->opcode()) {
+    case Opcode::Const:
+      L.ConstSlots.push_back({(uint32_t)slotOf(I), constValue(*I)});
+      return;
+    case Opcode::Phi:
+      (void)slotOf(I); // Filled by edge copies.
+      return;
+    case Opcode::Prb: {
+      LirOp Op;
+      Op.C = LirOpc::Prb;
+      Op.Dst = slotOf(I);
+      Op.A = slotOf(I->operand(0));
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Drv: {
+      LirOp Op;
+      Op.C = LirOpc::Drv;
+      Op.A = slotOf(I->operand(0));
+      Op.B = slotOf(I->operand(1));
+      Op.Cc = slotOf(I->operand(2));
+      Op.Dd = I->numOperands() == 4 ? slotOf(I->operand(3)) : -1;
+      Op.Origin = I;
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Br: {
+      LirOp Op;
+      if (I->numOperands() == 1) {
+        Op.C = LirOpc::Jmp;
+        L.Ops.push_back(Op);
+        Pending.push_back({(uint32_t)L.Ops.size() - 1, 0, BB,
+                           cast<BasicBlock>(I->operand(0))});
+      } else {
+        Op.C = LirOpc::CondJmp;
+        Op.A = slotOf(I->operand(0));
+        L.Ops.push_back(Op);
+        Pending.push_back(
+            {(uint32_t)L.Ops.size() - 1, 0, BB, I->brDest(0)});
+        Pending.push_back(
+            {(uint32_t)L.Ops.size() - 1, 1, BB, I->brDest(1)});
+      }
+      return;
+    }
+    case Opcode::Wait: {
+      LirOp Op;
+      Op.C = LirOpc::Wait;
+      Op.OpsBase = L.OperandPool.size();
+      for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
+        if (I->operand(J)->type()->isTime()) {
+          Op.A = slotOf(I->operand(J));
+        } else {
+          L.OperandPool.push_back(slotOf(I->operand(J)));
+          ++Op.OpsCount;
+        }
+      }
+      L.Ops.push_back(Op);
+      Pending.push_back(
+          {(uint32_t)L.Ops.size() - 1, 0, BB, I->waitDest()});
+      return;
+    }
+    case Opcode::Halt: {
+      LirOp Op;
+      Op.C = LirOpc::Halt;
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Ret: {
+      LirOp Op;
+      Op.C = LirOpc::Ret;
+      Op.A = I->numOperands() == 1 ? slotOf(I->operand(0)) : -1;
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Call: {
+      LirOp Op;
+      Op.C = LirOpc::Call;
+      Op.Dst = I->type()->isVoid() ? -1 : slotOf(I);
+      Op.OpsBase = L.OperandPool.size();
+      Op.OpsCount = I->numOperands();
+      for (unsigned J = 0; J != I->numOperands(); ++J)
+        L.OperandPool.push_back(slotOf(I->operand(J)));
+      Op.Callee = I->callee();
+      Op.Origin = I;
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Var:
+    case Opcode::Alloc: {
+      LirOp Op;
+      Op.C = LirOpc::Var;
+      Op.Dst = slotOf(I);
+      Op.A = slotOf(I->operand(0));
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Ld: {
+      LirOp Op;
+      Op.C = LirOpc::Ld;
+      Op.Dst = slotOf(I);
+      Op.A = slotOf(I->operand(0));
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::St: {
+      LirOp Op;
+      Op.C = LirOpc::St;
+      Op.A = slotOf(I->operand(0));
+      Op.B = slotOf(I->operand(1));
+      L.Ops.push_back(Op);
+      return;
+    }
+    case Opcode::Free:
+      return; // Cells live until the frame dies.
+    default:
+      emitPure(I);
+      return;
+    }
+  }
+
+  void emitPure(Instruction *I) {
+    assert(I->isPureDataFlow() && "unexpected opcode");
+    LirOp Op;
+    Op.C = LirOpc::Pure;
+    Op.IrOp = I->opcode();
+    Op.Dst = slotOf(I);
+    Op.Imm = I->immediate();
+    Op.Origin = I;
+    Op.OpsBase = L.OperandPool.size();
+    Op.OpsCount = I->numOperands();
+    for (unsigned J = 0; J != I->numOperands(); ++J)
+      L.OperandPool.push_back(slotOf(I->operand(J)));
+    L.Ops.push_back(Op);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Entity bodies
+  //===------------------------------------------------------------------===//
+
+  void lowerEntityBody(Unit &U) {
+    for (Instruction *I : U.entityBlock()->insts()) {
+      switch (I->opcode()) {
+      case Opcode::Sig:
+      case Opcode::Con:
+      case Opcode::InstOp:
+        (void)slotOf(I); // Elaborated (sig slots hold bindings).
+        continue;
+      case Opcode::Extf:
+      case Opcode::Exts:
+        if (I->type()->isSignal()) {
+          (void)slotOf(I); // Sub-signal bound at elaboration.
+          continue;
+        }
+        emitPure(I);
+        continue;
+      case Opcode::Const:
+        L.ConstSlots.push_back({(uint32_t)slotOf(I), constValue(*I)});
+        continue;
+      case Opcode::Prb: {
+        LirOp Op;
+        Op.C = LirOpc::Prb;
+        Op.Dst = slotOf(I);
+        Op.A = slotOf(I->operand(0));
+        L.Ops.push_back(Op);
+        continue;
+      }
+      case Opcode::Drv: {
+        LirOp Op;
+        Op.C = LirOpc::Drv;
+        Op.A = slotOf(I->operand(0));
+        Op.B = slotOf(I->operand(1));
+        Op.Cc = slotOf(I->operand(2));
+        Op.Dd = I->numOperands() == 4 ? slotOf(I->operand(3)) : -1;
+        Op.Origin = I;
+        L.Ops.push_back(Op);
+        continue;
+      }
+      case Opcode::Reg: {
+        LirOp Op;
+        Op.C = LirOpc::Reg;
+        Op.A = slotOf(I->operand(0)); // Target signal.
+        Op.Imm = L.NumRegPrev;        // Previous-sample base index.
+        Op.TrigBase = L.TriggerPool.size();
+        Op.TrigCount = I->regTriggers().size();
+        for (const RegTrigger &T : I->regTriggers()) {
+          LirTrigger LT;
+          LT.Mode = T.Mode;
+          LT.Value = slotOf(I->operand(T.ValueIdx));
+          LT.Trig = slotOf(I->operand(T.TriggerIdx));
+          LT.Delay =
+              T.DelayIdx >= 0 ? slotOf(I->operand(T.DelayIdx)) : -1;
+          LT.Cond = T.CondIdx >= 0 ? slotOf(I->operand(T.CondIdx)) : -1;
+          L.TriggerPool.push_back(LT);
+        }
+        L.NumRegPrev += I->regTriggers().size();
+        Op.Origin = I;
+        L.Ops.push_back(Op);
+        continue;
+      }
+      case Opcode::Del: {
+        LirOp Op;
+        Op.C = LirOpc::Del;
+        Op.A = slotOf(I->operand(0));
+        Op.B = slotOf(I->operand(1));
+        Op.Cc = slotOf(I->operand(2));
+        Op.Imm = L.NumDelPrev++; // Previous-sample index.
+        Op.Origin = I;
+        L.Ops.push_back(Op);
+        continue;
+      }
+      default:
+        emitPure(I);
+        continue;
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // LIR-level cleanup
+  //===------------------------------------------------------------------===//
+
+  void optimize() {
+    // Thread jump chains: a target that lands on a Jmp is retargeted to
+    // that Jmp's destination (bounded walk, safe on jump cycles).
+    auto thread = [&](int32_t T) {
+      for (int Guard = 0;
+           Guard != 64 && T >= 0 && L.Ops[T].C == LirOpc::Jmp; ++Guard)
+        T = L.Ops[T].Jmp0;
+      return T;
+    };
+    for (LirOp &Op : L.Ops) {
+      if (Op.Jmp0 >= 0)
+        Op.Jmp0 = thread(Op.Jmp0);
+      if (Op.Jmp1 >= 0)
+        Op.Jmp1 = thread(Op.Jmp1);
+    }
+
+    // Drop fall-through jumps (Jmp to the next pc), iterating because a
+    // removal can make the next jump adjacent to its target. This is
+    // what turns the canonical single-block-loop process (entry `br`
+    // into the body) into a straight-line op run the classifier can see.
+    while (true) {
+      std::vector<int32_t> NewPc(L.Ops.size());
+      int32_t N = 0;
+      bool Any = false;
+      for (size_t I = 0; I != L.Ops.size(); ++I) {
+        NewPc[I] = N;
+        const LirOp &Op = L.Ops[I];
+        if (Op.C == LirOpc::Jmp && Op.Jmp0 == (int32_t)I + 1)
+          Any = true; // Dropped: NewPc maps it onto the next kept op.
+        else
+          ++N;
+      }
+      if (!Any)
+        break;
+      std::vector<LirOp> Kept;
+      Kept.reserve(N);
+      for (size_t I = 0; I != L.Ops.size(); ++I) {
+        LirOp Op = L.Ops[I];
+        if (Op.C == LirOpc::Jmp && Op.Jmp0 == (int32_t)I + 1)
+          continue;
+        if (Op.Jmp0 >= 0)
+          Op.Jmp0 = NewPc[Op.Jmp0];
+        if (Op.Jmp1 >= 0)
+          Op.Jmp1 = NewPc[Op.Jmp1];
+        Kept.push_back(std::move(Op));
+      }
+      L.Ops = std::move(Kept);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Classification
+  //===------------------------------------------------------------------===//
+
+  void classify() {
+    if (!L.U->isProcess())
+      return;
+    int32_t WaitPc = -1;
+    unsigned NumWaits = 0;
+    bool HasTimeout = false;
+    for (size_t I = 0; I != L.Ops.size(); ++I) {
+      if (L.Ops[I].C != LirOpc::Wait)
+        continue;
+      ++NumWaits;
+      WaitPc = I;
+      HasTimeout |= L.Ops[I].A >= 0;
+    }
+    if (NumWaits != 1 || HasTimeout)
+      return; // General: dynamic resumption or timers.
+    const LirOp &W = L.Ops[WaitPc];
+
+    // Static sensitivity: no instruction ever writes an observed slot
+    // (observed signals are preloaded bindings, not recomputed values).
+    std::vector<char> Written(L.NumSlots, 0);
+    for (const LirOp &Op : L.Ops)
+      if (Op.Dst >= 0)
+        Written[Op.Dst] = 1;
+    for (uint32_t J = 0; J != W.OpsCount; ++J)
+      if (Written[L.OperandPool[W.OpsBase + J]])
+        return;
+
+    L.StableWait = true;
+    L.WaitPc = WaitPc;
+    L.ResumePc = W.Jmp0;
+
+    // PureComb: the wait is the final op and everything before it runs
+    // straight-line — no control transfer, no calls. Execution is a
+    // plain front-to-back sweep.
+    bool Straight = WaitPc == (int32_t)L.Ops.size() - 1;
+    for (int32_t I = 0; Straight && I != WaitPc; ++I) {
+      switch (L.Ops[I].C) {
+      case LirOpc::Pure:
+      case LirOpc::Prb:
+      case LirOpc::Drv:
+      case LirOpc::Copy:
+      case LirOpc::Var:
+      case LirOpc::Ld:
+      case LirOpc::St:
+        break;
+      default:
+        Straight = false;
+        break;
+      }
+    }
+    L.Class = Straight ? ProcClass::PureComb : ProcClass::ClockedReg;
+  }
+
+  LirUnit L;
+};
+
+} // namespace
+
+LirUnit llhd::lowerUnit(Unit &U) {
+  Lowerer Low(U);
+  return Low.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Dump
+//===----------------------------------------------------------------------===//
+
+std::string LirUnit::dump() const {
+  std::ostringstream OS;
+  const char *Kind = U->isProcess() ? "process"
+                     : U->isEntity() ? "entity"
+                                     : "func";
+  OS << "lir " << Kind << " @" << U->name() << " {\n";
+  OS << "  slots: " << NumSlots << " (values " << NumValues << ")"
+     << "  regprev: " << NumRegPrev << "  delprev: " << NumDelPrev
+     << "\n";
+  if (U->isProcess())
+    OS << "  class: " << procClassName(Class) << "\n";
+  for (const auto &[Slot, V] : ConstSlots)
+    OS << "  const [" << Slot << "] = " << V.toString() << "\n";
+  auto slot = [](int32_t S) { return "[" + std::to_string(S) + "]"; };
+  auto span = [&](uint32_t Base, uint32_t Count) {
+    std::string S = "[";
+    for (uint32_t J = 0; J != Count; ++J) {
+      if (J)
+        S += ", ";
+      S += std::to_string(OperandPool[Base + J]);
+    }
+    return S + "]";
+  };
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    const LirOp &Op = Ops[I];
+    OS << "  " << I << ": ";
+    switch (Op.C) {
+    case LirOpc::Pure:
+      OS << "pure " << opcodeName(Op.IrOp) << " " << slot(Op.Dst)
+         << ", ops=" << span(Op.OpsBase, Op.OpsCount);
+      if (Op.Imm)
+        OS << " imm=" << Op.Imm;
+      break;
+    case LirOpc::Prb:
+      OS << "prb " << slot(Op.Dst) << ", " << slot(Op.A);
+      break;
+    case LirOpc::Drv:
+      OS << "drv " << slot(Op.A) << ", " << slot(Op.B) << " after "
+         << slot(Op.Cc);
+      if (Op.Dd >= 0)
+        OS << " if " << slot(Op.Dd);
+      break;
+    case LirOpc::Jmp:
+      OS << "jmp @" << Op.Jmp0;
+      break;
+    case LirOpc::CondJmp:
+      OS << "condjmp " << slot(Op.A) << " ? @" << Op.Jmp1 << " : @"
+         << Op.Jmp0;
+      break;
+    case LirOpc::Copy:
+      OS << "copy " << slot(Op.Dst) << ", " << slot(Op.A);
+      break;
+    case LirOpc::Wait:
+      OS << "wait resume=@" << Op.Jmp0;
+      if (Op.A >= 0)
+        OS << " timeout=" << slot(Op.A);
+      OS << " obs=" << span(Op.OpsBase, Op.OpsCount);
+      break;
+    case LirOpc::Halt:
+      OS << "halt";
+      break;
+    case LirOpc::Ret:
+      OS << "ret";
+      if (Op.A >= 0)
+        OS << " " << slot(Op.A);
+      break;
+    case LirOpc::Call:
+      OS << "call ";
+      if (Op.Dst >= 0)
+        OS << slot(Op.Dst) << ", ";
+      OS << "@" << (Op.Callee ? Op.Callee->name() : "?")
+         << " args=" << span(Op.OpsBase, Op.OpsCount);
+      break;
+    case LirOpc::Var:
+      OS << "var " << slot(Op.Dst) << ", " << slot(Op.A);
+      break;
+    case LirOpc::Ld:
+      OS << "ld " << slot(Op.Dst) << ", " << slot(Op.A);
+      break;
+    case LirOpc::St:
+      OS << "st " << slot(Op.A) << ", " << slot(Op.B);
+      break;
+    case LirOpc::Reg:
+      OS << "reg " << slot(Op.A) << " base=" << Op.Imm;
+      for (uint32_t J = 0; J != Op.TrigCount; ++J) {
+        const LirTrigger &T = TriggerPool[Op.TrigBase + J];
+        OS << (J ? ", " : " ") << "{" << regModeName(T.Mode) << " "
+           << slot(T.Value) << " on " << slot(T.Trig);
+        if (T.Delay >= 0)
+          OS << " after " << slot(T.Delay);
+        if (T.Cond >= 0)
+          OS << " if " << slot(T.Cond);
+        OS << "}";
+      }
+      break;
+    case LirOpc::Del:
+      OS << "del " << slot(Op.A) << ", " << slot(Op.B) << " after "
+         << slot(Op.Cc) << " base=" << Op.Imm;
+      break;
+    }
+    OS << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,199 @@
+//===- sim/Lir.h - Lowered runtime IR -----------------------------*- C++ -*-===//
+//
+// The lowered runtime IR shared by all three execution engines. A unit is
+// lowered exactly once at elaboration into a flat instruction array in
+// block order: operands become dense frame-slot indices (the unit's value
+// numbering, Unit::numberValues), constants are hoisted into a preload
+// table, phis become staged edge-copy trampolines, jump targets are
+// absolute instruction indices, and every `wait` carries its resumption
+// point. Register triggers are fully decoded (mode + value/trigger/
+// delay/condition slots + dense previous-sample index), so no engine ever
+// re-derives `reg` operand layout.
+//
+// On top of the lowering sits a process classifier:
+//   PureComb   — a straight-line probe/compute/drive sweep ending in one
+//                static wait that resumes at a fixed point; executes with
+//                no control-flow dispatch at all.
+//   ClockedReg — one static wait (the shape always_ff lowers to): the
+//                resumption point is a compile-time constant and the
+//                sensitivity set never changes, so engines skip all
+//                per-activation resumption bookkeeping and re-registration.
+//   General    — everything else (multiple waits, timeouts, or dynamic
+//                sensitivity); the engines' full paths apply.
+//
+// The interpreter and Blaze execute this form directly (sim/LirEngine.h);
+// CommSim compiles each LIR op into a closure (vsim/CommSim.cpp). The
+// only opcode-level walk over ir::Instruction lives in lowerUnit below —
+// engine semantics are shared by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_LIR_H
+#define LLHD_SIM_LIR_H
+
+#include "ir/Instruction.h"
+#include "ir/Unit.h"
+#include "sim/RtValue.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// The lowered opcode set. Pure data-flow computation is one opcode
+/// carrying the ir::Opcode for RtOps dispatch; everything else is an
+/// execution-shaped instruction.
+enum class LirOpc : uint8_t {
+  Pure,    ///< frame[Dst] = evalPureIdx(IrOp, frame, operands).
+  Prb,     ///< frame[Dst] = signal read of frame[A].
+  Drv,     ///< drive frame[A] with frame[B] after frame[C] if frame[Dd].
+  Jmp,     ///< pc = Jmp0.
+  CondJmp, ///< pc = frame[A] ? Jmp1 : Jmp0.
+  Copy,    ///< frame[Dst] = frame[A] (phi edge copies).
+  Wait,    ///< suspend; resume at Jmp0; timeout frame[A]; observe operands.
+  Halt,    ///< terminate the process.
+  Ret,     ///< return frame[A] (A = -1: void).
+  Call,    ///< frame[Dst] = call Callee(frame[operands...]).
+  Var,     ///< memory cell from frame[A]; pointer into frame[Dst].
+  Ld,      ///< frame[Dst] = memory[frame[A]].
+  St,      ///< memory[frame[A]] = frame[B].
+  Reg,     ///< register rules on target frame[A]; triggers in TriggerPool.
+  Del,     ///< transport delay: frame[A] <- sig frame[B] after frame[C].
+};
+
+const char *lirOpcName(LirOpc C);
+
+/// One fully decoded `reg` trigger: all indices are frame slots.
+struct LirTrigger {
+  RegMode Mode;
+  int32_t Value;      ///< Slot of the value stored when firing.
+  int32_t Trig;       ///< Slot of the observed trigger.
+  int32_t Delay = -1; ///< Slot of the optional store delay, -1 absent.
+  int32_t Cond = -1;  ///< Slot of the optional gate condition, -1 absent.
+};
+
+/// One lowered instruction. Fixed operands live in A/B/Cc/Dd; variadic
+/// operand lists (Pure, Wait observes, Call arguments) are spans of the
+/// unit's OperandPool.
+struct LirOp {
+  LirOpc C;
+  Opcode IrOp = Opcode::Halt; ///< Pure: the data-flow opcode.
+  int32_t Dst = -1;
+  int32_t A = -1, B = -1, Cc = -1, Dd = -1;
+  /// Pure: the insf/extf/inss/exts immediate. Reg/Del: the base index
+  /// into the instance's previous-sample state arrays.
+  uint32_t Imm = 0;
+  int32_t Jmp0 = -1, Jmp1 = -1;
+  uint32_t OpsBase = 0, OpsCount = 0;   ///< Span of LirUnit::OperandPool.
+  uint32_t TrigBase = 0, TrigCount = 0; ///< Reg: span of TriggerPool.
+  Unit *Callee = nullptr;               ///< Call.
+  /// Originating IR instruction: driver identity and diagnostics only —
+  /// never dereferenced on the hot path.
+  const Instruction *Origin = nullptr;
+};
+
+/// Structural process classification (see file header).
+enum class ProcClass : uint8_t { PureComb, ClockedReg, General };
+
+const char *procClassName(ProcClass C);
+
+/// One unit lowered for execution, shared across its instances.
+struct LirUnit {
+  Unit *U = nullptr;
+  std::vector<LirOp> Ops;
+  std::vector<int32_t> OperandPool;
+  std::vector<LirTrigger> TriggerPool;
+  /// Frame size: slots [0, NumValues) are the unit's dense value
+  /// numbering; [NumValues, NumSlots) are phi-staging scratch.
+  uint32_t NumSlots = 0;
+  uint32_t NumValues = 0;
+  /// Constant preloads into fresh frames: (slot, value).
+  std::vector<std::pair<uint32_t, RtValue>> ConstSlots;
+  /// Dense previous-sample state sizes (per instance).
+  uint32_t NumRegPrev = 0, NumDelPrev = 0;
+
+  /// Process classification results (General for entities/functions).
+  ProcClass Class = ProcClass::General;
+  /// Pc of the unique wait for PureComb/ClockedReg, else -1.
+  int32_t WaitPc = -1;
+  /// The unique wait's resumption pc for PureComb/ClockedReg, else -1.
+  int32_t ResumePc = -1;
+  /// True when every wait is free of timeouts and observes only slots no
+  /// instruction ever writes: once registered, the process's sensitivity
+  /// never changes, so engines may skip re-registration and wake-
+  /// generation churn after the first suspension.
+  bool StableWait = false;
+
+  /// Deterministic textual form for golden tests and --dump-lir.
+  std::string dump() const;
+};
+
+/// Lowers \p U into LIR. Runs the only IR-opcode walk shared by the
+/// engines; includes jump-chain threading and fall-through elision.
+LirUnit lowerUnit(Unit &U);
+
+/// Shared `reg` rule evaluation: walks the decoded triggers of one Reg
+/// op, updates the previous-sample state, and invokes
+/// `Schedule(Delay, Value, TriggerIndex)` for every firing trigger.
+/// Both direct execution (LirEngine) and the closure engine (CommSim)
+/// run their `reg` semantics through this one function.
+/// \p F indexes the frame by slot; \p Prev / \p Valid are the
+/// instance's previous-sample arrays (any vector-like type).
+template <typename Frame, typename PrevVec, typename ValidVec,
+          typename ScheduleFn>
+inline void execRegTriggers(const LirUnit &L, const LirOp &Op,
+                            const Frame &F, PrevVec &Prev,
+                            ValidVec &Valid, bool Initial,
+                            ScheduleFn &&Schedule) {
+  for (uint32_t TI = 0; TI != Op.TrigCount; ++TI) {
+    const LirTrigger &T = L.TriggerPool[Op.TrigBase + TI];
+    const RtValue &Cur = F[T.Trig];
+    uint32_t PrevIdx = Op.Imm + TI;
+    bool HavePrev = Valid[PrevIdx];
+    RtValue Pv = HavePrev ? RtValue(Prev[PrevIdx]) : Cur;
+    Prev[PrevIdx] = Cur;
+    Valid[PrevIdx] = true;
+
+    bool CurT = Cur.isTruthy();
+    bool PrevT = Pv.isTruthy();
+    bool Fire = false;
+    switch (T.Mode) {
+    case RegMode::Rise: Fire = HavePrev && !PrevT && CurT; break;
+    case RegMode::Fall: Fire = HavePrev && PrevT && !CurT; break;
+    case RegMode::Both: Fire = HavePrev && PrevT != CurT; break;
+    case RegMode::High: Fire = CurT; break;
+    case RegMode::Low:  Fire = !CurT; break;
+    }
+    if (Initial && (T.Mode == RegMode::Rise || T.Mode == RegMode::Fall ||
+                    T.Mode == RegMode::Both))
+      Fire = false;
+    if (!Fire)
+      continue;
+    if (T.Cond >= 0 && !F[T.Cond].isTruthy())
+      continue;
+    Time Delay;
+    if (T.Delay >= 0)
+      Delay = F[T.Delay].timeValue();
+    Schedule(Delay, F[T.Value], TI);
+  }
+}
+
+/// Per-module lowering cache: every unit is lowered once and shared by
+/// all instances (and both LIR-executing engines of one simulation).
+class LirCache {
+public:
+  const LirUnit &get(Unit *U) {
+    auto It = Units.find(U);
+    if (It == Units.end())
+      It = Units.emplace(U, lowerUnit(*U)).first;
+    return It->second;
+  }
+
+private:
+  std::map<Unit *, LirUnit> Units;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_LIR_H

@@ -1,0 +1,339 @@
+//===- sim/LirEngine.cpp - Direct LIR execution core ---------------------------===//
+
+#include "sim/LirEngine.h"
+#include "sim/EventLoop.h"
+#include "sim/RtOps.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace llhd;
+
+LirEngine::LirEngine(Design DIn, SimOptions O)
+    : D(std::move(DIn)), Opts(O), Tr(O.TraceMode) {}
+
+void LirEngine::preloadFrame(const LirUnit &L, const UnitInstance &UI,
+                             std::vector<RtValue> &Frame) {
+  Frame.assign(L.NumSlots, RtValue());
+  for (const auto &[Slot, V] : L.ConstSlots)
+    Frame[Slot] = V;
+  for (const auto &[Val, Ref] : UI.Bindings) {
+    uint32_t Slot = Val->valueNumber();
+    if (Slot < L.NumValues)
+      Frame[Slot] = RtValue(Ref);
+  }
+}
+
+void LirEngine::build() {
+  for (const UnitInstance &UI : D.Instances) {
+    const LirUnit &L = Cache.get(UI.U);
+    if (UI.U->isProcess()) {
+      ProcState PS;
+      PS.L = &L;
+      PS.Inst = &UI;
+      preloadFrame(L, UI, PS.Frame);
+      Procs.push_back(std::move(PS));
+    } else {
+      EntState ES;
+      ES.L = &L;
+      ES.Inst = &UI;
+      preloadFrame(L, UI, ES.Frame);
+      ES.RegPrev.assign(L.NumRegPrev, RtValue());
+      ES.RegPrevValid.assign(L.NumRegPrev, 0);
+      ES.DelPrev.assign(L.NumDelPrev, RtValue());
+      Ents.push_back(std::move(ES));
+    }
+  }
+  // Entity static sensitivity comes from Design::EntityWatchers, built
+  // at elaboration and shared by every engine.
+}
+
+//===----------------------------------------------------------------------===//
+// Function execution (immediate, §2.4.1)
+//===----------------------------------------------------------------------===//
+
+RtValue LirEngine::callFunction(Unit *Fn, std::vector<RtValue> &Args) {
+  if (Fn->isIntrinsic() || Fn->isDeclaration())
+    return callIntrinsic(Fn, Args);
+  const LirUnit &L = Cache.get(Fn);
+  auto FR = FnPool.lease();
+  std::vector<RtValue> &Frame = FR->Frame;
+  std::vector<RtValue> &Memory = FR->Memory;
+  Frame.assign(L.NumSlots, RtValue());
+  Memory.clear();
+  for (const auto &[Slot, V] : L.ConstSlots)
+    Frame[Slot] = V;
+  for (unsigned I = 0; I != Fn->inputs().size(); ++I)
+    Frame[Fn->input(I)->valueNumber()] = std::move(Args[I]);
+
+  const LirOp *Ops = L.Ops.data();
+  const int32_t *Pool = L.OperandPool.data();
+  RtValue *F = Frame.data();
+  int32_t Pc = 0;
+  uint64_t Fuel = 100000000ull; // Runaway guard.
+  while (Fuel--) {
+    const LirOp &Op = Ops[Pc];
+    switch (Op.C) {
+    case LirOpc::Ret:
+      return Op.A >= 0 ? std::move(F[Op.A]) : RtValue();
+    case LirOpc::Jmp:
+      Pc = Op.Jmp0;
+      continue;
+    case LirOpc::CondJmp:
+      Pc = F[Op.A].isTruthy() ? Op.Jmp1 : Op.Jmp0;
+      continue;
+    case LirOpc::Copy:
+      F[Op.Dst] = F[Op.A];
+      break;
+    case LirOpc::Pure:
+      F[Op.Dst] = evalPureIdx(Op.IrOp, F, Pool + Op.OpsBase, Op.OpsCount,
+                              Op.Imm, Op.Origin);
+      break;
+    case LirOpc::Var:
+      Memory.push_back(F[Op.A]);
+      F[Op.Dst] = RtValue::makePointer(Memory.size() - 1);
+      break;
+    case LirOpc::Ld:
+      F[Op.Dst] = Memory[F[Op.A].pointer()];
+      break;
+    case LirOpc::St:
+      Memory[F[Op.A].pointer()] = F[Op.B];
+      break;
+    case LirOpc::Call: {
+      RtValue R = callOp(Op, F, Pool);
+      if (Op.Dst >= 0)
+        F[Op.Dst] = std::move(R);
+      break;
+    }
+    default:
+      assert(false && "illegal op in function");
+      return RtValue();
+    }
+    ++Pc;
+  }
+  return RtValue();
+}
+
+/// Gathers a Call op's arguments (slots in the caller's operand pool)
+/// from the caller's frame into a pooled buffer and invokes the callee.
+RtValue LirEngine::callOp(const LirOp &Op, const RtValue *F,
+                          const int32_t *Pool) {
+  auto Lease = ArgPool.lease();
+  std::vector<RtValue> &Args = *Lease;
+  Args.clear();
+  for (uint32_t J = 0; J != Op.OpsCount; ++J)
+    Args.push_back(F[Pool[Op.OpsBase + J]]);
+  return callFunction(Op.Callee, Args);
+}
+
+RtValue LirEngine::callIntrinsic(Unit *Fn, const std::vector<RtValue> &Args) {
+  const std::string &N = Fn->name();
+  if (N == "llhd.assert") {
+    if (!Args.empty() && !Args[0].isTruthy()) {
+      ++Stats.AssertFailures;
+      if (getenv("LLHD_ASSERT_DEBUG")) {
+        fprintf(stderr, "assert failed at %s (+%ud)\n",
+                Now.toString().c_str(), Now.Delta);
+        for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
+          if (D.Signals.name(SI).find("result") != std::string::npos)
+            fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
+                    D.Signals.value(SI).toString().c_str());
+      }
+    }
+    return RtValue();
+  }
+  if (N == "llhd.finish") {
+    FinishRequested = true;
+    return RtValue();
+  }
+  // Unknown intrinsics are no-ops returning the default value.
+  return defaultValue(Fn->returnType());
+}
+
+//===----------------------------------------------------------------------===//
+// Process execution
+//===----------------------------------------------------------------------===//
+
+void LirEngine::runProcess(uint32_t PI) {
+  ProcState &PS = Procs[PI];
+  if (PS.State == ProcState::St::Halted)
+    return;
+  PS.State = ProcState::St::Ready;
+  ++Stats.ProcessRuns;
+  const LirUnit &L = *PS.L;
+  const LirOp *Ops = L.Ops.data();
+  const int32_t *Pool = L.OperandPool.data();
+  RtValue *F = PS.Frame.data();
+
+  // PureComb fast path: a straight probe/compute/drive sweep with no
+  // control-flow dispatch, ending in the (implicit) static wait. The
+  // sensitivity set was registered at the first suspension and never
+  // changes; no pc, wake-generation or registration bookkeeping runs.
+  if (L.Class == ProcClass::PureComb && PS.Started) {
+    const int32_t End = L.WaitPc;
+    for (int32_t Pc = L.ResumePc; Pc != End; ++Pc) {
+      const LirOp &Op = Ops[Pc];
+      switch (Op.C) {
+      case LirOpc::Pure:
+        F[Op.Dst] = evalPureIdx(Op.IrOp, F, Pool + Op.OpsBase,
+                                Op.OpsCount, Op.Imm, Op.Origin);
+        break;
+      case LirOpc::Prb:
+        F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+        break;
+      case LirOpc::Drv:
+        execDrv(Op, F, PS.Inst);
+        break;
+      case LirOpc::Copy:
+        F[Op.Dst] = F[Op.A];
+        break;
+      case LirOpc::Var:
+        PS.Memory.push_back(F[Op.A]);
+        F[Op.Dst] = RtValue::makePointer(PS.Memory.size() - 1);
+        break;
+      case LirOpc::Ld:
+        F[Op.Dst] = PS.Memory[F[Op.A].pointer()];
+        break;
+      case LirOpc::St:
+        PS.Memory[F[Op.A].pointer()] = F[Op.B];
+        break;
+      default:
+        break; // Unreachable by classification.
+      }
+    }
+    PS.State = ProcState::St::Waiting;
+    return;
+  }
+
+  // ClockedReg processes resume from the classifier's constant pc; the
+  // stored pc is only needed for the unclassified general shape.
+  int32_t Pc = L.StableWait && PS.Started ? L.ResumePc : PS.Pc;
+  uint64_t Fuel = 100000000ull;
+  while (Fuel--) {
+    const LirOp &Op = Ops[Pc];
+    switch (Op.C) {
+    case LirOpc::Halt:
+      PS.State = ProcState::St::Halted;
+      return;
+    case LirOpc::Wait: {
+      if (!L.StableWait || !PS.Started) {
+        // Register sensitivity (canonical ids) and invalidate earlier
+        // timers. Stable waits do this exactly once.
+        PS.Sensitivity.clear();
+        ++PS.WakeGen;
+        for (uint32_t J = 0; J != Op.OpsCount; ++J)
+          PS.Sensitivity.push_back(
+              D.Signals.canonical(F[Pool[Op.OpsBase + J]].sigId()));
+      }
+      if (Op.A >= 0)
+        Sched.scheduleWake(Now.advance(F[Op.A].timeValue()),
+                           {PI, PS.WakeGen});
+      PS.Started = true;
+      PS.State = ProcState::St::Waiting;
+      PS.Pc = Op.Jmp0;
+      return;
+    }
+    case LirOpc::Jmp:
+      Pc = Op.Jmp0;
+      continue;
+    case LirOpc::CondJmp:
+      Pc = F[Op.A].isTruthy() ? Op.Jmp1 : Op.Jmp0;
+      continue;
+    case LirOpc::Copy:
+      F[Op.Dst] = F[Op.A];
+      break;
+    case LirOpc::Prb:
+      F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+      break;
+    case LirOpc::Drv:
+      execDrv(Op, F, PS.Inst);
+      break;
+    case LirOpc::Pure:
+      F[Op.Dst] = evalPureIdx(Op.IrOp, F, Pool + Op.OpsBase, Op.OpsCount,
+                              Op.Imm, Op.Origin);
+      break;
+    case LirOpc::Var:
+      PS.Memory.push_back(F[Op.A]);
+      F[Op.Dst] = RtValue::makePointer(PS.Memory.size() - 1);
+      break;
+    case LirOpc::Ld:
+      F[Op.Dst] = PS.Memory[F[Op.A].pointer()];
+      break;
+    case LirOpc::St:
+      PS.Memory[F[Op.A].pointer()] = F[Op.B];
+      break;
+    case LirOpc::Call: {
+      RtValue R = callOp(Op, F, Pool);
+      if (Op.Dst >= 0)
+        F[Op.Dst] = std::move(R);
+      break;
+    }
+    default:
+      assert(false && "illegal op in process");
+      PS.State = ProcState::St::Halted;
+      return;
+    }
+    ++Pc;
+  }
+  PS.State = ProcState::St::Halted; // Fuel exhausted: treat as hung.
+}
+
+//===----------------------------------------------------------------------===//
+// Entity evaluation
+//===----------------------------------------------------------------------===//
+
+void LirEngine::execReg(EntState &ES, const LirOp &Op, bool Initial) {
+  const RtValue *F = ES.Frame.data();
+  SigRef Target = F[Op.A].sigRef();
+  execRegTriggers(*ES.L, Op, F, ES.RegPrev, ES.RegPrevValid, Initial,
+                  [&](Time Delay, const RtValue &Val, uint32_t TI) {
+                    Sched.scheduleUpdate(
+                        driveTarget(Now, Delay),
+                        {Target, Val, driverId(ES.Inst, Op.Origin) + TI});
+                    Sched.countScheduled(1);
+                  });
+}
+
+void LirEngine::evalEntity(uint32_t EI, bool Initial) {
+  EntState &ES = Ents[EI];
+  ++Stats.EntityEvals;
+  const LirUnit &L = *ES.L;
+  const int32_t *Pool = L.OperandPool.data();
+  RtValue *F = ES.Frame.data();
+  for (const LirOp &Op : L.Ops) {
+    switch (Op.C) {
+    case LirOpc::Pure:
+      F[Op.Dst] = evalPureIdx(Op.IrOp, F, Pool + Op.OpsBase, Op.OpsCount,
+                              Op.Imm, Op.Origin);
+      break;
+    case LirOpc::Prb:
+      F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+      break;
+    case LirOpc::Drv:
+      execDrv(Op, F, ES.Inst);
+      break;
+    case LirOpc::Reg:
+      execReg(ES, Op, Initial);
+      break;
+    case LirOpc::Del: {
+      RtValue Src = D.Signals.read(F[Op.B].sigRef());
+      RtValue &Prev = ES.DelPrev[Op.Imm];
+      if (Initial || Prev != Src) {
+        Prev = Src;
+        Sched.scheduleUpdate(Now.advance(F[Op.Cc].timeValue()),
+                             {F[Op.A].sigRef(), Src,
+                              driverId(ES.Inst, Op.Origin)});
+        Sched.countScheduled(1);
+      }
+      break;
+    }
+    default:
+      assert(false && "illegal op in entity");
+      break;
+    }
+  }
+}
+
+SimStats LirEngine::run() {
+  return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+}

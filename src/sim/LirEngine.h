@@ -1,0 +1,151 @@
+//===- sim/LirEngine.h - Direct LIR execution core --------------*- C++ -*-===//
+//
+// The shared LIR execution core behind the reference interpreter
+// (LLHD-Sim) and the Blaze engine: per-instance frames are dense slot
+// arrays preloaded with constants and signal bindings, processes run a
+// flat pc-dispatch loop over LirOps, entities run a single front-to-back
+// sweep, and functions execute from pooled frames. The classifier's fast
+// paths live here: PureComb processes re-evaluate via a straight sweep
+// with no control-flow dispatch, and ClockedReg processes resume from a
+// compile-time-constant pc with no sensitivity re-registration or wake-
+// generation churn (see procSenseStable / EventLoop.h).
+//
+// The two engines instantiating this core differ only in what they feed
+// it: Interp lowers the caller's module as-is; Blaze clones and runs the
+// optimisation pipeline first (its "JIT" configuration).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_LIRENGINE_H
+#define LLHD_SIM_LIRENGINE_H
+
+#include "sim/Design.h"
+#include "sim/Interp.h" // SimOptions / SimStats.
+#include "sim/Lir.h"
+#include "support/DepthPool.h"
+
+#include <vector>
+
+namespace llhd {
+
+/// Direct executor of the lowered runtime IR; implements the EventLoop
+/// engine contract.
+class LirEngine {
+public:
+  /// Takes ownership of an elaborated design. Call build() before run()
+  /// when the design is valid.
+  LirEngine(Design DIn, SimOptions O);
+
+  /// Lowers every instantiated unit (once per unit, shared across
+  /// instances) and sets up the per-instance execution state.
+  void build();
+
+  /// Runs the shared event loop to completion.
+  SimStats run();
+
+  //===------------------------------------------------------------------===//
+  // EventLoop hooks
+  //===------------------------------------------------------------------===//
+
+  uint32_t numProcs() const { return Procs.size(); }
+  uint32_t numEnts() const { return Ents.size(); }
+  bool procWaiting(uint32_t PI) const {
+    return Procs[PI].State == ProcState::St::Waiting;
+  }
+  bool procHalted(uint32_t PI) const {
+    return Procs[PI].State == ProcState::St::Halted;
+  }
+  const std::vector<SignalId> &procSensitivity(uint32_t PI) const {
+    return Procs[PI].Sensitivity;
+  }
+  uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
+  void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
+  /// True when the process's registered sensitivity outlives every
+  /// activation (single static wait): the event loop then registers it
+  /// once and skips the per-activation invalidate/re-register cycle.
+  bool procSenseStable(uint32_t PI) const {
+    return Procs[PI].L->StableWait;
+  }
+  bool finishRequested() const { return FinishRequested; }
+
+  void runProcess(uint32_t PI);
+  void evalEntity(uint32_t EI, bool Initial);
+
+  //===------------------------------------------------------------------===//
+  // Shared state
+  //===------------------------------------------------------------------===//
+
+  Design D;
+  SimOptions Opts;
+  Scheduler Sched;
+  Trace Tr;
+  SimStats Stats;
+  Time Now;
+  bool FinishRequested = false;
+  LirCache Cache;
+
+private:
+  struct ProcState {
+    const LirUnit *L = nullptr;
+    const UnitInstance *Inst = nullptr;
+    std::vector<RtValue> Frame;
+    std::vector<RtValue> Memory;
+    int32_t Pc = 0;
+    /// Set at the first suspension; afterwards classified processes
+    /// resume from the LIR's constant resumption point.
+    bool Started = false;
+    enum class St : uint8_t { Ready, Waiting, Halted } State = St::Ready;
+    std::vector<SignalId> Sensitivity;
+    uint64_t WakeGen = 0;
+  };
+
+  struct EntState {
+    const LirUnit *L = nullptr;
+    const UnitInstance *Inst = nullptr;
+    std::vector<RtValue> Frame;
+    std::vector<RtValue> RegPrev;
+    std::vector<uint8_t> RegPrevValid;
+    std::vector<RtValue> DelPrev;
+  };
+
+  void preloadFrame(const LirUnit &L, const UnitInstance &UI,
+                    std::vector<RtValue> &Frame);
+
+  /// Unique driver identity per (instance, originating instruction).
+  static uint64_t driverId(const void *Tag, const Instruction *I) {
+    return (reinterpret_cast<uintptr_t>(Tag) << 20) ^
+           reinterpret_cast<uintptr_t>(I);
+  }
+
+  void execDrv(const LirOp &Op, const RtValue *F, const void *Tag) {
+    if (Op.Dd >= 0 && !F[Op.Dd].isTruthy())
+      return;
+    Sched.scheduleUpdate(driveTarget(Now, F[Op.Cc].timeValue()),
+                         {F[Op.A].sigRef(), F[Op.B],
+                          driverId(Tag, Op.Origin)});
+    Sched.countScheduled(1);
+  }
+
+  void execReg(EntState &ES, const LirOp &Op, bool Initial);
+
+  RtValue callFunction(Unit *F, std::vector<RtValue> &Args);
+  RtValue callOp(const LirOp &Op, const RtValue *F, const int32_t *Pool);
+  RtValue callIntrinsic(Unit *F, const std::vector<RtValue> &Args);
+
+  std::vector<ProcState> Procs;
+  std::vector<EntState> Ents;
+
+  /// Depth-indexed pools of function frames and call-argument buffers,
+  /// reused across calls so steady-state function execution does not
+  /// allocate.
+  struct FnFrame {
+    std::vector<RtValue> Frame;
+    std::vector<RtValue> Memory;
+  };
+  DepthPool<FnFrame> FnPool;
+  DepthPool<std::vector<RtValue>> ArgPool;
+};
+
+} // namespace llhd
+
+#endif // LLHD_SIM_LIRENGINE_H

@@ -351,20 +351,13 @@ RtValue evalPureImpl(Opcode Op, const OpsT &Ops, size_t NumOps,
   }
   case Opcode::Exts: {
     if (Ops[0].isSignal()) {
-      unsigned Len = I->type()->isSignal()
-                         ? cast<SignalType>(I->type())->inner()->bitWidth()
-                         : 0;
-      // Array-of-signal slices keep element granularity; only int/logic
-      // slicing is bit-granular.
+      // Array-of-signal slices keep element granularity (a SigRef
+      // element range); only int/logic slicing is bit-granular.
       Type *Inner = cast<SignalType>(I->type())->inner();
-      if (Inner->isArray()) {
-        SigRef R = Ops[0].sigRef();
-        // Represent an array slice as a bit-range over elements? Keep it
-        // simple: array slices of signals are not supported.
-        assert(false && "array slices of signals are unsupported");
-        return RtValue(R);
-      }
-      return RtValue(Ops[0].sigRef().bits(Imm, Len));
+      if (Inner->isArray())
+        return RtValue(Ops[0].sigRef().elements(
+            Imm, cast<ArrayType>(Inner)->length()));
+      return RtValue(Ops[0].sigRef().bits(Imm, Inner->bitWidth()));
     }
     if (Ops[0].isInt()) {
       unsigned W = I->type()->bitWidth();
@@ -423,6 +416,12 @@ RtValue llhd::readSubValue(const RtValue &V, const SigRef &Ref) {
   const RtValue *Cur = &V;
   for (uint32_t Idx : Ref.Path)
     Cur = &Cur->elements()[Idx];
+  if (Ref.ElemOff >= 0) {
+    const auto &Es = Cur->elements();
+    std::vector<RtValue> Out(Es.begin() + Ref.ElemOff,
+                             Es.begin() + Ref.ElemOff + Ref.ElemLen);
+    return RtValue::makeArray(std::move(Out));
+  }
   if (Ref.BitOff < 0)
     return *Cur;
   if (Cur->isInt())
@@ -434,6 +433,13 @@ void llhd::writeSubValue(RtValue &V, const SigRef &Ref, const RtValue &Sub) {
   RtValue *Cur = &V;
   for (uint32_t Idx : Ref.Path)
     Cur = &Cur->elements()[Idx];
+  if (Ref.ElemOff >= 0) {
+    const auto &Src = Sub.elements();
+    auto &Dst = Cur->elements();
+    for (uint32_t J = 0; J != Ref.ElemLen; ++J)
+      Dst[Ref.ElemOff + J] = Src[J];
+    return;
+  }
   if (Ref.BitOff < 0) {
     *Cur = Sub;
     return;

@@ -32,26 +32,56 @@ using SignalId = uint32_t;
 constexpr SignalId InvalidSignal = ~SignalId(0);
 
 /// A reference to (part of) a signal: an element path through aggregate
-/// layers plus an optional bit range, produced by extf/exts on signals.
+/// layers, then an optional element range (array slices, `exts` on
+/// array-typed signals) or an optional bit range (int/logic slices),
+/// produced by extf/exts on signals. A reference carries at most one of
+/// the two ranges: a bit slice of an array slice is not constructible.
 struct SigRef {
   SignalId Sig = InvalidSignal;
   std::vector<uint32_t> Path; ///< Aggregate element indices, outermost first.
+  int32_t ElemOff = -1;       ///< -1: not an array slice.
+  uint32_t ElemLen = 0;
   int32_t BitOff = -1;        ///< -1: whole element.
   uint32_t BitLen = 0;
 
   bool valid() const { return Sig != InvalidSignal; }
-  bool wholeSignal() const { return Path.empty() && BitOff < 0; }
+  bool wholeSignal() const {
+    return Path.empty() && ElemOff < 0 && BitOff < 0;
+  }
 
   /// Narrows this reference by an element index.
   SigRef element(uint32_t Index) const {
     SigRef R = *this;
     assert(R.BitOff < 0 && "cannot take an element of a bit slice");
+    if (R.ElemOff >= 0) {
+      // An element of an array slice is element ElemOff+Index of the
+      // sliced array.
+      assert(Index < R.ElemLen && "element outside the array slice");
+      Index += R.ElemOff;
+      R.ElemOff = -1;
+      R.ElemLen = 0;
+    }
     R.Path.push_back(Index);
+    return R;
+  }
+  /// Narrows this reference by an element range (array slice).
+  SigRef elements(uint32_t Off, uint32_t Len) const {
+    SigRef R = *this;
+    assert(R.BitOff < 0 && "cannot take elements of a bit slice");
+    if (R.ElemOff >= 0) {
+      assert(Off + Len <= R.ElemLen && "array slice out of range");
+      R.ElemOff += Off;
+      R.ElemLen = Len;
+    } else {
+      R.ElemOff = Off;
+      R.ElemLen = Len;
+    }
     return R;
   }
   /// Narrows this reference by a bit range.
   SigRef bits(uint32_t Off, uint32_t Len) const {
     SigRef R = *this;
+    assert(R.ElemOff < 0 && "cannot take bits of an array slice");
     if (R.BitOff < 0) {
       R.BitOff = Off;
       R.BitLen = Len;
@@ -64,7 +94,8 @@ struct SigRef {
   }
 
   bool operator==(const SigRef &RHS) const {
-    return Sig == RHS.Sig && Path == RHS.Path && BitOff == RHS.BitOff &&
+    return Sig == RHS.Sig && Path == RHS.Path && ElemOff == RHS.ElemOff &&
+           ElemLen == RHS.ElemLen && BitOff == RHS.BitOff &&
            BitLen == RHS.BitLen;
   }
   bool operator<(const SigRef &RHS) const {
@@ -72,6 +103,10 @@ struct SigRef {
       return Sig < RHS.Sig;
     if (Path != RHS.Path)
       return Path < RHS.Path;
+    if (ElemOff != RHS.ElemOff)
+      return ElemOff < RHS.ElemOff;
+    if (ElemLen != RHS.ElemLen)
+      return ElemLen < RHS.ElemLen;
     if (BitOff != RHS.BitOff)
       return BitOff < RHS.BitOff;
     return BitLen < RHS.BitLen;
@@ -101,7 +136,9 @@ public:
   }
   explicit RtValue(Time T) : K(Kind::TimeVal) { TV = T; }
   explicit RtValue(SigRef S) : K(Kind::Signal) {
-    if (S.Path.empty()) {
+    // Inline storage covers a whole signal or a plain bit slice; refs
+    // with a path or an element range are boxed.
+    if (S.Path.empty() && S.ElemOff < 0) {
       SigBoxed = false;
       SRI.Sig = S.Sig;
       SRI.BitOff = S.BitOff;

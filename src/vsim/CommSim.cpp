@@ -1,11 +1,22 @@
 //===- vsim/CommSim.cpp - Commercial-simulator stand-in ------------------------===//
+//
+// The closure-compiled comparison engine, rebuilt on the shared lowered
+// runtime IR (sim/Lir.h): each LirOp is compiled once per unit into a
+// closure over a register file, and execution threads a pc through the
+// closure vector. CommSim performs no opcode walk over ir::Instruction —
+// the one lowering in sim/Lir.cpp feeds all three engines, so value and
+// scheduling semantics are shared by construction while the execution
+// style (std::function dispatch, the ethos of classic compiled-code
+// simulators) stays independent.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vsim/CommSim.h"
 #include "sim/EventLoop.h"
+#include "sim/Lir.h"
 #include "sim/RtOps.h"
 #include "support/DepthPool.h"
 
-#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,27 +30,18 @@ namespace {
 
 struct CsExec; // Per-activation execution context.
 
-/// One compiled step: mutates the register file / schedules events.
-using Step = std::function<void(CsExec &)>;
-/// A compiled terminator: returns the next block index, or -1 to halt,
-/// -2 to suspend (wait), -3 to return from a function.
-using Term = std::function<int(CsExec &)>;
+/// One compiled op: mutates the register file / schedules events and
+/// returns the next pc, or a sentinel: CsHalt, CsRet, or a wait encoded
+/// as -(resume pc) + CsWaitBase.
+constexpr int CsHalt = -1;
+constexpr int CsRet = -2;
+constexpr int CsWaitBase = -3; ///< Wait: returns CsWaitBase - resume pc.
+using CsOp = std::function<int(CsExec &)>;
 
-/// A compiled basic block.
-struct CsBlock {
-  std::vector<Step> Steps;
-  Term Terminator;
-};
-
-/// A compiled unit, shared across instances. Register indices are the
-/// unit's dense value numbering (Unit::numberValues), so no per-value
-/// map is needed.
+/// A unit compiled to closures, shared across instances.
 struct CsUnit {
-  Unit *U = nullptr;
-  std::vector<CsBlock> Blocks;
-  uint32_t NumRegs = 0;
-  std::vector<std::pair<uint32_t, RtValue>> Preload; // Constants.
-  uint32_t NumRegPrev = 0, NumDelPrev = 0;
+  const LirUnit *L = nullptr;
+  std::vector<CsOp> Ops;
 };
 
 /// Per-activation state the closures operate on.
@@ -56,6 +58,7 @@ struct CsExec {
   bool Initial = false;
   // Wait results.
   std::vector<SignalId> *Sensitivity = nullptr;
+  bool SkipSense = false; ///< Stable sensitivity already registered.
   bool TimeoutSet = false;
   Time Timeout;
 };
@@ -73,307 +76,174 @@ struct CommSimImplRef {
 
 namespace {
 
-/// Compiles one unit to closures.
-class CsCompiler {
-public:
-  explicit CsCompiler(Unit &U) { compile(U); }
-  CsUnit take() { return std::move(CU); }
+uint64_t csDriverId(const void *Tag, const Instruction *I) {
+  return (reinterpret_cast<uintptr_t>(Tag) << 20) ^
+         reinterpret_cast<uintptr_t>(I);
+}
 
-private:
-  uint32_t regOf(Value *V) {
-    assert(V->valueNumber() < CU.NumRegs && "value not numbered");
-    return V->valueNumber();
-  }
-
-  void compile(Unit &U) {
-    CU.U = &U;
-    CU.NumRegs = U.numberValues();
-    // Block indices are the dense block numbering (blocks() order).
-    for (BasicBlock *BB : U.blocks()) {
-      CsBlock CB;
-      for (Instruction *I : BB->insts()) {
-        if (I->isTerminator()) {
-          CB.Terminator = compileTerminator(I);
-          continue;
-        }
-        if (Step S = compileStep(I, BB))
-          CB.Steps.push_back(std::move(S));
-      }
-      if (!CB.Terminator)
-        CB.Terminator = [](CsExec &) { return -1; }; // Entity body.
-      CU.Blocks.push_back(std::move(CB));
+/// Compiles one lowered unit to closures: a per-LirOpc dispatch, not a
+/// per-ir::Opcode one.
+CsUnit compileUnit(const LirUnit &L) {
+  CsUnit CU;
+  CU.L = &L;
+  CU.Ops.reserve(L.Ops.size());
+  for (size_t PcIdx = 0; PcIdx != L.Ops.size(); ++PcIdx) {
+    const LirOp &Op = L.Ops[PcIdx];
+    const int Next = static_cast<int>(PcIdx) + 1;
+    switch (Op.C) {
+    case LirOpc::Pure: {
+      const int32_t *Idx = L.OperandPool.data() + Op.OpsBase;
+      CU.Ops.push_back([Op, Idx, Next](CsExec &X) {
+        X.R[Op.Dst] = evalPureIdx(Op.IrOp, X.R.data(), Idx, Op.OpsCount,
+                                  Op.Imm, Op.Origin);
+        return Next;
+      });
+      break;
     }
-  }
-
-  Step compileStep(Instruction *I, BasicBlock *BB) {
-    switch (I->opcode()) {
-    case Opcode::Const:
-      CU.Preload.push_back({regOf(I), constValue(*I)});
-      return nullptr;
-    case Opcode::Sig:
-    case Opcode::Con:
-    case Opcode::InstOp:
-      (void)regOf(I);
-      return nullptr; // Elaborated.
-    case Opcode::Phi: {
-      // Compiled as block-entry selects over the dynamic predecessor:
-      // handled by the terminator writing PredIdx; here we read the
-      // incoming register chosen by the recorded predecessor.
-      uint32_t Dst = regOf(I);
-      std::vector<std::pair<int, uint32_t>> Incoming;
-      for (unsigned J = 0; J != I->numIncoming(); ++J)
-        Incoming.push_back({(int)I->incomingBlock(J)->valueNumber(),
-                            regOf(I->incomingValue(J))});
-      return [Dst, Incoming](CsExec &X) {
-        // PredIdx is stashed in RetVal's pointer field by terminators;
-        // see makeJump below.
-        uint32_t Pred = X.RetVal.isPointer() ? X.RetVal.pointer() : 0;
-        for (auto &[B, R] : Incoming)
-          if (static_cast<uint32_t>(B) == Pred) {
-            X.R[Dst] = X.R[R];
-            return;
-          }
-      };
-    }
-    case Opcode::Prb: {
-      if (I->type()->isSignal())
-        return nullptr;
-      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
-      return [Dst, A](CsExec &X) {
-        X.R[Dst] = X.Eng->Signals->read(X.R[A].sigRef());
-      };
-    }
-    case Opcode::Drv: {
-      uint32_t S = regOf(I->operand(0)), V = regOf(I->operand(1)),
-               D = regOf(I->operand(2));
-      int C = I->numOperands() == 4 ? (int)regOf(I->operand(3)) : -1;
-      const Instruction *Src = I;
-      return [S, V, D, C, Src](CsExec &X) {
-        if (C >= 0 && !X.R[C].isTruthy())
-          return;
-        uint64_t Driver = (reinterpret_cast<uintptr_t>(X.InstanceTag)
-                           << 20) ^
-                          reinterpret_cast<uintptr_t>(Src);
+    case LirOpc::Prb:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        X.R[Op.Dst] = X.Eng->Signals->read(X.R[Op.A].sigRef());
+        return Next;
+      });
+      break;
+    case LirOpc::Drv:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        if (Op.Dd >= 0 && !X.R[Op.Dd].isTruthy())
+          return Next;
         X.Eng->Sched->scheduleUpdate(
-            driveTarget(*X.Eng->Now, X.R[D].timeValue()),
-            {X.R[S].sigRef(), X.R[V], Driver});
+            driveTarget(*X.Eng->Now, X.R[Op.Cc].timeValue()),
+            {X.R[Op.A].sigRef(), X.R[Op.B],
+             csDriverId(X.InstanceTag, Op.Origin)});
         X.Eng->Sched->countScheduled(1);
-      };
+        return Next;
+      });
+      break;
+    case LirOpc::Jmp: {
+      const int T = Op.Jmp0;
+      CU.Ops.push_back([T](CsExec &) { return T; });
+      break;
     }
-    case Opcode::Var:
-    case Opcode::Alloc: {
-      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
-      return [Dst, A](CsExec &X) {
-        X.Memory.push_back(X.R[A]);
-        X.R[Dst] = RtValue::makePointer(X.Memory.size() - 1);
-      };
+    case LirOpc::CondJmp: {
+      const int TF = Op.Jmp0, TT = Op.Jmp1;
+      const int32_t A = Op.A;
+      CU.Ops.push_back(
+          [A, TF, TT](CsExec &X) { return X.R[A].isTruthy() ? TT : TF; });
+      break;
     }
-    case Opcode::Ld: {
-      uint32_t Dst = regOf(I), A = regOf(I->operand(0));
-      return [Dst, A](CsExec &X) {
-        X.R[Dst] = X.Memory[X.R[A].pointer()];
-      };
+    case LirOpc::Copy:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        X.R[Op.Dst] = X.R[Op.A];
+        return Next;
+      });
+      break;
+    case LirOpc::Wait: {
+      const int32_t *Obs = L.OperandPool.data() + Op.OpsBase;
+      CU.Ops.push_back([Op, Obs](CsExec &X) {
+        if (!X.SkipSense) {
+          X.Sensitivity->clear();
+          for (uint32_t J = 0; J != Op.OpsCount; ++J)
+            X.Sensitivity->push_back(
+                X.Eng->Signals->canonical(X.R[Obs[J]].sigId()));
+        }
+        X.TimeoutSet = Op.A >= 0;
+        if (X.TimeoutSet)
+          X.Timeout = X.R[Op.A].timeValue();
+        return CsWaitBase - Op.Jmp0;
+      });
+      break;
     }
-    case Opcode::St: {
-      uint32_t A = regOf(I->operand(0)), B = regOf(I->operand(1));
-      return [A, B](CsExec &X) { X.Memory[X.R[A].pointer()] = X.R[B]; };
+    case LirOpc::Halt:
+      CU.Ops.push_back([](CsExec &) { return CsHalt; });
+      break;
+    case LirOpc::Ret: {
+      const int32_t A = Op.A;
+      CU.Ops.push_back([A](CsExec &X) {
+        X.RetVal = A >= 0 ? X.R[A] : RtValue();
+        return CsRet;
+      });
+      break;
     }
-    case Opcode::Free:
-      return nullptr;
-    case Opcode::Call: {
-      int Dst = I->type()->isVoid() ? -1 : (int)regOf(I);
-      std::vector<uint32_t> Args;
-      for (unsigned J = 0; J != I->numOperands(); ++J)
-        Args.push_back(regOf(I->operand(J)));
-      Unit *Callee = I->callee();
-      return [Dst, Args, Callee](CsExec &X) {
+    case LirOpc::Call: {
+      const int32_t *ArgIdx = L.OperandPool.data() + Op.OpsBase;
+      CU.Ops.push_back([Op, ArgIdx, Next](CsExec &X) {
         std::vector<RtValue> Vals;
-        Vals.reserve(Args.size());
-        for (uint32_t R : Args)
-          Vals.push_back(X.R[R]);
-        RtValue Ret = X.Eng->CallFn(Callee, std::move(Vals));
-        if (Dst >= 0)
-          X.R[Dst] = std::move(Ret);
-      };
+        Vals.reserve(Op.OpsCount);
+        for (uint32_t J = 0; J != Op.OpsCount; ++J)
+          Vals.push_back(X.R[ArgIdx[J]]);
+        RtValue Ret = X.Eng->CallFn(Op.Callee, std::move(Vals));
+        if (Op.Dst >= 0)
+          X.R[Op.Dst] = std::move(Ret);
+        return Next;
+      });
+      break;
     }
-    case Opcode::Reg: {
-      uint32_t Target = regOf(I->operand(0));
-      struct TrigMeta {
-        RegMode Mode;
-        uint32_t Val, Trig;
-        int Delay, Cond;
-        uint32_t PrevIdx;
-      };
-      std::vector<TrigMeta> Metas;
-      for (unsigned TI = 0; TI != I->regTriggers().size(); ++TI) {
-        const RegTrigger &T = I->regTriggers()[TI];
-        TrigMeta M;
-        M.Mode = T.Mode;
-        M.Val = regOf(I->operand(T.ValueIdx));
-        M.Trig = regOf(I->operand(T.TriggerIdx));
-        M.Delay = T.DelayIdx >= 0 ? (int)regOf(I->operand(T.DelayIdx)) : -1;
-        M.Cond = T.CondIdx >= 0 ? (int)regOf(I->operand(T.CondIdx)) : -1;
-        M.PrevIdx = CU.NumRegPrev++;
-        Metas.push_back(M);
-      }
-      const Instruction *Src = I;
-      return [Target, Metas, Src](CsExec &X) {
-        for (unsigned TI = 0; TI != Metas.size(); ++TI) {
-          const TrigMeta &M = Metas[TI];
-          RtValue Cur = X.R[M.Trig];
-          bool HavePrev = (*X.RegPrevValid)[M.PrevIdx];
-          RtValue Prev = HavePrev ? (*X.RegPrev)[M.PrevIdx] : Cur;
-          (*X.RegPrev)[M.PrevIdx] = Cur;
-          (*X.RegPrevValid)[M.PrevIdx] = true;
-          bool CurT = Cur.isTruthy(), PrevT = Prev.isTruthy();
-          bool Fire = false;
-          switch (M.Mode) {
-          case RegMode::Rise: Fire = HavePrev && !PrevT && CurT; break;
-          case RegMode::Fall: Fire = HavePrev && PrevT && !CurT; break;
-          case RegMode::Both: Fire = HavePrev && PrevT != CurT; break;
-          case RegMode::High: Fire = CurT; break;
-          case RegMode::Low:  Fire = !CurT; break;
-          }
-          if (X.Initial &&
-              (M.Mode == RegMode::Rise || M.Mode == RegMode::Fall ||
-               M.Mode == RegMode::Both))
-            Fire = false;
-          if (!Fire)
-            continue;
-          if (M.Cond >= 0 && !X.R[M.Cond].isTruthy())
-            continue;
-          Time Delay;
-          if (M.Delay >= 0)
-            Delay = X.R[M.Delay].timeValue();
-          uint64_t Driver = ((reinterpret_cast<uintptr_t>(X.InstanceTag)
-                              << 20) ^
-                             reinterpret_cast<uintptr_t>(Src)) +
-                            TI;
+    case LirOpc::Var:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        X.Memory.push_back(X.R[Op.A]);
+        X.R[Op.Dst] = RtValue::makePointer(X.Memory.size() - 1);
+        return Next;
+      });
+      break;
+    case LirOpc::Ld:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        X.R[Op.Dst] = X.Memory[X.R[Op.A].pointer()];
+        return Next;
+      });
+      break;
+    case LirOpc::St:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        X.Memory[X.R[Op.A].pointer()] = X.R[Op.B];
+        return Next;
+      });
+      break;
+    case LirOpc::Reg: {
+      const LirUnit *LP = &L;
+      CU.Ops.push_back([Op, LP, Next](CsExec &X) {
+        SigRef Target = X.R[Op.A].sigRef();
+        // The fire/previous-sample semantics are the shared
+        // execRegTriggers; only the scheduling hookup is CommSim's.
+        execRegTriggers(
+            *LP, Op, X.R, *X.RegPrev, *X.RegPrevValid, X.Initial,
+            [&](Time Delay, const RtValue &Val, uint32_t TI) {
+              X.Eng->Sched->scheduleUpdate(
+                  driveTarget(*X.Eng->Now, Delay),
+                  {Target, Val, csDriverId(X.InstanceTag, Op.Origin) + TI});
+              X.Eng->Sched->countScheduled(1);
+            });
+        return Next;
+      });
+      break;
+    }
+    case LirOpc::Del:
+      CU.Ops.push_back([Op, Next](CsExec &X) {
+        RtValue Cur = X.Eng->Signals->read(X.R[Op.B].sigRef());
+        RtValue &Prev = (*X.DelPrev)[Op.Imm];
+        if (X.Initial || Prev != Cur) {
+          Prev = Cur;
           X.Eng->Sched->scheduleUpdate(
-              driveTarget(*X.Eng->Now, Delay),
-              {X.R[Target].sigRef(), X.R[M.Val], Driver});
+              X.Eng->Now->advance(X.R[Op.Cc].timeValue()),
+              {X.R[Op.A].sigRef(), Cur,
+               csDriverId(X.InstanceTag, Op.Origin)});
           X.Eng->Sched->countScheduled(1);
         }
-      };
-    }
-    case Opcode::Del: {
-      uint32_t T = regOf(I->operand(0)), S = regOf(I->operand(1)),
-               D = regOf(I->operand(2));
-      uint32_t PrevIdx = CU.NumDelPrev++;
-      const Instruction *Src = I;
-      return [T, S, D, PrevIdx, Src](CsExec &X) {
-        RtValue Cur = X.Eng->Signals->read(X.R[S].sigRef());
-        RtValue &Prev = (*X.DelPrev)[PrevIdx];
-        if (!X.Initial && Prev == Cur)
-          return;
-        Prev = Cur;
-        uint64_t Driver = (reinterpret_cast<uintptr_t>(X.InstanceTag)
-                           << 20) ^
-                          reinterpret_cast<uintptr_t>(Src);
-        X.Eng->Sched->scheduleUpdate(
-            X.Eng->Now->advance(X.R[D].timeValue()),
-            {X.R[T].sigRef(), Cur, Driver});
-        X.Eng->Sched->countScheduled(1);
-      };
-    }
-    case Opcode::Extf:
-    case Opcode::Exts:
-      if (I->type()->isSignal() && BB->parent()->isEntity()) {
-        (void)regOf(I);
-        return nullptr; // Bound at elaboration.
-      }
-      [[fallthrough]];
-    default: {
-      assert(I->isPureDataFlow() && "unexpected opcode");
-      uint32_t Dst = regOf(I);
-      std::vector<int32_t> Srcs;
-      for (unsigned J = 0; J != I->numOperands(); ++J)
-        Srcs.push_back(regOf(I->operand(J)));
-      Opcode Op = I->opcode();
-      unsigned Imm = I->immediate();
-      const Instruction *Src = I;
-      return [Dst, Srcs, Op, Imm, Src](CsExec &X) {
-        X.R[Dst] = evalPureIdx(Op, X.R.data(), Srcs.data(), Srcs.size(),
-                               Imm, Src);
-      };
-    }
+        return Next;
+      });
+      break;
     }
   }
-
-  Term compileTerminator(Instruction *I) {
-    int Self = I->parent()->valueNumber();
-    switch (I->opcode()) {
-    case Opcode::Halt:
-      return [](CsExec &) { return -1; };
-    case Opcode::Ret: {
-      int A = I->numOperands() == 1 ? (int)regOf(I->operand(0)) : -1;
-      return [A](CsExec &X) {
-        X.RetVal = A >= 0 ? X.R[A] : RtValue();
-        return -3;
-      };
-    }
-    case Opcode::Br: {
-      if (I->numOperands() == 1) {
-        int T = cast<BasicBlock>(I->operand(0))->valueNumber();
-        return [T, Self](CsExec &X) {
-          X.RetVal = RtValue::makePointer(Self);
-          return T;
-        };
-      }
-      uint32_t C = regOf(I->operand(0));
-      int TF = I->brDest(0)->valueNumber(),
-          TT = I->brDest(1)->valueNumber();
-      return [C, TF, TT, Self](CsExec &X) {
-        X.RetVal = RtValue::makePointer(Self);
-        return X.R[C].isTruthy() ? TT : TF;
-      };
-    }
-    case Opcode::Wait: {
-      int Dest = I->waitDest()->valueNumber();
-      int TimeoutReg = -1;
-      std::vector<uint32_t> Observed;
-      for (unsigned J = 1, E = I->numOperands(); J != E; ++J) {
-        if (I->operand(J)->type()->isTime())
-          TimeoutReg = regOf(I->operand(J));
-        else
-          Observed.push_back(regOf(I->operand(J)));
-      }
-      return [Dest, TimeoutReg, Observed, Self](CsExec &X) {
-        X.RetVal = RtValue::makePointer(Self);
-        X.Sensitivity->clear();
-        for (uint32_t R : Observed)
-          X.Sensitivity->push_back(
-              X.Eng->Signals->canonical(X.R[R].sigId()));
-        X.TimeoutSet = TimeoutReg >= 0;
-        if (X.TimeoutSet)
-          X.Timeout = X.R[TimeoutReg].timeValue();
-        // Suspend; the resume block is encoded as -(Dest + 2).
-        return -(Dest + 2);
-      };
-    }
-    default:
-      assert(false && "unexpected terminator");
-      return [](CsExec &) { return -1; };
-    }
-  }
-
-  CsUnit CU;
-};
-
-} // namespace
+  return CU;
+}
 
 //===----------------------------------------------------------------------===//
-// Engine
+// Runtime state
 //===----------------------------------------------------------------------===//
-
-namespace {
 
 struct CsProcState {
   const CsUnit *CU = nullptr;
   const UnitInstance *Inst = nullptr;
   CsExec X;
-  int CurBlock = 0;
-  int ResumeBlock = 0;
+  int Pc = 0;
+  bool Started = false;
   enum class St { Ready, Waiting, Halted } State = St::Ready;
   std::vector<SignalId> Sensitivity;
   std::vector<RtValue> RegPrev, DelPrev;
@@ -391,6 +261,10 @@ struct CsEntState {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
 struct CommSim::Impl {
   Design D;
   SimOptions Opts;
@@ -402,6 +276,7 @@ struct CommSim::Impl {
   std::string Err;
   CommSimImplRef Services;
 
+  LirCache Lir;
   std::map<Unit *, CsUnit> Units;
   std::vector<CsProcState> Procs;
   std::vector<CsEntState> Ents;
@@ -432,17 +307,16 @@ struct CommSim::Impl {
     auto It = Units.find(U);
     if (It != Units.end())
       return It->second;
-    CsCompiler C(*U);
-    return Units.emplace(U, C.take()).first->second;
+    return Units.emplace(U, compileUnit(Lir.get(U))).first->second;
   }
 
   void preload(const CsUnit &CU, const UnitInstance &UI, CsExec &X) {
-    X.R.assign(CU.NumRegs, RtValue());
-    for (const auto &[Slot, V] : CU.Preload)
+    X.R.assign(CU.L->NumSlots, RtValue());
+    for (const auto &[Slot, V] : CU.L->ConstSlots)
       X.R[Slot] = V;
     for (const auto &[Val, Ref] : UI.Bindings) {
       uint32_t Reg = Val->valueNumber();
-      if (Reg < CU.NumRegs)
+      if (Reg < CU.L->NumValues)
         X.R[Reg] = RtValue(Ref);
     }
     X.Eng = &Services;
@@ -457,10 +331,9 @@ struct CommSim::Impl {
         PS.Inst = &UI;
         preload(CU, UI, PS.X);
         PS.X.InstanceTag = &UI;
-        PS.X.Sensitivity = &PS.Sensitivity;
-        PS.RegPrev.assign(CU.NumRegPrev, RtValue());
-        PS.RegPrevValid.assign(CU.NumRegPrev, false);
-        PS.DelPrev.assign(CU.NumDelPrev, RtValue());
+        PS.RegPrev.assign(CU.L->NumRegPrev, RtValue());
+        PS.RegPrevValid.assign(CU.L->NumRegPrev, false);
+        PS.DelPrev.assign(CU.L->NumDelPrev, RtValue());
         Procs.push_back(std::move(PS));
       } else {
         CsEntState ES;
@@ -468,14 +341,14 @@ struct CommSim::Impl {
         ES.Inst = &UI;
         preload(CU, UI, ES.X);
         ES.X.InstanceTag = &UI;
-        ES.RegPrev.assign(CU.NumRegPrev, RtValue());
-        ES.RegPrevValid.assign(CU.NumRegPrev, false);
-        ES.DelPrev.assign(CU.NumDelPrev, RtValue());
+        ES.RegPrev.assign(CU.L->NumRegPrev, RtValue());
+        ES.RegPrevValid.assign(CU.L->NumRegPrev, false);
+        ES.DelPrev.assign(CU.L->NumDelPrev, RtValue());
         Ents.push_back(std::move(ES));
       }
     }
-    // Re-point the aux vectors (vector moves above invalidate nothing,
-    // but the CsExec pointers must target the final locations).
+    // Re-point the aux vectors at their final locations (the vectors
+    // above were moved into place).
     for (CsProcState &PS : Procs) {
       PS.X.Sensitivity = &PS.Sensitivity;
       PS.X.RegPrev = &PS.RegPrev;
@@ -509,22 +382,19 @@ struct CommSim::Impl {
     auto Lease = FnPool.lease();
     CsExec &X = *Lease;
     X.Eng = &Services;
-    X.R.assign(CU.NumRegs, RtValue());
+    X.R.assign(CU.L->NumSlots, RtValue());
     X.Memory.clear();
-    for (const auto &[Slot, V] : CU.Preload)
+    for (const auto &[Slot, V] : CU.L->ConstSlots)
       X.R[Slot] = V;
     for (unsigned I = 0; I != F->inputs().size(); ++I)
       X.R[F->input(I)->valueNumber()] = std::move(Args[I]);
-    int Block = 0;
+    int Pc = 0;
     uint64_t Fuel = 10000000ull;
     while (Fuel--) {
-      const CsBlock &CB = CU.Blocks[Block];
-      for (const Step &S : CB.Steps)
-        S(X);
-      int Next = CB.Terminator(X);
-      if (Next == -3 || Next < 0)
+      int Next = CU.Ops[Pc](X);
+      if (Next < 0)
         return std::move(X.RetVal);
-      Block = Next;
+      Pc = Next;
     }
     return RtValue();
   }
@@ -536,29 +406,31 @@ struct CommSim::Impl {
     PS.State = CsProcState::St::Ready;
     ++Stats.ProcessRuns;
     const CsUnit &CU = *PS.CU;
-    int Block = PS.CurBlock;
+    // Classified processes resume from the compile-time-constant pc and
+    // keep their one-time sensitivity registration.
+    int Pc = CU.L->StableWait && PS.Started ? CU.L->ResumePc : PS.Pc;
+    PS.X.SkipSense = CU.L->StableWait && PS.Started;
     uint64_t Fuel = 10000000ull;
     while (Fuel--) {
-      const CsBlock &CB = CU.Blocks[Block];
-      for (const Step &S : CB.Steps)
-        S(PS.X);
-      int Next = CB.Terminator(PS.X);
-      if (Next == -1) {
+      int Next = CU.Ops[Pc](PS.X);
+      if (Next >= 0) {
+        Pc = Next;
+        continue;
+      }
+      if (Next == CsHalt || Next == CsRet) {
         PS.State = CsProcState::St::Halted;
         return;
       }
-      if (Next <= -2) {
-        // Wait: resume block is encoded as -(Dest + 2).
-        int Dest = -Next - 2;
+      // Wait: resume pc is encoded as CsWaitBase - pc.
+      int Dest = CsWaitBase - Next;
+      if (!PS.X.SkipSense)
         ++PS.WakeGen;
-        if (PS.X.TimeoutSet)
-          Sched.scheduleWake(Now.advance(PS.X.Timeout),
-                             {PI, PS.WakeGen});
-        PS.State = CsProcState::St::Waiting;
-        PS.CurBlock = Dest;
-        return;
-      }
-      Block = Next;
+      if (PS.X.TimeoutSet)
+        Sched.scheduleWake(Now.advance(PS.X.Timeout), {PI, PS.WakeGen});
+      PS.Started = true;
+      PS.State = CsProcState::St::Waiting;
+      PS.Pc = Dest;
+      return;
     }
     PS.State = CsProcState::St::Halted;
   }
@@ -567,9 +439,8 @@ struct CommSim::Impl {
     CsEntState &ES = Ents[EI];
     ++Stats.EntityEvals;
     ES.X.Initial = Initial;
-    const CsBlock &CB = ES.CU->Blocks.front();
-    for (const Step &S : CB.Steps)
-      S(ES.X);
+    for (const CsOp &Op : ES.CU->Ops)
+      Op(ES.X);
   }
 
   //===------------------------------------------------------------------===//
@@ -589,6 +460,9 @@ struct CommSim::Impl {
   }
   uint64_t procWakeGen(uint32_t PI) const { return Procs[PI].WakeGen; }
   void procBumpWakeGen(uint32_t PI) { ++Procs[PI].WakeGen; }
+  bool procSenseStable(uint32_t PI) const {
+    return Procs[PI].CU->L->StableWait;
+  }
   bool finishRequested() const { return FinishRequested; }
 
   SimStats run() {

@@ -307,6 +307,35 @@ endmodule
   EXPECT_EQ(St.AssertFailures, 0u);
 }
 
+TEST_F(MooreTest, DynamicPartSelectAssignment) {
+  // x[i +: W] with a dynamic base lowers to a shift/mask
+  // read-modify-write on the packed vector.
+  const char *Src = R"(
+module dynsel_tb;
+  bit [7:0] x;
+  bit [2:0] i;
+  initial begin
+    x = 8'hFF;
+    i = 3'd2;
+    #1ns;
+    x[i +: 3] = 3'b010;
+    #1ns;
+    assert(x == 8'hEB);
+    x[i +: 3] = 3'b111;
+    #1ns;
+    assert(x == 8'hFF);
+    $finish;
+  end
+endmodule
+)";
+  std::string Top = compile(Src, "dynsel_tb");
+  ASSERT_FALSE(Top.empty());
+  SimStats S = simulate(Top);
+  EXPECT_EQ(S.AssertFailures, 0u);
+  EXPECT_TRUE(S.Finished);
+  EXPECT_EQ(signalValue("/x").intValue().zextToU64(), 0xFFu);
+}
+
 TEST_F(MooreTest, ReportsUnknownModule) {
   moore::CompileResult R =
       moore::compileSystemVerilog("module a; endmodule", "missing", M);

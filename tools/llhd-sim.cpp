@@ -16,6 +16,7 @@
 #include "blaze/Blaze.h"
 #include "moore/Compiler.h"
 #include "sim/Interp.h"
+#include "sim/Lir.h"
 #include "sim/Wave.h"
 #include "vsim/CommSim.h"
 
@@ -49,6 +50,9 @@ void printUsage() {
           "  --stats          print run statistics to stderr\n"
           "  --list-signals   print the elaborated signal hierarchy and\n"
           "                   exit without simulating\n"
+          "  --dump-lir       print the lowered runtime IR (and process\n"
+          "                   classification) of every instantiated\n"
+          "                   unit, then exit without simulating\n"
           "  --sv, --llhd     force the input language (default: by\n"
           "                   file extension; stdin defaults to .llhd)\n");
 }
@@ -72,6 +76,7 @@ struct DriverConfig {
   bool NoOpt = false;
   bool Stats = false;
   bool ListSignals = false;
+  bool DumpLir = false;
   SimOptions Opts;
 };
 
@@ -211,6 +216,8 @@ int main(int Argc, char **Argv) {
       Cfg.Stats = true;
     } else if (A == "--list-signals") {
       Cfg.ListSignals = true;
+    } else if (A == "--dump-lir") {
+      Cfg.DumpLir = true;
     } else if (A == "--sv") {
       Language = 2;
     } else if (A == "--llhd") {
@@ -292,6 +299,31 @@ int main(int Argc, char **Argv) {
     }
     return M;
   };
+
+  if (Cfg.DumpLir) {
+    std::string Top, Error;
+    std::unique_ptr<Module> M = buildModule(File, Top, Error);
+    if (!M) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return 1;
+    }
+    Design D = elaborate(*M, Top);
+    if (!D.ok()) {
+      fprintf(stderr, "llhd-sim: %s\n", D.Error.c_str());
+      return 1;
+    }
+    // One lowering per distinct unit, in first-instantiation order --
+    // exactly what the engines execute.
+    LirCache Cache;
+    std::vector<Unit *> Seen;
+    for (const UnitInstance &UI : D.Instances) {
+      if (std::find(Seen.begin(), Seen.end(), UI.U) != Seen.end())
+        continue;
+      Seen.push_back(UI.U);
+      fputs(Cache.get(UI.U).dump().c_str(), stdout);
+    }
+    return 0;
+  }
 
   if (Cfg.ListSignals) {
     std::string Top, Error;
