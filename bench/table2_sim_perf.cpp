@@ -37,6 +37,7 @@ struct Row {
   std::string Name;
   uint64_t Cycles;
   double IntS, JitS, CommS;
+  double CompileMs; ///< Blaze elaborate+codegen+host-compile wall time.
   bool TracesMatch;
 };
 
@@ -132,7 +133,7 @@ void writeJson(const std::string &Path, double Scale,
   auto nsPerCycle = [](double Sec, uint64_t Cycles) {
     return Cycles ? Sec * 1e9 / (double)Cycles : 0.0;
   };
-  double GInt = 0, GJit = 0, GComm = 0;
+  double GInt = 0, GJit = 0, GComm = 0, SumCompile = 0;
   fprintf(F, "{\n  \"bench\": \"table2_sim_perf\",\n");
   fprintf(F, "  \"scale\": %g,\n  \"designs\": [\n", Scale);
   for (size_t I = 0; I != Rows.size(); ++I) {
@@ -143,19 +144,25 @@ void writeJson(const std::string &Path, double Scale,
     GInt += std::log(NInt);
     GJit += std::log(NJit);
     GComm += std::log(NComm);
+    SumCompile += R.CompileMs;
     fprintf(F,
             "    {\"name\": \"%s\", \"cycles\": %llu, "
             "\"interp_ns_per_cycle\": %.1f, \"blaze_ns_per_cycle\": %.1f, "
-            "\"comm_ns_per_cycle\": %.1f, \"traces_match\": %s}%s\n",
+            "\"comm_ns_per_cycle\": %.1f, \"blaze_compile_ms\": %.1f, "
+            "\"traces_match\": %s}%s\n",
             R.Name.c_str(), (unsigned long long)R.Cycles, NInt, NJit,
-            NComm, R.TracesMatch ? "true" : "false",
+            NComm, R.CompileMs, R.TracesMatch ? "true" : "false",
             I + 1 != Rows.size() ? "," : "");
   }
   size_t N = Rows.empty() ? 1 : Rows.size();
   fprintf(F, "  ],\n  \"geomean_ns_per_cycle\": ");
+  // New fields must stay behind "comm": parseGeomeans() scans this line
+  // with a fixed prefix.
   fprintf(F,
-          "{\"interp\": %.1f, \"blaze\": %.1f, \"comm\": %.1f}\n}\n",
-          std::exp(GInt / N), std::exp(GJit / N), std::exp(GComm / N));
+          "{\"interp\": %.1f, \"blaze\": %.1f, \"comm\": %.1f, "
+          "\"blaze_compile_ms_total\": %.1f}\n}\n",
+          std::exp(GInt / N), std::exp(GJit / N), std::exp(GComm / N),
+          SumCompile);
   fclose(F);
   printf("wrote %s\n", Path.c_str());
 }
@@ -167,6 +174,9 @@ int main(int argc, char **argv) {
   unsigned Reps =
       std::max(1u, (unsigned)argFloat(argc, argv, "reps", 1));
   bool Verify = !argFlag(argc, argv, "no-verify");
+  // --no-jit: ablation switch, runs Blaze through the LIR interpreter
+  // instead of native code (the pre-JIT configuration).
+  bool NoJit = argFlag(argc, argv, "no-jit");
   std::string JsonPath = argStr(argc, argv, "json", "BENCH_sim.json");
   // Optional waveform dump: attaches the VCD observer to every timed
   // run (so the numbers then include tracing overhead), cross-checks
@@ -179,10 +189,11 @@ int main(int argc, char **argv) {
          "cycle counts)\n",
          Scale);
   printf("Engines: Int. = LLHD-Sim reference interpreter, JIT = "
-         "LLHD-Blaze, Comm. = CommSim stand-in\n\n");
-  printf("%-16s %5s %10s %12s %12s %12s %8s %7s\n", "Design", "LoC",
-         "Cycles", "Int. [s]", "JIT [s]", "Comm. [s]", "Int/JIT",
-         "JIT/Comm");
+         "LLHD-Blaze%s, Comm. = CommSim stand-in\n\n",
+         NoJit ? " (native codegen OFF, --no-jit)" : "");
+  printf("%-16s %5s %10s %12s %12s %12s %9s %8s %7s\n", "Design", "LoC",
+         "Cycles", "Int. [s]", "JIT [s]", "Comm. [s]", "Comp.[ms]",
+         "Int/JIT", "JIT/Comm");
 
   for (const designs::DesignInfo &D : designs::allDesigns(Scale)) {
     Context Ctx;
@@ -205,6 +216,7 @@ int main(int argc, char **argv) {
     // gate relies on. Trace/VCD comparisons use the last repetition
     // (the digests are identical across reps by determinism).
     double TInt = 1e300, TJit = 1e300, TComm = 1e300;
+    double CompileMs = 0;
     SimStats S1, S2, S3;
     std::unique_ptr<InterpSim> Int;
     std::unique_ptr<BlazeSim> Jit;
@@ -220,7 +232,15 @@ int main(int argc, char **argv) {
       BlazeSim::BlazeOptions BOpts;
       static_cast<SimOptions &>(BOpts) = Opts;
       BOpts.Wave = DumpVcd && LastRep ? &WJit : nullptr;
-      Jit = std::make_unique<BlazeSim>(M2, R2.TopUnit, BOpts);
+      if (NoJit)
+        BOpts.Jit.M = jit::JitOptions::Mode::Off;
+      // Blaze's compile time (optimise + elaborate + codegen + host
+      // compile) all happens in the constructor. The first rep is the
+      // honest number; later reps hit the source-hash object cache.
+      double TBuild = timeIt(
+          [&] { Jit = std::make_unique<BlazeSim>(M2, R2.TopUnit, BOpts); });
+      if (Rep == 0)
+        CompileMs = TBuild * 1e3;
       TJit = std::min(TJit, timeIt([&] { S2 = Jit->run(); }));
 
       Opts.Wave = DumpVcd && LastRep ? &WComm : nullptr;
@@ -249,12 +269,13 @@ int main(int argc, char **argv) {
         !WInt.writeToFile(VcdDir + "/" + D.Key + ".vcd"))
       printf("%-16s cannot write %s/%s.vcd\n", "", VcdDir.c_str(),
              D.Key.c_str());
-    Rows.push_back({D.PaperName, D.Iterations, TInt, TJit, TComm, Match});
+    Rows.push_back(
+        {D.PaperName, D.Iterations, TInt, TJit, TComm, CompileMs, Match});
 
-    printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %8.1f %7.2f%s\n",
+    printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %9.1f %8.1f %7.2f%s\n",
            D.PaperName.c_str(), locOf(D.Source),
            static_cast<unsigned long long>(D.Iterations), TInt, TJit,
-           TComm, TJit > 0 ? TInt / TJit : 0.0,
+           TComm, CompileMs, TJit > 0 ? TInt / TJit : 0.0,
            TComm > 0 ? TJit / TComm : 0.0, Status);
   }
   printf("\nShape note: all three engines now execute one shared lowered "

@@ -45,7 +45,7 @@ struct BlazeSim::Impl {
       Err = D.Error;
       return;
     }
-    Eng = std::make_unique<LirEngine>(std::move(D), O);
+    Eng = std::make_unique<LirEngine>(std::move(D), O, O.Jit);
     Eng->build();
   }
 };
@@ -69,4 +69,12 @@ const SignalTable &BlazeSim::signals() const {
 }
 const Design &BlazeSim::design() const {
   return P->Eng ? P->Eng->D : P->EmptyD;
+}
+const jit::JitStats &BlazeSim::jitStats() const {
+  static const jit::JitStats Empty;
+  return P->Eng ? P->Eng->jitStats() : Empty;
+}
+const std::string &BlazeSim::jitSource() const {
+  static const std::string Empty;
+  return P->Eng ? P->Eng->jitSource() : Empty;
 }

@@ -14,6 +14,7 @@
 #ifndef LLHD_BLAZE_BLAZE_H
 #define LLHD_BLAZE_BLAZE_H
 
+#include "jit/Jit.h"
 #include "sim/Interp.h"
 
 namespace llhd {
@@ -26,6 +27,10 @@ public:
     /// (the "JIT with optimisations" configuration; disable for the
     /// ablation bench).
     bool Optimize = true;
+    /// Native code generation (src/jit/): on by default; every failure
+    /// mode (no host compiler, unsupported ops) falls back to the
+    /// interpreted LIR path per process.
+    jit::JitOptions Jit{jit::JitOptions::Mode::On, ""};
   };
 
   /// Compiles \p Top of \p M. The module itself is left untouched: the
@@ -43,6 +48,10 @@ public:
   const SignalTable &signals() const;
   /// The elaborated design this engine simulates.
   const Design &design() const;
+  /// What the JIT did at construction (Enabled false when off).
+  const jit::JitStats &jitStats() const;
+  /// The generated C++ translation unit ("" when nothing was emitted).
+  const std::string &jitSource() const;
 
 private:
   struct Impl;

@@ -1,0 +1,124 @@
+//===- jit/Codegen.h - LIR to C++ translation -------------------*- C++ -*-===//
+//
+// Translates lowered process units (sim/Lir.h) into self-contained C++
+// source for host compilation (jit/HostCompiler.h). A process that
+// survives planning becomes one extern "C" function over a flat
+// uint64_t lane array: every live int slot (width <= 64) owns one lane,
+// flat arrays of such ints own one lane per element, and `var` cells
+// get static lanes appended after the slots. Side effects — probes,
+// drives, waits, intrinsic calls — go through the function-pointer
+// table in jit/Runtime.h, so the generated translation unit needs no
+// headers and no symbols from the engine.
+//
+// Planning is conservative: any op the emitter cannot prove two-state
+// width <= 64 (wide ints, logic, structs, nested arrays, dynamic drive
+// delays, real function calls, signal-producing computation, pointer
+// escapes) rejects that process with a recorded reason, and the engine
+// keeps interpreting it. Correctness never depends on planning
+// succeeding; the emitted semantics are bit-identical to
+// RtOps.cpp/IntValue.cpp by construction and are cross-checked by the
+// designs-suite digest sweep in tests/jit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_JIT_CODEGEN_H
+#define LLHD_JIT_CODEGEN_H
+
+#include "sim/Lir.h"
+
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class Type;
+
+namespace jit {
+
+/// The ABI version the engine expects; embedded in every generated
+/// translation unit and checked after dlopen.
+constexpr int AbiVersion = 1;
+
+/// One probe site: the generated code calls back with this index, the
+/// engine reads the signal referenced by frame slot \p SigSlot.
+struct PrbPlan {
+  uint32_t Pc;
+  int32_t SigSlot;
+};
+
+/// One drive site. The delay is required to be a compile-time constant
+/// (a ConstSlots entry); the signal reference and driver identity are
+/// resolved per instance at bind time.
+struct DrvPlan {
+  uint32_t Pc;
+  int32_t SigSlot;
+  int32_t DelaySlot;
+  unsigned Width;     ///< Scalar value width, or element width for arrays.
+  uint32_t NumElems;  ///< 0: scalar drive; else array element count.
+  const Instruction *Origin;
+};
+
+/// One intrinsic call site.
+struct CallPlan {
+  enum Kind : uint8_t { Assert, Finish };
+  uint32_t Pc;
+  Kind K;
+};
+
+/// One wait site. The generated function returns the site's index when
+/// suspending there; the engine registers sensitivity/timeout from this
+/// plan and re-enters at \p ResumeEntry on the next wake.
+struct WaitPlan {
+  uint32_t Pc;
+  std::vector<int32_t> Observed; ///< Signal slots (static bindings).
+  int32_t TimeoutSlot = -1;      ///< Const time slot, -1 when absent.
+  int32_t ResumeEntry = 0;       ///< Entry value: wait index + 1.
+};
+
+/// The translation plan of one process unit: either a full lane layout
+/// plus the side-effect site tables, or the reason translation was
+/// declined.
+struct UnitPlan {
+  const LirUnit *L = nullptr;
+  bool Native = false;
+  std::string DeoptReason; ///< Set when !Native.
+
+  /// uint64_t lane layout: slots first, `var` cells appended.
+  uint32_t NumLanes = 0;
+  std::vector<int32_t> LaneOf;    ///< Slot -> first lane, -1 unassigned.
+  std::vector<uint32_t> LanesOf;  ///< Slot -> lane count.
+  std::vector<int32_t> CellLane;  ///< Per Var op (pc order) -> first lane.
+  /// Constant preloads: (lane, masked value), from ConstSlots.
+  std::vector<std::pair<uint32_t, uint64_t>> ConstLanes;
+
+  std::vector<PrbPlan> Prbs;
+  std::vector<DrvPlan> Drvs;
+  std::vector<CallPlan> Calls;
+  std::vector<WaitPlan> Waits;
+
+  /// Recovered static slot types (IR Type per slot, null when unknown).
+  std::vector<Type *> SlotType;
+
+  /// Function symbol in the generated TU; set by emitUnit.
+  std::string Symbol;
+};
+
+/// Decides whether \p L can run natively and computes the lane layout
+/// and site tables. Never fails hard: an unsupported shape returns a
+/// plan with Native == false and a DeoptReason.
+UnitPlan planUnit(const LirUnit &L);
+
+/// The translation unit's shared prologue: the uint64_t helpers
+/// (masking, shifts, division — bit-identical to RtOps.cpp's fast
+/// path), the LlhdJitApi function-pointer table type, and the ABI
+/// version symbol.
+std::string emitPrelude();
+
+/// Emits the function for one planned unit (Native must be true) and
+/// records its symbol (derived from \p Index) in the plan.
+std::string emitUnit(UnitPlan &P, unsigned Index);
+
+} // namespace jit
+} // namespace llhd
+
+#endif // LLHD_JIT_CODEGEN_H

@@ -1,0 +1,184 @@
+//===- jit/HostCompiler.cpp - Shared-object compilation -------------------===//
+
+#include "jit/HostCompiler.h"
+#include "jit/Codegen.h" // AbiVersion.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace llhd;
+using namespace llhd::jit;
+
+namespace {
+
+/// FNV-1a over the generated source: the key of the process-wide cache
+/// of loaded objects (same source => same object, e.g. bench reps).
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 14695981039346656037ull;
+  for (char C : S) {
+    H ^= (unsigned char)C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+bool isExecutable(const std::string &Path) {
+  return !Path.empty() && access(Path.c_str(), X_OK) == 0;
+}
+
+/// Resolves a bare command name against PATH.
+bool onPath(const std::string &Cmd) {
+  const char *Path = getenv("PATH");
+  if (!Path)
+    return false;
+  std::string P(Path);
+  size_t Pos = 0;
+  while (Pos <= P.size()) {
+    size_t End = P.find(':', Pos);
+    if (End == std::string::npos)
+      End = P.size();
+    std::string Dir = P.substr(Pos, End - Pos);
+    if (!Dir.empty() && isExecutable(Dir + "/" + Cmd))
+      return true;
+    Pos = End + 1;
+  }
+  return false;
+}
+
+std::string readFile(const std::string &Path) {
+  std::string Out;
+  if (FILE *Fp = fopen(Path.c_str(), "rb")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = fread(Buf, 1, sizeof(Buf), Fp)) > 0)
+      Out.append(Buf, N);
+    fclose(Fp);
+  }
+  return Out;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  FILE *Fp = fopen(Path.c_str(), "wb");
+  if (!Fp)
+    return false;
+  size_t N = fwrite(Data.data(), 1, Data.size(), Fp);
+  bool Ok = N == Data.size() && fflush(Fp) == 0;
+  fclose(Fp);
+  return Ok;
+}
+
+void removeTree(const std::string &Dir) {
+  for (const char *Name : {"jit.cpp", "jit.so", "jit.log"})
+    unlink((Dir + "/" + Name).c_str());
+  rmdir(Dir.c_str());
+}
+
+} // namespace
+
+std::string HostCompiler::findCompiler() {
+  // 1. The test/override hook: used verbatim, even when bogus — a bad
+  //    path exercises the compile-failure fallback; the empty string
+  //    disables compilation.
+  if (const char *Env = getenv("LLHD_JIT_CXX"))
+    return Env;
+  // 2. The compiler CMake configured this build with.
+#ifdef LLHD_HOST_CXX
+  if (isExecutable(LLHD_HOST_CXX))
+    return LLHD_HOST_CXX;
+#endif
+  // 3. Whatever the environment offers.
+  for (const char *Cand : {"c++", "g++", "clang++"})
+    if (onPath(Cand))
+      return Cand;
+  return "";
+}
+
+CompileResult HostCompiler::compile(const std::string &Source) {
+  CompileResult R;
+  R.Compiler = findCompiler();
+  if (R.Compiler.empty()) {
+    R.Error = "no host C++ compiler found (checked $LLHD_JIT_CXX, the "
+              "configured compiler, and c++/g++/clang++ on PATH)";
+    return R;
+  }
+  R.CompilerFound = true;
+
+  // Availability is checked before the cache so that a run with the
+  // compiler disabled can never be satisfied by an earlier run's
+  // cached object.
+  static std::map<uint64_t, void *> Cache;
+  uint64_t Key = fnv1a(R.Compiler + '\0' + Source);
+  auto It = Cache.find(Key);
+  if (It != Cache.end()) {
+    R.Handle = It->second;
+    return R;
+  }
+
+  const char *Base = getenv("LLHD_JIT_TMPDIR");
+  if (!Base)
+    Base = getenv("TMPDIR");
+  if (!Base)
+    Base = "/tmp";
+  std::string Templ = std::string(Base) + "/llhd-jit-XXXXXX";
+  std::vector<char> Dir(Templ.begin(), Templ.end());
+  Dir.push_back('\0');
+  if (!mkdtemp(Dir.data())) {
+    R.Error = std::string("cannot create temp dir under '") + Base +
+              "': " + strerror(errno);
+    return R;
+  }
+  std::string D(Dir.data());
+  std::string Src = D + "/jit.cpp", So = D + "/jit.so", Log = D + "/jit.log";
+  bool Keep = getenv("LLHD_JIT_KEEP") != nullptr;
+
+  if (!writeFile(Src, Source)) {
+    R.Error = "cannot write '" + Src + "': " + strerror(errno);
+    if (!Keep)
+      removeTree(D);
+    return R;
+  }
+
+  R.Command = "'" + R.Compiler + "' -std=c++17 -O2 -fPIC -shared -o '" +
+              So + "' '" + Src + "' > '" + Log + "' 2>&1";
+  int Rc = system(R.Command.c_str());
+  if (Rc != 0) {
+    R.Diagnostics = readFile(Log);
+    R.Error = "host compiler failed (exit status " + std::to_string(Rc) +
+              "): " + R.Command;
+    if (!Keep)
+      removeTree(D);
+    return R;
+  }
+
+  void *H = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!H) {
+    const char *E = dlerror();
+    R.Error = std::string("dlopen failed: ") + (E ? E : "unknown error");
+    if (!Keep)
+      removeTree(D);
+    return R;
+  }
+  // The mapping survives unlinking the file; only the handle matters.
+  if (!Keep)
+    removeTree(D);
+
+  int *Abi = reinterpret_cast<int *>(dlsym(H, "llhd_jit_abi_version"));
+  if (!Abi || *Abi != AbiVersion) {
+    R.Error = "generated object has ABI version " +
+              (Abi ? std::to_string(*Abi) : std::string("<missing>")) +
+              ", engine expects " + std::to_string(AbiVersion);
+    return R;
+  }
+
+  Cache[Key] = H;
+  R.Handle = H;
+  return R;
+}

@@ -1,0 +1,53 @@
+//===- jit/Jit.h - JIT options and statistics -------------------*- C++ -*-===//
+//
+// The light-weight JIT configuration surface: options chosen by the
+// caller (engine constructors, llhd-sim's --jit flag, the bench
+// ablations) and the statistics the engine reports back. Kept free of
+// heavy includes so sim/LirEngine.h and blaze/Blaze.h can expose JIT
+// knobs without pulling in codegen or the host-compiler machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_JIT_JIT_H
+#define LLHD_JIT_JIT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace llhd {
+namespace jit {
+
+/// Per-engine JIT configuration.
+struct JitOptions {
+  enum class Mode : uint8_t {
+    Off,  ///< Interpret everything (today's behaviour).
+    On,   ///< Compile what planning admits, interpret the rest.
+    Dump, ///< Like On, but also write the generated C++ to DumpPath.
+  };
+  Mode M = Mode::Off;
+  /// Destination of the generated translation unit in Dump mode.
+  std::string DumpPath;
+};
+
+/// What the JIT did for one engine build; see LirEngine::jitStats().
+struct JitStats {
+  bool Enabled = false;       ///< Mode was On or Dump.
+  bool CompilerFound = false; ///< A host compiler was discovered.
+  bool Compiled = false;      ///< The shared object loaded and bound.
+  double CompileSeconds = 0;  ///< Plan + emit + host compile + dlopen.
+  unsigned NativeUnits = 0;   ///< Process units running as native code.
+  unsigned DeoptUnits = 0;    ///< Process units kept on the interpreter.
+  unsigned NativeProcs = 0;   ///< Process instances bound to native code.
+  unsigned InterpProcs = 0;   ///< Process instances interpreted.
+  /// (unit name, reason) for every deopted unit, in plan order.
+  std::vector<std::pair<std::string, std::string>> Deopts;
+  /// Set when the whole engine degraded to interpretation (no compiler,
+  /// compile failure, unloadable object); also printed to stderr once.
+  std::string Warning;
+};
+
+} // namespace jit
+} // namespace llhd
+
+#endif // LLHD_JIT_JIT_H

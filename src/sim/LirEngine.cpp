@@ -1,6 +1,7 @@
 //===- sim/LirEngine.cpp - Direct LIR execution core ---------------------------===//
 
 #include "sim/LirEngine.h"
+#include "jit/Runtime.h"
 #include "sim/EventLoop.h"
 #include "sim/RtOps.h"
 
@@ -9,8 +10,10 @@
 
 using namespace llhd;
 
-LirEngine::LirEngine(Design DIn, SimOptions O)
-    : D(std::move(DIn)), Opts(O), Tr(O.TraceMode) {}
+LirEngine::LirEngine(Design DIn, SimOptions O, jit::JitOptions J)
+    : D(std::move(DIn)), Opts(O), Tr(O.TraceMode), JitOpts(std::move(J)) {}
+
+LirEngine::~LirEngine() = default;
 
 void LirEngine::preloadFrame(const LirUnit &L, const UnitInstance &UI,
                              std::vector<RtValue> &Frame) {
@@ -46,6 +49,69 @@ void LirEngine::build() {
   }
   // Entity static sensitivity comes from Design::EntityWatchers, built
   // at elaboration and shared by every engine.
+  buildJit();
+}
+
+//===----------------------------------------------------------------------===//
+// Native code (src/jit/)
+//===----------------------------------------------------------------------===//
+
+void LirEngine::buildJit() {
+  if (JitOpts.M == jit::JitOptions::Mode::Off)
+    return;
+  JitMod = std::make_unique<jit::JitModule>(JitOpts);
+  JitMod->compile(*this);
+  for (uint32_t PI = 0; PI != Procs.size(); ++PI) {
+    ProcState &PS = Procs[PI];
+    const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+    if (!NU) {
+      ++JitMod->St.InterpProcs;
+      continue;
+    }
+    auto Ctx = std::make_unique<jit::ProcContext>();
+    if (!JitMod->bindProcess(*this, PI, *NU, *PS.Inst, PS.Frame, *Ctx)) {
+      ++JitMod->St.InterpProcs;
+      continue;
+    }
+    PS.Jit = Ctx.get();
+    JitCtxs.push_back(std::move(Ctx));
+    ++JitMod->St.NativeProcs;
+  }
+}
+
+const jit::JitStats &LirEngine::jitStats() const {
+  static const jit::JitStats Empty;
+  return JitMod ? JitMod->St : Empty;
+}
+
+const std::string &LirEngine::jitSource() const {
+  static const std::string Empty;
+  return JitMod ? JitMod->Source : Empty;
+}
+
+void LirEngine::runProcessNative(uint32_t PI) {
+  ProcState &PS = Procs[PI];
+  PS.State = ProcState::St::Ready;
+  ++Stats.ProcessRuns;
+  jit::ProcContext &C = *PS.Jit;
+  long long R = C.Fn(jit::apiTable(), &C, C.Lanes.data(), PS.Entry);
+  if (R < 0) {
+    // -1: halt; -2: fuel exhausted — same treatment as the
+    // interpreter's runaway guard.
+    PS.State = ProcState::St::Halted;
+    return;
+  }
+  const jit::WaitSite &W = C.Waits[R];
+  const LirUnit &L = *PS.L;
+  if (!L.StableWait || !PS.Started) {
+    PS.Sensitivity.assign(W.Sens.begin(), W.Sens.end());
+    ++PS.WakeGen;
+  }
+  if (W.HasTimeout)
+    Sched.scheduleWake(Now.advance(W.Timeout), {PI, PS.WakeGen});
+  PS.Started = true;
+  PS.State = ProcState::St::Waiting;
+  PS.Entry = W.ResumeEntry;
 }
 
 //===----------------------------------------------------------------------===//
@@ -126,24 +192,28 @@ RtValue LirEngine::callOp(const LirOp &Op, const RtValue *F,
   return callFunction(Op.Callee, Args);
 }
 
+void LirEngine::intrinsicAssert(bool Ok) {
+  if (Ok)
+    return;
+  ++Stats.AssertFailures;
+  if (getenv("LLHD_ASSERT_DEBUG")) {
+    fprintf(stderr, "assert failed at %s (+%ud)\n", Now.toString().c_str(),
+            Now.Delta);
+    for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
+      if (D.Signals.name(SI).find("result") != std::string::npos)
+        fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
+                D.Signals.value(SI).toString().c_str());
+  }
+}
+
 RtValue LirEngine::callIntrinsic(Unit *Fn, const std::vector<RtValue> &Args) {
   const std::string &N = Fn->name();
   if (N == "llhd.assert") {
-    if (!Args.empty() && !Args[0].isTruthy()) {
-      ++Stats.AssertFailures;
-      if (getenv("LLHD_ASSERT_DEBUG")) {
-        fprintf(stderr, "assert failed at %s (+%ud)\n",
-                Now.toString().c_str(), Now.Delta);
-        for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
-          if (D.Signals.name(SI).find("result") != std::string::npos)
-            fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
-                    D.Signals.value(SI).toString().c_str());
-      }
-    }
+    intrinsicAssert(Args.empty() || Args[0].isTruthy());
     return RtValue();
   }
   if (N == "llhd.finish") {
-    FinishRequested = true;
+    intrinsicFinish();
     return RtValue();
   }
   // Unknown intrinsics are no-ops returning the default value.
@@ -158,6 +228,10 @@ void LirEngine::runProcess(uint32_t PI) {
   ProcState &PS = Procs[PI];
   if (PS.State == ProcState::St::Halted)
     return;
+  if (PS.Jit) {
+    runProcessNative(PI);
+    return;
+  }
   PS.State = ProcState::St::Ready;
   ++Stats.ProcessRuns;
   const LirUnit &L = *PS.L;

@@ -19,22 +19,32 @@
 #ifndef LLHD_SIM_LIRENGINE_H
 #define LLHD_SIM_LIRENGINE_H
 
+#include "jit/Jit.h"
 #include "sim/Design.h"
 #include "sim/Interp.h" // SimOptions / SimStats.
 #include "sim/Lir.h"
 #include "support/DepthPool.h"
 
+#include <memory>
 #include <vector>
 
 namespace llhd {
+
+namespace jit {
+class JitModule;
+struct ProcContext;
+} // namespace jit
 
 /// Direct executor of the lowered runtime IR; implements the EventLoop
 /// engine contract.
 class LirEngine {
 public:
   /// Takes ownership of an elaborated design. Call build() before run()
-  /// when the design is valid.
-  LirEngine(Design DIn, SimOptions O);
+  /// when the design is valid. With \p J enabled, build() additionally
+  /// compiles admissible processes to native code (src/jit/); every
+  /// failure mode falls back to interpretation.
+  LirEngine(Design DIn, SimOptions O, jit::JitOptions J = {});
+  ~LirEngine();
 
   /// Lowers every instantiated unit (once per unit, shared across
   /// instances) and sets up the per-instance execution state.
@@ -72,6 +82,27 @@ public:
   void evalEntity(uint32_t EI, bool Initial);
 
   //===------------------------------------------------------------------===//
+  // JIT surface
+  //===------------------------------------------------------------------===//
+
+  /// What the JIT did during build(); Enabled is false when it was off.
+  const jit::JitStats &jitStats() const;
+  /// The generated translation unit ("" when nothing was emitted).
+  const std::string &jitSource() const;
+
+  /// The intrinsic bodies, shared by the interpreted call path and the
+  /// JIT's call-site callback (jit/Runtime.cpp).
+  void intrinsicAssert(bool Ok);
+  void intrinsicFinish() { FinishRequested = true; }
+
+  /// Unique driver identity per (instance, originating instruction);
+  /// also used by the JIT's bind step.
+  static uint64_t driverId(const void *Tag, const Instruction *I) {
+    return (reinterpret_cast<uintptr_t>(Tag) << 20) ^
+           reinterpret_cast<uintptr_t>(I);
+  }
+
+  //===------------------------------------------------------------------===//
   // Shared state
   //===------------------------------------------------------------------===//
 
@@ -97,6 +128,10 @@ private:
     enum class St : uint8_t { Ready, Waiting, Halted } State = St::Ready;
     std::vector<SignalId> Sensitivity;
     uint64_t WakeGen = 0;
+    /// Native execution state: non-null when this instance is bound to
+    /// generated code; Entry is the resumption token (0 = start).
+    jit::ProcContext *Jit = nullptr;
+    long long Entry = 0;
   };
 
   struct EntState {
@@ -111,11 +146,12 @@ private:
   void preloadFrame(const LirUnit &L, const UnitInstance &UI,
                     std::vector<RtValue> &Frame);
 
-  /// Unique driver identity per (instance, originating instruction).
-  static uint64_t driverId(const void *Tag, const Instruction *I) {
-    return (reinterpret_cast<uintptr_t>(Tag) << 20) ^
-           reinterpret_cast<uintptr_t>(I);
-  }
+  /// Compiles and binds native code for admissible processes (no-op
+  /// when the JIT is off); called at the end of build().
+  void buildJit();
+  /// Runs a natively-bound process; mirrors runProcess's wait/halt
+  /// bookkeeping exactly.
+  void runProcessNative(uint32_t PI);
 
   void execDrv(const LirOp &Op, const RtValue *F, const void *Tag) {
     if (Op.Dd >= 0 && !F[Op.Dd].isTruthy())
@@ -144,6 +180,10 @@ private:
   };
   DepthPool<FnFrame> FnPool;
   DepthPool<std::vector<RtValue>> ArgPool;
+
+  jit::JitOptions JitOpts;
+  std::unique_ptr<jit::JitModule> JitMod;
+  std::vector<std::unique_ptr<jit::ProcContext>> JitCtxs;
 };
 
 } // namespace llhd

@@ -47,6 +47,9 @@ void printUsage() {
           "                   check their trace digests (and waveforms,\n"
           "                   with --vcd); nonzero exit on divergence\n"
           "  --no-opt         disable Blaze's pre-compilation pipeline\n"
+          "  --jit=<m>        Blaze native code generation: on (default),\n"
+          "                   off, or dump (also writes the generated C++\n"
+          "                   next to the design as <input>.jit.cpp)\n"
           "  --stats          print run statistics to stderr\n"
           "  --list-signals   print the elaborated signal hierarchy and\n"
           "                   exit without simulating\n"
@@ -72,6 +75,8 @@ struct DriverConfig {
   std::string Engine = "interp";
   std::string Top;
   std::string VcdPath;
+  std::string Jit = "on"; ///< Blaze native codegen: on, off, or dump.
+  std::string JitDumpPath;
   bool DiffEngines = false;
   bool NoOpt = false;
   bool Stats = false;
@@ -147,10 +152,30 @@ bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
     BlazeSim::BlazeOptions BOpts;
     static_cast<SimOptions &>(BOpts) = Opts;
     BOpts.Optimize = !Cfg.NoOpt;
+    if (Cfg.Jit == "off")
+      BOpts.Jit.M = jit::JitOptions::Mode::Off;
+    else if (Cfg.Jit == "dump") {
+      BOpts.Jit.M = jit::JitOptions::Mode::Dump;
+      BOpts.Jit.DumpPath = Cfg.JitDumpPath;
+    } else
+      BOpts.Jit.M = jit::JitOptions::Mode::On;
     BlazeSim Sim(M, Top, BOpts);
     if (!Sim.valid()) {
       Error = Sim.error();
       return false;
+    }
+    if (Cfg.Stats) {
+      const jit::JitStats &J = Sim.jitStats();
+      if (J.Enabled) {
+        fprintf(stderr,
+                "blaze jit: %u native unit(s), %u deopt(s), %u native / "
+                "%u interpreted instance(s), compile %.1f ms\n",
+                J.NativeUnits, J.DeoptUnits, J.NativeProcs, J.InterpProcs,
+                J.CompileSeconds * 1000);
+        for (const auto &[U, R] : J.Deopts)
+          fprintf(stderr, "blaze jit: deopt @%s: %s\n", U.c_str(),
+                  R.c_str());
+      }
     }
     record(Sim);
   } else if (Engine == "comm") {
@@ -161,7 +186,8 @@ bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
     }
     record(Sim);
   } else {
-    Error = "unknown engine '" + Engine + "'";
+    Error = "unknown engine '" + Engine +
+            "' (valid engines: interp, blaze, comm)";
     return false;
   }
   if (WantVcd && !VcdStream)
@@ -208,6 +234,15 @@ int main(int Argc, char **Argv) {
       }
     } else if (A.rfind("--vcd=", 0) == 0) {
       Cfg.VcdPath = A.substr(strlen("--vcd="));
+    } else if (A.rfind("--jit=", 0) == 0) {
+      Cfg.Jit = A.substr(strlen("--jit="));
+      if (Cfg.Jit != "on" && Cfg.Jit != "off" && Cfg.Jit != "dump") {
+        fprintf(stderr,
+                "llhd-sim: invalid --jit mode '%s' (valid: on, off, "
+                "dump)\n",
+                Cfg.Jit.c_str());
+        return 1;
+      }
     } else if (A == "--diff-engines") {
       Cfg.DiffEngines = true;
     } else if (A == "--no-opt") {
@@ -237,6 +272,8 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 1;
   }
+  // Dump mode writes the generated C++ next to the design.
+  Cfg.JitDumpPath = (File == "-" ? "stdin" : File) + ".jit.cpp";
 
   std::string Src;
   if (File == "-") {
