@@ -37,6 +37,7 @@ struct Row {
   std::string Name;
   uint64_t Cycles;
   double IntS, JitS, CommS;
+  double CkptS;     ///< Interp runtime with periodic checkpointing on.
   double CompileMs; ///< Blaze elaborate+codegen+host-compile wall time.
   bool TracesMatch;
 };
@@ -133,7 +134,7 @@ void writeJson(const std::string &Path, double Scale,
   auto nsPerCycle = [](double Sec, uint64_t Cycles) {
     return Cycles ? Sec * 1e9 / (double)Cycles : 0.0;
   };
-  double GInt = 0, GJit = 0, GComm = 0, SumCompile = 0;
+  double GInt = 0, GJit = 0, GComm = 0, GCkpt = 0, SumCompile = 0;
   fprintf(F, "{\n  \"bench\": \"table2_sim_perf\",\n");
   fprintf(F, "  \"scale\": %g,\n  \"designs\": [\n", Scale);
   for (size_t I = 0; I != Rows.size(); ++I) {
@@ -141,17 +142,19 @@ void writeJson(const std::string &Path, double Scale,
     double NInt = nsPerCycle(R.IntS, R.Cycles),
            NJit = nsPerCycle(R.JitS, R.Cycles),
            NComm = nsPerCycle(R.CommS, R.Cycles);
+    double Ckpt = R.IntS > 0 ? R.CkptS / R.IntS : 1.0;
     GInt += std::log(NInt);
     GJit += std::log(NJit);
     GComm += std::log(NComm);
+    GCkpt += std::log(Ckpt);
     SumCompile += R.CompileMs;
     fprintf(F,
             "    {\"name\": \"%s\", \"cycles\": %llu, "
             "\"interp_ns_per_cycle\": %.1f, \"blaze_ns_per_cycle\": %.1f, "
             "\"comm_ns_per_cycle\": %.1f, \"blaze_compile_ms\": %.1f, "
-            "\"traces_match\": %s}%s\n",
+            "\"checkpoint_overhead\": %.3f, \"traces_match\": %s}%s\n",
             R.Name.c_str(), (unsigned long long)R.Cycles, NInt, NJit,
-            NComm, R.CompileMs, R.TracesMatch ? "true" : "false",
+            NComm, R.CompileMs, Ckpt, R.TracesMatch ? "true" : "false",
             I + 1 != Rows.size() ? "," : "");
   }
   size_t N = Rows.empty() ? 1 : Rows.size();
@@ -160,9 +163,10 @@ void writeJson(const std::string &Path, double Scale,
   // with a fixed prefix.
   fprintf(F,
           "{\"interp\": %.1f, \"blaze\": %.1f, \"comm\": %.1f, "
-          "\"blaze_compile_ms_total\": %.1f}\n}\n",
+          "\"blaze_compile_ms_total\": %.1f, "
+          "\"checkpoint_overhead_geomean\": %.3f}\n}\n",
           std::exp(GInt / N), std::exp(GJit / N), std::exp(GComm / N),
-          SumCompile);
+          SumCompile, std::exp(GCkpt / N));
   fclose(F);
   printf("wrote %s\n", Path.c_str());
 }
@@ -191,9 +195,9 @@ int main(int argc, char **argv) {
   printf("Engines: Int. = LLHD-Sim reference interpreter, JIT = "
          "LLHD-Blaze%s, Comm. = CommSim stand-in\n\n",
          NoJit ? " (native codegen OFF, --no-jit)" : "");
-  printf("%-16s %5s %10s %12s %12s %12s %9s %8s %7s\n", "Design", "LoC",
-         "Cycles", "Int. [s]", "JIT [s]", "Comm. [s]", "Comp.[ms]",
-         "Int/JIT", "JIT/Comm");
+  printf("%-16s %5s %10s %12s %12s %12s %9s %8s %7s %8s\n", "Design",
+         "LoC", "Cycles", "Int. [s]", "JIT [s]", "Comm. [s]", "Comp.[ms]",
+         "Int/JIT", "JIT/Comm", "Ckpt[%]");
 
   for (const designs::DesignInfo &D : designs::allDesigns(Scale)) {
     Context Ctx;
@@ -215,7 +219,7 @@ int main(int argc, char **argv) {
     // minimum runtime counts — the noise-robust estimator the perf
     // gate relies on. Trace/VCD comparisons use the last repetition
     // (the digests are identical across reps by determinism).
-    double TInt = 1e300, TJit = 1e300, TComm = 1e300;
+    double TInt = 1e300, TJit = 1e300, TComm = 1e300, TCkpt = 1e300;
     double CompileMs = 0;
     SimStats S1, S2, S3;
     std::unique_ptr<InterpSim> Int;
@@ -246,6 +250,22 @@ int main(int argc, char **argv) {
       Opts.Wave = DumpVcd && LastRep ? &WComm : nullptr;
       Comm = std::make_unique<CommSim>(M3, R3.TopUnit, Opts);
       TComm = std::min(TComm, timeIt([&] { S3 = Comm->run(); }));
+
+      // Checkpoint overhead: the interpreter again, serializing the full
+      // runtime state into an in-memory buffer eight times over the run.
+      // The table reports the cost relative to the plain Int. column.
+      SimOptions CkOpts = Opts;
+      CkOpts.Wave = nullptr;
+      CkOpts.RC.CheckpointEveryFs = std::max<uint64_t>(S1.EndTime.Fs / 8, 1);
+      Design CkDn = elaborate(M1, R1.TopUnit);
+      auto Ck = std::make_unique<InterpSim>(std::move(CkDn), CkOpts);
+      std::vector<uint8_t> Image;
+      Ck->options().RC.Checkpoint = [&Ck, &Image](Time) {
+        Image.clear();
+        Ck->checkpoint(Image);
+        return true;
+      };
+      TCkpt = std::min(TCkpt, timeIt([&] { Ck->run(); }));
     }
 
     const char *Status = "";
@@ -269,14 +289,16 @@ int main(int argc, char **argv) {
         !WInt.writeToFile(VcdDir + "/" + D.Key + ".vcd"))
       printf("%-16s cannot write %s/%s.vcd\n", "", VcdDir.c_str(),
              D.Key.c_str());
-    Rows.push_back(
-        {D.PaperName, D.Iterations, TInt, TJit, TComm, CompileMs, Match});
+    Rows.push_back({D.PaperName, D.Iterations, TInt, TJit, TComm, TCkpt,
+                    CompileMs, Match});
 
-    printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %9.1f %8.1f %7.2f%s\n",
+    printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %9.1f %8.1f %7.2f "
+           "%7.1f%%%s\n",
            D.PaperName.c_str(), locOf(D.Source),
            static_cast<unsigned long long>(D.Iterations), TInt, TJit,
            TComm, CompileMs, TJit > 0 ? TInt / TJit : 0.0,
-           TComm > 0 ? TJit / TComm : 0.0, Status);
+           TComm > 0 ? TJit / TComm : 0.0,
+           TInt > 0 ? (TCkpt / TInt - 1) * 100 : 0.0, Status);
   }
   printf("\nShape note: all three engines now execute one shared lowered "
          "IR (sim/Lir.h), so\nInt. runs close to an unoptimised JIT; "

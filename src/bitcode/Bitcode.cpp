@@ -1,65 +1,19 @@
 //===- bitcode/Bitcode.cpp - Binary on-disk representation ----------------------===//
 
 #include "bitcode/Bitcode.h"
+#include "bitcode/Stream.h"
 
 #include <map>
 
 using namespace llhd;
+using bc::putStr;
+using bc::putVar;
+using bc::Reader;
 
 namespace {
 
 constexpr uint32_t Magic = 0x4448'4c4c; // "LLHD".
 constexpr uint32_t Version = 1;
-
-//===----------------------------------------------------------------------===//
-// Primitive encoding
-//===----------------------------------------------------------------------===//
-
-void putVar(std::vector<uint8_t> &Out, uint64_t V) {
-  while (V >= 0x80) {
-    Out.push_back(static_cast<uint8_t>(V) | 0x80);
-    V >>= 7;
-  }
-  Out.push_back(static_cast<uint8_t>(V));
-}
-
-void putStr(std::vector<uint8_t> &Out, const std::string &S) {
-  putVar(Out, S.size());
-  Out.insert(Out.end(), S.begin(), S.end());
-}
-
-struct Reader {
-  const std::vector<uint8_t> &In;
-  size_t Pos = 0;
-  bool Failed = false;
-
-  uint64_t var() {
-    uint64_t V = 0;
-    unsigned Shift = 0;
-    while (Pos < In.size()) {
-      uint8_t B = In[Pos++];
-      V |= uint64_t(B & 0x7f) << Shift;
-      if (!(B & 0x80))
-        return V;
-      Shift += 7;
-      if (Shift > 63)
-        break;
-    }
-    Failed = true;
-    return 0;
-  }
-
-  std::string str() {
-    uint64_t N = var();
-    if (Pos + N > In.size()) {
-      Failed = true;
-      return "";
-    }
-    std::string S(In.begin() + Pos, In.begin() + Pos + N);
-    Pos += N;
-    return S;
-  }
-};
 
 //===----------------------------------------------------------------------===//
 // Types

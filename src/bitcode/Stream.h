@@ -1,0 +1,75 @@
+//===- bitcode/Stream.h - Primitive byte-stream encoding --------*- C++ -*-===//
+//
+// The LEB128/length-prefixed primitives shared by every binary on-disk
+// format in the project: the IR bitcode (bitcode/Bitcode.cpp) and the
+// simulation checkpoint format (sim/Checkpoint.cpp). Writers append to a
+// std::vector<uint8_t>; the Reader cursors over one and latches the first
+// decode failure in `Failed` so callers can check once at the end.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_BITCODE_STREAM_H
+#define LLHD_BITCODE_STREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+namespace bc {
+
+/// Appends V as a LEB128 varint.
+inline void putVar(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+/// Appends S as a varint length followed by the raw bytes.
+inline void putStr(std::vector<uint8_t> &Out, const std::string &S) {
+  putVar(Out, S.size());
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+/// Decoding cursor over a byte buffer. Any truncated or malformed read
+/// sets Failed and returns a zero value; subsequent reads keep failing,
+/// so a single check after a batch of reads suffices.
+struct Reader {
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  uint64_t var() {
+    uint64_t V = 0;
+    unsigned Shift = 0;
+    while (Pos < In.size()) {
+      uint8_t B = In[Pos++];
+      V |= uint64_t(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+      Shift += 7;
+      if (Shift > 63)
+        break;
+    }
+    Failed = true;
+    return 0;
+  }
+
+  std::string str() {
+    uint64_t N = var();
+    if (Pos + N > In.size()) {
+      Failed = true;
+      return "";
+    }
+    std::string S(In.begin() + Pos, In.begin() + Pos + N);
+    Pos += N;
+    return S;
+  }
+};
+
+} // namespace bc
+} // namespace llhd
+
+#endif // LLHD_BITCODE_STREAM_H

@@ -46,6 +46,7 @@ struct BlazeSim::Impl {
       return;
     }
     Eng = std::make_unique<LirEngine>(std::move(D), O, O.Jit);
+    Eng->EngineName = "blaze";
     Eng->build();
   }
 };
@@ -61,6 +62,21 @@ BlazeSim::~BlazeSim() = default;
 bool BlazeSim::valid() const { return P->Err.empty(); }
 const std::string &BlazeSim::error() const { return P->Err; }
 SimStats BlazeSim::run() { return P->Eng ? P->Eng->run() : SimStats(); }
+SimOptions &BlazeSim::options() {
+  static SimOptions Dummy;
+  return P->Eng ? P->Eng->Opts : Dummy;
+}
+void BlazeSim::checkpoint(std::vector<uint8_t> &Out) {
+  if (P->Eng)
+    P->Eng->checkpoint(Out);
+}
+bool BlazeSim::restore(const std::vector<uint8_t> &In, std::string &Err) {
+  if (!P->Eng) {
+    Err = "engine failed to build";
+    return false;
+  }
+  return P->Eng->restore(In, Err);
+}
 const Trace &BlazeSim::trace() const {
   return P->Eng ? P->Eng->Tr : P->EmptyTr;
 }

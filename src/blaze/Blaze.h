@@ -42,7 +42,22 @@ public:
   bool valid() const;
   const std::string &error() const;
 
+  /// Runs to completion; after restore(), continues from the
+  /// checkpointed instant instead.
   SimStats run();
+
+  /// Live options; mutate before run() to wire run-control hooks.
+  SimOptions &options();
+
+  /// Serializes the full runtime state (sim/Checkpoint.h). Blaze images
+  /// are keyed on the optimised clone's hash: they interchange with the
+  /// other engines only under Optimize = false.
+  void checkpoint(std::vector<uint8_t> &Out);
+
+  /// Restores a checkpoint() image; JIT-bound processes rebind their
+  /// native state, deopting per instance when the image's resumption
+  /// point has no native entry. False + Err on mismatch or corruption.
+  bool restore(const std::vector<uint8_t> &In, std::string &Err);
 
   const Trace &trace() const;
   const SignalTable &signals() const;

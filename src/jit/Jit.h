@@ -28,6 +28,11 @@ struct JitOptions {
   Mode M = Mode::Off;
   /// Destination of the generated translation unit in Dump mode.
   std::string DumpPath;
+  /// Testing knob: process units whose name contains this substring
+  /// ("*" for all) are refused native code, as if planning had deopted
+  /// them. Exercises the interpreter fallback — in particular restoring
+  /// a JIT-taken checkpoint without matching native entries.
+  std::string ForceDeopt;
 };
 
 /// What the JIT did for one engine build; see LirEngine::jitStats().

@@ -109,6 +109,13 @@ void JitModule::compile(LirEngine &Eng) {
   std::string Src = emitPrelude();
   std::vector<const LirUnit *> Native;
   for (const LirUnit *L : ProcUnits) {
+    if (!Opts.ForceDeopt.empty() &&
+        (Opts.ForceDeopt == "*" ||
+         L->U->name().find(Opts.ForceDeopt) != std::string::npos)) {
+      ++St.DeoptUnits;
+      St.Deopts.push_back({L->U->name(), "forced deopt (testing knob)"});
+      continue;
+    }
     UnitPlan P = planUnit(*L);
     if (!P.Native) {
       ++St.DeoptUnits;

@@ -24,6 +24,7 @@
 #include "sim/Wave.h"
 
 #include <algorithm>
+#include <chrono>
 #include <concepts>
 #include <vector>
 
@@ -58,12 +59,14 @@ concept EngineTraits = requires(E &Eng, uint32_t I, bool Initial) {
   { Eng.evalEntity(I, Initial) };
   /// A process executed llhd.finish.
   { Eng.finishRequested() } -> std::convertible_to<bool>;
+  /// Hierarchical instance name, for run-control diagnostics.
+  { Eng.procName(I) } -> std::convertible_to<std::string>;
 };
 
 template <EngineTraits Engine>
 SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
                       Scheduler &Sched, Trace &Tr, Time &Now,
-                      SimStats &Stats) {
+                      SimStats &Stats, bool Resumed = false) {
   // Dynamic process sensitivity, re-registered at every suspension.
   WakeIndex WIdx;
   WIdx.resize(D.Signals.size());
@@ -75,23 +78,48 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
 
   // Optional waveform observer: header and initial state go out before
   // the first event (initialisation only schedules, it never commits a
-  // signal value, so the elaboration-time values are the #0 state).
+  // signal value, so the elaboration-time values are the #0 state). A
+  // resumed run instead seeds the writer's last-value cache from the
+  // restored signal table and appends — no header, no $dumpvars.
   WaveWriter *Wave = Opts.Wave;
-  if (Wave)
-    Wave->begin(D);
-
-  // Initialisation (§2.4.3): processes run to their first suspension,
-  // entities evaluate once.
-  Now = Time();
-  for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI) {
-    Eng.runProcess(PI);
-    registerSensitivity(PI);
+  if (Wave) {
+    if (Resumed)
+      Wave->resume(D);
+    else
+      Wave->begin(D);
   }
-  for (uint32_t EI = 0; EI != Eng.numEnts(); ++EI)
-    Eng.evalEntity(EI, /*Initial=*/true);
+
+  if (!Resumed) {
+    // Initialisation (§2.4.3): processes run to their first suspension,
+    // entities evaluate once.
+    Now = Time();
+    for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI) {
+      Eng.runProcess(PI);
+      registerSensitivity(PI);
+    }
+    for (uint32_t EI = 0; EI != Eng.numEnts(); ++EI)
+      Eng.evalEntity(EI, /*Initial=*/true);
+  } else {
+    // Restored processes are already suspended mid-simulation; rebuild
+    // the (loop-local) wake index from their checkpointed sensitivity.
+    for (uint32_t PI = 0; PI != Eng.numProcs(); ++PI)
+      registerSensitivity(PI);
+  }
+
+  const RunControl &RC = Opts.RC;
+  using WallClock = std::chrono::steady_clock;
+  WallClock::time_point Deadline{};
+  if (RC.WallTimeoutSec > 0)
+    Deadline = WallClock::now() +
+               std::chrono::duration_cast<WallClock::duration>(
+                   std::chrono::duration<double>(RC.WallTimeoutSec));
+  uint64_t NextCkptFs =
+      RC.CheckpointEveryFs
+          ? (Now.Fs / RC.CheckpointEveryFs + 1) * RC.CheckpointEveryFs
+          : 0;
 
   uint64_t DeltasAtInstant = 0;
-  uint64_t LastFs = ~0ull;
+  uint64_t LastFs = Resumed ? Now.Fs : ~0ull;
   // Scratch reused across slots; capacity settles after a few steps.
   std::vector<SigUpdate> Updates;
   std::vector<ProcWake> Wakes;
@@ -102,14 +130,59 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
     Time T = Sched.nextTime();
     if (T > Opts.MaxTime)
       break;
-    if (T.Fs == LastFs) {
-      if (++DeltasAtInstant > Opts.MaxDeltasPerInstant) {
-        Stats.DeltaOverflow = true;
+    if (T.Fs != LastFs) {
+      // A physical-instant boundary: the previous instant is fully
+      // settled (the waveform writer's pending buffer holds exactly that
+      // instant), so every run-control action fires here and only here.
+      StopReason Why = StopReason::None;
+      if (RC.StopFlag && *RC.StopFlag)
+        Why = StopReason::Interrupted;
+      else if (RC.MaxSteps && Stats.Steps >= RC.MaxSteps)
+        Why = StopReason::DeltaBudget;
+      else if (RC.MaxEvents && Sched.totalScheduled() >= RC.MaxEvents)
+        Why = StopReason::EventBudget;
+      else if (RC.WallTimeoutSec > 0 && WallClock::now() >= Deadline)
+        Why = StopReason::WallTimeout;
+      if (RC.Checkpoint &&
+          ((NextCkptFs && T.Fs >= NextCkptFs) ||
+           (Why != StopReason::None && RC.CheckpointOnStop))) {
+        // Flush the settled instant first so the on-disk VCD and the
+        // checkpoint cover the same prefix. Byte-neutral: the writer
+        // would emit the identical bytes on the instant's next change.
+        if (Wave)
+          Wave->flushNow();
+        if (!RC.Checkpoint(Now))
+          Why = StopReason::CheckpointError;
+        if (NextCkptFs)
+          while (NextCkptFs <= T.Fs)
+            NextCkptFs += RC.CheckpointEveryFs;
+      }
+      if (Why != StopReason::None) {
+        Stats.Stop = Why;
         break;
       }
-    } else {
       LastFs = T.Fs;
       DeltasAtInstant = 0;
+    } else if (++DeltasAtInstant > Opts.MaxDeltasPerInstant) {
+      Stats.DeltaOverflow = true;
+      Stats.Stop = StopReason::Oscillation;
+      // Diagnose the cycle instead of just dying: the processes woken
+      // and the signals changed in the previous delta are the cycling
+      // set (the instant has been spinning for MaxDeltasPerInstant
+      // deltas, so the steady-state combatants are in these vectors).
+      for (uint32_t PI : ProcsToRun)
+        Stats.OscProcs.push_back(Eng.procName(PI));
+      for (SignalId S : Changed)
+        Stats.OscSigs.push_back(D.Signals.name(S));
+      auto trim = [](std::vector<std::string> &V) {
+        std::sort(V.begin(), V.end());
+        V.erase(std::unique(V.begin(), V.end()), V.end());
+        if (V.size() > 16)
+          V.resize(16);
+      };
+      trim(Stats.OscProcs);
+      trim(Stats.OscSigs);
+      break;
     }
     Now = T;
     ++Stats.Steps;

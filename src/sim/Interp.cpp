@@ -31,6 +31,13 @@ InterpSim::~InterpSim() = default;
 bool InterpSim::valid() const { return P->D.ok(); }
 const std::string &InterpSim::error() const { return P->D.Error; }
 SimStats InterpSim::run() { return P->run(); }
+SimOptions &InterpSim::options() { return P->Opts; }
+void InterpSim::checkpoint(std::vector<uint8_t> &Out) {
+  P->checkpoint(Out);
+}
+bool InterpSim::restore(const std::vector<uint8_t> &In, std::string &Err) {
+  return P->restore(In, Err);
+}
 const Trace &InterpSim::trace() const { return P->Tr; }
 const SignalTable &InterpSim::signals() const { return P->D.Signals; }
 const Design &InterpSim::design() const { return P->D; }

@@ -12,9 +12,11 @@
 #define LLHD_SIM_INTERP_H
 
 #include "sim/Design.h"
+#include "sim/RunControl.h"
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace llhd {
 
@@ -29,6 +31,9 @@ struct SimOptions {
   /// loop's signal-commit path. Null (the default) keeps the commit path
   /// free of any waveform work beyond one pointer test.
   WaveWriter *Wave = nullptr;
+  /// Watchdogs, budgets, stop flags, and checkpoint triggers. All off by
+  /// default; see sim/RunControl.h.
+  RunControl RC;
 };
 
 /// Common per-run results for all engines.
@@ -40,6 +45,12 @@ struct SimStats {
   uint64_t AssertFailures = 0;
   bool Finished = false;      ///< A process called llhd.finish / all halted.
   bool DeltaOverflow = false; ///< Oscillation guard tripped.
+  /// Why the run stopped early; None for a normal drain/finish/MaxTime.
+  StopReason Stop = StopReason::None;
+  /// When Stop == Oscillation: hierarchical names of the processes and
+  /// signals active in the cycling delta (sorted, deduped, capped).
+  std::vector<std::string> OscProcs;
+  std::vector<std::string> OscSigs;
 };
 
 /// The LLHD-Sim reference engine.
@@ -53,7 +64,21 @@ public:
   const std::string &error() const;
 
   /// Runs to completion (queue empty, all processes halted, or MaxTime).
+  /// After restore(), continues from the checkpointed instant instead.
   SimStats run();
+
+  /// Live options; mutate before run() to wire run-control hooks that
+  /// need to capture this engine (e.g. RC.Checkpoint).
+  SimOptions &options();
+
+  /// Serializes the full runtime state into Out (sim/Checkpoint.h
+  /// format). Call between runs or from the RC.Checkpoint hook.
+  void checkpoint(std::vector<uint8_t> &Out);
+
+  /// Restores state from a checkpoint() image; on success the next run()
+  /// resumes mid-simulation. Returns false and sets Err on version or
+  /// module mismatch, or on a corrupt image.
+  bool restore(const std::vector<uint8_t> &In, std::string &Err);
 
   const Trace &trace() const;
   const SignalTable &signals() const;

@@ -215,6 +215,23 @@ void Scheduler::pop(std::vector<SigUpdate> &Updates,
   }
 }
 
+std::vector<Scheduler::PendingSlot> Scheduler::pendingSlots() const {
+  std::vector<PendingSlot> Out;
+  Out.reserve(Fast.size() + Heap.size());
+  // The fast lane is already sorted and strictly precedes every heap
+  // slot; the heap's array order is not sorted, so sort the copies.
+  for (const Ref &R : Fast)
+    Out.push_back({R.T, Arena[R.Idx].Updates, Arena[R.Idx].Wakes});
+  size_t HeapBegin = Out.size();
+  for (const Ref &R : Heap)
+    Out.push_back({R.T, Arena[R.Idx].Updates, Arena[R.Idx].Wakes});
+  std::sort(Out.begin() + HeapBegin, Out.end(),
+            [](const PendingSlot &A, const PendingSlot &B) {
+              return A.T < B.T;
+            });
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Trace
 //===----------------------------------------------------------------------===//

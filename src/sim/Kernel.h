@@ -82,6 +82,33 @@ public:
   const std::string &name(SignalId S) const { return Signals[S].Name; }
   Type *type(SignalId S) const { return Signals[S].Ty; }
 
+  //===--------------------------------------------------------------------===//
+  // Raw state access for checkpoint/restore (sim/Checkpoint.cpp). These
+  // bypass resolution/aliasing and address canonical ids directly; the
+  // table layout itself (types, names, aliases) is reproduced by
+  // re-elaboration, so only values and driver contributions serialize.
+  //===--------------------------------------------------------------------===//
+
+  /// Stored value of a canonical signal (no alias chasing).
+  const RtValue &storedValue(SignalId Canon) const {
+    return Signals[Canon].Value;
+  }
+  void setStoredValue(SignalId Canon, RtValue V) {
+    Signals[Canon].Value = std::move(V);
+  }
+  /// Per-driver contribution slots of a canonical signal, sorted by
+  /// driver id.
+  const std::vector<std::pair<uint64_t, RtValue>> &
+  driverSlots(SignalId Canon) const {
+    return Signals[Canon].Drivers;
+  }
+  /// Replaces the driver slots; \p Drivers must be sorted by driver id
+  /// (write() finds slots by binary search).
+  void setDriverSlots(SignalId Canon,
+                      std::vector<std::pair<uint64_t, RtValue>> Drivers) {
+    Signals[Canon].Drivers = std::move(Drivers);
+  }
+
 private:
   struct Signal {
     Type *Ty;
@@ -168,6 +195,19 @@ public:
   /// Event count statistics.
   uint64_t totalScheduled() const { return Scheduled; }
   void countScheduled(uint64_t N) { Scheduled += N; }
+  /// Restores the lifetime event counter from a checkpoint.
+  void setTotalScheduled(uint64_t N) { Scheduled = N; }
+
+  /// A copied-out pending time slot, for checkpointing. Restore replays
+  /// slots through scheduleUpdate/scheduleWake in ascending time order,
+  /// which reproduces intra-slot scheduling order exactly.
+  struct PendingSlot {
+    Time T;
+    std::vector<SigUpdate> Updates;
+    std::vector<ProcWake> Wakes;
+  };
+  /// Snapshots both lanes, sorted ascending by time.
+  std::vector<PendingSlot> pendingSlots() const;
 
 private:
   struct Ref {
@@ -321,6 +361,14 @@ public:
 
   uint64_t digest() const { return Digest; }
   uint64_t numChanges() const { return NumChanges; }
+
+  /// Restores the running digest/counter from a checkpoint so a resumed
+  /// run's final digest equals an uninterrupted run's. Full-mode change
+  /// lists do not survive a checkpoint (only the digest does).
+  void restoreState(uint64_t D, uint64_t N) {
+    Digest = D;
+    NumChanges = N;
+  }
 
   struct Change {
     Time T;

@@ -1,7 +1,9 @@
 //===- sim/LirEngine.cpp - Direct LIR execution core ---------------------------===//
 
 #include "sim/LirEngine.h"
+#include "ir/Type.h"
 #include "jit/Runtime.h"
+#include "sim/Checkpoint.h"
 #include "sim/EventLoop.h"
 #include "sim/RtOps.h"
 
@@ -409,5 +411,231 @@ void LirEngine::evalEntity(uint32_t EI, bool Initial) {
 }
 
 SimStats LirEngine::run() {
-  return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+  return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats, Resumed);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / restore
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds an interpreter RtValue from native lanes: one lane per
+/// two-state int/enum (<= 64 bits), one lane per element for flat
+/// arrays of such ints — the exact lane model of jit/Codegen.h.
+RtValue lanesToValue(Type *Ty, const uint64_t *Lanes, uint32_t N) {
+  if (Ty->isArray()) {
+    auto *AT = cast<ArrayType>(Ty);
+    unsigned EW = AT->element()->bitWidth();
+    std::vector<RtValue> Es;
+    Es.reserve(N);
+    for (uint32_t I = 0; I != N; ++I)
+      Es.push_back(RtValue(IntValue(EW, Lanes[I])));
+    return RtValue::makeArray(std::move(Es));
+  }
+  return RtValue(IntValue(Ty->bitWidth(), Lanes[0]));
+}
+
+/// Loads an interpreter RtValue into native lanes. Invalid values are
+/// left alone (never-written slots keep their constant preloads); any
+/// other shape mismatch is ignored the same way — the slot would have
+/// been written before being read in either execution model.
+void valueToLanes(const RtValue &V, uint64_t *Lanes, uint32_t N) {
+  if (V.isInt() && N == 1) {
+    Lanes[0] = V.intValue().zextToU64();
+    return;
+  }
+  if (V.isAggregate()) {
+    const std::vector<RtValue> &Es = V.elements();
+    for (uint32_t I = 0; I != N && I != Es.size(); ++I)
+      if (Es[I].isInt())
+        Lanes[I] = Es[I].intValue().zextToU64();
+  }
+}
+
+} // namespace
+
+void LirEngine::syncFromNative(ProcState &PS) {
+  const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+  const jit::UnitPlan &Plan = NU->Plan;
+  const LirUnit &L = *PS.L;
+  uint64_t *Lanes = PS.Jit->Lanes.data();
+
+  // The native resumption token maps onto the interpreter's stored pc:
+  // entry E resumes after wait E-1, i.e. at that wait's continuation.
+  PS.Pc = PS.Entry == 0
+              ? 0
+              : L.Ops[Plan.Waits[PS.Entry - 1].Pc].Jmp0;
+
+  // Laned slots back into the frame. Slots outside the lane model
+  // (signal bindings, constant times) were never moved out of it.
+  for (uint32_t S = 0; S != L.NumSlots; ++S) {
+    if (Plan.LaneOf[S] < 0 || !Plan.SlotType[S])
+      continue;
+    PS.Frame[S] =
+        lanesToValue(Plan.SlotType[S], Lanes + Plan.LaneOf[S],
+                     Plan.LanesOf[S]);
+  }
+
+  // Var cells: the native code holds them in static lanes; rebuild the
+  // interpreter's memory with one cell per Var op (pc order) and point
+  // the pointer slots at them — the state an interpreted execution of
+  // the same (straight-line-var) process produces.
+  PS.Memory.clear();
+  int32_t VI = 0;
+  for (const LirOp &Op : L.Ops) {
+    if (Op.C != LirOpc::Var)
+      continue;
+    int32_t Lane = Plan.CellLane[VI++];
+    if (Lane < 0 || !Plan.SlotType[Op.A])
+      continue;
+    PS.Memory.push_back(lanesToValue(Plan.SlotType[Op.A], Lanes + Lane,
+                                     Plan.LanesOf[Op.A]));
+    PS.Frame[Op.Dst] =
+        RtValue::makePointer(uint32_t(PS.Memory.size() - 1));
+  }
+}
+
+bool LirEngine::syncToNative(ProcState &PS) {
+  const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+  const jit::UnitPlan &Plan = NU->Plan;
+  const LirUnit &L = *PS.L;
+  uint64_t *Lanes = PS.Jit->Lanes.data();
+
+  // Map the interpreter pc back onto a native resumption entry. Halted
+  // processes never run again, so any token works for them.
+  if (PS.State == ProcState::St::Halted || (!PS.Started && PS.Pc == 0)) {
+    PS.Entry = 0;
+  } else {
+    long long Entry = -1;
+    for (size_t I = 0; I != Plan.Waits.size(); ++I)
+      if (L.Ops[Plan.Waits[I].Pc].Jmp0 == PS.Pc) {
+        Entry = Plan.Waits[I].ResumeEntry;
+        break;
+      }
+    if (Entry < 0)
+      return false; // No native entry at this pc: caller deopts.
+    PS.Entry = Entry;
+  }
+
+  for (uint32_t S = 0; S != L.NumSlots; ++S)
+    if (Plan.LaneOf[S] >= 0)
+      valueToLanes(PS.Frame[S], Lanes + Plan.LaneOf[S], Plan.LanesOf[S]);
+
+  int32_t VI = 0;
+  for (const LirOp &Op : L.Ops) {
+    if (Op.C != LirOpc::Var)
+      continue;
+    int32_t Lane = Plan.CellLane[VI++];
+    if (Lane < 0)
+      continue;
+    const RtValue &P = PS.Frame[Op.Dst];
+    if (P.isPointer() && P.pointer() < PS.Memory.size())
+      valueToLanes(PS.Memory[P.pointer()], Lanes + Lane,
+                   Plan.LanesOf[Op.A]);
+  }
+  return true;
+}
+
+void LirEngine::checkpoint(std::vector<uint8_t> &Out) {
+  // Fold native lane state back into the engine-neutral frames so the
+  // image restores identically with or without the JIT.
+  for (ProcState &PS : Procs)
+    if (PS.Jit)
+      syncFromNative(PS);
+
+  ckpt::DriverIdMap Map;
+  Map.build(D, Cache);
+  ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*D.M), EngineName, D,
+                             Sched, Tr, Now, Stats, Map);
+
+  bc::putVar(Out, Procs.size());
+  for (const ProcState &PS : Procs) {
+    ckpt::ProcRecord Rec;
+    Rec.State = static_cast<uint8_t>(PS.State);
+    Rec.Started = PS.Started;
+    Rec.Pc = PS.Pc;
+    Rec.WakeGen = PS.WakeGen;
+    Rec.Sens = PS.Sensitivity;
+    Rec.Frame = PS.Frame;
+    Rec.Memory = PS.Memory;
+    // LIR processes keep reg/del state in entities only; the record
+    // fields stay empty (CommSim fills them for its process units).
+    ckpt::putProc(Out, Rec);
+  }
+  bc::putVar(Out, Ents.size());
+  for (const EntState &ES : Ents) {
+    ckpt::EntRecord Rec;
+    Rec.Frame = ES.Frame;
+    Rec.RegPrev = ES.RegPrev;
+    Rec.RegPrevValid = ES.RegPrevValid;
+    Rec.DelPrev = ES.DelPrev;
+    ckpt::putEnt(Out, Rec);
+  }
+}
+
+bool LirEngine::restore(const std::vector<uint8_t> &In, std::string &Err) {
+  Err.clear(); // Callers may reuse the string across attempts.
+  bc::Reader R{In};
+  ckpt::DriverIdMap Map;
+  Map.build(D, Cache);
+  if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*D.M), D, Sched, Tr,
+                                 Now, Stats, Map, Err))
+    return false;
+
+  if (R.var() != Procs.size() || R.Failed) {
+    Err = "checkpoint process count does not match this design";
+    return false;
+  }
+  for (ProcState &PS : Procs) {
+    ckpt::ProcRecord Rec;
+    if (!ckpt::getProc(R, Rec)) {
+      Err = "truncated checkpoint process section";
+      return false;
+    }
+    if (Rec.Frame.size() != PS.Frame.size()) {
+      Err = "checkpoint frame shape does not match this lowering";
+      return false;
+    }
+    PS.State = static_cast<ProcState::St>(Rec.State);
+    PS.Started = Rec.Started != 0;
+    PS.Pc = static_cast<int32_t>(Rec.Pc);
+    PS.WakeGen = Rec.WakeGen;
+    PS.Sensitivity = std::move(Rec.Sens);
+    PS.Frame = std::move(Rec.Frame);
+    PS.Memory = std::move(Rec.Memory);
+    if (PS.Jit && !syncToNative(PS)) {
+      // The image's resumption point has no native entry here (it came
+      // from a run with different JIT coverage): this instance falls
+      // back to interpretation, which restored exactly above.
+      PS.Jit = nullptr;
+      --JitMod->St.NativeProcs;
+      ++JitMod->St.InterpProcs;
+    }
+  }
+
+  if (R.var() != Ents.size() || R.Failed) {
+    Err = "checkpoint entity count does not match this design";
+    return false;
+  }
+  for (EntState &ES : Ents) {
+    ckpt::EntRecord Rec;
+    if (!ckpt::getEnt(R, Rec)) {
+      Err = "truncated checkpoint entity section";
+      return false;
+    }
+    if (Rec.Frame.size() != ES.Frame.size() ||
+        Rec.RegPrev.size() != ES.RegPrev.size() ||
+        Rec.DelPrev.size() != ES.DelPrev.size()) {
+      Err = "checkpoint entity shape does not match this lowering";
+      return false;
+    }
+    ES.Frame = std::move(Rec.Frame);
+    ES.RegPrev = std::move(Rec.RegPrev);
+    ES.RegPrevValid = std::move(Rec.RegPrevValid);
+    ES.DelPrev = std::move(Rec.DelPrev);
+  }
+
+  Resumed = true;
+  return true;
 }

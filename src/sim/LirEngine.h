@@ -50,8 +50,26 @@ public:
   /// instances) and sets up the per-instance execution state.
   void build();
 
-  /// Runs the shared event loop to completion.
+  /// Runs the shared event loop to completion. After restore(), the loop
+  /// continues from the checkpointed instant instead of initialising.
   SimStats run();
+
+  //===------------------------------------------------------------------===//
+  // Checkpoint / restore (sim/Checkpoint.h)
+  //===------------------------------------------------------------------===//
+
+  /// Serializes the full runtime state. Natively-executing processes are
+  /// synchronised back into their interpreter-visible frames first, so
+  /// the image is engine-neutral (restorable with or without the JIT).
+  void checkpoint(std::vector<uint8_t> &Out);
+
+  /// Restores a checkpoint() image into this freshly-built engine.
+  /// Natively-bound processes reload their lane state from the restored
+  /// frames; an instance whose resumption point has no native entry
+  /// (e.g. the image came from a differently-JITted run) deopts to
+  /// interpretation by itself. Returns false and sets \p Err on a
+  /// version/module mismatch or a corrupt image.
+  bool restore(const std::vector<uint8_t> &In, std::string &Err);
 
   //===------------------------------------------------------------------===//
   // EventLoop hooks
@@ -77,6 +95,9 @@ public:
     return Procs[PI].L->StableWait;
   }
   bool finishRequested() const { return FinishRequested; }
+  std::string procName(uint32_t PI) const {
+    return Procs[PI].Inst->HierName;
+  }
 
   void runProcess(uint32_t PI);
   void evalEntity(uint32_t EI, bool Initial);
@@ -114,6 +135,10 @@ public:
   Time Now;
   bool FinishRequested = false;
   LirCache Cache;
+  /// Name recorded in checkpoint headers ("blaze" when owned by Blaze).
+  std::string EngineName = "interp";
+  /// Set by restore(); run() then skips initialisation and continues.
+  bool Resumed = false;
 
 private:
   struct ProcState {
@@ -149,6 +174,13 @@ private:
   /// Compiles and binds native code for admissible processes (no-op
   /// when the JIT is off); called at the end of build().
   void buildJit();
+  /// Copies a natively-executing process's lane state back into the
+  /// interpreter-visible Frame/Memory/Pc before checkpointing.
+  void syncFromNative(ProcState &PS);
+  /// Loads restored Frame/Memory/Pc into the native lane state; false
+  /// when the resumption pc has no native entry (the caller then deopts
+  /// the instance).
+  bool syncToNative(ProcState &PS);
   /// Runs a natively-bound process; mirrors runProcess's wait/halt
   /// bookkeeping exactly.
   void runProcessNative(uint32_t PI);

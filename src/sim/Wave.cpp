@@ -247,7 +247,40 @@ void WaveWriter::flushPending() {
   drain();
 }
 
-void WaveWriter::finish() { flushPending(); }
+void WaveWriter::resume(const Design &D) {
+  Began = true;
+  unsigned N = D.Signals.size();
+  Vars.resize(N);
+  PendingVal.resize(N);
+  // The same canonical-order allocation loop as begin(), minus every
+  // byte of output: codes come out identical, and Last is seeded from
+  // the restored signal table — the values the interrupted writer had
+  // last dumped (checkpoints only happen with the pending instant
+  // flushed and settled).
+  for (SignalId S = 0; S != N; ++S) {
+    if (D.Signals.canonical(S) != S)
+      continue;
+    unsigned W = dumpableWidth(D.Signals.value(S));
+    if (W == 0)
+      continue;
+    Vars[S].Code = vcdCode(NumVars++);
+    Vars[S].Last = vcdValue(D.Signals.value(S), Vars[S].Code);
+  }
+}
+
+void WaveWriter::finish() {
+  flushPending();
+  drain();
+  if (Sink)
+    Sink->flush();
+}
+
+void WaveWriter::flushNow() {
+  flushPending();
+  drain();
+  if (Sink)
+    Sink->flush();
+}
 
 bool WaveWriter::writeToFile(const std::string &Path) const {
   std::ofstream OutFile(Path, std::ios::binary);

@@ -44,10 +44,27 @@ class WaveWriter {
 public:
   WaveWriter() = default;
 
+  /// RAII: destruction flushes the pending instant and the sink, so every
+  /// exit path — assert failures, watchdog stops, signal-triggered
+  /// shutdown — leaves a well-formed, loadable VCD behind. A streamTo()
+  /// sink must outlive the writer.
+  ~WaveWriter() { finish(); }
+  WaveWriter(const WaveWriter &) = delete;
+  WaveWriter &operator=(const WaveWriter &) = delete;
+
   /// Emits the VCD header for \p D: scope tree, $var definitions and the
   /// $dumpvars initial state at #0. Must be called exactly once, before
   /// any onChange().
   void begin(const Design &D);
+
+  /// Prepares for appending to an existing dump after a checkpoint
+  /// restore: allocates the same identifier codes begin() would (the
+  /// allocation is deterministic in canonical-signal order) and seeds the
+  /// change-only cache from \p D's restored signal values — the settled
+  /// state at the checkpoint instant, which is exactly what the original
+  /// writer had last dumped. Emits nothing; subsequent onChange() output
+  /// continues the original file byte-identically.
+  void resume(const Design &D);
 
   /// Records a committed change of canonical signal \p S to \p V at time
   /// \p T. Changes are buffered until the physical instant advances, so
@@ -56,7 +73,14 @@ public:
   void onChange(Time T, SignalId S, const RtValue &V);
 
   /// Flushes the last pending instant. Call after the run completes.
+  /// Idempotent; also invoked by the destructor.
   void finish();
+
+  /// Flushes the pending (settled) instant and the sink immediately, for
+  /// checkpoint boundaries: the bytes are the ones the next onChange()
+  /// would have triggered anyway, so the dump stays byte-identical —
+  /// but they are on disk before the checkpoint is.
+  void flushNow();
 
   /// Streams the dump into \p OS instead of accumulating it: emitted
   /// text is forwarded and dropped from memory at every instant flush,

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "vsim/CommSim.h"
+#include "sim/Checkpoint.h"
 #include "sim/EventLoop.h"
 #include "sim/Lir.h"
 #include "sim/RtOps.h"
@@ -464,9 +465,120 @@ struct CommSim::Impl {
     return Procs[PI].CU->L->StableWait;
   }
   bool finishRequested() const { return FinishRequested; }
+  std::string procName(uint32_t PI) const {
+    return Procs[PI].Inst->HierName;
+  }
 
   SimStats run() {
-    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats);
+    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats, Resumed);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Checkpoint / restore
+  //===------------------------------------------------------------------===//
+
+  bool Resumed = false;
+
+  void checkpoint(std::vector<uint8_t> &Out) {
+    // CommSim's driver ids use the same (instance-tag, instruction)
+    // formula over the same &UI tags as the LIR engines, so the shared
+    // DriverIdMap enumeration applies unchanged.
+    ckpt::DriverIdMap Map;
+    Map.build(D, Lir);
+    ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*D.M), "comm", D,
+                               Sched, Tr, Now, Stats, Map);
+
+    bc::putVar(Out, Procs.size());
+    for (const CsProcState &PS : Procs) {
+      ckpt::ProcRecord Rec;
+      Rec.State = static_cast<uint8_t>(PS.State);
+      Rec.Started = PS.Started;
+      Rec.Pc = PS.Pc;
+      Rec.WakeGen = PS.WakeGen;
+      Rec.Sens = PS.Sensitivity;
+      Rec.Frame = PS.X.R;
+      Rec.Memory = PS.X.Memory;
+      Rec.RegPrev = PS.RegPrev;
+      Rec.RegPrevValid.assign(PS.RegPrevValid.begin(),
+                              PS.RegPrevValid.end());
+      Rec.DelPrev = PS.DelPrev;
+      ckpt::putProc(Out, Rec);
+    }
+    bc::putVar(Out, Ents.size());
+    for (const CsEntState &ES : Ents) {
+      ckpt::EntRecord Rec;
+      Rec.Frame = ES.X.R;
+      Rec.RegPrev = ES.RegPrev;
+      Rec.RegPrevValid.assign(ES.RegPrevValid.begin(),
+                              ES.RegPrevValid.end());
+      Rec.DelPrev = ES.DelPrev;
+      ckpt::putEnt(Out, Rec);
+    }
+  }
+
+  bool restore(const std::vector<uint8_t> &In, std::string &RErr) {
+    RErr.clear(); // Callers may reuse the string across attempts.
+    bc::Reader R{In};
+    ckpt::DriverIdMap Map;
+    Map.build(D, Lir);
+    if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*D.M), D, Sched,
+                                   Tr, Now, Stats, Map, RErr))
+      return false;
+
+    if (R.var() != Procs.size() || R.Failed) {
+      RErr = "checkpoint process count does not match this design";
+      return false;
+    }
+    for (CsProcState &PS : Procs) {
+      ckpt::ProcRecord Rec;
+      if (!ckpt::getProc(R, Rec)) {
+        RErr = "truncated checkpoint process section";
+        return false;
+      }
+      if (Rec.Frame.size() != PS.X.R.size() ||
+          Rec.RegPrev.size() != PS.RegPrev.size() ||
+          Rec.DelPrev.size() != PS.DelPrev.size()) {
+        RErr = "checkpoint frame shape does not match this lowering";
+        return false;
+      }
+      PS.State = static_cast<CsProcState::St>(Rec.State);
+      PS.Started = Rec.Started != 0;
+      PS.Pc = static_cast<int>(Rec.Pc);
+      PS.WakeGen = Rec.WakeGen;
+      PS.Sensitivity = std::move(Rec.Sens);
+      PS.X.R = std::move(Rec.Frame);
+      PS.X.Memory = std::move(Rec.Memory);
+      PS.RegPrev = std::move(Rec.RegPrev);
+      PS.RegPrevValid.assign(Rec.RegPrevValid.begin(),
+                             Rec.RegPrevValid.end());
+      PS.DelPrev = std::move(Rec.DelPrev);
+    }
+
+    if (R.var() != Ents.size() || R.Failed) {
+      RErr = "checkpoint entity count does not match this design";
+      return false;
+    }
+    for (CsEntState &ES : Ents) {
+      ckpt::EntRecord Rec;
+      if (!ckpt::getEnt(R, Rec)) {
+        RErr = "truncated checkpoint entity section";
+        return false;
+      }
+      if (Rec.Frame.size() != ES.X.R.size() ||
+          Rec.RegPrev.size() != ES.RegPrev.size() ||
+          Rec.DelPrev.size() != ES.DelPrev.size()) {
+        RErr = "checkpoint entity shape does not match this lowering";
+        return false;
+      }
+      ES.X.R = std::move(Rec.Frame);
+      ES.RegPrev = std::move(Rec.RegPrev);
+      ES.RegPrevValid.assign(Rec.RegPrevValid.begin(),
+                             Rec.RegPrevValid.end());
+      ES.DelPrev = std::move(Rec.DelPrev);
+    }
+
+    Resumed = true;
+    return true;
   }
 };
 
@@ -481,6 +593,11 @@ CommSim::~CommSim() = default;
 bool CommSim::valid() const { return P->Err.empty(); }
 const std::string &CommSim::error() const { return P->Err; }
 SimStats CommSim::run() { return P->run(); }
+SimOptions &CommSim::options() { return P->Opts; }
+void CommSim::checkpoint(std::vector<uint8_t> &Out) { P->checkpoint(Out); }
+bool CommSim::restore(const std::vector<uint8_t> &In, std::string &Err) {
+  return P->restore(In, Err);
+}
 const Trace &CommSim::trace() const { return P->Tr; }
 const SignalTable &CommSim::signals() const { return P->D.Signals; }
 const Design &CommSim::design() const { return P->D; }

@@ -28,7 +28,21 @@ public:
   bool valid() const;
   const std::string &error() const;
 
+  /// Runs to completion; after restore(), continues from the
+  /// checkpointed instant instead.
   SimStats run();
+
+  /// Live options; mutate before run() to wire run-control hooks.
+  SimOptions &options();
+
+  /// Serializes the full runtime state (sim/Checkpoint.h). CommSim runs
+  /// the caller's module as-is, so its images interchange with the
+  /// reference interpreter's.
+  void checkpoint(std::vector<uint8_t> &Out);
+
+  /// Restores a checkpoint() image; false + Err on a version/module
+  /// mismatch or a corrupt image.
+  bool restore(const std::vector<uint8_t> &In, std::string &Err);
 
   const Trace &trace() const;
   const SignalTable &signals() const;

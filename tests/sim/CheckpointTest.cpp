@@ -1,0 +1,322 @@
+//===- tests/sim/CheckpointTest.cpp - Kill/resume state serialization -----===//
+//
+// The tentpole acceptance criterion for crash resilience: a run stopped
+// at an arbitrary instant, checkpointed and resumed in a fresh engine
+// must be indistinguishable from an uninterrupted run — the trace digest
+// matches and the two VCD fragments concatenate byte-identically to the
+// reference dump. Swept over the Table 2 designs suite for all three
+// engines, plus the cross-engine (interp <-> comm) and JIT-Blaze
+// forced-deopt resume paths and the image-corruption error cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blaze/Blaze.h"
+#include "designs/Designs.h"
+#include "moore/Compiler.h"
+#include "sim/Interp.h"
+#include "sim/Wave.h"
+#include "vsim/CommSim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace llhd;
+
+namespace {
+
+/// Compiles design \p D into \p M; returns the top unit name.
+std::string compileDesign(const designs::DesignInfo &D, Module &M) {
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  EXPECT_TRUE(R.Ok) << D.Key << ": " << R.Error;
+  return R.TopUnit;
+}
+
+/// Engine factories with a uniform shape, so the kill/resume procedure
+/// below is written once. Each returns a fresh engine over \p M with the
+/// waveform observer already attached.
+auto makeInterp(Module &M, const std::string &Top, const SimOptions &O) {
+  Design Dn = elaborate(M, Top);
+  EXPECT_TRUE(Dn.ok()) << Dn.Error;
+  return std::make_unique<InterpSim>(std::move(Dn), O);
+}
+
+auto makeComm(Module &M, const std::string &Top, const SimOptions &O) {
+  auto Sim = std::make_unique<CommSim>(M, Top, O);
+  EXPECT_TRUE(Sim->valid()) << Sim->error();
+  return Sim;
+}
+
+auto makeBlaze(Module &M, const std::string &Top, const SimOptions &O,
+               const std::string &ForceDeopt = "") {
+  BlazeSim::BlazeOptions BO;
+  static_cast<SimOptions &>(BO) = O;
+  BO.Jit.ForceDeopt = ForceDeopt;
+  auto Sim = std::make_unique<BlazeSim>(M, Top, BO);
+  EXPECT_TRUE(Sim->valid()) << Sim->error();
+  return Sim;
+}
+
+/// Runs design \p D three times through \p Make: an uninterrupted
+/// reference, a run killed by a delta budget at roughly half the
+/// reference's slots (checkpointing on the stop), and a fresh engine
+/// resumed from that image. Asserts the resumed run finishes with the
+/// reference's digest and that part1+part2 VCD bytes equal the
+/// reference's.
+template <typename MakeSim>
+void killAndResume(const designs::DesignInfo &D, MakeSim Make) {
+  Context Ctx;
+
+  Module MRef(Ctx, D.Key + ".ref");
+  std::string Top = compileDesign(D, MRef);
+  WaveWriter WRef;
+  SimOptions ORef;
+  ORef.Wave = &WRef;
+  auto Ref = Make(MRef, Top, ORef);
+  SimStats SRef = Ref->run();
+  ASSERT_EQ(SRef.Stop, StopReason::None);
+  ASSERT_GE(SRef.Steps, 4u) << D.Key << ": too short to cut in half";
+
+  // Part 1: kill at the halfway instant, checkpoint on the way out.
+  Module MCut(Ctx, D.Key + ".cut");
+  compileDesign(D, MCut);
+  WaveWriter WCut;
+  SimOptions OCut;
+  OCut.Wave = &WCut;
+  auto Cut = Make(MCut, Top, OCut);
+  std::vector<uint8_t> Image;
+  Cut->options().RC.MaxSteps = SRef.Steps / 2;
+  Cut->options().RC.CheckpointOnStop = true;
+  Cut->options().RC.Checkpoint = [&](Time) {
+    Image.clear();
+    Cut->checkpoint(Image);
+    return true;
+  };
+  SimStats SCut = Cut->run();
+  EXPECT_EQ(SCut.Stop, StopReason::DeltaBudget) << D.Key;
+  ASSERT_FALSE(Image.empty()) << D.Key;
+
+  // Part 2: a brand-new engine picks the image up and runs to the end.
+  Module MRes(Ctx, D.Key + ".res");
+  compileDesign(D, MRes);
+  WaveWriter WRes;
+  SimOptions ORes;
+  ORes.Wave = &WRes;
+  auto Res = Make(MRes, Top, ORes);
+  std::string Err;
+  ASSERT_TRUE(Res->restore(Image, Err)) << D.Key << ": " << Err;
+  SimStats SRes = Res->run();
+
+  EXPECT_EQ(SRes.Stop, StopReason::None) << D.Key;
+  EXPECT_EQ(SRes.Finished, SRef.Finished) << D.Key;
+  EXPECT_EQ(SRes.EndTime, SRef.EndTime) << D.Key;
+  // Counters were checkpointed, so the resumed totals are the run's.
+  EXPECT_EQ(SRes.Steps, SRef.Steps) << D.Key;
+  EXPECT_EQ(SRes.AssertFailures, SRef.AssertFailures) << D.Key;
+  EXPECT_EQ(Res->trace().numChanges(), Ref->trace().numChanges()) << D.Key;
+  EXPECT_EQ(Res->trace().digest(), Ref->trace().digest())
+      << D.Key << ": resumed trace digest diverges";
+  EXPECT_EQ(WCut.text() + WRes.text(), WRef.text())
+      << D.Key << ": part1+part2 VCD is not byte-identical";
+}
+
+class CheckpointSweep : public ::testing::TestWithParam<std::string> {
+protected:
+  designs::DesignInfo D = designs::designByKey(GetParam(), 0.0);
+};
+
+TEST_P(CheckpointSweep, InterpKillAndResume) {
+  ASSERT_FALSE(D.Key.empty());
+  killAndResume(D, [](Module &M, const std::string &T, const SimOptions &O) {
+    return makeInterp(M, T, O);
+  });
+}
+
+TEST_P(CheckpointSweep, BlazeKillAndResume) {
+  ASSERT_FALSE(D.Key.empty());
+  killAndResume(D, [](Module &M, const std::string &T, const SimOptions &O) {
+    return makeBlaze(M, T, O);
+  });
+}
+
+TEST_P(CheckpointSweep, CommKillAndResume) {
+  ASSERT_FALSE(D.Key.empty());
+  killAndResume(D, [](Module &M, const std::string &T, const SimOptions &O) {
+    return makeComm(M, T, O);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, CheckpointSweep,
+    ::testing::Values("gray", "fir", "lfsr", "lzc", "fifo", "cdc_gray",
+                      "cdc_strobe", "rr_arbiter", "stream_delayer",
+                      "riscv"),
+    [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
+
+// A checkpoint written by the reference interpreter restores into
+// CommSim mid-run (and vice versa): both simulate the caller's module
+// as-is, so the compatibility hash matches and the digest continues
+// identically across the engine swap.
+TEST(Checkpoint, CrossEngineInterpCommResume) {
+  designs::DesignInfo D = designs::designByKey("fifo", 0.0);
+  ASSERT_FALSE(D.Key.empty());
+  Context Ctx;
+
+  Module MRef(Ctx, "ref");
+  std::string Top = compileDesign(D, MRef);
+  SimOptions O;
+  auto Ref = makeInterp(MRef, Top, O);
+  SimStats SRef = Ref->run();
+  ASSERT_GE(SRef.Steps, 4u);
+
+  for (bool InterpFirst : {true, false}) {
+    Module MCut(Ctx, InterpFirst ? "cut.i" : "cut.c");
+    compileDesign(D, MCut);
+    std::vector<uint8_t> Image;
+    SimStats SCut;
+    auto cutRun = [&](auto Sim) {
+      Sim->options().RC.MaxSteps = SRef.Steps / 2;
+      Sim->options().RC.CheckpointOnStop = true;
+      Sim->options().RC.Checkpoint = [&, S = Sim.get()](Time) {
+        S->checkpoint(Image);
+        return true;
+      };
+      SCut = Sim->run();
+    };
+    if (InterpFirst)
+      cutRun(makeInterp(MCut, Top, O));
+    else
+      cutRun(makeComm(MCut, Top, O));
+    ASSERT_EQ(SCut.Stop, StopReason::DeltaBudget);
+    ASSERT_FALSE(Image.empty());
+
+    Module MRes(Ctx, InterpFirst ? "res.c" : "res.i");
+    compileDesign(D, MRes);
+    std::string Err;
+    SimStats SRes;
+    uint64_t Digest = 0;
+    auto resRun = [&](auto Sim) {
+      ASSERT_TRUE(Sim->restore(Image, Err)) << Err;
+      SRes = Sim->run();
+      Digest = Sim->trace().digest();
+    };
+    if (InterpFirst)
+      resRun(makeComm(MRes, Top, O));
+    else
+      resRun(makeInterp(MRes, Top, O));
+    EXPECT_EQ(SRes.EndTime, SRef.EndTime);
+    EXPECT_EQ(Digest, Ref->trace().digest())
+        << (InterpFirst ? "interp->comm" : "comm->interp")
+        << ": digest diverges across the engine swap";
+  }
+}
+
+// JIT-Blaze deopt interchange: an image checkpointed while processes ran
+// natively restores into an engine where every unit was forced back to
+// the interpreter, and vice versa — the resumption-point mapping between
+// native entry numbers and LIR pcs works in both directions. (When no
+// host compiler is available both runs interpret and the test still
+// holds trivially.)
+TEST(Checkpoint, BlazeForcedDeoptResume) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  ASSERT_FALSE(D.Key.empty());
+  Context Ctx;
+
+  Module MRef(Ctx, "ref");
+  std::string Top = compileDesign(D, MRef);
+  WaveWriter WRef;
+  SimOptions O;
+  O.Wave = &WRef;
+  auto Ref = makeBlaze(MRef, Top, O);
+  SimStats SRef = Ref->run();
+  ASSERT_GE(SRef.Steps, 4u);
+
+  for (bool DeoptFirst : {false, true}) {
+    Module MCut(Ctx, DeoptFirst ? "cut.d" : "cut.j");
+    compileDesign(D, MCut);
+    WaveWriter WCut;
+    SimOptions OCut;
+    OCut.Wave = &WCut;
+    auto Cut = makeBlaze(MCut, Top, OCut, DeoptFirst ? "*" : "");
+    std::vector<uint8_t> Image;
+    Cut->options().RC.MaxSteps = SRef.Steps / 2;
+    Cut->options().RC.CheckpointOnStop = true;
+    Cut->options().RC.Checkpoint = [&](Time) {
+      Cut->checkpoint(Image);
+      return true;
+    };
+    ASSERT_EQ(Cut->run().Stop, StopReason::DeltaBudget);
+    ASSERT_FALSE(Image.empty());
+
+    Module MRes(Ctx, DeoptFirst ? "res.j" : "res.d");
+    compileDesign(D, MRes);
+    WaveWriter WRes;
+    SimOptions ORes;
+    ORes.Wave = &WRes;
+    auto Res = makeBlaze(MRes, Top, ORes, DeoptFirst ? "" : "*");
+    std::string Err;
+    ASSERT_TRUE(Res->restore(Image, Err)) << Err;
+    SimStats SRes = Res->run();
+
+    EXPECT_EQ(SRes.EndTime, SRef.EndTime);
+    EXPECT_EQ(Res->trace().digest(), Ref->trace().digest())
+        << (DeoptFirst ? "deopt->jit" : "jit->deopt")
+        << ": digest diverges";
+    EXPECT_EQ(WCut.text() + WRes.text(), WRef.text())
+        << (DeoptFirst ? "deopt->jit" : "jit->deopt")
+        << ": VCD not byte-identical";
+  }
+}
+
+// Corrupt or mismatched images are rejected with a diagnostic, never
+// silently half-restored.
+TEST(Checkpoint, RejectsCorruptAndMismatchedImages) {
+  designs::DesignInfo D = designs::designByKey("gray", 0.0);
+  Context Ctx;
+  Module M(Ctx, "m");
+  std::string Top = compileDesign(D, M);
+  SimOptions O;
+
+  std::vector<uint8_t> Image;
+  {
+    auto Sim = makeInterp(M, Top, O);
+    Sim->options().RC.MaxSteps = 4;
+    Sim->options().RC.CheckpointOnStop = true;
+    Sim->options().RC.Checkpoint = [&, S = Sim.get()](Time) {
+      S->checkpoint(Image);
+      return true;
+    };
+    Sim->run();
+    ASSERT_FALSE(Image.empty());
+  }
+  std::string Err;
+
+  // Empty image.
+  EXPECT_FALSE(makeInterp(M, Top, O)->restore({}, Err));
+  EXPECT_FALSE(Err.empty());
+
+  // Bad magic.
+  std::vector<uint8_t> Bad = Image;
+  Bad[0] ^= 0xff;
+  EXPECT_FALSE(makeInterp(M, Top, O)->restore(Bad, Err));
+
+  // Truncated mid-stream.
+  std::vector<uint8_t> Short(Image.begin(),
+                             Image.begin() + Image.size() / 2);
+  EXPECT_FALSE(makeInterp(M, Top, O)->restore(Short, Err));
+
+  // A different design: the module-hash compatibility check fires.
+  designs::DesignInfo D2 = designs::designByKey("lfsr", 0.0);
+  Module M2(Ctx, "other");
+  std::string Top2 = compileDesign(D2, M2);
+  EXPECT_FALSE(makeInterp(M2, Top2, O)->restore(Image, Err));
+  EXPECT_NE(Err.find("module"), std::string::npos) << Err;
+
+  // And the original image still restores fine after all that.
+  EXPECT_TRUE(makeInterp(M, Top, O)->restore(Image, Err)) << Err;
+}
+
+} // namespace

@@ -21,7 +21,9 @@
 #include "vsim/CommSim.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,6 +52,8 @@ void printUsage() {
           "  --jit=<m>        Blaze native code generation: on (default),\n"
           "                   off, or dump (also writes the generated C++\n"
           "                   next to the design as <input>.jit.cpp)\n"
+          "  --jit-deopt=<s>  force process units whose name contains <s>\n"
+          "                   (\"*\" for all) back to the interpreter\n"
           "  --stats          print run statistics to stderr\n"
           "  --list-signals   print the elaborated signal hierarchy and\n"
           "                   exit without simulating\n"
@@ -57,7 +61,83 @@ void printUsage() {
           "                   classification) of every instantiated\n"
           "                   unit, then exit without simulating\n"
           "  --sv, --llhd     force the input language (default: by\n"
-          "                   file extension; stdin defaults to .llhd)\n");
+          "                   file extension; stdin defaults to .llhd)\n"
+          "\n"
+          "run control (see DESIGN.md):\n"
+          "  --timeout=<sec>      stop after this much wall-clock time\n"
+          "  --max-events=<n>     stop after n scheduled events\n"
+          "  --max-deltas=<n>     stop after n processed time slots\n"
+          "  --checkpoint=<file>  write the simulation state here: at\n"
+          "                       every --checkpoint-every interval and\n"
+          "                       once more on any early stop (signal,\n"
+          "                       timeout, budget); written atomically\n"
+          "  --checkpoint-every=<time>  periodic checkpoint cadence\n"
+          "  --resume=<file>      restore a checkpoint and continue; with\n"
+          "                       --vcd the dump is appended so the file\n"
+          "                       continues byte-identically\n"
+          "  SIGINT/SIGTERM finish the current delta cycle, flush the\n"
+          "  VCD, write the --checkpoint file if set, and exit 85.\n"
+          "\n"
+          "exit codes:\n"
+          "  0 ok, 1 assertion failed, 2 engine divergence, 64 usage,\n"
+          "  65 frontend error, 66 i/o error, 80 wall timeout, 81 event\n"
+          "  budget, 82 delta budget, 83 oscillation detected,\n"
+          "  84 checkpoint error, 85 interrupted\n");
+}
+
+/// Raised by the SIGINT/SIGTERM handler; the event loop polls it at
+/// instant boundaries and shuts down gracefully.
+volatile std::sig_atomic_t GStopRequested = 0;
+
+void onStopSignal(int) { GStopRequested = 1; }
+
+int exitFor(ExitCode C) { return static_cast<int>(C); }
+
+/// Maps an early-stop reason onto its documented exit code.
+ExitCode exitCodeFor(StopReason R) {
+  switch (R) {
+  case StopReason::None: return ExitCode::Ok;
+  case StopReason::Interrupted: return ExitCode::Interrupted;
+  case StopReason::WallTimeout: return ExitCode::WallTimeout;
+  case StopReason::EventBudget: return ExitCode::EventBudget;
+  case StopReason::DeltaBudget: return ExitCode::DeltaBudget;
+  case StopReason::Oscillation: return ExitCode::Oscillation;
+  case StopReason::CheckpointError: return ExitCode::CheckpointError;
+  }
+  return ExitCode::Ok;
+}
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return static_cast<bool>(In);
+}
+
+/// Writes \p Bytes to \p Path through a temporary + rename, so a crash,
+/// signal or full disk mid-write never leaves a torn file at the
+/// destination — the previous checkpoint stays valid until the new one
+/// is completely on disk.
+bool writeFileAtomic(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+    Out.flush();
+    if (!Out)
+      return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Everything one engine run produces that the driver reports on.
@@ -77,6 +157,10 @@ struct DriverConfig {
   std::string VcdPath;
   std::string Jit = "on"; ///< Blaze native codegen: on, off, or dump.
   std::string JitDumpPath;
+  std::string JitDeopt;        ///< --jit-deopt pattern.
+  std::string CheckpointPath;  ///< --checkpoint destination.
+  std::string ResumePath;      ///< --resume source.
+  std::vector<uint8_t> ResumeBytes; ///< Loaded --resume image.
   bool DiffEngines = false;
   bool NoOpt = false;
   bool Stats = false;
@@ -118,10 +202,11 @@ std::string detectTop(const Module &M, std::string &Error) {
 /// Runs one engine over \p M. \p WantVcd attaches a WaveWriter: with a
 /// \p VcdStream it streams there (bounded memory, arbitrary run
 /// length), otherwise the text lands in the outcome for comparison.
-bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
-               const DriverConfig &Cfg, bool WantVcd,
-               std::ostream *VcdStream, RunOutcome &Out,
-               std::string &Error) {
+/// Returns 0 or the exit code of a setup failure (run outcomes — stop
+/// reasons, assertion failures — are judged by the caller from Out).
+int runEngine(const std::string &Engine, Module &M, const std::string &Top,
+              const DriverConfig &Cfg, bool WantVcd,
+              std::ostream *VcdStream, RunOutcome &Out) {
   Out.Engine = Engine;
   WaveWriter Wave;
   SimOptions Opts = Cfg.Opts;
@@ -131,23 +216,49 @@ bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
       Wave.streamTo(*VcdStream);
   }
 
-  // All engines share the run/trace/design interface.
-  auto record = [&Out](auto &Sim) {
+  auto inputError = [&](const std::string &Msg) {
+    fprintf(stderr, "llhd-sim: %s: %s\n", Engine.c_str(), Msg.c_str());
+    return exitFor(ExitCode::InputError);
+  };
+
+  // Restore + checkpoint hookup and the run itself, shared across the
+  // engines (all three expose options/checkpoint/restore/run).
+  auto simulate = [&](auto &Sim) -> int {
+    if (!Cfg.ResumePath.empty()) {
+      std::string RErr;
+      if (!Sim.restore(Cfg.ResumeBytes, RErr)) {
+        fprintf(stderr, "llhd-sim: %s: cannot resume from '%s': %s\n",
+                Engine.c_str(), Cfg.ResumePath.c_str(), RErr.c_str());
+        return exitFor(ExitCode::CheckpointError);
+      }
+    }
+    if (!Cfg.CheckpointPath.empty()) {
+      Sim.options().RC.CheckpointOnStop = true;
+      Sim.options().RC.Checkpoint = [&Sim, &Cfg](Time) {
+        std::vector<uint8_t> Image;
+        Sim.checkpoint(Image);
+        if (writeFileAtomic(Cfg.CheckpointPath, Image))
+          return true;
+        fprintf(stderr, "llhd-sim: cannot write checkpoint '%s'\n",
+                Cfg.CheckpointPath.c_str());
+        return false;
+      };
+    }
     Out.Stats = Sim.run();
     Out.Digest = Sim.trace().digest();
     Out.Changes = Sim.trace().numChanges();
     Out.Signals = Sim.design().Signals.size();
     Out.Instances = Sim.design().Instances.size();
+    return 0;
   };
 
+  int Rc = 0;
   if (Engine == "interp") {
     Design D = elaborate(M, Top);
-    if (!D.ok()) {
-      Error = D.Error;
-      return false;
-    }
+    if (!D.ok())
+      return inputError(D.Error);
     InterpSim Sim(std::move(D), Opts);
-    record(Sim);
+    Rc = simulate(Sim);
   } else if (Engine == "blaze") {
     BlazeSim::BlazeOptions BOpts;
     static_cast<SimOptions &>(BOpts) = Opts;
@@ -159,11 +270,10 @@ bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
       BOpts.Jit.DumpPath = Cfg.JitDumpPath;
     } else
       BOpts.Jit.M = jit::JitOptions::Mode::On;
+    BOpts.Jit.ForceDeopt = Cfg.JitDeopt;
     BlazeSim Sim(M, Top, BOpts);
-    if (!Sim.valid()) {
-      Error = Sim.error();
-      return false;
-    }
+    if (!Sim.valid())
+      return inputError(Sim.error());
     if (Cfg.Stats) {
       const jit::JitStats &J = Sim.jitStats();
       if (J.Enabled) {
@@ -177,22 +287,22 @@ bool runEngine(const std::string &Engine, Module &M, const std::string &Top,
                   R.c_str());
       }
     }
-    record(Sim);
+    Rc = simulate(Sim);
   } else if (Engine == "comm") {
     CommSim Sim(M, Top, Opts);
-    if (!Sim.valid()) {
-      Error = Sim.error();
-      return false;
-    }
-    record(Sim);
+    if (!Sim.valid())
+      return inputError(Sim.error());
+    Rc = simulate(Sim);
   } else {
-    Error = "unknown engine '" + Engine +
-            "' (valid engines: interp, blaze, comm)";
-    return false;
+    fprintf(stderr,
+            "llhd-sim: unknown engine '%s' (valid engines: interp, "
+            "blaze, comm)\n",
+            Engine.c_str());
+    return exitFor(ExitCode::Usage);
   }
-  if (WantVcd && !VcdStream)
+  if (Rc == 0 && WantVcd && !VcdStream)
     Out.Vcd = Wave.text();
-  return true;
+  return Rc;
 }
 
 void printStats(const RunOutcome &O) {
@@ -230,7 +340,7 @@ int main(int Argc, char **Argv) {
       std::string T = A.substr(strlen("--until="));
       if (!Time::parse(T, Cfg.Opts.MaxTime)) {
         fprintf(stderr, "llhd-sim: invalid time '%s'\n", T.c_str());
-        return 1;
+        return exitFor(ExitCode::Usage);
       }
     } else if (A.rfind("--vcd=", 0) == 0) {
       Cfg.VcdPath = A.substr(strlen("--vcd="));
@@ -241,8 +351,47 @@ int main(int Argc, char **Argv) {
                 "llhd-sim: invalid --jit mode '%s' (valid: on, off, "
                 "dump)\n",
                 Cfg.Jit.c_str());
-        return 1;
+        return exitFor(ExitCode::Usage);
       }
+    } else if (A.rfind("--jit-deopt=", 0) == 0) {
+      Cfg.JitDeopt = A.substr(strlen("--jit-deopt="));
+    } else if (A.rfind("--timeout=", 0) == 0) {
+      char *End = nullptr;
+      std::string S = A.substr(strlen("--timeout="));
+      Cfg.Opts.RC.WallTimeoutSec = strtod(S.c_str(), &End);
+      if (!End || *End != '\0' || Cfg.Opts.RC.WallTimeoutSec <= 0) {
+        fprintf(stderr, "llhd-sim: invalid --timeout '%s' (seconds)\n",
+                S.c_str());
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.rfind("--max-events=", 0) == 0) {
+      Cfg.Opts.RC.MaxEvents =
+          strtoull(A.c_str() + strlen("--max-events="), nullptr, 10);
+      if (Cfg.Opts.RC.MaxEvents == 0) {
+        fprintf(stderr, "llhd-sim: invalid --max-events '%s'\n",
+                A.c_str() + strlen("--max-events="));
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.rfind("--max-deltas=", 0) == 0) {
+      Cfg.Opts.RC.MaxSteps =
+          strtoull(A.c_str() + strlen("--max-deltas="), nullptr, 10);
+      if (Cfg.Opts.RC.MaxSteps == 0) {
+        fprintf(stderr, "llhd-sim: invalid --max-deltas '%s'\n",
+                A.c_str() + strlen("--max-deltas="));
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.rfind("--checkpoint=", 0) == 0) {
+      Cfg.CheckpointPath = A.substr(strlen("--checkpoint="));
+    } else if (A.rfind("--checkpoint-every=", 0) == 0) {
+      std::string T = A.substr(strlen("--checkpoint-every="));
+      Time Every;
+      if (!Time::parse(T, Every) || Every.Fs == 0) {
+        fprintf(stderr, "llhd-sim: invalid time '%s'\n", T.c_str());
+        return exitFor(ExitCode::Usage);
+      }
+      Cfg.Opts.RC.CheckpointEveryFs = Every.Fs;
+    } else if (A.rfind("--resume=", 0) == 0) {
+      Cfg.ResumePath = A.substr(strlen("--resume="));
     } else if (A == "--diff-engines") {
       Cfg.DiffEngines = true;
     } else if (A == "--no-opt") {
@@ -260,17 +409,51 @@ int main(int Argc, char **Argv) {
     } else if (!A.empty() && A[0] == '-' && A != "-") {
       fprintf(stderr, "llhd-sim: unknown option '%s'\n", A.c_str());
       printUsage();
-      return 1;
+      return exitFor(ExitCode::Usage);
     } else if (File.empty()) {
       File = A;
     } else {
       fprintf(stderr, "llhd-sim: more than one input file\n");
-      return 1;
+      return exitFor(ExitCode::Usage);
     }
   }
   if (File.empty()) {
     printUsage();
-    return 1;
+    return exitFor(ExitCode::Usage);
+  }
+  if (Cfg.Opts.RC.CheckpointEveryFs && Cfg.CheckpointPath.empty()) {
+    fprintf(stderr,
+            "llhd-sim: --checkpoint-every requires --checkpoint=<file>\n");
+    return exitFor(ExitCode::Usage);
+  }
+  if (Cfg.DiffEngines &&
+      (!Cfg.CheckpointPath.empty() || !Cfg.ResumePath.empty())) {
+    // Diff mode runs three engines over one artifact set; checkpointing
+    // would interleave their images and resume cannot know which run.
+    fprintf(stderr,
+            "llhd-sim: --diff-engines is incompatible with --checkpoint/"
+            "--resume\n");
+    return exitFor(ExitCode::Usage);
+  }
+  if (!Cfg.ResumePath.empty() &&
+      !readFileBytes(Cfg.ResumePath, Cfg.ResumeBytes)) {
+    fprintf(stderr, "llhd-sim: cannot read checkpoint '%s'\n",
+            Cfg.ResumePath.c_str());
+    return exitFor(ExitCode::IoError);
+  }
+
+  // Graceful shutdown: SIGINT/SIGTERM raise the stop flag; the event
+  // loop finishes the current delta cycle, flushes the waveform, writes
+  // the final checkpoint if requested, and the driver exits 85. The
+  // loop polls the flag at every instant boundary, so shutdown is
+  // prompt without ever producing a torn artifact.
+  {
+    struct sigaction SA;
+    memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onStopSignal;
+    sigaction(SIGINT, &SA, nullptr);
+    sigaction(SIGTERM, &SA, nullptr);
+    Cfg.Opts.RC.StopFlag = &GStopRequested;
   }
   // Dump mode writes the generated C++ next to the design.
   Cfg.JitDumpPath = (File == "-" ? "stdin" : File) + ".jit.cpp";
@@ -284,7 +467,7 @@ int main(int Argc, char **Argv) {
     std::ifstream In(File);
     if (!In) {
       fprintf(stderr, "llhd-sim: cannot open '%s'\n", File.c_str());
-      return 1;
+      return exitFor(ExitCode::IoError);
     }
     std::ostringstream SS;
     SS << In.rdbuf();
@@ -306,7 +489,7 @@ int main(int Argc, char **Argv) {
     Cfg.Top = moore::detectTopModule(Src, Error);
     if (Cfg.Top.empty()) {
       fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
   }
 
@@ -342,12 +525,12 @@ int main(int Argc, char **Argv) {
     std::unique_ptr<Module> M = buildModule(File, Top, Error);
     if (!M) {
       fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
     Design D = elaborate(*M, Top);
     if (!D.ok()) {
       fprintf(stderr, "llhd-sim: %s\n", D.Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
     // One lowering per distinct unit, in first-instantiation order --
     // exactly what the engines execute.
@@ -367,12 +550,12 @@ int main(int Argc, char **Argv) {
     std::unique_ptr<Module> M = buildModule(File, Top, Error);
     if (!M) {
       fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
     Design D = elaborate(*M, Top);
     if (!D.ok()) {
       fprintf(stderr, "llhd-sim: %s\n", D.Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
     printf("%u signals, %zu instances under @%s\n",
            D.Signals.size(), D.Instances.size(), Top.c_str());
@@ -401,23 +584,27 @@ int main(int Argc, char **Argv) {
     std::unique_ptr<Module> M = buildModule(File + "." + E, Top, Error);
     if (!M) {
       fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
-      return 1;
+      return exitFor(ExitCode::InputError);
     }
     if (WantVcd && !VcdOut.is_open()) {
-      VcdOut.open(Cfg.VcdPath, std::ios::binary);
+      // A resumed run appends: the interrupted run's dump already holds
+      // everything up to the checkpoint instant, and the writer picks up
+      // without re-emitting the header, so the file continues
+      // byte-identically to an uninterrupted run.
+      VcdOut.open(Cfg.VcdPath, Cfg.ResumePath.empty()
+                                   ? std::ios::binary
+                                   : std::ios::binary | std::ios::app);
       if (!VcdOut) {
         fprintf(stderr, "llhd-sim: cannot write '%s'\n",
                 Cfg.VcdPath.c_str());
-        return 1;
+        return exitFor(ExitCode::IoError);
       }
     }
     RunOutcome O;
     // In diff mode the waveforms are compared even without --vcd.
-    if (!runEngine(E, *M, Top, Cfg, WantVcd || Cfg.DiffEngines,
-                   Cfg.DiffEngines ? nullptr : &VcdOut, O, Error)) {
-      fprintf(stderr, "llhd-sim: %s: %s\n", E.c_str(), Error.c_str());
-      return 1;
-    }
+    if (int Rc = runEngine(E, *M, Top, Cfg, WantVcd || Cfg.DiffEngines,
+                           Cfg.DiffEngines ? nullptr : &VcdOut, O))
+      return Rc;
     Outcomes.push_back(std::move(O));
     if (Cfg.Stats)
       printStats(Outcomes.back());
@@ -429,22 +616,41 @@ int main(int Argc, char **Argv) {
     if (!VcdOut) { // Full disk / I/O error: fail loudly, not with exit 0.
       fprintf(stderr, "llhd-sim: error writing '%s'\n",
               Cfg.VcdPath.c_str());
-      return 1;
+      return exitFor(ExitCode::IoError);
     }
   }
 
-  int Exit = 0;
+  int Exit = exitFor(ExitCode::Ok);
   for (const RunOutcome &O : Outcomes) {
     if (O.Stats.AssertFailures != 0) {
       fprintf(stderr, "llhd-sim: %s: %llu assertion failure(s)\n",
               O.Engine.c_str(), (unsigned long long)O.Stats.AssertFailures);
-      Exit = 1;
+      Exit = exitFor(ExitCode::AssertFailed);
     }
-    if (O.Stats.DeltaOverflow) {
-      fprintf(stderr, "llhd-sim: %s: delta-cycle overflow (oscillation?)\n",
-              O.Engine.c_str());
-      Exit = 1;
+  }
+  // Early stops carry their own exit codes (80-85); an assertion failure
+  // observed before the stop still wins, since that is what the run
+  // actually diagnosed.
+  for (const RunOutcome &O : Outcomes) {
+    if (O.Stats.Stop == StopReason::None)
+      continue;
+    fprintf(stderr, "llhd-sim: %s: stopped at %s: %s\n", O.Engine.c_str(),
+            O.Stats.EndTime.toString().c_str(),
+            stopReasonName(O.Stats.Stop));
+    if (O.Stats.Stop == StopReason::Oscillation) {
+      auto join = [](const std::vector<std::string> &V) {
+        std::string S;
+        for (const std::string &N : V)
+          S += (S.empty() ? "" : ", ") + N;
+        return S;
+      };
+      fprintf(stderr, "llhd-sim: %s: cycling process(es): %s\n",
+              O.Engine.c_str(), join(O.Stats.OscProcs).c_str());
+      fprintf(stderr, "llhd-sim: %s: cycling signal(s): %s\n",
+              O.Engine.c_str(), join(O.Stats.OscSigs).c_str());
     }
+    if (Exit == 0)
+      Exit = exitFor(exitCodeFor(O.Stats.Stop));
   }
 
   if (Cfg.DiffEngines) {
@@ -465,7 +671,7 @@ int main(int Argc, char **Argv) {
       }
     }
     if (Diverged)
-      return 2;
+      return exitFor(ExitCode::Divergence);
     printf("llhd-sim: traces match across interp/blaze/comm "
            "(%llu changes, digest %016llx)\n",
            (unsigned long long)Ref.Changes, (unsigned long long)Ref.Digest);
