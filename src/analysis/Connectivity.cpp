@@ -1,0 +1,736 @@
+//===- analysis/Connectivity.cpp - Signal connectivity graph -------------===//
+
+#include "analysis/Connectivity.h"
+#include "analysis/TemporalRegions.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace llhd;
+
+const char *llhd::driveDelayName(DriveDelay D) {
+  switch (D) {
+  case DriveDelay::Delta:
+    return "delta";
+  case DriveDelay::Physical:
+    return "physical";
+  case DriveDelay::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+const char *llhd::activationClassName(ActivationClass C) {
+  switch (C) {
+  case ActivationClass::Combinational:
+    return "comb";
+  case ActivationClass::EdgeTriggered:
+    return "edge";
+  case ActivationClass::General:
+    return "general";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// SigRef overlap
+//===----------------------------------------------------------------------===//
+
+bool llhd::sigRefsOverlap(const SigRef &A, const SigRef &B) {
+  if (A.Sig != B.Sig)
+    return false;
+  // Walk the common element-path prefix; a divergence means the two refs
+  // live in disjoint aggregate elements.
+  size_t Common = std::min(A.Path.size(), B.Path.size());
+  for (size_t I = 0; I != Common; ++I)
+    if (A.Path[I] != B.Path[I])
+      return false;
+  // One path strictly inside the other: the deeper ref is one element of
+  // the shallower one. If the shallower ref is an array slice, the next
+  // path index of the deeper ref decides membership.
+  if (A.Path.size() != B.Path.size()) {
+    const SigRef &Shallow = A.Path.size() < B.Path.size() ? A : B;
+    const SigRef &Deep = A.Path.size() < B.Path.size() ? B : A;
+    uint32_t Elem = Deep.Path[Common];
+    if (Shallow.ElemOff >= 0)
+      return Elem >= static_cast<uint32_t>(Shallow.ElemOff) &&
+             Elem < static_cast<uint32_t>(Shallow.ElemOff) + Shallow.ElemLen;
+    // A bit slice of the whole aggregate element cannot coexist with an
+    // element path below it; conservatively overlap.
+    return true;
+  }
+  // Equal paths: compare the trailing ranges.
+  if (A.ElemOff >= 0 && B.ElemOff >= 0)
+    return static_cast<uint32_t>(A.ElemOff) < B.ElemOff + B.ElemLen &&
+           static_cast<uint32_t>(B.ElemOff) < A.ElemOff + A.ElemLen;
+  if (A.BitOff >= 0 && B.BitOff >= 0)
+    return static_cast<uint32_t>(A.BitOff) < B.BitOff + B.BitLen &&
+           static_cast<uint32_t>(B.BitOff) < A.BitOff + A.BitLen;
+  // Whole element vs. any range, or mixed range kinds: overlap.
+  return true;
+}
+
+std::string llhd::signalRefName(const Design &D, const SigRef &R) {
+  if (!R.valid())
+    return "<invalid>";
+  std::string S = D.Signals.name(D.Signals.canonical(R.Sig));
+  for (uint32_t E : R.Path)
+    S += "[" + std::to_string(E) + "]";
+  if (R.ElemOff >= 0)
+    S += "[" + std::to_string(R.ElemOff + R.ElemLen - 1) + ":" +
+         std::to_string(R.ElemOff) + "]";
+  if (R.BitOff >= 0)
+    S += "[" + std::to_string(R.BitOff + R.BitLen - 1) + ":" +
+         std::to_string(R.BitOff) + "]";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-instance graph construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Dense bitset over the instance-local universe of probed references.
+using Bits = std::vector<uint64_t>;
+
+void setBit(Bits &B, uint32_t I) {
+  if (B.size() <= I / 64)
+    B.resize(I / 64 + 1, 0);
+  B[I / 64] |= uint64_t(1) << (I % 64);
+}
+
+bool orInto(Bits &Dst, const Bits &Src) {
+  if (Dst.size() < Src.size())
+    Dst.resize(Src.size(), 0);
+  bool Changed = false;
+  for (size_t I = 0; I != Src.size(); ++I) {
+    uint64_t Old = Dst[I];
+    Dst[I] |= Src[I];
+    Changed |= Dst[I] != Old;
+  }
+  return Changed;
+}
+
+template <typename Fn> void forEachBit(const Bits &B, Fn &&F) {
+  for (size_t W = 0; W != B.size(); ++W)
+    for (uint64_t Word = B[W]; Word; Word &= Word - 1)
+      F(static_cast<uint32_t>(W * 64 + __builtin_ctzll(Word)));
+}
+
+/// Builds one Connectivity::Node from one elaborated instance.
+class NodeBuilder {
+public:
+  NodeBuilder(const Design &D, uint32_t InstIdx, Connectivity::Node &N)
+      : D(D), UI(D.Instances[InstIdx]), U(*UI.U), N(N) {
+    N.Instance = InstIdx;
+  }
+
+  void run() {
+    U.numberValues();
+    collectRefs();
+    computeValueDeps();
+    computeReachability();
+    computeControlDeps();
+    classify();
+    collectDrives();
+    finalize();
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Signal reference chasing
+  //===------------------------------------------------------------------===//
+
+  /// Resolves a signal-typed SSA value to the set of storage references
+  /// it can denote, chasing extf/exts/phi/mux chains back to bound
+  /// arguments and elaborated sub-signals. Unresolvable values mark the
+  /// node as having dynamic references.
+  const std::vector<SigRef> &chase(const Value *V) {
+    auto It = ChaseMemo.find(V);
+    if (It != ChaseMemo.end())
+      return It->second;
+    // Seed the memo first so phi cycles terminate (they see the empty
+    // in-progress set, which is the correct least fixpoint seed).
+    auto &Slot = ChaseMemo[V];
+    std::vector<SigRef> Out = chaseImpl(V);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    Slot = std::move(Out);
+    return ChaseMemo[V];
+  }
+
+  std::vector<SigRef> chaseImpl(const Value *V) {
+    auto BIt = UI.Bindings.find(V);
+    if (BIt != UI.Bindings.end())
+      return {D.Signals.resolve(BIt->second)};
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I) {
+      N.HasDynamicRefs = true;
+      return {};
+    }
+    switch (I->opcode()) {
+    case Opcode::Extf: {
+      std::vector<SigRef> Out;
+      for (const SigRef &B : chase(I->operand(0))) {
+        // Mirror Design.cpp's elaboration-time narrowing; where the
+        // shape rules out a precise narrow, keep the base reference (a
+        // superset — safe for dependence analysis).
+        if (B.BitOff >= 0 ||
+            (B.ElemOff >= 0 && I->immediate() >= B.ElemLen))
+          Out.push_back(B);
+        else
+          Out.push_back(B.element(I->immediate()));
+      }
+      return Out;
+    }
+    case Opcode::Exts: {
+      auto *ST = dyn_cast<SignalType>(I->type());
+      if (!ST) {
+        N.HasDynamicRefs = true;
+        return {};
+      }
+      Type *Inner = ST->inner();
+      std::vector<SigRef> Out;
+      for (const SigRef &B : chase(I->operand(0))) {
+        if (Inner->isArray()) {
+          uint32_t Len = cast<ArrayType>(Inner)->length();
+          if (B.BitOff >= 0 ||
+              (B.ElemOff >= 0 && I->immediate() + Len > B.ElemLen))
+            Out.push_back(B);
+          else
+            Out.push_back(B.elements(I->immediate(), Len));
+        } else {
+          uint32_t Len = Inner->bitWidth();
+          if (B.ElemOff >= 0 ||
+              (B.BitOff >= 0 && I->immediate() + Len > B.BitLen))
+            Out.push_back(B);
+          else
+            Out.push_back(B.bits(I->immediate(), Len));
+        }
+      }
+      return Out;
+    }
+    case Opcode::Phi: {
+      std::vector<SigRef> Out;
+      for (unsigned J = 0; J != I->numIncoming(); ++J) {
+        const auto &In = chase(I->incomingValue(J));
+        Out.insert(Out.end(), In.begin(), In.end());
+      }
+      return Out;
+    }
+    case Opcode::Mux:
+      return chase(I->operand(0));
+    case Opcode::ArrayCreate:
+    case Opcode::StructCreate: {
+      std::vector<SigRef> Out;
+      for (unsigned J = 0; J != I->numOperands(); ++J) {
+        const auto &In = chase(I->operand(J));
+        Out.insert(Out.end(), In.begin(), In.end());
+      }
+      return Out;
+    }
+    default:
+      N.HasDynamicRefs = true;
+      return {};
+    }
+  }
+
+  SignalId canon(SignalId S) const { return D.Signals.canonical(S); }
+
+  uint32_t refIndex(const SigRef &R) {
+    auto It = RefIdx.find(R);
+    if (It != RefIdx.end())
+      return It->second;
+    uint32_t Idx = Refs.size();
+    Refs.push_back(R);
+    RefIdx[R] = Idx;
+    return Idx;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 1: reads, waits, the probed-reference universe
+  //===------------------------------------------------------------------===//
+
+  struct WaitInfo {
+    const Instruction *I;
+    const BasicBlock *Block;
+    const BasicBlock *Dest;
+    std::set<SignalId> Observed;
+  };
+
+  void collectRefs() {
+    for (BasicBlock *BB : U.blocks()) {
+      for (Instruction *I : BB->insts()) {
+        switch (I->opcode()) {
+        case Opcode::Prb: {
+          const auto &Rs = chase(I->operand(0));
+          if (Rs.empty() && I->operand(0)->type()->isSignal())
+            N.HasDynamicRefs = true;
+          std::vector<uint32_t> Idxs;
+          for (const SigRef &R : Rs) {
+            Idxs.push_back(refIndex(R));
+            ReadSet.insert(canon(R.Sig));
+          }
+          ProbeMap[I] = Probes.size();
+          Probes.push_back({I, Idxs});
+          break;
+        }
+        case Opcode::Del: {
+          // `del` continuously samples its source signal.
+          for (const SigRef &R : chase(I->operand(1))) {
+            refIndex(R);
+            ReadSet.insert(canon(R.Sig));
+          }
+          break;
+        }
+        case Opcode::Wait: {
+          WaitInfo W;
+          W.I = I;
+          W.Block = BB;
+          W.Dest = I->waitDest();
+          for (unsigned J = 1; J != I->numOperands(); ++J) {
+            Value *Op = I->operand(J);
+            if (Op->type()->isTime()) {
+              N.TimeoutWaits = true;
+              continue;
+            }
+            for (const SigRef &R : chase(Op))
+              W.Observed.insert(canon(R.Sig));
+          }
+          Waits.push_back(std::move(W));
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 2: dataflow dependence (value -> probed references)
+  //===------------------------------------------------------------------===//
+
+  void computeValueDeps() {
+    ValDeps.assign(U.numberValues(), {});
+    // Iterate to a fixpoint: back edges (loops, phis) and the coarse
+    // memory pool need re-propagation until stable.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : U.blocks()) {
+        for (Instruction *I : BB->insts()) {
+          Bits New;
+          switch (I->opcode()) {
+          case Opcode::Prb: {
+            auto It = ProbeMap.find(I);
+            if (It != ProbeMap.end())
+              for (uint32_t Idx : Probes[It->second].second)
+                setBit(New, Idx);
+            break;
+          }
+          case Opcode::Phi:
+            for (unsigned J = 0; J != I->numIncoming(); ++J)
+              orInto(New, ValDeps[I->incomingValue(J)->valueNumber()]);
+            break;
+          case Opcode::St:
+            // Coarse store pool: every ld sees every st.
+            for (unsigned J = 0; J != I->numOperands(); ++J)
+              Changed |= orInto(MemDeps, depsOfOperand(I->operand(J)));
+            continue;
+          case Opcode::Ld:
+            orInto(New, MemDeps);
+            for (unsigned J = 0; J != I->numOperands(); ++J)
+              orInto(New, depsOfOperand(I->operand(J)));
+            break;
+          default:
+            if (I->type()->isVoid())
+              continue;
+            for (unsigned J = 0; J != I->numOperands(); ++J)
+              orInto(New, depsOfOperand(I->operand(J)));
+            break;
+          }
+          Changed |= orInto(ValDeps[I->valueNumber()], New);
+        }
+      }
+    }
+  }
+
+  const Bits &depsOfOperand(const Value *V) {
+    static const Bits Empty;
+    if (!V || isa<BasicBlock>(V))
+      return Empty;
+    return ValDeps[V->valueNumber()];
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 3: block reachability and control dependence
+  //===------------------------------------------------------------------===//
+
+  void computeReachability() {
+    unsigned NB = U.blocks().size();
+    Reach.assign(NB, std::vector<bool>(NB, false));
+    for (BasicBlock *BB : U.blocks()) {
+      std::deque<const BasicBlock *> Work{BB};
+      auto &Row = Reach[BB->valueNumber()];
+      Row[BB->valueNumber()] = true; // A block can resume into itself.
+      while (!Work.empty()) {
+        const BasicBlock *Cur = Work.front();
+        Work.pop_front();
+        for (BasicBlock *Succ : Cur->successors()) {
+          if (Row[Succ->valueNumber()])
+            continue;
+          Row[Succ->valueNumber()] = true;
+          Work.push_back(Succ);
+        }
+      }
+    }
+  }
+
+  void computeControlDeps() {
+    CtrlDeps.assign(U.blocks().size(), {});
+    for (BasicBlock *BB : U.blocks()) {
+      Instruction *T = BB->terminator();
+      if (!T || !T->isConditionalBr())
+        continue;
+      const Bits &Dc = depsOfOperand(T->brCondition());
+      const auto &Row = Reach[BB->valueNumber()];
+      for (BasicBlock *Other : U.blocks())
+        if (Row[Other->valueNumber()])
+          orInto(CtrlDeps[Other->valueNumber()], Dc);
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 4: activation classification
+  //===------------------------------------------------------------------===//
+
+  void classify() {
+    if (U.isEntity()) {
+      N.Act = ActivationClass::Combinational;
+      return;
+    }
+    if (Waits.size() != 1 || N.TimeoutWaits) {
+      N.Act = ActivationClass::General;
+      return;
+    }
+    // One static wait, no timeout. Edge-triggered processes (the
+    // always_ff lowering) sample a wake signal on both sides of the
+    // wait — the probe appears in two distinct temporal regions. A
+    // combinational process probes everything in the post-wait region
+    // only.
+    TemporalRegions TR(U);
+    std::map<SignalId, std::set<unsigned>> ProbeRegions;
+    for (const auto &P : Probes) {
+      if (!TR.hasRegion(P.first->parent()))
+        continue;
+      unsigned R = TR.regionOf(P.first->parent());
+      for (uint32_t Idx : P.second)
+        ProbeRegions[canon(Refs[Idx].Sig)].insert(R);
+    }
+    for (SignalId S : Waits.front().Observed) {
+      auto It = ProbeRegions.find(S);
+      if (It != ProbeRegions.end() && It->second.size() >= 2) {
+        N.Act = ActivationClass::EdgeTriggered;
+        return;
+      }
+    }
+    // Second shape: hand-written clock gating. If the process drives
+    // signals but no observed signal ever feeds a driven *value* (wake
+    // signals are used purely as branch gates — "wake on clk, bail on
+    // the wrong level"), the wake set is a clock, not a data input.
+    if (observedGatesOnly()) {
+      N.Act = ActivationClass::EdgeTriggered;
+      return;
+    }
+    N.Act = ActivationClass::Combinational;
+  }
+
+  /// True if the unit has drives and no observed signal contributes to
+  /// any driven value (only to control flow around the drives).
+  bool observedGatesOnly() {
+    const std::set<SignalId> &Observed = Waits.front().Observed;
+    bool AnyDrive = false;
+    bool Feeds = false;
+    auto valueFeeds = [&](const Bits &Deps) {
+      forEachBit(Deps, [&](uint32_t Idx) {
+        if (Observed.count(canon(Refs[Idx].Sig)))
+          Feeds = true;
+      });
+    };
+    for (BasicBlock *BB : U.blocks()) {
+      for (Instruction *I : BB->insts()) {
+        switch (I->opcode()) {
+        case Opcode::Drv:
+          AnyDrive = true;
+          valueFeeds(depsOfOperand(I->operand(1)));
+          break;
+        case Opcode::Reg:
+          AnyDrive = true;
+          for (const RegTrigger &Tr : I->regTriggers())
+            valueFeeds(depsOfOperand(I->operand(Tr.ValueIdx)));
+          break;
+        case Opcode::Del:
+          AnyDrive = true;
+          for (const SigRef &R : chase(I->operand(1)))
+            if (Observed.count(canon(R.Sig)))
+              Feeds = true;
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    return AnyDrive && !Feeds;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 5: drives
+  //===------------------------------------------------------------------===//
+
+  DriveDelay classifyDelay(const Value *V) const {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || I->opcode() != Opcode::Const || !I->type()->isTime())
+      return DriveDelay::Unknown;
+    return I->timeValue().Fs == 0 ? DriveDelay::Delta : DriveDelay::Physical;
+  }
+
+  void addDrive(const Instruction *Origin, const SigRef &Target,
+                DriveDelay Delay, const Bits &Deps, bool Sequential) {
+    Connectivity::Drive Dr;
+    Dr.Sig = canon(Target.Sig);
+    Dr.Ref = Target;
+    Dr.Delay = Delay;
+    Dr.Sequential = Sequential || N.Act == ActivationClass::EdgeTriggered;
+    Dr.Origin = Origin;
+
+    std::set<SignalId> DepIds;
+    std::set<SigRef> WakeRefs;
+    forEachBit(Deps, [&](uint32_t Idx) {
+      const SigRef &R = Refs[Idx];
+      SignalId S = canon(R.Sig);
+      DepIds.insert(S);
+      if (U.isEntity()) {
+        // Entities re-evaluate whenever any read changes.
+        WakeRefs.insert(R);
+        return;
+      }
+      // A dep can re-trigger the drive iff some wait observes it and the
+      // drive can loop through that wait: the drive is reachable from
+      // the wait's resume point and the wait from the drive.
+      unsigned DB = Origin->parent()->valueNumber();
+      for (const WaitInfo &W : Waits) {
+        if (!W.Observed.count(S))
+          continue;
+        if (Reach[W.Dest->valueNumber()][DB] &&
+            Reach[DB][W.Block->valueNumber()]) {
+          WakeRefs.insert(R);
+          break;
+        }
+      }
+    });
+    Dr.Deps.assign(DepIds.begin(), DepIds.end());
+    for (const SigRef &R : WakeRefs) {
+      Dr.WakeDepRefs.push_back(R);
+      Dr.WakeDeps.push_back(canon(R.Sig));
+    }
+    std::sort(Dr.WakeDeps.begin(), Dr.WakeDeps.end());
+    Dr.WakeDeps.erase(std::unique(Dr.WakeDeps.begin(), Dr.WakeDeps.end()),
+                      Dr.WakeDeps.end());
+    N.Drives.push_back(std::move(Dr));
+  }
+
+  void collectDrives() {
+    for (BasicBlock *BB : U.blocks()) {
+      for (Instruction *I : BB->insts()) {
+        switch (I->opcode()) {
+        case Opcode::Drv: {
+          const auto &Targets = chase(I->operand(0));
+          if (Targets.empty())
+            N.HasDynamicRefs = true;
+          Bits Deps = depsOfOperand(I->operand(1));
+          if (I->numOperands() == 4)
+            orInto(Deps, depsOfOperand(I->operand(3)));
+          orInto(Deps, CtrlDeps[BB->valueNumber()]);
+          DriveDelay Delay = classifyDelay(I->operand(2));
+          for (const SigRef &T : Targets)
+            addDrive(I, T, Delay, Deps, /*Sequential=*/false);
+          break;
+        }
+        case Opcode::Del: {
+          const auto &Targets = chase(I->operand(0));
+          if (Targets.empty())
+            N.HasDynamicRefs = true;
+          Bits Deps;
+          for (const SigRef &R : chase(I->operand(1)))
+            setBit(Deps, refIndex(R));
+          DriveDelay Delay = classifyDelay(I->operand(2));
+          for (const SigRef &T : Targets)
+            addDrive(I, T, Delay, Deps, /*Sequential=*/false);
+          break;
+        }
+        case Opcode::Reg: {
+          const auto &Targets = chase(I->operand(0));
+          if (Targets.empty())
+            N.HasDynamicRefs = true;
+          for (const RegTrigger &Tr : I->regTriggers()) {
+            Bits Deps = depsOfOperand(I->operand(Tr.ValueIdx));
+            orInto(Deps, depsOfOperand(I->operand(Tr.TriggerIdx)));
+            if (Tr.CondIdx >= 0)
+              orInto(Deps, depsOfOperand(I->operand(Tr.CondIdx)));
+            orInto(Deps, CtrlDeps[BB->valueNumber()]);
+            DriveDelay Delay = Tr.DelayIdx >= 0
+                                   ? classifyDelay(I->operand(Tr.DelayIdx))
+                                   : DriveDelay::Delta;
+            // Edge-mode triggers latch like a flip-flop and break
+            // zero-delay cycles; level-mode (latch) triggers do not.
+            bool Seq = Tr.Mode == RegMode::Rise || Tr.Mode == RegMode::Fall ||
+                       Tr.Mode == RegMode::Both;
+            for (const SigRef &T : Targets)
+              addDrive(I, T, Delay, Deps, Seq);
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Final node assembly
+  //===------------------------------------------------------------------===//
+
+  void finalize() {
+    N.Reads.assign(ReadSet.begin(), ReadSet.end());
+
+    if (U.isEntity()) {
+      N.SteadyReads = N.Reads;
+      // Entities implicitly wake on every read.
+      N.Waits = N.Reads;
+      return;
+    }
+
+    // Steady-state reads: probes in blocks reachable from some wait's
+    // resume point.
+    std::set<SignalId> Steady;
+    for (const auto &P : Probes) {
+      unsigned PB = P.first->parent()->valueNumber();
+      bool AfterWait = false;
+      for (const WaitInfo &W : Waits)
+        if (Reach[W.Dest->valueNumber()][PB]) {
+          AfterWait = true;
+          break;
+        }
+      if (!AfterWait)
+        continue;
+      for (uint32_t Idx : P.second)
+        Steady.insert(canon(Refs[Idx].Sig));
+    }
+    N.SteadyReads.assign(Steady.begin(), Steady.end());
+
+    std::set<SignalId> Observed;
+    for (const WaitInfo &W : Waits)
+      Observed.insert(W.Observed.begin(), W.Observed.end());
+    N.Waits.assign(Observed.begin(), Observed.end());
+  }
+
+  const Design &D;
+  const UnitInstance &UI;
+  Unit &U;
+  Connectivity::Node &N;
+
+  std::map<const Value *, std::vector<SigRef>> ChaseMemo;
+  std::vector<SigRef> Refs; ///< The probed-reference universe.
+  std::map<SigRef, uint32_t> RefIdx;
+  std::vector<std::pair<const Instruction *, std::vector<uint32_t>>> Probes;
+  std::map<const Instruction *, size_t> ProbeMap;
+  std::vector<WaitInfo> Waits;
+  std::set<SignalId> ReadSet;
+  std::vector<Bits> ValDeps; ///< By dense value number.
+  Bits MemDeps;              ///< Coarse var/ld/st pool.
+  std::vector<Bits> CtrlDeps;
+  std::vector<std::vector<bool>> Reach; ///< By dense block number.
+};
+
+} // namespace
+
+Connectivity llhd::computeConnectivity(const Design &D) {
+  Connectivity C;
+  C.Nodes.resize(D.Instances.size());
+  for (uint32_t I = 0; I != D.Instances.size(); ++I)
+    NodeBuilder(D, I, C.Nodes[I]).run();
+
+  C.ReadersOf.assign(D.Signals.size(), {});
+  C.DriversOf.assign(D.Signals.size(), {});
+  C.WaitersOf.assign(D.Signals.size(), {});
+  for (uint32_t I = 0; I != C.Nodes.size(); ++I) {
+    const Connectivity::Node &N = C.Nodes[I];
+    for (SignalId S : N.Reads)
+      C.ReadersOf[S].push_back(I);
+    for (SignalId S : N.Waits)
+      C.WaitersOf[S].push_back(I);
+    std::set<SignalId> Driven;
+    for (const Connectivity::Drive &Dr : N.Drives)
+      if (Dr.Sig != InvalidSignal)
+        Driven.insert(Dr.Sig);
+    for (SignalId S : Driven)
+      C.DriversOf[S].push_back(I);
+  }
+  return C;
+}
+
+std::string Connectivity::dump(const Design &D) const {
+  std::ostringstream OS;
+  auto sigList = [&](const std::vector<SignalId> &Sigs) {
+    std::string Out;
+    for (SignalId S : Sigs) {
+      if (!Out.empty())
+        Out += ", ";
+      Out += D.Signals.name(S);
+    }
+    return Out.empty() ? std::string("-") : Out;
+  };
+  for (const Node &N : Nodes) {
+    const UnitInstance &UI = D.Instances[N.Instance];
+    OS << "node " << N.Instance << ": " << UI.HierName << " ("
+       << (UI.U->isEntity() ? "entity" : "proc") << " @" << UI.U->name()
+       << ") " << activationClassName(N.Act);
+    if (N.HasDynamicRefs)
+      OS << " dynamic-refs";
+    if (N.TimeoutWaits)
+      OS << " timeout-waits";
+    OS << "\n";
+    OS << "  reads: " << sigList(N.Reads) << "\n";
+    if (N.SteadyReads != N.Reads)
+      OS << "  steady-reads: " << sigList(N.SteadyReads) << "\n";
+    OS << "  waits: " << sigList(N.Waits) << "\n";
+    for (const Drive &Dr : N.Drives) {
+      OS << "  drive " << signalRefName(D, Dr.Ref) << " ("
+         << driveDelayName(Dr.Delay) << (Dr.Sequential ? ", seq" : "")
+         << ") deps[" << sigList(Dr.Deps) << "] wake[" << sigList(Dr.WakeDeps)
+         << "]\n";
+    }
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis registration
+//===----------------------------------------------------------------------===//
+
+const void *ConnectivityAnalysis::key() {
+  static char Key;
+  return &Key;
+}
+
+Connectivity ConnectivityAnalysis::run(const Design &D,
+                                       DesignAnalysisManager &) {
+  return computeConnectivity(D);
+}

@@ -1,0 +1,212 @@
+//===- analysis/Connectivity.h - Signal connectivity graph ------*- C++ -*-===//
+//
+// The elaboration-level signal connectivity graph: for every elaborated
+// unit instance, which canonical signals it reads, drives (with a static
+// delay class), and waits on, plus a per-drive dependency set tracing
+// the probed signals the driven value (and its enabling control flow)
+// depends on. Everything is derived from the same bindings and
+// SignalTable canonicalisation the engines execute — the graph is the
+// static twin of the runtime sensitivity machinery (Design::
+// EntityWatchers / WakeIndex).
+//
+// Consumers:
+//  - the lint check suite (src/lint/): combinational-loop detection runs
+//    Tarjan SCC over the zero-delay read->drive edges; driver conflicts,
+//    undriven/never-read signals and stale sensitivity read the reverse
+//    indices directly;
+//  - process partitioning for parallel simulation (ROADMAP item 2): the
+//    node/edge structure is exactly the static communication graph a
+//    partitioner needs.
+//
+// Results are cached in a DesignAnalysisManager (the design-level
+// sibling of UnitAnalysisManager) so repeated lint/partition queries on
+// one elaborated design compute the graph once.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_ANALYSIS_CONNECTIVITY_H
+#define LLHD_ANALYSIS_CONNECTIVITY_H
+
+#include "sim/Design.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class DesignAnalysisManager;
+
+//===----------------------------------------------------------------------===//
+// The graph.
+//===----------------------------------------------------------------------===//
+
+/// Static delay classification of one drive.
+enum class DriveDelay : uint8_t {
+  Delta,    ///< Constant zero delay: lands on the next delta cycle.
+  Physical, ///< Constant nonzero physical time.
+  Unknown,  ///< Delay is not statically constant (possibly zero).
+};
+
+const char *driveDelayName(DriveDelay D);
+
+/// How an instance is (re-)activated relative to its wake signals.
+enum class ActivationClass : uint8_t {
+  Combinational, ///< Re-evaluates whenever a wake signal changes
+                 ///< (entities; single-wait processes without edge
+                 ///< detection — the always_comb shape).
+  EdgeTriggered, ///< Single static wait plus an edge detector sampling a
+                 ///< wake signal on both sides of the wait (the
+                 ///< always_ff shape); drives fire only on real edges,
+                 ///< so they cannot sustain a zero-delay loop.
+  General,       ///< Multiple waits, timeouts, or dynamic sensitivity.
+};
+
+const char *activationClassName(ActivationClass C);
+
+/// Signal connectivity of one elaborated design.
+struct Connectivity {
+  /// One drive statement (drv, reg trigger, or del) of one instance.
+  struct Drive {
+    SignalId Sig = InvalidSignal; ///< Canonical driven signal.
+    SigRef Ref;                   ///< Resolved (sub-)signal reference.
+    DriveDelay Delay = DriveDelay::Unknown;
+    /// True when the drive fires only on an edge (edge-mode `reg`
+    /// triggers, or any drive of an EdgeTriggered process): such drives
+    /// break combinational cycles like a flip-flop does.
+    bool Sequential = false;
+    /// Canonical signals whose current values can influence the driven
+    /// value, enable condition, or the control flow reaching the drive.
+    std::vector<SignalId> Deps;
+    /// The subset of Deps that can re-trigger this drive in the same
+    /// instant: for entities every dep (they wake on any read), for
+    /// processes the deps observed by a wait the drive can loop
+    /// through. Zero-delay-cycle detection follows exactly these edges.
+    std::vector<SignalId> WakeDeps;
+    /// The resolved references behind WakeDeps — loop detection tests
+    /// these for storage overlap with Ref, so `x[0] <= f(x[1])` does not
+    /// read as a self-loop on x.
+    std::vector<SigRef> WakeDepRefs;
+    /// Originating IR instruction (diagnostics only).
+    const Instruction *Origin = nullptr;
+  };
+
+  /// Connectivity of one instance; parallel to Design::Instances.
+  struct Node {
+    uint32_t Instance = 0; ///< Index into Design::Instances.
+    ActivationClass Act = ActivationClass::General;
+    /// Canonical signals probed (prb, del source), sorted.
+    std::vector<SignalId> Reads;
+    /// Reads reachable after a wait resumption — the steady-state read
+    /// set the sensitivity checks compare against (initialisation-only
+    /// reads before the first wait are excluded). Equals Reads for
+    /// entities.
+    std::vector<SignalId> SteadyReads;
+    /// Canonical signals in wait observe sets (processes) or the full
+    /// probe set (entities — they implicitly wake on every read).
+    std::vector<SignalId> Waits;
+    std::vector<Drive> Drives;
+    /// Some signal operand could not be resolved to elaborated storage
+    /// (dynamically computed references); the lists above are then a
+    /// best-effort under-approximation for this node.
+    bool HasDynamicRefs = false;
+    /// Some wait carries a timeout (self-scheduling process).
+    bool TimeoutWaits = false;
+  };
+
+  std::vector<Node> Nodes;
+  /// Reverse indices: canonical signal -> indices into Nodes.
+  std::vector<std::vector<uint32_t>> ReadersOf;
+  std::vector<std::vector<uint32_t>> DriversOf;
+  std::vector<std::vector<uint32_t>> WaitersOf;
+
+  unsigned numSignals() const { return ReadersOf.size(); }
+
+  /// Deterministic textual form for golden tests and --dump-connectivity.
+  std::string dump(const Design &D) const;
+};
+
+/// Builds the connectivity graph of \p D (prefer the cached accessor
+/// DesignAnalysisManager::get<ConnectivityAnalysis>).
+Connectivity computeConnectivity(const Design &D);
+
+/// True if two resolved references into the same canonical signal can
+/// touch overlapping storage (conservative: true when unsure).
+bool sigRefsOverlap(const SigRef &A, const SigRef &B);
+
+/// Renders a resolved reference as "<signal name>[path][range]" for
+/// diagnostics, e.g. "top/x", "top/regs[3]", "top/bus[7:4]".
+std::string signalRefName(const Design &D, const SigRef &R);
+
+//===----------------------------------------------------------------------===//
+// Design-level analysis manager.
+//===----------------------------------------------------------------------===//
+
+/// Cached design-level analyses, keyed by analysis ID — the design-scope
+/// sibling of UnitAnalysisManager. A Design is immutable once
+/// elaborated, so invalidation is coarse: invalidate(D) drops everything
+/// cached for that design (used when a caller re-elaborates).
+class DesignAnalysisManager {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+
+  template <typename AnalysisT>
+  typename AnalysisT::Result &get(const Design &D) {
+    const void *K = AnalysisT::key();
+    auto &Map = Results[&D];
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++TheStats.Hits;
+      return static_cast<Model<typename AnalysisT::Result> *>(It->second.get())
+          ->Value;
+    }
+    ++TheStats.Misses;
+    auto Holder = std::make_unique<Model<typename AnalysisT::Result>>(
+        AnalysisT::run(D, *this));
+    auto *Ptr = Holder.get();
+    Results[&D][K] = std::move(Holder);
+    return Ptr->Value;
+  }
+
+  /// True if \p AnalysisT is currently cached for \p D (test hook).
+  template <typename AnalysisT> bool isCached(const Design &D) const {
+    auto It = Results.find(&D);
+    return It != Results.end() && It->second.count(AnalysisT::key());
+  }
+
+  /// Drops everything cached for \p D.
+  void invalidate(const Design &D) { Results.erase(&D); }
+  void clear() { Results.clear(); }
+
+  const Stats &stats() const { return TheStats; }
+
+private:
+  struct Concept {
+    virtual ~Concept() = default;
+  };
+  template <typename T> struct Model : Concept {
+    explicit Model(T &&V) : Value(std::move(V)) {}
+    T Value;
+  };
+
+  std::map<const Design *, std::map<const void *, std::unique_ptr<Concept>>>
+      Results;
+  Stats TheStats;
+};
+
+/// The connectivity graph as a registered design analysis.
+struct ConnectivityAnalysis {
+  using Result = Connectivity;
+  static const void *key();
+  static constexpr const char *Name = "connectivity";
+  static Result run(const Design &D, DesignAnalysisManager &AM);
+};
+
+} // namespace llhd
+
+#endif // LLHD_ANALYSIS_CONNECTIVITY_H

@@ -44,6 +44,8 @@ public:
     for (const BasicBlock *BB : U.blocks())
       for (const Instruction *I : BB->insts())
         checkInst(*I);
+    if (U.isEntity())
+      checkEntityDrives();
     return Errors.size() == Before;
   }
 
@@ -211,6 +213,24 @@ private:
     }
   }
 
+  /// Two unconditional drives of the same signal value in one entity body
+  /// race every delta cycle: the data-flow evaluation order is
+  /// unspecified, so the observed value flips between them. (Conditional
+  /// drives and cross-instance conflicts are a design-level question --
+  /// the lint multi-drive check handles those with resolution-aware
+  /// exemptions; here we reject only the always-wrong intra-entity form.)
+  void checkEntityDrives() {
+    std::map<const Value *, const Instruction *> FirstDrv;
+    for (const Instruction *I : U.entry()->insts()) {
+      if (I->opcode() != Opcode::Drv || I->numOperands() == 4)
+        continue;
+      auto [It, Inserted] = FirstDrv.emplace(I->operand(0), I);
+      if (!Inserted)
+        error(*I, "duplicate unconditional drive of '" +
+                      It->second->operand(0)->name() + "'");
+    }
+  }
+
   void checkOperandTypes(const Instruction &I) {
     switch (I.opcode()) {
     case Opcode::Const: {
@@ -243,7 +263,62 @@ private:
     case Opcode::Br:
       if (I.numOperands() == 3 && !I.operand(0)->type()->isBool())
         error(I, "branch condition is not i1");
+      for (unsigned J = I.numOperands() == 1 ? 0 : 1; J != I.numOperands();
+           ++J) {
+        const auto *Dest = dyn_cast<BasicBlock>(I.operand(J));
+        if (!Dest)
+          error(I, "branch destination is not a block");
+        else if (Dest->parent() != &U)
+          error(I, "branch destination in another unit");
+      }
       break;
+    case Opcode::Wait: {
+      // wait %dest [for %time], %observed... -- the destination must be
+      // a block of this unit; the edge operands must be signals (what to
+      // observe), with at most one time-typed timeout.
+      if (I.numOperands() == 0) {
+        error(I, "wait without destination block");
+        break;
+      }
+      const auto *Dest = dyn_cast<BasicBlock>(I.operand(0));
+      if (!Dest) {
+        error(I, "wait destination is not a block");
+        break;
+      }
+      if (Dest->parent() != &U)
+        error(I, "wait destination in another unit");
+      unsigned Timeouts = 0;
+      for (unsigned J = 1; J != I.numOperands(); ++J) {
+        Type *Ty = I.operand(J)->type();
+        if (Ty->isTime())
+          ++Timeouts;
+        else if (!Ty->isSignal())
+          error(I, "wait operand is neither a signal nor a time");
+      }
+      if (Timeouts > 1)
+        error(I, "wait with more than one timeout");
+      break;
+    }
+    case Opcode::Reg: {
+      if (!I.operand(0)->type()->isSignal()) {
+        error(I, "reg target is not a signal");
+        break;
+      }
+      int NumOps = (int)I.numOperands();
+      for (const RegTrigger &T : I.regTriggers()) {
+        if (T.ValueIdx < 0 || T.ValueIdx >= NumOps ||
+            T.TriggerIdx < 0 || T.TriggerIdx >= NumOps ||
+            T.DelayIdx >= NumOps || T.CondIdx >= NumOps) {
+          error(I, "reg trigger operand index out of range");
+          continue;
+        }
+        if (T.DelayIdx >= 0 && !I.operand(T.DelayIdx)->type()->isTime())
+          error(I, "reg trigger delay is not a time");
+        if (T.CondIdx >= 0 && !I.operand(T.CondIdx)->type()->isBool())
+          error(I, "reg trigger condition is not i1");
+      }
+      break;
+    }
     case Opcode::Call: {
       const Unit *Callee = I.callee();
       if (!Callee) {

@@ -1,0 +1,187 @@
+//===- lint/Diagnostics.cpp - Lint diagnostics infrastructure ------------===//
+
+#include "lint/Diagnostics.h"
+
+#include <sstream>
+
+using namespace llhd;
+
+const char *llhd::severityName(Severity S) {
+  switch (S) {
+  case Severity::Ignore:
+    return "ignore";
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Check registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<CheckInfo> &llhd::allChecks() {
+  static const std::vector<CheckInfo> Checks = {
+      {"comb-loop", Severity::Error,
+       "zero-delay combinational loop through process/entity drives"},
+      {"multi-drive", Severity::Error,
+       "multiple instances drive overlapping parts of an unresolved signal"},
+      {"undriven", Severity::Warning,
+       "signal is read or observed but never driven"},
+      {"never-read", Severity::Warning,
+       "signal is driven but never read or observed"},
+      {"stale-sense", Severity::Warning,
+       "process reads a signal missing from its wait/observe set"},
+      {"dead-wait", Severity::Warning,
+       "wait observes nothing and has no timeout: the process can never "
+       "resume"},
+      {"unreachable", Severity::Warning,
+       "basic block is unreachable from the unit entry"},
+  };
+  return Checks;
+}
+
+const CheckInfo *llhd::checkById(const std::string &Id) {
+  for (const CheckInfo &C : allChecks())
+    if (Id == C.Id)
+      return &C;
+  return nullptr;
+}
+
+const char *llhd::waiverFileFormatHelp() {
+  return "one waiver per line: '<check-id|*> <location-glob>'; '#' starts a "
+         "comment; '*' in a glob matches any run of characters";
+}
+
+//===----------------------------------------------------------------------===//
+// Glob matching
+//===----------------------------------------------------------------------===//
+
+bool llhd::globMatch(const std::string &Glob, const std::string &Text) {
+  // Iterative *-wildcard match with backtracking to the last star.
+  size_t G = 0, T = 0, StarG = std::string::npos, StarT = 0;
+  while (T < Text.size()) {
+    if (G < Glob.size() && (Glob[G] == Text[T])) {
+      ++G, ++T;
+    } else if (G < Glob.size() && Glob[G] == '*') {
+      StarG = G++;
+      StarT = T;
+    } else if (StarG != std::string::npos) {
+      G = StarG + 1;
+      T = ++StarT;
+    } else {
+      return false;
+    }
+  }
+  while (G < Glob.size() && Glob[G] == '*')
+    ++G;
+  return G == Glob.size();
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine
+//===----------------------------------------------------------------------===//
+
+bool DiagnosticEngine::addWaivers(const std::string &Text,
+                                  std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.erase(Hash);
+    std::istringstream LS(Line);
+    std::string Check, Glob, Extra;
+    if (!(LS >> Check))
+      continue; // Blank or comment-only line.
+    if (!(LS >> Glob) || (LS >> Extra)) {
+      Error = "waiver line " + std::to_string(LineNo) +
+              ": expected '<check-id|*> <location-glob>'";
+      return false;
+    }
+    if (Check != "*" && !checkById(Check)) {
+      Error = "waiver line " + std::to_string(LineNo) + ": unknown check '" +
+              Check + "'";
+      return false;
+    }
+    Waivers.push_back({Check, Glob, false});
+  }
+  return true;
+}
+
+Severity DiagnosticEngine::effectiveSeverity(const std::string &CheckId,
+                                             Severity Def) const {
+  Severity S = Def;
+  auto It = Opts.SeverityOverrides.find(CheckId);
+  if (It != Opts.SeverityOverrides.end())
+    S = It->second;
+  if (S == Severity::Warning && Opts.WarningsAsErrors)
+    S = Severity::Error;
+  return S;
+}
+
+bool DiagnosticEngine::waived(const Diagnostic &D) {
+  bool Hit = false;
+  // Mark every matching waiver used, not just the first: unused-waiver
+  // reporting must not depend on waiver-file order.
+  for (Waiver &W : Waivers) {
+    if (W.CheckId != "*" && W.CheckId != D.CheckId)
+      continue;
+    if (!globMatch(W.Glob, D.Location))
+      continue;
+    W.Used = true;
+    Hit = true;
+  }
+  return Hit;
+}
+
+Severity DiagnosticEngine::report(Diagnostic D) {
+  const CheckInfo *Info = checkById(D.CheckId);
+  D.Sev = effectiveSeverity(D.CheckId, Info ? Info->DefaultSev : D.Sev);
+  if (D.Sev == Severity::Ignore || waived(D))
+    return Severity::Ignore;
+  if (D.Sev == Severity::Error)
+    ++NumErrors;
+  else if (D.Sev == Severity::Warning)
+    ++NumWarnings;
+  Diags.push_back(std::move(D));
+  return Diags.back().Sev;
+}
+
+std::vector<std::string> DiagnosticEngine::unusedWaivers() const {
+  std::vector<std::string> Out;
+  for (const Waiver &W : Waivers)
+    if (!W.Used)
+      Out.push_back(W.CheckId + " " + W.Glob);
+  return Out;
+}
+
+std::string DiagnosticEngine::render() const {
+  if (Diags.empty())
+    return "";
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << severityName(D.Sev) << ": [" << D.CheckId << "]";
+    if (!D.Location.empty())
+      OS << " " << D.Location << ":";
+    OS << " " << D.Message << "\n";
+    for (const std::string &Note : D.Notes)
+      OS << "  note: " << Note << "\n";
+  }
+  auto plural = [](unsigned N, const char *What) {
+    return std::to_string(N) + " " + What + (N == 1 ? "" : "s");
+  };
+  if (NumErrors && NumWarnings)
+    OS << plural(NumErrors, "error") << ", " << plural(NumWarnings, "warning")
+       << " generated.\n";
+  else if (NumErrors)
+    OS << plural(NumErrors, "error") << " generated.\n";
+  else if (NumWarnings)
+    OS << plural(NumWarnings, "warning") << " generated.\n";
+  return OS.str();
+}

@@ -1,0 +1,131 @@
+//===- lint/Diagnostics.h - Lint diagnostics infrastructure -----*- C++ -*-===//
+//
+// Diagnostics for the static design checks (src/lint/): severity levels,
+// stable check IDs, instance-path locations, -Werror-style promotion and
+// a waiver mechanism. The same engine backs tools/llhd-lint, the
+// `llhd-sim --lint` gate and the `lint` pass in llhd-opt pipelines, so a
+// finding renders identically everywhere:
+//
+//   error: [comb-loop] /top/inv: combinational loop: top/x -> top/x
+//     note: drive of 'top/x' depends on 'top/x' with zero delay
+//
+// Check IDs are stable API: waiver files, -Wno-<id> flags and the
+// examples/lint expected-diagnostic annotations all key on them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_LINT_DIAGNOSTICS_H
+#define LLHD_LINT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+/// Diagnostic severity, after overrides and promotion.
+enum class Severity : uint8_t {
+  Ignore,  ///< Suppressed (per-check override or waiver).
+  Note,    ///< Attached context, never counted.
+  Warning, ///< Counted; does not fail the run unless promoted.
+  Error,   ///< Counted; fails the run.
+};
+
+const char *severityName(Severity S);
+
+/// One registered check.
+struct CheckInfo {
+  const char *Id;          ///< Stable kebab-case ID, e.g. "comb-loop".
+  Severity DefaultSev;     ///< Severity before overrides.
+  const char *Description; ///< One-line summary for --list-checks.
+};
+
+/// All registered checks, in stable (documentation) order.
+const std::vector<CheckInfo> &allChecks();
+
+/// Registry lookup; null for unknown IDs.
+const CheckInfo *checkById(const std::string &Id);
+
+/// One finding.
+struct Diagnostic {
+  std::string CheckId;
+  Severity Sev = Severity::Warning;
+  /// Hierarchical location: an instance path ("/top/cpu/alu"), a signal
+  /// name, or a unit name ("@proc") — whatever identifies the finding's
+  /// subject most precisely. May be empty for design-wide findings.
+  std::string Location;
+  std::string Message;
+  /// Attached notes (cycle chains, cross-references, involved drives).
+  std::vector<std::string> Notes;
+};
+
+/// A waiver suppresses matching findings. Waiver files hold one waiver
+/// per line, `<check-id|*> <location-glob>`, with `#` comments:
+///
+///   # The arbiter's cross-coupled latch is intentional.
+///   comb-loop /top/arbiter/*
+///
+const char *waiverFileFormatHelp();
+
+/// Collects, filters and renders diagnostics for one lint run.
+class DiagnosticEngine {
+public:
+  struct Options {
+    /// Promote warnings to errors (-Werror / --lint=error).
+    bool WarningsAsErrors = false;
+    /// Per-check severity overrides (-Wno-<id> maps to Ignore).
+    std::map<std::string, Severity> SeverityOverrides;
+  };
+
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(Options O) : Opts(std::move(O)) {}
+
+  Options &options() { return Opts; }
+
+  /// Parses waiver-file text; returns false and sets \p Error on a
+  /// malformed line (unknown check ID, missing field).
+  bool addWaivers(const std::string &Text, std::string &Error);
+
+  /// Files \p D under the check's effective severity. Waived or
+  /// Ignore-severity findings are dropped (waivers are marked used).
+  /// Returns the effective severity.
+  Severity report(Diagnostic D);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  unsigned numErrors() const { return NumErrors; }
+  unsigned numWarnings() const { return NumWarnings; }
+  bool failed() const { return NumErrors != 0; }
+
+  /// Waivers that never matched a finding (stale waivers are findings
+  /// too: they hide nothing and rot).
+  std::vector<std::string> unusedWaivers() const;
+
+  /// Renders all findings plus a trailing summary line, e.g.
+  /// "2 errors, 1 warning generated."; empty string when clean.
+  std::string render() const;
+
+private:
+  struct Waiver {
+    std::string CheckId; ///< "*" matches every check.
+    std::string Glob;
+    bool Used = false;
+  };
+
+  Severity effectiveSeverity(const std::string &CheckId, Severity Def) const;
+  bool waived(const Diagnostic &D);
+
+  Options Opts;
+  std::vector<Waiver> Waivers;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+/// Glob matching for waiver locations: `*` matches any run of
+/// characters (including `/`), everything else is literal.
+bool globMatch(const std::string &Glob, const std::string &Text);
+
+} // namespace llhd
+
+#endif // LLHD_LINT_DIAGNOSTICS_H

@@ -1,0 +1,460 @@
+//===- lint/Lint.cpp - Static design checks ------------------------------===//
+
+#include "lint/Lint.h"
+#include "analysis/AnalysisManager.h"
+#include "analysis/Connectivity.h"
+#include "sim/Design.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace llhd;
+
+//===----------------------------------------------------------------------===//
+// Unit-granular checks
+//===----------------------------------------------------------------------===//
+
+void llhd::lintUnit(Unit &U, UnitAnalysisManager &AM, DiagnosticEngine &DE) {
+  if (!U.hasBody())
+    return;
+
+  if (U.isControlFlow()) {
+    const CfgInfo &CFG = AM.get<CfgAnalysis>(U);
+    for (BasicBlock *BB : CFG.unreachable()) {
+      Diagnostic D;
+      D.CheckId = "unreachable";
+      D.Location = "@" + U.name();
+      D.Message = "block '" + BB->name() + "' is unreachable from the entry";
+      DE.report(std::move(D));
+    }
+  }
+
+  for (BasicBlock *BB : U.blocks()) {
+    Instruction *T = BB->terminator();
+    if (!T || T->opcode() != Opcode::Wait)
+      continue;
+    bool HasSignal = false, HasTimeout = false;
+    for (unsigned J = 1; J != T->numOperands(); ++J) {
+      if (T->operand(J)->type()->isTime())
+        HasTimeout = true;
+      else
+        HasSignal = true;
+    }
+    if (HasSignal || HasTimeout)
+      continue;
+    Diagnostic D;
+    D.CheckId = "dead-wait";
+    D.Location = "@" + U.name();
+    D.Message = "wait in block '" + BB->name() +
+                "' observes no signals and has no timeout: the process "
+                "suspends forever";
+    DE.report(std::move(D));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Design-level checks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string sigName(const Design &D, SignalId S) {
+  return D.Signals.name(S);
+}
+
+std::string instName(const Design &D, const Connectivity::Node &N) {
+  return "/" + D.Instances[N.Instance].HierName;
+}
+
+/// Canonical signals bound to a port of a root instance (hierarchy name
+/// without a '/'). Those are the design's external interface: the
+/// harness drives the inputs and observes the outputs, so undriven /
+/// never-read do not apply.
+std::set<SignalId> topPortSignals(const Design &D) {
+  std::set<SignalId> Ports;
+  for (const UnitInstance &UI : D.Instances) {
+    if (UI.HierName.find('/') != std::string::npos)
+      continue;
+    for (const auto &[V, Ref] : UI.Bindings)
+      if (isa<Argument>(V))
+        Ports.insert(D.Signals.canonical(Ref.Sig));
+  }
+  return Ports;
+}
+
+//===----------------------------------------------------------------------===//
+// comb-loop: Tarjan SCC over zero-delay wake->drive edges
+//===----------------------------------------------------------------------===//
+
+struct LoopEdge {
+  SignalId From, To;
+  uint32_t Node; ///< Driving instance.
+  const Connectivity::Drive *Drive;
+};
+
+class CombLoopCheck {
+public:
+  CombLoopCheck(const Design &D, const Connectivity &C, DiagnosticEngine &DE)
+      : D(D), C(C), DE(DE) {}
+
+  void run() {
+    collectEdges();
+    tarjan();
+  }
+
+private:
+  void collectEdges() {
+    for (uint32_t NI = 0; NI != C.Nodes.size(); ++NI) {
+      for (const Connectivity::Drive &Dr : C.Nodes[NI].Drives) {
+        // Physical delays and edge-triggered storage break same-instant
+        // cycles; Unknown delays may be zero and stay in the graph.
+        if (Dr.Sequential || Dr.Delay == DriveDelay::Physical ||
+            Dr.Sig == InvalidSignal)
+          continue;
+        for (const SigRef &R : Dr.WakeDepRefs) {
+          SignalId From = D.Signals.canonical(R.Sig);
+          // A self-dependence is only a loop when the read range and the
+          // driven range share storage (x[0] <= f(x[1]) is acyclic).
+          if (From == Dr.Sig && !sigRefsOverlap(R, Dr.Ref))
+            continue;
+          size_t EI = Edges.size();
+          Edges.push_back({From, Dr.Sig, NI, &Dr});
+          Out[From].push_back(EI);
+          touch(From);
+          touch(Dr.Sig);
+        }
+      }
+    }
+  }
+
+  void touch(SignalId S) {
+    if (!VertIdx.count(S)) {
+      VertIdx[S] = Verts.size();
+      Verts.push_back(S);
+    }
+  }
+
+  // Iterative Tarjan SCC over the touched signals.
+  void tarjan() {
+    unsigned N = Verts.size();
+    Index.assign(N, ~0u);
+    Low.assign(N, 0);
+    OnStack.assign(N, false);
+    for (unsigned V = 0; V != N; ++V)
+      if (Index[V] == ~0u)
+        strongConnect(V);
+  }
+
+  void strongConnect(unsigned Root) {
+    struct Frame {
+      unsigned V;
+      size_t NextEdge;
+    };
+    std::vector<Frame> Work{{Root, 0}};
+    while (!Work.empty()) {
+      Frame &F = Work.back();
+      unsigned V = F.V;
+      if (F.NextEdge == 0) {
+        Index[V] = Low[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      bool Descended = false;
+      auto It = Out.find(Verts[V]);
+      if (It != Out.end()) {
+        while (F.NextEdge != It->second.size()) {
+          unsigned W = VertIdx.at(Edges[It->second[F.NextEdge]].To);
+          ++F.NextEdge;
+          if (Index[W] == ~0u) {
+            Work.push_back({W, 0});
+            Descended = true;
+            break;
+          }
+          if (OnStack[W])
+            Low[V] = std::min(Low[V], Index[W]);
+        }
+      }
+      if (Descended)
+        continue;
+      if (Low[V] == Index[V]) {
+        std::vector<SignalId> SCC;
+        unsigned W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SCC.push_back(Verts[W]);
+        } while (W != V);
+        reportSCC(SCC);
+      }
+      Work.pop_back();
+      if (!Work.empty()) {
+        unsigned P = Work.back().V;
+        Low[P] = std::min(Low[P], Low[V]);
+      }
+    }
+  }
+
+  void reportSCC(std::vector<SignalId> &SCC) {
+    std::set<SignalId> Members(SCC.begin(), SCC.end());
+    // Collect the edges internal to this SCC.
+    std::vector<size_t> Internal;
+    for (size_t EI = 0; EI != Edges.size(); ++EI)
+      if (Members.count(Edges[EI].From) && Members.count(Edges[EI].To))
+        Internal.push_back(EI);
+    if (SCC.size() == 1) {
+      bool SelfLoop = false;
+      for (size_t EI : Internal)
+        SelfLoop |= Edges[EI].From == Edges[EI].To;
+      if (!SelfLoop)
+        return;
+    }
+    if (Internal.empty())
+      return;
+
+    // Reconstruct one concrete cycle through the SCC: BFS a parent tree
+    // from the smallest member, then close it with an edge back to the
+    // start.
+    SignalId Start = *Members.begin();
+    std::map<SignalId, size_t> ParentEdge;
+    std::deque<SignalId> Queue{Start};
+    std::set<SignalId> Seen{Start};
+    while (!Queue.empty()) {
+      SignalId Cur = Queue.front();
+      Queue.pop_front();
+      for (size_t EI : Internal) {
+        if (Edges[EI].From != Cur || Seen.count(Edges[EI].To))
+          continue;
+        Seen.insert(Edges[EI].To);
+        ParentEdge[Edges[EI].To] = EI;
+        Queue.push_back(Edges[EI].To);
+      }
+    }
+    size_t Closing = Internal.front();
+    for (size_t EI : Internal)
+      if (Edges[EI].To == Start &&
+          (Edges[EI].From == Start || ParentEdge.count(Edges[EI].From))) {
+        Closing = EI;
+        break;
+      }
+    std::vector<size_t> Chain{Closing};
+    SignalId Cur = Edges[Closing].From;
+    while (Cur != Start) {
+      size_t EI = ParentEdge.at(Cur);
+      Chain.push_back(EI);
+      Cur = Edges[EI].From;
+    }
+    std::reverse(Chain.begin(), Chain.end());
+
+    Diagnostic Diag;
+    Diag.CheckId = "comb-loop";
+    Diag.Location = instName(D, C.Nodes[Edges[Chain.front()].Node]);
+    std::string Path = sigName(D, Start);
+    for (size_t EI : Chain)
+      Path += " -> " + sigName(D, Edges[EI].To);
+    Diag.Message = "combinational loop: " + Path;
+    for (size_t EI : Chain) {
+      const LoopEdge &E = Edges[EI];
+      Diag.Notes.push_back(
+          "'" + signalRefName(D, E.Drive->Ref) + "' is driven with " +
+          driveDelayName(E.Drive->Delay) + " delay by " +
+          instName(D, C.Nodes[E.Node]) + ", depending on '" +
+          sigName(D, E.From) + "'");
+    }
+    Diag.Notes.push_back("at runtime this oscillates: llhd-sim stops after "
+                         "--max-deltas delta cycles with exit code 83");
+    DE.report(std::move(Diag));
+  }
+
+  const Design &D;
+  const Connectivity &C;
+  DiagnosticEngine &DE;
+  std::vector<LoopEdge> Edges;
+  std::map<SignalId, std::vector<size_t>> Out;
+  std::map<SignalId, unsigned> VertIdx;
+  std::vector<SignalId> Verts;
+  std::vector<unsigned> Index, Low;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// multi-drive
+//===----------------------------------------------------------------------===//
+
+void checkMultiDrive(const Design &D, const Connectivity &C,
+                     DiagnosticEngine &DE) {
+  struct DriverRef {
+    uint32_t Node;
+    SigRef Ref;
+  };
+  std::map<SignalId, std::vector<DriverRef>> Drivers;
+  for (uint32_t NI = 0; NI != C.Nodes.size(); ++NI) {
+    std::set<SigRef> Seen;
+    for (const Connectivity::Drive &Dr : C.Nodes[NI].Drives) {
+      if (Dr.Sig == InvalidSignal || !Seen.insert(Dr.Ref).second)
+        continue;
+      Drivers[Dr.Sig].push_back({NI, Dr.Ref});
+    }
+  }
+  for (auto &[Sig, Refs] : Drivers) {
+    bool Logic = D.Signals.type(Sig)->isLogic();
+    std::set<uint32_t> Conflicting;
+    for (size_t I = 0; I != Refs.size(); ++I) {
+      for (size_t J = I + 1; J != Refs.size(); ++J) {
+        if (Refs[I].Node == Refs[J].Node)
+          continue; // Last-write-wins within one instance is defined.
+        if (!sigRefsOverlap(Refs[I].Ref, Refs[J].Ref))
+          continue;
+        // Whole-signal drives of nine-valued signals go through IEEE
+        // 1164 multi-driver resolution; everything else conflicts.
+        if (Logic && Refs[I].Ref.wholeSignal() && Refs[J].Ref.wholeSignal())
+          continue;
+        Conflicting.insert(Refs[I].Node);
+        Conflicting.insert(Refs[J].Node);
+      }
+    }
+    if (Conflicting.empty())
+      continue;
+    Diagnostic Diag;
+    Diag.CheckId = "multi-drive";
+    Diag.Location = sigName(D, Sig);
+    Diag.Message =
+        std::to_string(Conflicting.size()) +
+        " instances drive overlapping parts of this unresolved signal; "
+        "the simulators apply last-write-wins, synthesis shorts the "
+        "drivers";
+    for (uint32_t NI : Conflicting)
+      Diag.Notes.push_back("driven by " + instName(D, C.Nodes[NI]));
+    DE.report(std::move(Diag));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// undriven / never-read
+//===----------------------------------------------------------------------===//
+
+/// True if every drive of \p S mirrors a process-variable store: a `drv`
+/// whose value operand is also written to memory by an `st` in the same
+/// unit. That is the shape frontends lower blocking-assigned module
+/// variables to (reads go through the variable, the signal exists only
+/// for external visibility), so "never read" is expected, not a bug.
+bool isVariableMirror(const Connectivity &C, SignalId S) {
+  bool AnyDrive = false;
+  for (uint32_t NI : C.DriversOf[S]) {
+    for (const Connectivity::Drive &Dr : C.Nodes[NI].Drives) {
+      if (Dr.Sig != S)
+        continue;
+      AnyDrive = true;
+      if (!Dr.Origin || Dr.Origin->opcode() != Opcode::Drv)
+        return false;
+      const Value *V = Dr.Origin->operand(1);
+      bool Stored = false;
+      for (const Use *U : V->uses()) {
+        const auto *I = dyn_cast<Instruction>(U->user());
+        Stored |= I && I != Dr.Origin && I->opcode() == Opcode::St &&
+                  U->operandIndex() == 1;
+      }
+      if (!Stored)
+        return false;
+    }
+  }
+  return AnyDrive;
+}
+
+void checkSignalUsage(const Design &D, const Connectivity &C,
+                      DiagnosticEngine &DE) {
+  std::set<SignalId> TopPorts = topPortSignals(D);
+  for (SignalId S = 0; S != C.numSignals(); ++S) {
+    if (D.Signals.canonical(S) != S || TopPorts.count(S))
+      continue;
+    bool Read = !C.ReadersOf[S].empty() || !C.WaitersOf[S].empty();
+    bool Driven = !C.DriversOf[S].empty();
+    if (Read && !Driven) {
+      Diagnostic Diag;
+      Diag.CheckId = "undriven";
+      Diag.Location = sigName(D, S);
+      Diag.Message = "signal is read but never driven: it keeps its "
+                     "initial value forever";
+      for (uint32_t NI : C.ReadersOf[S])
+        Diag.Notes.push_back("read by " + instName(D, C.Nodes[NI]));
+      DE.report(std::move(Diag));
+    } else if (Driven && !Read) {
+      if (isVariableMirror(C, S))
+        continue;
+      Diagnostic Diag;
+      Diag.CheckId = "never-read";
+      Diag.Location = sigName(D, S);
+      Diag.Message = "signal is driven but never read or observed";
+      for (uint32_t NI : C.DriversOf[S])
+        Diag.Notes.push_back("driven by " + instName(D, C.Nodes[NI]));
+      DE.report(std::move(Diag));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// stale-sense
+//===----------------------------------------------------------------------===//
+
+void checkStaleSense(const Design &D, const Connectivity &C,
+                     DiagnosticEngine &DE) {
+  for (const Connectivity::Node &N : C.Nodes) {
+    const UnitInstance &UI = D.Instances[N.Instance];
+    // Only combinational single-wait processes: an edge-triggered
+    // process legitimately samples data signals outside its sensitivity
+    // list, and multi-wait/timeout processes pace themselves.
+    if (!UI.U->isProcess() || N.Act != ActivationClass::Combinational ||
+        N.HasDynamicRefs || N.Waits.empty())
+      continue;
+    std::vector<SignalId> Missing;
+    std::set_difference(N.SteadyReads.begin(), N.SteadyReads.end(),
+                        N.Waits.begin(), N.Waits.end(),
+                        std::back_inserter(Missing));
+    // A process legitimately reads its own driven signals without
+    // observing them (read-modify-write state): observing a signal you
+    // drive with zero delay would itself be a combinational loop.
+    std::set<SignalId> Driven;
+    for (const Connectivity::Drive &Dr : N.Drives)
+      Driven.insert(Dr.Sig);
+    Missing.erase(std::remove_if(Missing.begin(), Missing.end(),
+                                 [&](SignalId S) { return Driven.count(S); }),
+                  Missing.end());
+    if (Missing.empty())
+      continue;
+    Diagnostic Diag;
+    Diag.CheckId = "stale-sense";
+    Diag.Location = instName(D, N);
+    std::string List;
+    for (SignalId S : Missing)
+      List += (List.empty() ? "'" : ", '") + sigName(D, S) + "'";
+    Diag.Message = "process reads " + List +
+                   " without observing " +
+                   (Missing.size() == 1 ? "it" : "them") +
+                   ": a change does not re-trigger evaluation (stale "
+                   "value in simulation, mismatch after synthesis)";
+    DE.report(std::move(Diag));
+  }
+}
+
+} // namespace
+
+void llhd::lintDesign(const Design &D, DesignAnalysisManager &AM,
+                      DiagnosticEngine &DE) {
+  const Connectivity &C = AM.get<ConnectivityAnalysis>(D);
+
+  // Unit-shape checks once per distinct instantiated unit.
+  UnitAnalysisManager UAM;
+  std::set<Unit *> Seen;
+  for (const UnitInstance &UI : D.Instances)
+    if (Seen.insert(UI.U).second)
+      lintUnit(*UI.U, UAM, DE);
+
+  CombLoopCheck(D, C, DE).run();
+  checkMultiDrive(D, C, DE);
+  checkSignalUsage(D, C, DE);
+  checkStaleSense(D, C, DE);
+}

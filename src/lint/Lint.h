@@ -1,0 +1,43 @@
+//===- lint/Lint.h - Static design checks -----------------------*- C++ -*-===//
+//
+// The llhd-lint check suite. Two granularities share one diagnostic
+// engine:
+//
+//  - lintUnit: IR-shape checks on a single unit (unreachable blocks,
+//    dead waits). Needs no elaboration, so it runs anywhere a pass
+//    runs — including mid-pipeline in llhd-opt (`-p 'lint,...'`).
+//
+//  - lintDesign: whole-design checks over the elaborated connectivity
+//    graph (combinational loops, driver conflicts, undriven/unread
+//    signals, stale sensitivity), plus the unit checks over every
+//    instantiated unit. This is what tools/llhd-lint and
+//    `llhd-sim --lint` run.
+//
+// The check catalog and severity/waiver model live in Diagnostics.h;
+// DESIGN.md ("Static design analysis & diagnostics") documents both.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_LINT_LINT_H
+#define LLHD_LINT_LINT_H
+
+#include "lint/Diagnostics.h"
+
+namespace llhd {
+
+class Design;
+class DesignAnalysisManager;
+class Unit;
+class UnitAnalysisManager;
+
+/// Runs the unit-granular checks (unreachable, dead-wait) on \p U.
+void lintUnit(Unit &U, UnitAnalysisManager &AM, DiagnosticEngine &DE);
+
+/// Runs every check on the elaborated design: the connectivity-graph
+/// checks plus lintUnit over each distinct instantiated unit.
+void lintDesign(const Design &D, DesignAnalysisManager &AM,
+                DiagnosticEngine &DE);
+
+} // namespace llhd
+
+#endif // LLHD_LINT_LINT_H

@@ -56,10 +56,8 @@ public:
     for (BasicBlock *BB : U.blocks())
       if (BasicBlock *P = DT.idom(BB))
         DomChildren[P].push_back(BB);
-    for (Instruction *Var : Vars) {
-      promote(Var);
-      Changed = true;
-    }
+    for (Instruction *Var : Vars)
+      Changed |= promote(Var);
     return Changed;
   }
 
@@ -75,7 +73,37 @@ private:
     return true;
   }
 
-  void promote(Instruction *Var) {
+  /// Returns a value of the slot's type that is valid at the end of the
+  /// entry block, to seed the renaming walk. On paths where the `var` has
+  /// not executed yet no load can observe it (the slot pointer would not
+  /// dominate the load), so any well-formed value of the right type will
+  /// do — but phi operands on such edges still must pass the verifier's
+  /// dominance check. The var's init value qualifies when it is an input
+  /// or defined in the entry block; otherwise a constant init is cloned
+  /// into the entry block. Returns null when no dominating seed can be
+  /// materialized.
+  Value *entrySeed(Instruction *Var) {
+    Value *Init = Var->operand(0);
+    auto *II = dyn_cast<Instruction>(Init);
+    if (!II || II->parent() == U.entry())
+      return Init;
+    if (II->opcode() != Opcode::Const)
+      return nullptr;
+    auto *C = new Instruction(Opcode::Const, II->type(), II->name());
+    C->setIntValue(II->intValue());
+    C->setTimeValue(II->timeValue());
+    C->setLogicValue(II->logicValue());
+    C->setEnumValue(II->enumValue());
+    BasicBlock *Entry = U.entry();
+    unsigned N = Entry->insts().size();
+    Entry->insertAt(N ? N - 1 : 0, C); // Just before the terminator.
+    return C;
+  }
+
+  bool promote(Instruction *Var) {
+    Value *Seed = entrySeed(Var);
+    if (!Seed)
+      return false;
     Type *Ty = cast<PointerType>(Var->type())->pointee();
 
     // Blocks containing stores (definitions); the var itself defines the
@@ -115,13 +143,14 @@ private:
 
     // Rename along the dominator tree.
     std::set<Instruction *> DeadLoadsStores;
-    rename(U.entry(), Var->operand(0), Var, Phis, DeadLoadsStores);
+    rename(U.entry(), Seed, Var, Phis, DeadLoadsStores);
 
     for (Instruction *I : DeadLoadsStores) {
       I->replaceAllUsesWith(nullptr); // Loads were already rewired.
       I->eraseFromParent();
     }
     Var->eraseFromParent();
+    return true;
   }
 
   void rename(BasicBlock *BB, Value *Incoming, Instruction *Var,
@@ -132,7 +161,13 @@ private:
       Cur = It->second;
     std::vector<Instruction *> Insts(BB->insts().begin(), BB->insts().end());
     for (Instruction *I : Insts) {
-      if (I->opcode() == Opcode::Ld && I->operand(0) == Var) {
+      if (I == Var) {
+        // Executing `var` (re-)initializes the slot: a fresh cell holding
+        // the init value, exactly as the interpreter models it. Without
+        // this a slot declared inside a loop would leak the previous
+        // iteration's value into the next one.
+        Cur = Var->operand(0);
+      } else if (I->opcode() == Opcode::Ld && I->operand(0) == Var) {
         I->replaceAllUsesWith(Cur);
         Dead.insert(I);
       } else if (I->opcode() == Opcode::St && I->operand(0) == Var) {

@@ -12,6 +12,7 @@
 #include "asm/Parser.h"
 #include "asm/Printer.h"
 #include "ir/Verifier.h"
+#include "lint/Lint.h"
 #include "passes/Passes.h"
 
 #include <atomic>
@@ -45,7 +46,21 @@ bool runTcfe(Unit &U, UnitAnalysisManager &AM) {
   return totalControlFlowElim(U, AM);
 }
 
+// Diagnostic-only pass: reports unit-granular lint findings (unreachable
+// blocks, dead waits) to stderr and never mutates the IR. Useful in
+// pipeline strings to lint pre- and post-optimization:
+//   llhd-opt -p 'lint,std,lint' design.llhd
+bool runLint(Unit &U, UnitAnalysisManager &AM) {
+  DiagnosticEngine DE;
+  lintUnit(U, AM, DE);
+  std::string Out = DE.render();
+  if (!Out.empty())
+    fputs(Out.c_str(), stderr);
+  return false;
+}
+
 PreservedAnalyses preservedNone() { return PreservedAnalyses::none(); }
+PreservedAnalyses preservedAll() { return PreservedAnalyses::all(); }
 
 } // namespace
 
@@ -71,6 +86,8 @@ const std::vector<PassInfo> &llhd::allPasses() {
       {"tcm", "Temporal Code Motion", &runTcm, &preservedNone, true},
       {"tcfe", "Total Control Flow Elimination", &runTcfe, &preservedNone,
        true},
+      {"lint", "Report unit-level lint findings (no IR changes)", &runLint,
+       &preservedAll, true},
   };
   return Passes;
 }

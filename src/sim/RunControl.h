@@ -42,6 +42,7 @@ enum class ExitCode : int {
   Oscillation = 83,    ///< Zero-delay oscillation detector fired.
   CheckpointError = 84,///< Checkpoint write/read/compatibility failure.
   Interrupted = 85,    ///< SIGINT/SIGTERM; state flushed gracefully.
+  LintFindings = 86,   ///< --lint found error-severity findings.
 };
 
 /// Human-readable name for an exit code (for --help and diagnostics).
@@ -59,6 +60,7 @@ inline const char *exitCodeName(ExitCode C) {
   case ExitCode::Oscillation: return "oscillation detected";
   case ExitCode::CheckpointError: return "checkpoint error";
   case ExitCode::Interrupted: return "interrupted";
+  case ExitCode::LintFindings: return "lint findings";
   }
   return "unknown";
 }

@@ -11,6 +11,7 @@
 #include "designs/Designs.h"
 #include "ir/Verifier.h"
 #include "moore/Compiler.h"
+#include "passes/PassManager.h"
 #include "sim/Interp.h"
 #include "vsim/CommSim.h"
 
@@ -83,6 +84,34 @@ TEST_P(DesignSweep, TracesMatchAcrossEngines) {
   EXPECT_EQ(Ref.trace().numChanges(), Comm.trace().numChanges());
   EXPECT_EQ(Ref.trace().digest(), Comm.trace().digest())
       << D.PaperName << ": CommSim trace diverges";
+}
+
+TEST_P(DesignSweep, OptimizesWithVerifyEach) {
+  // llhd-opt's --verify-each over the whole suite: the full optimization
+  // pipeline must leave every unit well-formed after every pass.
+  designs::DesignInfo D = designs::designByKey(GetParam(), 0.0);
+  ASSERT_FALSE(D.Key.empty());
+
+  Context Ctx;
+  Module M(Ctx, D.Key);
+  moore::CompileResult R =
+      moore::compileSystemVerilog(D.Source, D.TopModule, M);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  ModulePassManagerOptions Opts;
+  Opts.Unit.VerifyEach = true;
+  ModulePassManager MPM(Opts);
+  std::string Error;
+  ASSERT_TRUE(
+      MPM.addPipeline("inline,unroll,mem2reg,std<fixpoint>,ecm,tcm,tcfe",
+                      &Error))
+      << Error;
+  MPM.run(M);
+  EXPECT_TRUE(MPM.verifyErrors().empty())
+      << D.PaperName << ": " << MPM.verifyErrors()[0];
+
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors)) << (Errors.empty() ? "" : Errors[0]);
 }
 
 INSTANTIATE_TEST_SUITE_P(

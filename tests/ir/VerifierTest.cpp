@@ -163,6 +163,77 @@ TEST_F(VerifierTest, DrvTypeMismatchRejected) {
   EXPECT_TRUE(hasError("drv value type mismatch"));
 }
 
+TEST_F(VerifierTest, WaitWithTwoTimeoutsRejected) {
+  Unit *P = M.createProcess("p");
+  BasicBlock *BB = P->createBlock("entry");
+  IRBuilder B(BB);
+  Instruction *T1 = B.constTime(Time::ns(1));
+  Instruction *T2 = B.constTime(Time::ns(2));
+  // The builder only takes one timeout; append the second by hand.
+  Instruction *W = B.wait(BB, {}, T1);
+  W->appendOperand(T2);
+  EXPECT_FALSE(verify());
+  EXPECT_TRUE(hasError("more than one timeout"));
+}
+
+TEST_F(VerifierTest, WaitNonSignalOperandRejected) {
+  Unit *P = M.createProcess("p");
+  BasicBlock *BB = P->createBlock("entry");
+  IRBuilder B(BB);
+  Instruction *C = B.constInt(8, 0);
+  Instruction *W = B.wait(BB, {});
+  W->appendOperand(C); // Neither a signal nor a time.
+  EXPECT_FALSE(verify());
+  EXPECT_TRUE(hasError("neither a signal nor a time"));
+}
+
+TEST_F(VerifierTest, WaitDestInAnotherUnitRejected) {
+  Unit *Other = M.createProcess("other");
+  BasicBlock *Foreign = Other->createBlock("entry");
+  IRBuilder BO(Foreign);
+  BO.halt();
+  Unit *P = M.createProcess("p");
+  IRBuilder B(P->createBlock("entry"));
+  B.wait(Foreign, {});
+  EXPECT_FALSE(verify());
+  EXPECT_TRUE(hasError("wait destination in another unit"));
+}
+
+TEST_F(VerifierTest, RegTriggerIndexOutOfRangeRejected) {
+  Unit *E = M.createEntity("e");
+  E->addOutput(Ctx.signalType(Ctx.intType(1)), "q");
+  IRBuilder B(E->entityBlock());
+  Instruction *C = B.constInt(1, 0);
+  Instruction *R = B.reg(E->output(0), {{C, RegMode::Rise, C}});
+  R->regTriggers()[0].TriggerIdx = 99; // Point outside the operand list.
+  EXPECT_FALSE(verify());
+  EXPECT_TRUE(hasError("reg trigger operand index out of range"));
+}
+
+TEST_F(VerifierTest, DuplicateUnconditionalEntityDriveRejected) {
+  Unit *E = M.createEntity("e");
+  E->addOutput(Ctx.signalType(Ctx.intType(8)), "q");
+  IRBuilder B(E->entityBlock());
+  Instruction *D = B.constTime(Time::ns(1));
+  B.drv(E->output(0), B.constInt(8, 1), D);
+  B.drv(E->output(0), B.constInt(8, 2), D);
+  EXPECT_FALSE(verify());
+  EXPECT_TRUE(hasError("duplicate unconditional drive"));
+}
+
+TEST_F(VerifierTest, ConditionalEntityDrivesAllowed) {
+  // Two drives of one signal are fine when at least one is conditional
+  // (the lint multi-drive check owns the design-level question).
+  Unit *E = M.createEntity("e");
+  E->addOutput(Ctx.signalType(Ctx.intType(8)), "q");
+  IRBuilder B(E->entityBlock());
+  Instruction *D = B.constTime(Time::ns(1));
+  Instruction *C = B.constInt(1, 1);
+  B.drv(E->output(0), B.constInt(8, 1), D);
+  B.drv(E->output(0), B.constInt(8, 2), D, C);
+  EXPECT_TRUE(verify()) << (Errors.empty() ? "" : Errors[0]);
+}
+
 TEST_F(VerifierTest, LevelChecking) {
   // Structural entity: prb/drv/reg allowed, but not at netlist level.
   Unit *E = M.createEntity("e");

@@ -120,8 +120,9 @@ TEST_F(PassManagerTest, PipelineParseErrors) {
 }
 
 TEST_F(PassManagerTest, RegistryLookup) {
-  EXPECT_EQ(allPasses().size(), 10u);
+  EXPECT_EQ(allPasses().size(), 11u);
   ASSERT_NE(passByName("tcm"), nullptr);
+  ASSERT_NE(passByName("lint"), nullptr);
   EXPECT_STREQ(passByName("tcm")->Name, "tcm");
   EXPECT_EQ(passByName("TCM"), nullptr);
   EXPECT_EQ(passByName("std"), nullptr); // A set, not a pass.

@@ -1,0 +1,234 @@
+//===- tools/llhd-lint.cpp - Static design lint driver -------------------===//
+//
+// The llhd-lint tool: static analysis of an elaborated design, no
+// simulation. Reads LLHD assembly (or SystemVerilog through the Moore
+// frontend), elaborates, builds the connectivity graph and runs the
+// full check suite (src/lint/).
+//
+//   llhd-lint design.llhd                      # all checks, default severities
+//   llhd-lint design.sv --top=cpu -Werror      # promote warnings
+//   llhd-lint design.llhd --waivers=lint.waive # suppress known findings
+//   llhd-lint --list-checks                    # the check catalog
+//
+// Exit codes: 0 clean (warnings allowed), 1 error-severity findings,
+// 64 usage, 65 frontend error, 66 i/o error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Connectivity.h"
+#include "asm/Parser.h"
+#include "lint/Lint.h"
+#include "moore/Compiler.h"
+#include "sim/Design.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace llhd;
+
+namespace {
+
+void printUsage() {
+  fprintf(stderr,
+          "usage: llhd-lint [options] <file.llhd | file.sv | ->\n"
+          "\n"
+          "  --top=<name>       top entity/module; auto-detected when the\n"
+          "                     design has a unique un-instantiated root\n"
+          "  --waivers=<file>   waiver file (%s)\n"
+          "  -Werror            promote warnings to errors\n"
+          "  -Wno-<check-id>    disable one check, e.g. -Wno-never-read\n"
+          "  --list-checks      print the check catalog and exit\n"
+          "  --dump-connectivity  print the connectivity graph and exit\n"
+          "  --sv, --llhd       force the input language (default: by\n"
+          "                     file extension; stdin defaults to .llhd)\n"
+          "\n"
+          "exit codes: 0 clean, 1 error findings, 64 usage, 65 frontend\n"
+          "error, 66 i/o error\n",
+          waiverFileFormatHelp());
+}
+
+/// Mirrors llhd-sim's top detection: the unique non-declaration
+/// process/entity nothing instantiates.
+std::string detectTop(const Module &M, std::string &Error) {
+  std::vector<const Unit *> Candidates;
+  for (const auto &U : M.units()) {
+    if (U->isFunction() || U->isDeclaration())
+      continue;
+    Candidates.push_back(U.get());
+  }
+  for (const auto &U : M.units())
+    for (const BasicBlock *B : U->blocks())
+      for (const Instruction *I : B->insts())
+        if (I->opcode() == Opcode::InstOp && I->callee())
+          Candidates.erase(std::remove(Candidates.begin(), Candidates.end(),
+                                       I->callee()),
+                           Candidates.end());
+  if (Candidates.size() == 1)
+    return Candidates.front()->name();
+  if (Candidates.empty()) {
+    Error = "no top unit found (every process/entity is instantiated); "
+            "use --top=<name>";
+  } else {
+    Error = "multiple top candidates (use --top=<name>):";
+    for (const Unit *U : Candidates)
+      Error += " @" + U->name();
+  }
+  return "";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string File, Top, WaiverPath;
+  int Language = 0; // 0 = by extension, 1 = llhd, 2 = sv.
+  bool DumpConnectivity = false;
+  DiagnosticEngine::Options Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "-h" || A == "--help") {
+      printUsage();
+      return 0;
+    } else if (A.rfind("--top=", 0) == 0) {
+      Top = A.substr(strlen("--top="));
+    } else if (A.rfind("--waivers=", 0) == 0) {
+      WaiverPath = A.substr(strlen("--waivers="));
+    } else if (A == "-Werror" || A == "--werror") {
+      Opts.WarningsAsErrors = true;
+    } else if (A.rfind("-Wno-", 0) == 0) {
+      std::string Id = A.substr(strlen("-Wno-"));
+      if (!checkById(Id)) {
+        fprintf(stderr, "llhd-lint: unknown check '%s' in '%s'\n", Id.c_str(),
+                A.c_str());
+        return 64;
+      }
+      Opts.SeverityOverrides[Id] = Severity::Ignore;
+    } else if (A == "--list-checks") {
+      for (const CheckInfo &C : allChecks())
+        printf("%-12s %-8s %s\n", C.Id, severityName(C.DefaultSev),
+               C.Description);
+      return 0;
+    } else if (A == "--dump-connectivity") {
+      DumpConnectivity = true;
+    } else if (A == "--sv") {
+      Language = 2;
+    } else if (A == "--llhd") {
+      Language = 1;
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      fprintf(stderr, "llhd-lint: unknown option '%s'\n", A.c_str());
+      printUsage();
+      return 64;
+    } else if (File.empty()) {
+      File = A;
+    } else {
+      fprintf(stderr, "llhd-lint: more than one input file\n");
+      return 64;
+    }
+  }
+  if (File.empty()) {
+    printUsage();
+    return 64;
+  }
+
+  std::string Src;
+  if (File == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Src = SS.str();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      fprintf(stderr, "llhd-lint: cannot open '%s'\n", File.c_str());
+      return 66;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Src = SS.str();
+  }
+  if (Language == 0) {
+    auto endsWith = [&](const char *Suffix) {
+      size_t L = strlen(Suffix);
+      return File.size() >= L && File.compare(File.size() - L, L, Suffix) == 0;
+    };
+    Language = (endsWith(".sv") || endsWith(".v")) ? 2 : 1;
+  }
+
+  DiagnosticEngine DE(Opts);
+  if (!WaiverPath.empty()) {
+    std::ifstream In(WaiverPath);
+    if (!In) {
+      fprintf(stderr, "llhd-lint: cannot open waiver file '%s'\n",
+              WaiverPath.c_str());
+      return 66;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string Error;
+    if (!DE.addWaivers(SS.str(), Error)) {
+      fprintf(stderr, "llhd-lint: %s: %s\n", WaiverPath.c_str(),
+              Error.c_str());
+      return 64;
+    }
+  }
+
+  Context Ctx;
+  Module M(Ctx, File);
+  if (Language == 2) {
+    std::string Error;
+    if (Top.empty()) {
+      Top = moore::detectTopModule(Src, Error);
+      if (Top.empty()) {
+        fprintf(stderr, "llhd-lint: %s\n", Error.c_str());
+        return 65;
+      }
+    }
+    moore::CompileResult R = moore::compileSystemVerilog(Src, Top, M);
+    if (!R.Ok) {
+      fprintf(stderr, "llhd-lint: %s\n", R.Error.c_str());
+      return 65;
+    }
+    Top = R.TopUnit;
+  } else {
+    ParseResult R = parseModule(Src, M);
+    if (!R.Ok) {
+      fprintf(stderr, "llhd-lint: %s\n", R.Error.c_str());
+      return 65;
+    }
+    if (Top.empty()) {
+      std::string Error;
+      Top = detectTop(M, Error);
+      if (Top.empty()) {
+        fprintf(stderr, "llhd-lint: %s\n", Error.c_str());
+        return 65;
+      }
+    }
+  }
+
+  Design D = elaborate(M, Top);
+  if (!D.ok()) {
+    fprintf(stderr, "llhd-lint: %s\n", D.Error.c_str());
+    return 65;
+  }
+
+  DesignAnalysisManager AM;
+  if (DumpConnectivity) {
+    fputs(AM.get<ConnectivityAnalysis>(D).dump(D).c_str(), stdout);
+    return 0;
+  }
+
+  lintDesign(D, AM, DE);
+
+  std::string Out = DE.render();
+  if (!Out.empty())
+    fputs(Out.c_str(), stderr);
+  for (const std::string &W : DE.unusedWaivers())
+    fprintf(stderr, "llhd-lint: warning: unused waiver '%s' in %s\n",
+            W.c_str(), WaiverPath.c_str());
+  return DE.failed() ? 1 : 0;
+}

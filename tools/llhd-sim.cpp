@@ -12,8 +12,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Connectivity.h"
 #include "asm/Parser.h"
 #include "blaze/Blaze.h"
+#include "lint/Lint.h"
 #include "moore/Compiler.h"
 #include "sim/Interp.h"
 #include "sim/Lir.h"
@@ -54,6 +56,10 @@ void printUsage() {
           "                   next to the design as <input>.jit.cpp)\n"
           "  --jit-deopt=<s>  force process units whose name contains <s>\n"
           "                   (\"*\" for all) back to the interpreter\n"
+          "  --lint[=error]   run the static design checks (llhd-lint)\n"
+          "                   before simulating; abort with exit 86 on\n"
+          "                   error findings (--lint=error also promotes\n"
+          "                   warnings)\n"
           "  --stats          print run statistics to stderr\n"
           "  --list-signals   print the elaborated signal hierarchy and\n"
           "                   exit without simulating\n"
@@ -82,7 +88,7 @@ void printUsage() {
           "  0 ok, 1 assertion failed, 2 engine divergence, 64 usage,\n"
           "  65 frontend error, 66 i/o error, 80 wall timeout, 81 event\n"
           "  budget, 82 delta budget, 83 oscillation detected,\n"
-          "  84 checkpoint error, 85 interrupted\n");
+          "  84 checkpoint error, 85 interrupted, 86 lint findings\n");
 }
 
 /// Raised by the SIGINT/SIGTERM handler; the event loop polls it at
@@ -166,6 +172,8 @@ struct DriverConfig {
   bool Stats = false;
   bool ListSignals = false;
   bool DumpLir = false;
+  bool Lint = false;       ///< --lint: static checks before simulating.
+  bool LintWerror = false; ///< --lint=error: promote warnings too.
   SimOptions Opts;
 };
 
@@ -396,6 +404,11 @@ int main(int Argc, char **Argv) {
       Cfg.DiffEngines = true;
     } else if (A == "--no-opt") {
       Cfg.NoOpt = true;
+    } else if (A == "--lint") {
+      Cfg.Lint = true;
+    } else if (A == "--lint=error") {
+      Cfg.Lint = true;
+      Cfg.LintWerror = true;
     } else if (A == "--stats") {
       Cfg.Stats = true;
     } else if (A == "--list-signals") {
@@ -569,6 +582,37 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // --lint gate: run the static design checks once, before any engine.
+  // Error-severity findings abort the run with exit 86 -- they describe
+  // designs whose simulation results are misleading (oscillating loops,
+  // conflicting drivers), so refusing to simulate is the safe default.
+  if (Cfg.Lint) {
+    std::string Top, Error;
+    std::unique_ptr<Module> M = buildModule(File + ".lint", Top, Error);
+    if (!M) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return exitFor(ExitCode::InputError);
+    }
+    Design D = elaborate(*M, Top);
+    if (!D.ok()) {
+      fprintf(stderr, "llhd-sim: %s\n", D.Error.c_str());
+      return exitFor(ExitCode::InputError);
+    }
+    DiagnosticEngine::Options LOpts;
+    LOpts.WarningsAsErrors = Cfg.LintWerror;
+    DiagnosticEngine DE(LOpts);
+    DesignAnalysisManager AM;
+    lintDesign(D, AM, DE);
+    std::string Out = DE.render();
+    if (!Out.empty())
+      fputs(Out.c_str(), stderr);
+    if (DE.failed()) {
+      fprintf(stderr, "llhd-sim: not simulating: %s\n",
+              exitCodeName(ExitCode::LintFindings));
+      return exitFor(ExitCode::LintFindings);
+    }
+  }
+
   bool WantVcd = !Cfg.VcdPath.empty();
   std::vector<RunOutcome> Outcomes;
   std::vector<std::string> Engines =
@@ -648,6 +692,31 @@ int main(int Argc, char **Argv) {
               O.Engine.c_str(), join(O.Stats.OscProcs).c_str());
       fprintf(stderr, "llhd-sim: %s: cycling signal(s): %s\n",
               O.Engine.c_str(), join(O.Stats.OscSigs).c_str());
+      // Cross-reference the static analysis: the loop the runtime guard
+      // just caught is usually visible to llhd-lint's comb-loop check
+      // without running the design at all, with the full cycle named.
+      std::string LintTop, LintError;
+      if (std::unique_ptr<Module> LM =
+              buildModule(File + ".oschint", LintTop, LintError)) {
+        Design LD = elaborate(*LM, LintTop);
+        if (LD.ok()) {
+          DiagnosticEngine::Options LOpts;
+          for (const CheckInfo &C : allChecks())
+            if (std::string(C.Id) != "comb-loop")
+              LOpts.SeverityOverrides[C.Id] = Severity::Ignore;
+          DiagnosticEngine LDE(LOpts);
+          DesignAnalysisManager LAM;
+          lintDesign(LD, LAM, LDE);
+          for (const Diagnostic &Dg : LDE.diagnostics())
+            fprintf(stderr, "llhd-sim: hint: [%s] %s: %s\n",
+                    Dg.CheckId.c_str(), Dg.Location.c_str(),
+                    Dg.Message.c_str());
+          if (!LDE.diagnostics().empty())
+            fprintf(stderr,
+                    "llhd-sim: hint: llhd-lint reports this statically "
+                    "(check 'comb-loop'); run it for the full cycle\n");
+        }
+      }
     }
     if (Exit == 0)
       Exit = exitFor(exitCodeFor(O.Stats.Stop));
