@@ -16,9 +16,12 @@
 #include "blaze/Blaze.h"
 #include "designs/Designs.h"
 #include "moore/Compiler.h"
+#include "sim/Batch.h"
 #include "sim/Interp.h"
 #include "sim/Wave.h"
 #include "vsim/CommSim.h"
+
+#include <thread>
 
 #include <algorithm>
 #include <cmath>
@@ -40,6 +43,10 @@ struct Row {
   double CkptS;     ///< Interp runtime with periodic checkpointing on.
   double CompileMs; ///< Blaze elaborate+codegen+host-compile wall time.
   bool TracesMatch;
+  /// --batch columns (0 when the mode is off): wall seconds for N
+  /// instances run sequentially (jobs=1) vs on the worker pool, over
+  /// one shared program each.
+  double BatchSeqS = 0, BatchPoolS = 0;
 };
 
 /// Per-engine geometric means in ns/cycle.
@@ -123,9 +130,11 @@ int runGate(const std::vector<Row> &Rows, const std::string &GatePath,
 }
 
 /// Writes per-engine ns/cycle (and geometric means) as JSON so future
-/// PRs can diff simulation performance mechanically.
+/// PRs can diff simulation performance mechanically. \p BatchN non-zero
+/// adds the --batch throughput block (aggregate cycles/sec, sequential
+/// and pooled, plus the scaling ratio).
 void writeJson(const std::string &Path, double Scale,
-               const std::vector<Row> &Rows) {
+               const std::vector<Row> &Rows, unsigned BatchN) {
   FILE *F = fopen(Path.c_str(), "w");
   if (!F) {
     fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -158,7 +167,29 @@ void writeJson(const std::string &Path, double Scale,
             I + 1 != Rows.size() ? "," : "");
   }
   size_t N = Rows.empty() ? 1 : Rows.size();
-  fprintf(F, "  ],\n  \"geomean_ns_per_cycle\": ");
+  if (BatchN) {
+    // Aggregate fleet throughput: total simulated cycles per wall
+    // second across the whole suite, sequential loop vs worker pool
+    // over the same shared programs. scaling = seq/pool (1.0 on one
+    // core; approaches the core count on a parallel runner).
+    double SeqS = 0, PoolS = 0;
+    uint64_t FleetCycles = 0;
+    for (const Row &R : Rows) {
+      SeqS += R.BatchSeqS;
+      PoolS += R.BatchPoolS;
+      FleetCycles += BatchN * R.Cycles;
+    }
+    fprintf(F,
+            "  ],\n  \"batch\": {\"n\": %u, \"jobs\": %u, "
+            "\"seq_cycles_per_sec\": %.0f, \"pool_cycles_per_sec\": %.0f, "
+            "\"scaling\": %.2f},\n  \"geomean_ns_per_cycle\": ",
+            BatchN, std::thread::hardware_concurrency(),
+            SeqS > 0 ? FleetCycles / SeqS : 0.0,
+            PoolS > 0 ? FleetCycles / PoolS : 0.0,
+            PoolS > 0 ? SeqS / PoolS : 0.0);
+  } else {
+    fprintf(F, "  ],\n  \"geomean_ns_per_cycle\": ");
+  }
   // New fields must stay behind "comm": parseGeomeans() scans this line
   // with a fixed prefix.
   fprintf(F,
@@ -182,6 +213,10 @@ int main(int argc, char **argv) {
   // instead of native code (the pre-JIT configuration).
   bool NoJit = argFlag(argc, argv, "no-jit");
   std::string JsonPath = argStr(argc, argv, "json", "BENCH_sim.json");
+  // --batch[=N]: also measure fleet throughput — N instances per design
+  // over one shared program, sequential loop vs worker pool.
+  unsigned BatchN = (unsigned)argFloat(argc, argv, "batch",
+                                       argFlag(argc, argv, "batch") ? 8 : 0);
   // Optional waveform dump: attaches the VCD observer to every timed
   // run (so the numbers then include tracing overhead), cross-checks
   // that all three engines emit byte-identical dumps, and writes the
@@ -268,6 +303,33 @@ int main(int argc, char **argv) {
       TCkpt = std::min(TCkpt, timeIt([&] { Ck->run(); }));
     }
 
+    // --batch: N instances of the shared program, once sequentially
+    // (jobs=1 — the compile-amortized baseline a naive loop would pay)
+    // and once on the worker pool (jobs = hardware threads). Both use
+    // the Blaze engine with its one-time JIT compile; only the run
+    // phase is timed, so the column isolates the fleet's scaling.
+    double TBatchSeq = 0, TBatchPool = 0;
+    if (BatchN) {
+      auto runFleet = [&](unsigned Jobs) {
+        BatchOptions BO;
+        BO.N = BatchN;
+        BO.Jobs = Jobs;
+        BO.Engine = "blaze";
+        BO.Base.TraceMode = Opts.TraceMode;
+        BatchResult BR = runBatch(M2, R2.TopUnit, BO);
+        if (!BR.Ok)
+          printf("%-16s batch error: %s\n", D.PaperName.c_str(),
+                 BR.Error.c_str());
+        return BR.Ok ? BR.RunSeconds : 0.0;
+      };
+      TBatchSeq = 1e300;
+      TBatchPool = 1e300;
+      for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+        TBatchSeq = std::min(TBatchSeq, runFleet(1));
+        TBatchPool = std::min(TBatchPool, runFleet(0));
+      }
+    }
+
     const char *Status = "";
     bool Match = true;
     if (S1.AssertFailures || S2.AssertFailures || S3.AssertFailures) {
@@ -290,7 +352,7 @@ int main(int argc, char **argv) {
       printf("%-16s cannot write %s/%s.vcd\n", "", VcdDir.c_str(),
              D.Key.c_str());
     Rows.push_back({D.PaperName, D.Iterations, TInt, TJit, TComm, TCkpt,
-                    CompileMs, Match});
+                    CompileMs, Match, TBatchSeq, TBatchPool});
 
     printf("%-16s %5u %10llu %12.3f %12.3f %12.3f %9.1f %8.1f %7.2f "
            "%7.1f%%%s\n",
@@ -304,8 +366,30 @@ int main(int argc, char **argv) {
          "IR (sim/Lir.h), so\nInt. runs close to an unoptimised JIT; "
          "JIT's remaining edge is its pre-compilation\noptimisation "
          "pipeline, and Comm. stays in the same order.\n");
+  if (BatchN) {
+    double SeqS = 0, PoolS = 0;
+    uint64_t FleetCycles = 0;
+    printf("\nBatch fleet (N=%u per design, Blaze, compile once; "
+           "%u hardware threads):\n",
+           BatchN, std::thread::hardware_concurrency());
+    printf("%-16s %12s %12s %8s\n", "Design", "Seq [s]", "Pool [s]",
+           "Scaling");
+    for (const Row &R : Rows) {
+      printf("%-16s %12.3f %12.3f %7.2fx\n", R.Name.c_str(), R.BatchSeqS,
+             R.BatchPoolS,
+             R.BatchPoolS > 0 ? R.BatchSeqS / R.BatchPoolS : 0.0);
+      SeqS += R.BatchSeqS;
+      PoolS += R.BatchPoolS;
+      FleetCycles += BatchN * R.Cycles;
+    }
+    printf("aggregate: %.0f cycles/s sequential, %.0f cycles/s pooled, "
+           "scaling %.2fx\n",
+           SeqS > 0 ? FleetCycles / SeqS : 0.0,
+           PoolS > 0 ? FleetCycles / PoolS : 0.0,
+           PoolS > 0 ? SeqS / PoolS : 0.0);
+  }
   if (!JsonPath.empty())
-    writeJson(JsonPath, Scale, Rows);
+    writeJson(JsonPath, Scale, Rows, BatchN);
   std::string GatePath = argStr(argc, argv, "gate", "");
   if (!GatePath.empty())
     return runGate(Rows, GatePath, argFloat(argc, argv, "gate-tol", 0.05));

@@ -22,40 +22,73 @@
 
 using namespace llhd;
 
+namespace {
+/// Keeps the optimised clone alive for the program's lifetime (the
+/// program's Units/Instructions point into it). The clone lives in the
+/// caller's Context, which must outlive the program.
+struct ClonedModule {
+  Module M;
+  ClonedModule(Context &Ctx, std::string Name) : M(Ctx, std::move(Name)) {}
+};
+} // namespace
+
 struct BlazeSim::Impl {
-  Context &Ctx;
-  Module Cloned;
   std::string Err;
   std::unique_ptr<LirEngine> Eng;
   Trace EmptyTr;
   Design EmptyD;
 
-  Impl(Module &M, const std::string &Top, BlazeOptions O)
-      : Ctx(M.context()), Cloned(Ctx, M.name() + ".blaze") {
-    // Clone the module so optimisation does not disturb the caller.
-    ParseResult R = parseModule(printModule(M), Cloned);
-    if (!R.Ok) {
-      Err = "internal clone failed: " + R.Error;
+  Impl(Module &M, const std::string &Top, const BlazeOptions &O) {
+    std::shared_ptr<const LirProgram> Prog =
+        BlazeSim::buildProgram(M, Top, O, Err);
+    if (Prog)
+      mkEngine(std::move(Prog), O);
+  }
+
+  Impl(std::shared_ptr<const LirProgram> Prog, SimOptions O) {
+    if (!Prog || !Prog->D.ok()) {
+      Err = Prog ? Prog->D.Error : "null program";
       return;
     }
-    if (O.Optimize)
-      runStandardOptimizations(Cloned);
-    Design D = elaborate(Cloned, Top);
-    if (!D.ok()) {
-      Err = D.Error;
-      return;
-    }
-    Eng = std::make_unique<LirEngine>(std::move(D), O, O.Jit);
+    mkEngine(std::move(Prog), std::move(O));
+  }
+
+  void mkEngine(std::shared_ptr<const LirProgram> Prog, SimOptions O) {
+    Eng = std::make_unique<LirEngine>(std::move(Prog), std::move(O));
     Eng->EngineName = "blaze";
     Eng->build();
   }
 };
+
+std::shared_ptr<const LirProgram>
+BlazeSim::buildProgram(Module &M, const std::string &Top,
+                       const BlazeOptions &O, std::string &Err) {
+  // Clone the module so optimisation does not disturb the caller.
+  auto Holder =
+      std::make_shared<ClonedModule>(M.context(), M.name() + ".blaze");
+  ParseResult R = parseModule(printModule(M), Holder->M);
+  if (!R.Ok) {
+    Err = "internal clone failed: " + R.Error;
+    return nullptr;
+  }
+  if (O.Optimize)
+    runStandardOptimizations(Holder->M);
+  Design D = elaborate(Holder->M, Top);
+  if (!D.ok()) {
+    Err = D.Error;
+    return nullptr;
+  }
+  return LirProgram::build(std::move(D), O.Jit, std::move(Holder));
+}
 
 BlazeSim::BlazeSim(Module &M, const std::string &Top, BlazeOptions Opts)
     : P(std::make_unique<Impl>(M, Top, Opts)) {}
 
 BlazeSim::BlazeSim(Module &M, const std::string &Top)
     : BlazeSim(M, Top, BlazeOptions()) {}
+
+BlazeSim::BlazeSim(std::shared_ptr<const LirProgram> Prog, SimOptions Opts)
+    : P(std::make_unique<Impl>(std::move(Prog), std::move(Opts))) {}
 
 BlazeSim::~BlazeSim() = default;
 
@@ -81,7 +114,7 @@ const Trace &BlazeSim::trace() const {
   return P->Eng ? P->Eng->Tr : P->EmptyTr;
 }
 const SignalTable &BlazeSim::signals() const {
-  return P->Eng ? P->Eng->D.Signals : P->EmptyD.Signals;
+  return P->Eng ? P->Eng->Signals : P->EmptyD.Signals;
 }
 const Design &BlazeSim::design() const {
   return P->Eng ? P->Eng->D : P->EmptyD;

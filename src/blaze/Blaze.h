@@ -17,7 +17,11 @@
 #include "jit/Jit.h"
 #include "sim/Interp.h"
 
+#include <memory>
+
 namespace llhd {
+
+struct LirProgram;
 
 /// The LLHD-Blaze engine.
 class BlazeSim {
@@ -37,7 +41,19 @@ public:
   /// optimising configuration works on an internal clone.
   BlazeSim(Module &M, const std::string &Top, BlazeOptions Opts);
   BlazeSim(Module &M, const std::string &Top);
+  /// Batch form: runs over an immutable program from buildProgram(),
+  /// shared with any number of concurrent sibling engines.
+  BlazeSim(std::shared_ptr<const LirProgram> Prog, SimOptions Opts);
   ~BlazeSim();
+
+  /// Clones \p M, optimises, elaborates \p Top and compiles the result
+  /// into an immutable program (including native code when \p Opts.Jit
+  /// enables it). The returned program keeps the optimised clone alive
+  /// and can back any number of concurrent BlazeSim instances. Null +
+  /// \p Err on clone/elaboration failure.
+  static std::shared_ptr<const LirProgram>
+  buildProgram(Module &M, const std::string &Top, const BlazeOptions &Opts,
+               std::string &Err);
 
   bool valid() const;
   const std::string &error() const;

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include <dlfcn.h>
@@ -101,6 +102,25 @@ std::string HostCompiler::findCompiler() {
   return "";
 }
 
+/// Loads \p So and verifies its embedded ABI stamp; null handle + error
+/// text on failure. Shared by the fresh-compile and on-disk-cache paths.
+static void *loadAndCheck(const std::string &So, std::string &Err) {
+  void *H = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!H) {
+    const char *E = dlerror();
+    Err = std::string("dlopen failed: ") + (E ? E : "unknown error");
+    return nullptr;
+  }
+  int *Abi = reinterpret_cast<int *>(dlsym(H, "llhd_jit_abi_version"));
+  if (!Abi || *Abi != AbiVersion) {
+    Err = "generated object has ABI version " +
+          (Abi ? std::to_string(*Abi) : std::string("<missing>")) +
+          ", engine expects " + std::to_string(AbiVersion);
+    return nullptr;
+  }
+  return H;
+}
+
 CompileResult HostCompiler::compile(const std::string &Source) {
   CompileResult R;
   R.Compiler = findCompiler();
@@ -111,15 +131,50 @@ CompileResult HostCompiler::compile(const std::string &Source) {
   }
   R.CompilerFound = true;
 
+  // The whole compile-and-load path runs under one lock: concurrent
+  // callers racing on the same source (batch instances JITting one
+  // program) get exactly one compilation, and the cache map is never
+  // mutated under a reader. Distinct sources serialize too — compiles
+  // happen once per program build, never on the simulation hot path.
+  static std::mutex CacheMu;
+  static std::map<uint64_t, void *> Cache;
+  std::lock_guard<std::mutex> Lock(CacheMu);
+
   // Availability is checked before the cache so that a run with the
   // compiler disabled can never be satisfied by an earlier run's
   // cached object.
-  static std::map<uint64_t, void *> Cache;
   uint64_t Key = fnv1a(R.Compiler + '\0' + Source);
   auto It = Cache.find(Key);
   if (It != Cache.end()) {
     R.Handle = It->second;
     return R;
+  }
+
+  // Optional cross-process object cache: $LLHD_JIT_CACHE names a
+  // directory of compiled objects keyed by (compiler, source, ABI).
+  // Objects land there via atomic rename (below), so a concurrent
+  // process sees either nothing or a complete object — never a torn
+  // write.
+  std::string Published;
+  if (const char *CacheDir = getenv("LLHD_JIT_CACHE")) {
+    if (*CacheDir) {
+      mkdir(CacheDir, 0777); // Best-effort; may already exist.
+      char Hex[17];
+      snprintf(Hex, sizeof(Hex), "%016llx",
+               static_cast<unsigned long long>(Key));
+      Published = std::string(CacheDir) + "/llhd-jit-" + Hex + "-abi" +
+                  std::to_string(AbiVersion) + ".so";
+      if (access(Published.c_str(), R_OK) == 0) {
+        std::string LoadErr;
+        if (void *H = loadAndCheck(Published, LoadErr)) {
+          Cache[Key] = H;
+          R.Handle = H;
+          return R;
+        }
+        // Stale or foreign object: fall through and recompile (the
+        // publish below replaces it atomically).
+      }
+    }
   }
 
   const char *Base = getenv("LLHD_JIT_TMPDIR");
@@ -158,25 +213,23 @@ CompileResult HostCompiler::compile(const std::string &Source) {
     return R;
   }
 
-  void *H = dlopen(So.c_str(), RTLD_NOW | RTLD_LOCAL);
+  std::string LoadErr;
+  void *H = loadAndCheck(So, LoadErr);
   if (!H) {
-    const char *E = dlerror();
-    R.Error = std::string("dlopen failed: ") + (E ? E : "unknown error");
+    R.Error = LoadErr;
     if (!Keep)
       removeTree(D);
     return R;
   }
+  // Publish into the cross-process cache: rename is atomic within a
+  // filesystem, so readers never see a partial object. EXDEV (cache on
+  // another filesystem) just skips persistence. The already-loaded
+  // mapping survives the rename (same inode).
+  if (!Published.empty())
+    rename(So.c_str(), Published.c_str());
   // The mapping survives unlinking the file; only the handle matters.
   if (!Keep)
     removeTree(D);
-
-  int *Abi = reinterpret_cast<int *>(dlsym(H, "llhd_jit_abi_version"));
-  if (!Abi || *Abi != AbiVersion) {
-    R.Error = "generated object has ABI version " +
-              (Abi ? std::to_string(*Abi) : std::string("<missing>")) +
-              ", engine expects " + std::to_string(AbiVersion);
-    return R;
-  }
 
   Cache[Key] = H;
   R.Handle = H;

@@ -16,7 +16,13 @@
 // to interpretation.
 //
 // Loaded objects are cached process-wide by source hash and never
-// dlclosed: bound function pointers must outlive every engine.
+// dlclosed: bound function pointers must outlive every engine. The cache
+// (and the whole compile-and-load path) is serialized behind a mutex, so
+// concurrent callers — batch instances racing to JIT one program — get
+// exactly one compilation per distinct source. Setting $LLHD_JIT_CACHE
+// to a directory additionally persists compiled objects across
+// processes, published with an atomic tmp+rename so concurrent
+// processes never observe a partial object.
 //
 //===----------------------------------------------------------------------===//
 
@@ -50,7 +56,10 @@ public:
   /// Compiles \p Source into a shared object in a fresh temp dir
   /// (respecting $LLHD_JIT_TMPDIR / $TMPDIR), dlopens it, and verifies
   /// the embedded ABI version. The temp dir is removed afterwards
-  /// unless $LLHD_JIT_KEEP is set. Never throws, never aborts.
+  /// unless $LLHD_JIT_KEEP is set. Thread-safe: one compilation per
+  /// distinct (compiler, source) process-wide; with $LLHD_JIT_CACHE
+  /// set, objects are reused across processes. Never throws, never
+  /// aborts.
   static CompileResult compile(const std::string &Source);
 };
 

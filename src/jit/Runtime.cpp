@@ -2,6 +2,7 @@
 
 #include "jit/Runtime.h"
 #include "jit/HostCompiler.h"
+#include "sim/Design.h"
 #include "sim/LirEngine.h"
 
 #include <chrono>
@@ -26,12 +27,12 @@ uint64_t apiPrb(void *CtxP, unsigned Site) {
   auto &C = *static_cast<ProcContext *>(CtxP);
   // Always via read(): it resolves `con` aliases (including element-
   // aligned sub-signal aliases) exactly like the interpreter's Prb.
-  return C.Eng->D.Signals.read(C.Prbs[Site].Ref).intValue().zextToU64();
+  return C.Eng->Signals.read(C.Prbs[Site].Ref).intValue().zextToU64();
 }
 
 void apiPrbArr(void *CtxP, unsigned Site, uint64_t *Dst, unsigned N) {
   auto &C = *static_cast<ProcContext *>(CtxP);
-  RtValue V = C.Eng->D.Signals.read(C.Prbs[Site].Ref);
+  RtValue V = C.Eng->Signals.read(C.Prbs[Site].Ref);
   const std::vector<RtValue> &E = V.elements();
   for (unsigned I = 0; I != N; ++I)
     Dst[I] = E[I].intValue().zextToU64();
@@ -83,7 +84,7 @@ const LlhdJitApi *jit::apiTable() {
 // JitModule
 //===----------------------------------------------------------------------===//
 
-void JitModule::compile(LirEngine &Eng) {
+void JitModule::compile(const Design &D, const LirCache &Cache) {
   St.Enabled = Opts.M != JitOptions::Mode::Off;
   if (!St.Enabled)
     return;
@@ -98,10 +99,10 @@ void JitModule::compile(LirEngine &Eng) {
   // order (and thus the symbol numbering) is deterministic.
   std::vector<const LirUnit *> ProcUnits;
   std::set<const LirUnit *> Seen;
-  for (const UnitInstance &UI : Eng.D.Instances) {
+  for (const UnitInstance &UI : D.Instances) {
     if (!UI.U->isProcess())
       continue;
-    const LirUnit *L = &Eng.Cache.get(UI.U);
+    const LirUnit *L = Cache.lookup(UI.U);
     if (Seen.insert(L).second)
       ProcUnits.push_back(L);
   }
@@ -179,7 +180,7 @@ void JitModule::compile(LirEngine &Eng) {
 bool JitModule::bindProcess(LirEngine &Eng, uint32_t ProcIndex,
                             const NativeUnit &NU, const UnitInstance &Inst,
                             const std::vector<RtValue> &Frame,
-                            ProcContext &Ctx) {
+                            ProcContext &Ctx) const {
   const UnitPlan &P = NU.Plan;
   Ctx.Eng = &Eng;
   Ctx.ProcIndex = ProcIndex;
@@ -222,7 +223,7 @@ bool JitModule::bindProcess(LirEngine &Eng, uint32_t ProcIndex,
       const RtValue &S = Frame[Slot];
       if (!S.isSignal())
         return false;
-      Site.Sens.push_back(Eng.D.Signals.canonical(S.sigId()));
+      Site.Sens.push_back(Eng.Signals.canonical(S.sigId()));
     }
     if (Wp.TimeoutSlot >= 0) {
       const RtValue &T = Frame[Wp.TimeoutSlot];

@@ -25,6 +25,7 @@
 
 #include "jit/Codegen.h"
 #include "jit/Jit.h"
+#include "sim/Lir.h"
 #include "sim/RtValue.h"
 #include "support/Time.h"
 
@@ -33,6 +34,7 @@
 namespace llhd {
 
 class LirEngine;
+struct Design;
 struct UnitInstance;
 
 namespace jit {
@@ -95,17 +97,19 @@ struct ProcContext {
   std::vector<WaitSite> Waits;
 };
 
-/// One engine build's JIT state: the plans, the loaded code, and the
-/// statistics. Owned by LirEngine.
+/// One program build's JIT state: the plans, the loaded code, and the
+/// statistics. Owned by LirProgram; after compile() it is read-only and
+/// shared by every engine running over that program.
 class JitModule {
 public:
   explicit JitModule(JitOptions O) : Opts(O) {}
 
-  /// Plans every distinct process unit of \p Eng's design, emits and
-  /// compiles the translation unit, and resolves the symbols. On any
+  /// Plans every distinct process unit of \p D, emits and compiles the
+  /// translation unit, and resolves the symbols. \p Cache must already
+  /// hold every instantiated unit's lowering (LirProgram::build). On any
   /// failure the module simply ends up with no native units (and a
-  /// warning in the stats); the engine keeps interpreting.
-  void compile(LirEngine &Eng);
+  /// warning in the stats); the engines keep interpreting.
+  void compile(const Design &D, const LirCache &Cache);
 
   struct NativeUnit {
     UnitPlan Plan;
@@ -122,9 +126,11 @@ public:
   /// Resolves one process instance's side-effect sites from its
   /// preloaded frame into \p Ctx. Returns false when a binding is not
   /// resolvable (the instance then stays interpreted).
+  /// Const: binding reads the compiled plans and writes only \p Ctx, so
+  /// concurrent batch engines bind against one shared module.
   bool bindProcess(LirEngine &Eng, uint32_t ProcIndex, const NativeUnit &NU,
                    const UnitInstance &Inst,
-                   const std::vector<RtValue> &Frame, ProcContext &Ctx);
+                   const std::vector<RtValue> &Frame, ProcContext &Ctx) const;
 
   JitStats St;
   std::string Source; ///< The emitted translation unit (for dump/CI).

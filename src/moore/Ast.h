@@ -35,6 +35,7 @@ struct Expr {
     Concat,  ///< {Ops...}
     Repl,    ///< {Ops[0]{Ops[1]}} — replication count Ops[0]
     Call,    ///< Name(Ops...)
+    Str,     ///< "..." literal (text in Name); system-call args only
   };
   Kind K;
   unsigned Line = 0;

@@ -280,6 +280,9 @@ public:
         return B.constInt(IntValue::allOnes(1)); // Widened by adapt.
       return B.constInt(Ex.Num);
     case Expr::Kind::Ident:
+      // $random / $urandom are valid without parentheses.
+      if (Ex.Name == "$random" || Ex.Name == "$urandom")
+        return B.call(RandomFn(), {});
       return readName(Ex.Name, Ex.Line);
     case Expr::Kind::Unary: {
       if (Ex.Op == "&" || Ex.Op == "|" || Ex.Op == "^")
@@ -348,6 +351,10 @@ public:
       return Acc;
     }
     case Expr::Kind::Call: {
+      if (Ex.Name == "$random" || Ex.Name == "$urandom")
+        return B.call(RandomFn(), {});
+      if (Ex.Name == "$test$plusargs" || Ex.Name == "$plusarg$value")
+        return genPlusargs(Ex);
       auto FIt = Funcs.find(Ex.Name);
       if (FIt == Funcs.end()) {
         error(Ex.Line, "call of unknown function '" + Ex.Name + "'");
@@ -363,8 +370,36 @@ public:
       }
       return B.call(F, Args);
     }
+    case Expr::Kind::Str:
+      error(Ex.Line, "string literal outside a system-call argument");
+      return B.constInt(IntValue(1, 0));
     }
     return B.constInt(IntValue(1, 0));
+  }
+
+  /// $test$plusargs("KEY") and $plusarg$value("KEY", default): the key
+  /// is encoded into the intrinsic name (RtValue has no string kind);
+  /// the engines decode it and answer from SimOptions::Plusargs.
+  Value *genPlusargs(const Expr &Ex) {
+    if (Ex.Ops.empty() || Ex.Ops[0]->K != Expr::Kind::Str) {
+      error(Ex.Line, Ex.Name + " requires a string-literal key");
+      return B.constInt(IntValue(1, 0));
+    }
+    const std::string &Key = Ex.Ops[0]->Name;
+    if (Ex.Name == "$test$plusargs") {
+      Unit *F = E.M.intrinsic("llhd.plusarg.test." + Key);
+      F->setReturnType(Ctx.boolType());
+      return B.call(F, {});
+    }
+    if (Ex.Ops.size() != 2) {
+      error(Ex.Line, "$plusarg$value requires (\"KEY\", default)");
+      return B.constInt(IntValue(32, 0));
+    }
+    Unit *F = E.M.intrinsic("llhd.plusarg.value." + Key);
+    F->setReturnType(Ctx.intType(32));
+    if (F->inputs().empty())
+      F->addInput(Ctx.intType(32), "default");
+    return B.call(F, {adapt(genExpr(*Ex.Ops[1]), 32)});
   }
 
   Value *genReduction(const Expr &Ex) {
@@ -967,6 +1002,11 @@ public:
     return F;
   }
   Unit *FinishFn() { return E.M.intrinsic("llhd.finish"); }
+  Unit *RandomFn() {
+    Unit *F = E.M.intrinsic("llhd.random");
+    F->setReturnType(Ctx.intType(32));
+    return F;
+  }
 
   std::set<std::string> ReadSignals;
   std::set<std::string> WrittenSignals;

@@ -210,6 +210,14 @@ private:
   ExprPtr parsePrimary() {
     auto E = std::make_unique<Expr>();
     E->Line = cur().Line;
+    if (cur().Kind == Tok::String) {
+      // String literals only reach codegen as system-call arguments
+      // ($test$plusargs / $plusarg$value keys).
+      E->K = Expr::Kind::Str;
+      E->Name = cur().Text;
+      advance();
+      return E;
+    }
     if (cur().Kind == Tok::Number) {
       E->K = Expr::Kind::Number;
       E->Num = cur().Num;

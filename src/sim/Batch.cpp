@@ -1,0 +1,168 @@
+//===- sim/Batch.cpp - Batched fleet simulation ---------------------------===//
+
+#include "sim/Batch.h"
+#include "blaze/Blaze.h"
+#include "sim/Program.h"
+#include "sim/Wave.h"
+#include "vsim/CommSim.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace llhd;
+
+std::string llhd::instancePath(const std::string &Path, unsigned Index) {
+  return Path + "." + std::to_string(Index);
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Atomic publish for checkpoint images: write <path>.tmp, then rename.
+/// A crashed or concurrent writer never leaves a torn image behind.
+bool writeFileAtomic(const std::string &Path,
+                     const std::vector<uint8_t> &Data) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(Data.data()),
+              static_cast<std::streamsize>(Data.size()));
+    if (!Out)
+      return false;
+  }
+  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+}
+
+/// Runs instance \p I of the fleet: per-instance options (seed, VCD
+/// sink, checkpoint hook) over the shared program. EngineT is one of
+/// InterpSim / BlazeSim / CommSim; ProgT the matching program handle.
+template <typename EngineT, typename ProgT>
+void runInstance(const ProgT &Prog, const BatchOptions &O, unsigned I,
+                 BatchInstance &Out) {
+  Out.Index = I;
+
+  SimOptions SO = O.Base;
+  SO.Seed = O.Base.Seed + I;
+
+  // Destruction order matters: the engine (whose event loop feeds the
+  // writer) dies first, then the writer flushes into the still-open
+  // stream.
+  std::ofstream VcdOut;
+  WaveWriter Wave;
+  if (!O.VcdPath.empty()) {
+    std::string Path = instancePath(O.VcdPath, I);
+    VcdOut.open(Path, std::ios::binary | std::ios::trunc);
+    if (!VcdOut) {
+      Out.Error = "cannot open '" + Path + "' for writing";
+      return;
+    }
+    Wave.streamTo(VcdOut);
+    SO.Wave = &Wave;
+  }
+
+  EngineT Sim(Prog, std::move(SO));
+  if (!Sim.valid()) {
+    Out.Error = Sim.error();
+    return;
+  }
+  if (!O.CheckpointPath.empty()) {
+    std::string Path = instancePath(O.CheckpointPath, I);
+    Sim.options().RC.Checkpoint = [&Sim, Path](Time) {
+      std::vector<uint8_t> Image;
+      Sim.checkpoint(Image);
+      return writeFileAtomic(Path, Image);
+    };
+  }
+
+  Out.Stats = Sim.run();
+  Out.Digest = Sim.trace().digest();
+}
+
+} // namespace
+
+BatchResult llhd::runBatch(Module &M, const std::string &Top,
+                           const BatchOptions &O) {
+  BatchResult R;
+  unsigned N = O.N ? O.N : 1;
+  R.Instances.resize(N);
+
+  // Phase 1 — build the shared program exactly once. Everything the
+  // instances read concurrently is produced (and frozen) here.
+  auto T0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const LirProgram> LirProg;
+  std::shared_ptr<const CommProgram> CommProg;
+  if (O.Engine == "interp") {
+    Design D = elaborate(M, Top);
+    if (!D.ok()) {
+      R.Error = D.Error;
+      return R;
+    }
+    LirProg = LirProgram::build(std::move(D), jit::JitOptions());
+  } else if (O.Engine == "blaze") {
+    BlazeSim::BlazeOptions BO;
+    BO.Optimize = O.Optimize;
+    BO.Jit = O.Jit;
+    LirProg = BlazeSim::buildProgram(M, Top, BO, R.Error);
+    if (!LirProg)
+      return R;
+  } else if (O.Engine == "comm") {
+    CommProg = CommSim::buildProgram(M, Top, R.Error);
+    if (!CommProg)
+      return R;
+  } else {
+    R.Error = "unknown engine '" + O.Engine + "'";
+    return R;
+  }
+  R.BuildSeconds = secondsSince(T0);
+
+  // Phase 2 — the worker pool claims instances off one atomic counter.
+  // Jobs == 1 (or N == 1) runs inline: identical results, no threads.
+  auto T1 = std::chrono::steady_clock::now();
+  std::atomic<unsigned> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      unsigned I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      BatchInstance &Out = R.Instances[I];
+      if (O.Engine == "comm")
+        runInstance<CommSim>(CommProg, O, I, Out);
+      else if (O.Engine == "blaze")
+        runInstance<BlazeSim>(LirProg, O, I, Out);
+      else
+        runInstance<InterpSim>(LirProg, O, I, Out);
+    }
+  };
+
+  unsigned Jobs = O.Jobs ? O.Jobs : std::thread::hardware_concurrency();
+  if (Jobs < 1)
+    Jobs = 1;
+  if (Jobs > N)
+    Jobs = N;
+  if (Jobs == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned J = 0; J != Jobs; ++J)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  R.RunSeconds = secondsSince(T1);
+
+  R.Ok = true;
+  for (const BatchInstance &BI : R.Instances)
+    if (!BI.Error.empty())
+      R.Ok = false;
+  return R;
+}

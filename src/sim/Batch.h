@@ -1,0 +1,99 @@
+//===- sim/Batch.h - Batched fleet simulation -------------------*- C++ -*-===//
+//
+// Compile once, simulate N times: a batch run parses, elaborates, lowers
+// to LIR and (for Blaze) JIT-compiles exactly once, then executes N
+// parameterized simulation instances concurrently on a worker pool. The
+// instances share the immutable compile artifact (LirProgram /
+// CommProgram: design topology, lowered code, signal-table layout,
+// preload tables, native code handles) and own everything mutable
+// (SimState: signal values, driver slots, event wheel, process frames,
+// statistics, stimulus RNG) — the layout/state split in sim/Kernel.h and
+// sim/Program.h is what makes the sharing sound.
+//
+// Instance i runs with Seed + i, so seeded stimulus ($random) diverges
+// across the fleet while everything else — and therefore any instance
+// re-run sequentially with the same seed — stays bit-identical
+// (tests/sim/BatchTest.cpp asserts digest and VCD equality against
+// sequential runs).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LLHD_SIM_BATCH_H
+#define LLHD_SIM_BATCH_H
+
+#include "jit/Jit.h"
+#include "sim/Interp.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llhd {
+
+class Module;
+
+/// Configuration of one batch run.
+struct BatchOptions {
+  /// Number of simulation instances.
+  unsigned N = 1;
+  /// Worker threads; 0 = one per hardware thread. Always capped at N;
+  /// 1 runs every instance inline on the calling thread.
+  unsigned Jobs = 0;
+  /// Engine: "interp", "blaze", or "comm" (the llhd-sim names).
+  std::string Engine = "blaze";
+  /// Blaze: run the optimisation pipeline over the internal clone.
+  bool Optimize = true;
+  /// Blaze: native code generation. On by default, like BlazeSim; the
+  /// one host compilation is part of the shared program build.
+  jit::JitOptions Jit{jit::JitOptions::Mode::On, ""};
+  /// Per-instance base configuration; instance i gets Seed = Base.Seed
+  /// + i. Base.Wave and Base.RC.Checkpoint must be null — per-instance
+  /// observers are wired from VcdPath / CheckpointPath below.
+  SimOptions Base;
+  /// When non-empty, instance i streams its VCD to
+  /// instancePath(VcdPath, i).
+  std::string VcdPath;
+  /// When non-empty (and Base.RC.CheckpointEveryFs / CheckpointOnStop
+  /// request checkpoints), instance i writes its images atomically to
+  /// instancePath(CheckpointPath, i).
+  std::string CheckpointPath;
+};
+
+/// Collision-free per-instance output naming: "<path>.<index>". Applied
+/// to VCD and checkpoint paths so N instances never race on one file.
+std::string instancePath(const std::string &Path, unsigned Index);
+
+/// One instance's outcome.
+struct BatchInstance {
+  unsigned Index = 0;
+  SimStats Stats;
+  /// The run's trace digest: equal across engines and equal to a
+  /// sequential run with the same seed.
+  uint64_t Digest = 0;
+  /// Non-empty when this instance failed (I/O, checkpoint hook).
+  std::string Error;
+};
+
+/// Outcome of a whole batch.
+struct BatchResult {
+  /// False when the shared program failed to build or any instance
+  /// errored; Error holds the program-level reason ("" when the failure
+  /// is per-instance).
+  bool Ok = false;
+  std::string Error;
+  /// Wall seconds spent building the shared program (elaborate + lower
+  /// + JIT) — paid once, not N times.
+  double BuildSeconds = 0;
+  /// Wall seconds from first instance start to last instance end.
+  double RunSeconds = 0;
+  std::vector<BatchInstance> Instances;
+};
+
+/// Runs \p O.N instances of \p Top over one shared program. \p M is only
+/// read during the program build; the worker pool never touches it.
+BatchResult runBatch(Module &M, const std::string &Top,
+                     const BatchOptions &O);
+
+} // namespace llhd
+
+#endif // LLHD_SIM_BATCH_H

@@ -191,7 +191,7 @@ bool ckpt::getFrame(bc::Reader &R, std::vector<RtValue> &F) {
 // Stable driver identities
 //===----------------------------------------------------------------------===//
 
-void DriverIdMap::build(const Design &D, LirCache &Cache) {
+void DriverIdMap::build(const Design &D, const LirCache &Cache) {
   auto add = [&](uint64_t Rt, uint64_t Stable) {
     // First wins on either side: colliding runtime ids were already one
     // driver slot to the resolver, so keeping them conflated is exact.
@@ -200,7 +200,7 @@ void DriverIdMap::build(const Design &D, LirCache &Cache) {
   };
   for (size_t I = 0; I != D.Instances.size(); ++I) {
     const UnitInstance &UI = D.Instances[I];
-    const LirUnit &L = Cache.get(UI.U);
+    const LirUnit &L = *Cache.lookup(UI.U);
     for (size_t Pc = 0; Pc != L.Ops.size(); ++Pc) {
       const LirOp &Op = L.Ops[Pc];
       uint64_t Stable = (uint64_t(I) << 32) |
@@ -236,10 +236,10 @@ uint64_t stableOf(const DriverIdMap &Map, uint64_t Rt) {
   return Map.toStable(Rt, S) ? S : UnmappedDriver;
 }
 
-std::vector<SignalId> canonicalSignals(const Design &D) {
+std::vector<SignalId> canonicalSignals(const SignalTable &Signals) {
   std::vector<SignalId> Out;
-  for (SignalId S = 0; S != D.Signals.size(); ++S)
-    if (D.Signals.canonical(S) == S)
+  for (SignalId S = 0; S != Signals.size(); ++S)
+    if (Signals.canonical(S) == S)
       Out.push_back(S);
   return Out;
 }
@@ -249,7 +249,8 @@ std::vector<SignalId> canonicalSignals(const Design &D) {
 void ckpt::writeHeaderAndKernel(std::vector<uint8_t> &Out,
                                 uint64_t ModuleHash,
                                 const std::string &EngineName,
-                                const Design &D, const Scheduler &Sched,
+                                const SignalTable &Signals,
+                                const Scheduler &Sched,
                                 const Trace &Tr, Time Now,
                                 const SimStats &Stats,
                                 const DriverIdMap &Map) {
@@ -268,12 +269,12 @@ void ckpt::writeHeaderAndKernel(std::vector<uint8_t> &Out,
 
   // Signal values + per-driver contributions, canonical ids only (alias
   // views share their root's storage and are reproduced by elaboration).
-  std::vector<SignalId> Canon = canonicalSignals(D);
+  std::vector<SignalId> Canon = canonicalSignals(Signals);
   bc::putVar(Out, Canon.size());
   for (SignalId S : Canon) {
     bc::putVar(Out, S);
-    putValue(Out, D.Signals.storedValue(S));
-    const auto &Drs = D.Signals.driverSlots(S);
+    putValue(Out, Signals.storedValue(S));
+    const auto &Drs = Signals.driverSlots(S);
     bc::putVar(Out, Drs.size());
     for (const auto &[Id, V] : Drs) {
       bc::putVar(Out, stableOf(Map, Id));
@@ -304,8 +305,8 @@ void ckpt::writeHeaderAndKernel(std::vector<uint8_t> &Out,
 }
 
 bool ckpt::readHeaderAndKernel(bc::Reader &R, uint64_t ExpectModuleHash,
-                               Design &D, Scheduler &Sched, Trace &Tr,
-                               Time &Now, SimStats &Stats,
+                               SignalTable &Signals, Scheduler &Sched,
+                               Trace &Tr, Time &Now, SimStats &Stats,
                                const DriverIdMap &Map, std::string &Err) {
   auto fail = [&](const std::string &Msg) {
     if (Err.empty())
@@ -338,14 +339,14 @@ bool ckpt::readHeaderAndKernel(bc::Reader &R, uint64_t ExpectModuleHash,
     return fail("truncated checkpoint statistics");
   Tr.restoreState(Digest, NumChanges);
 
-  std::vector<SignalId> Canon = canonicalSignals(D);
+  std::vector<SignalId> Canon = canonicalSignals(Signals);
   if (R.var() != Canon.size())
     return fail("checkpoint signal count mismatch");
   std::vector<std::pair<uint64_t, RtValue>> Drs;
   for (SignalId S : Canon) {
     if (R.var() != S)
       return fail("checkpoint signal id mismatch");
-    D.Signals.setStoredValue(S, getValue(R));
+    Signals.setStoredValue(S, getValue(R));
     uint64_t NDr = R.var();
     if (NDr > R.In.size())
       return fail("corrupt checkpoint driver count");
@@ -363,7 +364,7 @@ bool ckpt::readHeaderAndKernel(bc::Reader &R, uint64_t ExpectModuleHash,
     // runs; the table finds slots by binary search over the id.
     std::sort(Drs.begin(), Drs.end(),
               [](const auto &A, const auto &B) { return A.first < B.first; });
-    D.Signals.setDriverSlots(S, Drs);
+    Signals.setDriverSlots(S, Drs);
   }
   if (R.Failed)
     return fail("truncated checkpoint signal section");

@@ -79,9 +79,9 @@ bool getFrame(bc::Reader &R, std::vector<RtValue> &F);
 /// walk on the restoring side reproduces the same table.
 class DriverIdMap {
 public:
-  /// \p Cache must be the engine's lowering cache (so op pcs match the
-  /// LirUnits the engine actually executes).
-  void build(const Design &D, LirCache &Cache);
+  /// \p Cache must be the engine's (fully built) lowering cache, so op
+  /// pcs match the LirUnits the engine actually executes.
+  void build(const Design &D, const LirCache &Cache);
 
   bool toStable(uint64_t Rt, uint64_t &Out) const {
     auto It = RtToStable.find(Rt);
@@ -141,9 +141,11 @@ bool getEnt(bc::Reader &R, EntRecord &E);
 /// Writes magic/version/hash/engine-name, then the kernel state: Now,
 /// statistics counters, trace digest, signal values + remapped driver
 /// slots, and both event-wheel lanes. Engines append their proc/ent
-/// records after this.
+/// records after this. \p Signals is the run's signal table (per-run
+/// values over the shared layout).
 void writeHeaderAndKernel(std::vector<uint8_t> &Out, uint64_t ModuleHash,
-                          const std::string &EngineName, const Design &D,
+                          const std::string &EngineName,
+                          const SignalTable &Signals,
                           const Scheduler &Sched, const Trace &Tr, Time Now,
                           const SimStats &Stats, const DriverIdMap &Map);
 
@@ -151,9 +153,9 @@ void writeHeaderAndKernel(std::vector<uint8_t> &Out, uint64_t ModuleHash,
 /// kernel state (the scheduler is rebuilt by replaying both lanes in
 /// time order). Returns false and sets \p Err on version/hash mismatch
 /// or a corrupt image; \p Sched must be empty (freshly built engine).
-bool readHeaderAndKernel(bc::Reader &R, uint64_t ExpectModuleHash, Design &D,
-                         Scheduler &Sched, Trace &Tr, Time &Now,
-                         SimStats &Stats, const DriverIdMap &Map,
+bool readHeaderAndKernel(bc::Reader &R, uint64_t ExpectModuleHash,
+                         SignalTable &Signals, Scheduler &Sched, Trace &Tr,
+                         Time &Now, SimStats &Stats, const DriverIdMap &Map,
                          std::string &Err);
 
 } // namespace ckpt

@@ -239,7 +239,12 @@ Design llhd::elaborate(Module &M, const std::string &Top) {
   Design D;
   D.M = &M;
   Elaborator(M, D).run(Top);
-  if (D.ok())
+  if (D.ok()) {
     buildSensitivityIndex(D);
+    // Freeze the signal-table layout: canonical lookups become pure
+    // reads and per-run tables (SignalTable::makeRun) share it safely
+    // across batch worker threads.
+    D.Signals.freeze();
+  }
   return D;
 }

@@ -28,9 +28,20 @@ struct UnitInstance {
   std::map<const Value *, SigRef> Bindings;
 };
 
-/// A fully elaborated design.
+/// A fully elaborated design: the immutable per-design layout every
+/// simulation run reads and none writes.
+///
+/// elaborate() returns it frozen — the signal table's layout is behind a
+/// shared immutable handle (SignalTable::freeze()), the instance list and
+/// entity watcher index never change after construction, and the engines
+/// take it by `const&`/`shared_ptr<const>`. Per-run mutable state (signal
+/// values, driver slots, the event wheel, stats) lives in SimState
+/// (sim/SimState.h); batch mode runs N SimStates over one Design
+/// concurrently. `SimLayout` names this role at API boundaries.
 struct Design {
   Module *M = nullptr;
+  /// Frozen signal table: layout shared, values = initial values. Runs
+  /// derive their private tables via Signals.makeRun().
   SignalTable Signals;
   std::vector<UnitInstance> Instances;
   std::string Error; ///< Non-empty if elaboration failed.
@@ -44,6 +55,9 @@ struct Design {
 
   bool ok() const { return Error.empty(); }
 };
+
+/// The immutable half of a simulation, by its role name.
+using SimLayout = Design;
 
 /// Elaborates \p Top (an entity or process in \p M) into a Design.
 Design elaborate(Module &M, const std::string &Top);

@@ -64,12 +64,19 @@ concept EngineTraits = requires(E &Eng, uint32_t I, bool Initial) {
 };
 
 template <EngineTraits Engine>
-SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
-                      Scheduler &Sched, Trace &Tr, Time &Now,
-                      SimStats &Stats, bool Resumed = false) {
+SimStats runEventLoop(Engine &Eng, const Design &D, const SimOptions &Opts,
+                      SimState &St, bool Resumed = false) {
+  // The design is shared immutable state (batch instances run it
+  // concurrently); everything this loop mutates lives in the run's
+  // SimState.
+  Scheduler &Sched = St.Sched;
+  Trace &Tr = St.Tr;
+  Time &Now = St.Now;
+  SimStats &Stats = St.Stats;
+  SignalTable &Signals = St.Signals;
   // Dynamic process sensitivity, re-registered at every suspension.
   WakeIndex WIdx;
-  WIdx.resize(D.Signals.size());
+  WIdx.resize(Signals.size());
   auto registerSensitivity = [&](uint32_t PI) {
     if (Eng.procWaiting(PI))
       WIdx.watch(PI, Eng.procWakeGen(PI), Eng.procSensitivity(PI));
@@ -84,9 +91,9 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
   WaveWriter *Wave = Opts.Wave;
   if (Wave) {
     if (Resumed)
-      Wave->resume(D);
+      Wave->resume(Signals);
     else
-      Wave->begin(D);
+      Wave->begin(Signals);
   }
 
   if (!Resumed) {
@@ -125,7 +132,7 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
   std::vector<ProcWake> Wakes;
   std::vector<SignalId> Changed;
   std::vector<uint32_t> ProcsToRun, EntsToRun;
-  std::vector<uint8_t> ChangedMark(D.Signals.size(), 0);
+  std::vector<uint8_t> ChangedMark(Signals.size(), 0);
   while (!Sched.empty() && !Eng.finishRequested()) {
     Time T = Sched.nextTime();
     if (T > Opts.MaxTime)
@@ -173,7 +180,7 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
       for (uint32_t PI : ProcsToRun)
         Stats.OscProcs.push_back(Eng.procName(PI));
       for (SignalId S : Changed)
-        Stats.OscSigs.push_back(D.Signals.name(S));
+        Stats.OscSigs.push_back(Signals.name(S));
       auto trim = [](std::vector<std::string> &V) {
         std::sort(V.begin(), V.end());
         V.erase(std::unique(V.begin(), V.end()), V.end());
@@ -193,15 +200,15 @@ SimStats runEventLoop(Engine &Eng, Design &D, const SimOptions &Opts,
     // via marks, in first-change order).
     Changed.clear();
     for (SigUpdate &U : Updates) {
-      SignalId Canon = D.Signals.canonical(U.Ref.Sig);
-      if (D.Signals.write(U.Ref, U.Val, U.Driver)) {
+      SignalId Canon = Signals.canonical(U.Ref.Sig);
+      if (Signals.write(U.Ref, U.Val, U.Driver)) {
         if (!ChangedMark[Canon]) {
           ChangedMark[Canon] = 1;
           Changed.push_back(Canon);
         }
-        Tr.record(Now, Canon, D.Signals.value(Canon));
+        Tr.record(Now, Canon, Signals.value(Canon));
         if (Wave)
-          Wave->onChange(Now, Canon, D.Signals.value(Canon));
+          Wave->onChange(Now, Canon, Signals.value(Canon));
       }
     }
     for (SignalId S : Changed)

@@ -21,7 +21,13 @@ struct InterpSim::Impl : LirEngine {
 };
 
 InterpSim::InterpSim(Design D, SimOptions Opts)
-    : P(std::make_unique<Impl>(std::move(D), Opts)) {
+    : P(std::make_unique<Impl>(std::move(D), std::move(Opts))) {
+  if (P->D.ok())
+    P->build();
+}
+
+InterpSim::InterpSim(std::shared_ptr<const LirProgram> Prog, SimOptions Opts)
+    : P(std::make_unique<Impl>(std::move(Prog), std::move(Opts))) {
   if (P->D.ok())
     P->build();
 }
@@ -39,5 +45,5 @@ bool InterpSim::restore(const std::vector<uint8_t> &In, std::string &Err) {
   return P->restore(In, Err);
 }
 const Trace &InterpSim::trace() const { return P->Tr; }
-const SignalTable &InterpSim::signals() const { return P->D.Signals; }
+const SignalTable &InterpSim::signals() const { return P->Signals; }
 const Design &InterpSim::design() const { return P->D; }

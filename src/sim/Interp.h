@@ -13,14 +13,18 @@
 
 #include "sim/Design.h"
 #include "sim/RunControl.h"
+#include "sim/SimState.h"
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace llhd {
 
 class WaveWriter;
+struct LirProgram;
 
 /// Common per-run configuration for all engines.
 struct SimOptions {
@@ -31,26 +35,30 @@ struct SimOptions {
   /// loop's signal-commit path. Null (the default) keeps the commit path
   /// free of any waveform work beyond one pointer test.
   WaveWriter *Wave = nullptr;
+  /// Stimulus seed for the llhd.random intrinsic ($random/$urandom).
+  /// Batch instance i runs with Seed + i, so instances diverge.
+  uint64_t Seed = 0;
+  /// Runtime plusargs (`+key=value` / bare `+key`), queried by designs
+  /// through $test$plusargs / $plusarg$value.
+  std::vector<std::pair<std::string, std::string>> Plusargs;
   /// Watchdogs, budgets, stop flags, and checkpoint triggers. All off by
   /// default; see sim/RunControl.h.
   RunControl RC;
-};
 
-/// Common per-run results for all engines.
-struct SimStats {
-  Time EndTime;
-  uint64_t Steps = 0;         ///< Time slots processed.
-  uint64_t ProcessRuns = 0;   ///< Process resumptions.
-  uint64_t EntityEvals = 0;   ///< Entity re-evaluations.
-  uint64_t AssertFailures = 0;
-  bool Finished = false;      ///< A process called llhd.finish / all halted.
-  bool DeltaOverflow = false; ///< Oscillation guard tripped.
-  /// Why the run stopped early; None for a normal drain/finish/MaxTime.
-  StopReason Stop = StopReason::None;
-  /// When Stop == Oscillation: hierarchical names of the processes and
-  /// signals active in the cycling delta (sorted, deduped, capped).
-  std::vector<std::string> OscProcs;
-  std::vector<std::string> OscSigs;
+  /// True when `+key[=...]` was passed.
+  bool hasPlusarg(const std::string &Key) const {
+    for (const auto &[K, V] : Plusargs)
+      if (K == Key)
+        return true;
+    return false;
+  }
+  /// Value of `+key=value`, or null when absent / bare.
+  const std::string *plusargValue(const std::string &Key) const {
+    for (const auto &[K, V] : Plusargs)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
 };
 
 /// The LLHD-Sim reference engine.
@@ -58,6 +66,10 @@ class InterpSim {
 public:
   /// Takes ownership of the elaborated design.
   InterpSim(Design D, SimOptions Opts = SimOptions());
+  /// Batch form: runs over a shared immutable program (design + lowered
+  /// units), so N instances elaborate and lower once. See sim/Batch.h.
+  InterpSim(std::shared_ptr<const LirProgram> Prog,
+            SimOptions Opts = SimOptions());
   ~InterpSim();
 
   bool valid() const;

@@ -13,14 +13,14 @@ using namespace llhd;
 //===----------------------------------------------------------------------===//
 
 SignalId SignalTable::create(Type *Ty, RtValue Init, std::string Name) {
-  Signal S;
-  S.Ty = Ty;
-  S.Value = std::move(Init);
-  S.Name = std::move(Name);
-  Signals.push_back(std::move(S));
-  Parents.push_back(Signals.size() - 1);
-  Aliases.emplace_back();
-  return Signals.size() - 1;
+  Layout &B = bld();
+  B.Ty.push_back(Ty);
+  B.Name.push_back(std::move(Name));
+  B.Parents.push_back(static_cast<SignalId>(B.Ty.size() - 1));
+  B.Aliases.emplace_back();
+  Values.push_back(std::move(Init));
+  Drivers.emplace_back();
+  return static_cast<SignalId>(B.Ty.size() - 1);
 }
 
 void SignalTable::connect(SignalId A, SignalId B) {
@@ -31,17 +31,47 @@ void SignalTable::connect(SignalId A, SignalId B) {
   // The lower id wins as the root; its current value is kept.
   if (B < A)
     std::swap(A, B);
-  Parents[B] = A;
+  bld().Parents[B] = A;
+}
+
+void SignalTable::freeze() {
+  if (frozen())
+    return;
+  Layout &B = bld();
+  // Full path compression: every parent chain collapses to one hop, so
+  // post-freeze ufRoot() is a pure read (shareable across threads).
+  for (SignalId S = 0; S != B.Parents.size(); ++S) {
+    SignalId Root = S;
+    while (B.Parents[Root] != Root)
+      Root = B.Parents[Root];
+    B.Parents[S] = Root;
+  }
+  B.Init = Values;
+  // Precompute the canonical map last: a nonempty Canon is what frozen()
+  // keys on, and canonical() still takes the slow path while we fill it.
+  std::vector<SignalId> Canon(B.Parents.size());
+  for (SignalId S = 0; S != B.Parents.size(); ++S)
+    Canon[S] = canonical(S);
+  B.Canon = std::move(Canon);
+}
+
+SignalTable SignalTable::makeRun() const {
+  assert(frozen() && "makeRun() requires a frozen layout");
+  SignalTable Run;
+  Run.L = L;
+  Run.Values = L->Init;
+  Run.Drivers.resize(L->Init.size());
+  return Run;
 }
 
 SigRef SignalTable::resolve(const SigRef &Ref) const {
   SigRef R = Ref;
   R.Sig = ufRoot(R.Sig);
-  while (Aliases[R.Sig].valid()) {
+  while (L->Aliases[R.Sig].valid()) {
     // Compose: the alias target is the prefix, then this reference's
     // own narrowing on top of it. Targets are element-aligned by
     // construction (connectRefs), so element()/elements() compose.
-    SigRef N = Aliases[R.Sig];
+    SigRef N = L->Aliases[R.Sig];
     N.Sig = ufRoot(N.Sig);
     for (uint32_t Idx : R.Path)
       N = N.element(Idx);
@@ -76,7 +106,7 @@ bool SignalTable::connectRefs(const SigRef &ARaw, const SigRef &BRaw) {
   }
   if (Sub->Sig == Whole)
     return false; // Self-alias would cycle.
-  Aliases[Whole] = *Sub;
+  bld().Aliases[Whole] = *Sub;
   return true;
 }
 
@@ -84,10 +114,10 @@ RtValue SignalTable::read(const SigRef &Ref) const {
   // Fast path: no alias on the root — the overwhelmingly common case,
   // and allocation-free for scalar signals.
   SignalId Root = ufRoot(Ref.Sig);
-  if (!Aliases[Root].valid())
-    return readSubValue(Signals[Root].Value, Ref);
+  if (!L->Aliases[Root].valid())
+    return readSubValue(Values[Root], Ref);
   SigRef R = resolve(Ref);
-  return readSubValue(Signals[R.Sig].Value, R);
+  return readSubValue(Values[R.Sig], R);
 }
 
 bool SignalTable::write(const SigRef &RefIn, const RtValue &V,
@@ -95,41 +125,42 @@ bool SignalTable::write(const SigRef &RefIn, const RtValue &V,
   SigRef Resolved;
   const SigRef *RefP = &RefIn;
   SignalId Root = ufRoot(RefIn.Sig);
-  if (Aliases[Root].valid()) {
+  if (L->Aliases[Root].valid()) {
     Resolved = resolve(RefIn);
     RefP = &Resolved;
     Root = Resolved.Sig;
   }
   const SigRef &Ref = *RefP;
-  Signal &S = Signals[Root];
+  RtValue &SV = Values[Root];
+  Type *Ty = L->Ty[Root];
 
   // Multi-driver resolution for whole-signal logic drives: each driver
   // keeps its contribution in a slot found by binary search; the signal
   // value is the IEEE 1164 resolution over all of them (commutative, so
   // slot order does not affect the result).
-  if (S.Ty && S.Ty->isLogic() && Ref.wholeSignal()) {
+  if (Ty && Ty->isLogic() && Ref.wholeSignal()) {
+    std::vector<std::pair<uint64_t, RtValue>> &Slots = Drivers[Root];
     auto It = std::lower_bound(
-        S.Drivers.begin(), S.Drivers.end(), Driver,
+        Slots.begin(), Slots.end(), Driver,
         [](const auto &P, uint64_t D) { return P.first < D; });
-    if (It == S.Drivers.end() || It->first != Driver)
-      It = S.Drivers.insert(It, {Driver, V});
+    if (It == Slots.end() || It->first != Driver)
+      It = Slots.insert(It, {Driver, V});
     else
       It->second = V;
-    RtValue Resolved = S.Drivers.front().second;
-    for (unsigned I = 1; I < S.Drivers.size(); ++I)
-      Resolved = RtValue(Resolved.logicValue().resolve(
-          S.Drivers[I].second.logicValue()));
-    if (Resolved == S.Value)
+    RtValue R = Slots.front().second;
+    for (unsigned I = 1; I < Slots.size(); ++I)
+      R = RtValue(R.logicValue().resolve(Slots[I].second.logicValue()));
+    if (R == SV)
       return false;
-    S.Value = std::move(Resolved);
+    SV = std::move(R);
     return true;
   }
 
   // Two-state and sub-signal drives: last write wins.
-  RtValue Old = readSubValue(S.Value, Ref);
+  RtValue Old = readSubValue(SV, Ref);
   if (Old == V)
     return false;
-  writeSubValue(S.Value, Ref, V);
+  writeSubValue(SV, Ref, V);
   return true;
 }
 

@@ -22,7 +22,9 @@
 #include "sim/RtValue.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,25 +36,42 @@ namespace llhd {
 //===----------------------------------------------------------------------===//
 
 /// All elaborated signals of a design.
+///
+/// The table has two lives. During elaboration it is a builder:
+/// create()/connect()/connectRefs() grow the layout (types, names, `con`
+/// union-find, alias records). elaborate() then calls freeze(), which
+/// fully path-compresses the union-find, precomputes the canonical map,
+/// snapshots the initial values, and moves the whole layout behind a
+/// `shared_ptr<const Layout>`. From that point the table is a per-run
+/// view: copies (and makeRun()) share the immutable layout and carry only
+/// this run's values and driver slots, so N batch instances read one
+/// layout concurrently without any synchronisation while writing their
+/// private state.
 class SignalTable {
 public:
+  SignalTable() : L(std::make_shared<Layout>()) {}
+
   /// Creates a signal carrying \p Ty with initial value \p Init.
+  /// Build phase only (before freeze()).
   SignalId create(Type *Ty, RtValue Init, std::string Name);
 
-  unsigned size() const { return Signals.size(); }
+  unsigned size() const { return static_cast<unsigned>(L->Ty.size()); }
 
   /// Canonical id under `con` aliasing: the signal that owns the storage
   /// this one reads and writes. Whole-signal `con` merges resolve through
   /// a union-find; element-aligned sub-signal `con` resolves through
-  /// alias records (the aliased signal's storage root).
+  /// alias records (the aliased signal's storage root). After freeze()
+  /// this is a single table read.
   SignalId canonical(SignalId S) const {
+    if (!L->Canon.empty())
+      return L->Canon[S];
     SignalId Root = ufRoot(S);
-    while (Aliases[Root].valid())
-      Root = ufRoot(Aliases[Root].Sig);
+    while (L->Aliases[Root].valid())
+      Root = ufRoot(L->Aliases[Root].Sig);
     return Root;
   }
 
-  /// Merges two signals into one electrical net (`con`).
+  /// Merges two signals into one electrical net (`con`). Build phase only.
   void connect(SignalId A, SignalId B);
 
   /// Connects two (possibly sub-)signal references into one net.
@@ -61,7 +80,21 @@ public:
   /// slice) connect by recording an alias: the whole signal becomes a
   /// view of the sub-reference's storage. Returns false for the shapes
   /// that stay unsupported (two proper sub-signals, bit-sliced refs).
+  /// Build phase only.
   bool connectRefs(const SigRef &A, const SigRef &B);
+
+  /// Finalises the layout: fully compresses the union-find (lookups
+  /// become pure reads), precomputes the canonical map, and snapshots
+  /// the current values as the initial values shared by every run.
+  /// Idempotent; called once by elaborate().
+  void freeze();
+  bool frozen() const { return !L->Canon.empty(); }
+
+  /// A fresh per-run view of a frozen table: shares the layout, values
+  /// reset to the elaboration-time initial values, no driver slots.
+  /// (Copying a frozen table also shares the layout, but carries the
+  /// source's current values.)
+  SignalTable makeRun() const;
 
   /// Resolves \p Ref through `con` merges and alias records to a
   /// reference into its storage root.
@@ -70,17 +103,15 @@ public:
   /// Current (resolved) value of a sub-signal.
   RtValue read(const SigRef &Ref) const;
   /// Whole current value of a signal.
-  const RtValue &value(SignalId S) const {
-    return Signals[canonical(S)].Value;
-  }
+  const RtValue &value(SignalId S) const { return Values[canonical(S)]; }
 
   /// Applies a driver's new value. Returns true if the resolved signal
   /// value changed. \p Driver identifies the driving statement instance
   /// for multi-driver resolution on nine-valued signals.
   bool write(const SigRef &Ref, const RtValue &V, uint64_t Driver);
 
-  const std::string &name(SignalId S) const { return Signals[S].Name; }
-  Type *type(SignalId S) const { return Signals[S].Ty; }
+  const std::string &name(SignalId S) const { return L->Name[S]; }
+  Type *type(SignalId S) const { return L->Ty[S]; }
 
   //===--------------------------------------------------------------------===//
   // Raw state access for checkpoint/restore (sim/Checkpoint.cpp). These
@@ -90,56 +121,66 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Stored value of a canonical signal (no alias chasing).
-  const RtValue &storedValue(SignalId Canon) const {
-    return Signals[Canon].Value;
-  }
+  const RtValue &storedValue(SignalId Canon) const { return Values[Canon]; }
   void setStoredValue(SignalId Canon, RtValue V) {
-    Signals[Canon].Value = std::move(V);
+    Values[Canon] = std::move(V);
   }
   /// Per-driver contribution slots of a canonical signal, sorted by
   /// driver id.
   const std::vector<std::pair<uint64_t, RtValue>> &
   driverSlots(SignalId Canon) const {
-    return Signals[Canon].Drivers;
+    return Drivers[Canon];
   }
   /// Replaces the driver slots; \p Drivers must be sorted by driver id
   /// (write() finds slots by binary search).
   void setDriverSlots(SignalId Canon,
-                      std::vector<std::pair<uint64_t, RtValue>> Drivers) {
-    Signals[Canon].Drivers = std::move(Drivers);
+                      std::vector<std::pair<uint64_t, RtValue>> Slots) {
+    Drivers[Canon] = std::move(Slots);
   }
 
 private:
-  struct Signal {
-    Type *Ty;
-    RtValue Value;
-    std::string Name;
-    /// Per-driver contributions for resolved (logic) signals, sorted by
-    /// driver id so a slot is found by binary search.
-    std::vector<std::pair<uint64_t, RtValue>> Drivers;
+  /// The immutable (post-freeze) part: everything N concurrent runs
+  /// share. Before freeze() it is uniquely owned and mutated through
+  /// bld(); freeze() drops the mutable handle.
+  struct Layout {
+    std::vector<Type *> Ty;
+    std::vector<std::string> Name;
+    /// Union-find parents under whole-signal `con`; fully compressed at
+    /// freeze() so lookups never write.
+    std::vector<SignalId> Parents;
+    /// Element-aligned `con` alias records, indexed by union-find root:
+    /// an entry with valid() set makes that signal a view of another
+    /// signal's storage. Invalid (the default) means "owns its storage".
+    std::vector<SigRef> Aliases;
+    /// Precomputed canonical map (empty until freeze()).
+    std::vector<SignalId> Canon;
+    /// Elaboration-time initial values (set at freeze()); the seed for
+    /// every run's value vector.
+    std::vector<RtValue> Init;
   };
 
-  /// Union-find root under whole-signal `con` merges only (no alias
-  /// chasing). Path compression keeps repeated lookups O(1); Parents is
-  /// representation cache state, not logical state, hence mutable.
-  SignalId ufRoot(SignalId S) const {
-    SignalId Root = S;
-    while (Parents[Root] != Root)
-      Root = Parents[Root];
-    while (Parents[S] != Root) {
-      SignalId Next = Parents[S];
-      Parents[S] = Root;
-      S = Next;
-    }
-    return Root;
+  /// Mutable layout access during the build phase.
+  Layout &bld() {
+    assert(!frozen() && "signal table layout is frozen");
+    return const_cast<Layout &>(*L);
   }
 
-  std::vector<Signal> Signals;
-  mutable std::vector<SignalId> Parents;
-  /// Element-aligned `con` alias records, indexed by union-find root:
-  /// an entry with valid() set makes that signal a view of another
-  /// signal's storage. Invalid (the default) means "owns its storage".
-  std::vector<SigRef> Aliases;
+  /// Union-find root under whole-signal `con` merges only (no alias
+  /// chasing). No path compression: pre-freeze lookups walk (the build
+  /// phase is cold), post-freeze the chain is one hop by construction.
+  SignalId ufRoot(SignalId S) const {
+    while (L->Parents[S] != S)
+      S = L->Parents[S];
+    return S;
+  }
+
+  std::shared_ptr<const Layout> L;
+  /// Per-run signal values, indexed by signal id (canonical entries are
+  /// authoritative).
+  std::vector<RtValue> Values;
+  /// Per-run, per-driver contributions for resolved (logic) signals,
+  /// sorted by driver id so a slot is found by binary search.
+  std::vector<std::vector<std::pair<uint64_t, RtValue>>> Drivers;
 };
 
 //===----------------------------------------------------------------------===//

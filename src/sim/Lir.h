@@ -181,6 +181,10 @@ inline void execRegTriggers(const LirUnit &L, const LirOp &Op,
 
 /// Per-module lowering cache: every unit is lowered once and shared by
 /// all instances (and both LIR-executing engines of one simulation).
+///
+/// Build-time callers populate it through get(); run-time callers use
+/// the const lookup() so a fully-built cache (LirProgram) is shareable
+/// across concurrent batch instances without synchronisation.
 class LirCache {
 public:
   const LirUnit &get(Unit *U) {
@@ -188,6 +192,19 @@ public:
     if (It == Units.end())
       It = Units.emplace(U, lowerUnit(*U)).first;
     return It->second;
+  }
+
+  /// Read-only lookup; null when \p U was never lowered into this cache.
+  const LirUnit *lookup(const Unit *U) const {
+    auto It = Units.find(const_cast<Unit *>(U));
+    return It == Units.end() ? nullptr : &It->second;
+  }
+
+  /// Visits every cached lowering (deterministic unit-pointer order).
+  /// The LirUnit references are stable for the cache's lifetime.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (const auto &KV : Units)
+      F(KV.first, KV.second);
   }
 
 private:

@@ -9,11 +9,26 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace llhd;
 
+namespace {
+/// Run state for a program; invalid designs get an inert default (they
+/// are never run, only queried for the error).
+SimState makeState(const Design &D, const SimOptions &O) {
+  return D.ok() ? SimState(D, O.TraceMode, O.Seed) : SimState();
+}
+} // namespace
+
+LirEngine::LirEngine(std::shared_ptr<const LirProgram> P, SimOptions O)
+    : Prog(std::move(P)), Opts(std::move(O)), St(makeState(Prog->D, Opts)),
+      D(Prog->D), Cache(Prog->Cache), Signals(St.Signals), Sched(St.Sched),
+      Tr(St.Tr), Stats(St.Stats), Now(St.Now) {}
+
 LirEngine::LirEngine(Design DIn, SimOptions O, jit::JitOptions J)
-    : D(std::move(DIn)), Opts(O), Tr(O.TraceMode), JitOpts(std::move(J)) {}
+    : LirEngine(LirProgram::build(std::move(DIn), std::move(J)),
+                std::move(O)) {}
 
 LirEngine::~LirEngine() = default;
 
@@ -31,7 +46,9 @@ void LirEngine::preloadFrame(const LirUnit &L, const UnitInstance &UI,
 
 void LirEngine::build() {
   for (const UnitInstance &UI : D.Instances) {
-    const LirUnit &L = Cache.get(UI.U);
+    // The program lowered every instantiated unit eagerly; lookups are
+    // pure reads on the shared cache.
+    const LirUnit &L = *Cache.lookup(UI.U);
     if (UI.U->isProcess()) {
       ProcState PS;
       PS.L = &L;
@@ -59,36 +76,39 @@ void LirEngine::build() {
 //===----------------------------------------------------------------------===//
 
 void LirEngine::buildJit() {
-  if (JitOpts.M == jit::JitOptions::Mode::Off)
+  const jit::JitModule *JM = Prog->JitMod.get();
+  if (!JM)
     return;
-  JitMod = std::make_unique<jit::JitModule>(JitOpts);
-  JitMod->compile(*this);
+  // Compile-time statistics come from the shared program; the per-run
+  // bind counts below land in this engine's private copy (the program
+  // stays immutable under concurrent batch builds).
+  JitSt = JM->St;
   for (uint32_t PI = 0; PI != Procs.size(); ++PI) {
     ProcState &PS = Procs[PI];
-    const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+    const jit::JitModule::NativeUnit *NU = JM->nativeFor(PS.L);
     if (!NU) {
-      ++JitMod->St.InterpProcs;
+      ++JitSt.InterpProcs;
       continue;
     }
     auto Ctx = std::make_unique<jit::ProcContext>();
-    if (!JitMod->bindProcess(*this, PI, *NU, *PS.Inst, PS.Frame, *Ctx)) {
-      ++JitMod->St.InterpProcs;
+    if (!JM->bindProcess(*this, PI, *NU, *PS.Inst, PS.Frame, *Ctx)) {
+      ++JitSt.InterpProcs;
       continue;
     }
     PS.Jit = Ctx.get();
     JitCtxs.push_back(std::move(Ctx));
-    ++JitMod->St.NativeProcs;
+    ++JitSt.NativeProcs;
   }
 }
 
 const jit::JitStats &LirEngine::jitStats() const {
   static const jit::JitStats Empty;
-  return JitMod ? JitMod->St : Empty;
+  return Prog->JitMod ? JitSt : Empty;
 }
 
 const std::string &LirEngine::jitSource() const {
   static const std::string Empty;
-  return JitMod ? JitMod->Source : Empty;
+  return Prog->JitMod ? Prog->JitMod->Source : Empty;
 }
 
 void LirEngine::runProcessNative(uint32_t PI) {
@@ -123,7 +143,8 @@ void LirEngine::runProcessNative(uint32_t PI) {
 RtValue LirEngine::callFunction(Unit *Fn, std::vector<RtValue> &Args) {
   if (Fn->isIntrinsic() || Fn->isDeclaration())
     return callIntrinsic(Fn, Args);
-  const LirUnit &L = Cache.get(Fn);
+  // Eagerly lowered by the program (call-graph fixpoint); pure lookup.
+  const LirUnit &L = *Cache.lookup(Fn);
   auto FR = FnPool.lease();
   std::vector<RtValue> &Frame = FR->Frame;
   std::vector<RtValue> &Memory = FR->Memory;
@@ -201,10 +222,10 @@ void LirEngine::intrinsicAssert(bool Ok) {
   if (getenv("LLHD_ASSERT_DEBUG")) {
     fprintf(stderr, "assert failed at %s (+%ud)\n", Now.toString().c_str(),
             Now.Delta);
-    for (SignalId SI = 0; SI != D.Signals.size(); ++SI)
-      if (D.Signals.name(SI).find("result") != std::string::npos)
-        fprintf(stderr, "  %s = %s\n", D.Signals.name(SI).c_str(),
-                D.Signals.value(SI).toString().c_str());
+    for (SignalId SI = 0; SI != Signals.size(); ++SI)
+      if (Signals.name(SI).find("result") != std::string::npos)
+        fprintf(stderr, "  %s = %s\n", Signals.name(SI).c_str(),
+                Signals.value(SI).toString().c_str());
   }
 }
 
@@ -217,6 +238,35 @@ RtValue LirEngine::callIntrinsic(Unit *Fn, const std::vector<RtValue> &Args) {
   if (N == "llhd.finish") {
     intrinsicFinish();
     return RtValue();
+  }
+  if (N == "llhd.random") {
+    // $random / $urandom: the run's seeded xorshift stream. Width comes
+    // from the intrinsic's declared return type (i32 in practice).
+    unsigned W = Fn->returnType() ? Fn->returnType()->bitWidth() : 32;
+    return RtValue(IntValue(W, St.nextRandom()));
+  }
+  // Plusarg queries: the key is encoded in the intrinsic name by the
+  // frontend (moore/Compiler.cpp), the values come from SimOptions.
+  constexpr const char *TestPfx = "llhd.plusarg.test.";
+  constexpr const char *ValuePfx = "llhd.plusarg.value.";
+  if (N.rfind(TestPfx, 0) == 0) {
+    unsigned W = Fn->returnType() ? Fn->returnType()->bitWidth() : 32;
+    return RtValue(
+        IntValue(W, Opts.hasPlusarg(N.substr(strlen(TestPfx))) ? 1 : 0));
+  }
+  if (N.rfind(ValuePfx, 0) == 0) {
+    // $plusarg$value("KEY", default): the plusarg's numeric value, or
+    // the default when absent or non-numeric.
+    unsigned W = Fn->returnType() ? Fn->returnType()->bitWidth() : 32;
+    uint64_t X = Args.empty() ? 0 : Args[0].intValue().zextToU64();
+    if (const std::string *V =
+            Opts.plusargValue(N.substr(strlen(ValuePfx)))) {
+      char *End = nullptr;
+      uint64_t Parsed = strtoull(V->c_str(), &End, 0);
+      if (End && End != V->c_str() && *End == '\0')
+        X = Parsed;
+    }
+    return RtValue(IntValue(W, X));
   }
   // Unknown intrinsics are no-ops returning the default value.
   return defaultValue(Fn->returnType());
@@ -255,7 +305,7 @@ void LirEngine::runProcess(uint32_t PI) {
                                 Op.OpsCount, Op.Imm, Op.Origin);
         break;
       case LirOpc::Prb:
-        F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+        F[Op.Dst] = Signals.read(F[Op.A].sigRef());
         break;
       case LirOpc::Drv:
         execDrv(Op, F, PS.Inst);
@@ -299,7 +349,7 @@ void LirEngine::runProcess(uint32_t PI) {
         ++PS.WakeGen;
         for (uint32_t J = 0; J != Op.OpsCount; ++J)
           PS.Sensitivity.push_back(
-              D.Signals.canonical(F[Pool[Op.OpsBase + J]].sigId()));
+              Signals.canonical(F[Pool[Op.OpsBase + J]].sigId()));
       }
       if (Op.A >= 0)
         Sched.scheduleWake(Now.advance(F[Op.A].timeValue()),
@@ -319,7 +369,7 @@ void LirEngine::runProcess(uint32_t PI) {
       F[Op.Dst] = F[Op.A];
       break;
     case LirOpc::Prb:
-      F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+      F[Op.Dst] = Signals.read(F[Op.A].sigRef());
       break;
     case LirOpc::Drv:
       execDrv(Op, F, PS.Inst);
@@ -383,7 +433,7 @@ void LirEngine::evalEntity(uint32_t EI, bool Initial) {
                               Op.Imm, Op.Origin);
       break;
     case LirOpc::Prb:
-      F[Op.Dst] = D.Signals.read(F[Op.A].sigRef());
+      F[Op.Dst] = Signals.read(F[Op.A].sigRef());
       break;
     case LirOpc::Drv:
       execDrv(Op, F, ES.Inst);
@@ -392,7 +442,7 @@ void LirEngine::evalEntity(uint32_t EI, bool Initial) {
       execReg(ES, Op, Initial);
       break;
     case LirOpc::Del: {
-      RtValue Src = D.Signals.read(F[Op.B].sigRef());
+      RtValue Src = Signals.read(F[Op.B].sigRef());
       RtValue &Prev = ES.DelPrev[Op.Imm];
       if (Initial || Prev != Src) {
         Prev = Src;
@@ -411,7 +461,7 @@ void LirEngine::evalEntity(uint32_t EI, bool Initial) {
 }
 
 SimStats LirEngine::run() {
-  return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats, Resumed);
+  return runEventLoop(*this, D, Opts, St, Resumed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -456,7 +506,7 @@ void valueToLanes(const RtValue &V, uint64_t *Lanes, uint32_t N) {
 } // namespace
 
 void LirEngine::syncFromNative(ProcState &PS) {
-  const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+  const jit::JitModule::NativeUnit *NU = Prog->JitMod->nativeFor(PS.L);
   const jit::UnitPlan &Plan = NU->Plan;
   const LirUnit &L = *PS.L;
   uint64_t *Lanes = PS.Jit->Lanes.data();
@@ -497,7 +547,7 @@ void LirEngine::syncFromNative(ProcState &PS) {
 }
 
 bool LirEngine::syncToNative(ProcState &PS) {
-  const jit::JitModule::NativeUnit *NU = JitMod->nativeFor(PS.L);
+  const jit::JitModule::NativeUnit *NU = Prog->JitMod->nativeFor(PS.L);
   const jit::UnitPlan &Plan = NU->Plan;
   const LirUnit &L = *PS.L;
   uint64_t *Lanes = PS.Jit->Lanes.data();
@@ -546,8 +596,8 @@ void LirEngine::checkpoint(std::vector<uint8_t> &Out) {
 
   ckpt::DriverIdMap Map;
   Map.build(D, Cache);
-  ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*D.M), EngineName, D,
-                             Sched, Tr, Now, Stats, Map);
+  ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*D.M), EngineName,
+                             Signals, Sched, Tr, Now, Stats, Map);
 
   bc::putVar(Out, Procs.size());
   for (const ProcState &PS : Procs) {
@@ -579,8 +629,8 @@ bool LirEngine::restore(const std::vector<uint8_t> &In, std::string &Err) {
   bc::Reader R{In};
   ckpt::DriverIdMap Map;
   Map.build(D, Cache);
-  if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*D.M), D, Sched, Tr,
-                                 Now, Stats, Map, Err))
+  if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*D.M), Signals, Sched,
+                                 Tr, Now, Stats, Map, Err))
     return false;
 
   if (R.var() != Procs.size() || R.Failed) {
@@ -609,8 +659,8 @@ bool LirEngine::restore(const std::vector<uint8_t> &In, std::string &Err) {
       // from a run with different JIT coverage): this instance falls
       // back to interpretation, which restored exactly above.
       PS.Jit = nullptr;
-      --JitMod->St.NativeProcs;
-      ++JitMod->St.InterpProcs;
+      --JitSt.NativeProcs;
+      ++JitSt.InterpProcs;
     }
   }
 

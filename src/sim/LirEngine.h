@@ -21,8 +21,10 @@
 
 #include "jit/Jit.h"
 #include "sim/Design.h"
-#include "sim/Interp.h" // SimOptions / SimStats.
+#include "sim/Interp.h" // SimOptions.
 #include "sim/Lir.h"
+#include "sim/Program.h"
+#include "sim/SimState.h"
 #include "support/DepthPool.h"
 
 #include <memory>
@@ -37,17 +39,26 @@ struct ProcContext;
 
 /// Direct executor of the lowered runtime IR; implements the EventLoop
 /// engine contract.
+///
+/// One engine is one run: it holds the per-run SimState plus the
+/// per-instance execution frames, and reads everything else from an
+/// immutable LirProgram. Batch mode constructs N engines over one
+/// shared program; the single-run constructor builds a private program
+/// on the spot.
 class LirEngine {
 public:
-  /// Takes ownership of an elaborated design. Call build() before run()
-  /// when the design is valid. With \p J enabled, build() additionally
-  /// compiles admissible processes to native code (src/jit/); every
-  /// failure mode falls back to interpretation.
+  /// Takes ownership of an elaborated design and compiles a private
+  /// program from it (lowering + native code when \p J enables the JIT;
+  /// every JIT failure mode falls back to interpretation). Call build()
+  /// before run() when the design is valid.
   LirEngine(Design DIn, SimOptions O, jit::JitOptions J = {});
+  /// Batch form: runs over \p P, an immutable program shared with any
+  /// number of concurrent sibling engines.
+  LirEngine(std::shared_ptr<const LirProgram> P, SimOptions O);
   ~LirEngine();
 
-  /// Lowers every instantiated unit (once per unit, shared across
-  /// instances) and sets up the per-instance execution state.
+  /// Sets up the per-instance execution state (frames preloaded from the
+  /// program's lowering, native bindings for JIT-compiled units).
   void build();
 
   /// Runs the shared event loop to completion. After restore(), the loop
@@ -124,17 +135,27 @@ public:
   }
 
   //===------------------------------------------------------------------===//
-  // Shared state
+  // Program (shared, immutable) and run state (private, mutable)
   //===------------------------------------------------------------------===//
 
-  Design D;
+  /// The compile-once artifact this run executes; possibly shared with
+  /// concurrent sibling runs — never written.
+  std::shared_ptr<const LirProgram> Prog;
   SimOptions Opts;
-  Scheduler Sched;
-  Trace Tr;
-  SimStats Stats;
-  Time Now;
+  /// Everything this run mutates: signal values/drivers, event wheel,
+  /// trace, clock, stats, stimulus RNG.
+  SimState St;
+  /// Convenience aliases into Prog / St, so execution code reads as
+  /// before the layout/state split. The references pin the split: D and
+  /// Cache are const (shared), the rest is this run's own state.
+  const Design &D;
+  const LirCache &Cache;
+  SignalTable &Signals;
+  Scheduler &Sched;
+  Trace &Tr;
+  SimStats &Stats;
+  Time &Now;
   bool FinishRequested = false;
-  LirCache Cache;
   /// Name recorded in checkpoint headers ("blaze" when owned by Blaze).
   std::string EngineName = "interp";
   /// Set by restore(); run() then skips initialisation and continues.
@@ -171,8 +192,8 @@ private:
   void preloadFrame(const LirUnit &L, const UnitInstance &UI,
                     std::vector<RtValue> &Frame);
 
-  /// Compiles and binds native code for admissible processes (no-op
-  /// when the JIT is off); called at the end of build().
+  /// Binds this run's process instances to the program's native code
+  /// (no-op when the JIT is off); called at the end of build().
   void buildJit();
   /// Copies a natively-executing process's lane state back into the
   /// interpreter-visible Frame/Memory/Pc before checkpointing.
@@ -213,9 +234,11 @@ private:
   DepthPool<FnFrame> FnPool;
   DepthPool<std::vector<RtValue>> ArgPool;
 
-  jit::JitOptions JitOpts;
-  std::unique_ptr<jit::JitModule> JitMod;
+  /// This run's native bindings over the program's compiled code, plus
+  /// its private copy of the JIT statistics (compile-time numbers from
+  /// the program, bind counts from this run).
   std::vector<std::unique_ptr<jit::ProcContext>> JitCtxs;
+  jit::JitStats JitSt;
 };
 
 } // namespace llhd

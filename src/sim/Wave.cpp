@@ -1,7 +1,6 @@
 //===- sim/Wave.cpp - VCD waveform observer ------------------------------===//
 
 #include "sim/Wave.h"
-#include "sim/Design.h"
 
 #include <algorithm>
 #include <fstream>
@@ -106,9 +105,9 @@ struct ScopeNode {
 
 } // namespace
 
-void WaveWriter::begin(const Design &D) {
+void WaveWriter::begin(const SignalTable &Signals) {
   Began = true;
-  unsigned N = D.Signals.size();
+  unsigned N = Signals.size();
   Vars.resize(N);
   PendingVal.resize(N);
 
@@ -117,13 +116,13 @@ void WaveWriter::begin(const Design &D) {
   // value and would dump the same change twice.
   ScopeNode Root;
   for (SignalId S = 0; S != N; ++S) {
-    if (D.Signals.canonical(S) != S)
+    if (Signals.canonical(S) != S)
       continue;
-    unsigned W = dumpableWidth(D.Signals.value(S));
+    unsigned W = dumpableWidth(Signals.value(S));
     if (W == 0)
       continue; // Aggregate/time-valued signals have no VCD form.
     Vars[S].Code = vcdCode(NumVars++);
-    const std::string &Name = D.Signals.name(S);
+    const std::string &Name = Signals.name(S);
     ScopeNode *Scope = &Root;
     size_t Start = 0;
     for (size_t Slash = Name.find('/'); Slash != std::string::npos;
@@ -193,7 +192,7 @@ void WaveWriter::begin(const Design &D) {
   for (SignalId S = 0; S != N; ++S) {
     if (Vars[S].Code.empty())
       continue;
-    Vars[S].Last = vcdValue(D.Signals.value(S), Vars[S].Code);
+    Vars[S].Last = vcdValue(Signals.value(S), Vars[S].Code);
     Out += Vars[S].Last;
     Out += '\n';
   }
@@ -247,9 +246,9 @@ void WaveWriter::flushPending() {
   drain();
 }
 
-void WaveWriter::resume(const Design &D) {
+void WaveWriter::resume(const SignalTable &Signals) {
   Began = true;
-  unsigned N = D.Signals.size();
+  unsigned N = Signals.size();
   Vars.resize(N);
   PendingVal.resize(N);
   // The same canonical-order allocation loop as begin(), minus every
@@ -258,13 +257,13 @@ void WaveWriter::resume(const Design &D) {
   // last dumped (checkpoints only happen with the pending instant
   // flushed and settled).
   for (SignalId S = 0; S != N; ++S) {
-    if (D.Signals.canonical(S) != S)
+    if (Signals.canonical(S) != S)
       continue;
-    unsigned W = dumpableWidth(D.Signals.value(S));
+    unsigned W = dumpableWidth(Signals.value(S));
     if (W == 0)
       continue;
     Vars[S].Code = vcdCode(NumVars++);
-    Vars[S].Last = vcdValue(D.Signals.value(S), Vars[S].Code);
+    Vars[S].Last = vcdValue(Signals.value(S), Vars[S].Code);
   }
 }
 

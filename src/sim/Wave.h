@@ -32,11 +32,10 @@
 
 namespace llhd {
 
-struct Design;
 
 /// Streams a simulation run into VCD text.
 ///
-/// Lifecycle: begin(design) emits the header, variable definitions and
+/// Lifecycle: begin(signals) emits the header, variable definitions and
 /// the $dumpvars initial state; onChange() is called by the event loop
 /// for every committed signal change; finish() flushes the final pending
 /// instant. The accumulated text is available via text() or writeToFile().
@@ -52,19 +51,19 @@ public:
   WaveWriter(const WaveWriter &) = delete;
   WaveWriter &operator=(const WaveWriter &) = delete;
 
-  /// Emits the VCD header for \p D: scope tree, $var definitions and the
-  /// $dumpvars initial state at #0. Must be called exactly once, before
-  /// any onChange().
-  void begin(const Design &D);
+  /// Emits the VCD header for \p Signals: scope tree, $var definitions
+  /// and the $dumpvars initial state at #0. Must be called exactly once,
+  /// before any onChange().
+  void begin(const SignalTable &Signals);
 
   /// Prepares for appending to an existing dump after a checkpoint
   /// restore: allocates the same identifier codes begin() would (the
   /// allocation is deterministic in canonical-signal order) and seeds the
-  /// change-only cache from \p D's restored signal values — the settled
+  /// change-only cache from \p Signals' restored values — the settled
   /// state at the checkpoint instant, which is exactly what the original
   /// writer had last dumped. Emits nothing; subsequent onChange() output
   /// continues the original file byte-identically.
-  void resume(const Design &D);
+  void resume(const SignalTable &Signals);
 
   /// Records a committed change of canonical signal \p S to \p V at time
   /// \p T. Changes are buffered until the physical instant advances, so

@@ -15,9 +15,11 @@
 #include "sim/Checkpoint.h"
 #include "sim/EventLoop.h"
 #include "sim/Lir.h"
+#include "sim/Program.h"
 #include "sim/RtOps.h"
 #include "support/DepthPool.h"
 
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -262,41 +264,52 @@ struct CsEntState {
 
 } // namespace
 
+/// The compile-once artifact (opaque in the header): the jit-less base
+/// program (design + lowering cache) plus every reachable unit compiled
+/// to closures. The closures capture pointers into the base cache's
+/// LirUnits, so Base must outlive Units — member order guarantees it.
+struct llhd::CommProgram {
+  std::shared_ptr<const LirProgram> Base;
+  std::map<const Unit *, CsUnit> Units;
+};
+
 //===----------------------------------------------------------------------===//
 // Engine
 //===----------------------------------------------------------------------===//
 
 struct CommSim::Impl {
-  Design D;
+  /// The shared, immutable program; possibly concurrently executed by
+  /// sibling batch instances — never written.
+  std::shared_ptr<const CommProgram> Prog;
   SimOptions Opts;
-  Scheduler Sched;
-  Trace Tr;
-  SimStats Stats;
-  Time Now;
+  /// Everything this run mutates.
+  SimState St;
   bool FinishRequested = false;
   std::string Err;
   CommSimImplRef Services;
 
-  LirCache Lir;
-  std::map<Unit *, CsUnit> Units;
   std::vector<CsProcState> Procs;
   std::vector<CsEntState> Ents;
+  Design EmptyD; ///< design() fallback when construction failed.
 
   /// Depth-indexed pool of function execution contexts, reused across
   /// calls.
   DepthPool<CsExec> FnPool;
 
-  Impl(Module &M, const std::string &Top, SimOptions O)
-      : Opts(O), Tr(O.TraceMode) {
-    D = elaborate(M, Top);
-    if (!D.ok()) {
-      Err = D.Error;
+  const Design &design() const { return Prog ? Prog->Base->D : EmptyD; }
+
+  Impl(std::shared_ptr<const CommProgram> P, SimOptions O)
+      : Prog(std::move(P)), Opts(std::move(O)),
+        St(Prog ? SimState(Prog->Base->D, Opts.TraceMode, Opts.Seed)
+                : SimState()) {
+    if (!Prog) {
+      Err = "null program";
       return;
     }
-    Services.Signals = &D.Signals;
-    Services.Sched = &Sched;
-    Services.Now = &Now;
-    Services.AssertFailures = &Stats.AssertFailures;
+    Services.Signals = &St.Signals;
+    Services.Sched = &St.Sched;
+    Services.Now = &St.Now;
+    Services.AssertFailures = &St.Stats.AssertFailures;
     Services.FinishRequested = &FinishRequested;
     Services.CallFn = [this](Unit *F, std::vector<RtValue> Args) {
       return callFunction(F, std::move(Args));
@@ -304,11 +317,10 @@ struct CommSim::Impl {
     build();
   }
 
-  const CsUnit &unitFor(Unit *U) {
-    auto It = Units.find(U);
-    if (It != Units.end())
-      return It->second;
-    return Units.emplace(U, compileUnit(Lir.get(U))).first->second;
+  /// Pure lookup into the program: every reachable unit was compiled at
+  /// buildProgram() time.
+  const CsUnit &unitFor(const Unit *U) const {
+    return Prog->Units.at(U);
   }
 
   void preload(const CsUnit &CU, const UnitInstance &UI, CsExec &X) {
@@ -324,7 +336,7 @@ struct CommSim::Impl {
   }
 
   void build() {
-    for (const UnitInstance &UI : D.Instances) {
+    for (const UnitInstance &UI : design().Instances) {
       const CsUnit &CU = unitFor(UI.U);
       if (UI.U->isProcess()) {
         CsProcState PS;
@@ -370,12 +382,35 @@ struct CommSim::Impl {
       const std::string &N = F->name();
       if (N == "llhd.assert") {
         if (!Args.empty() && !Args[0].isTruthy())
-          ++Stats.AssertFailures;
+          ++St.Stats.AssertFailures;
         return RtValue();
       }
       if (N == "llhd.finish") {
         FinishRequested = true;
         return RtValue();
+      }
+      if (N == "llhd.random") {
+        unsigned W = F->returnType() ? F->returnType()->bitWidth() : 32;
+        return RtValue(IntValue(W, St.nextRandom()));
+      }
+      constexpr const char *TestPfx = "llhd.plusarg.test.";
+      constexpr const char *ValuePfx = "llhd.plusarg.value.";
+      if (N.rfind(TestPfx, 0) == 0) {
+        unsigned W = F->returnType() ? F->returnType()->bitWidth() : 32;
+        return RtValue(
+            IntValue(W, Opts.hasPlusarg(N.substr(strlen(TestPfx))) ? 1 : 0));
+      }
+      if (N.rfind(ValuePfx, 0) == 0) {
+        unsigned W = F->returnType() ? F->returnType()->bitWidth() : 32;
+        uint64_t X = Args.empty() ? 0 : Args[0].intValue().zextToU64();
+        if (const std::string *V =
+                Opts.plusargValue(N.substr(strlen(ValuePfx)))) {
+          char *End = nullptr;
+          uint64_t Parsed = strtoull(V->c_str(), &End, 0);
+          if (End && End != V->c_str() && *End == '\0')
+            X = Parsed;
+        }
+        return RtValue(IntValue(W, X));
       }
       return defaultValue(F->returnType());
     }
@@ -405,7 +440,7 @@ struct CommSim::Impl {
     if (PS.State == CsProcState::St::Halted)
       return;
     PS.State = CsProcState::St::Ready;
-    ++Stats.ProcessRuns;
+    ++St.Stats.ProcessRuns;
     const CsUnit &CU = *PS.CU;
     // Classified processes resume from the compile-time-constant pc and
     // keep their one-time sensitivity registration.
@@ -427,7 +462,8 @@ struct CommSim::Impl {
       if (!PS.X.SkipSense)
         ++PS.WakeGen;
       if (PS.X.TimeoutSet)
-        Sched.scheduleWake(Now.advance(PS.X.Timeout), {PI, PS.WakeGen});
+        St.Sched.scheduleWake(St.Now.advance(PS.X.Timeout),
+                              {PI, PS.WakeGen});
       PS.Started = true;
       PS.State = CsProcState::St::Waiting;
       PS.Pc = Dest;
@@ -438,7 +474,7 @@ struct CommSim::Impl {
 
   void evalEntity(uint32_t EI, bool Initial) {
     CsEntState &ES = Ents[EI];
-    ++Stats.EntityEvals;
+    ++St.Stats.EntityEvals;
     ES.X.Initial = Initial;
     for (const CsOp &Op : ES.CU->Ops)
       Op(ES.X);
@@ -470,7 +506,9 @@ struct CommSim::Impl {
   }
 
   SimStats run() {
-    return runEventLoop(*this, D, Opts, Sched, Tr, Now, Stats, Resumed);
+    if (!Prog)
+      return SimStats();
+    return runEventLoop(*this, design(), Opts, St, Resumed);
   }
 
   //===------------------------------------------------------------------===//
@@ -484,9 +522,10 @@ struct CommSim::Impl {
     // formula over the same &UI tags as the LIR engines, so the shared
     // DriverIdMap enumeration applies unchanged.
     ckpt::DriverIdMap Map;
-    Map.build(D, Lir);
-    ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*D.M), "comm", D,
-                               Sched, Tr, Now, Stats, Map);
+    Map.build(design(), Prog->Base->Cache);
+    ckpt::writeHeaderAndKernel(Out, ckpt::moduleHash(*design().M), "comm",
+                               St.Signals, St.Sched, St.Tr, St.Now,
+                               St.Stats, Map);
 
     bc::putVar(Out, Procs.size());
     for (const CsProcState &PS : Procs) {
@@ -520,9 +559,10 @@ struct CommSim::Impl {
     RErr.clear(); // Callers may reuse the string across attempts.
     bc::Reader R{In};
     ckpt::DriverIdMap Map;
-    Map.build(D, Lir);
-    if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*D.M), D, Sched,
-                                   Tr, Now, Stats, Map, RErr))
+    Map.build(design(), Prog->Base->Cache);
+    if (!ckpt::readHeaderAndKernel(R, ckpt::moduleHash(*design().M),
+                                   St.Signals, St.Sched, St.Tr, St.Now,
+                                   St.Stats, Map, RErr))
       return false;
 
     if (R.var() != Procs.size() || R.Failed) {
@@ -582,11 +622,34 @@ struct CommSim::Impl {
   }
 };
 
-CommSim::CommSim(Module &M, const std::string &Top, SimOptions Opts)
-    : P(std::make_unique<Impl>(M, Top, Opts)) {}
+std::shared_ptr<const CommProgram>
+CommSim::buildProgram(Module &M, const std::string &Top, std::string &Err) {
+  Design D = elaborate(M, Top);
+  if (!D.ok()) {
+    Err = D.Error;
+    return nullptr;
+  }
+  auto P = std::make_shared<CommProgram>();
+  P->Base = LirProgram::build(std::move(D), jit::JitOptions());
+  P->Base->Cache.forEach([&](const Unit *U, const LirUnit &L) {
+    P->Units.emplace(U, compileUnit(L));
+  });
+  return P;
+}
+
+CommSim::CommSim(Module &M, const std::string &Top, SimOptions Opts) {
+  std::string Err;
+  std::shared_ptr<const CommProgram> Prog = buildProgram(M, Top, Err);
+  P = std::make_unique<Impl>(std::move(Prog), std::move(Opts));
+  if (!Err.empty())
+    P->Err = Err;
+}
 
 CommSim::CommSim(Module &M, const std::string &Top)
     : CommSim(M, Top, SimOptions()) {}
+
+CommSim::CommSim(std::shared_ptr<const CommProgram> Prog, SimOptions Opts)
+    : P(std::make_unique<Impl>(std::move(Prog), std::move(Opts))) {}
 
 CommSim::~CommSim() = default;
 
@@ -598,6 +661,6 @@ void CommSim::checkpoint(std::vector<uint8_t> &Out) { P->checkpoint(Out); }
 bool CommSim::restore(const std::vector<uint8_t> &In, std::string &Err) {
   return P->restore(In, Err);
 }
-const Trace &CommSim::trace() const { return P->Tr; }
-const SignalTable &CommSim::signals() const { return P->D.Signals; }
-const Design &CommSim::design() const { return P->D; }
+const Trace &CommSim::trace() const { return P->St.Tr; }
+const SignalTable &CommSim::signals() const { return P->St.Signals; }
+const Design &CommSim::design() const { return P->design(); }

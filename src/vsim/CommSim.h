@@ -16,14 +16,30 @@
 
 #include "sim/Interp.h"
 
+#include <memory>
+
 namespace llhd {
+
+/// CommSim's compile-once artifact: the elaborated design and lowering
+/// (a jit-less LirProgram) plus every unit compiled to closures. Shared,
+/// immutable, and safe to run any number of concurrent CommSim instances
+/// over. Opaque outside CommSim.cpp.
+struct CommProgram;
 
 /// The closure-compiled comparison engine.
 class CommSim {
 public:
   CommSim(Module &M, const std::string &Top, SimOptions Opts);
   CommSim(Module &M, const std::string &Top);
+  /// Batch form: runs over an immutable program from buildProgram(),
+  /// shared with any number of concurrent sibling engines.
+  CommSim(std::shared_ptr<const CommProgram> Prog, SimOptions Opts);
   ~CommSim();
+
+  /// Elaborates \p Top of \p M and compiles every reachable unit to
+  /// closures once. Null + \p Err on elaboration failure.
+  static std::shared_ptr<const CommProgram>
+  buildProgram(Module &M, const std::string &Top, std::string &Err);
 
   bool valid() const;
   const std::string &error() const;

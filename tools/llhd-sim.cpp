@@ -17,6 +17,7 @@
 #include "blaze/Blaze.h"
 #include "lint/Lint.h"
 #include "moore/Compiler.h"
+#include "sim/Batch.h"
 #include "sim/Interp.h"
 #include "sim/Lir.h"
 #include "sim/Wave.h"
@@ -68,6 +69,19 @@ void printUsage() {
           "                   unit, then exit without simulating\n"
           "  --sv, --llhd     force the input language (default: by\n"
           "                   file extension; stdin defaults to .llhd)\n"
+          "\n"
+          "batched fleet simulation (see DESIGN.md):\n"
+          "  --batch=<n>      compile once, simulate n instances over the\n"
+          "                   shared program; instance i runs with seed\n"
+          "                   --seed + i, and --vcd / --checkpoint write\n"
+          "                   per-instance files <path>.<i>\n"
+          "  --jobs=<m>       batch worker threads (default: one per\n"
+          "                   hardware thread; 1 = run instances inline)\n"
+          "  --seed=<s>       stimulus seed for $random/$urandom\n"
+          "                   (default 0); identical seeds reproduce\n"
+          "                   bit-identical runs on every engine\n"
+          "  +<key>[=<val>]   plusarg, visible to $test$plusargs and\n"
+          "                   $plusarg$value in the design\n"
           "\n"
           "run control (see DESIGN.md):\n"
           "  --timeout=<sec>      stop after this much wall-clock time\n"
@@ -174,6 +188,8 @@ struct DriverConfig {
   bool DumpLir = false;
   bool Lint = false;       ///< --lint: static checks before simulating.
   bool LintWerror = false; ///< --lint=error: promote warnings too.
+  unsigned Batch = 0;      ///< --batch=<n>: fleet size (0 = single run).
+  unsigned Jobs = 0;       ///< --jobs=<m>: batch workers (0 = hw threads).
   SimOptions Opts;
 };
 
@@ -400,6 +416,42 @@ int main(int Argc, char **Argv) {
       Cfg.Opts.RC.CheckpointEveryFs = Every.Fs;
     } else if (A.rfind("--resume=", 0) == 0) {
       Cfg.ResumePath = A.substr(strlen("--resume="));
+    } else if (A.rfind("--batch=", 0) == 0) {
+      char *End = nullptr;
+      Cfg.Batch = static_cast<unsigned>(
+          strtoul(A.c_str() + strlen("--batch="), &End, 10));
+      if (!End || *End != '\0' || Cfg.Batch == 0) {
+        fprintf(stderr, "llhd-sim: invalid --batch '%s'\n",
+                A.c_str() + strlen("--batch="));
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      char *End = nullptr;
+      Cfg.Jobs = static_cast<unsigned>(
+          strtoul(A.c_str() + strlen("--jobs="), &End, 10));
+      if (!End || *End != '\0' || Cfg.Jobs == 0) {
+        fprintf(stderr, "llhd-sim: invalid --jobs '%s'\n",
+                A.c_str() + strlen("--jobs="));
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.rfind("--seed=", 0) == 0) {
+      char *End = nullptr;
+      Cfg.Opts.Seed = strtoull(A.c_str() + strlen("--seed="), &End, 0);
+      if (!End || *End != '\0') {
+        fprintf(stderr, "llhd-sim: invalid --seed '%s'\n",
+                A.c_str() + strlen("--seed="));
+        return exitFor(ExitCode::Usage);
+      }
+    } else if (A.size() > 1 && A[0] == '+') {
+      // Plusarg: +key or +key=value, recorded verbatim for
+      // $test$plusargs / $plusarg$value.
+      std::string Body = A.substr(1);
+      size_t Eq = Body.find('=');
+      if (Eq == std::string::npos)
+        Cfg.Opts.Plusargs.emplace_back(Body, "");
+      else
+        Cfg.Opts.Plusargs.emplace_back(Body.substr(0, Eq),
+                                       Body.substr(Eq + 1));
     } else if (A == "--diff-engines") {
       Cfg.DiffEngines = true;
     } else if (A == "--no-opt") {
@@ -445,6 +497,15 @@ int main(int Argc, char **Argv) {
     // would interleave their images and resume cannot know which run.
     fprintf(stderr,
             "llhd-sim: --diff-engines is incompatible with --checkpoint/"
+            "--resume\n");
+    return exitFor(ExitCode::Usage);
+  }
+  if (Cfg.Batch && (Cfg.DiffEngines || !Cfg.ResumePath.empty())) {
+    // A fleet shares one program and runs N fresh instances; resuming a
+    // single checkpoint into N runs (or diffing engines per instance) is
+    // a different workflow.
+    fprintf(stderr,
+            "llhd-sim: --batch is incompatible with --diff-engines/"
             "--resume\n");
     return exitFor(ExitCode::Usage);
   }
@@ -611,6 +672,95 @@ int main(int Argc, char **Argv) {
               exitCodeName(ExitCode::LintFindings));
       return exitFor(ExitCode::LintFindings);
     }
+  }
+
+  // Batched fleet simulation: one program build, N instances on a
+  // worker pool (sim/Batch.h). Per-instance artifacts land next to the
+  // requested paths as <path>.<instance>.
+  if (Cfg.Batch) {
+    std::string Top, Error;
+    std::unique_ptr<Module> M = buildModule(File, Top, Error);
+    if (!M) {
+      fprintf(stderr, "llhd-sim: %s\n", Error.c_str());
+      return exitFor(ExitCode::InputError);
+    }
+    BatchOptions BO;
+    BO.N = Cfg.Batch;
+    BO.Jobs = Cfg.Jobs;
+    BO.Engine = Cfg.Engine;
+    BO.Optimize = !Cfg.NoOpt;
+    if (Cfg.Jit == "off")
+      BO.Jit.M = jit::JitOptions::Mode::Off;
+    else if (Cfg.Jit == "dump") {
+      BO.Jit.M = jit::JitOptions::Mode::Dump;
+      BO.Jit.DumpPath = Cfg.JitDumpPath;
+    } else
+      BO.Jit.M = jit::JitOptions::Mode::On;
+    BO.Jit.ForceDeopt = Cfg.JitDeopt;
+    BO.Base = Cfg.Opts;
+    if (!Cfg.CheckpointPath.empty())
+      BO.Base.RC.CheckpointOnStop = true;
+    BO.VcdPath = Cfg.VcdPath;
+    BO.CheckpointPath = Cfg.CheckpointPath;
+
+    if (Cfg.Engine != "interp" && Cfg.Engine != "blaze" &&
+        Cfg.Engine != "comm") {
+      fprintf(stderr,
+              "llhd-sim: unknown engine '%s' (valid engines: interp, "
+              "blaze, comm)\n",
+              Cfg.Engine.c_str());
+      return exitFor(ExitCode::Usage);
+    }
+
+    BatchResult R = runBatch(*M, Top, BO);
+    if (!R.Ok && !R.Error.empty()) {
+      fprintf(stderr, "llhd-sim: %s\n", R.Error.c_str());
+      return exitFor(ExitCode::InputError);
+    }
+
+    int Exit = exitFor(ExitCode::Ok);
+    uint64_t Asserts = 0, Cycles = 0;
+    for (const BatchInstance &BI : R.Instances) {
+      if (!BI.Error.empty()) {
+        fprintf(stderr, "llhd-sim: instance %u: %s\n", BI.Index,
+                BI.Error.c_str());
+        if (Exit == 0)
+          Exit = exitFor(ExitCode::IoError);
+        continue;
+      }
+      Asserts += BI.Stats.AssertFailures;
+      Cycles += BI.Stats.Steps;
+      if (Cfg.Stats)
+        fprintf(stderr,
+                "batch[%u]: seed %llu, end time %s, %llu slots, "
+                "digest %016llx%s\n",
+                BI.Index,
+                (unsigned long long)(Cfg.Opts.Seed + BI.Index),
+                BI.Stats.EndTime.toString().c_str(),
+                (unsigned long long)BI.Stats.Steps,
+                (unsigned long long)BI.Digest,
+                BI.Stats.Finished ? ", finished" : "");
+      if (BI.Stats.Stop != StopReason::None) {
+        fprintf(stderr, "llhd-sim: instance %u: stopped at %s: %s\n",
+                BI.Index, BI.Stats.EndTime.toString().c_str(),
+                stopReasonName(BI.Stats.Stop));
+        if (Exit == 0)
+          Exit = exitFor(exitCodeFor(BI.Stats.Stop));
+      }
+    }
+    if (Asserts != 0) {
+      fprintf(stderr, "llhd-sim: %llu assertion failure(s) across the "
+              "batch\n",
+              (unsigned long long)Asserts);
+      Exit = exitFor(ExitCode::AssertFailed);
+    }
+    if (Cfg.Stats)
+      fprintf(stderr,
+              "batch: %u instance(s), build %.3fs (once), run %.3fs, "
+              "%llu slots total\n",
+              Cfg.Batch, R.BuildSeconds, R.RunSeconds,
+              (unsigned long long)Cycles);
+    return Exit;
   }
 
   bool WantVcd = !Cfg.VcdPath.empty();
